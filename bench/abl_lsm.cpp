@@ -1,0 +1,135 @@
+// Ablation F: rockslite (RocksDB-substitute) internals — the mechanisms
+// behind the Fig. 2 backend gap: memtable flushes, compaction, bloom
+// filters, block cache, and read amplification as data accumulates.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "bench_table.hpp"
+#include "common/rng.hpp"
+#include "yokan/lsm/lsm_db.hpp"
+
+namespace {
+
+using namespace hep;
+using namespace hep::yokan;
+namespace fs = std::filesystem;
+
+std::unique_ptr<lsm::LsmDb> make_db(const std::string& tag, std::size_t memtable_bytes) {
+    lsm::LsmOptions opts;
+    const auto dir = fs::temp_directory_path() / ("bench_lsm_" + tag);
+    fs::remove_all(dir);
+    opts.path = dir.string();
+    opts.memtable_bytes = memtable_bytes;
+    return lsm::LsmDb::open(std::move(opts)).value();
+}
+
+std::string key_of(std::uint64_t i) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "k%012llu", static_cast<unsigned long long>(i));
+    return buf;
+}
+
+void BM_PutWithMemtableSize(benchmark::State& state) {
+    // Smaller memtables flush (and compact) more often — write amplification.
+    auto db = make_db("memtable" + std::to_string(state.range(0)),
+                      static_cast<std::size_t>(state.range(0)));
+    const std::string value(256, 'v');
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(db->put(key_of(i++), value, true));
+    }
+    const auto stats = db->lsm_stats();
+    state.counters["flushes"] = static_cast<double>(stats.flushes);
+    state.counters["compactions"] = static_cast<double>(stats.compactions);
+    state.counters["sst_files"] = static_cast<double>(stats.sst_files_written);
+}
+BENCHMARK(BM_PutWithMemtableSize)->Arg(64 << 10)->Arg(1 << 20)->Arg(16 << 20);
+
+void BM_GetColdVsDatasetSize(benchmark::State& state) {
+    // Read amplification: point gets against a growing number of levels.
+    const auto keys = static_cast<std::uint64_t>(state.range(0));
+    auto db = make_db("reads" + std::to_string(keys), 256 << 10);
+    const std::string value(256, 'v');
+    for (std::uint64_t i = 0; i < keys; ++i) {
+        (void)db->put(key_of(i), value, true);
+    }
+    (void)db->flush();
+    Rng rng(11);
+    for (auto _ : state) {
+        auto v = db->get(key_of(rng.uniform(0, keys - 1)));
+        benchmark::DoNotOptimize(v);
+    }
+    const auto stats = db->lsm_stats();
+    state.counters["cache_hit_pct"] =
+        100.0 * static_cast<double>(stats.cache_hits) /
+        static_cast<double>(std::max<std::uint64_t>(1, stats.cache_hits + stats.cache_misses));
+    state.counters["levels_with_files"] = [&] {
+        double levels = 0;
+        for (auto n : stats.files_per_level) levels += n > 0 ? 1 : 0;
+        return levels;
+    }();
+}
+BENCHMARK(BM_GetColdVsDatasetSize)->Arg(5000)->Arg(50000)->Arg(200000);
+
+void BM_BloomNegativeLookups(benchmark::State& state) {
+    auto db = make_db("bloomneg", 256 << 10);
+    for (std::uint64_t i = 0; i < 50000; ++i) {
+        (void)db->put(key_of(i), "v", true);
+    }
+    (void)db->flush();
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        auto v = db->get("missing" + std::to_string(i++));
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_BloomNegativeLookups);
+
+void BM_FullScan(benchmark::State& state) {
+    auto db = make_db("scan", 256 << 10);
+    constexpr std::uint64_t kKeys = 50000;
+    for (std::uint64_t i = 0; i < kKeys; ++i) {
+        (void)db->put(key_of(i), std::string(64, 'v'), true);
+    }
+    (void)db->flush();
+    for (auto _ : state) {
+        std::uint64_t n = 0;
+        (void)db->scan("", "", true, [&](std::string_view, std::string_view) {
+            ++n;
+            return true;
+        });
+        if (n != kKeys) state.SkipWithError("scan lost keys");
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kKeys);
+}
+BENCHMARK(BM_FullScan)->Unit(benchmark::kMillisecond);
+
+void BM_WalAppend(benchmark::State& state) {
+    const auto dir = fs::temp_directory_path() / "bench_lsm_wal";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    lsm::Wal wal;
+    if (!wal.open((dir / "wal.log").string()).ok()) {
+        state.SkipWithError("cannot open wal");
+        return;
+    }
+    const std::string value(static_cast<std::size_t>(state.range(0)), 'v');
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(wal.append_put(key_of(i++), value));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_WalAppend)->Arg(64)->Arg(1024);
+
+void print_reproduction() {
+    hep::bench::print_header(
+        "Ablation F — rockslite internals (flush/compaction/bloom/cache)\n"
+        "expect: smaller memtables => more flush+compaction work per put;\n"
+        "cold gets slow down as levels deepen; bloom keeps misses cheap");
+}
+
+}  // namespace
+
+HEP_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,79 @@
+// Ablation E (paper §II-A): C++ object (de)serialization cost — the price of
+// "stor[ing] and load[ing] C++ objects directly rather than going through
+// files". Uses the NOvA slice products the selection workflow ships.
+#include <benchmark/benchmark.h>
+
+#include "bench_table.hpp"
+#include "nova/generator.hpp"
+#include "serial/archive.hpp"
+
+namespace {
+
+using namespace hep;
+
+std::vector<nova::Slice> make_slices(std::size_t n) {
+    nova::Generator gen;
+    std::vector<nova::Slice> slices;
+    std::uint64_t event = 0;
+    while (slices.size() < n) {
+        auto rec = gen.make_event(10000, 1, event++);
+        slices.insert(slices.end(), rec.slices.begin(), rec.slices.end());
+    }
+    slices.resize(n);
+    return slices;
+}
+
+void BM_SerializeSliceVector(benchmark::State& state) {
+    const auto slices = make_slices(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto bytes = serial::to_string(slices);
+        benchmark::DoNotOptimize(bytes);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.counters["bytes_per_slice"] = static_cast<double>(
+        serial::to_string(slices).size() / static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_SerializeSliceVector)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_DeserializeSliceVector(benchmark::State& state) {
+    const auto slices = make_slices(static_cast<std::size_t>(state.range(0)));
+    const std::string bytes = serial::to_string(slices);
+    for (auto _ : state) {
+        std::vector<nova::Slice> out;
+        serial::from_string(bytes, out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DeserializeSliceVector)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_SerializeEventRecord(benchmark::State& state) {
+    nova::Generator gen;
+    const auto rec = gen.make_event(10000, 2, 42);
+    for (auto _ : state) {
+        auto bytes = serial::to_string(rec);
+        benchmark::DoNotOptimize(bytes);
+    }
+}
+BENCHMARK(BM_SerializeEventRecord);
+
+void BM_SerializedSizeOnly(benchmark::State& state) {
+    // The SizingArchive path used by WriteBatch to budget buffers.
+    const auto slices = make_slices(1024);
+    for (auto _ : state) {
+        auto n = serial::serialized_size(slices);
+        benchmark::DoNotOptimize(n);
+    }
+}
+BENCHMARK(BM_SerializedSizeOnly);
+
+void print_reproduction() {
+    hep::bench::print_header(
+        "Ablation E — serialization cost of NOvA slice products (paper §II-A)\n"
+        "expect: linear in slice count; deserialize ~ serialize; sizing pass\n"
+        "far cheaper than a full serialize");
+}
+
+}  // namespace
+
+HEP_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,48 @@
+// Small helpers for the figure-reproduction benches: aligned table printing
+// plus a standard main() that prints the reproduction tables and then runs
+// any registered google-benchmark micro-benchmarks.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hep::bench {
+
+inline void print_header(const std::string& title) {
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("================================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+    for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+    std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+inline std::string fmt_throughput(double slices_per_s) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2fM", slices_per_s / 1e6);
+    return buf;
+}
+
+}  // namespace hep::bench
+
+/// Each figure bench defines `void print_reproduction();` and uses this main.
+#define HEP_BENCH_MAIN(print_fn)                                  \
+    int main(int argc, char** argv) {                            \
+        print_fn();                                               \
+        ::benchmark::Initialize(&argc, argv);                     \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+            return 1;                                             \
+        ::benchmark::RunSpecifiedBenchmarks();                    \
+        return 0;                                                 \
+    }

@@ -1,0 +1,123 @@
+// Reproduction of paper Figure 2 (strong scaling):
+//
+//   "Plot illustrating the throughput (in slices processed per second) as a
+//    function of the total number of nodes used for processing the data using
+//    the existing traditional workflow and the HEPnOS based workflows."
+//
+// Fixed workload: the largest sample (7716 files, 17,437,656 events,
+// ~71.5M slices). Node counts 16..256. Three series: file-based, HEPnOS
+// with the RocksDB-substitute (lsm) backend, HEPnOS in-memory (map).
+//
+// Shape targets from the paper (not absolute Theta numbers):
+//   - HEPnOS superior across all node counts;
+//   - lsm == map at small scale, increasing cost beyond 32 nodes, up to ~2x
+//     at the largest counts;
+//   - in-memory ~85% strong-scaling efficiency at 128 nodes;
+//   - file-based scales poorly after 64 nodes (cores outnumber files).
+#include "bench_table.hpp"
+#include "simcluster/theta.hpp"
+
+namespace {
+
+using namespace hep;
+using namespace hep::simcluster;
+
+const std::vector<std::size_t> kNodes{16, 32, 64, 128, 256};
+
+/// The paper plots several repetitions per configuration ("The dots have
+/// been jittered to reduce over-plotting"); we repeat with varied seeds.
+constexpr int kRepetitions = 3;
+
+struct Spread {
+    double mean = 0, lo = 0, hi = 0;
+};
+
+template <typename F>
+Spread repeat(F&& run_once) {
+    Spread s;
+    s.lo = 1e300;
+    s.hi = 0;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+        const double v = run_once(rep);
+        s.mean += v / kRepetitions;
+        s.lo = std::min(s.lo, v);
+        s.hi = std::max(s.hi, v);
+    }
+    return s;
+}
+
+void print_reproduction() {
+    using bench::fmt;
+    using bench::fmt_throughput;
+
+    ThetaParams params;
+
+    bench::print_header(
+        "Figure 2 — throughput (slices/s) vs nodes, 7716-file / 17.4M-event sample\n"
+        "(mean of 3 seeded repetitions; spread column = max/min across reps)");
+    bench::print_row({"nodes", "file-based", "hepnos-lsm", "hepnos-map", "map/lsm",
+                      "map eff.", "lsm spread"});
+
+    auto seeded = [&](int rep) {
+        SimDataset d = SimDataset::paper_sample(4);  // 7716 files
+        d.seed = 2018 + static_cast<std::uint64_t>(rep) * 131;
+        return d;
+    };
+
+    double map_base = 0;
+    for (std::size_t nodes : kNodes) {
+        const Spread fb = repeat(
+            [&](int rep) { return simulate_filebased(params, seeded(rep), nodes).throughput; });
+        const Spread lsm = repeat([&](int rep) {
+            return simulate_hepnos(params, seeded(rep), nodes, Backend::kLsm).throughput;
+        });
+        const Spread map = repeat([&](int rep) {
+            return simulate_hepnos(params, seeded(rep), nodes, Backend::kMap).throughput;
+        });
+        if (nodes == kNodes.front()) map_base = map.mean;
+        const double efficiency =
+            (map.mean / map_base) /
+            (static_cast<double>(nodes) / static_cast<double>(kNodes.front()));
+        bench::print_row({std::to_string(nodes), fmt_throughput(fb.mean),
+                          fmt_throughput(lsm.mean), fmt_throughput(map.mean),
+                          fmt(map.mean / lsm.mean), fmt(efficiency),
+                          fmt(lsm.hi / lsm.lo)});
+    }
+    std::printf(
+        "\npaper anchors: HEPnOS > file-based everywhere; map/lsm ~1 at <=32 nodes,\n"
+        "up to ~2x at the largest counts; map efficiency ~0.85 at 128 nodes;\n"
+        "file-based flat after 64 nodes (cores outnumber files). The seeded\n"
+        "repetitions stand in for the paper's jittered dots; with thousands of\n"
+        "batches per run the spread stays small.\n");
+}
+
+// Micro-benchmark: cost of one DES evaluation per configuration (useful when
+// sweeping the model).
+void BM_SimulateHepnosMap(benchmark::State& state) {
+    ThetaParams params;
+    const SimDataset dataset = SimDataset::paper_sample(4);
+    const auto nodes = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto r = simulate_hepnos(params, dataset, nodes, Backend::kMap);
+        benchmark::DoNotOptimize(r);
+        state.counters["sim_throughput_slices_s"] = r.throughput;
+        state.counters["sim_seconds"] = r.seconds;
+    }
+}
+BENCHMARK(BM_SimulateHepnosMap)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateFileBased(benchmark::State& state) {
+    ThetaParams params;
+    const SimDataset dataset = SimDataset::paper_sample(4);
+    const auto nodes = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto r = simulate_filebased(params, dataset, nodes);
+        benchmark::DoNotOptimize(r);
+        state.counters["sim_throughput_slices_s"] = r.throughput;
+    }
+}
+BENCHMARK(BM_SimulateFileBased)->Arg(16)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+HEP_BENCH_MAIN(print_reproduction)

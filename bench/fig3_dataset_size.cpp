@@ -1,0 +1,65 @@
+// Reproduction of paper Figure 3 (throughput vs dataset size at 128 nodes):
+//
+//   "Plot illustrating the throughput of the traditional workflow compared to
+//    the HEPnOS based workflow for varying sizes of datasets using 128 nodes.
+//    We see that constraints set by the performance of the parallel file
+//    system hamper the throughput achieved by the traditional based workflow
+//    for smaller data-sets."
+//
+// Fixed allocation: 128 nodes. Dataset sizes: the paper's three samples —
+// 1929 / 3858 / 7716 files (4.36M / 8.72M / 17.4M events).
+//
+// Shape targets: file-based especially poor on the small samples (at 1929
+// files only ~24% of cores are busy); HEPnOS nearly flat across sizes.
+#include "bench_table.hpp"
+#include "simcluster/theta.hpp"
+
+namespace {
+
+using namespace hep;
+using namespace hep::simcluster;
+
+constexpr std::size_t kNodes = 128;
+
+void print_reproduction() {
+    using bench::fmt;
+    using bench::fmt_throughput;
+
+    ThetaParams params;
+    bench::print_header("Figure 3 — throughput (slices/s) vs dataset size at 128 nodes");
+    bench::print_row({"files", "events", "file-based", "fb busy%", "hepnos-lsm",
+                      "hepnos-map"});
+
+    for (int replicas : {1, 2, 4}) {
+        const SimDataset dataset = SimDataset::paper_sample(replicas);
+        const auto fb = simulate_filebased(params, dataset, kNodes);
+        const auto lsm = simulate_hepnos(params, dataset, kNodes, Backend::kLsm);
+        const auto map = simulate_hepnos(params, dataset, kNodes, Backend::kMap);
+        bench::print_row({std::to_string(dataset.num_files),
+                          std::to_string(dataset.total_events),
+                          fmt_throughput(fb.throughput),
+                          fmt(100.0 * fb.core_busy_fraction, 1) + "%",
+                          fmt_throughput(lsm.throughput), fmt_throughput(map.throughput)});
+    }
+    std::printf(
+        "\npaper anchors: file-based especially poor on small samples (1929 files\n"
+        "keep only ~24%% of 128x64 cores busy); HEPnOS nearly flat across sizes.\n");
+}
+
+void BM_Fig3Sweep(benchmark::State& state) {
+    ThetaParams params;
+    const SimDataset dataset = SimDataset::paper_sample(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto fb = simulate_filebased(params, dataset, kNodes);
+        auto map = simulate_hepnos(params, dataset, kNodes, Backend::kMap);
+        benchmark::DoNotOptimize(fb);
+        benchmark::DoNotOptimize(map);
+        state.counters["fb_slices_s"] = fb.throughput;
+        state.counters["map_slices_s"] = map.throughput;
+    }
+}
+BENCHMARK(BM_Fig3Sweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+HEP_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,77 @@
+// Iterative analysis tuning (paper §I):
+//
+// "A common scenario in many HEP analyses is the iterative refinement or
+//  tuning of the analysis process, based on the data available. This requires
+//  multiple passes through a given dataset. Having the data available in a
+//  distributed data service not only makes this more convenient, but also
+//  spreads the cost of loading the data over all iterations."
+//
+// Ingests a sample once, then runs several selection passes with
+// progressively tighter cuts through the ParallelEventProcessor, printing how
+// the candidate count shrinks while every pass pays only the in-service read
+// cost. The file-based workflow re-reads all files every pass for contrast.
+//
+//   ./examples/iterative_tuning [passes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bedrock/service.hpp"
+#include "dataloader/loader.hpp"
+#include "test_service_example.hpp"
+#include "workflow/hepnos_app.hpp"
+#include "workflow/traditional.hpp"
+
+int main(int argc, char** argv) {
+    using namespace hep;
+
+    const int passes = argc > 1 ? std::atoi(argv[1]) : 4;
+    nova::DatasetConfig dataset_cfg;
+    dataset_cfg.num_files = 16;
+    dataset_cfg.events_per_file = 100;
+    nova::Generator generator(dataset_cfg);
+
+    rpc::Network network;
+    auto deployment = examples::deploy_service(network, /*servers=*/2, /*dbs_per_role=*/2);
+    auto store = hepnos::DataStore::connect(network, deployment.connection);
+
+    // One ingestion, N analysis passes.
+    const double t_ingest0 = mpisim::Comm::wtime();
+    mpisim::run_ranks(4, [&](mpisim::Comm& comm) {
+        dataloader::ingest_generated(store, comm, generator, "nova/tuning", 2048);
+    });
+    const double ingest_s = mpisim::Comm::wtime() - t_ingest0;
+    std::printf("ingested %llu events once in %.3fs\n",
+                static_cast<unsigned long long>(generator.total_events()), ingest_s);
+    std::printf("\n%-6s %-12s %-12s %-12s %-14s\n", "pass", "epi0 cut", "accepted",
+                "hepnos[s]", "file-based[s]");
+
+    for (int pass = 0; pass < passes; ++pass) {
+        nova::SelectionCuts cuts;
+        cuts.min_epi0_score = 0.70f + 0.06f * static_cast<float>(pass);  // tighten
+
+        workflow::HepnosAppOptions hopts;
+        hopts.num_ranks = 4;
+        hopts.cuts = cuts;
+        hopts.pep.input_batch_size = 1024;
+        const double h0 = mpisim::Comm::wtime();
+        auto hepnos_result = workflow::run_hepnos_selection(store, "nova/tuning", hopts);
+        const double hepnos_s = mpisim::Comm::wtime() - h0;
+
+        // The traditional workflow re-reads (here: regenerates) every file on
+        // every pass — the cost HEPnOS amortizes away.
+        const double f0 = mpisim::Comm::wtime();
+        auto traditional_result =
+            workflow::run_traditional_generated(generator, {4, cuts});
+        const double traditional_s = mpisim::Comm::wtime() - f0;
+
+        const bool same = hepnos_result.accepted_ids == traditional_result.accepted_ids;
+        std::printf("%-6d %-12.2f %-12zu %-12.3f %-14.3f %s\n", pass,
+                    static_cast<double>(cuts.min_epi0_score),
+                    hepnos_result.accepted_ids.size(), hepnos_s, traditional_s,
+                    same ? "" : "  MISMATCH!");
+        if (!same) return 1;
+    }
+    std::printf("\nevery pass agreed with the file-based reference; the dataset was\n"
+                "loaded into the service once and re-read %d times in place.\n", passes);
+    return 0;
+}

@@ -1,0 +1,89 @@
+// Quickstart — the paper's Listing 1, end to end.
+//
+// Boots a one-node HEPnOS service in-process (Bedrock + Margo + Yokan),
+// connects a DataStore, and walks through exactly the API sequence the paper
+// presents: nested datasets, runs, subruns, events, storing and loading a
+// std::vector<Particle>, and iterating the subruns of a run.
+//
+//   ./examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "bedrock/service.hpp"
+#include "hepnos/hepnos.hpp"
+
+// The example structure from Listing 1.
+struct Particle {
+    float x = 0, y = 0, z = 0;  // data members
+    // serialization function (Boost-style) for the archives to use
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & x & y & z;
+    }
+    bool operator==(const Particle&) const = default;
+};
+
+int main() {
+    using namespace hep;
+
+    // --- service side: one Bedrock-described process --------------------------
+    rpc::Network network;
+    auto config = json::parse(R"({
+      "address": "hepnos-server-0",
+      "margo": { "rpc_xstreams": 2 },
+      "providers": [
+        { "type": "yokan", "provider_id": 1,
+          "pool": { "name": "db-pool", "xstreams": 1 },
+          "config": { "databases": [
+            { "name": "datasets-0", "type": "map", "role": "datasets" },
+            { "name": "runs-0",     "type": "map", "role": "runs" },
+            { "name": "subruns-0",  "type": "map", "role": "subruns" },
+            { "name": "events-0",   "type": "map", "role": "events" },
+            { "name": "products-0", "type": "map", "role": "products" } ] } }
+      ]
+    })");
+    auto service = bedrock::ServiceProcess::create(network, *config).value();
+    std::printf("service up at '%s' with %zu databases\n", service->address().c_str(),
+                service->databases().size());
+
+    // --- client side: Listing 1 ----------------------------------------------
+    // initialize a handle to the HEPnOS datastore (the descriptor document is
+    // what "config.json" holds in the paper)
+    auto datastore = hepnos::DataStore::connect(network, service->descriptor());
+
+    // create + access a nested dataset
+    datastore.createDataSet("path/to/dataset");
+    hepnos::DataSet ds = datastore["path/to/dataset"];
+    std::printf("dataset %s  (uuid %s)\n", ds.fullname().c_str(),
+                ds.uuid().to_string().c_str());
+
+    // access run 43 in the dataset
+    ds.createRun(43);
+    hepnos::Run run = ds[43];
+
+    // create subrun 56 within this run
+    hepnos::SubRun subrun = run.createSubRun(56);
+
+    // create event 25 within this subrun
+    hepnos::Event ev = subrun.createEvent(25);
+
+    // store data (an std::vector of Particle)
+    std::vector<Particle> vp1{{1.0f, 2.0f, 3.0f}, {4.0f, 5.0f, 6.0f}};
+    ev.store(vp1);
+
+    // load data
+    std::vector<Particle> vp2;
+    ev.load(vp2);
+    std::printf("stored %zu particles, loaded %zu back, equal: %s\n", vp1.size(), vp2.size(),
+                vp1 == vp2 ? "yes" : "NO");
+
+    // iterate over the subruns in a run
+    run.createSubRun(3);
+    run.createSubRun(99);
+    std::printf("subruns of run %llu:", static_cast<unsigned long long>(run.number()));
+    for (const auto& sr : run) {
+        std::printf(" %llu", static_cast<unsigned long long>(sr.number()));
+    }
+    std::printf("\n");
+    return vp1 == vp2 ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// Shared helper for the examples: deploy an N-server HEPnOS service on a
+// private fabric and return the merged client connection document.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bedrock/service.hpp"
+
+namespace hep::examples {
+
+struct Deployment {
+    std::vector<std::unique_ptr<bedrock::ServiceProcess>> servers;
+    json::Value connection;
+};
+
+inline Deployment deploy_service(rpc::Network& network, std::size_t num_servers,
+                                 std::size_t dbs_per_role,
+                                 const std::string& backend = "map",
+                                 const std::string& base_dir = ".") {
+    Deployment out;
+    std::vector<json::Value> descriptors;
+    for (std::size_t s = 0; s < num_servers; ++s) {
+        json::Value cfg = json::Value::make_object();
+        cfg["address"] = "hepnos-server-" + std::to_string(s);
+        cfg["margo"]["rpc_xstreams"] = 2;
+        json::Value dbs = json::Value::make_array();
+        auto add_db = [&](const std::string& role, std::size_t i) {
+            json::Value db = json::Value::make_object();
+            const std::string name =
+                role + "-" + std::to_string(s) + "-" + std::to_string(i);
+            db["name"] = name;
+            db["role"] = role;
+            db["type"] = backend;
+            if (backend == "lsm") {
+                db["path"] = "s" + std::to_string(s) + "/" + name;
+            }
+            dbs.push_back(std::move(db));
+        };
+        add_db("datasets", 0);
+        for (const char* role : {"runs", "subruns", "events", "products"}) {
+            for (std::size_t i = 0; i < dbs_per_role; ++i) add_db(role, i);
+        }
+        json::Value provider = json::Value::make_object();
+        provider["type"] = "yokan";
+        provider["provider_id"] = 1;
+        provider["config"]["databases"] = std::move(dbs);
+        cfg["providers"].push_back(std::move(provider));
+        auto svc = bedrock::ServiceProcess::create(network, cfg, base_dir);
+        if (!svc.ok()) throw std::runtime_error(svc.status().to_string());
+        descriptors.push_back((*svc)->descriptor());
+        out.servers.push_back(std::move(svc.value()));
+    }
+    out.connection = bedrock::merge_descriptors(descriptors);
+    return out;
+}
+
+}  // namespace hep::examples

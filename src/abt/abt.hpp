@@ -1,0 +1,22 @@
+// "argolite": an Argobots-substitute tasking library (paper §II-B).
+//
+// Argobots provides user-level threads (ULTs) scheduled by execution streams
+// (xstreams, i.e. OS threads) over shared pools, plus blocking primitives that
+// yield to the scheduler instead of blocking the OS thread. Margo runs every
+// RPC handler as a ULT pushed into the pool its provider is mapped to; this is
+// the mechanism HEPnOS uses to decouple CPU resources from databases
+// (paper footnote 4). This module reproduces that model:
+//
+//   auto pool = abt::Pool::create();
+//   auto xs   = abt::Xstream::create({pool});
+//   auto ult  = abt::Ult::create(pool, []{ ... abt::yield(); ... });
+//   ult->join();
+//
+// ULTs are ucontext-based, may migrate between xstreams sharing a pool, and
+// block via abt::Mutex / abt::CondVar / abt::Eventual<T> / abt::Barrier.
+#pragma once
+
+#include "abt/pool.hpp"    // IWYU pragma: export
+#include "abt/sync.hpp"    // IWYU pragma: export
+#include "abt/ult.hpp"     // IWYU pragma: export
+#include "abt/xstream.hpp" // IWYU pragma: export

@@ -1,0 +1,44 @@
+#include "abt/pool.hpp"
+
+namespace hep::abt {
+
+std::shared_ptr<Pool> Pool::create(std::string name) {
+    return std::shared_ptr<Pool>(new Pool(std::move(name)));
+}
+
+void Pool::push(WorkItem item) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(item));
+        ++total_pushed_;
+    }
+    cv_.notify_one();
+}
+
+std::optional<WorkItem> Pool::try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    WorkItem item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+}
+
+std::optional<WorkItem> Pool::pop_wait(std::chrono::microseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, timeout, [&] { return !queue_.empty(); })) return std::nullopt;
+    WorkItem item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+}
+
+std::size_t Pool::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+std::uint64_t Pool::total_pushed() const noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_pushed_;
+}
+
+}  // namespace hep::abt

@@ -1,0 +1,55 @@
+// Work pools: thread-safe queues of runnable ULTs and tasklets.
+//
+// A pool may feed any number of xstreams; sharing one pool across xstreams is
+// how Argobots (and Margo services) do work sharing. Tasklets are stackless
+// run-to-completion closures — cheaper than ULTs when the body never blocks.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace hep::abt {
+
+class Ult;
+
+/// A unit of schedulable work: a full ULT or a stackless tasklet.
+using WorkItem = std::variant<std::shared_ptr<Ult>, std::function<void()>>;
+
+class Pool : public std::enable_shared_from_this<Pool> {
+  public:
+    static std::shared_ptr<Pool> create(std::string name = "pool");
+
+    /// FIFO push; wakes one waiting xstream.
+    void push(WorkItem item);
+
+    /// Non-blocking pop; empty optional if the pool is empty.
+    std::optional<WorkItem> try_pop();
+
+    /// Pop, waiting up to `timeout` for work. Empty optional on timeout.
+    std::optional<WorkItem> pop_wait(std::chrono::microseconds timeout);
+
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Total items ever pushed (diagnostics).
+    [[nodiscard]] std::uint64_t total_pushed() const noexcept;
+
+  private:
+    explicit Pool(std::string name) : name_(std::move(name)) {}
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<WorkItem> queue_;
+    std::string name_;
+    std::uint64_t total_pushed_ = 0;
+};
+
+}  // namespace hep::abt

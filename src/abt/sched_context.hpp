@@ -1,0 +1,25 @@
+// Internal: per-OS-thread scheduler state shared by ult.cpp and xstream.cpp.
+#pragma once
+
+#include <memory>
+#include <ucontext.h>
+
+namespace hep::abt {
+
+class Ult;
+
+namespace detail {
+
+// Set by the xstream scheduler loop; ULT code re-reads it after every context
+// switch because a ULT may migrate between xstreams.
+struct SchedContext {
+    ucontext_t sched_ctx{};
+    std::shared_ptr<Ult> current;
+    enum class PostAction : int { kNone, kYield, kSuspend, kTerminate };
+    PostAction post_action = PostAction::kNone;
+};
+
+SchedContext*& sched_tls();
+
+}  // namespace detail
+}  // namespace hep::abt

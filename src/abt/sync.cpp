@@ -1,0 +1,91 @@
+#include "abt/sync.hpp"
+
+namespace hep::abt {
+
+void Mutex::lock() {
+    std::unique_lock<std::mutex> lock(guard_);
+    while (locked_) {
+        detail::block_on(waiters_, lock);
+        lock.lock();
+    }
+    locked_ = true;
+}
+
+bool Mutex::try_lock() {
+    std::lock_guard<std::mutex> lock(guard_);
+    if (locked_) return false;
+    locked_ = true;
+    return true;
+}
+
+void Mutex::unlock() {
+    std::unique_lock<std::mutex> lock(guard_);
+    locked_ = false;
+    // Wake one waiter; it re-checks locked_ under guard_ (Mesa semantics).
+    detail::WaitQueue q = std::move(waiters_);
+    waiters_ = {};
+    lock.unlock();
+    q.wake_all();
+}
+
+void CondVar::wait(Mutex& mutex) {
+    std::unique_lock<std::mutex> lock(guard_);
+    mutex.unlock();
+    detail::block_on(waiters_, lock);
+    mutex.lock();
+}
+
+void CondVar::notify_one() {
+    std::unique_lock<std::mutex> lock(guard_);
+    waiters_.wake_one();
+}
+
+void CondVar::notify_all() {
+    std::unique_lock<std::mutex> lock(guard_);
+    detail::WaitQueue q = std::move(waiters_);
+    waiters_ = {};
+    lock.unlock();
+    q.wake_all();
+}
+
+void EventualVoid::set() {
+    std::unique_lock<std::mutex> lock(guard_);
+    ready_ = true;
+    detail::WaitQueue q = std::move(waiters_);
+    waiters_ = {};
+    lock.unlock();
+    q.wake_all();
+}
+
+void EventualVoid::wait() {
+    std::unique_lock<std::mutex> lock(guard_);
+    while (!ready_) {
+        detail::block_on(waiters_, lock);
+        lock.lock();
+    }
+}
+
+bool EventualVoid::ready() const {
+    std::lock_guard<std::mutex> lock(guard_);
+    return ready_;
+}
+
+void Barrier::wait() {
+    std::unique_lock<std::mutex> lock(guard_);
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == threshold_) {
+        arrived_ = 0;
+        ++generation_;
+        detail::WaitQueue q = std::move(waiters_);
+        waiters_ = {};
+        lock.unlock();
+        q.wake_all();
+        return;
+    }
+    while (gen == generation_) {
+        detail::block_on(waiters_, lock);
+        lock.lock();
+    }
+}
+
+}  // namespace hep::abt

@@ -1,0 +1,130 @@
+// Blocking primitives that are ULT-aware.
+//
+// When called from inside a ULT these suspend the ULT (the xstream keeps
+// running other work); when called from a plain OS thread they fall back to
+// std::mutex/condvar blocking. Eventual<T> mirrors ABT_eventual: a set-once
+// value that waiters block on — Margo builds its sync-over-async forward()
+// on exactly this primitive.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "abt/ult.hpp"
+#include "abt/wait_queue.hpp"
+
+namespace hep::abt {
+
+/// Mutual exclusion that suspends ULTs instead of blocking their xstream.
+class Mutex {
+  public:
+    void lock();
+    bool try_lock();
+    void unlock();
+
+  private:
+    std::mutex guard_;
+    bool locked_ = false;
+    detail::WaitQueue waiters_;
+};
+
+/// RAII lock over abt::Mutex.
+class LockGuard {
+  public:
+    explicit LockGuard(Mutex& m) : mutex_(m) { mutex_.lock(); }
+    ~LockGuard() { mutex_.unlock(); }
+    LockGuard(const LockGuard&) = delete;
+    LockGuard& operator=(const LockGuard&) = delete;
+
+  private:
+    Mutex& mutex_;
+};
+
+/// Condition variable over abt::Mutex.
+class CondVar {
+  public:
+    /// `mutex` must be held; it is released while waiting and re-acquired
+    /// before returning.
+    void wait(Mutex& mutex);
+
+    template <typename Pred>
+    void wait(Mutex& mutex, Pred pred) {
+        while (!pred()) wait(mutex);
+    }
+
+    void notify_one();
+    void notify_all();
+
+  private:
+    std::mutex guard_;
+    detail::WaitQueue waiters_;
+};
+
+/// Set-once value with blocking wait (ABT_eventual analogue).
+template <typename T>
+class Eventual {
+  public:
+    /// Set the value and wake all waiters. Must be called at most once.
+    void set(T value) {
+        std::unique_lock<std::mutex> lock(guard_);
+        value_ = std::move(value);
+        ready_ = true;
+        detail::WaitQueue q = std::move(waiters_);
+        waiters_ = {};
+        lock.unlock();
+        q.wake_all();
+    }
+
+    /// Block until set; returns a reference to the stored value.
+    T& wait() {
+        std::unique_lock<std::mutex> lock(guard_);
+        while (!ready_) {
+            detail::block_on(waiters_, lock);
+            lock.lock();
+        }
+        return *value_;
+    }
+
+    [[nodiscard]] bool ready() const {
+        std::lock_guard<std::mutex> lock(guard_);
+        return ready_;
+    }
+
+  private:
+    mutable std::mutex guard_;
+    bool ready_ = false;
+    std::optional<T> value_;
+    detail::WaitQueue waiters_;
+};
+
+/// Eventual<void> equivalent: a one-shot latch.
+class EventualVoid {
+  public:
+    void set();
+    void wait();
+    [[nodiscard]] bool ready() const;
+
+  private:
+    mutable std::mutex guard_;
+    bool ready_ = false;
+    detail::WaitQueue waiters_;
+};
+
+/// Reusable barrier for `count` participants (ULTs and/or OS threads).
+class Barrier {
+  public:
+    explicit Barrier(std::size_t count) : threshold_(count) {}
+    void wait();
+
+  private:
+    std::mutex guard_;
+    std::size_t threshold_;
+    std::size_t arrived_ = 0;
+    std::uint64_t generation_ = 0;
+    detail::WaitQueue waiters_;
+};
+
+}  // namespace hep::abt

@@ -1,0 +1,45 @@
+// Internal waiter queue shared by the sync primitives and Ult::join().
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+namespace hep::abt {
+
+class Ult;
+
+namespace detail {
+
+/// A queue of blocked waiters, each either a ULT or an OS-thread slot.
+/// All methods require external synchronization.
+class WaitQueue {
+  public:
+    struct OsWaiter {
+        std::mutex m;
+        std::condition_variable cv;
+        bool signaled = false;
+    };
+
+    void add_ult(std::shared_ptr<Ult> ult);
+    void add_os(const std::shared_ptr<OsWaiter>& w);
+
+    /// Wake one waiter; returns false if the queue was empty.
+    bool wake_one();
+    /// Wake everyone.
+    void wake_all();
+
+    [[nodiscard]] bool empty() const noexcept { return ults_.empty() && os_.empty(); }
+
+  private:
+    std::deque<std::shared_ptr<Ult>> ults_;
+    std::deque<std::shared_ptr<OsWaiter>> os_;
+};
+
+/// Block the caller (ULT-suspend or OS condvar wait) after enqueueing it on
+/// `queue`, releasing `lock` before blocking. On return the lock is NOT held.
+void block_on(WaitQueue& queue, std::unique_lock<std::mutex>& lock);
+
+}  // namespace detail
+}  // namespace hep::abt

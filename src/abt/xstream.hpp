@@ -1,0 +1,47 @@
+// Execution streams: OS threads running a scheduler over a list of pools.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "abt/pool.hpp"
+
+namespace hep::abt {
+
+/// An execution stream: one OS thread repeatedly popping work from its pools
+/// (in priority order: pools[0] first) and running it. Destroying the Xstream
+/// (or calling join()) asks the scheduler to finish draining and stop.
+class Xstream {
+  public:
+    /// Spawn a scheduler thread over `pools` (must be non-empty).
+    static std::unique_ptr<Xstream> create(std::vector<std::shared_ptr<Pool>> pools,
+                                           std::string name = "xstream");
+
+    ~Xstream();
+    Xstream(const Xstream&) = delete;
+    Xstream& operator=(const Xstream&) = delete;
+
+    /// Request stop; returns after the scheduler thread exits. Work still in
+    /// the pools is left there (another xstream may drain it).
+    void join();
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] std::uint64_t items_executed() const noexcept {
+        return executed_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    Xstream(std::vector<std::shared_ptr<Pool>> pools, std::string name);
+    void scheduler_loop();
+
+    std::vector<std::shared_ptr<Pool>> pools_;
+    std::string name_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> executed_{0};
+    std::thread thread_;
+};
+
+}  // namespace hep::abt

@@ -1,0 +1,84 @@
+#include "autotune/tuner.hpp"
+
+#include <cassert>
+
+namespace hep::autotune {
+
+namespace {
+std::string memo_key(const Assignment& a) {
+    std::string key;
+    for (const auto& [name, value] : a) {
+        key += name;
+        key += '=';
+        key += std::to_string(value);
+        key += ';';
+    }
+    return key;
+}
+}  // namespace
+
+Tuner::Tuner(std::vector<Param> params, std::function<double(const Assignment&)> objective,
+             std::uint64_t seed)
+    : params_(std::move(params)), objective_(std::move(objective)), rng_(seed) {
+    assert(!params_.empty());
+    for ([[maybe_unused]] const auto& p : params_) {
+        assert(!p.values.empty());
+    }
+}
+
+double Tuner::evaluate(const Assignment& a) {
+    const std::string key = memo_key(a);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    const double value = objective_(a);
+    memo_.emplace(key, value);
+    history_.push_back(Sample{a, value});
+    return value;
+}
+
+Assignment Tuner::random_assignment() {
+    Assignment a;
+    for (const auto& p : params_) {
+        a[p.name] = p.values[rng_.uniform(0, p.values.size() - 1)];
+    }
+    return a;
+}
+
+Sample Tuner::run(std::size_t random_samples, std::size_t sweeps) {
+    // Phase 1: random exploration (always includes each param's middle value
+    // as a sane anchor point).
+    Assignment best;
+    for (const auto& p : params_) best[p.name] = p.values[p.values.size() / 2];
+    double best_value = evaluate(best);
+
+    for (std::size_t i = 0; i < random_samples; ++i) {
+        Assignment a = random_assignment();
+        const double v = evaluate(a);
+        if (v > best_value) {
+            best_value = v;
+            best = std::move(a);
+        }
+    }
+
+    // Phase 2: coordinate descent around the incumbent.
+    for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+        bool improved = false;
+        for (const auto& p : params_) {
+            for (const std::int64_t candidate : p.values) {
+                if (candidate == best[p.name]) continue;
+                Assignment a = best;
+                a[p.name] = candidate;
+                const double v = evaluate(a);
+                if (v > best_value) {
+                    best_value = v;
+                    best = std::move(a);
+                    improved = true;
+                }
+            }
+        }
+        if (!improved) break;
+    }
+    return Sample{best, best_value};
+}
+
+}  // namespace hep::autotune

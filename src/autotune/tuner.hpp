@@ -1,0 +1,66 @@
+// Parameter autotuning (paper §V):
+//
+// "HPC storage service autotuning using variational-autoencoder-guided
+//  asynchronous Bayesian optimization ... helped us select and optimize
+//  relevant parameters (number of databases, batch sizes, etc.) in the
+//  present work."
+//
+// We reproduce the capability with a deterministic black-box optimizer over
+// discrete parameter grids: a random-search phase followed by coordinate
+// descent from the incumbent. The objective is any double-valued function of
+// an assignment (the abl_autotune bench plugs in the Theta DES throughput;
+// tests use analytic functions). Every evaluation is recorded so the search
+// trace can be inspected — the "performance diagnostics" half of the story.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hep::autotune {
+
+/// A discrete tunable: name + allowed values (e.g. batch sizes 2^k).
+struct Param {
+    std::string name;
+    std::vector<std::int64_t> values;
+};
+
+using Assignment = std::map<std::string, std::int64_t>;
+
+struct Sample {
+    Assignment assignment;
+    double objective = 0;
+};
+
+class Tuner {
+  public:
+    /// `objective` is maximized. Evaluations are memoized by assignment, so
+    /// repeated visits are free.
+    Tuner(std::vector<Param> params, std::function<double(const Assignment&)> objective,
+          std::uint64_t seed = 4242);
+
+    /// Run `random_samples` random probes, then up to `sweeps` rounds of
+    /// coordinate descent (each round tries every value of every parameter
+    /// around the incumbent). Returns the best sample found.
+    Sample run(std::size_t random_samples, std::size_t sweeps = 3);
+
+    /// Every distinct evaluation, in the order performed.
+    [[nodiscard]] const std::vector<Sample>& history() const noexcept { return history_; }
+    [[nodiscard]] std::size_t evaluations() const noexcept { return history_.size(); }
+
+  private:
+    double evaluate(const Assignment& a);
+    Assignment random_assignment();
+
+    std::vector<Param> params_;
+    std::function<double(const Assignment&)> objective_;
+    Rng rng_;
+    std::map<std::string, double> memo_;  // key: serialized assignment
+    std::vector<Sample> history_;
+};
+
+}  // namespace hep::autotune

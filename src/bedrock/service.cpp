@@ -1,0 +1,142 @@
+#include "bedrock/service.hpp"
+
+#include "common/logging.hpp"
+
+namespace hep::bedrock {
+
+Result<std::unique_ptr<ServiceProcess>> ServiceProcess::create(rpc::Fabric& network,
+                                                               const json::Value& config,
+                                                               const std::string& base_dir) {
+    const std::string address = config["address"].as_string();
+    if (address.empty()) return Status::InvalidArgument("bedrock config needs an \"address\"");
+
+    if (config.contains("log_level")) {
+        log::set_level(log::parse_level(config["log_level"].as_string()));
+    }
+
+    margo::EngineConfig engine_cfg;
+    engine_cfg.rpc_xstreams =
+        static_cast<std::size_t>(config["margo"]["rpc_xstreams"].as_int(2));
+    if (engine_cfg.rpc_xstreams == 0) {
+        return Status::InvalidArgument("margo.rpc_xstreams must be >= 1");
+    }
+
+    auto svc = std::unique_ptr<ServiceProcess>(new ServiceProcess());
+    try {
+        svc->engine_ = std::make_unique<margo::Engine>(network, address, engine_cfg);
+    } catch (const std::exception& e) {
+        return Status::AlreadyExists(e.what());
+    }
+
+    const json::Value& providers = config["providers"];
+    for (std::size_t i = 0; i < providers.size(); ++i) {
+        const json::Value& p = providers.at(i);
+        const std::string type = p["type"].as_string();
+        if (type != "yokan") {
+            return Status::InvalidArgument("unknown provider type: " + type);
+        }
+        const auto provider_id =
+            static_cast<rpc::ProviderId>(p["provider_id"].as_int(static_cast<int>(i + 1)));
+
+        // Dedicated pool (paper: one execution stream per provider) or the
+        // shared engine pool.
+        std::shared_ptr<abt::Pool> pool;
+        if (p.contains("pool")) {
+            const std::string pool_name = p["pool"]["name"].as_string(
+                                              ).empty()
+                                              ? address + ":pool-" + std::to_string(provider_id)
+                                              : p["pool"]["name"].as_string();
+            const auto xstreams =
+                static_cast<std::size_t>(p["pool"]["xstreams"].as_int(1));
+            pool = svc->engine_->create_pool(pool_name, xstreams);
+        }
+
+        auto provider =
+            yokan::Provider::create(*svc->engine_, provider_id, p["config"], pool, base_dir);
+        if (!provider.ok()) return provider.status();
+
+        // Record client-facing descriptors, including each database's role.
+        // Use the ENGINE's address: fabrics may canonicalize it (TcpFabric
+        // turns "name" into "tcp://host:port/name").
+        const json::Value& dbs = p["config"]["databases"];
+        for (std::size_t d = 0; d < dbs.size(); ++d) {
+            DatabaseDescriptor desc;
+            desc.address = svc->engine_->address();
+            desc.provider_id = provider_id;
+            desc.name = dbs.at(d)["name"].as_string();
+            if (desc.name.empty()) desc.name = "db" + std::to_string(d);
+            desc.role = dbs.at(d)["role"].as_string();
+            svc->databases_.push_back(std::move(desc));
+        }
+        svc->providers_.push_back(std::move(provider.value()));
+    }
+
+    // Optional monitoring (Symbiomon substitute): expose live metrics,
+    // including a per-database stats source, under a dedicated provider id.
+    //   "monitoring": { "provider_id": 99 }
+    if (config.contains("monitoring")) {
+        const auto symbio_id = static_cast<rpc::ProviderId>(
+            config["monitoring"]["provider_id"].as_int(999));
+        svc->registry_ = std::make_shared<symbio::MetricsRegistry>();
+        for (auto& provider : svc->providers_) {
+            for (const auto& db_name : provider->database_names()) {
+                yokan::Database* db = provider->find_database(db_name);
+                svc->registry_->add_source("db/" + db_name, [db]() {
+                    const auto stats = db->stats();
+                    json::Value out = json::Value::make_object();
+                    out["puts"] = stats.puts;
+                    out["gets"] = stats.gets;
+                    out["scans"] = stats.scans;
+                    out["erases"] = stats.erases;
+                    out["keys"] = db->size();
+                    out["backend"] = std::string(db->type());
+                    return out;
+                });
+            }
+        }
+        svc->symbio_provider_ =
+            std::make_unique<symbio::Provider>(*svc->engine_, symbio_id, svc->registry_);
+    }
+    return svc;
+}
+
+ServiceProcess::~ServiceProcess() { shutdown(); }
+
+void ServiceProcess::shutdown() {
+    if (engine_) engine_->finalize();
+}
+
+json::Value ServiceProcess::descriptor() const {
+    json::Value doc = json::Value::make_object();
+    json::Value arr = json::Value::make_array();
+    for (const auto& db : databases_) {
+        json::Value entry = json::Value::make_object();
+        entry["address"] = db.address;
+        entry["provider_id"] = static_cast<std::int64_t>(db.provider_id);
+        entry["name"] = db.name;
+        entry["role"] = db.role;
+        arr.push_back(std::move(entry));
+    }
+    doc["databases"] = std::move(arr);
+    return doc;
+}
+
+yokan::Provider* ServiceProcess::find_provider(rpc::ProviderId id) {
+    for (auto& p : providers_) {
+        if (p->provider_id() == id) return p.get();
+    }
+    return nullptr;
+}
+
+json::Value merge_descriptors(const std::vector<json::Value>& descriptors) {
+    json::Value doc = json::Value::make_object();
+    json::Value arr = json::Value::make_array();
+    for (const auto& d : descriptors) {
+        const json::Value& dbs = d["databases"];
+        for (std::size_t i = 0; i < dbs.size(); ++i) arr.push_back(dbs.at(i));
+    }
+    doc["databases"] = std::move(arr);
+    return doc;
+}
+
+}  // namespace hep::bedrock

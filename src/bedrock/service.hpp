@@ -1,0 +1,88 @@
+// Bedrock substitute: bootstraps a service process from a JSON description
+// (paper §II-B). The description covers the Margo/Argobots configuration
+// (rpc xstreams), the provider list with their pools, and each provider's
+// databases — the same knobs the paper tunes (16 rpc-xstreams, 16 providers,
+// 8 event + 8 product databases per server).
+//
+// Example config:
+// {
+//   "address": "hepnos-server-0",
+//   "margo": { "rpc_xstreams": 4 },
+//   "providers": [
+//     { "type": "yokan", "provider_id": 1,
+//       "pool": { "name": "pool-1", "xstreams": 1 },
+//       "config": { "databases": [
+//          { "name": "events-0",   "type": "map", "role": "events" },
+//          { "name": "products-0", "type": "map", "role": "products" } ] } }
+//   ]
+// }
+//
+// Database "role" classifies what HEPnOS stores there: one of "datasets",
+// "runs", "subruns", "events", "products". ServiceProcess::descriptor()
+// aggregates (address, provider, db, role) tuples; hepnos::DataStore connects
+// from a JSON document listing those descriptors for every server.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "margo/engine.hpp"
+#include "symbio/provider.hpp"
+#include "yokan/provider.hpp"
+
+namespace hep::bedrock {
+
+/// One database as seen by clients.
+struct DatabaseDescriptor {
+    std::string address;
+    rpc::ProviderId provider_id = 0;
+    std::string name;
+    std::string role;  // datasets | runs | subruns | events | products
+};
+
+class ServiceProcess {
+  public:
+    /// Boot a service from its JSON description. `base_dir` anchors relative
+    /// lsm paths.
+    static Result<std::unique_ptr<ServiceProcess>> create(rpc::Fabric& network,
+                                                          const json::Value& config,
+                                                          const std::string& base_dir = ".");
+
+    ~ServiceProcess();
+
+    [[nodiscard]] const std::string& address() const noexcept { return engine_->address(); }
+    [[nodiscard]] margo::Engine& engine() noexcept { return *engine_; }
+    [[nodiscard]] const std::vector<DatabaseDescriptor>& databases() const noexcept {
+        return databases_;
+    }
+
+    /// Client-facing descriptor: {"databases": [{address, provider_id, name,
+    /// role}, ...]}. Multiple processes' descriptors merge into one
+    /// connection file.
+    [[nodiscard]] json::Value descriptor() const;
+
+    /// Direct access for tests/ingestion tools.
+    [[nodiscard]] yokan::Provider* find_provider(rpc::ProviderId id);
+
+    /// Monitoring registry, if the config enabled a "monitoring" section
+    /// (null otherwise). Remote access goes through symbio::fetch.
+    [[nodiscard]] symbio::MetricsRegistry* metrics() noexcept { return registry_.get(); }
+
+    void shutdown();
+
+  private:
+    ServiceProcess() = default;
+
+    std::unique_ptr<margo::Engine> engine_;
+    std::vector<std::unique_ptr<yokan::Provider>> providers_;
+    std::vector<DatabaseDescriptor> databases_;
+    std::shared_ptr<symbio::MetricsRegistry> registry_;
+    std::unique_ptr<symbio::Provider> symbio_provider_;
+};
+
+/// Merge several process descriptors into one client connection document.
+json::Value merge_descriptors(const std::vector<json::Value>& descriptors);
+
+}  // namespace hep::bedrock

@@ -1,0 +1,34 @@
+// CRC32 (IEEE polynomial, table-driven) for WAL/SSTable integrity checks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace hep {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        }
+        table[i] = c;
+    }
+    return table;
+}
+inline constexpr auto kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// Incremental CRC32; start with crc=0, feed chunks, read the result.
+constexpr std::uint32_t crc32(std::string_view data, std::uint32_t crc = 0) noexcept {
+    crc = ~crc;
+    for (char ch : data) {
+        crc = detail::kCrc32Table[(crc ^ static_cast<std::uint8_t>(ch)) & 0xFF] ^ (crc >> 8);
+    }
+    return ~crc;
+}
+
+}  // namespace hep

@@ -1,0 +1,80 @@
+// Hashing utilities: FNV-1a, a 64-bit mixer, and a consistent-hash ring.
+//
+// HEPnOS places container keys by consistent hashing of the *parent* key
+// (paper §II-C3). The ring here gives stable placement that is insensitive to
+// the order in which targets are added and balanced via virtual nodes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hep {
+
+/// 64-bit FNV-1a over an arbitrary byte range. Deterministic across runs.
+constexpr std::uint64_t fnv1a64(std::string_view data,
+                                std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept {
+    std::uint64_t h = seed;
+    for (char c : data) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/// SplitMix64 finalizer: good avalanche for integer keys.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// Consistent-hash ring over integer target ids [0, n) with virtual nodes.
+///
+/// Adding a target moves only ~1/n of the key space; lookups are O(log v).
+class HashRing {
+  public:
+    explicit HashRing(std::size_t num_targets = 0, std::size_t vnodes_per_target = 64) {
+        vnodes_ = vnodes_per_target;
+        for (std::size_t t = 0; t < num_targets; ++t) add_target(t);
+    }
+
+    void add_target(std::size_t target) {
+        for (std::size_t v = 0; v < vnodes_; ++v) {
+            ring_.emplace(mix64(mix64(target + 1) ^ (v * 0x9e3779b97f4a7c15ULL)), target);
+        }
+        ++num_targets_;
+    }
+
+    void remove_target(std::size_t target) {
+        for (auto it = ring_.begin(); it != ring_.end();) {
+            if (it->second == target) it = ring_.erase(it);
+            else ++it;
+        }
+        --num_targets_;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return num_targets_; }
+    [[nodiscard]] bool empty() const noexcept { return ring_.empty(); }
+
+    /// Target responsible for `key`.
+    [[nodiscard]] std::size_t lookup(std::string_view key) const {
+        return lookup_hash(fnv1a64(key));
+    }
+
+    [[nodiscard]] std::size_t lookup_hash(std::uint64_t h) const {
+        auto it = ring_.lower_bound(mix64(h));
+        if (it == ring_.end()) it = ring_.begin();
+        return it->second;
+    }
+
+  private:
+    std::map<std::uint64_t, std::size_t> ring_;
+    std::size_t vnodes_ = 64;
+    std::size_t num_targets_ = 0;
+};
+
+}  // namespace hep

@@ -1,0 +1,398 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hep::json {
+
+namespace {
+const Value kNullValue{};
+}  // namespace
+
+const Value& Value::at(std::size_t i) const noexcept {
+    if (!is_array() || !arr_ || i >= arr_->size()) return kNullValue;
+    return (*arr_)[i];
+}
+
+std::size_t Value::size() const noexcept {
+    if (is_array() && arr_) return arr_->size();
+    if (is_object() && obj_) return obj_->size();
+    return 0;
+}
+
+const Value& Value::operator[](std::string_view key) const noexcept {
+    if (!is_object() || !obj_) return kNullValue;
+    auto it = obj_->find(std::string(key));
+    return it == obj_->end() ? kNullValue : it->second;
+}
+
+bool Value::contains(std::string_view key) const noexcept {
+    return is_object() && obj_ && obj_->count(std::string(key)) > 0;
+}
+
+Array& Value::array() {
+    if (!is_array()) {
+        type_ = Type::kArray;
+        arr_ = std::make_shared<Array>();
+    } else if (!arr_) {
+        arr_ = std::make_shared<Array>();
+    } else if (arr_.use_count() > 1) {
+        arr_ = std::make_shared<Array>(*arr_);  // copy-on-write
+    }
+    return *arr_;
+}
+
+Object& Value::object() {
+    if (!is_object()) {
+        type_ = Type::kObject;
+        obj_ = std::make_shared<Object>();
+    } else if (!obj_) {
+        obj_ = std::make_shared<Object>();
+    } else if (obj_.use_count() > 1) {
+        obj_ = std::make_shared<Object>(*obj_);  // copy-on-write
+    }
+    return *obj_;
+}
+
+Value& Value::operator[](const std::string& key) { return object()[key]; }
+
+void Value::push_back(Value v) { array().push_back(std::move(v)); }
+
+bool operator==(const Value& a, const Value& b) noexcept {
+    if (a.type_ != b.type_) {
+        // int/double cross-compare
+        if (a.is_number() && b.is_number()) return a.as_double() == b.as_double();
+        return false;
+    }
+    switch (a.type_) {
+        case Type::kNull: return true;
+        case Type::kBool: return a.bool_ == b.bool_;
+        case Type::kInt: return a.int_ == b.int_;
+        case Type::kDouble: return a.dbl_ == b.dbl_;
+        case Type::kString: return a.str_ == b.str_;
+        case Type::kArray: {
+            if (a.size() != b.size()) return false;
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                if (!(a.at(i) == b.at(i))) return false;
+            }
+            return true;
+        }
+        case Type::kObject: {
+            if (a.size() != b.size()) return false;
+            if (!a.obj_) return true;
+            for (const auto& [k, v] : *a.obj_) {
+                if (!b.contains(k) || !(b[k] == v)) return false;
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace {
+
+void escape_string(std::string& out, const std::string& s) {
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+    switch (type_) {
+        case Type::kNull: out += "null"; return;
+        case Type::kBool: out += bool_ ? "true" : "false"; return;
+        case Type::kInt: out += std::to_string(int_); return;
+        case Type::kDouble: {
+            if (std::isfinite(dbl_)) {
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%.17g", dbl_);
+                out += buf;
+            } else {
+                out += "null";  // JSON has no Inf/NaN
+            }
+            return;
+        }
+        case Type::kString: escape_string(out, str_); return;
+        case Type::kArray: {
+            out += '[';
+            bool first = true;
+            if (arr_) {
+                for (const auto& v : *arr_) {
+                    if (!first) out += ',';
+                    first = false;
+                    newline_indent(out, indent, depth + 1);
+                    v.dump_to(out, indent, depth + 1);
+                }
+            }
+            if (!first) newline_indent(out, indent, depth);
+            out += ']';
+            return;
+        }
+        case Type::kObject: {
+            out += '{';
+            bool first = true;
+            if (obj_) {
+                for (const auto& [k, v] : *obj_) {
+                    if (!first) out += ',';
+                    first = false;
+                    newline_indent(out, indent, depth + 1);
+                    escape_string(out, k);
+                    out += indent < 0 ? ":" : ": ";
+                    v.dump_to(out, indent, depth + 1);
+                }
+            }
+            if (!first) newline_indent(out, indent, depth);
+            out += '}';
+            return;
+        }
+    }
+}
+
+std::string Value::dump(int indent) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+namespace {
+
+class Parser {
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Result<Value> parse_document() {
+        skip_ws();
+        auto v = parse_value();
+        if (!v.ok()) return v;
+        skip_ws();
+        if (pos_ != text_.size()) return error("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    Status error(const std::string& what) const {
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') { ++line; col = 1; }
+            else ++col;
+        }
+        return Status::InvalidArgument("json parse error at line " + std::to_string(line) +
+                                       " col " + std::to_string(col) + ": " + what);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') { ++pos_; continue; }
+            // Tolerate // and /* */ comments: handy for config files.
+            if (c == '/' && pos_ + 1 < text_.size()) {
+                if (text_[pos_ + 1] == '/') {
+                    while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+                    continue;
+                }
+                if (text_[pos_ + 1] == '*') {
+                    pos_ += 2;
+                    while (pos_ + 1 < text_.size() &&
+                           !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) ++pos_;
+                    pos_ = pos_ + 2 <= text_.size() ? pos_ + 2 : text_.size();
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+
+    bool eof() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    Result<Value> parse_value() {
+        if (eof()) return error("unexpected end of input");
+        switch (peek()) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': {
+                auto s = parse_string();
+                if (!s.ok()) return s.status();
+                return Value(std::move(s.value()));
+            }
+            case 't': return parse_literal("true", Value(true));
+            case 'f': return parse_literal("false", Value(false));
+            case 'n': return parse_literal("null", Value(nullptr));
+            default: return parse_number();
+        }
+    }
+
+    Result<Value> parse_literal(std::string_view lit, Value v) {
+        if (text_.substr(pos_, lit.size()) != lit) return error("invalid literal");
+        pos_ += lit.size();
+        return v;
+    }
+
+    Result<Value> parse_number() {
+        const std::size_t start = pos_;
+        if (!eof() && (peek() == '-' || peek() == '+')) ++pos_;
+        bool is_double = false;
+        while (!eof()) {
+            char c = peek();
+            if (std::isdigit(static_cast<unsigned char>(c))) { ++pos_; continue; }
+            if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+                if (c == '.' || c == 'e' || c == 'E') is_double = true;
+                ++pos_;
+                continue;
+            }
+            break;
+        }
+        const std::string_view token = text_.substr(start, pos_ - start);
+        if (token.empty() || token == "-" || token == "+") return error("invalid number");
+        if (!is_double) {
+            std::int64_t v = 0;
+            auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(), v);
+            if (ec == std::errc() && p == token.data() + token.size()) return Value(v);
+        }
+        // Fall back to double (also handles int64 overflow).
+        double d = 0;
+        auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(), d);
+        if (ec != std::errc() || p != token.data() + token.size()) return error("invalid number");
+        return Value(d);
+    }
+
+    Result<std::string> parse_string() {
+        if (peek() != '"') return error("expected '\"'");
+        ++pos_;
+        std::string out;
+        while (true) {
+            if (eof()) return error("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') { out += c; continue; }
+            if (eof()) return error("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) return error("bad \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else return error("bad hex digit in \\u escape");
+                    }
+                    // Encode as UTF-8 (no surrogate-pair recombination).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default: return error("unknown escape character");
+            }
+        }
+    }
+
+    Result<Value> parse_array() {
+        ++pos_;  // '['
+        Value out = Value::make_array();
+        skip_ws();
+        if (!eof() && peek() == ']') { ++pos_; return out; }
+        while (true) {
+            skip_ws();
+            auto v = parse_value();
+            if (!v.ok()) return v;
+            out.push_back(std::move(v.value()));
+            skip_ws();
+            if (eof()) return error("unterminated array");
+            char c = text_[pos_++];
+            if (c == ']') return out;
+            if (c != ',') return error("expected ',' or ']' in array");
+        }
+    }
+
+    Result<Value> parse_object() {
+        ++pos_;  // '{'
+        Value out = Value::make_object();
+        skip_ws();
+        if (!eof() && peek() == '}') { ++pos_; return out; }
+        while (true) {
+            skip_ws();
+            auto key = parse_string();
+            if (!key.ok()) return key.status();
+            skip_ws();
+            if (eof() || text_[pos_++] != ':') return error("expected ':' in object");
+            skip_ws();
+            auto v = parse_value();
+            if (!v.ok()) return v;
+            out[key.value()] = std::move(v.value());
+            skip_ws();
+            if (eof()) return error("unterminated object");
+            char c = text_[pos_++];
+            if (c == '}') return out;
+            if (c != ',') return error("expected ',' or '}' in object");
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Result<Value> parse_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse(ss.str());
+}
+
+}  // namespace hep::json

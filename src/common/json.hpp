@@ -1,0 +1,111 @@
+// Minimal JSON DOM, parser and writer.
+//
+// Bedrock consumes JSON service descriptions (paper §II-B); clients connect
+// with a JSON config file (Listing 1). This is a small, dependency-free
+// implementation covering the JSON subset those configs need (full JSON minus
+// \uXXXX surrogate pairs, which are mapped to UTF-8 individually).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hep::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;  // sorted keys => stable output
+
+enum class Type : std::uint8_t { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+class Value {
+  public:
+    Value() : type_(Type::kNull) {}
+    Value(std::nullptr_t) : type_(Type::kNull) {}                 // NOLINT
+    Value(bool b) : type_(Type::kBool), bool_(b) {}               // NOLINT
+    Value(int i) : type_(Type::kInt), int_(i) {}                  // NOLINT
+    Value(std::int64_t i) : type_(Type::kInt), int_(i) {}         // NOLINT
+    Value(std::uint64_t u) : type_(Type::kInt), int_(static_cast<std::int64_t>(u)) {}  // NOLINT
+    Value(double d) : type_(Type::kDouble), dbl_(d) {}            // NOLINT
+    Value(const char* s) : type_(Type::kString), str_(s) {}       // NOLINT
+    Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+    Value(std::string_view s) : type_(Type::kString), str_(s) {}  // NOLINT
+    Value(Array a) : type_(Type::kArray), arr_(std::make_shared<Array>(std::move(a))) {}    // NOLINT
+    Value(Object o) : type_(Type::kObject), obj_(std::make_shared<Object>(std::move(o))) {} // NOLINT
+
+    static Value make_array() { return Value(Array{}); }
+    static Value make_object() { return Value(Object{}); }
+
+    [[nodiscard]] Type type() const noexcept { return type_; }
+    [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+    [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+    [[nodiscard]] bool is_int() const noexcept { return type_ == Type::kInt; }
+    [[nodiscard]] bool is_double() const noexcept { return type_ == Type::kDouble; }
+    [[nodiscard]] bool is_number() const noexcept { return is_int() || is_double(); }
+    [[nodiscard]] bool is_string() const noexcept { return type_ == Type::kString; }
+    [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+    [[nodiscard]] bool is_object() const noexcept { return type_ == Type::kObject; }
+
+    [[nodiscard]] bool as_bool(bool fallback = false) const noexcept {
+        return is_bool() ? bool_ : fallback;
+    }
+    [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const noexcept {
+        if (is_int()) return int_;
+        if (is_double()) return static_cast<std::int64_t>(dbl_);
+        return fallback;
+    }
+    [[nodiscard]] double as_double(double fallback = 0.0) const noexcept {
+        if (is_double()) return dbl_;
+        if (is_int()) return static_cast<double>(int_);
+        return fallback;
+    }
+    [[nodiscard]] const std::string& as_string() const noexcept {
+        static const std::string kEmpty;
+        return is_string() ? str_ : kEmpty;
+    }
+
+    /// Array access. Returns a shared null for out-of-range / wrong type.
+    [[nodiscard]] const Value& at(std::size_t i) const noexcept;
+    [[nodiscard]] std::size_t size() const noexcept;
+
+    /// Object access (const): null value if missing.
+    [[nodiscard]] const Value& operator[](std::string_view key) const noexcept;
+    [[nodiscard]] bool contains(std::string_view key) const noexcept;
+
+    /// Mutable access; converts a null value into the requested container.
+    Array& array();
+    Object& object();
+    Value& operator[](const std::string& key);
+    void push_back(Value v);
+
+    /// Serialize. `indent` < 0 => compact single-line output.
+    [[nodiscard]] std::string dump(int indent = -1) const;
+
+    friend bool operator==(const Value& a, const Value& b) noexcept;
+
+  private:
+    void dump_to(std::string& out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double dbl_ = 0.0;
+    std::string str_;
+    std::shared_ptr<Array> arr_;
+    std::shared_ptr<Object> obj_;
+};
+
+/// Parse a JSON document. Trailing whitespace is allowed; trailing garbage is
+/// an error.
+Result<Value> parse(std::string_view text);
+
+/// Parse the contents of a file.
+Result<Value> parse_file(const std::string& path);
+
+}  // namespace hep::json

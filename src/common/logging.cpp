@@ -1,0 +1,52 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace hep::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(Level level) {
+    switch (level) {
+        case Level::kTrace: return "TRACE";
+        case Level::kDebug: return "DEBUG";
+        case Level::kInfo: return "INFO";
+        case Level::kWarn: return "WARN";
+        case Level::kError: return "ERROR";
+        case Level::kOff: return "OFF";
+    }
+    return "?";
+}
+}  // namespace
+
+void set_level(Level level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void logf(Level lvl, const char* fmt, ...) {
+    if (lvl < g_level.load(std::memory_order_relaxed)) return;
+    std::va_list args;
+    va_start(args, fmt);
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        std::fprintf(stderr, "[%s] ", level_name(lvl));
+        std::vfprintf(stderr, fmt, args);
+        std::fputc('\n', stderr);
+    }
+    va_end(args);
+}
+
+Level parse_level(std::string_view name) noexcept {
+    if (name == "trace") return Level::kTrace;
+    if (name == "debug") return Level::kDebug;
+    if (name == "info") return Level::kInfo;
+    if (name == "warn" || name == "warning") return Level::kWarn;
+    if (name == "error") return Level::kError;
+    if (name == "off") return Level::kOff;
+    return Level::kWarn;
+}
+
+}  // namespace hep::log

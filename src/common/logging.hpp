@@ -1,0 +1,29 @@
+// Thread-safe leveled logging. Default level is WARN so tests and benches stay
+// quiet; services raise it from their Bedrock configuration.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <string_view>
+
+namespace hep::log {
+
+enum class Level : std::uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Set/get the global log threshold.
+void set_level(Level level) noexcept;
+Level level() noexcept;
+
+/// printf-style logging; no-op if below the threshold.
+void logf(Level level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; defaults to kWarn.
+Level parse_level(std::string_view name) noexcept;
+
+#define HEP_LOG_TRACE(...) ::hep::log::logf(::hep::log::Level::kTrace, __VA_ARGS__)
+#define HEP_LOG_DEBUG(...) ::hep::log::logf(::hep::log::Level::kDebug, __VA_ARGS__)
+#define HEP_LOG_INFO(...) ::hep::log::logf(::hep::log::Level::kInfo, __VA_ARGS__)
+#define HEP_LOG_WARN(...) ::hep::log::logf(::hep::log::Level::kWarn, __VA_ARGS__)
+#define HEP_LOG_ERROR(...) ::hep::log::logf(::hep::log::Level::kError, __VA_ARGS__)
+
+}  // namespace hep::log

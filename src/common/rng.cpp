@@ -1,0 +1,11 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace hep {
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+}
+
+}  // namespace hep

@@ -1,0 +1,74 @@
+// Deterministic, seedable RNG (xoshiro256**) used by the synthetic NOvA data
+// generator and the cluster simulator. Determinism matters: the file-based and
+// HEPnOS workflows must see the *same* data so their accepted-slice ID sets
+// can be compared exactly (paper §IV).
+#pragma once
+
+#include <cstdint>
+
+#include "common/hash.hpp"
+
+namespace hep {
+
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed = 0x243F6A8885A308D3ULL) noexcept { reseed(seed); }
+
+    void reseed(std::uint64_t seed) noexcept {
+        // SplitMix64 expansion of the seed into 4 lanes (xoshiro recommendation).
+        std::uint64_t x = seed;
+        for (auto& lane : s_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            lane = mix64(x);
+        }
+    }
+
+    std::uint64_t next_u64() noexcept {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform in [0, 1).
+    double next_double() noexcept {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform in [lo, hi] (inclusive). Requires lo <= hi.
+    std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+        return lo + next_u64() % (hi - lo + 1);
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform_real(double lo, double hi) noexcept {
+        return lo + next_double() * (hi - lo);
+    }
+
+    /// Approximate normal via the sum of 4 uniforms (fast, deterministic,
+    /// adequate tails for workload synthesis).
+    double normal(double mean, double stddev) noexcept {
+        double sum = 0;
+        for (int i = 0; i < 4; ++i) sum += next_double();
+        // Sum of 4 U(0,1) has mean 2 and variance 4/12 = 1/3.
+        return mean + stddev * (sum - 2.0) * 1.7320508075688772;
+    }
+
+    /// Heavy-tailed positive sample: lognormal-ish via exp of normal.
+    double lognormal(double mu, double sigma) noexcept;
+
+    bool bernoulli(double p) noexcept { return next_double() < p; }
+
+  private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t s_[4]{};
+};
+
+}  // namespace hep

@@ -1,0 +1,34 @@
+#include "common/status.hpp"
+
+namespace hep {
+
+std::string_view to_string(StatusCode code) noexcept {
+    switch (code) {
+        case StatusCode::kOk: return "ok";
+        case StatusCode::kNotFound: return "not-found";
+        case StatusCode::kAlreadyExists: return "already-exists";
+        case StatusCode::kInvalidArgument: return "invalid-argument";
+        case StatusCode::kIOError: return "io-error";
+        case StatusCode::kCorruption: return "corruption";
+        case StatusCode::kUnavailable: return "unavailable";
+        case StatusCode::kTimeout: return "timeout";
+        case StatusCode::kPermissionDenied: return "permission-denied";
+        case StatusCode::kUnimplemented: return "unimplemented";
+        case StatusCode::kInternal: return "internal";
+        case StatusCode::kCancelled: return "cancelled";
+        case StatusCode::kOutOfRange: return "out-of-range";
+    }
+    return "unknown";
+}
+
+std::string Status::to_string() const {
+    if (ok()) return "ok";
+    std::string out{hep::to_string(code_)};
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+}  // namespace hep

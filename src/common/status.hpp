@@ -1,0 +1,109 @@
+// Status and Result types used across all HEPnOS-repro modules.
+//
+// Modeled after the error-handling convention used by storage systems
+// (absl::Status / leveldb::Status): cheap to construct for OK, carries a
+// code + message on failure. Result<T> is a small expected-like wrapper so
+// APIs can return either a value or a Status without exceptions on hot paths.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace hep {
+
+enum class StatusCode : std::uint8_t {
+    kOk = 0,
+    kNotFound,
+    kAlreadyExists,
+    kInvalidArgument,
+    kIOError,
+    kCorruption,
+    kUnavailable,
+    kTimeout,
+    kPermissionDenied,
+    kUnimplemented,
+    kInternal,
+    kCancelled,
+    kOutOfRange,
+};
+
+/// Human-readable name of a status code ("ok", "not-found", ...).
+std::string_view to_string(StatusCode code) noexcept;
+
+/// A status: OK or an error code plus context message.
+class Status {
+  public:
+    Status() noexcept = default;  // OK
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message)) {}
+
+    [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+    [[nodiscard]] StatusCode code() const noexcept { return code_; }
+    [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+    /// "ok" or "<code>: <message>".
+    [[nodiscard]] std::string to_string() const;
+
+    static Status OK() noexcept { return {}; }
+    static Status NotFound(std::string msg) { return {StatusCode::kNotFound, std::move(msg)}; }
+    static Status AlreadyExists(std::string msg) { return {StatusCode::kAlreadyExists, std::move(msg)}; }
+    static Status InvalidArgument(std::string msg) { return {StatusCode::kInvalidArgument, std::move(msg)}; }
+    static Status IOError(std::string msg) { return {StatusCode::kIOError, std::move(msg)}; }
+    static Status Corruption(std::string msg) { return {StatusCode::kCorruption, std::move(msg)}; }
+    static Status Unavailable(std::string msg) { return {StatusCode::kUnavailable, std::move(msg)}; }
+    static Status Timeout(std::string msg) { return {StatusCode::kTimeout, std::move(msg)}; }
+    static Status Unimplemented(std::string msg) { return {StatusCode::kUnimplemented, std::move(msg)}; }
+    static Status Internal(std::string msg) { return {StatusCode::kInternal, std::move(msg)}; }
+    static Status Cancelled(std::string msg) { return {StatusCode::kCancelled, std::move(msg)}; }
+    static Status OutOfRange(std::string msg) { return {StatusCode::kOutOfRange, std::move(msg)}; }
+
+    friend bool operator==(const Status& a, const Status& b) noexcept {
+        return a.code_ == b.code_;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/// Value-or-Status. `ok()` implies `value()` is valid; otherwise `status()`
+/// holds a non-OK status. Accessing the wrong alternative asserts.
+template <typename T>
+class Result {
+  public:
+    Result(T value) : rep_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+    Result(Status status) : rep_(std::move(status)) {      // NOLINT(google-explicit-constructor)
+        assert(!std::get<Status>(rep_).ok() && "Result(Status) requires an error status");
+    }
+
+    [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(rep_); }
+    explicit operator bool() const noexcept { return ok(); }
+
+    [[nodiscard]] const T& value() const& { assert(ok()); return std::get<T>(rep_); }
+    [[nodiscard]] T& value() & { assert(ok()); return std::get<T>(rep_); }
+    [[nodiscard]] T&& value() && { assert(ok()); return std::get<T>(std::move(rep_)); }
+
+    [[nodiscard]] Status status() const {
+        if (ok()) return Status::OK();
+        return std::get<Status>(rep_);
+    }
+
+    [[nodiscard]] const T& operator*() const& { return value(); }
+    [[nodiscard]] T& operator*() & { return value(); }
+    [[nodiscard]] const T* operator->() const { return &value(); }
+    [[nodiscard]] T* operator->() { return &value(); }
+
+    /// value() if ok, otherwise `fallback`.
+    [[nodiscard]] T value_or(T fallback) const& {
+        return ok() ? std::get<T>(rep_) : std::move(fallback);
+    }
+
+  private:
+    std::variant<Status, T> rep_;
+};
+
+}  // namespace hep

@@ -1,0 +1,107 @@
+#include "common/uuid.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <random>
+
+#include "common/hash.hpp"
+
+namespace hep {
+
+namespace {
+
+std::uint64_t next_random64() {
+    // Process-wide counter mixed with a random seed: cheap, collision-safe
+    // for our purposes, and avoids per-call random_device overhead.
+    static const std::uint64_t seed = [] {
+        std::random_device rd;
+        return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    }();
+    static std::atomic<std::uint64_t> counter{1};
+    return mix64(seed ^ mix64(counter.fetch_add(1, std::memory_order_relaxed)));
+}
+
+int hex_value(char c) noexcept {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+}  // namespace
+
+Uuid Uuid::generate() {
+    Uuid u;
+    const std::uint64_t hi = next_random64();
+    const std::uint64_t lo = next_random64();
+    for (int i = 0; i < 8; ++i) {
+        u.data_[i] = static_cast<std::uint8_t>(hi >> (8 * (7 - i)));
+        u.data_[8 + i] = static_cast<std::uint8_t>(lo >> (8 * (7 - i)));
+    }
+    // Stamp version 4 / variant 1 bits so the textual form looks standard.
+    u.data_[6] = static_cast<std::uint8_t>((u.data_[6] & 0x0F) | 0x40);
+    u.data_[8] = static_cast<std::uint8_t>((u.data_[8] & 0x3F) | 0x80);
+    return u;
+}
+
+Uuid Uuid::from_name(std::string_view name) {
+    Uuid u;
+    const std::uint64_t hi = fnv1a64(name);
+    const std::uint64_t lo = mix64(hi ^ fnv1a64(name, 0x9e3779b97f4a7c15ULL));
+    for (int i = 0; i < 8; ++i) {
+        u.data_[i] = static_cast<std::uint8_t>(hi >> (8 * (7 - i)));
+        u.data_[8 + i] = static_cast<std::uint8_t>(lo >> (8 * (7 - i)));
+    }
+    u.data_[6] = static_cast<std::uint8_t>((u.data_[6] & 0x0F) | 0x50);  // "version 5"-ish
+    u.data_[8] = static_cast<std::uint8_t>((u.data_[8] & 0x3F) | 0x80);
+    return u;
+}
+
+Result<Uuid> Uuid::parse(std::string_view text) {
+    if (text.size() != 36) {
+        return Status::InvalidArgument("uuid must be 36 characters");
+    }
+    Uuid u;
+    std::size_t byte = 0;
+    for (std::size_t i = 0; i < text.size();) {
+        if (i == 8 || i == 13 || i == 18 || i == 23) {
+            if (text[i] != '-') return Status::InvalidArgument("uuid missing '-' separator");
+            ++i;
+            continue;
+        }
+        const int hi = hex_value(text[i]);
+        const int lo = hex_value(text[i + 1]);
+        if (hi < 0 || lo < 0) return Status::InvalidArgument("uuid has non-hex character");
+        u.data_[byte++] = static_cast<std::uint8_t>((hi << 4) | lo);
+        i += 2;
+    }
+    return u;
+}
+
+Uuid Uuid::from_bytes(std::string_view raw) {
+    Uuid u;
+    const std::size_t n = raw.size() < kSize ? raw.size() : kSize;
+    for (std::size_t i = 0; i < n; ++i) {
+        u.data_[i] = static_cast<std::uint8_t>(raw[i]);
+    }
+    return u;
+}
+
+std::string Uuid::to_string() const {
+    char buf[37];
+    std::snprintf(buf, sizeof(buf),
+                  "%02x%02x%02x%02x-%02x%02x-%02x%02x-%02x%02x-%02x%02x%02x%02x%02x%02x",
+                  data_[0], data_[1], data_[2], data_[3], data_[4], data_[5], data_[6], data_[7],
+                  data_[8], data_[9], data_[10], data_[11], data_[12], data_[13], data_[14],
+                  data_[15]);
+    return std::string(buf, 36);
+}
+
+bool Uuid::is_nil() const noexcept {
+    for (auto b : data_) {
+        if (b != 0) return false;
+    }
+    return true;
+}
+
+}  // namespace hep

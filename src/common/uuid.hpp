@@ -1,0 +1,49 @@
+// 128-bit UUIDs. HEPnOS maps dataset full paths to UUIDs stored in a
+// dedicated database (paper §II-C1); run/subrun/event keys embed the dataset
+// UUID as a 16-byte prefix.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace hep {
+
+class Uuid {
+  public:
+    static constexpr std::size_t kSize = 16;
+
+    Uuid() = default;  // nil UUID
+
+    /// Random (version-4-style) UUID from the process-wide RNG.
+    static Uuid generate();
+
+    /// Deterministic UUID derived from a name (used in tests and for
+    /// reproducible dataset ids when a seed is fixed).
+    static Uuid from_name(std::string_view name);
+
+    /// Parse "xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx".
+    static Result<Uuid> parse(std::string_view text);
+
+    /// Raw 16 bytes, suitable for embedding in a key.
+    [[nodiscard]] std::string_view bytes() const noexcept {
+        return {reinterpret_cast<const char*>(data_.data()), kSize};
+    }
+
+    static Uuid from_bytes(std::string_view raw);
+
+    [[nodiscard]] std::string to_string() const;
+    [[nodiscard]] bool is_nil() const noexcept;
+
+    friend bool operator==(const Uuid& a, const Uuid& b) noexcept { return a.data_ == b.data_; }
+    friend bool operator!=(const Uuid& a, const Uuid& b) noexcept { return !(a == b); }
+    friend bool operator<(const Uuid& a, const Uuid& b) noexcept { return a.data_ < b.data_; }
+
+  private:
+    std::array<std::uint8_t, kSize> data_{};
+};
+
+}  // namespace hep

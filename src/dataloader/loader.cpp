@@ -1,0 +1,84 @@
+#include "dataloader/loader.hpp"
+
+namespace hep::dataloader {
+
+namespace {
+
+void store_events(const std::vector<nova::EventRecord>& events, const hepnos::DataSet& dataset,
+                  hepnos::WriteBatch& batch, LoaderStats& stats) {
+    for (const auto& rec : events) {
+        auto ev = dataset.createRun(batch, rec.run)
+                      .createSubRun(batch, rec.subrun)
+                      .createEvent(batch, rec.event);
+        ev.store(batch, nova::kSliceLabel, rec.slices);
+        ++stats.events_stored;
+        stats.slices_stored += rec.slices.size();
+    }
+}
+
+LoaderStats aggregate(mpisim::Comm& comm, LoaderStats local, double t0) {
+    local.seconds = mpisim::Comm::wtime() - t0;
+    LoaderStats total;
+    total.files_loaded = comm.reduce_sum(local.files_loaded, 0);
+    total.events_stored = comm.reduce_sum(local.events_stored, 0);
+    total.slices_stored = comm.reduce_sum(local.slices_stored, 0);
+    total.seconds = local.seconds;
+    comm.bcast(total.files_loaded, 0);
+    comm.bcast(total.events_stored, 0);
+    comm.bcast(total.slices_stored, 0);
+    return total;
+}
+
+}  // namespace
+
+LoaderStats ingest_files(hepnos::DataStore store, mpisim::Comm& comm,
+                         const std::vector<std::string>& files,
+                         const std::string& dataset_path, std::size_t batch_threshold) {
+    // Rank 0 creates the dataset; everyone else reuses it after the barrier.
+    if (comm.rank() == 0) store.createDataSet(dataset_path);
+    comm.barrier();
+    hepnos::DataSet dataset = store[dataset_path];
+
+    const double t0 = mpisim::Comm::wtime();
+    LoaderStats local;
+    {
+        hepnos::AsyncWriteBatch batch(store.impl(), batch_threshold);
+        for (std::size_t i = static_cast<std::size_t>(comm.rank()); i < files.size();
+             i += static_cast<std::size_t>(comm.size())) {
+            auto events = nova::Generator::read_htf_file(files[i]);
+            if (!events.ok()) throw hepnos::Exception(events.status());
+            store_events(*events, dataset, batch, local);
+            ++local.files_loaded;
+        }
+        batch.flush();
+        batch.wait();
+    }
+    comm.barrier();
+    return aggregate(comm, local, t0);
+}
+
+LoaderStats ingest_generated(hepnos::DataStore store, mpisim::Comm& comm,
+                             const nova::Generator& generator,
+                             const std::string& dataset_path, std::size_t batch_threshold) {
+    if (comm.rank() == 0) store.createDataSet(dataset_path);
+    comm.barrier();
+    hepnos::DataSet dataset = store[dataset_path];
+
+    const double t0 = mpisim::Comm::wtime();
+    LoaderStats local;
+    {
+        hepnos::AsyncWriteBatch batch(store.impl(), batch_threshold);
+        const std::uint64_t num_files = generator.config().num_files;
+        for (std::uint64_t i = static_cast<std::uint64_t>(comm.rank()); i < num_files;
+             i += static_cast<std::uint64_t>(comm.size())) {
+            store_events(generator.make_file_events(i), dataset, batch, local);
+            ++local.files_loaded;
+        }
+        batch.flush();
+        batch.wait();
+    }
+    comm.barrier();
+    return aggregate(comm, local, t0);
+}
+
+}  // namespace hep::dataloader

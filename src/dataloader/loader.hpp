@@ -1,0 +1,45 @@
+// Parallel DataLoader (paper §III-B).
+//
+// "This DataLoader can then be compiled and run in parallel to ingest a
+//  number of files. It becomes the first step of an HEP workflow, and the
+//  only step whose scalability is constrained by the number of files."
+//
+// The loader distributes HTF files round-robin across the ranks of a
+// communicator; each rank reads its files, groups rows into events, and
+// writes containers + products through an AsyncWriteBatch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hepnos/hepnos.hpp"
+#include "mpisim/comm.hpp"
+#include "nova/generator.hpp"
+
+namespace hep::dataloader {
+
+struct LoaderStats {
+    std::uint64_t files_loaded = 0;
+    std::uint64_t events_stored = 0;
+    std::uint64_t slices_stored = 0;
+    double seconds = 0;
+};
+
+/// Ingest HTF files (nova::Slice layout) into `dataset_path`. Collective
+/// over `comm`; file i is handled by rank i % comm.size(). Aggregated stats
+/// are returned on every rank.
+LoaderStats ingest_files(hepnos::DataStore store, mpisim::Comm& comm,
+                         const std::vector<std::string>& files,
+                         const std::string& dataset_path,
+                         std::size_t batch_threshold = 4096);
+
+/// Ingest directly from the generator, bypassing the filesystem — used by
+/// tests and benches to populate a store quickly with the *same* data the
+/// HTF files would contain.
+LoaderStats ingest_generated(hepnos::DataStore store, mpisim::Comm& comm,
+                             const nova::Generator& generator,
+                             const std::string& dataset_path,
+                             std::size_t batch_threshold = 4096);
+
+}  // namespace hep::dataloader

@@ -1,0 +1,41 @@
+// HDF2HEPnOS-substitute code generator (paper §III-B).
+//
+// "we developed a program, HDF2HEPnOS, which analyzes the structure of an
+//  HDF5 file, deduces the class name and its member variables, and generates
+//  the C++ code of the corresponding class along with functions to load and
+//  store instances to and from HDF5, and to and from HEPnOS."
+//
+// generate_class() does exactly that against an HTF schema: it emits a header
+// containing the struct (one member per non-index column), the serialize()
+// method HEPnOS needs, an HTF column reader, and a store_to_hepnos() helper
+// that groups rows by (run, subrun, event) and stores one
+// std::vector<Class> product per event.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "htf/htf.hpp"
+
+namespace hep::dataloader {
+
+struct CodegenOptions {
+    std::string ns = "generated";    // namespace for emitted code
+    std::string product_label = "";  // label used when storing to HEPnOS
+};
+
+/// Generate the C++ header for one leaf group of the schema.
+/// `group_name` may be qualified ("nova::Slice"); the last component names
+/// the struct. Fails if the group lacks run/subrun/event columns.
+Result<std::string> generate_class(const htf::File::Schema& schema,
+                                   const std::string& group_name,
+                                   const CodegenOptions& options = {});
+
+/// Generate headers for every leaf group in the schema, concatenated.
+Result<std::string> generate_all(const htf::File::Schema& schema,
+                                 const CodegenOptions& options = {});
+
+/// Map an HTF column type to the C++ type the generated member uses.
+std::string_view cpp_type_of(htf::ColumnType type) noexcept;
+
+}  // namespace hep::dataloader

@@ -1,0 +1,140 @@
+#include "hepnos/containers.hpp"
+
+namespace hep::hepnos {
+
+namespace detail {
+
+void store_product_bytes(DataStoreImpl& impl, std::string_view container_key,
+                         std::string_view label, std::string_view type, std::string bytes,
+                         WriteBatch* batch) {
+    std::string key = product_key(container_key, label, type);
+    if (batch) {
+        batch->add(Role::kProducts, container_key, std::move(key), std::move(bytes));
+        return;
+    }
+    const auto& db = impl.locate(Role::kProducts, container_key);
+    throw_if_error(db.put(key, bytes, /*overwrite=*/true));
+}
+
+bool load_product_bytes(DataStoreImpl& impl, std::string_view container_key,
+                        std::string_view label, std::string_view type, std::string& bytes) {
+    const auto& db = impl.locate(Role::kProducts, container_key);
+    auto value = db.get(product_key(container_key, label, type));
+    if (!value.ok()) {
+        if (value.status().code() == StatusCode::kNotFound) return false;
+        throw Exception(value.status());
+    }
+    bytes = std::move(value.value());
+    return true;
+}
+
+bool product_exists(DataStoreImpl& impl, std::string_view container_key, std::string_view label,
+                    std::string_view type) {
+    const auto& db = impl.locate(Role::kProducts, container_key);
+    return value_or_throw(db.exists(product_key(container_key, label, type)));
+}
+
+void create_container(DataStoreImpl& impl, Role role, std::string_view parent_key,
+                      std::string key, WriteBatch* batch) {
+    // Container keys have no value; presence of the key is the container
+    // (paper §II-C1). Creation is idempotent.
+    if (batch) {
+        batch->add(role, parent_key, std::move(key), std::string());
+        return;
+    }
+    const auto& db = impl.locate(role, parent_key);
+    throw_if_error(db.put(key, "", /*overwrite=*/true));
+}
+
+bool container_exists(DataStoreImpl& impl, Role role, std::string_view parent_key,
+                      std::string_view key) {
+    const auto& db = impl.locate(role, parent_key);
+    return value_or_throw(db.exists(key));
+}
+
+std::vector<std::uint64_t> list_child_numbers(DataStoreImpl& impl, Role role,
+                                              std::string_view parent_key,
+                                              std::string_view after_key, std::size_t max) {
+    const auto& db = impl.locate(role, parent_key);
+    auto keys = db.list_keys(after_key, parent_key, max);
+    if (!keys.ok()) throw Exception(keys.status());
+    std::vector<std::uint64_t> numbers;
+    numbers.reserve(keys->size());
+    for (const auto& key : *keys) {
+        // Children of this container are exactly parent_key + 8 bytes; longer
+        // keys belong to grandchildren stored in other roles, which never
+        // share a database, so every key here is a direct child.
+        if (key.size() == parent_key.size() + 8) {
+            numbers.push_back(key_number(key));
+        }
+    }
+    return numbers;
+}
+
+}  // namespace detail
+
+DataSet DataSet::createDataSet(std::string_view name) const {
+    if (name.empty() || name.find(kPathSeparator) != std::string_view::npos) {
+        throw Exception(Status::InvalidArgument(
+            "dataset name must be non-empty and contain no '/': " + std::string(name)));
+    }
+    const std::string child_path = path_ + kPathSeparator + std::string(name);
+    const auto& db = impl_->locate(Role::kDatasets, path_);
+    // Deterministic UUID from a random seed per creation; losing the race to
+    // a concurrent creator is fine — re-read the authoritative value.
+    Uuid uuid = Uuid::generate();
+    Status st = db.put(child_path, uuid.bytes(), /*overwrite=*/false);
+    if (st.code() == StatusCode::kAlreadyExists || st.ok()) {
+        auto stored = db.get(child_path);
+        if (!stored.ok()) throw Exception(stored.status());
+        return DataSet(impl_, child_path, Uuid::from_bytes(*stored));
+    }
+    throw Exception(st);
+}
+
+DataSet DataSet::dataset(std::string_view relative_path) const {
+    const std::string sub = normalize_path(relative_path);
+    if (sub.empty()) return *this;
+    const std::string full = path_ + sub;
+    const auto& db = impl_->locate(Role::kDatasets, parent_of(full));
+    auto uuid = db.get(full);
+    if (!uuid.ok()) {
+        if (uuid.status().code() == StatusCode::kNotFound) {
+            throw Exception(Status::NotFound("no dataset at " + full));
+        }
+        throw Exception(uuid.status());
+    }
+    return DataSet(impl_, full, Uuid::from_bytes(*uuid));
+}
+
+bool DataSet::hasDataSet(std::string_view relative_path) const {
+    const std::string sub = normalize_path(relative_path);
+    if (sub.empty()) return true;
+    const std::string full = path_ + sub;
+    const auto& db = impl_->locate(Role::kDatasets, parent_of(full));
+    return value_or_throw(db.exists(full));
+}
+
+std::vector<DataSet> DataSet::datasets(std::size_t page_size) const {
+    const auto& db = impl_->locate(Role::kDatasets, path_);
+    const std::string prefix = path_ + kPathSeparator;
+    std::vector<DataSet> out;
+    std::string after = prefix;
+    while (true) {
+        auto page = db.list_keyvals(after, prefix, page_size);
+        if (!page.ok()) throw Exception(page.status());
+        if (page->empty()) break;
+        for (auto& kv : *page) {
+            // Grandchildren may share this database when their parent hashes
+            // here too; keep only direct children.
+            if (is_direct_child(kv.key, prefix)) {
+                out.emplace_back(impl_, kv.key, Uuid::from_bytes(kv.value));
+            }
+        }
+        after = page->back().key;
+        if (page->size() < page_size) break;
+    }
+    return out;
+}
+
+}  // namespace hep::hepnos

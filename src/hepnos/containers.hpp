@@ -1,0 +1,436 @@
+// Public container handles: DataSet, Run, SubRun, Event (paper §II-A).
+//
+// Navigation mirrors C++ containers, exactly as in the paper's Listing 1:
+//
+//   hepnos::DataSet ds = datastore["path/to/dataset"];
+//   hepnos::Run run = ds[43];
+//   hepnos::SubRun subrun = run.createSubRun(56);
+//   hepnos::Event ev = subrun.createEvent(25);
+//   ev.store(vp1);                    // store a std::vector<Particle>
+//   ev.load(vp2);                     // load it back
+//   for (auto& subrun : run) { ... }  // ordered iteration
+//
+// Runs, subruns and events store *products*: C++ objects identified by a
+// label and their type, serialized with the archive in serial/.
+#pragma once
+
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hepnos/datastore_impl.hpp"
+#include "hepnos/exception.hpp"
+#include "hepnos/keys.hpp"
+#include "hepnos/write_batch.hpp"
+#include "serial/archive.hpp"
+
+namespace hep::hepnos {
+
+class DataSet;
+class Run;
+class SubRun;
+class Event;
+
+namespace detail {
+
+/// Store a serialized product under its container (direct or batched).
+void store_product_bytes(DataStoreImpl& impl, std::string_view container_key,
+                         std::string_view label, std::string_view type, std::string bytes,
+                         WriteBatch* batch);
+
+/// Load product bytes; false if the product does not exist.
+bool load_product_bytes(DataStoreImpl& impl, std::string_view container_key,
+                        std::string_view label, std::string_view type, std::string& bytes);
+
+bool product_exists(DataStoreImpl& impl, std::string_view container_key, std::string_view label,
+                    std::string_view type);
+
+/// Create a container key (value-less). Throws on transport errors.
+void create_container(DataStoreImpl& impl, Role role, std::string_view parent_key,
+                      std::string key, WriteBatch* batch);
+
+/// Check a container key exists.
+bool container_exists(DataStoreImpl& impl, Role role, std::string_view parent_key,
+                      std::string_view key);
+
+/// One page of child-container numbers (keys strictly after `after_key`).
+std::vector<std::uint64_t> list_child_numbers(DataStoreImpl& impl, Role role,
+                                              std::string_view parent_key,
+                                              std::string_view after_key, std::size_t max);
+
+}  // namespace detail
+
+/// Mixin for the product-bearing containers (Run, SubRun, Event).
+/// Derived must provide impl() and container_key().
+template <typename Derived>
+class ProductContainer {
+  public:
+    /// Store `value` as a product with the given label (default empty label,
+    /// as in Listing 1). The product type is part of the key, so the same
+    /// label can hold one product per C++ type.
+    template <typename T>
+    void store(std::string_view label, const T& value, WriteBatch* batch = nullptr) const {
+        const auto& self = static_cast<const Derived&>(*this);
+        detail::store_product_bytes(*self.impl(), self.container_key(), label,
+                                    product_type_name<T>(), serial::to_string(value), batch);
+    }
+    template <typename T>
+    void store(const T& value) const {
+        store("", value);
+    }
+    template <typename T>
+    void store(WriteBatch& batch, std::string_view label, const T& value) const {
+        store(label, value, &batch);
+    }
+
+    /// Load the product with this label and type. Returns false if absent.
+    template <typename T>
+    bool load(std::string_view label, T& value) const {
+        const auto& self = static_cast<const Derived&>(*this);
+        std::string bytes;
+        if (!detail::load_product_bytes(*self.impl(), self.container_key(), label,
+                                        product_type_name<T>(), bytes)) {
+            return false;
+        }
+        serial::from_string(bytes, value);  // throws SerializationError on corruption
+        return true;
+    }
+    template <typename T>
+    bool load(T& value) const {
+        return load("", value);
+    }
+
+    template <typename T>
+    [[nodiscard]] bool hasProduct(std::string_view label = "") const {
+        const auto& self = static_cast<const Derived&>(*this);
+        return detail::product_exists(*self.impl(), self.container_key(), label,
+                                      product_type_name<T>());
+    }
+};
+
+/// Input iterator over numbered child containers, paging through the single
+/// database that holds all of a parent's children (paper §II-C3). `Maker`
+/// turns a child number into a handle (Run, SubRun or Event).
+template <typename Value, typename Maker>
+class NumberIterator {
+  public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Value;
+    using difference_type = std::ptrdiff_t;
+
+    NumberIterator() = default;  // end sentinel (done_ == true)
+
+    NumberIterator(std::shared_ptr<DataStoreImpl> impl, Role role, std::string parent_key,
+                   Maker maker, std::size_t page_size)
+        : impl_(std::move(impl)),
+          role_(role),
+          parent_key_(std::move(parent_key)),
+          maker_(std::move(maker)),
+          page_size_(page_size),
+          done_(false) {
+        fetch_page(parent_key_);  // children start right after the parent key
+        advance();
+    }
+
+    const Value& operator*() const { return current_; }
+    const Value* operator->() const { return &current_; }
+
+    NumberIterator& operator++() {
+        advance();
+        return *this;
+    }
+    void operator++(int) { advance(); }
+
+    // Input-iterator equality: only meaningful against the end sentinel.
+    friend bool operator==(const NumberIterator& a, const NumberIterator& b) {
+        return a.done_ == b.done_;
+    }
+    friend bool operator!=(const NumberIterator& a, const NumberIterator& b) {
+        return !(a == b);
+    }
+
+  private:
+    void fetch_page(std::string_view after_key) {
+        page_ = detail::list_child_numbers(*impl_, role_, parent_key_, after_key, page_size_);
+        index_ = 0;
+    }
+
+    void advance() {
+        if (done_) return;
+        if (index_ >= page_.size()) {
+            if (page_.size() < page_size_ || !impl_) {  // exhausted
+                done_ = true;
+                return;
+            }
+            std::string last = parent_key_;
+            append_be64(last, page_.back());
+            fetch_page(last);
+            if (page_.empty()) {
+                done_ = true;
+                return;
+            }
+        }
+        current_number_ = page_[index_++];
+        current_ = maker_(current_number_);
+    }
+
+    std::shared_ptr<DataStoreImpl> impl_;
+    Role role_ = Role::kRuns;
+    std::string parent_key_;
+    Maker maker_{};
+    std::size_t page_size_ = 0;
+    std::vector<std::uint64_t> page_;
+    std::size_t index_ = 0;
+    std::uint64_t current_number_ = 0;
+    Value current_{};
+    bool done_ = true;
+};
+
+template <typename Value, typename Maker>
+class NumberRange {
+  public:
+    NumberRange(std::shared_ptr<DataStoreImpl> impl, Role role, std::string parent_key,
+                Maker maker, std::size_t page_size = 256)
+        : impl_(std::move(impl)),
+          role_(role),
+          parent_key_(std::move(parent_key)),
+          maker_(std::move(maker)),
+          page_size_(page_size) {}
+
+    using iterator = NumberIterator<Value, Maker>;
+    iterator begin() const { return iterator(impl_, role_, parent_key_, maker_, page_size_); }
+    iterator end() const { return iterator(); }
+
+  private:
+    std::shared_ptr<DataStoreImpl> impl_;
+    Role role_;
+    std::string parent_key_;
+    Maker maker_;
+    std::size_t page_size_;
+};
+
+// --------------------------------------------------------------------- Event
+
+class Event : public ProductContainer<Event> {
+  public:
+    Event() = default;
+    Event(std::shared_ptr<DataStoreImpl> impl, Uuid dataset, RunNumber run, SubRunNumber subrun,
+          EventNumber event)
+        : impl_(std::move(impl)), dataset_(dataset), run_(run), subrun_(subrun), event_(event) {
+        key_ = event_key(dataset_, run_, subrun_, event_);
+    }
+
+    [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+    [[nodiscard]] EventNumber number() const noexcept { return event_; }
+    [[nodiscard]] RunNumber run_number() const noexcept { return run_; }
+    [[nodiscard]] SubRunNumber subrun_number() const noexcept { return subrun_; }
+    [[nodiscard]] const Uuid& dataset_uuid() const noexcept { return dataset_; }
+
+    [[nodiscard]] const std::shared_ptr<DataStoreImpl>& impl() const noexcept { return impl_; }
+    [[nodiscard]] const std::string& container_key() const noexcept { return key_; }
+
+  private:
+    std::shared_ptr<DataStoreImpl> impl_;
+    Uuid dataset_;
+    RunNumber run_ = 0;
+    SubRunNumber subrun_ = 0;
+    EventNumber event_ = 0;
+    std::string key_;
+};
+
+// -------------------------------------------------------------------- SubRun
+
+class SubRun : public ProductContainer<SubRun> {
+  public:
+    SubRun() = default;
+    SubRun(std::shared_ptr<DataStoreImpl> impl, Uuid dataset, RunNumber run,
+           SubRunNumber subrun)
+        : impl_(std::move(impl)), dataset_(dataset), run_(run), subrun_(subrun) {
+        key_ = subrun_key(dataset_, run_, subrun_);
+    }
+
+    [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+    [[nodiscard]] SubRunNumber number() const noexcept { return subrun_; }
+    [[nodiscard]] RunNumber run_number() const noexcept { return run_; }
+
+    /// Create an event in this subrun (idempotent, like real HEPnOS).
+    Event createEvent(EventNumber n, WriteBatch* batch = nullptr) const {
+        detail::create_container(*impl_, Role::kEvents, key_,
+                                 event_key(dataset_, run_, subrun_, n), batch);
+        return Event(impl_, dataset_, run_, subrun_, n);
+    }
+    Event createEvent(WriteBatch& batch, EventNumber n) const { return createEvent(n, &batch); }
+
+    /// Access an existing event; throws if absent.
+    [[nodiscard]] Event event(EventNumber n) const {
+        if (!hasEvent(n)) {
+            throw Exception(Status::NotFound("event " + std::to_string(n) + " in subrun " +
+                                             std::to_string(subrun_)));
+        }
+        return Event(impl_, dataset_, run_, subrun_, n);
+    }
+    Event operator[](EventNumber n) const { return event(n); }
+
+    [[nodiscard]] bool hasEvent(EventNumber n) const {
+        return detail::container_exists(*impl_, Role::kEvents, key_,
+                                        event_key(dataset_, run_, subrun_, n));
+    }
+
+    struct EventMaker {
+        std::shared_ptr<DataStoreImpl> impl;
+        Uuid dataset;
+        RunNumber run;
+        SubRunNumber subrun;
+        Event operator()(std::uint64_t n) const { return Event(impl, dataset, run, subrun, n); }
+    };
+    using EventRange = NumberRange<Event, EventMaker>;
+    [[nodiscard]] EventRange events(std::size_t page_size = 256) const {
+        return EventRange(impl_, Role::kEvents, key_, EventMaker{impl_, dataset_, run_, subrun_},
+                          page_size);
+    }
+    [[nodiscard]] EventRange::iterator begin() const { return events().begin(); }
+    [[nodiscard]] EventRange::iterator end() const { return EventRange::iterator(); }
+
+    [[nodiscard]] const std::shared_ptr<DataStoreImpl>& impl() const noexcept { return impl_; }
+    [[nodiscard]] const std::string& container_key() const noexcept { return key_; }
+
+  private:
+    std::shared_ptr<DataStoreImpl> impl_;
+    Uuid dataset_;
+    RunNumber run_ = 0;
+    SubRunNumber subrun_ = 0;
+    std::string key_;
+};
+
+// ----------------------------------------------------------------------- Run
+
+class Run : public ProductContainer<Run> {
+  public:
+    Run() = default;
+    Run(std::shared_ptr<DataStoreImpl> impl, Uuid dataset, RunNumber run)
+        : impl_(std::move(impl)), dataset_(dataset), run_(run) {
+        key_ = run_key(dataset_, run_);
+    }
+
+    [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+    [[nodiscard]] RunNumber number() const noexcept { return run_; }
+
+    SubRun createSubRun(SubRunNumber n, WriteBatch* batch = nullptr) const {
+        detail::create_container(*impl_, Role::kSubRuns, key_, subrun_key(dataset_, run_, n),
+                                 batch);
+        return SubRun(impl_, dataset_, run_, n);
+    }
+    SubRun createSubRun(WriteBatch& batch, SubRunNumber n) const {
+        return createSubRun(n, &batch);
+    }
+
+    [[nodiscard]] SubRun subrun(SubRunNumber n) const {
+        if (!hasSubRun(n)) {
+            throw Exception(Status::NotFound("subrun " + std::to_string(n) + " in run " +
+                                             std::to_string(run_)));
+        }
+        return SubRun(impl_, dataset_, run_, n);
+    }
+    SubRun operator[](SubRunNumber n) const { return subrun(n); }
+
+    [[nodiscard]] bool hasSubRun(SubRunNumber n) const {
+        return detail::container_exists(*impl_, Role::kSubRuns, key_,
+                                        subrun_key(dataset_, run_, n));
+    }
+
+    struct SubRunMaker {
+        std::shared_ptr<DataStoreImpl> impl;
+        Uuid dataset;
+        RunNumber run;
+        SubRun operator()(std::uint64_t n) const { return SubRun(impl, dataset, run, n); }
+    };
+    using SubRunRange = NumberRange<SubRun, SubRunMaker>;
+    [[nodiscard]] SubRunRange subruns(std::size_t page_size = 256) const {
+        return SubRunRange(impl_, Role::kSubRuns, key_, SubRunMaker{impl_, dataset_, run_},
+                           page_size);
+    }
+    [[nodiscard]] SubRunRange::iterator begin() const { return subruns().begin(); }
+    [[nodiscard]] SubRunRange::iterator end() const { return SubRunRange::iterator(); }
+
+    [[nodiscard]] const std::shared_ptr<DataStoreImpl>& impl() const noexcept { return impl_; }
+    [[nodiscard]] const std::string& container_key() const noexcept { return key_; }
+
+  private:
+    std::shared_ptr<DataStoreImpl> impl_;
+    Uuid dataset_;
+    RunNumber run_ = 0;
+    std::string key_;
+};
+
+// ------------------------------------------------------------------- DataSet
+
+class DataSet {
+  public:
+    DataSet() = default;
+    DataSet(std::shared_ptr<DataStoreImpl> impl, std::string full_path, Uuid uuid)
+        : impl_(std::move(impl)), path_(std::move(full_path)), uuid_(uuid) {}
+
+    [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+    /// Last path component ("nova" for "/fermilab/nova"); "" for the root.
+    [[nodiscard]] std::string name() const { return std::string(basename_of(path_)); }
+    /// Normalized full path.
+    [[nodiscard]] const std::string& fullname() const noexcept { return path_; }
+    [[nodiscard]] const Uuid& uuid() const noexcept { return uuid_; }
+
+    /// Create (or open, if it exists) a child dataset.
+    DataSet createDataSet(std::string_view name) const;
+
+    /// Open an existing child dataset (or deeper relative path); throws.
+    [[nodiscard]] DataSet dataset(std::string_view relative_path) const;
+    DataSet operator[](std::string_view relative_path) const { return dataset(relative_path); }
+
+    [[nodiscard]] bool hasDataSet(std::string_view relative_path) const;
+
+    /// Direct child datasets, in name order.
+    [[nodiscard]] std::vector<DataSet> datasets(std::size_t page_size = 256) const;
+
+    Run createRun(RunNumber n, WriteBatch* batch = nullptr) const {
+        detail::create_container(*impl_, Role::kRuns, std::string(uuid_.bytes()),
+                                 run_key(uuid_, n), batch);
+        return Run(impl_, uuid_, n);
+    }
+    Run createRun(WriteBatch& batch, RunNumber n) const { return createRun(n, &batch); }
+
+    [[nodiscard]] Run run(RunNumber n) const {
+        if (!hasRun(n)) {
+            throw Exception(
+                Status::NotFound("run " + std::to_string(n) + " in dataset " + path_));
+        }
+        return Run(impl_, uuid_, n);
+    }
+    Run operator[](RunNumber n) const { return run(n); }
+
+    [[nodiscard]] bool hasRun(RunNumber n) const {
+        return detail::container_exists(*impl_, Role::kRuns, std::string(uuid_.bytes()),
+                                        run_key(uuid_, n));
+    }
+
+    struct RunMaker {
+        std::shared_ptr<DataStoreImpl> impl;
+        Uuid dataset;
+        Run operator()(std::uint64_t n) const { return Run(impl, dataset, n); }
+    };
+    using RunRange = NumberRange<Run, RunMaker>;
+    [[nodiscard]] RunRange runs(std::size_t page_size = 256) const {
+        return RunRange(impl_, Role::kRuns, std::string(uuid_.bytes()),
+                        RunMaker{impl_, uuid_}, page_size);
+    }
+    [[nodiscard]] RunRange::iterator begin() const { return runs().begin(); }
+    [[nodiscard]] RunRange::iterator end() const { return RunRange::iterator(); }
+
+    [[nodiscard]] const std::shared_ptr<DataStoreImpl>& impl() const noexcept { return impl_; }
+
+  private:
+    std::shared_ptr<DataStoreImpl> impl_;
+    std::string path_;  // normalized; "" = root
+    Uuid uuid_;
+};
+
+}  // namespace hep::hepnos

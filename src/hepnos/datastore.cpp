@@ -1,0 +1,48 @@
+#include "hepnos/datastore.hpp"
+
+#include <atomic>
+
+namespace hep::hepnos {
+
+namespace {
+std::string auto_client_address() {
+    static std::atomic<std::uint64_t> counter{0};
+    return "hepnos-client-" + std::to_string(counter.fetch_add(1));
+}
+}  // namespace
+
+DataStore DataStore::connect(rpc::Fabric& network, const json::Value& config,
+                             const std::string& client_address) {
+    const std::string address =
+        client_address.empty() ? auto_client_address() : client_address;
+    auto impl = DataStoreImpl::connect(network, config, address);
+    if (!impl.ok()) throw Exception(impl.status());
+    return DataStore(std::move(impl).value());
+}
+
+DataStore DataStore::connect(rpc::Fabric& network, const std::string& config_path,
+                             const std::string& client_address) {
+    auto doc = json::parse_file(config_path);
+    if (!doc.ok()) throw Exception(doc.status());
+    return connect(network, *doc, client_address);
+}
+
+DataSet DataStore::root() const {
+    if (!impl_) throw Exception("DataStore is not connected");
+    return DataSet(impl_, "", Uuid());
+}
+
+DataSet DataStore::createDataSet(std::string_view path) const {
+    const std::string normalized = normalize_path(path);
+    DataSet current = root();
+    std::size_t pos = 1;  // skip leading '/'
+    while (pos <= normalized.size()) {
+        const auto next = normalized.find(kPathSeparator, pos);
+        const auto end = next == std::string::npos ? normalized.size() : next;
+        current = current.createDataSet(normalized.substr(pos, end - pos));
+        pos = end + 1;
+    }
+    return current;
+}
+
+}  // namespace hep::hepnos

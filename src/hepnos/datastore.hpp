@@ -1,0 +1,57 @@
+// DataStore: the entry point of the HEPnOS client API (paper Listing 1).
+//
+//   auto datastore = hepnos::DataStore::connect(network, "connection.json");
+//   hepnos::DataSet ds = datastore["path/to/dataset"];
+//
+// A DataStore is a cheap copyable handle over shared connection state. The
+// connection document lists every database of the deployed service with its
+// role; it is produced by the Bedrock service processes (merge_descriptors).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/json.hpp"
+#include "hepnos/containers.hpp"
+#include "hepnos/datastore_impl.hpp"
+
+namespace hep::hepnos {
+
+class DataStore {
+  public:
+    DataStore() = default;
+
+    /// Connect from a parsed connection document. `client_address` must be
+    /// unique per client on the fabric ("" picks one automatically).
+    static DataStore connect(rpc::Fabric& network, const json::Value& config,
+                             const std::string& client_address = "");
+
+    /// Connect from a JSON file (the Listing-1 "config.json" path).
+    static DataStore connect(rpc::Fabric& network, const std::string& config_path,
+                             const std::string& client_address = "");
+
+    [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+
+    /// The root dataset (nameless container of the top-level datasets).
+    [[nodiscard]] DataSet root() const;
+
+    /// Open an existing dataset by full path; throws if absent.
+    [[nodiscard]] DataSet dataset(std::string_view path) const { return root().dataset(path); }
+    DataSet operator[](std::string_view path) const { return dataset(path); }
+
+    /// Create the dataset at `path`, creating intermediate datasets as
+    /// needed (mkdir -p semantics); idempotent.
+    DataSet createDataSet(std::string_view path) const;
+
+    [[nodiscard]] bool exists(std::string_view path) const { return root().hasDataSet(path); }
+
+    /// Shared connection internals (used by the ParallelEventProcessor, the
+    /// DataLoader and the benches).
+    [[nodiscard]] const std::shared_ptr<DataStoreImpl>& impl() const noexcept { return impl_; }
+
+  private:
+    explicit DataStore(std::shared_ptr<DataStoreImpl> impl) : impl_(std::move(impl)) {}
+    std::shared_ptr<DataStoreImpl> impl_;
+};
+
+}  // namespace hep::hepnos

@@ -1,0 +1,71 @@
+#include "hepnos/datastore_impl.hpp"
+
+#include <atomic>
+
+namespace hep::hepnos {
+
+std::string_view to_string(Role role) noexcept {
+    switch (role) {
+        case Role::kDatasets: return "datasets";
+        case Role::kRuns: return "runs";
+        case Role::kSubRuns: return "subruns";
+        case Role::kEvents: return "events";
+        case Role::kProducts: return "products";
+    }
+    return "?";
+}
+
+Result<Role> parse_role(std::string_view name) noexcept {
+    if (name == "datasets") return Role::kDatasets;
+    if (name == "runs") return Role::kRuns;
+    if (name == "subruns") return Role::kSubRuns;
+    if (name == "events") return Role::kEvents;
+    if (name == "products") return Role::kProducts;
+    return Status::InvalidArgument("unknown database role: " + std::string(name));
+}
+
+Result<std::shared_ptr<DataStoreImpl>> DataStoreImpl::connect(rpc::Fabric& network,
+                                                              const json::Value& config,
+                                                              const std::string& client_address) {
+    auto impl = std::shared_ptr<DataStoreImpl>(new DataStoreImpl());
+    try {
+        impl->engine_ =
+            std::make_unique<margo::Engine>(network, client_address, margo::EngineConfig{1});
+    } catch (const std::exception& e) {
+        return Status::AlreadyExists(e.what());
+    }
+
+    const json::Value& dbs = config["databases"];
+    if (!dbs.is_array() || dbs.size() == 0) {
+        return Status::InvalidArgument("connection config has no \"databases\"");
+    }
+    for (std::size_t i = 0; i < dbs.size(); ++i) {
+        const json::Value& entry = dbs.at(i);
+        auto role = parse_role(entry["role"].as_string());
+        if (!role.ok()) return role.status();
+        const std::string address = entry["address"].as_string();
+        const auto provider = static_cast<rpc::ProviderId>(entry["provider_id"].as_int());
+        const std::string name = entry["name"].as_string();
+        if (address.empty() || name.empty()) {
+            return Status::InvalidArgument("database entry needs address and name");
+        }
+        const auto idx = static_cast<std::size_t>(*role);
+        impl->dbs_[idx].emplace_back(*impl->engine_, address, provider, name);
+        impl->active_[idx].push_back(true);
+    }
+
+    for (std::size_t r = 0; r < kNumRoles; ++r) {
+        if (impl->dbs_[r].empty()) {
+            return Status::InvalidArgument(std::string("no databases with role \"") +
+                                           std::string(to_string(static_cast<Role>(r))) + '"');
+        }
+        impl->rings_[r] = HashRing(impl->dbs_[r].size());
+    }
+    return impl;
+}
+
+DataStoreImpl::~DataStoreImpl() {
+    if (engine_) engine_->finalize();
+}
+
+}  // namespace hep::hepnos

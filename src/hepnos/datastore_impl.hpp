@@ -1,0 +1,100 @@
+// Internal connection state shared by all HEPnOS handles.
+//
+// Holds the client engine plus, for each role (datasets / runs / subruns /
+// events / products), the list of database handles and a consistent-hash ring
+// used for placement (paper §II-C3: a child container's database is chosen by
+// hashing its PARENT's key).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/json.hpp"
+#include "margo/engine.hpp"
+#include "yokan/client.hpp"
+
+namespace hep::hepnos {
+
+enum class Role : std::size_t {
+    kDatasets = 0,
+    kRuns = 1,
+    kSubRuns = 2,
+    kEvents = 3,
+    kProducts = 4,
+};
+inline constexpr std::size_t kNumRoles = 5;
+
+std::string_view to_string(Role role) noexcept;
+Result<Role> parse_role(std::string_view name) noexcept;
+
+class DataStoreImpl {
+  public:
+    /// Build from a connection document: {"databases": [{address,
+    /// provider_id, name, role}, ...]}. Owns a fresh client engine.
+    static Result<std::shared_ptr<DataStoreImpl>> connect(rpc::Fabric& network,
+                                                          const json::Value& config,
+                                                          const std::string& client_address);
+
+    ~DataStoreImpl();
+
+    [[nodiscard]] margo::Engine& engine() noexcept { return *engine_; }
+
+    /// All databases serving `role`.
+    [[nodiscard]] const std::vector<yokan::DatabaseHandle>& databases(Role role) const noexcept {
+        return dbs_[static_cast<std::size_t>(role)];
+    }
+
+    /// Placement: database responsible for children of `parent_key`.
+    [[nodiscard]] const yokan::DatabaseHandle& locate(Role role,
+                                                      std::string_view parent_key) const {
+        const auto idx = static_cast<std::size_t>(role);
+        return dbs_[idx][rings_[idx].lookup(parent_key)];
+    }
+
+    /// Index of the database responsible for children of `parent_key`.
+    [[nodiscard]] std::size_t locate_index(Role role, std::string_view parent_key) const {
+        return rings_[static_cast<std::size_t>(role)].lookup(parent_key);
+    }
+
+    [[nodiscard]] std::size_t database_count(Role role) const noexcept {
+        return dbs_[static_cast<std::size_t>(role)].size();
+    }
+
+    // ---- storage rescaling support (see hepnos/rescale.hpp) -----------------
+    /// Register an additional storage target for `role`; returns its index.
+    /// The ring is extended, so subsequent placements may choose it. Callers
+    /// are responsible for migrating the keys that changed owner.
+    std::size_t add_database(Role role, yokan::DatabaseHandle handle) {
+        const auto idx = static_cast<std::size_t>(role);
+        dbs_[idx].push_back(std::move(handle));
+        active_[idx].push_back(true);
+        rings_[idx].add_target(dbs_[idx].size() - 1);
+        return dbs_[idx].size() - 1;
+    }
+
+    /// Remove a target from `role`'s ring. The handle stays addressable (so
+    /// migration can drain it) but receives no new placements.
+    void deactivate_database(Role role, std::size_t index) {
+        const auto idx = static_cast<std::size_t>(role);
+        rings_[idx].remove_target(index);
+        active_[idx][index] = false;
+    }
+
+    [[nodiscard]] bool is_active(Role role, std::size_t index) const {
+        const auto idx = static_cast<std::size_t>(role);
+        return index < active_[idx].size() && active_[idx][index];
+    }
+
+  private:
+    DataStoreImpl() = default;
+
+    std::unique_ptr<margo::Engine> engine_;
+    std::array<std::vector<yokan::DatabaseHandle>, kNumRoles> dbs_;
+    std::array<std::vector<bool>, kNumRoles> active_;
+    std::array<HashRing, kNumRoles> rings_;
+};
+
+}  // namespace hep::hepnos

@@ -1,0 +1,113 @@
+// EventSet: iterate the events of a dataset at DATABASE granularity — the
+// access pattern underneath the ParallelEventProcessor (paper §II-D: readers
+// drain whole event databases; §II-C3's placement makes each database an
+// independently iterable shard of the dataset).
+//
+//   // all events of the dataset, one shard:
+//   for (const Event& ev : EventSet(datastore, ds, /*db_index=*/2)) ...
+//   // or every shard (equivalent to nested run/subrun/event loops, but in
+//   // key order per database rather than global order):
+//   for (std::size_t i = 0; i < EventSet::num_targets(datastore); ++i)
+//       for (const Event& ev : EventSet(datastore, ds, i)) ...
+#pragma once
+
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "hepnos/containers.hpp"
+#include "hepnos/datastore.hpp"
+
+namespace hep::hepnos {
+
+class EventSet {
+  public:
+    /// Events of `dataset` stored in event database `db_index`.
+    EventSet(DataStore datastore, const DataSet& dataset, std::size_t db_index,
+             std::size_t page_size = 1024)
+        : impl_(datastore.impl()),
+          uuid_(dataset.uuid()),
+          db_index_(db_index),
+          page_size_(page_size) {
+        if (!impl_) throw Exception("EventSet needs a connected DataStore");
+        if (db_index_ >= impl_->database_count(Role::kEvents)) {
+            throw Exception(Status::InvalidArgument("event database index out of range"));
+        }
+        if (page_size_ == 0) throw Exception(Status::InvalidArgument("page_size >= 1"));
+    }
+
+    /// Number of event databases (= number of shards).
+    static std::size_t num_targets(const DataStore& datastore) {
+        return datastore.impl()->database_count(Role::kEvents);
+    }
+
+    class Iterator {
+      public:
+        using iterator_category = std::input_iterator_tag;
+        using value_type = Event;
+        using difference_type = std::ptrdiff_t;
+
+        Iterator() = default;  // end sentinel
+        Iterator(const EventSet* set) : set_(set), done_(false) {  // NOLINT
+            fetch(std::string(set_->uuid_.bytes()));
+            advance();
+        }
+
+        const Event& operator*() const { return current_; }
+        const Event* operator->() const { return &current_; }
+        Iterator& operator++() {
+            advance();
+            return *this;
+        }
+        void operator++(int) { advance(); }
+        friend bool operator==(const Iterator& a, const Iterator& b) {
+            return a.done_ == b.done_;
+        }
+        friend bool operator!=(const Iterator& a, const Iterator& b) { return !(a == b); }
+
+      private:
+        void fetch(const std::string& after) {
+            const auto& db = set_->impl_->databases(Role::kEvents)[set_->db_index_];
+            auto page = db.list_keys(after, set_->uuid_.bytes(), set_->page_size_);
+            if (!page.ok()) throw Exception(page.status());
+            page_ = std::move(page.value());
+            index_ = 0;
+        }
+
+        void advance() {
+            if (done_) return;
+            if (index_ >= page_.size()) {
+                if (page_.size() < set_->page_size_) {
+                    done_ = true;
+                    return;
+                }
+                fetch(page_.back());
+                if (page_.empty()) {
+                    done_ = true;
+                    return;
+                }
+            }
+            const std::string& key = page_[index_++];
+            current_ = Event(set_->impl_, set_->uuid_, decode_be64(key.data() + 16),
+                             decode_be64(key.data() + 24), decode_be64(key.data() + 32));
+        }
+
+        const EventSet* set_ = nullptr;
+        std::vector<std::string> page_;
+        std::size_t index_ = 0;
+        Event current_;
+        bool done_ = true;
+    };
+
+    [[nodiscard]] Iterator begin() const { return Iterator(this); }
+    [[nodiscard]] Iterator end() const { return Iterator(); }
+
+  private:
+    friend class Iterator;
+    std::shared_ptr<DataStoreImpl> impl_;
+    Uuid uuid_;
+    std::size_t db_index_;
+    std::size_t page_size_;
+};
+
+}  // namespace hep::hepnos

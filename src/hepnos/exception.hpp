@@ -1,0 +1,35 @@
+// Exception type for the public HEPnOS API. The substrates below (rpc, yokan)
+// use Status/Result; the user-facing API mirrors real HEPnOS and throws.
+#pragma once
+
+#include <stdexcept>
+
+#include "common/status.hpp"
+
+namespace hep::hepnos {
+
+class Exception : public std::runtime_error {
+  public:
+    explicit Exception(const Status& status)
+        : std::runtime_error(status.to_string()), code_(status.code()) {}
+    explicit Exception(std::string message)
+        : std::runtime_error(std::move(message)), code_(StatusCode::kInternal) {}
+
+    [[nodiscard]] StatusCode code() const noexcept { return code_; }
+
+  private:
+    StatusCode code_;
+};
+
+/// Throw on non-OK status (helper for the public API layer).
+inline void throw_if_error(const Status& status) {
+    if (!status.ok()) throw Exception(status);
+}
+
+template <typename T>
+T value_or_throw(Result<T> result) {
+    if (!result.ok()) throw Exception(result.status());
+    return std::move(result).value();
+}
+
+}  // namespace hep::hepnos

@@ -1,0 +1,13 @@
+// Public umbrella header for the HEPnOS client library (paper Listing 1:
+// #include <hepnos.hpp>).
+#pragma once
+
+#include "hepnos/containers.hpp"                // IWYU pragma: export
+#include "hepnos/datastore.hpp"                 // IWYU pragma: export
+#include "hepnos/event_set.hpp"                 // IWYU pragma: export
+#include "hepnos/exception.hpp"                 // IWYU pragma: export
+#include "hepnos/keys.hpp"                      // IWYU pragma: export
+#include "hepnos/parallel_event_processor.hpp"  // IWYU pragma: export
+#include "hepnos/prefetcher.hpp"                // IWYU pragma: export
+#include "hepnos/rescale.hpp"                   // IWYU pragma: export
+#include "hepnos/write_batch.hpp"               // IWYU pragma: export

@@ -1,0 +1,39 @@
+#include "hepnos/keys.hpp"
+
+namespace hep::hepnos {
+
+std::string normalize_path(std::string_view path) {
+    std::string out;
+    out.reserve(path.size() + 1);
+    bool last_was_sep = true;  // swallow a leading separator; we add our own
+    for (char c : path) {
+        if (c == kPathSeparator) {
+            last_was_sep = true;
+            continue;
+        }
+        if (last_was_sep) out.push_back(kPathSeparator);
+        out.push_back(c);
+        last_was_sep = false;
+    }
+    return out;  // "" for root
+}
+
+std::string_view basename_of(std::string_view normalized_path) {
+    const auto pos = normalized_path.rfind(kPathSeparator);
+    if (pos == std::string_view::npos) return normalized_path;
+    return normalized_path.substr(pos + 1);
+}
+
+std::string_view parent_of(std::string_view normalized_path) {
+    const auto pos = normalized_path.rfind(kPathSeparator);
+    if (pos == std::string_view::npos || pos == 0) return {};
+    return normalized_path.substr(0, pos);
+}
+
+bool is_direct_child(std::string_view key, std::string_view parent_prefix) {
+    if (key.size() <= parent_prefix.size()) return false;
+    if (key.compare(0, parent_prefix.size(), parent_prefix) != 0) return false;
+    return key.find(kPathSeparator, parent_prefix.size()) == std::string_view::npos;
+}
+
+}  // namespace hep::hepnos

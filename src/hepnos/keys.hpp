@@ -1,0 +1,103 @@
+// Key crafting (paper §II-C).
+//
+// HEPnOS stores everything in flat key/value namespaces; hierarchy comes from
+// carefully constructed keys:
+//   dataset:  key = full path ("/fermilab/nova"), value = 16-byte UUID
+//   run:      key = <dataset UUID><run# BE64>                (no value)
+//   subrun:   key = <dataset UUID><run BE64><subrun BE64>    (no value)
+//   event:    key = <...><event BE64>                        (no value)
+//   product:  key = <container key><label>#<type>, value = serialized object
+//
+// Numbers are big-endian so lexicographic database order == ascending numeric
+// order; a container's children are placed by consistent-hashing the PARENT
+// key so they all land in one database and can be iterated with one cursor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <typeinfo>
+
+#include "common/endian.hpp"
+#include "common/uuid.hpp"
+
+namespace hep::hepnos {
+
+using RunNumber = std::uint64_t;
+using SubRunNumber = std::uint64_t;
+using EventNumber = std::uint64_t;
+
+inline constexpr char kPathSeparator = '/';
+inline constexpr char kLabelTypeSeparator = '#';
+
+/// Normalize a dataset path: leading '/', no trailing '/', collapse '//'.
+/// "path/to/dataset" -> "/path/to/dataset"; "" or "/" -> "" (the root).
+std::string normalize_path(std::string_view path);
+
+/// Last component of a normalized path ("/a/b" -> "b"; root -> "").
+std::string_view basename_of(std::string_view normalized_path);
+
+/// Parent of a normalized path ("/a/b" -> "/a"; "/a" -> ""; root -> "").
+std::string_view parent_of(std::string_view normalized_path);
+
+/// True if `key` is a DIRECT child path of `parent_prefix` (i.e. contains no
+/// further separator after the prefix). `parent_prefix` must end with '/'.
+bool is_direct_child(std::string_view key, std::string_view parent_prefix);
+
+// ---- container keys --------------------------------------------------------
+
+inline std::string run_key(const Uuid& dataset, RunNumber run) {
+    std::string key(dataset.bytes());
+    append_be64(key, run);
+    return key;
+}
+
+inline std::string subrun_key(const Uuid& dataset, RunNumber run, SubRunNumber subrun) {
+    std::string key = run_key(dataset, run);
+    append_be64(key, subrun);
+    return key;
+}
+
+inline std::string event_key(const Uuid& dataset, RunNumber run, SubRunNumber subrun,
+                             EventNumber event) {
+    std::string key = subrun_key(dataset, run, subrun);
+    append_be64(key, event);
+    return key;
+}
+
+/// The trailing number of a container key (the last 8 big-endian bytes).
+inline std::uint64_t key_number(std::string_view key) {
+    return decode_be64(key.substr(key.size() - 8));
+}
+
+// ---- product keys ----------------------------------------------------------
+
+inline std::string product_key(std::string_view container_key, std::string_view label,
+                               std::string_view type) {
+    std::string key;
+    key.reserve(container_key.size() + label.size() + 1 + type.size());
+    key.append(container_key);
+    key.append(label);
+    key.push_back(kLabelTypeSeparator);
+    key.append(type);
+    return key;
+}
+
+/// Stable name for T used inside product keys. Uses the platform's
+/// typeid name; specialize to pin a portable name:
+///   template <> struct ProductTypeName<MyT> {
+///       static std::string_view value() { return "MyT"; } };
+template <typename T>
+struct ProductTypeName {
+    static std::string_view value() {
+        static const std::string name = typeid(T).name();
+        return name;
+    }
+};
+
+template <typename T>
+std::string_view product_type_name() {
+    return ProductTypeName<T>::value();
+}
+
+}  // namespace hep::hepnos

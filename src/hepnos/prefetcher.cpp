@@ -1,0 +1,68 @@
+#include "hepnos/prefetcher.hpp"
+
+namespace hep::hepnos {
+
+void Prefetcher::visit_container(const Uuid& dataset, std::string_view parent_key,
+                                 const Visitor& fn) const {
+    auto& impl = *datastore_.impl();
+    const auto& events_db = impl.locate(Role::kEvents, parent_key);
+
+    std::string after(parent_key);
+    while (true) {
+        auto page = events_db.list_keys(after, parent_key, page_size_);
+        if (!page.ok()) throw Exception(page.status());
+        if (page->empty()) break;
+        after = page->back();
+
+        // One get_multi per product database for everything this page needs.
+        ProductCache cache;
+        if (!labels_.empty()) {
+            std::map<std::size_t, std::vector<std::string>> by_db;
+            for (const auto& event_key : *page) {
+                const std::size_t db = impl.locate_index(Role::kProducts, event_key);
+                for (const auto& [label, type] : labels_) {
+                    by_db[db].push_back(product_key(event_key, label, type));
+                }
+            }
+            for (auto& [db, keys] : by_db) {
+                auto values = impl.databases(Role::kProducts)[db].get_multi(keys);
+                if (!values.ok()) throw Exception(values.status());
+                for (std::size_t i = 0; i < keys.size(); ++i) {
+                    if ((*values)[i].has_value()) {
+                        cache.put(std::move(keys[i]), std::move(*(*values)[i]));
+                        ++prefetched_;
+                    }
+                }
+            }
+        }
+
+        for (const auto& key : *page) {
+            const RunNumber run = decode_be64(std::string_view(key).substr(16));
+            const SubRunNumber subrun = decode_be64(std::string_view(key).substr(24));
+            const EventNumber event = decode_be64(std::string_view(key).substr(32));
+            Event ev(datastore_.impl(), dataset, run, subrun, event);
+            fn(ev, cache);
+            ++visited_;
+        }
+        if (page->size() < page_size_) break;
+    }
+}
+
+void Prefetcher::for_each_event(const SubRun& subrun, const Visitor& fn) const {
+    visit_container(Uuid::from_bytes(std::string_view(subrun.container_key()).substr(0, 16)),
+                    subrun.container_key(), fn);
+}
+
+void Prefetcher::for_each_event(const Run& run, const Visitor& fn) const {
+    for (const auto& subrun : run) {
+        for_each_event(subrun, fn);
+    }
+}
+
+void Prefetcher::for_each_event(const DataSet& dataset, const Visitor& fn) const {
+    for (const auto& run : dataset) {
+        for_each_event(run, fn);
+    }
+}
+
+}  // namespace hep::hepnos

@@ -1,0 +1,67 @@
+// Prefetcher: batched, product-prefetching event iteration for a single
+// consumer (the ParallelEventProcessor's little sibling, paper §II-D).
+//
+// Where the PEP coordinates a group of MPI ranks, the Prefetcher accelerates
+// one process iterating a subrun (or a whole dataset): event keys are fetched
+// in pages and the requested products are pulled with one get_multi per
+// product database per page, so the per-event load() in the loop body becomes
+// a local cache hit.
+//
+//   Prefetcher prefetcher(datastore, /*page=*/1024);
+//   prefetcher.fetch_product<std::vector<nova::Slice>>("slices");
+//   prefetcher.for_each_event(subrun, [&](const Event& ev, const ProductCache& cache) {
+//       std::vector<nova::Slice> slices;
+//       cache.load(ev, "slices", slices);
+//   });
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hepnos/containers.hpp"
+#include "hepnos/datastore.hpp"
+#include "hepnos/parallel_event_processor.hpp"  // ProductCache
+
+namespace hep::hepnos {
+
+class Prefetcher {
+  public:
+    explicit Prefetcher(DataStore datastore, std::size_t page_size = 1024)
+        : datastore_(std::move(datastore)), page_size_(page_size) {
+        if (!datastore_.valid()) throw Exception("Prefetcher needs a DataStore");
+        if (page_size_ == 0) throw Exception(Status::InvalidArgument("page_size >= 1"));
+    }
+
+    /// Request prefetching of (label, T) for every visited event.
+    template <typename T>
+    void fetch_product(std::string_view label = "") {
+        labels_.emplace_back(std::string(label), std::string(product_type_name<T>()));
+    }
+
+    using Visitor = std::function<void(const Event&, const ProductCache&)>;
+
+    /// Visit every event of the subrun in ascending order.
+    void for_each_event(const SubRun& subrun, const Visitor& fn) const;
+
+    /// Visit every event of the run (all subruns, ascending).
+    void for_each_event(const Run& run, const Visitor& fn) const;
+
+    /// Visit every event of the dataset (all runs, ascending).
+    void for_each_event(const DataSet& dataset, const Visitor& fn) const;
+
+    [[nodiscard]] std::uint64_t events_visited() const noexcept { return visited_; }
+    [[nodiscard]] std::uint64_t products_prefetched() const noexcept { return prefetched_; }
+
+  private:
+    void visit_container(const Uuid& dataset, std::string_view parent_key, const Visitor& fn)
+        const;
+
+    DataStore datastore_;
+    std::size_t page_size_;
+    std::vector<std::pair<std::string, std::string>> labels_;  // (label, type)
+    mutable std::uint64_t visited_ = 0;
+    mutable std::uint64_t prefetched_ = 0;
+};
+
+}  // namespace hep::hepnos

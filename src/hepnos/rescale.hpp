@@ -1,0 +1,54 @@
+// Storage rescaling (paper §V):
+//
+// "An early design of HEPnOS was used to evaluate the potential for storage
+//  rescaling [Pufferscale], a technique that could further improve HEPnOS's
+//  potential by allowing users to add and remove storage resources to it
+//  while HEP applications are using it."
+//
+// This module implements that extension for the container roles: a database
+// can be added to (or removed from) a role's consistent-hash ring, and the
+// keys whose owner changed are migrated in bulk. Thanks to consistent
+// hashing, adding the (n+1)-th target moves only ~1/(n+1) of the key space.
+//
+// Parent-key extraction per role (needed to recompute ownership, §II-C3):
+//   datasets:  parent = parent path of the key ("/a/b" -> "/a")
+//   runs:      parent = first 16 bytes  (dataset UUID)
+//   subruns:   parent = first 24 bytes  (UUID + run)
+//   events:    parent = first 32 bytes  (UUID + run + subrun)
+// Product keys append "<label>#<type>" with no fixed-width parent, so product
+// rescaling requires descriptor-tagged keys — out of scope here, as it was
+// for the early design the paper cites.
+#pragma once
+
+#include <cstdint>
+
+#include "hepnos/datastore_impl.hpp"
+
+namespace hep::hepnos {
+
+struct RescaleStats {
+    std::uint64_t keys_scanned = 0;
+    std::uint64_t keys_moved = 0;
+    std::uint64_t batches = 0;
+
+    [[nodiscard]] double moved_fraction() const {
+        return keys_scanned == 0
+                   ? 0.0
+                   : static_cast<double>(keys_moved) / static_cast<double>(keys_scanned);
+    }
+};
+
+/// Add `handle` as a new storage target for `role` and migrate the keys that
+/// now belong to it. Safe for concurrent READS only after completion; callers
+/// must quiesce writers during the operation (Pufferscale's protocol; our
+/// scope matches the paper's "early design" evaluation).
+Result<RescaleStats> add_storage_target(DataStoreImpl& impl, Role role,
+                                        yokan::DatabaseHandle handle,
+                                        std::size_t batch_size = 1024);
+
+/// Remove the storage target at `index` from `role`, migrating every key it
+/// holds to the remaining targets. The database is left empty but reachable.
+Result<RescaleStats> remove_storage_target(DataStoreImpl& impl, Role role, std::size_t index,
+                                           std::size_t batch_size = 1024);
+
+}  // namespace hep::hepnos

@@ -1,0 +1,104 @@
+#include "hepnos/write_batch.hpp"
+
+#include "hepnos/exception.hpp"
+#include "serial/archive.hpp"
+#include "yokan/protocol.hpp"
+
+namespace hep::hepnos {
+
+WriteBatch::WriteBatch(std::shared_ptr<DataStoreImpl> impl, std::size_t flush_threshold)
+    : impl_(std::move(impl)), flush_threshold_(flush_threshold) {
+    if (!impl_) throw Exception("WriteBatch needs a connected DataStore");
+}
+
+WriteBatch::~WriteBatch() {
+    try {
+        flush();
+    } catch (const Exception&) {
+        // Destructors must not throw; callers who care about failures should
+        // flush() explicitly first.
+    }
+}
+
+void WriteBatch::add(Role role, std::string_view parent_key, std::string key,
+                     std::string value) {
+    const yokan::DatabaseHandle& handle = impl_->locate(role, parent_key);
+    TargetKey tk{handle.server(), handle.provider(), handle.name()};
+    auto it = groups_.find(tk);
+    if (it == groups_.end()) {
+        it = groups_.emplace(std::move(tk),
+                             std::make_pair(handle, std::vector<yokan::KeyValue>{}))
+                 .first;
+    }
+    it->second.second.push_back(yokan::KeyValue{std::move(key), std::move(value)});
+    ++pending_;
+    if (it->second.second.size() >= flush_threshold_) {
+        auto items = std::move(it->second.second);
+        it->second.second.clear();
+        pending_ -= items.size();
+        total_flushed_ += items.size();
+        ++flush_rpcs_;
+        ship(it->second.first, std::move(items));
+    }
+}
+
+void WriteBatch::flush() {
+    for (auto& [tk, group] : groups_) {
+        if (group.second.empty()) continue;
+        auto items = std::move(group.second);
+        group.second.clear();
+        pending_ -= items.size();
+        total_flushed_ += items.size();
+        ++flush_rpcs_;
+        ship(group.first, std::move(items));
+    }
+}
+
+void WriteBatch::ship(const yokan::DatabaseHandle& handle, std::vector<yokan::KeyValue> items) {
+    auto stored = handle.put_multi(items, /*overwrite=*/true);
+    throw_if_error(stored.status());
+}
+
+// ----------------------------------------------------------- AsyncWriteBatch
+
+AsyncWriteBatch::AsyncWriteBatch(std::shared_ptr<DataStoreImpl> impl,
+                                 std::size_t flush_threshold)
+    : WriteBatch(std::move(impl), flush_threshold) {}
+
+AsyncWriteBatch::~AsyncWriteBatch() {
+    try {
+        flush();
+        wait();
+    } catch (const Exception&) {
+        // see ~WriteBatch()
+    }
+}
+
+void AsyncWriteBatch::ship(const yokan::DatabaseHandle& handle,
+                           std::vector<yokan::KeyValue> items) {
+    // Issue the put_multi without blocking: pack, expose, fire the RPC, and
+    // remember the pending completion. The packed buffer stays alive in
+    // `in_flight_` until wait().
+    auto pending = std::make_unique<Pending>();
+    for (const auto& kv : items) yokan::proto::pack_entry(pending->packed, kv.key, kv.value);
+    auto& endpoint = impl_->engine().endpoint();
+    pending->bulk = endpoint.expose(pending->packed.data(), pending->packed.size());
+    yokan::proto::PutMultiReq req{handle.name(), pending->bulk, items.size(),
+                                  pending->packed.size(), /*overwrite=*/true};
+    pending->eventual = endpoint.call_async(handle.server(), "yokan_put_multi",
+                                            handle.provider(), serial::to_string(req));
+    in_flight_.push_back(std::move(pending));
+}
+
+void AsyncWriteBatch::wait() {
+    Status first_error;
+    for (auto& pending : in_flight_) {
+        auto& result = pending->eventual->wait();
+        impl_->engine().endpoint().unexpose(pending->bulk);
+        if (!result.ok() && first_error.ok()) first_error = result.status();
+    }
+    in_flight_.clear();
+    throw_if_error(first_error);
+}
+
+}  // namespace hep::hepnos

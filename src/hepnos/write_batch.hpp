@@ -1,0 +1,86 @@
+// WriteBatch and AsyncWriteBatch (paper §II-D).
+//
+// A WriteBatch accumulates container creations and product stores in a local
+// buffer, groups them by target database (not all updates target the same
+// one), and sends grouped updates with one put_multi (bulk) per database when
+// flushed or destroyed.
+//
+// An AsyncWriteBatch issues those grouped RPCs in the background as soon as a
+// per-database threshold is reached and guarantees completion in its
+// destructor.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hepnos/datastore_impl.hpp"
+#include "yokan/client.hpp"
+
+namespace hep::hepnos {
+
+class WriteBatch {
+  public:
+    /// `flush_threshold` items per target database triggers an eager flush.
+    explicit WriteBatch(std::shared_ptr<DataStoreImpl> impl,
+                        std::size_t flush_threshold = 8192);
+    virtual ~WriteBatch();
+    WriteBatch(const WriteBatch&) = delete;
+    WriteBatch& operator=(const WriteBatch&) = delete;
+
+    /// Queue a put; placement follows the same rule as direct writes.
+    void add(Role role, std::string_view parent_key, std::string key, std::string value);
+
+    /// Send everything queued; throws hepnos::Exception on failure.
+    void flush();
+
+    [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+    [[nodiscard]] std::uint64_t total_flushed() const noexcept { return total_flushed_; }
+    [[nodiscard]] std::uint64_t flush_rpcs() const noexcept { return flush_rpcs_; }
+
+  protected:
+    struct TargetKey {
+        std::string server;
+        rpc::ProviderId provider;
+        std::string db;
+        bool operator<(const TargetKey& o) const {
+            return std::tie(server, provider, db) < std::tie(o.server, o.provider, o.db);
+        }
+    };
+
+    /// Ship one group; overridden by AsyncWriteBatch.
+    virtual void ship(const yokan::DatabaseHandle& handle, std::vector<yokan::KeyValue> items);
+
+    std::shared_ptr<DataStoreImpl> impl_;
+    std::size_t flush_threshold_;
+    std::map<TargetKey, std::pair<yokan::DatabaseHandle, std::vector<yokan::KeyValue>>> groups_;
+    std::size_t pending_ = 0;
+    std::uint64_t total_flushed_ = 0;
+    std::uint64_t flush_rpcs_ = 0;
+};
+
+/// Issues grouped updates asynchronously; wait() (or the destructor) blocks
+/// until every in-flight update has been acknowledged.
+class AsyncWriteBatch final : public WriteBatch {
+  public:
+    explicit AsyncWriteBatch(std::shared_ptr<DataStoreImpl> impl,
+                             std::size_t flush_threshold = 8192);
+    ~AsyncWriteBatch() override;
+
+    /// Block until all issued updates completed; throws on any failure.
+    void wait();
+
+  protected:
+    void ship(const yokan::DatabaseHandle& handle, std::vector<yokan::KeyValue> items) override;
+
+  private:
+    struct Pending {
+        std::string packed;  // must outlive the bulk pull
+        rpc::BulkRef bulk;
+        std::shared_ptr<abt::Eventual<Result<std::string>>> eventual;
+    };
+    std::vector<std::unique_ptr<Pending>> in_flight_;
+};
+
+}  // namespace hep::hepnos

@@ -1,0 +1,251 @@
+#include "htf/htf.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace hep::htf {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x485446312D763031ULL;  // "HTF1-v01"
+
+struct Writer {
+    std::FILE* f;
+    bool ok = true;
+    void u8(std::uint8_t v) { write(&v, 1); }
+    void u32(std::uint32_t v) { write(&v, 4); }
+    void u64(std::uint64_t v) { write(&v, 8); }
+    void str(const std::string& s) {
+        u32(static_cast<std::uint32_t>(s.size()));
+        write(s.data(), s.size());
+    }
+    void write(const void* p, std::size_t n) {
+        if (ok && std::fwrite(p, 1, n, f) != n) ok = false;
+    }
+};
+
+struct Reader {
+    std::FILE* f;
+    bool ok = true;
+    std::uint8_t u8() {
+        std::uint8_t v = 0;
+        read(&v, 1);
+        return v;
+    }
+    std::uint32_t u32() {
+        std::uint32_t v = 0;
+        read(&v, 4);
+        return v;
+    }
+    std::uint64_t u64() {
+        std::uint64_t v = 0;
+        read(&v, 8);
+        return v;
+    }
+    std::string str() {
+        const std::uint32_t n = u32();
+        if (!ok || n > (1u << 20)) {
+            ok = false;
+            return {};
+        }
+        std::string s(n, '\0');
+        read(s.data(), n);
+        return s;
+    }
+    void read(void* p, std::size_t n) {
+        if (ok && std::fread(p, 1, n, f) != n) ok = false;
+    }
+    void skip(std::size_t n) {
+        if (ok && std::fseek(f, static_cast<long>(n), SEEK_CUR) != 0) ok = false;
+    }
+};
+
+template <typename T>
+void write_payload(Writer& w, const std::vector<T>& v) {
+    w.write(v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+ColumnData read_payload(Reader& r, std::uint64_t rows) {
+    std::vector<T> v(rows);
+    r.read(v.data(), rows * sizeof(T));
+    return v;
+}
+
+}  // namespace
+
+std::string_view to_string(ColumnType t) noexcept {
+    switch (t) {
+        case ColumnType::kInt32: return "int32";
+        case ColumnType::kInt64: return "int64";
+        case ColumnType::kUInt32: return "uint32";
+        case ColumnType::kUInt64: return "uint64";
+        case ColumnType::kFloat32: return "float32";
+        case ColumnType::kFloat64: return "float64";
+    }
+    return "?";
+}
+
+std::size_t width_of(ColumnType t) noexcept {
+    switch (t) {
+        case ColumnType::kInt32:
+        case ColumnType::kUInt32:
+        case ColumnType::kFloat32: return 4;
+        default: return 8;
+    }
+}
+
+ColumnType type_of(const ColumnData& data) noexcept {
+    return static_cast<ColumnType>(data.index() + 1);
+}
+
+std::size_t size_of(const ColumnData& data) noexcept {
+    return std::visit([](const auto& v) { return v.size(); }, data);
+}
+
+Status Group::add_column(const std::string& column, ColumnData data) {
+    const std::size_t n = size_of(data);
+    if (!columns_.empty() && n != rows_) {
+        return Status::InvalidArgument("column " + column + " has " + std::to_string(n) +
+                                       " rows, group " + name_ + " has " +
+                                       std::to_string(rows_));
+    }
+    if (columns_.count(column)) {
+        return Status::AlreadyExists("column " + column + " already in group " + name_);
+    }
+    rows_ = n;
+    columns_.emplace(column, std::move(data));
+    return Status::OK();
+}
+
+bool Group::has_column(const std::string& column) const { return columns_.count(column) > 0; }
+
+const ColumnData* Group::column(const std::string& column) const {
+    auto it = columns_.find(column);
+    return it == columns_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Group::column_names() const {
+    std::vector<std::string> names;
+    names.reserve(columns_.size());
+    for (const auto& [name, data] : columns_) names.push_back(name);
+    return names;
+}
+
+Group& File::create_group(const std::string& name) {
+    auto it = groups_.find(name);
+    if (it == groups_.end()) it = groups_.emplace(name, Group(name)).first;
+    return it->second;
+}
+
+const Group* File::group(const std::string& name) const {
+    auto it = groups_.find(name);
+    return it == groups_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> File::group_names() const {
+    std::vector<std::string> names;
+    names.reserve(groups_.size());
+    for (const auto& [name, g] : groups_) names.push_back(name);
+    return names;
+}
+
+Status File::write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) return Status::IOError("cannot create " + path);
+    Writer w{f};
+    w.u64(kMagic);
+    w.u64(groups_.size());
+    for (const auto& [gname, group] : groups_) {
+        w.str(gname);
+        w.u64(group.num_columns());
+        for (const auto& cname : group.column_names()) {
+            const ColumnData* data = group.column(cname);
+            w.str(cname);
+            w.u8(static_cast<std::uint8_t>(type_of(*data)));
+            w.u64(size_of(*data));
+            std::visit([&](const auto& v) { write_payload(w, v); }, *data);
+        }
+    }
+    const bool ok = w.ok;
+    std::fclose(f);
+    if (!ok) return Status::IOError("short write to " + path);
+    return Status::OK();
+}
+
+Result<File> File::read(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) return Status::IOError("cannot open " + path);
+    Reader r{f};
+    File out;
+    if (r.u64() != kMagic) {
+        std::fclose(f);
+        return Status::Corruption("bad HTF magic in " + path);
+    }
+    const std::uint64_t ngroups = r.u64();
+    for (std::uint64_t g = 0; r.ok && g < ngroups; ++g) {
+        const std::string gname = r.str();
+        Group& group = out.create_group(gname);
+        const std::uint64_t ncols = r.u64();
+        for (std::uint64_t c = 0; r.ok && c < ncols; ++c) {
+            const std::string cname = r.str();
+            const auto type = static_cast<ColumnType>(r.u8());
+            const std::uint64_t rows = r.u64();
+            if (rows > (1ULL << 32)) {
+                r.ok = false;
+                break;
+            }
+            ColumnData data;
+            switch (type) {
+                case ColumnType::kInt32: data = read_payload<std::int32_t>(r, rows); break;
+                case ColumnType::kInt64: data = read_payload<std::int64_t>(r, rows); break;
+                case ColumnType::kUInt32: data = read_payload<std::uint32_t>(r, rows); break;
+                case ColumnType::kUInt64: data = read_payload<std::uint64_t>(r, rows); break;
+                case ColumnType::kFloat32: data = read_payload<float>(r, rows); break;
+                case ColumnType::kFloat64: data = read_payload<double>(r, rows); break;
+                default: r.ok = false; continue;
+            }
+            if (r.ok) {
+                Status st = group.add_column(cname, std::move(data));
+                if (!st.ok()) {
+                    std::fclose(f);
+                    return st;
+                }
+            }
+        }
+    }
+    const bool ok = r.ok;
+    std::fclose(f);
+    if (!ok) return Status::Corruption("truncated or corrupt HTF file " + path);
+    return out;
+}
+
+Result<File::Schema> File::read_schema(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) return Status::IOError("cannot open " + path);
+    Reader r{f};
+    Schema schema;
+    if (r.u64() != kMagic) {
+        std::fclose(f);
+        return Status::Corruption("bad HTF magic in " + path);
+    }
+    const std::uint64_t ngroups = r.u64();
+    for (std::uint64_t g = 0; r.ok && g < ngroups; ++g) {
+        const std::string gname = r.str();
+        auto& cols = schema[gname];
+        const std::uint64_t ncols = r.u64();
+        for (std::uint64_t c = 0; r.ok && c < ncols; ++c) {
+            ColumnInfo info;
+            info.name = r.str();
+            info.type = static_cast<ColumnType>(r.u8());
+            info.rows = r.u64();
+            r.skip(info.rows * width_of(info.type));  // payload untouched
+            if (r.ok) cols.push_back(std::move(info));
+        }
+    }
+    const bool ok = r.ok;
+    std::fclose(f);
+    if (!ok) return Status::Corruption("truncated or corrupt HTF file " + path);
+    return schema;
+}
+
+}  // namespace hep::htf

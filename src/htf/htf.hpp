@@ -1,0 +1,107 @@
+// HTF — "HEP Table Format", the HDF5 substitute (paper §III-B).
+//
+// The paper's input data are HDF5 files organized as a hierarchy of groups;
+// leaf groups are named after the C++ class they store and contain a set of
+// 1-D tables (datasets) of identical length: three tables hold the run,
+// subrun and event numbers, the rest hold one member variable each. HTF
+// reproduces exactly that data model:
+//
+//   file := header, group*, directory, footer
+//   group := named leaf group with N columns, each a typed 1-D array
+//
+// plus runtime schema introspection (group names, column names/types), which
+// is what HDF2HEPnOS needs to deduce the class and generate code.
+//
+// All integers little-endian; column payloads are raw arrays.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hep::htf {
+
+enum class ColumnType : std::uint8_t {
+    kInt32 = 1,
+    kInt64 = 2,
+    kUInt32 = 3,
+    kUInt64 = 4,
+    kFloat32 = 5,
+    kFloat64 = 6,
+};
+
+std::string_view to_string(ColumnType t) noexcept;
+std::size_t width_of(ColumnType t) noexcept;
+
+/// Column data, type-erased.
+using ColumnData = std::variant<std::vector<std::int32_t>, std::vector<std::int64_t>,
+                                std::vector<std::uint32_t>, std::vector<std::uint64_t>,
+                                std::vector<float>, std::vector<double>>;
+
+ColumnType type_of(const ColumnData& data) noexcept;
+std::size_t size_of(const ColumnData& data) noexcept;
+
+/// A leaf group: a named set of equal-length 1-D columns.
+class Group {
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Add a column; all columns of a group must have the same length.
+    Status add_column(const std::string& column, ColumnData data);
+
+    [[nodiscard]] bool has_column(const std::string& column) const;
+    [[nodiscard]] const ColumnData* column(const std::string& column) const;
+    [[nodiscard]] std::vector<std::string> column_names() const;
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t num_columns() const noexcept { return columns_.size(); }
+
+    /// Typed access; null if missing or of a different type.
+    template <typename T>
+    const std::vector<T>* typed_column(const std::string& name) const {
+        const ColumnData* data = column(name);
+        if (!data) return nullptr;
+        return std::get_if<std::vector<T>>(data);
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, ColumnData> columns_;
+    std::size_t rows_ = 0;
+};
+
+/// An HTF file in memory: a set of named leaf groups.
+class File {
+  public:
+    File() = default;
+
+    Group& create_group(const std::string& name);
+    [[nodiscard]] const Group* group(const std::string& name) const;
+    [[nodiscard]] std::vector<std::string> group_names() const;
+    [[nodiscard]] std::size_t num_groups() const noexcept { return groups_.size(); }
+
+    /// Serialize to / parse from disk.
+    Status write(const std::string& path) const;
+    static Result<File> read(const std::string& path);
+
+    /// Schema-only read: group names and column names/types, without
+    /// loading any column payloads (fast; used by the code generator).
+    struct ColumnInfo {
+        std::string name;
+        ColumnType type;
+        std::uint64_t rows;
+    };
+    using Schema = std::map<std::string, std::vector<ColumnInfo>>;
+    static Result<Schema> read_schema(const std::string& path);
+
+  private:
+    std::map<std::string, Group> groups_;
+};
+
+}  // namespace hep::htf

@@ -1,0 +1,81 @@
+#include "margo/engine.hpp"
+
+#include "common/logging.hpp"
+
+namespace hep::margo {
+
+Engine::Engine(rpc::Fabric& network, std::string address, EngineConfig config)
+    : network_(network), config_(config) {
+    endpoint_ = network_.create_endpoint(address);
+    if (!endpoint_) {
+        throw std::runtime_error("margo::Engine: address already in use: " + address);
+    }
+    pool_ = abt::Pool::create(address + ":rpc-pool");
+    for (std::size_t i = 0; i < config_.rpc_xstreams; ++i) {
+        xstreams_.push_back(
+            abt::Xstream::create({pool_}, address + ":rpc-es-" + std::to_string(i)));
+    }
+}
+
+Engine::~Engine() { finalize(); }
+
+void Engine::finalize() {
+    if (finalized_) return;
+    finalized_ = true;
+    // Stop accepting new requests first, then drain the xstreams.
+    endpoint_->shutdown();
+    for (auto& xs : xstreams_) xs->join();
+    xstreams_.clear();
+}
+
+std::shared_ptr<abt::Pool> Engine::create_pool(const std::string& name, std::size_t xstreams) {
+    auto pool = abt::Pool::create(name);
+    for (std::size_t i = 0; i < xstreams; ++i) {
+        xstreams_.push_back(abt::Xstream::create({pool}, name + ":es-" + std::to_string(i)));
+    }
+    return pool;
+}
+
+void Engine::define_with_context(std::string_view name, rpc::ProviderId provider_id,
+                                 RawHandler handler, std::shared_ptr<abt::Pool> pool) {
+    auto target_pool = pool ? std::move(pool) : pool_;
+    const std::size_t stack_size = config_.handler_stack_size;
+    endpoint_->register_handler(
+        name, provider_id,
+        [target_pool, handler = std::move(handler), stack_size](rpc::RequestContext& ctx) {
+            // The rpc layer owns the context only for the duration of this
+            // callback; move it into the ULT so the handler can respond later.
+            auto owned = std::make_shared<rpc::RequestContext>(std::move(ctx));
+            abt::Ult::create(
+                target_pool,
+                [owned, handler] {
+                    Result<std::string> out = [&]() -> Result<std::string> {
+                        try {
+                            return handler(owned->payload(), *owned);
+                        } catch (const std::exception& e) {
+                            return Status::Internal(std::string("handler exception: ") +
+                                                    e.what());
+                        }
+                    }();
+                    if (out.ok()) {
+                        owned->respond(std::move(out.value()));
+                    } else {
+                        owned->respond_error(out.status());
+                    }
+                },
+                stack_size);
+        });
+}
+
+void Engine::define_raw(std::string_view name, rpc::ProviderId provider_id,
+                        std::function<Result<std::string>(const std::string&)> handler,
+                        std::shared_ptr<abt::Pool> pool) {
+    define_with_context(
+        name, provider_id,
+        [handler = std::move(handler)](const std::string& payload, rpc::RequestContext&) {
+            return handler(payload);
+        },
+        std::move(pool));
+}
+
+}  // namespace hep::margo

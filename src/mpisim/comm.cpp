@@ -1,0 +1,53 @@
+#include "mpisim/comm.hpp"
+
+#include <exception>
+#include <thread>
+
+namespace hep::mpisim {
+
+void Comm::barrier() {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    const std::uint64_t gen = state_->generation;
+    if (++state_->arrived == state_->size) {
+        state_->arrived = 0;
+        ++state_->generation;
+        lock.unlock();
+        state_->cv.notify_all();
+        return;
+    }
+    state_->cv.wait(lock, [&] { return state_->generation != gen; });
+}
+
+void Comm::stage(std::string payload) {
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        state_->slots[static_cast<std::size_t>(rank_)] = std::move(payload);
+    }
+    barrier();  // all slots populated
+}
+
+void run_ranks(int n, const std::function<void(Comm&)>& body) {
+    auto state = std::make_shared<detail::CommState>(n);
+    std::vector<std::thread> threads;
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+        threads.emplace_back([&, r] {
+            Comm comm(state, r);
+            try {
+                body(comm);
+            } catch (...) {
+                errors[static_cast<std::size_t>(r)] = std::current_exception();
+                // A crashed rank would hang collectives; there is no
+                // recovery in MPI either. Tests keep bodies exception-free
+                // past the first collective.
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    for (auto& e : errors) {
+        if (e) std::rethrow_exception(e);
+    }
+}
+
+}  // namespace hep::mpisim

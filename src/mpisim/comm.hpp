@@ -1,0 +1,148 @@
+// mpisim: a minimal MPI substitute for the HEPnOS client applications
+// (paper §III-B: "The HEPnOS-based application uses MPI"). Ranks are threads
+// of one process; the Comm object provides the collective operations the
+// selection application needs: barrier, reduce-to-root, gather, broadcast,
+// and MPI_Wtime-style timing.
+//
+// Usage:
+//   mpisim::run_ranks(8, [&](mpisim::Comm& comm) {
+//       ... comm.rank(), comm.barrier(), comm.gather(...) ...
+//   });
+#pragma once
+
+#include <any>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serial/archive.hpp"
+
+namespace hep::mpisim {
+
+namespace detail {
+
+/// State shared by all ranks of one communicator.
+struct CommState {
+    explicit CommState(int size) : size(size), slots(size) {}
+
+    const int size;
+
+    // Reusable two-phase barrier.
+    std::mutex mutex;
+    std::condition_variable cv;
+    int arrived = 0;
+    std::uint64_t generation = 0;
+
+    // Collective staging area: one serialized payload per rank.
+    std::vector<std::string> slots;
+
+    // Cross-rank shared objects (e.g. the ParallelEventProcessor queue).
+    std::mutex shared_mutex;
+    std::map<std::string, std::shared_ptr<void>> shared;
+};
+
+}  // namespace detail
+
+class Comm {
+  public:
+    Comm(std::shared_ptr<detail::CommState> state, int rank)
+        : state_(std::move(state)), rank_(rank) {}
+
+    [[nodiscard]] int rank() const noexcept { return rank_; }
+    [[nodiscard]] int size() const noexcept { return state_->size; }
+
+    /// MPI_Barrier.
+    void barrier();
+
+    /// MPI_Wtime: seconds since an arbitrary epoch, monotonic.
+    static double wtime() {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    }
+
+    /// MPI_Gather to `root`: returns all ranks' values at root (empty
+    /// elsewhere). T must be serializable.
+    template <typename T>
+    std::vector<T> gather(const T& value, int root = 0) {
+        stage(serial::to_string(value));
+        std::vector<T> out;
+        if (rank_ == root) {
+            out.resize(static_cast<std::size_t>(size()));
+            for (int r = 0; r < size(); ++r) {
+                serial::from_string(state_->slots[static_cast<std::size_t>(r)], out[r]);
+            }
+        }
+        barrier();  // slots free for reuse after everyone has passed
+        return out;
+    }
+
+    /// MPI_Bcast from `root`.
+    template <typename T>
+    void bcast(T& value, int root = 0) {
+        if (rank_ == root) {
+            std::lock_guard<std::mutex> lock(state_->mutex);
+            state_->slots[static_cast<std::size_t>(root)] = serial::to_string(value);
+        }
+        barrier();
+        if (rank_ != root) {
+            serial::from_string(state_->slots[static_cast<std::size_t>(root)], value);
+        }
+        barrier();
+    }
+
+    /// MPI_Reduce(sum) to root, then optionally read via gather semantics.
+    template <typename T>
+    T reduce_sum(const T& value, int root = 0) {
+        auto all = gather(value, root);
+        T total{};
+        if (rank_ == root) {
+            for (const auto& v : all) total += v;
+        }
+        return total;
+    }
+
+    /// Reduce for containers: concatenates vectors at the root
+    /// (the selection app reduces accepted-slice ID lists to rank 0).
+    template <typename T>
+    std::vector<T> reduce_concat(const std::vector<T>& value, int root = 0) {
+        auto all = gather(value, root);
+        std::vector<T> out;
+        if (rank_ == root) {
+            for (auto& v : all) out.insert(out.end(), v.begin(), v.end());
+        }
+        return out;
+    }
+
+    /// A named object shared by all ranks, created once by whoever asks
+    /// first (models state that would live in a sidecar service).
+    template <typename T, typename... Args>
+    std::shared_ptr<T> shared_object(const std::string& name, Args&&... args) {
+        std::lock_guard<std::mutex> lock(state_->shared_mutex);
+        auto it = state_->shared.find(name);
+        if (it == state_->shared.end()) {
+            auto obj = std::make_shared<T>(std::forward<Args>(args)...);
+            state_->shared[name] = obj;
+            return obj;
+        }
+        return std::static_pointer_cast<T>(it->second);
+    }
+
+  private:
+    void stage(std::string payload);
+
+    std::shared_ptr<detail::CommState> state_;
+    int rank_;
+};
+
+/// Launch `n` ranks (threads) running `body`. Returns when all have finished.
+/// Exceptions in a rank are rethrown (the first one) after all ranks join.
+void run_ranks(int n, const std::function<void(Comm&)>& body);
+
+}  // namespace hep::mpisim

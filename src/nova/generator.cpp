@@ -1,0 +1,207 @@
+#include "nova/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+
+namespace hep::nova {
+
+namespace {
+/// Independent RNG stream per logical entity.
+Rng stream(std::uint64_t seed, std::uint64_t a, std::uint64_t b = 0, std::uint64_t c = 0) {
+    return Rng(mix64(seed ^ mix64(a ^ mix64(b ^ mix64(c)))));
+}
+}  // namespace
+
+FileCoordinates Generator::file_coordinates(std::uint64_t file_index) const {
+    FileCoordinates fc;
+    fc.file_index = file_index;
+    fc.run = config_.first_run + file_index / config_.subruns_per_run;
+    fc.subrun = file_index % config_.subruns_per_run;
+    Rng rng = stream(config_.seed, 0xF11E, file_index);
+    const double jitter = 1.0 + config_.file_size_jitter * (2.0 * rng.next_double() - 1.0);
+    fc.num_events = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(
+               static_cast<double>(config_.events_per_file) * jitter)));
+    return fc;
+}
+
+EventRecord Generator::make_event(std::uint64_t run, std::uint64_t subrun,
+                                  std::uint64_t event) const {
+    Rng rng = stream(config_.seed, run, subrun, event);
+    EventRecord rec;
+    rec.run = run;
+    rec.subrun = subrun;
+    rec.event = event;
+
+    // Slice multiplicity: 1 + pseudo-Poisson around the configured mean.
+    const double mean = config_.slices_per_event_mean;
+    std::uint32_t n = 1;
+    double acc = rng.next_double();
+    const double p = 1.0 / mean;
+    while (acc > p && n < 64) {
+        acc = rng.next_double() * acc;  // geometric-ish tail
+        ++n;
+    }
+    // Blend towards the mean for stability.
+    n = static_cast<std::uint32_t>(std::max<std::int64_t>(
+        1, std::llround(0.5 * n + 0.5 * rng.normal(mean, mean * 0.35))));
+
+    rec.slices.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Slice s;
+        s.index = i;
+        // Most slices are cosmic-like background; the beam stream carries
+        // ~10% beam-like candidates, the cosmic stream almost none.
+        const bool beam_like = rng.bernoulli(config_.beam_like_fraction);
+        s.nhits = static_cast<std::uint32_t>(
+            std::max(3.0, rng.lognormal(beam_like ? 4.5 : 3.5, 0.8)));
+        s.cal_e = static_cast<float>(std::max(0.01, rng.lognormal(beam_like ? 0.6 : -0.3, 0.7)));
+        s.vtx_x = static_cast<float>(rng.normal(0, 350));
+        s.vtx_y = static_cast<float>(rng.normal(0, 350));
+        s.vtx_z = static_cast<float>(rng.uniform_real(0, 6000));
+        s.track_len = static_cast<float>(std::max(0.0, rng.lognormal(4.0, 1.0)));
+        s.epi0_score = static_cast<float>(beam_like ? rng.uniform_real(0.3, 1.0)
+                                                    : rng.uniform_real(0.0, 0.75));
+        s.muon_score = static_cast<float>(rng.next_double());
+        s.cosmic_score = static_cast<float>(beam_like ? rng.uniform_real(0.0, 0.6)
+                                                      : rng.uniform_real(0.2, 1.0));
+        s.time_ns = static_cast<float>(rng.uniform_real(0, 500000));
+        const bool inside = std::abs(s.vtx_x) < 700 && std::abs(s.vtx_y) < 700 &&
+                            s.vtx_z > 50 && s.vtx_z < 5900;
+        s.contained = inside ? 1 : 0;
+        rec.slices.push_back(s);
+    }
+    return rec;
+}
+
+std::vector<EventRecord> Generator::make_file_events(std::uint64_t file_index) const {
+    const FileCoordinates fc = file_coordinates(file_index);
+    std::vector<EventRecord> events;
+    events.reserve(fc.num_events);
+    for (std::uint64_t e = 0; e < fc.num_events; ++e) {
+        events.push_back(make_event(fc.run, fc.subrun, e));
+    }
+    return events;
+}
+
+std::uint64_t Generator::total_events() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t f = 0; f < config_.num_files; ++f) {
+        total += file_coordinates(f).num_events;
+    }
+    return total;
+}
+
+Status Generator::write_htf_file(std::uint64_t file_index, const std::string& path) const {
+    const auto events = make_file_events(file_index);
+
+    // The paper's HDF5 layout: a leaf group named after the stored class,
+    // 1-D columns of identical length — run/subrun/event plus one column per
+    // member variable (§III-B).
+    std::vector<std::uint64_t> run, subrun, event;
+    std::vector<std::uint32_t> index, nhits, contained;
+    std::vector<float> cal_e, vtx_x, vtx_y, vtx_z, track_len, epi0, muon, cosmic, time_ns;
+    for (const auto& rec : events) {
+        for (const auto& s : rec.slices) {
+            run.push_back(rec.run);
+            subrun.push_back(rec.subrun);
+            event.push_back(rec.event);
+            index.push_back(s.index);
+            nhits.push_back(s.nhits);
+            contained.push_back(s.contained);
+            cal_e.push_back(s.cal_e);
+            vtx_x.push_back(s.vtx_x);
+            vtx_y.push_back(s.vtx_y);
+            vtx_z.push_back(s.vtx_z);
+            track_len.push_back(s.track_len);
+            epi0.push_back(s.epi0_score);
+            muon.push_back(s.muon_score);
+            cosmic.push_back(s.cosmic_score);
+            time_ns.push_back(s.time_ns);
+        }
+    }
+    htf::File file;
+    htf::Group& g = file.create_group("nova::Slice");
+    Status st;
+    auto add = [&](const char* name, auto&& column) {
+        if (st.ok()) st = g.add_column(name, std::forward<decltype(column)>(column));
+    };
+    add("run", std::move(run));
+    add("subrun", std::move(subrun));
+    add("event", std::move(event));
+    add("index", std::move(index));
+    add("nhits", std::move(nhits));
+    add("contained", std::move(contained));
+    add("cal_e", std::move(cal_e));
+    add("vtx_x", std::move(vtx_x));
+    add("vtx_y", std::move(vtx_y));
+    add("vtx_z", std::move(vtx_z));
+    add("track_len", std::move(track_len));
+    add("epi0_score", std::move(epi0));
+    add("muon_score", std::move(muon));
+    add("cosmic_score", std::move(cosmic));
+    add("time_ns", std::move(time_ns));
+    if (!st.ok()) return st;
+    return file.write(path);
+}
+
+Result<std::vector<EventRecord>> Generator::read_htf_file(const std::string& path) {
+    auto file = htf::File::read(path);
+    if (!file.ok()) return file.status();
+    const htf::Group* g = file->group("nova::Slice");
+    if (!g) return Status::Corruption("no nova::Slice group in " + path);
+
+    const auto* run = g->typed_column<std::uint64_t>("run");
+    const auto* subrun = g->typed_column<std::uint64_t>("subrun");
+    const auto* event = g->typed_column<std::uint64_t>("event");
+    const auto* index = g->typed_column<std::uint32_t>("index");
+    const auto* nhits = g->typed_column<std::uint32_t>("nhits");
+    const auto* contained = g->typed_column<std::uint32_t>("contained");
+    const auto* cal_e = g->typed_column<float>("cal_e");
+    const auto* vtx_x = g->typed_column<float>("vtx_x");
+    const auto* vtx_y = g->typed_column<float>("vtx_y");
+    const auto* vtx_z = g->typed_column<float>("vtx_z");
+    const auto* track_len = g->typed_column<float>("track_len");
+    const auto* epi0 = g->typed_column<float>("epi0_score");
+    const auto* muon = g->typed_column<float>("muon_score");
+    const auto* cosmic = g->typed_column<float>("cosmic_score");
+    const auto* time_ns = g->typed_column<float>("time_ns");
+    if (!run || !subrun || !event || !index || !nhits || !contained || !cal_e || !vtx_x ||
+        !vtx_y || !vtx_z || !track_len || !epi0 || !muon || !cosmic || !time_ns) {
+        return Status::Corruption("nova::Slice group misses expected columns in " + path);
+    }
+
+    // Rows were written grouped by event and in order.
+    std::vector<EventRecord> events;
+    for (std::size_t row = 0; row < g->rows(); ++row) {
+        if (events.empty() || events.back().run != (*run)[row] ||
+            events.back().subrun != (*subrun)[row] || events.back().event != (*event)[row]) {
+            EventRecord rec;
+            rec.run = (*run)[row];
+            rec.subrun = (*subrun)[row];
+            rec.event = (*event)[row];
+            events.push_back(std::move(rec));
+        }
+        Slice s;
+        s.index = (*index)[row];
+        s.nhits = (*nhits)[row];
+        s.contained = static_cast<std::uint8_t>((*contained)[row]);
+        s.cal_e = (*cal_e)[row];
+        s.vtx_x = (*vtx_x)[row];
+        s.vtx_y = (*vtx_y)[row];
+        s.vtx_z = (*vtx_z)[row];
+        s.track_len = (*track_len)[row];
+        s.epi0_score = (*epi0)[row];
+        s.muon_score = (*muon)[row];
+        s.cosmic_score = (*cosmic)[row];
+        s.time_ns = (*time_ns)[row];
+        events.back().slices.push_back(s);
+    }
+    return events;
+}
+
+}  // namespace hep::nova

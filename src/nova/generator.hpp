@@ -1,0 +1,88 @@
+// Deterministic synthetic NOvA data generator.
+//
+// Every event's content is a pure function of (dataset seed, run, subrun,
+// event), so the exact same data can be materialized into HTF files for the
+// traditional workflow AND ingested into HEPnOS — the precondition for the
+// paper's cross-check that both applications select the same slice IDs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "htf/htf.hpp"
+#include "nova/types.hpp"
+
+namespace hep::nova {
+
+/// Which detector stream a dataset models (paper §III-A): beam files hold
+/// 9k-12k candidate slices; cosmic-ray files, "recorded at a rate 12 times
+/// higher than the beam data", hold 108k-144k and are almost pure background.
+enum class Stream : std::uint8_t { kBeam, kCosmic };
+
+struct DatasetConfig {
+    std::uint64_t seed = 2018;        // the analysis-campaign seed
+    std::uint64_t num_files = 16;     // paper: 1929 / 3858 / 7716
+    std::uint64_t events_per_file = 64;  // paper: ~2260
+    double slices_per_event_mean = 4.1;  // paper: 17,878,347 / 4,359,414
+    /// Relative spread of per-file event counts. Non-uniform files are what
+    /// makes the file-based workflow load-imbalanced (paper §I).
+    double file_size_jitter = 0.25;
+    std::uint64_t first_run = 10000;
+    std::uint64_t subruns_per_run = 64;  // files map to (run, subrun) pairs
+    Stream stream = Stream::kBeam;
+    /// Probability a slice is beam-like (neutrino-candidate-ish) rather than
+    /// cosmic-like background. The cosmic stream is nearly pure background.
+    double beam_like_fraction = 0.10;
+
+    /// Cosmic-stream variant of this config: 12x the events per file, almost
+    /// no beam-like slices.
+    [[nodiscard]] DatasetConfig cosmic() const {
+        DatasetConfig c = *this;
+        c.stream = Stream::kCosmic;
+        c.events_per_file = events_per_file * 12;
+        c.beam_like_fraction = 0.002;
+        return c;
+    }
+};
+
+/// Identifies one file's (run, subrun) coordinates.
+struct FileCoordinates {
+    std::uint64_t file_index = 0;
+    std::uint64_t run = 0;
+    std::uint64_t subrun = 0;
+    std::uint64_t num_events = 0;  // jittered per file
+};
+
+class Generator {
+  public:
+    explicit Generator(DatasetConfig config = {}) : config_(config) {}
+
+    [[nodiscard]] const DatasetConfig& config() const noexcept { return config_; }
+
+    /// Coordinates and (jittered) event count for file `i`.
+    [[nodiscard]] FileCoordinates file_coordinates(std::uint64_t file_index) const;
+
+    /// Deterministically generate one event's slices.
+    [[nodiscard]] EventRecord make_event(std::uint64_t run, std::uint64_t subrun,
+                                         std::uint64_t event) const;
+
+    /// All events of one file, in order.
+    [[nodiscard]] std::vector<EventRecord> make_file_events(std::uint64_t file_index) const;
+
+    /// Total events/slices across the dataset (exact, from the jitter model).
+    [[nodiscard]] std::uint64_t total_events() const;
+
+    /// Write file `i` as an HTF file (one "nova::Slice" leaf group whose rows
+    /// are slices, with run/subrun/event columns — the paper's HDF5 layout).
+    Status write_htf_file(std::uint64_t file_index, const std::string& path) const;
+
+    /// Parse an HTF file written by write_htf_file back into event records.
+    static Result<std::vector<EventRecord>> read_htf_file(const std::string& path);
+
+  private:
+    DatasetConfig config_;
+};
+
+}  // namespace hep::nova

@@ -1,0 +1,38 @@
+#include "nova/selection.hpp"
+
+#include <cmath>
+
+namespace hep::nova {
+
+bool Selector::select(const Slice& slice) const {
+    ++examined_;
+
+    // Optional CPU-bound kernel standing in for the derived-quantity
+    // evaluation of the real CAFAna cut chain.
+    if (cuts_.compute_iterations > 0) {
+        volatile double acc = slice.cal_e;
+        for (std::uint32_t i = 0; i < cuts_.compute_iterations; ++i) {
+            acc = acc + std::sqrt(std::abs(acc) + 1.0) * 1e-6;
+        }
+    }
+
+    if (!slice.contained) return false;
+    if (slice.nhits < cuts_.min_nhits) return false;
+    if (slice.cal_e < cuts_.min_cal_e || slice.cal_e > cuts_.max_cal_e) return false;
+    if (slice.epi0_score < cuts_.min_epi0_score) return false;
+    if (slice.muon_score > cuts_.max_muon_score) return false;
+    if (slice.cosmic_score > cuts_.max_cosmic_score) return false;
+    return true;
+}
+
+std::vector<std::uint64_t> Selector::selected_ids(const EventRecord& event) const {
+    std::vector<std::uint64_t> ids;
+    for (const auto& slice : event.slices) {
+        if (select(slice)) {
+            ids.push_back(SliceId{event.run, event.subrun, event.event, slice.index}.packed());
+        }
+    }
+    return ids;
+}
+
+}  // namespace hep::nova

@@ -1,0 +1,54 @@
+// CAFAna-substitute candidate selection (paper §III-B / §IV).
+//
+// The real application applies the NOvA electron-neutrino candidate selection
+// from the CAFAna framework to every slice of every event, and accumulates
+// the IDs of the accepted slices. Our selector applies the same *kind* of
+// cuts (containment, quality, energy window, particle-ID discriminants,
+// cosmic rejection) as a deterministic function of the slice, so the
+// file-based and HEPnOS-based workflows must produce bit-identical
+// accepted-ID sets — the paper's correctness cross-check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nova/types.hpp"
+
+namespace hep::nova {
+
+struct SelectionCuts {
+    std::uint32_t min_nhits = 25;     // quality
+    float min_cal_e = 1.0f;           // energy window [GeV]
+    float max_cal_e = 4.0f;
+    float min_epi0_score = 0.80f;     // electron-likeness
+    float max_muon_score = 0.70f;     // muon rejection
+    float max_cosmic_score = 0.45f;   // cosmic rejection
+    /// Artificial per-slice compute cost (iterations of the discriminant
+    /// evaluation loop) so throughput studies exercise a CPU-bound kernel
+    /// like the real reconstruction-quantities evaluation.
+    std::uint32_t compute_iterations = 0;
+};
+
+class Selector {
+  public:
+    explicit Selector(SelectionCuts cuts = {}) : cuts_(cuts) {}
+
+    [[nodiscard]] const SelectionCuts& cuts() const noexcept { return cuts_; }
+
+    /// The candidate selection, applied to one slice.
+    [[nodiscard]] bool select(const Slice& slice) const;
+
+    /// Run the selection over an event; returns the packed IDs of accepted
+    /// slices (empty most of the time — that is the point of the selection).
+    [[nodiscard]] std::vector<std::uint64_t> selected_ids(const EventRecord& event) const;
+
+    /// Total slices examined so far (local counter; not thread-safe — use
+    /// one Selector per worker).
+    [[nodiscard]] std::uint64_t slices_examined() const noexcept { return examined_; }
+
+  private:
+    SelectionCuts cuts_;
+    mutable std::uint64_t examined_ = 0;
+};
+
+}  // namespace hep::nova

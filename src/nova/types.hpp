@@ -1,0 +1,76 @@
+// Synthetic NOvA data model (paper §III).
+//
+// The real experiment splits each triggered detector readout (an *event*)
+// into spatio-temporal regions of interest called *slices* — the candidate
+// neutrino interactions. Reconstruction distills each slice into ~600 derived
+// physics quantities; we model the representative subset the candidate
+// selection actually cuts on (energies, hit counts, vertex position,
+// particle-ID scores, containment, cosmic-rejection score).
+//
+// The paper's dataset: 1929 files, 4,359,414 triggered readouts,
+// 17,878,347 candidate slices (≈4.1 slices/event, ≈2260 events/file).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hep::nova {
+
+/// Globally unique slice identifier: (run, subrun, event, slice index)
+/// packed into 64 bits. The two applications under comparison accumulate
+/// accepted-slice IDs so their outputs can be compared exactly (paper §IV).
+struct SliceId {
+    std::uint64_t run = 0;
+    std::uint64_t subrun = 0;
+    std::uint64_t event = 0;
+    std::uint32_t index = 0;
+
+    [[nodiscard]] std::uint64_t packed() const noexcept {
+        // run:16 | subrun:12 | event:28 | index:8
+        return (run & 0xFFFF) << 48 | (subrun & 0xFFF) << 36 | (event & 0xFFFFFFF) << 8 |
+               (index & 0xFF);
+    }
+};
+
+/// One candidate neutrino interaction with its reconstructed quantities.
+struct Slice {
+    std::uint32_t index = 0;      // slice number within the event
+    std::uint32_t nhits = 0;      // detector hits in the slice
+    float cal_e = 0;              // calorimetric energy [GeV]
+    float vtx_x = 0;              // reconstructed vertex [cm]
+    float vtx_y = 0;
+    float vtx_z = 0;
+    float track_len = 0;          // longest track [cm]
+    float epi0_score = 0;         // electron/pi0 discriminant in [0,1]
+    float muon_score = 0;         // muon-likeness in [0,1]
+    float cosmic_score = 0;       // cosmic-ray likeness in [0,1]
+    float time_ns = 0;            // slice time within the readout window
+    std::uint8_t contained = 0;   // fiducial containment flag
+
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & index & nhits & cal_e & vtx_x & vtx_y & vtx_z & track_len & epi0_score &
+            muon_score & cosmic_score & time_ns & contained;
+    }
+    bool operator==(const Slice&) const = default;
+};
+
+/// One triggered detector readout with its candidate slices.
+struct EventRecord {
+    std::uint64_t run = 0;
+    std::uint64_t subrun = 0;
+    std::uint64_t event = 0;
+    std::vector<Slice> slices;
+
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & run & subrun & event & slices;
+    }
+    bool operator==(const EventRecord&) const = default;
+};
+
+/// The product label HEPnOS stores slice vectors under.
+inline constexpr const char* kSliceLabel = "slices";
+
+}  // namespace hep::nova

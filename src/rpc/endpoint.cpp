@@ -1,0 +1,253 @@
+#include "rpc/endpoint.hpp"
+
+#include "rpc/network.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/hash.hpp"
+#include "common/logging.hpp"
+
+namespace hep::rpc {
+
+RpcId rpc_id_of(std::string_view name) noexcept {
+    return static_cast<RpcId>(fnv1a64(name) & 0xFFFFFFFFu);
+}
+
+namespace {
+std::uint64_t handler_key(RpcId rpc, ProviderId provider) noexcept {
+    return (static_cast<std::uint64_t>(rpc) << 16) | provider;
+}
+}  // namespace
+
+// ----------------------------------------------------------- RequestContext
+
+void RequestContext::respond(std::string payload) {
+    assert(!responded_ && "respond() called twice");
+    responded_ = true;
+    Message resp;
+    resp.type = MessageType::kResponse;
+    resp.seq = msg_.seq;
+    resp.origin = endpoint_.address();
+    resp.payload = std::move(payload);
+    Status st = endpoint_.network().deliver(msg_.origin, std::move(resp));
+    if (!st.ok()) {
+        HEP_LOG_DEBUG("response to %s undeliverable: %s", msg_.origin.c_str(),
+                      st.to_string().c_str());
+    }
+}
+
+void RequestContext::respond_error(Status status) {
+    assert(!responded_ && "respond() called twice");
+    responded_ = true;
+    Message resp;
+    resp.type = MessageType::kResponse;
+    resp.seq = msg_.seq;
+    resp.origin = endpoint_.address();
+    resp.status = std::move(status);
+    (void)endpoint_.network().deliver(msg_.origin, std::move(resp));
+}
+
+Status RequestContext::bulk_get(const BulkRef& remote, std::uint64_t remote_offset, void* dst,
+                                std::uint64_t len) {
+    return endpoint_.bulk_get(remote, remote_offset, dst, len);
+}
+
+Status RequestContext::bulk_put(const void* src, const BulkRef& remote,
+                                std::uint64_t remote_offset, std::uint64_t len) {
+    return endpoint_.bulk_put(src, remote, remote_offset, len);
+}
+
+// ------------------------------------------------------------------ Endpoint
+
+Endpoint::Endpoint(Fabric& fabric, std::string address)
+    : fabric_(fabric), address_(std::move(address)) {
+    progress_thread_ = std::thread([this] { progress_loop(); });
+}
+
+Endpoint::~Endpoint() { shutdown(); }
+
+void Endpoint::shutdown() {
+    bool expected = false;
+    if (!shut_down_.compare_exchange_strong(expected, true)) return;
+    stopped_.store(true, std::memory_order_release);
+    queue_cv_.notify_all();
+    if (progress_thread_.joinable()) progress_thread_.join();
+    fabric_.remove_endpoint(address_);
+    // Fail any calls still in flight.
+    std::unordered_map<std::uint64_t, std::shared_ptr<abt::Eventual<Result<std::string>>>>
+        pending;
+    {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        pending.swap(pending_);
+    }
+    for (auto& [seq, ev] : pending) {
+        ev->set(Status::Cancelled("endpoint shut down with call in flight"));
+    }
+}
+
+void Endpoint::register_handler(std::string_view rpc_name, ProviderId provider,
+                                Handler handler) {
+    std::lock_guard<std::mutex> lock(handlers_mutex_);
+    handlers_[handler_key(rpc_id_of(rpc_name), provider)] = std::move(handler);
+}
+
+void Endpoint::set_executor(Executor exec) { executor_ = std::move(exec); }
+
+void Endpoint::enqueue(Message msg) {
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        queue_.push_back(std::move(msg));
+    }
+    queue_cv_.notify_one();
+}
+
+void Endpoint::progress_loop() {
+    while (true) {
+        Message msg;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [&] { return stopped_.load() || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stopped_.load()) return;
+                continue;
+            }
+            msg = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        if (msg.type == MessageType::kRequest) {
+            dispatch_request(std::move(msg));
+        } else {
+            complete_response(std::move(msg));
+        }
+    }
+}
+
+void Endpoint::dispatch_request(Message msg) {
+    Handler handler;
+    {
+        std::lock_guard<std::mutex> lock(handlers_mutex_);
+        auto it = handlers_.find(handler_key(msg.rpc, msg.provider));
+        if (it == handlers_.end()) {
+            // Wildcard fallback on provider 0.
+            it = handlers_.find(handler_key(msg.rpc, 0));
+        }
+        if (it != handlers_.end()) handler = it->second;
+    }
+    if (!handler) {
+        RequestContext ctx(*this, std::move(msg));
+        ctx.respond_error(Status::Unimplemented("no handler for rpc on " + address_));
+        return;
+    }
+    auto self = shared_from_this();
+    auto work = [self, handler = std::move(handler), msg = std::move(msg)]() mutable {
+        RequestContext ctx(*self, std::move(msg));
+        try {
+            handler(ctx);
+        } catch (const std::exception& e) {
+            HEP_LOG_ERROR("handler threw on %s: %s", self->address_.c_str(), e.what());
+            // The context may or may not have responded; if not, the caller
+            // would hang, so attempt a best-effort error response.
+        }
+    };
+    if (executor_) {
+        executor_(std::move(work));
+    } else {
+        work();
+    }
+}
+
+void Endpoint::complete_response(Message msg) {
+    std::shared_ptr<abt::Eventual<Result<std::string>>> ev;
+    {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        auto it = pending_.find(msg.seq);
+        if (it == pending_.end()) return;  // late/duplicate response
+        ev = std::move(it->second);
+        pending_.erase(it);
+    }
+    if (msg.status.ok()) {
+        ev->set(std::move(msg.payload));
+    } else {
+        ev->set(std::move(msg.status));
+    }
+}
+
+std::shared_ptr<abt::Eventual<Result<std::string>>> Endpoint::call_async(
+    const std::string& to, std::string_view rpc_name, ProviderId provider,
+    std::string payload) {
+    auto ev = std::make_shared<abt::Eventual<Result<std::string>>>();
+    Message req;
+    req.type = MessageType::kRequest;
+    req.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    req.rpc = rpc_id_of(rpc_name);
+    req.provider = provider;
+    req.origin = address_;
+    req.payload = std::move(payload);
+    {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        pending_.emplace(req.seq, ev);
+    }
+    const std::uint64_t seq = req.seq;
+    Status st = fabric_.deliver(to, std::move(req));
+    if (!st.ok()) {
+        {
+            std::lock_guard<std::mutex> lock(pending_mutex_);
+            pending_.erase(seq);
+        }
+        ev->set(std::move(st));
+    }
+    return ev;
+}
+
+Result<std::string> Endpoint::call(const std::string& to, std::string_view rpc_name,
+                                   ProviderId provider, std::string payload) {
+    auto ev = call_async(to, rpc_name, provider, std::move(payload));
+    return ev->wait();
+}
+
+BulkRef Endpoint::expose(void* data, std::uint64_t size) {
+    const std::uint64_t id = next_bulk_id_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(bulk_mutex_);
+        regions_[id] = Region{data, size};
+    }
+    return BulkRef{address_, id, size};
+}
+
+void Endpoint::unexpose(const BulkRef& ref) {
+    std::lock_guard<std::mutex> lock(bulk_mutex_);
+    regions_.erase(ref.id);
+}
+
+Status Endpoint::access_region(std::uint64_t region_id, std::uint64_t offset,
+                               std::uint64_t len, bool write, void* local_dst,
+                               const void* local_src) {
+    std::lock_guard<std::mutex> lock(bulk_mutex_);
+    auto it = regions_.find(region_id);
+    if (it == regions_.end()) {
+        return Status::NotFound("bulk region " + std::to_string(region_id) + " not exposed");
+    }
+    const Region& region = it->second;
+    if (offset + len > region.size) {
+        return Status::OutOfRange("bulk access beyond exposed region");
+    }
+    if (write) {
+        std::memcpy(static_cast<char*>(region.data) + offset, local_src, len);
+    } else {
+        std::memcpy(local_dst, static_cast<const char*>(region.data) + offset, len);
+    }
+    return Status::OK();
+}
+
+Status Endpoint::bulk_get(const BulkRef& remote, std::uint64_t remote_offset, void* dst,
+                          std::uint64_t len) {
+    return fabric_.bulk_access(remote, remote_offset, len, /*write=*/false, dst, nullptr);
+}
+
+Status Endpoint::bulk_put(const void* src, const BulkRef& remote, std::uint64_t remote_offset,
+                          std::uint64_t len) {
+    return fabric_.bulk_access(remote, remote_offset, len, /*write=*/true, nullptr, src);
+}
+
+}  // namespace hep::rpc

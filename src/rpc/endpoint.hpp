@@ -1,0 +1,166 @@
+// Endpoint: one communication party (a simulated "process") on the fabric.
+//
+// Provides the Mercury surface HEPnOS needs:
+//  - register RPC handlers keyed by (rpc id, provider id)   [HG_Register]
+//  - synchronous call() that blocks the calling ULT/thread  [margo_forward]
+//  - expose()/bulk_get()/bulk_put() one-sided transfers      [HG_Bulk_*]
+//
+// Each endpoint runs a progress thread (like Mercury's progress loop) popping
+// its receive queue. Request dispatch is pluggable: by default handlers run
+// inline on the progress thread; Margo installs an executor that spawns a ULT
+// in the provider's Argobots pool instead.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "abt/sync.hpp"
+#include "common/status.hpp"
+#include "rpc/fabric.hpp"
+#include "rpc/message.hpp"
+
+namespace hep::rpc {
+
+class Endpoint;
+
+/// Handler-side view of one incoming request.
+class RequestContext {
+  public:
+    RequestContext(Endpoint& ep, Message msg) : endpoint_(ep), msg_(std::move(msg)) {}
+
+    [[nodiscard]] const std::string& payload() const noexcept { return msg_.payload; }
+    [[nodiscard]] const std::string& origin() const noexcept { return msg_.origin; }
+    [[nodiscard]] ProviderId provider() const noexcept { return msg_.provider; }
+
+    /// Send the response. Must be called exactly once per request.
+    void respond(std::string payload);
+    void respond_error(Status status);
+
+    /// One-sided transfers against a client-exposed region (RDMA semantics).
+    Status bulk_get(const BulkRef& remote, std::uint64_t remote_offset, void* dst,
+                    std::uint64_t len);
+    Status bulk_put(const void* src, const BulkRef& remote, std::uint64_t remote_offset,
+                    std::uint64_t len);
+
+  private:
+    Endpoint& endpoint_;
+    Message msg_;
+    bool responded_ = false;
+};
+
+using Handler = std::function<void(RequestContext&)>;
+
+/// Runs a dispatch closure; Margo overrides this to spawn ULTs.
+using Executor = std::function<void(std::function<void()>)>;
+
+class Endpoint : public std::enable_shared_from_this<Endpoint> {
+  public:
+    ~Endpoint();
+    Endpoint(const Endpoint&) = delete;
+    Endpoint& operator=(const Endpoint&) = delete;
+
+    [[nodiscard]] const std::string& address() const noexcept { return address_; }
+    [[nodiscard]] Fabric& network() noexcept { return fabric_; }
+
+    /// Register a handler for (rpc name, provider id). Handlers for provider
+    /// id 0 act as wildcard fallbacks for that rpc name.
+    void register_handler(std::string_view rpc_name, ProviderId provider, Handler handler);
+
+    /// Install the dispatch executor (default: run inline on progress thread).
+    void set_executor(Executor exec);
+
+    /// Synchronous RPC: send and block until the response arrives. Blocks a
+    /// ULT cooperatively or an OS thread natively.
+    Result<std::string> call(const std::string& to, std::string_view rpc_name,
+                             ProviderId provider, std::string payload);
+
+    /// Asynchronous RPC: returns an eventual delivering payload-or-status.
+    std::shared_ptr<abt::Eventual<Result<std::string>>> call_async(const std::string& to,
+                                                                   std::string_view rpc_name,
+                                                                   ProviderId provider,
+                                                                   std::string payload);
+
+    // ---- bulk (one-sided) --------------------------------------------------
+    /// Expose a local memory region; the returned ref can be shipped inside
+    /// an RPC payload so the peer can bulk_get/bulk_put against it.
+    BulkRef expose(void* data, std::uint64_t size);
+    /// Withdraw a region (refs become invalid).
+    void unexpose(const BulkRef& ref);
+
+    /// Local side of one-sided ops (also usable from client code).
+    Status bulk_get(const BulkRef& remote, std::uint64_t remote_offset, void* dst,
+                    std::uint64_t len);
+    Status bulk_put(const void* src, const BulkRef& remote, std::uint64_t remote_offset,
+                    std::uint64_t len);
+
+    /// Stop the progress loop and deregister from the fabric. Idempotent;
+    /// also called by the destructor.
+    void shutdown();
+
+    [[nodiscard]] bool stopped() const noexcept { return stopped_.load(); }
+
+    // ---- fabric-facing internals (fabrics live in other TUs) ---------------
+    /// Construct an endpoint bound to `fabric`; fabrics call this from their
+    /// create_endpoint() and register the result.
+    static std::shared_ptr<Endpoint> make(Fabric& fabric, std::string address) {
+        return std::shared_ptr<Endpoint>(new Endpoint(fabric, std::move(address)));
+    }
+
+    /// The owning fabric delivers incoming messages here (thread-safe).
+    void enqueue(Message msg);
+
+    /// Serve a one-sided access against a LOCALLY exposed region (fabrics
+    /// call this on the owner side of a bulk transfer).
+    Status access_region(std::uint64_t region_id, std::uint64_t offset, std::uint64_t len,
+                         bool write, void* local_dst, const void* local_src);
+
+  private:
+    friend class RequestContext;
+
+    Endpoint(Fabric& fabric, std::string address);
+
+    void progress_loop();
+    void dispatch_request(Message msg);
+    void complete_response(Message msg);
+
+    Fabric& fabric_;
+    std::string address_;
+
+    std::mutex handlers_mutex_;
+    std::unordered_map<std::uint64_t, Handler> handlers_;  // key: rpc<<16|provider
+
+    Executor executor_;
+
+    // Receive queue + progress thread.
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<Message> queue_;
+    std::thread progress_thread_;
+    std::atomic<bool> stopped_{false};
+    std::atomic<bool> shut_down_{false};
+
+    // Outstanding calls.
+    std::mutex pending_mutex_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<abt::Eventual<Result<std::string>>>>
+        pending_;
+    std::atomic<std::uint64_t> next_seq_{1};
+
+    // Exposed bulk regions.
+    std::mutex bulk_mutex_;
+    struct Region {
+        void* data;
+        std::uint64_t size;
+    };
+    std::unordered_map<std::uint64_t, Region> regions_;
+    std::atomic<std::uint64_t> next_bulk_id_{1};
+};
+
+}  // namespace hep::rpc

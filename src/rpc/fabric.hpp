@@ -1,0 +1,58 @@
+// Fabric: the transport abstraction under endpoints (Mercury's NA layer).
+//
+// Two implementations ship:
+//   - rpc::Network      (network.hpp): in-process loopback — queues between
+//     endpoints of one process, memcpy bulk. Used by tests/benches/examples.
+//   - rpc::TcpFabric    (tcp_fabric.hpp): real sockets — endpoints live in
+//     different OS processes, addresses look like "tcp://127.0.0.1:5555/ep",
+//     bulk transfers ride a request/response channel.
+//
+// Endpoints only ever talk to the abstract interface, exactly as Mercury
+// code is written against NA rather than a specific plugin (paper §IV-C used
+// the ofi/gni plugin on Theta; laptops use tcp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "rpc/message.hpp"
+
+namespace hep::rpc {
+
+class Endpoint;
+
+/// Traffic counters, readable at any time.
+struct NetworkStats {
+    std::uint64_t messages = 0;
+    std::uint64_t message_bytes = 0;
+    std::uint64_t bulk_transfers = 0;
+    std::uint64_t bulk_bytes = 0;
+    std::uint64_t dropped = 0;
+};
+
+class Fabric {
+  public:
+    virtual ~Fabric() = default;
+
+    /// Create and register an endpoint. The returned endpoint must not
+    /// outlive the fabric. Null if the address is already taken.
+    virtual std::shared_ptr<Endpoint> create_endpoint(const std::string& address) = 0;
+
+    /// Deliver `msg` to the endpoint addressed `to` (possibly remote).
+    virtual Status deliver(const std::string& to, Message msg) = 0;
+
+    /// One-sided access against a (possibly remote) exposed region.
+    /// write=false: copy [offset, offset+len) into local_dst;
+    /// write=true:  copy local_src into the region.
+    virtual Status bulk_access(const BulkRef& ref, std::uint64_t offset, std::uint64_t len,
+                               bool write, void* local_dst, const void* local_src) = 0;
+
+    /// Deregister an endpoint (it stops receiving).
+    virtual void remove_endpoint(const std::string& address) = 0;
+
+    [[nodiscard]] virtual NetworkStats stats() const = 0;
+};
+
+}  // namespace hep::rpc

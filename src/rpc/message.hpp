@@ -1,0 +1,51 @@
+// Wire-level message types for the RPC substrate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace hep::rpc {
+
+/// Identifies a provider instance within an endpoint (Mochi "provider id").
+using ProviderId = std::uint16_t;
+
+/// Identifies a registered RPC (hash of its name, Mercury-style).
+using RpcId = std::uint32_t;
+
+/// Derive the RpcId for a name. Stable across processes/builds.
+RpcId rpc_id_of(std::string_view name) noexcept;
+
+enum class MessageType : std::uint8_t { kRequest = 0, kResponse = 1 };
+
+/// One message on the (simulated) wire.
+struct Message {
+    MessageType type = MessageType::kRequest;
+    std::uint64_t seq = 0;        // request/response correlation
+    RpcId rpc = 0;                // request only
+    ProviderId provider = 0;      // request only
+    std::string origin;           // address to send the response to
+    std::string payload;          // serialized body
+    Status status;                // response only: handler-level outcome
+
+    [[nodiscard]] std::size_t wire_size() const noexcept {
+        // Approximate header + payload; used for traffic accounting.
+        return 64 + payload.size();
+    }
+};
+
+/// A handle to a remotely exposed memory region (Mercury bulk handle).
+/// Cheap to copy and embed into RPC payloads.
+struct BulkRef {
+    std::string endpoint;     // owning endpoint address
+    std::uint64_t id = 0;     // registration id within that endpoint
+    std::uint64_t size = 0;   // exposed bytes
+
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & endpoint & id & size;
+    }
+};
+
+}  // namespace hep::rpc

@@ -1,0 +1,106 @@
+#include "rpc/network.hpp"
+
+#include "common/logging.hpp"
+#include "rpc/endpoint.hpp"
+
+namespace hep::rpc {
+
+Network::~Network() {
+    // Shut endpoints down so their progress threads stop touching us.
+    std::unordered_map<std::string, std::shared_ptr<Endpoint>> eps;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        eps = endpoints_;
+    }
+    for (auto& [name, ep] : eps) ep->shutdown();
+}
+
+std::shared_ptr<Endpoint> Network::create_endpoint(const std::string& address) {
+    auto ep = Endpoint::make(*this, address);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = endpoints_.emplace(address, ep);
+    if (!inserted) {
+        HEP_LOG_ERROR("duplicate endpoint address %s", address.c_str());
+        return nullptr;
+    }
+    return ep;
+}
+
+std::shared_ptr<Endpoint> Network::find(const std::string& address) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = endpoints_.find(address);
+    return it == endpoints_.end() ? nullptr : it->second;
+}
+
+Status Network::deliver(const std::string& to, Message msg) {
+    std::shared_ptr<Endpoint> target;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (partitioned_.count(msg.origin) || partitioned_.count(to)) {
+            ++stats_.dropped;
+            return Status::Unavailable("network partition between " + msg.origin + " and " + to);
+        }
+        // Drop injection applies to REQUESTS only: the caller observes a
+        // clean timeout and can retry. Responses ride a reliable channel —
+        // without per-call timers, a dropped response would strand the
+        // sync-over-async caller forever, which is not the failure mode we
+        // want to model (Mercury cancels such operations via timeout).
+        if (msg.type == MessageType::kRequest && drop_rate_ > 0.0 &&
+            drop_rng_.bernoulli(drop_rate_)) {
+            ++stats_.dropped;
+            return Status::Timeout("message dropped by fault injection");
+        }
+        auto it = endpoints_.find(to);
+        if (it == endpoints_.end()) {
+            ++stats_.dropped;
+            return Status::Unavailable("no endpoint at address " + to);
+        }
+        target = it->second;
+        ++stats_.messages;
+        stats_.message_bytes += msg.wire_size();
+    }
+    if (target->stopped()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.dropped;
+        return Status::Unavailable("endpoint " + to + " is shut down");
+    }
+    target->enqueue(std::move(msg));
+    return Status::OK();
+}
+
+void Network::remove_endpoint(const std::string& address) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    endpoints_.erase(address);
+}
+
+void Network::set_drop_rate(double p, std::uint64_t seed) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drop_rate_ = p;
+    drop_rng_.reseed(seed);
+}
+
+void Network::set_partitioned(const std::string& address, bool partitioned) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (partitioned) partitioned_.insert(address);
+    else partitioned_.erase(address);
+}
+
+NetworkStats Network::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+Status Network::bulk_access(const BulkRef& ref, std::uint64_t offset, std::uint64_t len,
+                            bool write, void* local_dst, const void* local_src) {
+    auto owner = find(ref.endpoint);
+    if (!owner) return Status::Unavailable("bulk owner " + ref.endpoint + " not reachable");
+    Status st = owner->access_region(ref.id, offset, len, write, local_dst, local_src);
+    if (st.ok()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.bulk_transfers;
+        stats_.bulk_bytes += len;
+    }
+    return st;
+}
+
+}  // namespace hep::rpc

@@ -1,0 +1,62 @@
+// The loopback fabric: routes messages and bulk transfers between endpoints
+// living in this process.
+//
+// This substitutes for Mercury's NA layer over libfabric/uGNI (paper §IV-C).
+// All endpoints register here by address; delivery is an enqueue onto the
+// target's receive queue; bulk is a direct memcpy. Failure injection (drops,
+// partitions) lets tests exercise the error paths the paper hit on Theta
+// (NIC injection-bandwidth failures forcing server restarts).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "rpc/fabric.hpp"
+
+namespace hep::rpc {
+
+class Network final : public Fabric {
+  public:
+    Network() = default;
+    ~Network() override;
+    Network(const Network&) = delete;
+    Network& operator=(const Network&) = delete;
+
+    std::shared_ptr<Endpoint> create_endpoint(const std::string& address) override;
+
+    /// Look up an endpoint (internal; used for delivery and bulk).
+    std::shared_ptr<Endpoint> find(const std::string& address);
+
+    /// Deliver `msg` to `to`. Fails synchronously when the target is unknown,
+    /// partitioned away, or the drop-injection fires.
+    Status deliver(const std::string& to, Message msg) override;
+
+    Status bulk_access(const BulkRef& ref, std::uint64_t offset, std::uint64_t len, bool write,
+                       void* local_dst, const void* local_src) override;
+
+    void remove_endpoint(const std::string& address) override;
+
+    // ---- failure injection ------------------------------------------------
+    /// Probability in [0,1] that a REQUEST is dropped (deterministic RNG).
+    /// Responses ride a reliable channel (see network.cpp).
+    void set_drop_rate(double p, std::uint64_t seed = 42);
+    /// Cut an endpoint off from the fabric (both directions) / restore it.
+    void set_partitioned(const std::string& address, bool partitioned);
+
+    [[nodiscard]] NetworkStats stats() const override;
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<Endpoint>> endpoints_;
+    std::set<std::string> partitioned_;
+    double drop_rate_ = 0.0;
+    Rng drop_rng_{42};
+    NetworkStats stats_;
+};
+
+}  // namespace hep::rpc

@@ -1,0 +1,6 @@
+// Umbrella header for the Mercury-substitute RPC library (paper §II-B).
+#pragma once
+
+#include "rpc/endpoint.hpp"  // IWYU pragma: export
+#include "rpc/message.hpp"   // IWYU pragma: export
+#include "rpc/network.hpp"   // IWYU pragma: export

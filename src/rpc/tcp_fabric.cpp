@@ -1,0 +1,498 @@
+#include "rpc/tcp_fabric.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "rpc/endpoint.hpp"
+#include "serial/archive.hpp"
+
+namespace hep::rpc {
+
+namespace {
+
+constexpr std::uint8_t kFrameMessage = 1;
+constexpr std::uint8_t kFrameBulkReq = 2;
+constexpr std::uint8_t kFrameBulkResp = 3;
+
+// Wire representations (serialized with the serial archives).
+struct WireMessage {
+    std::uint8_t type = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t rpc = 0;
+    std::uint16_t provider = 0;
+    std::string origin;
+    std::string payload;
+    std::uint8_t status_code = 0;
+    std::string status_message;
+    std::string to_name;  // bare endpoint name on the receiving fabric
+
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & type & seq & rpc & provider & origin & payload & status_code & status_message &
+            to_name;
+    }
+};
+
+struct WireBulkReq {
+    std::uint64_t bulk_seq = 0;
+    std::string endpoint_name;  // bare name of the region owner
+    std::uint64_t region_id = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t len = 0;
+    std::uint8_t write = 0;
+    std::string data;  // payload for writes
+
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & bulk_seq & endpoint_name & region_id & offset & len & write & data;
+    }
+};
+
+struct WireBulkResp {
+    std::uint64_t bulk_seq = 0;
+    std::uint8_t status_code = 0;
+    std::string status_message;
+    std::string data;  // payload for reads
+
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & bulk_seq & status_code & status_message & data;
+    }
+};
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+    auto* p = static_cast<char*>(buf);
+    while (n > 0) {
+        const ssize_t got = ::recv(fd, p, n, 0);
+        if (got <= 0) return false;
+        p += got;
+        n -= static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
+bool write_exact(int fd, const void* buf, std::size_t n) {
+    const auto* p = static_cast<const char*>(buf);
+    while (n > 0) {
+        const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (sent <= 0) return false;
+        p += sent;
+        n -= static_cast<std::size_t>(sent);
+    }
+    return true;
+}
+
+}  // namespace
+
+TcpFabric::TcpFabric(const std::string& host, std::uint16_t port) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("TcpFabric: socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(listen_fd_);
+        throw std::runtime_error("TcpFabric: bad host " + host);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+        ::close(listen_fd_);
+        throw std::runtime_error("TcpFabric: cannot bind/listen on " + host + ":" +
+                                 std::to_string(port));
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    hostport_ = host + ":" + std::to_string(ntohs(addr.sin_port));
+    base_address_ = "tcp://" + hostport_;
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpFabric::~TcpFabric() {
+    stopping_.store(true);
+    // Shut the local endpoints down first so their progress threads stop.
+    std::map<std::string, std::shared_ptr<Endpoint>> locals;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        locals = locals_;
+    }
+    for (auto& [name, ep] : locals) ep->shutdown();
+
+    if (listen_fd_ >= 0) {
+        ::shutdown(listen_fd_, SHUT_RDWR);
+        ::close(listen_fd_);
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+
+    std::vector<Connection*> conns;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto& [hp, c] : outbound_) conns.push_back(c.get());
+        for (auto& c : inbound_) conns.push_back(c.get());
+    }
+    for (auto* c : conns) {
+        if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+    }
+    // Join readers outside the lock; reader_loop never takes mutex_ while
+    // blocked in recv.
+    for (auto* c : conns) {
+        if (c->reader.joinable()) c->reader.join();
+        if (c->fd >= 0) ::close(c->fd);
+        c->fd = -1;
+    }
+}
+
+bool TcpFabric::parse_address(const std::string& address, std::string& hostport,
+                              std::string& name) {
+    constexpr std::string_view kScheme = "tcp://";
+    if (address.compare(0, kScheme.size(), kScheme) != 0) return false;
+    const auto slash = address.find('/', kScheme.size());
+    if (slash == std::string::npos || slash + 1 >= address.size()) return false;
+    hostport = address.substr(kScheme.size(), slash - kScheme.size());
+    name = address.substr(slash + 1);
+    return !hostport.empty();
+}
+
+std::shared_ptr<Endpoint> TcpFabric::create_endpoint(const std::string& name) {
+    // Accept either a bare name or a full URL naming THIS fabric.
+    std::string bare = name;
+    std::string hostport, parsed_name;
+    if (parse_address(name, hostport, parsed_name)) {
+        if (hostport != hostport_) {
+            HEP_LOG_ERROR("create_endpoint: %s is not on this fabric (%s)", name.c_str(),
+                          hostport_.c_str());
+            return nullptr;
+        }
+        bare = parsed_name;
+    }
+    auto ep = Endpoint::make(*this, base_address_ + "/" + bare);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = locals_.emplace(bare, ep);
+    if (!inserted) {
+        HEP_LOG_ERROR("duplicate endpoint name %s", bare.c_str());
+        return nullptr;
+    }
+    return ep;
+}
+
+void TcpFabric::remove_endpoint(const std::string& address) {
+    std::string hostport, name;
+    if (!parse_address(address, hostport, name)) name = address;
+    std::lock_guard<std::mutex> lock(mutex_);
+    locals_.erase(name);
+}
+
+NetworkStats TcpFabric::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+Status TcpFabric::send_frame(Connection* conn, std::uint8_t kind, const std::string& payload) {
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (conn->fd < 0) return Status::Unavailable("connection closed");
+    if (!write_exact(conn->fd, &len, 4) || !write_exact(conn->fd, &kind, 1) ||
+        !write_exact(conn->fd, payload.data(), payload.size())) {
+        return Status::Unavailable("tcp send failed");
+    }
+    return Status::OK();
+}
+
+Result<TcpFabric::Connection*> TcpFabric::connection_to(const std::string& hostport) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = outbound_.find(hostport);
+        if (it != outbound_.end()) return it->second.get();
+    }
+    const auto colon = hostport.rfind(':');
+    if (colon == std::string::npos) return Status::InvalidArgument("bad host:port " + hostport);
+    const std::string host = hostport.substr(0, colon);
+    const int port = std::atoi(hostport.c_str() + colon + 1);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::IOError("socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return Status::Unavailable("cannot connect to " + hostport);
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto [it, inserted] = outbound_.emplace(hostport, std::move(conn));
+        if (!inserted) {
+            // Lost a race; use the winner and drop ours.
+            ::close(fd);
+            return it->second.get();
+        }
+    }
+    raw->reader = std::thread([this, raw] { reader_loop(raw); });
+    return raw;
+}
+
+Status TcpFabric::deliver(const std::string& to, Message msg) {
+    std::string hostport, name;
+    if (!parse_address(to, hostport, name)) {
+        return Status::InvalidArgument("not a tcp:// address: " + to);
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.messages;
+        stats_.message_bytes += msg.wire_size();
+    }
+
+    if (hostport == hostport_) {
+        // Local shortcut.
+        std::shared_ptr<Endpoint> target;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = locals_.find(name);
+            if (it != locals_.end()) target = it->second;
+        }
+        if (!target || target->stopped()) {
+            return Status::Unavailable("no endpoint " + name + " on " + hostport_);
+        }
+        target->enqueue(std::move(msg));
+        return Status::OK();
+    }
+
+    WireMessage wire;
+    wire.type = static_cast<std::uint8_t>(msg.type);
+    wire.seq = msg.seq;
+    wire.rpc = msg.rpc;
+    wire.provider = msg.provider;
+    wire.origin = msg.origin;
+    wire.payload = std::move(msg.payload);
+    wire.status_code = static_cast<std::uint8_t>(msg.status.code());
+    wire.status_message = msg.status.message();
+    wire.to_name = name;
+
+    auto conn = connection_to(hostport);
+    if (!conn.ok()) return conn.status();
+    return send_frame(*conn, kFrameMessage, serial::to_string(wire));
+}
+
+Status TcpFabric::bulk_access(const BulkRef& ref, std::uint64_t offset, std::uint64_t len,
+                              bool write, void* local_dst, const void* local_src) {
+    std::string hostport, name;
+    if (!parse_address(ref.endpoint, hostport, name)) {
+        return Status::InvalidArgument("bulk ref has a non-tcp address: " + ref.endpoint);
+    }
+
+    // Local shortcut: direct memory access, like the loopback fabric.
+    if (hostport == hostport_) {
+        std::shared_ptr<Endpoint> owner;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = locals_.find(name);
+            if (it != locals_.end()) owner = it->second;
+        }
+        if (!owner) return Status::Unavailable("bulk owner " + name + " gone");
+        Status st = owner->access_region(ref.id, offset, len, write, local_dst, local_src);
+        if (st.ok()) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.bulk_transfers;
+            stats_.bulk_bytes += len;
+        }
+        return st;
+    }
+
+    WireBulkReq req;
+    req.bulk_seq = next_bulk_seq_.fetch_add(1);
+    req.endpoint_name = name;
+    req.region_id = ref.id;
+    req.offset = offset;
+    req.len = len;
+    req.write = write ? 1 : 0;
+    if (write) req.data.assign(static_cast<const char*>(local_src), len);
+
+    auto slot = std::make_shared<BulkSlot>();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        bulk_pending_[req.bulk_seq] = slot;
+    }
+    auto conn = connection_to(hostport);
+    if (!conn.ok()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        bulk_pending_.erase(req.bulk_seq);
+        return conn.status();
+    }
+    Status st = send_frame(*conn, kFrameBulkReq, serial::to_string(req));
+    if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        bulk_pending_.erase(req.bulk_seq);
+        return st;
+    }
+
+    std::unique_lock<std::mutex> lock(slot->m);
+    if (!slot->cv.wait_for(lock, std::chrono::duration<double>(bulk_timeout_s_),
+                           [&] { return slot->done; })) {
+        std::lock_guard<std::mutex> plock(mutex_);
+        bulk_pending_.erase(req.bulk_seq);
+        return Status::Timeout("bulk transfer to " + hostport + " timed out");
+    }
+    if (!slot->status.ok()) return slot->status;
+    if (!write) {
+        if (slot->data.size() != len) return Status::Corruption("bulk read size mismatch");
+        std::memcpy(local_dst, slot->data.data(), len);
+    }
+    {
+        std::lock_guard<std::mutex> plock(mutex_);
+        ++stats_.bulk_transfers;
+        stats_.bulk_bytes += len;
+    }
+    return Status::OK();
+}
+
+void TcpFabric::accept_loop() {
+    while (!stopping_.load()) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load()) return;
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        Connection* raw = conn.get();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            inbound_.push_back(std::move(conn));
+        }
+        raw->reader = std::thread([this, raw] { reader_loop(raw); });
+    }
+}
+
+void TcpFabric::reader_loop(Connection* conn) {
+    while (true) {
+        std::uint32_t len = 0;
+        std::uint8_t kind = 0;
+        if (!read_exact(conn->fd, &len, 4) || !read_exact(conn->fd, &kind, 1)) return;
+        if (len > (256u << 20)) return;  // refuse absurd frames
+        std::string payload(len, '\0');
+        if (!read_exact(conn->fd, payload.data(), len)) return;
+        try {
+            handle_frame(conn, kind, std::move(payload));
+        } catch (const serial::SerializationError& e) {
+            HEP_LOG_ERROR("tcp frame decode failed: %s", e.what());
+            return;
+        }
+    }
+}
+
+void TcpFabric::handle_frame(Connection* conn, std::uint8_t kind, std::string payload) {
+    switch (kind) {
+        case kFrameMessage: {
+            WireMessage wire;
+            serial::from_string(payload, wire);
+            Message msg;
+            msg.type = static_cast<MessageType>(wire.type);
+            msg.seq = wire.seq;
+            msg.rpc = wire.rpc;
+            msg.provider = wire.provider;
+            msg.origin = std::move(wire.origin);
+            msg.payload = std::move(wire.payload);
+            if (wire.status_code != 0) {
+                msg.status = Status(static_cast<StatusCode>(wire.status_code),
+                                    std::move(wire.status_message));
+            }
+            std::shared_ptr<Endpoint> target;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                auto it = locals_.find(wire.to_name);
+                if (it != locals_.end()) target = it->second;
+            }
+            if (target && !target->stopped()) {
+                target->enqueue(std::move(msg));
+            } else if (msg.type == MessageType::kRequest) {
+                // Best effort: tell the caller nobody is home.
+                Message resp;
+                resp.type = MessageType::kResponse;
+                resp.seq = msg.seq;
+                resp.origin = base_address_ + "/" + wire.to_name;
+                resp.status = Status::Unavailable("no endpoint " + wire.to_name);
+                (void)deliver(msg.origin, std::move(resp));
+            }
+            break;
+        }
+        case kFrameBulkReq: {
+            WireBulkReq req;
+            serial::from_string(payload, req);
+            WireBulkResp resp;
+            resp.bulk_seq = req.bulk_seq;
+            std::shared_ptr<Endpoint> owner;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                auto it = locals_.find(req.endpoint_name);
+                if (it != locals_.end()) owner = it->second;
+            }
+            Status st;
+            if (!owner) {
+                st = Status::NotFound("no endpoint " + req.endpoint_name);
+            } else if (req.write) {
+                if (req.data.size() != req.len) {
+                    st = Status::InvalidArgument("bulk write size mismatch");
+                } else {
+                    st = owner->access_region(req.region_id, req.offset, req.len, true,
+                                              nullptr, req.data.data());
+                }
+            } else {
+                resp.data.resize(req.len);
+                st = owner->access_region(req.region_id, req.offset, req.len, false,
+                                          resp.data.data(), nullptr);
+                if (!st.ok()) resp.data.clear();
+            }
+            resp.status_code = static_cast<std::uint8_t>(st.code());
+            resp.status_message = st.message();
+            // Reply on the same socket the request arrived on.
+            (void)send_frame(conn, kFrameBulkResp, serial::to_string(resp));
+            break;
+        }
+        case kFrameBulkResp: {
+            WireBulkResp resp;
+            serial::from_string(payload, resp);
+            std::shared_ptr<BulkSlot> slot;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                auto it = bulk_pending_.find(resp.bulk_seq);
+                if (it != bulk_pending_.end()) {
+                    slot = it->second;
+                    bulk_pending_.erase(it);
+                }
+            }
+            if (slot) {
+                std::lock_guard<std::mutex> lock(slot->m);
+                slot->done = true;
+                if (resp.status_code != 0) {
+                    slot->status = Status(static_cast<StatusCode>(resp.status_code),
+                                          std::move(resp.status_message));
+                }
+                slot->data = std::move(resp.data);
+                slot->cv.notify_all();
+            }
+            break;
+        }
+        default:
+            HEP_LOG_WARN("unknown tcp frame kind %u", kind);
+    }
+}
+
+}  // namespace hep::rpc

@@ -1,0 +1,103 @@
+// TcpFabric: a real-sockets transport, so HEPnOS deployments can span OS
+// processes (the "na+tcp" equivalent of Mercury's NA plugins; the paper used
+// ofi/uGNI on Theta's Aries network, §IV-C).
+//
+// One TcpFabric per process: it owns a listening socket and registers local
+// endpoints under it. Endpoint addresses look like
+//
+//     tcp://127.0.0.1:40123/hepnos-server-0
+//
+// so a Bedrock descriptor produced by one process is directly usable as a
+// client connection document in another. Messages are length-prefixed frames;
+// one-sided bulk transfers become a request/response pair handled by the
+// region owner's fabric (the RDMA emulation every TCP NA plugin does).
+//
+// Server process:                         Client process:
+//   rpc::TcpFabric fabric;                  rpc::TcpFabric fabric;
+//   bedrock::ServiceProcess::create(        auto store = DataStore::connect(
+//       fabric, config);                        fabric, descriptor_json);
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/fabric.hpp"
+
+namespace hep::rpc {
+
+class TcpFabric final : public Fabric {
+  public:
+    /// Bind and listen on host:port (port 0 = ephemeral). Throws on failure.
+    explicit TcpFabric(const std::string& host = "127.0.0.1", std::uint16_t port = 0);
+    ~TcpFabric() override;
+    TcpFabric(const TcpFabric&) = delete;
+    TcpFabric& operator=(const TcpFabric&) = delete;
+
+    /// "tcp://host:port" — endpoint addresses are base_address() + "/" + name.
+    [[nodiscard]] const std::string& base_address() const noexcept { return base_address_; }
+
+    /// Register an endpoint under `name` (a bare name, not a URL); its
+    /// address becomes base_address()/name. Null if taken.
+    std::shared_ptr<Endpoint> create_endpoint(const std::string& name) override;
+
+    Status deliver(const std::string& to, Message msg) override;
+    Status bulk_access(const BulkRef& ref, std::uint64_t offset, std::uint64_t len, bool write,
+                       void* local_dst, const void* local_src) override;
+    void remove_endpoint(const std::string& address) override;
+    [[nodiscard]] NetworkStats stats() const override;
+
+    /// Seconds to wait for a bulk response before giving up.
+    void set_bulk_timeout(double seconds) noexcept { bulk_timeout_s_ = seconds; }
+
+  private:
+    struct Connection {
+        int fd = -1;
+        std::mutex write_mutex;
+        std::thread reader;
+    };
+
+    struct BulkSlot {
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        Status status;
+        std::string data;  // read payload
+    };
+
+    void accept_loop();
+    void reader_loop(Connection* conn);
+    void handle_frame(Connection* conn, std::uint8_t kind, std::string payload);
+
+    /// Existing or fresh outbound connection to "host:port".
+    Result<Connection*> connection_to(const std::string& hostport);
+
+    Status send_frame(Connection* conn, std::uint8_t kind, const std::string& payload);
+
+    /// Split "tcp://host:port/name" -> (host:port, name); empty on error.
+    static bool parse_address(const std::string& address, std::string& hostport,
+                              std::string& name);
+
+    std::string base_address_;   // tcp://host:port
+    std::string hostport_;       // host:port
+    int listen_fd_ = -1;
+    std::thread accept_thread_;
+    std::atomic<bool> stopping_{false};
+    double bulk_timeout_s_ = 10.0;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<Endpoint>> locals_;   // by bare name
+    std::map<std::string, std::unique_ptr<Connection>> outbound_;  // by host:port
+    std::vector<std::unique_ptr<Connection>> inbound_;
+    std::map<std::uint64_t, std::shared_ptr<BulkSlot>> bulk_pending_;
+    std::atomic<std::uint64_t> next_bulk_seq_{1};
+    NetworkStats stats_;
+};
+
+}  // namespace hep::rpc

@@ -1,0 +1,307 @@
+// Binary serialization archives (Boost.Serialization substitute).
+//
+// Usage (mirrors paper Listing 1):
+//
+//   struct Particle {
+//       float x, y, z;
+//       template <typename A>
+//       void serialize(A& ar, unsigned /*version*/) { ar & x & y & z; }
+//   };
+//
+//   std::string bytes = hep::serial::to_string(particle);
+//   Particle p2;
+//   hep::serial::from_string(bytes, p2);           // throws on corruption
+//
+// Wire format: little-endian fixed-width scalars, u64 length prefixes for
+// containers and strings. Deliberately simple and stable — values written by
+// one build are readable by another.
+#pragma once
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "serial/traits.hpp"
+
+namespace hep::serial {
+
+/// Thrown by the input archive on truncated or malformed data.
+class SerializationError : public std::runtime_error {
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+class BinaryOArchive;
+class BinaryIArchive;
+class SizingArchive;
+
+namespace detail {
+
+template <typename Archive, typename T>
+void dispatch_save(Archive& ar, const T& value);
+
+template <typename T>
+void dispatch_load(BinaryIArchive& ar, T& value);
+
+}  // namespace detail
+
+/// Serializing (output) archive: appends to an owned byte buffer.
+class BinaryOArchive {
+  public:
+    static constexpr bool is_saving = true;
+    static constexpr bool is_loading = false;
+
+    BinaryOArchive() = default;
+
+    /// Raw byte append (scalars use this).
+    void write_bytes(const void* data, std::size_t n) {
+        buffer_.append(static_cast<const char*>(data), n);
+    }
+
+    template <typename T>
+    BinaryOArchive& operator&(const T& value) {
+        detail::dispatch_save(*this, value);
+        return *this;
+    }
+    template <typename T>
+    BinaryOArchive& operator<<(const T& value) {
+        return *this & value;
+    }
+
+    [[nodiscard]] const std::string& str() const& noexcept { return buffer_; }
+    [[nodiscard]] std::string str() && noexcept { return std::move(buffer_); }
+    [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+    void reserve(std::size_t n) { buffer_.reserve(n); }
+    void clear() noexcept { buffer_.clear(); }
+
+  private:
+    std::string buffer_;
+};
+
+/// Deserializing (input) archive over a non-owned byte range.
+class BinaryIArchive {
+  public:
+    static constexpr bool is_saving = false;
+    static constexpr bool is_loading = true;
+
+    explicit BinaryIArchive(std::string_view data) : data_(data) {}
+
+    void read_bytes(void* out, std::size_t n) {
+        if (pos_ + n > data_.size()) {
+            throw SerializationError("archive underflow: need " + std::to_string(n) +
+                                     " bytes at offset " + std::to_string(pos_) + ", have " +
+                                     std::to_string(data_.size() - pos_));
+        }
+        std::memcpy(out, data_.data() + pos_, n);
+        pos_ += n;
+    }
+
+    template <typename T>
+    BinaryIArchive& operator&(T& value) {
+        detail::dispatch_load(*this, value);
+        return *this;
+    }
+    template <typename T>
+    BinaryIArchive& operator>>(T& value) {
+        return *this & value;
+    }
+
+    [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+    [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+  private:
+    std::string_view data_;
+    std::size_t pos_ = 0;
+};
+
+/// Counts bytes without copying — lets WriteBatch budget buffer space.
+class SizingArchive {
+  public:
+    static constexpr bool is_saving = true;
+    static constexpr bool is_loading = false;
+
+    void write_bytes(const void*, std::size_t n) noexcept { size_ += n; }
+
+    template <typename T>
+    SizingArchive& operator&(const T& value) {
+        detail::dispatch_save(*this, value);
+        return *this;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  private:
+    std::size_t size_ = 0;
+};
+
+namespace detail {
+
+template <typename Archive, typename T>
+void dispatch_save(Archive& ar, const T& value) {
+    if constexpr (std::is_arithmetic_v<T>) {
+        ar.write_bytes(&value, sizeof(T));
+    } else if constexpr (std::is_enum_v<T>) {
+        auto u = static_cast<std::underlying_type_t<T>>(value);
+        ar.write_bytes(&u, sizeof(u));
+    } else if constexpr (std::is_same_v<T, std::string>) {
+        const std::uint64_t n = value.size();
+        ar.write_bytes(&n, sizeof(n));
+        ar.write_bytes(value.data(), value.size());
+    } else if constexpr (is_std_vector<T>::value) {
+        const std::uint64_t n = value.size();
+        ar.write_bytes(&n, sizeof(n));
+        using E = typename T::value_type;
+        if constexpr (std::is_arithmetic_v<E>) {
+            ar.write_bytes(value.data(), value.size() * sizeof(E));
+        } else {
+            for (const auto& e : value) dispatch_save(ar, e);
+        }
+    } else if constexpr (is_std_sequence<T>::value) {
+        const std::uint64_t n = value.size();
+        ar.write_bytes(&n, sizeof(n));
+        for (const auto& e : value) dispatch_save(ar, e);
+    } else if constexpr (is_std_array<T>::value) {
+        for (const auto& e : value) dispatch_save(ar, e);
+    } else if constexpr (is_std_pair<T>::value) {
+        dispatch_save(ar, value.first);
+        dispatch_save(ar, value.second);
+    } else if constexpr (is_std_tuple<T>::value) {
+        std::apply([&](const auto&... elems) { (dispatch_save(ar, elems), ...); }, value);
+    } else if constexpr (is_std_map<T>::value || is_std_set<T>::value) {
+        const std::uint64_t n = value.size();
+        ar.write_bytes(&n, sizeof(n));
+        for (const auto& e : value) dispatch_save(ar, e);
+    } else if constexpr (is_std_optional<T>::value) {
+        const std::uint8_t present = value.has_value() ? 1 : 0;
+        ar.write_bytes(&present, 1);
+        if (value) dispatch_save(ar, *value);
+    } else if constexpr (has_member_serialize<T, Archive>::value) {
+        // serialize() is non-const by Boost convention; saving does not mutate.
+        const_cast<T&>(value).serialize(ar, ClassVersion<T>::value);
+    } else if constexpr (has_free_serialize<T, Archive>::value) {
+        serialize(ar, const_cast<T&>(value), ClassVersion<T>::value);
+    } else {
+        static_assert(sizeof(T) == 0, "type is not serializable: add a serialize() method");
+    }
+}
+
+template <typename T>
+void dispatch_load(BinaryIArchive& ar, T& value) {
+    if constexpr (std::is_arithmetic_v<T>) {
+        ar.read_bytes(&value, sizeof(T));
+    } else if constexpr (std::is_enum_v<T>) {
+        std::underlying_type_t<T> u{};
+        ar.read_bytes(&u, sizeof(u));
+        value = static_cast<T>(u);
+    } else if constexpr (std::is_same_v<T, std::string>) {
+        std::uint64_t n = 0;
+        ar.read_bytes(&n, sizeof(n));
+        if (n > ar.remaining()) throw SerializationError("string length exceeds input");
+        value.resize(n);
+        ar.read_bytes(value.data(), n);
+    } else if constexpr (is_std_vector<T>::value) {
+        std::uint64_t n = 0;
+        ar.read_bytes(&n, sizeof(n));
+        using E = typename T::value_type;
+        if constexpr (std::is_arithmetic_v<E>) {
+            if (n * sizeof(E) > ar.remaining()) {
+                throw SerializationError("vector length exceeds input");
+            }
+            value.resize(n);
+            ar.read_bytes(value.data(), n * sizeof(E));
+        } else {
+            if (n > ar.remaining()) throw SerializationError("vector length exceeds input");
+            value.clear();
+            value.reserve(n);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                E e{};
+                dispatch_load(ar, e);
+                value.push_back(std::move(e));
+            }
+        }
+    } else if constexpr (is_std_sequence<T>::value) {
+        std::uint64_t n = 0;
+        ar.read_bytes(&n, sizeof(n));
+        if (n > ar.remaining()) throw SerializationError("sequence length exceeds input");
+        value.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            typename T::value_type e{};
+            dispatch_load(ar, e);
+            value.push_back(std::move(e));
+        }
+    } else if constexpr (is_std_array<T>::value) {
+        for (auto& e : value) dispatch_load(ar, e);
+    } else if constexpr (is_std_pair<T>::value) {
+        // pair<const K, V> (map value_type) needs const_cast on first.
+        dispatch_load(ar, const_cast<std::remove_const_t<typename T::first_type>&>(value.first));
+        dispatch_load(ar, value.second);
+    } else if constexpr (is_std_tuple<T>::value) {
+        std::apply([&](auto&... elems) { (dispatch_load(ar, elems), ...); }, value);
+    } else if constexpr (is_std_map<T>::value) {
+        std::uint64_t n = 0;
+        ar.read_bytes(&n, sizeof(n));
+        if (n > ar.remaining()) throw SerializationError("map length exceeds input");
+        value.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::remove_const_t<typename T::key_type> k{};
+            typename T::mapped_type v{};
+            dispatch_load(ar, k);
+            dispatch_load(ar, v);
+            value.emplace(std::move(k), std::move(v));
+        }
+    } else if constexpr (is_std_set<T>::value) {
+        std::uint64_t n = 0;
+        ar.read_bytes(&n, sizeof(n));
+        if (n > ar.remaining()) throw SerializationError("set length exceeds input");
+        value.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::remove_const_t<typename T::key_type> k{};
+            dispatch_load(ar, k);
+            value.insert(std::move(k));
+        }
+    } else if constexpr (is_std_optional<T>::value) {
+        std::uint8_t present = 0;
+        ar.read_bytes(&present, 1);
+        if (present) {
+            typename T::value_type v{};
+            dispatch_load(ar, v);
+            value = std::move(v);
+        } else {
+            value.reset();
+        }
+    } else if constexpr (has_member_serialize<T, BinaryIArchive>::value) {
+        value.serialize(ar, ClassVersion<T>::value);
+    } else if constexpr (has_free_serialize<T, BinaryIArchive>::value) {
+        serialize(ar, value, ClassVersion<T>::value);
+    } else {
+        static_assert(sizeof(T) == 0, "type is not deserializable: add a serialize() method");
+    }
+}
+
+}  // namespace detail
+
+/// Serialize `value` to an owned byte string.
+template <typename T>
+std::string to_string(const T& value) {
+    BinaryOArchive ar;
+    ar & value;
+    return std::move(ar).str();
+}
+
+/// Deserialize `value` from bytes; throws SerializationError on corruption.
+template <typename T>
+void from_string(std::string_view bytes, T& value) {
+    BinaryIArchive ar(bytes);
+    ar & value;
+}
+
+/// Number of bytes to_string(value) would produce, without allocating.
+template <typename T>
+std::size_t serialized_size(const T& value) {
+    SizingArchive ar;
+    ar & value;
+    return ar.size();
+}
+
+}  // namespace hep::serial

@@ -1,0 +1,83 @@
+// Serialization trait detection.
+//
+// A type is serializable if it is arithmetic, an enum, a supported standard
+// container, or provides either a member
+//   template <class A> void serialize(A& ar, unsigned version)
+// or a free function
+//   template <class A> void serialize(A& ar, T& value, unsigned version)
+// — the same contract Boost.Serialization uses, so the Listing-1 idiom from
+// the paper works unchanged.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace hep::serial {
+
+/// Class version, specializable per type (mirrors BOOST_CLASS_VERSION).
+template <typename T>
+struct ClassVersion {
+    static constexpr unsigned value = 0;
+};
+
+template <typename T, typename Archive, typename = void>
+struct has_member_serialize : std::false_type {};
+
+template <typename T, typename Archive>
+struct has_member_serialize<
+    T, Archive,
+    std::void_t<decltype(std::declval<T&>().serialize(std::declval<Archive&>(), 0u))>>
+    : std::true_type {};
+
+template <typename T, typename Archive, typename = void>
+struct has_free_serialize : std::false_type {};
+
+template <typename T, typename Archive>
+struct has_free_serialize<
+    T, Archive,
+    std::void_t<decltype(serialize(std::declval<Archive&>(), std::declval<T&>(), 0u))>>
+    : std::true_type {};
+
+// Container/category detection used by the archives.
+template <typename T> struct is_std_vector : std::false_type {};
+template <typename T, typename A> struct is_std_vector<std::vector<T, A>> : std::true_type {};
+
+// deque/list serialize as generic sequences (size prefix + elements).
+template <typename T> struct is_std_sequence : std::false_type {};
+template <typename T, typename A> struct is_std_sequence<std::deque<T, A>> : std::true_type {};
+template <typename T, typename A> struct is_std_sequence<std::list<T, A>> : std::true_type {};
+
+template <typename T> struct is_std_array : std::false_type {};
+template <typename T, std::size_t N> struct is_std_array<std::array<T, N>> : std::true_type {};
+
+template <typename T> struct is_std_pair : std::false_type {};
+template <typename A, typename B> struct is_std_pair<std::pair<A, B>> : std::true_type {};
+
+template <typename T> struct is_std_tuple : std::false_type {};
+template <typename... Ts> struct is_std_tuple<std::tuple<Ts...>> : std::true_type {};
+
+template <typename T> struct is_std_map : std::false_type {};
+template <typename K, typename V, typename C, typename A>
+struct is_std_map<std::map<K, V, C, A>> : std::true_type {};
+template <typename K, typename V, typename H, typename E, typename A>
+struct is_std_map<std::unordered_map<K, V, H, E, A>> : std::true_type {};
+
+template <typename T> struct is_std_set : std::false_type {};
+template <typename K, typename C, typename A>
+struct is_std_set<std::set<K, C, A>> : std::true_type {};
+
+template <typename T> struct is_std_optional : std::false_type {};
+template <typename T> struct is_std_optional<std::optional<T>> : std::true_type {};
+
+}  // namespace hep::serial

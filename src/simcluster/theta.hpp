@@ -1,0 +1,128 @@
+// Calibrated model of the paper's experimental platform (paper §IV-C/D):
+// ALCF Theta — Cray XC40, Intel Xeon Phi 7230 (64 cores/node), Aries
+// dragonfly interconnect, Lustre parallel file system, node-local SSDs.
+//
+// The benches use this model to regenerate Figs. 2-3. Absolute rates are
+// calibrated, but the *shapes* are emergent from the simulation:
+//  - file-based: static block decomposition, per-block framework startup,
+//    shared PFS bandwidth + metadata service, and core starvation once the
+//    file count drops below the core count (paper: "the file-based
+//    application is scaling poorly especially after 64 nodes at which point
+//    the number of cores outnumbers the number of files").
+//  - HEPnOS: reader/worker pipeline with 16384/64 batching, per-server
+//    provider units, NIC injection limits, and backend service models. The
+//    LSM backend adds SSD traffic and heavy-tailed service noise
+//    (compaction stalls); the slowest-of-k-servers drain tail is what
+//    separates it from the in-memory backend as the node count grows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hep::simcluster {
+
+struct ThetaParams {
+    // --- node ---------------------------------------------------------------
+    std::size_t cores_per_node = 64;  // KNL, hyperthreading disabled (paper)
+
+    // --- selection kernel ----------------------------------------------------
+    double seconds_per_slice = 1e-3;  // CAFAna cut evaluation per slice (KNL core)
+
+    // --- traditional (file-based) workflow -----------------------------------
+    double pfs_stream_rate = 0.8e9;     // single-process Lustre read, B/s
+    std::size_t pfs_streams = 160;      // aggregate = streams * stream rate
+    double pfs_open_latency = 0.040;    // Lustre metadata per file open
+    std::size_t pfs_meta_units = 32;    // concurrent metadata ops
+    double framework_startup = 20.0;    // CAFAna/ROOT invocation startup per block
+    std::size_t procs_per_node_filebased = 64;
+
+    // --- HEPnOS service -------------------------------------------------------
+    std::size_t client_nodes_per_server = 7;  // 1 of every 8 nodes is a server
+    std::size_t providers_per_server = 16;    // Yokan providers (= xstreams)
+    std::size_t event_dbs_per_server = 8;     // paper §IV-D
+    double rpc_overhead = 150e-6;             // per-RPC fixed cost
+    double nic_bandwidth = 10e9;              // Aries injection B/s per node
+    double net_base_latency = 4e-6;
+
+    // backend service models
+    double map_read_per_event = 0.4e-6;  // in-memory per-event server CPU
+    double lsm_read_per_event = 1.0e-6;  // LSM per-event CPU (16 ranks on 4 cores)
+    double ssd_iops = 20000;             // node-local SSD random 4K reads/s
+    double lsm_cache_miss = 0.08;        // block-cache miss fraction per event
+    double lsm_noise_sigma = 0.30;       // lognormal service noise (compaction)
+    double lsm_stall_probability = 0.01; // chance a batch hits a compaction stall
+    double lsm_stall_seconds = 0.50;     // stall duration
+    // Compaction debt: the paper re-ingested the dataset for every scaling
+    // run ("all the experimental data was loaded using [the] same number of
+    // client nodes used for the particular scaling run"); larger allocations
+    // ingest faster, leaving more un-compacted L0 overlap — i.e. higher read
+    // amplification — at selection time. debt(N) = 1 + max(0, N - 32)/72.
+    double lsm_debt_base_nodes = 32;
+    double lsm_debt_slope = 1.0 / 72.0;
+
+    // Distributed-queue pull service: share-batch pulls funnel through the
+    // reader ranks' cores, which are simultaneously driving the bulk loads;
+    // their aggregate pull-service capacity is roughly constant, so queue
+    // contention becomes visible only once compute time shrinks (this is the
+    // residual load-balancing inefficiency the paper attributes to the
+    // batch-size tuning, §IV-E).
+    double queue_pull_rate = 60000;  // share-batch pulls per second, aggregate
+
+    // ParallelEventProcessor tuning (paper §IV-D)
+    std::size_t input_batch = 16384;
+    std::size_t share_batch = 64;
+};
+
+/// Dataset shape (paper §III-B: 1929 files = 4,359,414 events = 17,878,347
+/// slices; x2 and x4 replicas for the larger samples).
+struct SimDataset {
+    std::uint64_t num_files = 1929;
+    std::uint64_t total_events = 4359414;
+    double slices_per_event = 4.101;  // 17,878,347 / 4,359,414
+    double bytes_per_event = 2600;    // serialized slice-vector product
+    double file_size_jitter = 0.25;   // relative spread of per-file events
+    std::uint64_t seed = 2018;
+
+    [[nodiscard]] std::uint64_t total_slices() const {
+        return static_cast<std::uint64_t>(static_cast<double>(total_events) *
+                                          slices_per_event);
+    }
+
+    /// The paper's three samples: 1929/3858/7716 files.
+    static SimDataset paper_sample(int replicas) {
+        SimDataset d;
+        d.num_files = 1929ULL * static_cast<std::uint64_t>(replicas);
+        d.total_events = 4359414ULL * static_cast<std::uint64_t>(replicas);
+        return d;
+    }
+};
+
+struct SimResult {
+    std::string workflow;          // "file-based" | "hepnos-map" | "hepnos-lsm"
+    std::size_t nodes = 0;
+    double seconds = 0;            // simulated makespan
+    double throughput = 0;         // slices / second (the paper's metric)
+    double core_busy_fraction = 0; // fraction of client core-time spent computing
+    std::uint64_t slices = 0;
+};
+
+/// Simulate the traditional file-based workflow (paper §IV-A) on `nodes`.
+SimResult simulate_filebased(const ThetaParams& params, const SimDataset& dataset,
+                             std::size_t nodes);
+
+enum class Backend { kMap, kLsm };
+
+/// Simulate the HEPnOS workflow (paper §IV-B/D) on `nodes` total nodes
+/// (1 of every 8 runs the service).
+SimResult simulate_hepnos(const ThetaParams& params, const SimDataset& dataset,
+                          std::size_t nodes, Backend backend);
+
+/// Simulate the ingestion step (paper §III-B): DataLoader ranks read HTF
+/// files from the PFS and bulk-store events into the service. This is "the
+/// first step of an HEP workflow, and the only step whose scalability is
+/// constrained by the number of files" — loader parallelism cannot exceed
+/// the file count, unlike every later step.
+SimResult simulate_ingest(const ThetaParams& params, const SimDataset& dataset,
+                          std::size_t nodes, Backend backend);
+
+}  // namespace hep::simcluster

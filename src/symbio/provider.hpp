@@ -1,0 +1,37 @@
+// RPC surface of the monitoring component: expose a MetricsRegistry so any
+// client can poll a service process for its live metrics.
+#pragma once
+
+#include <memory>
+
+#include "margo/engine.hpp"
+#include "symbio/metrics.hpp"
+
+namespace hep::symbio {
+
+class Provider final : public margo::Provider {
+  public:
+    Provider(margo::Engine& engine, rpc::ProviderId id,
+             std::shared_ptr<MetricsRegistry> registry)
+        : margo::Provider(engine, id), registry_(std::move(registry)) {
+        engine_.define_raw("symbio_fetch", id_,
+                           [this](const std::string&) -> Result<std::string> {
+                               return registry_->snapshot().dump();
+                           });
+    }
+
+    [[nodiscard]] MetricsRegistry& registry() noexcept { return *registry_; }
+
+  private:
+    std::shared_ptr<MetricsRegistry> registry_;
+};
+
+/// Client side: poll a remote registry.
+inline Result<json::Value> fetch(margo::Engine& engine, const std::string& server,
+                                 rpc::ProviderId provider_id) {
+    auto raw = engine.endpoint().call(server, "symbio_fetch", provider_id, "");
+    if (!raw.ok()) return raw.status();
+    return json::parse(*raw);
+}
+
+}  // namespace hep::symbio

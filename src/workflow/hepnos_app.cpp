@@ -1,0 +1,76 @@
+#include "workflow/hepnos_app.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace hep::workflow {
+
+WorkflowResult run_hepnos_selection(hepnos::DataStore store, const std::string& dataset_path,
+                                    const HepnosAppOptions& options) {
+    WorkflowResult result;
+    result.workers.resize(options.num_ranks);
+    std::mutex result_mutex;
+
+    mpisim::run_ranks(static_cast<int>(options.num_ranks), [&](mpisim::Comm& comm) {
+        hepnos::DataSet dataset = store[dataset_path];
+        hepnos::ParallelEventProcessor pep(store, comm, options.pep);
+        if (options.prefetch_products) {
+            pep.prefetch<std::vector<nova::Slice>>(nova::kSliceLabel);
+        }
+
+        nova::Selector selector(options.cuts);
+        std::vector<std::uint64_t> local_ids;
+
+        // Optional write-back of derived products (batched, asynchronous).
+        std::unique_ptr<hepnos::AsyncWriteBatch> writeback;
+        if (options.store_results) {
+            writeback = std::make_unique<hepnos::AsyncWriteBatch>(store.impl(), 1024);
+        }
+
+        auto stats = pep.process(dataset, [&](const hepnos::Event& ev,
+                                              const hepnos::ProductCache& cache) {
+            // Deserialize the NOvA classes for this event, prefetched when
+            // possible, fetched on demand otherwise.
+            std::vector<nova::Slice> slices;
+            if (!cache.load(ev, nova::kSliceLabel, slices)) {
+                if (!ev.load(nova::kSliceLabel, slices)) return;  // event w/o product
+            }
+            nova::EventRecord rec;
+            rec.run = ev.run_number();
+            rec.subrun = ev.subrun_number();
+            rec.event = ev.number();
+            rec.slices = std::move(slices);
+            auto ids = selector.selected_ids(rec);
+            if (writeback && !ids.empty()) {
+                std::vector<std::uint32_t> indices;
+                indices.reserve(ids.size());
+                for (auto id : ids) indices.push_back(static_cast<std::uint32_t>(id & 0xFF));
+                ev.store(*writeback, kSelectedLabel, indices);
+            }
+            local_ids.insert(local_ids.end(), ids.begin(), ids.end());
+        });
+        if (writeback) {
+            writeback->flush();
+            writeback->wait();
+        }
+
+        // MPI reduction of the accepted IDs to rank 0 (paper §IV-B).
+        auto merged = comm.reduce_concat(local_ids, 0);
+        {
+            std::lock_guard<std::mutex> lock(result_mutex);
+            result.workers[static_cast<std::size_t>(comm.rank())] =
+                WorkerTiming{stats.processing_time, 0, selector.slices_examined()};
+            result.slices_processed += selector.slices_examined();
+            if (comm.rank() == 0) {
+                result.accepted_ids = std::move(merged);
+                result.events_processed = stats.total_events;
+                result.wall_seconds = stats.total_time;
+            }
+        }
+    });
+
+    std::sort(result.accepted_ids.begin(), result.accepted_ids.end());
+    return result;
+}
+
+}  // namespace hep::workflow

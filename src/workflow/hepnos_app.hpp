@@ -1,0 +1,42 @@
+// The HEPnOS-based candidate-selection application (paper §IV-B).
+//
+// "Each rank uses a ParallelEventProcessor to manage the work of fetching
+//  events from the HEPnOS service, and to pass the data to an event
+//  processing routine encapsulated by a C++ lambda expression. In this
+//  routine, the data are deserialized to recover the NOvA classes [...] The
+//  lambda expression then returns the IDs of the selected slices. An MPI
+//  reduction is then used to send those slice IDs to rank 0."
+#pragma once
+
+#include <string>
+
+#include "hepnos/hepnos.hpp"
+#include "mpisim/comm.hpp"
+#include "nova/selection.hpp"
+#include "workflow/traditional.hpp"  // WorkflowResult
+
+namespace hep::workflow {
+
+struct HepnosAppOptions {
+    std::size_t num_ranks = 4;
+    nova::SelectionCuts cuts;
+    hepnos::ParallelEventProcessorOptions pep;
+    bool prefetch_products = true;  // use the PEP product-prefetch path
+    /// Write the selection outcome back as a per-event product (paper §II-A:
+    /// applications "load products from HEPnOS ..., performing some analysis,
+    /// and writing new products back into HEPnOS"). Label: "selected".
+    /// Type: std::vector<std::uint32_t> of accepted slice indices; only
+    /// events with at least one accepted slice get the product.
+    bool store_results = false;
+};
+
+/// The label the write-back path stores accepted slice indices under.
+inline constexpr const char* kSelectedLabel = "selected";
+
+/// Run the selection over an already-ingested dataset. Collective over a
+/// fresh communicator of options.num_ranks ranks; the aggregated result
+/// (with IDs reduced to rank 0, then sorted) is returned.
+WorkflowResult run_hepnos_selection(hepnos::DataStore store, const std::string& dataset_path,
+                                    const HepnosAppOptions& options);
+
+}  // namespace hep::workflow

@@ -1,0 +1,79 @@
+#include "workflow/traditional.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "hepnos/exception.hpp"
+#include "mpisim/comm.hpp"
+
+namespace hep::workflow {
+
+namespace {
+
+/// Shared implementation: `fetch(i)` materializes file i's events.
+WorkflowResult run_over_files(
+    std::size_t num_files, const TraditionalOptions& options,
+    const std::function<std::vector<nova::EventRecord>(std::size_t)>& fetch) {
+    WorkflowResult result;
+    result.workers.resize(options.num_workers);
+
+    std::atomic<std::size_t> next_file{0};
+    std::mutex result_mutex;
+    const double t0 = mpisim::Comm::wtime();
+
+    std::vector<std::thread> workers;
+    workers.reserve(options.num_workers);
+    for (std::size_t w = 0; w < options.num_workers; ++w) {
+        workers.emplace_back([&, w] {
+            nova::Selector selector(options.cuts);
+            std::vector<std::uint64_t> local_ids;
+            std::uint64_t local_events = 0, local_files = 0;
+            const double start = mpisim::Comm::wtime();
+            while (true) {
+                // The paper's pipelining: ask for the next unprocessed file.
+                const std::size_t i = next_file.fetch_add(1);
+                if (i >= num_files) break;
+                auto events = fetch(i);
+                for (const auto& rec : events) {
+                    auto ids = selector.selected_ids(rec);
+                    local_ids.insert(local_ids.end(), ids.begin(), ids.end());
+                    ++local_events;
+                }
+                ++local_files;
+            }
+            const double elapsed = mpisim::Comm::wtime() - start;
+            std::lock_guard<std::mutex> lock(result_mutex);
+            result.accepted_ids.insert(result.accepted_ids.end(), local_ids.begin(),
+                                       local_ids.end());
+            result.events_processed += local_events;
+            result.slices_processed += selector.slices_examined();
+            result.workers[w] = WorkerTiming{elapsed, local_files, selector.slices_examined()};
+        });
+    }
+    for (auto& t : workers) t.join();
+    result.wall_seconds = mpisim::Comm::wtime() - t0;
+    std::sort(result.accepted_ids.begin(), result.accepted_ids.end());
+    return result;
+}
+
+}  // namespace
+
+WorkflowResult run_traditional(const std::vector<std::string>& files,
+                               const TraditionalOptions& options) {
+    return run_over_files(files.size(), options, [&](std::size_t i) {
+        auto events = nova::Generator::read_htf_file(files[i]);
+        if (!events.ok()) throw hepnos::Exception(events.status());
+        return std::move(events.value());
+    });
+}
+
+WorkflowResult run_traditional_generated(const nova::Generator& generator,
+                                         const TraditionalOptions& options) {
+    return run_over_files(
+        static_cast<std::size_t>(generator.config().num_files), options,
+        [&](std::size_t i) { return generator.make_file_events(i); });
+}
+
+}  // namespace hep::workflow

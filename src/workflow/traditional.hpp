@@ -1,0 +1,53 @@
+// The traditional file-based candidate-selection workflow (paper §IV-A).
+//
+// The paper automates what a physicist does: a text file lists the input
+// files; work is decomposed into blocks of files; independent processes each
+// run the CAFAna selection sequentially over their block and append accepted
+// slice IDs to an output. "No two processes work on the same file"; when a
+// process finishes a file it requests the next one (pipelining) — which we
+// model faithfully with a shared work queue of files consumed by worker
+// threads standing in for grid processes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nova/generator.hpp"
+#include "nova/selection.hpp"
+
+namespace hep::workflow {
+
+struct TraditionalOptions {
+    std::size_t num_workers = 4;  // concurrent "grid processes"
+    nova::SelectionCuts cuts;
+};
+
+struct WorkerTiming {
+    double seconds = 0;            // busy time of this worker
+    std::uint64_t files = 0;       // files it processed
+    std::uint64_t slices = 0;      // slices it examined
+};
+
+struct WorkflowResult {
+    std::vector<std::uint64_t> accepted_ids;  // sorted packed slice IDs
+    std::uint64_t events_processed = 0;
+    std::uint64_t slices_processed = 0;
+    double wall_seconds = 0;  // first start to last end (paper's metric)
+    std::vector<WorkerTiming> workers;
+
+    [[nodiscard]] double throughput_slices_per_s() const {
+        return wall_seconds > 0 ? static_cast<double>(slices_processed) / wall_seconds : 0;
+    }
+};
+
+/// Run the selection over HTF files on disk.
+WorkflowResult run_traditional(const std::vector<std::string>& files,
+                               const TraditionalOptions& options);
+
+/// Run the selection over generated in-memory files (no disk I/O) — used by
+/// tests to compare against the HEPnOS workflow on identical data.
+WorkflowResult run_traditional_generated(const nova::Generator& generator,
+                                         const TraditionalOptions& options);
+
+}  // namespace hep::workflow

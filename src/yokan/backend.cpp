@@ -1,0 +1,77 @@
+#include "yokan/backend.hpp"
+
+#include "yokan/lsm/lsm_db.hpp"
+#include "yokan/map_backend.hpp"
+
+namespace hep::yokan {
+
+Result<std::vector<std::string>> Database::list_keys(std::string_view after,
+                                                     std::string_view prefix, std::size_t max) {
+    std::vector<std::string> keys;
+    Status st = scan(after, prefix, /*with_values=*/false,
+                     [&](std::string_view key, std::string_view) {
+                         keys.emplace_back(key);
+                         return keys.size() < max;
+                     });
+    if (!st.ok()) return st;
+    return keys;
+}
+
+Result<std::vector<KeyValue>> Database::list_keyvals(std::string_view after,
+                                                     std::string_view prefix, std::size_t max) {
+    std::vector<KeyValue> out;
+    Status st = scan(after, prefix, /*with_values=*/true,
+                     [&](std::string_view key, std::string_view value) {
+                         out.push_back(KeyValue{std::string(key), std::string(value)});
+                         return out.size() < max;
+                     });
+    if (!st.ok()) return st;
+    return out;
+}
+
+Result<std::unique_ptr<Database>> create_database(const json::Value& config,
+                                                  const std::string& base_dir) {
+    const std::string type = config["type"].as_string();
+    if (type == "map" || type.empty()) {
+        return std::unique_ptr<Database>(std::make_unique<MapBackend>());
+    }
+    if (type == "lsm") {
+        lsm::LsmOptions opts;
+        std::string path = config["path"].as_string();
+        if (path.empty()) {
+            return Status::InvalidArgument("lsm backend requires a \"path\"");
+        }
+        opts.path = path.front() == '/' ? path : base_dir + "/" + path;
+        if (config.contains("memtable_bytes")) {
+            opts.memtable_bytes = static_cast<std::size_t>(config["memtable_bytes"].as_int());
+        }
+        if (config.contains("block_bytes")) {
+            opts.block_bytes = static_cast<std::size_t>(config["block_bytes"].as_int());
+        }
+        if (config.contains("l0_compaction_trigger")) {
+            opts.l0_compaction_trigger =
+                static_cast<std::size_t>(config["l0_compaction_trigger"].as_int());
+        }
+        if (config.contains("level_base_bytes")) {
+            opts.level_base_bytes =
+                static_cast<std::size_t>(config["level_base_bytes"].as_int());
+        }
+        if (config.contains("block_cache_bytes")) {
+            opts.block_cache_bytes =
+                static_cast<std::size_t>(config["block_cache_bytes"].as_int());
+        }
+        if (config.contains("target_file_bytes")) {
+            opts.target_file_bytes =
+                static_cast<std::size_t>(config["target_file_bytes"].as_int());
+        }
+        if (config.contains("wal_sync_every_put")) {
+            opts.wal_sync_every_put = config["wal_sync_every_put"].as_bool();
+        }
+        auto db = lsm::LsmDb::open(std::move(opts));
+        if (!db.ok()) return db.status();
+        return std::unique_ptr<Database>(std::move(db.value()));
+    }
+    return Status::InvalidArgument("unknown backend type: " + type);
+}
+
+}  // namespace hep::yokan

@@ -1,0 +1,89 @@
+// Yokan database backend interface (paper §II-B).
+//
+// Yokan is Mochi's single-node KV component; it supports "a number of
+// persistent backends such as RocksDB, BerkeleyDB, LevelDB, etc., as well as
+// in-memory ones (based on C++ standard library containers such as
+// std::map)". We provide two:
+//   - "map":  std::map guarded by a shared mutex (the paper's in-memory mode)
+//   - "lsm":  rockslite, a log-structured merge tree on local storage
+//             (the paper's RocksDB-on-SSD mode)
+// Both iterate keys in lexicographic order — the property HEPnOS's key
+// crafting depends on (§II-C).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/status.hpp"
+
+namespace hep::yokan {
+
+struct KeyValue {
+    std::string key;
+    std::string value;
+
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & key & value;
+    }
+    bool operator==(const KeyValue&) const = default;
+};
+
+/// Counters every backend maintains.
+struct BackendStats {
+    std::uint64_t puts = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t scans = 0;
+    std::uint64_t erases = 0;
+};
+
+class Database {
+  public:
+    virtual ~Database() = default;
+
+    /// Store a key/value pair. With overwrite=false, an existing key is an
+    /// AlreadyExists error (used for "create" semantics).
+    virtual Status put(std::string_view key, std::string_view value, bool overwrite = true) = 0;
+
+    virtual Result<std::string> get(std::string_view key) = 0;
+    virtual Result<bool> exists(std::string_view key) = 0;
+    /// Value size without fetching the value.
+    virtual Result<std::uint64_t> length(std::string_view key) = 0;
+    virtual Status erase(std::string_view key) = 0;
+
+    /// Ordered scan: visit keys strictly greater than `after` that start with
+    /// `prefix`, in lexicographic order, until `fn` returns false or the key
+    /// space is exhausted. `value` is only materialized if `with_values`.
+    using ScanFn = std::function<bool(std::string_view key, std::string_view value)>;
+    virtual Status scan(std::string_view after, std::string_view prefix, bool with_values,
+                        const ScanFn& fn) = 0;
+
+    /// Convenience wrappers over scan().
+    Result<std::vector<std::string>> list_keys(std::string_view after, std::string_view prefix,
+                                               std::size_t max);
+    Result<std::vector<KeyValue>> list_keyvals(std::string_view after, std::string_view prefix,
+                                               std::size_t max);
+
+    /// Approximate number of live keys.
+    virtual std::uint64_t size() const = 0;
+
+    /// Persist buffered state (no-op for in-memory backends).
+    virtual Status flush() = 0;
+
+    [[nodiscard]] virtual std::string_view type() const noexcept = 0;
+    [[nodiscard]] virtual BackendStats stats() const = 0;
+};
+
+/// Backend factory. `config` is the database's JSON description, e.g.
+///   {"type": "map"} or
+///   {"type": "lsm", "path": "/tmp/db1", "memtable_bytes": 4194304}
+/// Relative lsm paths resolve under `base_dir`.
+Result<std::unique_ptr<Database>> create_database(const json::Value& config,
+                                                  const std::string& base_dir = ".");
+
+}  // namespace hep::yokan

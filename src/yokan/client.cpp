@@ -1,0 +1,137 @@
+#include "yokan/client.hpp"
+
+namespace hep::yokan {
+
+using namespace proto;
+
+Status DatabaseHandle::put(std::string_view key, std::string_view value, bool overwrite) const {
+    auto r = engine_->forward<PutReq, Ack>(
+        server_, "yokan_put", provider_,
+        PutReq{db_, std::string(key), std::string(value), overwrite});
+    return r.status();
+}
+
+Result<std::string> DatabaseHandle::get(std::string_view key) const {
+    auto r = engine_->forward<KeyReq, GetResp>(server_, "yokan_get", provider_,
+                                               KeyReq{db_, std::string(key)});
+    if (!r.ok()) return r.status();
+    return std::move(r->value);
+}
+
+Result<bool> DatabaseHandle::exists(std::string_view key) const {
+    auto r = engine_->forward<KeyReq, ExistsResp>(server_, "yokan_exists", provider_,
+                                                  KeyReq{db_, std::string(key)});
+    if (!r.ok()) return r.status();
+    return r->exists;
+}
+
+Result<std::uint64_t> DatabaseHandle::length(std::string_view key) const {
+    auto r = engine_->forward<KeyReq, LengthResp>(server_, "yokan_length", provider_,
+                                                  KeyReq{db_, std::string(key)});
+    if (!r.ok()) return r.status();
+    return r->length;
+}
+
+Status DatabaseHandle::erase(std::string_view key) const {
+    auto r = engine_->forward<KeyReq, Ack>(server_, "yokan_erase", provider_,
+                                           KeyReq{db_, std::string(key)});
+    return r.status();
+}
+
+Result<std::vector<std::string>> DatabaseHandle::list_keys(std::string_view after,
+                                                           std::string_view prefix,
+                                                           std::size_t max) const {
+    ListReq req{db_, std::string(after), std::string(prefix), max, false};
+    auto r = engine_->forward<ListReq, ListKeysResp>(server_, "yokan_list_keys", provider_, req);
+    if (!r.ok()) return r.status();
+    return std::move(r->keys);
+}
+
+Result<std::vector<KeyValue>> DatabaseHandle::list_keyvals(std::string_view after,
+                                                           std::string_view prefix,
+                                                           std::size_t max) const {
+    ListReq req{db_, std::string(after), std::string(prefix), max, true};
+    auto r = engine_->forward<ListReq, ListKeyValsResp>(server_, "yokan_list_keyvals", provider_,
+                                                        req);
+    if (!r.ok()) return r.status();
+    return std::move(r->items);
+}
+
+Result<std::uint64_t> DatabaseHandle::count() const {
+    auto r = engine_->forward<CountReq, CountResp>(server_, "yokan_count", provider_,
+                                                   CountReq{db_});
+    if (!r.ok()) return r.status();
+    return r->count;
+}
+
+Result<std::uint64_t> DatabaseHandle::erase_multi(const std::vector<std::string>& keys) const {
+    auto r = engine_->forward<EraseMultiReq, EraseMultiResp>(server_, "yokan_erase_multi",
+                                                             provider_, {db_, keys});
+    if (!r.ok()) return r.status();
+    return r->erased;
+}
+
+Result<std::uint64_t> DatabaseHandle::put_multi(const std::vector<KeyValue>& items,
+                                                bool overwrite) const {
+    std::string packed;
+    std::size_t total = 0;
+    for (const auto& kv : items) total += kv.key.size() + kv.value.size() + 8;
+    packed.reserve(total);
+    for (const auto& kv : items) pack_entry(packed, kv.key, kv.value);
+
+    rpc::BulkRef bulk = engine_->endpoint().expose(packed.data(), packed.size());
+    PutMultiReq req{db_, bulk, items.size(), packed.size(), overwrite};
+    auto r = engine_->endpoint().call(server_, "yokan_put_multi", provider_,
+                                      serial::to_string(req));
+    engine_->endpoint().unexpose(bulk);
+    if (!r.ok()) return r.status();
+    PutMultiResp resp;
+    try {
+        serial::from_string(*r, resp);
+    } catch (const serial::SerializationError& e) {
+        return Status::Corruption(e.what());
+    }
+    return resp.stored;
+}
+
+Result<std::vector<std::optional<std::string>>> DatabaseHandle::get_multi(
+    const std::vector<std::string>& keys, std::size_t buffer_hint) const {
+    std::string buffer(buffer_hint, '\0');
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        rpc::BulkRef bulk = engine_->endpoint().expose(buffer.data(), buffer.size());
+        GetMultiReq req{db_, keys, bulk};
+        auto r = engine_->endpoint().call(server_, "yokan_get_multi", provider_,
+                                          serial::to_string(req));
+        engine_->endpoint().unexpose(bulk);
+        if (!r.ok()) return r.status();
+        GetMultiResp resp;
+        try {
+            serial::from_string(*r, resp);
+        } catch (const serial::SerializationError& e) {
+            return Status::Corruption(e.what());
+        }
+        if (resp.sizes.size() != keys.size()) {
+            return Status::Internal("get_multi size vector mismatch");
+        }
+        if (!resp.written) {
+            // Buffer was too small; retry once with the exact size.
+            buffer.assign(resp.needed, '\0');
+            continue;
+        }
+        std::vector<std::optional<std::string>> out;
+        out.reserve(keys.size());
+        std::size_t offset = 0;
+        for (std::uint32_t size : resp.sizes) {
+            if (size == kMissing) {
+                out.emplace_back(std::nullopt);
+            } else {
+                out.emplace_back(buffer.substr(offset, size));
+                offset += size;
+            }
+        }
+        return out;
+    }
+    return Status::Internal("get_multi retry with exact buffer size still failed");
+}
+
+}  // namespace hep::yokan

@@ -1,0 +1,62 @@
+// Yokan client: a remote handle to one database served by a Provider.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "margo/engine.hpp"
+#include "yokan/protocol.hpp"
+
+namespace hep::yokan {
+
+/// Addresses one database instance: (server address, provider id, db name).
+/// Cheap to copy; safe to use from many ULTs concurrently.
+class DatabaseHandle {
+  public:
+    DatabaseHandle() = default;
+    DatabaseHandle(margo::Engine& engine, std::string server, rpc::ProviderId provider,
+                   std::string db_name)
+        : engine_(&engine),
+          server_(std::move(server)),
+          provider_(provider),
+          db_(std::move(db_name)) {}
+
+    [[nodiscard]] bool valid() const noexcept { return engine_ != nullptr; }
+    [[nodiscard]] const std::string& server() const noexcept { return server_; }
+    [[nodiscard]] const std::string& name() const noexcept { return db_; }
+    [[nodiscard]] rpc::ProviderId provider() const noexcept { return provider_; }
+
+    Status put(std::string_view key, std::string_view value, bool overwrite = true) const;
+    Result<std::string> get(std::string_view key) const;
+    Result<bool> exists(std::string_view key) const;
+    Result<std::uint64_t> length(std::string_view key) const;
+    Status erase(std::string_view key) const;
+    Result<std::vector<std::string>> list_keys(std::string_view after, std::string_view prefix,
+                                               std::size_t max = 128) const;
+    Result<std::vector<KeyValue>> list_keyvals(std::string_view after, std::string_view prefix,
+                                               std::size_t max = 128) const;
+    Result<std::uint64_t> count() const;
+
+    /// Batched store: one RPC + one bulk read on the server side.
+    /// Returns the number of newly stored pairs.
+    Result<std::uint64_t> put_multi(const std::vector<KeyValue>& items,
+                                    bool overwrite = true) const;
+
+    /// Batched erase; returns how many keys existed and were removed.
+    Result<std::uint64_t> erase_multi(const std::vector<std::string>& keys) const;
+
+    /// Batched load: one RPC + one bulk write from the server (retried once
+    /// with a larger buffer if the initial estimate was too small).
+    /// Missing keys come back as nullopt.
+    Result<std::vector<std::optional<std::string>>> get_multi(
+        const std::vector<std::string>& keys, std::size_t buffer_hint = 1 << 20) const;
+
+  private:
+    margo::Engine* engine_ = nullptr;
+    std::string server_;
+    rpc::ProviderId provider_ = 0;
+    std::string db_;
+};
+
+}  // namespace hep::yokan

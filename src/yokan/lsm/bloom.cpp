@@ -1,0 +1,27 @@
+#include "yokan/lsm/bloom.hpp"
+
+#include <cstring>
+
+namespace hep::yokan::lsm {
+
+std::string BloomFilter::encode() const {
+    std::string out;
+    out.resize(8 + bits_.size() * 8);
+    const std::uint64_t n = bits_.size();
+    std::memcpy(out.data(), &n, 8);
+    std::memcpy(out.data() + 8, bits_.data(), bits_.size() * 8);
+    return out;
+}
+
+BloomFilter BloomFilter::decode(std::string_view bytes) {
+    BloomFilter f(0);
+    if (bytes.size() < 8) return f;
+    std::uint64_t n = 0;
+    std::memcpy(&n, bytes.data(), 8);
+    if (bytes.size() < 8 + n * 8) return f;
+    f.bits_.resize(n);
+    std::memcpy(f.bits_.data(), bytes.data() + 8, n * 8);
+    return f;
+}
+
+}  // namespace hep::yokan::lsm

@@ -1,0 +1,562 @@
+#include "yokan/lsm/lsm_db.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/logging.hpp"
+
+namespace fs = std::filesystem;
+
+namespace hep::yokan::lsm {
+
+namespace {
+constexpr const char* kManifestName = "MANIFEST.json";
+constexpr const char* kWalName = "wal.log";
+}  // namespace
+
+LsmDb::LsmDb(LsmOptions options) : options_(std::move(options)) {
+    cache_ = std::make_shared<BlockCache>(options_.block_cache_bytes);
+    levels_.resize(options_.max_levels);
+}
+
+LsmDb::~LsmDb() {
+    // Best-effort durability on clean shutdown.
+    std::unique_lock lock(mutex_);
+    (void)wal_.sync();
+}
+
+std::string LsmDb::table_path(std::uint64_t file_number) const {
+    return options_.path + "/" + std::to_string(file_number) + ".sst";
+}
+
+Result<std::unique_ptr<LsmDb>> LsmDb::open(LsmOptions options) {
+    std::error_code ec;
+    fs::create_directories(options.path, ec);
+    if (ec) return Status::IOError("cannot create " + options.path + ": " + ec.message());
+
+    auto db = std::unique_ptr<LsmDb>(new LsmDb(std::move(options)));
+    Status st = db->load_manifest();
+    if (!st.ok()) return st;
+    st = db->recover_wal();
+    if (!st.ok()) return st;
+    return db;
+}
+
+Status LsmDb::load_manifest() {
+    const std::string path = options_.path + "/" + kManifestName;
+    if (!fs::exists(path)) return Status::OK();  // fresh database
+    auto doc = json::parse_file(path);
+    if (!doc.ok()) return Status::Corruption("manifest unreadable: " + doc.status().message());
+    const json::Value& v = *doc;
+    next_file_number_ = static_cast<std::uint64_t>(v["next_file"].as_int(1));
+    const json::Value& levels = v["levels"];
+    for (std::size_t li = 0; li < levels.size() && li < levels_.size(); ++li) {
+        const json::Value& level = levels.at(li);
+        for (std::size_t ti = 0; ti < level.size(); ++ti) {
+            const json::Value& t = level.at(ti);
+            TableMeta meta;
+            meta.file_number = static_cast<std::uint64_t>(t["file"].as_int());
+            meta.min_key = t["min"].as_string();
+            meta.max_key = t["max"].as_string();
+            meta.entries = static_cast<std::uint64_t>(t["entries"].as_int());
+            meta.bytes = static_cast<std::uint64_t>(t["bytes"].as_int());
+            auto reader = open_table(meta);
+            if (!reader.ok()) return reader.status();
+            levels_[li].tables.push_back(std::move(meta));
+            levels_[li].readers.push_back(std::move(reader.value()));
+        }
+    }
+    return Status::OK();
+}
+
+Status LsmDb::save_manifest() {
+    json::Value doc = json::Value::make_object();
+    doc["next_file"] = next_file_number_;
+    json::Value levels = json::Value::make_array();
+    for (const auto& level : levels_) {
+        json::Value arr = json::Value::make_array();
+        for (const auto& t : level.tables) {
+            json::Value entry = json::Value::make_object();
+            entry["file"] = t.file_number;
+            entry["min"] = t.min_key;
+            entry["max"] = t.max_key;
+            entry["entries"] = t.entries;
+            entry["bytes"] = t.bytes;
+            arr.push_back(std::move(entry));
+        }
+        levels.push_back(std::move(arr));
+    }
+    doc["levels"] = std::move(levels);
+
+    const std::string tmp = options_.path + "/MANIFEST.tmp";
+    const std::string final_path = options_.path + "/" + kManifestName;
+    {
+        std::FILE* f = std::fopen(tmp.c_str(), "wb");
+        if (!f) return Status::IOError("cannot write manifest tmp");
+        const std::string text = doc.dump(2);
+        const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+        std::fclose(f);
+        if (!ok) return Status::IOError("short manifest write");
+    }
+    std::error_code ec;
+    fs::rename(tmp, final_path, ec);
+    if (ec) return Status::IOError("manifest rename failed: " + ec.message());
+    return Status::OK();
+}
+
+Status LsmDb::recover_wal() {
+    const std::string wal_path = options_.path + "/" + kWalName;
+    auto replayed = Wal::replay(wal_path, [&](Wal::RecordType type, std::string_view key,
+                                              std::string_view value) {
+        if (type == Wal::RecordType::kPut) {
+            auto [it, inserted] = memtable_.insert_or_assign(std::string(key),
+                                                             std::string(value));
+            (void)it;
+            (void)inserted;
+            memtable_bytes_ += key.size() + value.size() + 32;
+        } else {
+            memtable_.insert_or_assign(std::string(key), std::nullopt);
+            memtable_bytes_ += key.size() + 32;
+        }
+    });
+    if (!replayed.ok()) return replayed.status();
+    if (*replayed > 0) {
+        HEP_LOG_INFO("lsm %s: replayed %llu WAL records", options_.path.c_str(),
+                     static_cast<unsigned long long>(*replayed));
+    }
+    return wal_.open(wal_path);
+}
+
+Result<std::shared_ptr<SstReader>> LsmDb::open_table(const TableMeta& meta) const {
+    return SstReader::open(table_path(meta.file_number), meta.file_number, cache_);
+}
+
+// ------------------------------------------------------------------ writes
+
+Status LsmDb::put(std::string_view key, std::string_view value, bool overwrite) {
+    std::unique_lock lock(mutex_);
+    ++stats_.puts;
+    if (!overwrite) {
+        // "create" semantics require an existence probe.
+        auto mem = memtable_.find(key);
+        if (mem != memtable_.end()) {
+            if (mem->second.has_value()) return Status::AlreadyExists(std::string(key));
+        } else {
+            auto found = table_lookup(key);
+            if (found.ok() && found->has_value()) {
+                return Status::AlreadyExists(std::string(key));
+            }
+        }
+    }
+    Status st = wal_.append_put(key, value);
+    if (!st.ok()) return st;
+    if (options_.wal_sync_every_put) {
+        st = wal_.sync();
+        if (!st.ok()) return st;
+    }
+    memtable_.insert_or_assign(std::string(key), std::string(value));
+    memtable_bytes_ += key.size() + value.size() + 32;
+    if (memtable_bytes_ >= options_.memtable_bytes) {
+        st = flush_memtable_locked();
+        if (!st.ok()) return st;
+        st = maybe_compact_locked();
+        if (!st.ok()) return st;
+        st = save_manifest();
+        if (!st.ok()) return st;
+    }
+    return Status::OK();
+}
+
+Status LsmDb::erase(std::string_view key) {
+    std::unique_lock lock(mutex_);
+    ++stats_.erases;
+    // Contract: erasing a missing key is NotFound (matches the map backend).
+    auto mem = memtable_.find(key);
+    if (mem != memtable_.end()) {
+        if (!mem->second.has_value()) return Status::NotFound(std::string(key));
+    } else {
+        auto found = table_lookup(key);
+        if (!found.ok() || !found->has_value()) return Status::NotFound(std::string(key));
+    }
+    Status st = wal_.append_delete(key);
+    if (!st.ok()) return st;
+    memtable_.insert_or_assign(std::string(key), std::nullopt);
+    memtable_bytes_ += key.size() + 32;
+    return Status::OK();
+}
+
+Status LsmDb::flush() {
+    std::unique_lock lock(mutex_);
+    if (memtable_.empty()) return Status::OK();
+    Status st = flush_memtable_locked();
+    if (!st.ok()) return st;
+    st = maybe_compact_locked();
+    if (!st.ok()) return st;
+    return save_manifest();
+}
+
+Status LsmDb::flush_memtable_locked() {
+    if (memtable_.empty()) return Status::OK();
+    const std::uint64_t file_number = next_file_number_++;
+    SstWriter writer(table_path(file_number), file_number, options_.block_bytes,
+                     memtable_.size());
+    for (const auto& [key, value] : memtable_) {
+        Status st = value.has_value() ? writer.add(key, *value) : writer.add(key, {}, true);
+        if (!st.ok()) return st;
+    }
+    auto meta = writer.finish();
+    if (!meta.ok()) return meta.status();
+    auto reader = open_table(*meta);
+    if (!reader.ok()) return reader.status();
+    levels_[0].tables.push_back(std::move(meta.value()));  // newest last
+    levels_[0].readers.push_back(std::move(reader.value()));
+    memtable_.clear();
+    memtable_bytes_ = 0;
+    ++lsm_stats_.flushes;
+    ++lsm_stats_.sst_files_written;
+    return wal_.reset();
+}
+
+Status LsmDb::maybe_compact_locked() {
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        if (levels_[0].tables.size() >= options_.l0_compaction_trigger) {
+            Status st = compact_level_locked(0);
+            if (!st.ok()) return st;
+            changed = true;
+            continue;
+        }
+        std::uint64_t budget = options_.level_base_bytes;
+        for (std::size_t i = 1; i + 1 < levels_.size(); ++i) {
+            if (levels_[i].bytes() > budget) {
+                Status st = compact_level_locked(i);
+                if (!st.ok()) return st;
+                changed = true;
+                break;
+            }
+            budget *= options_.level_multiplier;
+        }
+    }
+    return Status::OK();
+}
+
+namespace {
+
+/// Merge source over an SSTable iterator with a recency priority:
+/// lower `prio` wins for equal keys.
+struct MergeSource {
+    SstReader::Iterator it;
+    std::size_t prio;
+};
+
+bool ranges_overlap(const TableMeta& a, std::string_view min_key, std::string_view max_key) {
+    return !(std::string_view(a.max_key) < min_key || max_key < std::string_view(a.min_key));
+}
+
+}  // namespace
+
+Status LsmDb::compact_level_locked(std::size_t level) {
+    const std::size_t target = level + 1;
+    if (target >= levels_.size()) return Status::OK();
+
+    // Choose input tables from `level`.
+    std::vector<std::size_t> src_idx;
+    if (level == 0) {
+        for (std::size_t i = 0; i < levels_[0].tables.size(); ++i) src_idx.push_back(i);
+    } else {
+        src_idx.push_back(0);  // oldest-first keeps levels rolling forward
+    }
+    if (src_idx.empty()) return Status::OK();
+
+    std::string min_key = levels_[level].tables[src_idx[0]].min_key;
+    std::string max_key = levels_[level].tables[src_idx[0]].max_key;
+    for (std::size_t i : src_idx) {
+        min_key = std::min(min_key, levels_[level].tables[i].min_key);
+        max_key = std::max(max_key, levels_[level].tables[i].max_key);
+    }
+
+    // Overlapping tables in the target level.
+    std::vector<std::size_t> dst_idx;
+    for (std::size_t i = 0; i < levels_[target].tables.size(); ++i) {
+        if (ranges_overlap(levels_[target].tables[i], min_key, max_key)) dst_idx.push_back(i);
+    }
+
+    // Tombstones may be dropped only if no key version can exist deeper.
+    bool deeper_empty = true;
+    for (std::size_t d = target + 1; d < levels_.size(); ++d) {
+        if (!levels_[d].tables.empty()) deeper_empty = false;
+    }
+
+    // Build merge sources; lower prio wins. L0 newest (highest index) is the
+    // most recent version; target-level tables are oldest.
+    std::vector<MergeSource> sources;
+    std::uint64_t input_entries = 0;
+    if (level == 0) {
+        for (auto rit = src_idx.rbegin(); rit != src_idx.rend(); ++rit) {
+            sources.push_back({levels_[0].readers[*rit]->make_iterator(), sources.size()});
+            input_entries += levels_[0].tables[*rit].entries;
+        }
+    } else {
+        for (std::size_t i : src_idx) {
+            sources.push_back({levels_[level].readers[i]->make_iterator(), sources.size()});
+            input_entries += levels_[level].tables[i].entries;
+        }
+    }
+    for (std::size_t i : dst_idx) {
+        sources.push_back({levels_[target].readers[i]->make_iterator(), sources.size()});
+        input_entries += levels_[target].tables[i].entries;
+    }
+    for (auto& s : sources) {
+        Status st = s.it.seek_after(std::string_view{});  // from the beginning
+        if (!st.ok()) return st;
+    }
+
+    // Merge into new target-level tables.
+    std::vector<TableMeta> outputs;
+    std::optional<SstWriter> writer;
+    std::size_t out_bytes_estimate = 0;
+    auto open_writer = [&]() {
+        const std::uint64_t fn = next_file_number_++;
+        writer.emplace(table_path(fn), fn, options_.block_bytes,
+                       std::max<std::size_t>(16, input_entries));
+        out_bytes_estimate = 0;
+    };
+    auto close_writer = [&]() -> Status {
+        if (!writer) return Status::OK();
+        auto meta = writer->finish();
+        if (!meta.ok()) return meta.status();
+        // Drop empty output tables.
+        if (meta->entries > 0) outputs.push_back(std::move(meta.value()));
+        else std::filesystem::remove(table_path(meta->file_number));
+        writer.reset();
+        return Status::OK();
+    };
+
+    while (true) {
+        // Smallest current key across sources; ties won by lowest prio.
+        const MergeSource* best = nullptr;
+        for (const auto& s : sources) {
+            if (!s.it.valid()) continue;
+            if (!best || s.it.key() < best->it.key() ||
+                (s.it.key() == best->it.key() && s.prio < best->prio)) {
+                best = &s;
+            }
+        }
+        if (!best) break;
+        const std::string key(best->it.key());
+        const std::string value(best->it.value());
+        const bool tombstone = best->it.is_tombstone();
+        // Advance every source positioned at this key.
+        for (auto& s : sources) {
+            while (s.it.valid() && s.it.key() == key) {
+                Status st = s.it.next();
+                if (!st.ok()) return st;
+            }
+        }
+        if (tombstone && deeper_empty) continue;  // fully reclaim
+        if (!writer) open_writer();
+        Status st = writer->add(key, value, tombstone);
+        if (!st.ok()) return st;
+        out_bytes_estimate += key.size() + value.size() + 8;
+        if (out_bytes_estimate >= options_.target_file_bytes) {
+            st = close_writer();
+            if (!st.ok()) return st;
+        }
+    }
+    Status st = close_writer();
+    if (!st.ok()) return st;
+
+    // Install outputs: delete inputs from both levels, insert outputs sorted.
+    auto remove_tables = [&](Level& lvl, const std::vector<std::size_t>& idx) {
+        // idx is sorted ascending; erase from the back.
+        for (auto rit = idx.rbegin(); rit != idx.rend(); ++rit) {
+            std::filesystem::remove(table_path(lvl.tables[*rit].file_number));
+            lvl.tables.erase(lvl.tables.begin() + static_cast<std::ptrdiff_t>(*rit));
+            lvl.readers.erase(lvl.readers.begin() + static_cast<std::ptrdiff_t>(*rit));
+        }
+    };
+    remove_tables(levels_[level], src_idx);
+    remove_tables(levels_[target], dst_idx);
+
+    for (auto& meta : outputs) {
+        auto reader = open_table(meta);
+        if (!reader.ok()) return reader.status();
+        // Insert sorted by min_key (levels >= 1 are non-overlapping).
+        auto pos = std::lower_bound(
+            levels_[target].tables.begin(), levels_[target].tables.end(), meta,
+            [](const TableMeta& a, const TableMeta& b) { return a.min_key < b.min_key; });
+        const auto offset = pos - levels_[target].tables.begin();
+        levels_[target].tables.insert(pos, std::move(meta));
+        levels_[target].readers.insert(levels_[target].readers.begin() + offset,
+                                       std::move(reader.value()));
+    }
+    ++lsm_stats_.compactions;
+    lsm_stats_.sst_files_written += outputs.size();
+    return Status::OK();
+}
+
+// ------------------------------------------------------------------- reads
+
+Result<std::optional<std::string>> LsmDb::table_lookup(std::string_view key) const {
+    // L0: newest to oldest (later files shadow earlier ones).
+    const Level& l0 = levels_[0];
+    for (std::size_t i = l0.tables.size(); i-- > 0;) {
+        const TableMeta& t = l0.tables[i];
+        if (key < std::string_view(t.min_key) || std::string_view(t.max_key) < key) continue;
+        auto r = l0.readers[i]->get(key);
+        if (r.ok()) return r;  // value or tombstone
+        if (r.status().code() != StatusCode::kNotFound) return r.status();
+    }
+    // Deeper levels: at most one candidate file per level.
+    for (std::size_t li = 1; li < levels_.size(); ++li) {
+        const Level& lvl = levels_[li];
+        // First table with max_key >= key.
+        std::size_t lo = 0, hi = lvl.tables.size();
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (std::string_view(lvl.tables[mid].max_key) < key) lo = mid + 1;
+            else hi = mid;
+        }
+        if (lo == lvl.tables.size()) continue;
+        if (key < std::string_view(lvl.tables[lo].min_key)) continue;
+        auto r = lvl.readers[lo]->get(key);
+        if (r.ok()) return r;
+        if (r.status().code() != StatusCode::kNotFound) return r.status();
+    }
+    return Status::NotFound(std::string(key));
+}
+
+Result<std::string> LsmDb::get(std::string_view key) {
+    std::shared_lock lock(mutex_);
+    ++stats_.gets;
+    auto mem = memtable_.find(key);
+    if (mem != memtable_.end()) {
+        if (!mem->second.has_value()) return Status::NotFound(std::string(key));
+        return *mem->second;
+    }
+    auto found = table_lookup(key);
+    if (!found.ok()) return found.status();
+    if (!found->has_value()) return Status::NotFound(std::string(key));
+    return std::move(**found);
+}
+
+Result<bool> LsmDb::exists(std::string_view key) {
+    std::shared_lock lock(mutex_);
+    ++stats_.gets;
+    auto mem = memtable_.find(key);
+    if (mem != memtable_.end()) return mem->second.has_value();
+    auto found = table_lookup(key);
+    if (!found.ok()) return false;
+    return found->has_value();
+}
+
+Result<std::uint64_t> LsmDb::length(std::string_view key) {
+    auto v = get(key);
+    if (!v.ok()) return v.status();
+    return static_cast<std::uint64_t>(v->size());
+}
+
+Status LsmDb::scan(std::string_view after, std::string_view prefix, bool with_values,
+                   const ScanFn& fn) {
+    (void)with_values;  // values come along for free in this implementation
+    std::shared_lock lock(mutex_);
+    ++stats_.scans;
+
+    const bool start_at_prefix = !prefix.empty() && after < prefix;
+
+    // Source 0: memtable. Sources 1..: tables, ordered newest-first so the
+    // lowest source index always holds the most recent version of a key.
+    auto mem_it = start_at_prefix ? memtable_.lower_bound(prefix) : memtable_.upper_bound(after);
+
+    std::vector<SstReader::Iterator> its;
+    for (std::size_t i = levels_[0].readers.size(); i-- > 0;) {
+        its.push_back(levels_[0].readers[i]->make_iterator());
+    }
+    for (std::size_t li = 1; li < levels_.size(); ++li) {
+        for (const auto& r : levels_[li].readers) its.push_back(r->make_iterator());
+    }
+    for (auto& it : its) {
+        Status st = start_at_prefix ? it.seek_geq(prefix) : it.seek_after(after);
+        if (!st.ok()) return st;
+    }
+
+    auto prefix_matches = [&](std::string_view key) {
+        return prefix.empty() ||
+               (key.size() >= prefix.size() && key.compare(0, prefix.size(), prefix) == 0);
+    };
+
+    while (true) {
+        // Smallest key across memtable + table iterators.
+        const std::string* mem_key =
+            mem_it != memtable_.end() ? &mem_it->first : nullptr;
+        std::string_view best;
+        bool have_best = false;
+        if (mem_key) {
+            best = *mem_key;
+            have_best = true;
+        }
+        for (auto& it : its) {
+            if (it.valid() && (!have_best || it.key() < best)) {
+                best = it.key();
+                have_best = true;
+            }
+        }
+        if (!have_best) break;
+        if (!prefix_matches(best) && best > prefix) break;  // past the prefix range
+
+        // Resolve winner: memtable first, then newest table.
+        bool emitted_handled = false;
+        bool keep_going = true;
+        const std::string key(best);
+        if (mem_key && *mem_key == key) {
+            if (mem_it->second.has_value() && prefix_matches(key)) {
+                keep_going = fn(key, *mem_it->second);
+            }
+            emitted_handled = true;
+            ++mem_it;
+        }
+        for (auto& it : its) {
+            if (it.valid() && it.key() == key) {
+                if (!emitted_handled) {
+                    if (!it.is_tombstone() && prefix_matches(key)) {
+                        keep_going = fn(key, it.value());
+                    }
+                    emitted_handled = true;
+                }
+                Status st = it.next();
+                if (!st.ok()) return st;
+            }
+        }
+        if (!keep_going) break;
+    }
+    return Status::OK();
+}
+
+std::uint64_t LsmDb::size() const {
+    // Exact but O(n): merge-count live keys. Documented as approximate in the
+    // interface; rockslite chooses correctness over speed here.
+    std::uint64_t count = 0;
+    const_cast<LsmDb*>(this)->scan({}, {}, false, [&](std::string_view, std::string_view) {
+        ++count;
+        return true;
+    });
+    return count;
+}
+
+BackendStats LsmDb::stats() const {
+    std::shared_lock lock(mutex_);
+    return stats_;
+}
+
+LsmStats LsmDb::lsm_stats() const {
+    std::shared_lock lock(mutex_);
+    LsmStats out = lsm_stats_;
+    out.cache_hits = cache_->hits();
+    out.cache_misses = cache_->misses();
+    out.files_per_level.clear();
+    for (const auto& l : levels_) out.files_per_level.push_back(l.tables.size());
+    return out;
+}
+
+}  // namespace hep::yokan::lsm

@@ -1,0 +1,114 @@
+// rockslite: a log-structured merge-tree backend (RocksDB substitute).
+//
+// Write path: WAL append -> memtable insert; when the memtable exceeds its
+// budget it is flushed to an L0 SSTable and the WAL is reset. L0 tables may
+// overlap; levels >= 1 hold sorted, non-overlapping runs. Compaction merges
+// L0 into L1 when L0 accumulates too many files, and level i into i+1 when a
+// level exceeds its size budget (10x per level, RocksDB-style).
+//
+// Read path: memtable -> L0 newest-to-oldest -> L1..Ln (one candidate file
+// per level), with bloom filters and a shared block cache. This is the read
+// amplification that makes the paper's RocksDB backend fall behind the
+// in-memory backend at scale (Fig. 2).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <shared_mutex>
+
+#include "yokan/backend.hpp"
+#include "yokan/lsm/sstable.hpp"
+#include "yokan/lsm/wal.hpp"
+
+namespace hep::yokan::lsm {
+
+struct LsmOptions {
+    std::string path;                               // directory for this DB
+    std::size_t memtable_bytes = 4 * 1024 * 1024;   // flush threshold
+    std::size_t block_bytes = 4096;                 // sstable block size
+    std::size_t l0_compaction_trigger = 4;          // #L0 files before L0->L1
+    std::size_t level_base_bytes = 8 * 1024 * 1024; // L1 budget; 10x per level
+    std::size_t level_multiplier = 10;
+    std::size_t max_levels = 5;
+    std::size_t block_cache_bytes = 8 * 1024 * 1024;
+    std::size_t target_file_bytes = 2 * 1024 * 1024;  // compaction output split
+    bool wal_sync_every_put = false;                  // fflush per put
+};
+
+/// Extra observability for tests and the ablation benches.
+struct LsmStats {
+    std::uint64_t flushes = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t sst_files_written = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::vector<std::size_t> files_per_level;
+};
+
+class LsmDb final : public Database {
+  public:
+    /// Open (or create) a database in options.path. Replays the WAL and
+    /// loads the manifest.
+    static Result<std::unique_ptr<LsmDb>> open(LsmOptions options);
+    ~LsmDb() override;
+
+    Status put(std::string_view key, std::string_view value, bool overwrite) override;
+    Result<std::string> get(std::string_view key) override;
+    Result<bool> exists(std::string_view key) override;
+    Result<std::uint64_t> length(std::string_view key) override;
+    Status erase(std::string_view key) override;
+    Status scan(std::string_view after, std::string_view prefix, bool with_values,
+                const ScanFn& fn) override;
+    std::uint64_t size() const override;
+    Status flush() override;  // force memtable -> L0
+    std::string_view type() const noexcept override { return "lsm"; }
+    BackendStats stats() const override;
+
+    [[nodiscard]] LsmStats lsm_stats() const;
+
+  private:
+    explicit LsmDb(LsmOptions options);
+
+    Status load_manifest();
+    Status save_manifest();
+    Status recover_wal();
+
+    // All three require mutex_ held exclusively.
+    Status flush_memtable_locked();
+    Status maybe_compact_locked();
+    Status compact_level_locked(std::size_t level);
+
+    /// Lookup in SSTables only (memtable checked by caller). nullopt value
+    /// means "deleted"; NotFound status means "not present anywhere".
+    Result<std::optional<std::string>> table_lookup(std::string_view key) const;
+
+    Result<std::shared_ptr<SstReader>> open_table(const TableMeta& meta) const;
+    [[nodiscard]] std::string table_path(std::uint64_t file_number) const;
+
+    LsmOptions options_;
+    mutable std::shared_mutex mutex_;
+
+    // memtable: nullopt value = tombstone.
+    std::map<std::string, std::optional<std::string>, std::less<>> memtable_;
+    std::size_t memtable_bytes_ = 0;
+    Wal wal_;
+
+    struct Level {
+        std::vector<TableMeta> tables;          // L0: newest last; L1+: sorted by min_key
+        std::vector<std::shared_ptr<SstReader>> readers;  // parallel to tables
+        [[nodiscard]] std::uint64_t bytes() const {
+            std::uint64_t total = 0;
+            for (const auto& t : tables) total += t.bytes;
+            return total;
+        }
+    };
+    std::vector<Level> levels_;
+    std::uint64_t next_file_number_ = 1;
+    std::uint64_t live_keys_ = 0;  // approximate
+
+    std::shared_ptr<BlockCache> cache_;
+    mutable BackendStats stats_;
+    mutable LsmStats lsm_stats_;
+};
+
+}  // namespace hep::yokan::lsm

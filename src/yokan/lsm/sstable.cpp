@@ -1,0 +1,327 @@
+#include "yokan/lsm/sstable.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/crc32.hpp"
+#include "common/hash.hpp"
+
+namespace hep::yokan::lsm {
+
+namespace {
+
+void append_u32(std::string& out, std::uint32_t v) {
+    out.append(reinterpret_cast<const char*>(&v), 4);
+}
+void append_u64(std::string& out, std::uint64_t v) {
+    out.append(reinterpret_cast<const char*>(&v), 8);
+}
+std::uint32_t read_u32(const char* p) {
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+std::uint64_t read_u64(const char* p) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+std::uint64_t cache_key(std::uint64_t file_number, std::uint64_t block) {
+    return hep::mix64(file_number * 0x1000003 + block);
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- BlockCache
+
+std::shared_ptr<const std::string> BlockCache::lookup(std::uint64_t file_number,
+                                                      std::uint64_t block) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(cache_key(file_number, block));
+    if (it == index_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    // Move to front.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->data;
+}
+
+void BlockCache::insert(std::uint64_t file_number, std::uint64_t block,
+                        std::shared_ptr<const std::string> data) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t key = cache_key(file_number, block);
+    if (index_.count(key)) return;
+    used_ += data->size();
+    lru_.push_front(Entry{key, std::move(data)});
+    index_[key] = lru_.begin();
+    while (used_ > capacity_ && !lru_.empty()) {
+        auto& victim = lru_.back();
+        used_ -= victim.data->size();
+        index_.erase(victim.key);
+        lru_.pop_back();
+    }
+}
+
+// --------------------------------------------------------------- SstWriter
+
+SstWriter::SstWriter(std::string path, std::uint64_t file_number, std::size_t block_bytes,
+                     std::size_t expected_keys)
+    : path_(std::move(path)), block_bytes_(block_bytes), bloom_(expected_keys) {
+    meta_.file_number = file_number;
+}
+
+Status SstWriter::add(std::string_view key, std::string_view value, bool tombstone) {
+    if (have_last_ && key <= last_key_) {
+        return Status::InvalidArgument("SstWriter::add keys must be strictly increasing");
+    }
+    if (!have_last_) meta_.min_key.assign(key);
+    last_key_.assign(key);
+    have_last_ = true;
+
+    append_u32(current_block_, static_cast<std::uint32_t>(key.size()));
+    append_u32(current_block_, tombstone ? kTombstoneLen
+                                         : static_cast<std::uint32_t>(value.size()));
+    current_block_.append(key);
+    if (!tombstone) current_block_.append(value);
+    bloom_.insert(key);
+    ++meta_.entries;
+    if (current_block_.size() >= block_bytes_) cut_block();
+    return Status::OK();
+}
+
+void SstWriter::cut_block() {
+    if (current_block_.empty()) return;
+    index_.push_back(
+        {last_key_, file_contents_.size(), current_block_.size(), crc32(current_block_)});
+    file_contents_.append(current_block_);
+    current_block_.clear();
+}
+
+Result<TableMeta> SstWriter::finish() {
+    cut_block();
+    meta_.max_key = last_key_;
+
+    std::string index_bytes;
+    append_u64(index_bytes, index_.size());
+    for (const auto& e : index_) {
+        append_u32(index_bytes, static_cast<std::uint32_t>(e.last_key.size()));
+        index_bytes.append(e.last_key);
+        append_u64(index_bytes, e.offset);
+        append_u64(index_bytes, e.size);
+        append_u32(index_bytes, e.crc);
+    }
+    const std::string bloom_bytes = bloom_.encode();
+
+    const std::uint64_t index_off = file_contents_.size();
+    file_contents_.append(index_bytes);
+    const std::uint64_t bloom_off = file_contents_.size();
+    file_contents_.append(bloom_bytes);
+    append_u64(file_contents_, index_off);
+    append_u64(file_contents_, index_bytes.size());
+    append_u64(file_contents_, bloom_off);
+    append_u64(file_contents_, bloom_bytes.size());
+    append_u64(file_contents_, meta_.entries);
+    append_u64(file_contents_, kSstMagic);
+
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    if (!f) return Status::IOError("cannot create sstable " + path_);
+    const bool ok =
+        std::fwrite(file_contents_.data(), 1, file_contents_.size(), f) == file_contents_.size();
+    std::fclose(f);
+    if (!ok) return Status::IOError("short write creating sstable " + path_);
+    meta_.bytes = file_contents_.size();
+    return meta_;
+}
+
+// --------------------------------------------------------------- SstReader
+
+SstReader::~SstReader() {
+    if (file_) std::fclose(file_);
+}
+
+Result<std::shared_ptr<SstReader>> SstReader::open(const std::string& path,
+                                                   std::uint64_t file_number,
+                                                   std::shared_ptr<BlockCache> cache) {
+    auto reader = std::shared_ptr<SstReader>(new SstReader());
+    reader->self_ = reader;
+    reader->path_ = path;
+    reader->file_number_ = file_number;
+    reader->cache_ = std::move(cache);
+    reader->file_ = std::fopen(path.c_str(), "rb");
+    if (!reader->file_) return Status::IOError("cannot open sstable " + path);
+
+    // Footer.
+    if (std::fseek(reader->file_, -48, SEEK_END) != 0) {
+        return Status::Corruption("sstable too small: " + path);
+    }
+    char footer[48];
+    if (std::fread(footer, 1, 48, reader->file_) != 48) {
+        return Status::Corruption("cannot read sstable footer: " + path);
+    }
+    const std::uint64_t index_off = read_u64(footer);
+    const std::uint64_t index_size = read_u64(footer + 8);
+    const std::uint64_t bloom_off = read_u64(footer + 16);
+    const std::uint64_t bloom_size = read_u64(footer + 24);
+    reader->entry_count_ = read_u64(footer + 32);
+    if (read_u64(footer + 40) != kSstMagic) {
+        return Status::Corruption("bad sstable magic: " + path);
+    }
+
+    // Index.
+    std::string index_bytes(index_size, '\0');
+    if (std::fseek(reader->file_, static_cast<long>(index_off), SEEK_SET) != 0 ||
+        std::fread(index_bytes.data(), 1, index_size, reader->file_) != index_size) {
+        return Status::Corruption("cannot read sstable index: " + path);
+    }
+    std::size_t pos = 0;
+    if (index_size < 8) return Status::Corruption("sstable index truncated: " + path);
+    const std::uint64_t n = read_u64(index_bytes.data());
+    pos = 8;
+    reader->index_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (pos + 4 > index_bytes.size()) return Status::Corruption("index entry truncated");
+        const std::uint32_t klen = read_u32(index_bytes.data() + pos);
+        pos += 4;
+        if (pos + klen + 20 > index_bytes.size()) {
+            return Status::Corruption("index entry truncated");
+        }
+        IndexEntry e;
+        e.last_key.assign(index_bytes.data() + pos, klen);
+        pos += klen;
+        e.offset = read_u64(index_bytes.data() + pos);
+        e.size = read_u64(index_bytes.data() + pos + 8);
+        e.crc = read_u32(index_bytes.data() + pos + 16);
+        pos += 20;
+        reader->index_.push_back(std::move(e));
+    }
+
+    // Bloom.
+    std::string bloom_bytes(bloom_size, '\0');
+    if (std::fseek(reader->file_, static_cast<long>(bloom_off), SEEK_SET) != 0 ||
+        std::fread(bloom_bytes.data(), 1, bloom_size, reader->file_) != bloom_size) {
+        return Status::Corruption("cannot read sstable bloom: " + path);
+    }
+    reader->bloom_ = BloomFilter::decode(bloom_bytes);
+    return reader;
+}
+
+std::size_t SstReader::find_block(std::string_view key) const {
+    // First block whose last_key >= key.
+    std::size_t lo = 0, hi = index_.size();
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (std::string_view(index_[mid].last_key) < key) lo = mid + 1;
+        else hi = mid;
+    }
+    return lo;
+}
+
+Result<std::shared_ptr<const std::string>> SstReader::read_block(std::size_t idx) {
+    if (idx >= index_.size()) return Status::OutOfRange("block index");
+    if (cache_) {
+        if (auto blk = cache_->lookup(file_number_, idx)) return blk;
+    }
+    auto blk = std::make_shared<std::string>(index_[idx].size, '\0');
+    {
+        std::lock_guard<std::mutex> lock(file_mutex_);
+        if (std::fseek(file_, static_cast<long>(index_[idx].offset), SEEK_SET) != 0 ||
+            std::fread(blk->data(), 1, blk->size(), file_) != blk->size()) {
+            return Status::IOError("cannot read block from " + path_);
+        }
+    }
+    if (crc32(*blk) != index_[idx].crc) {
+        return Status::Corruption("sstable block checksum mismatch in " + path_);
+    }
+    std::shared_ptr<const std::string> out = blk;
+    if (cache_) cache_->insert(file_number_, idx, out);
+    return out;
+}
+
+Result<std::optional<std::string>> SstReader::get(std::string_view key) {
+    if (!bloom_.may_contain(key)) return Status::NotFound("bloom miss");
+    const std::size_t blk_idx = find_block(key);
+    if (blk_idx >= index_.size()) return Status::NotFound("beyond last block");
+    auto blk = read_block(blk_idx);
+    if (!blk.ok()) return blk.status();
+    const std::string& data = **blk;
+    std::size_t pos = 0;
+    while (pos + 8 <= data.size()) {
+        const std::uint32_t klen = read_u32(data.data() + pos);
+        const std::uint32_t vlen = read_u32(data.data() + pos + 4);
+        const bool tombstone = (vlen == kTombstoneLen);
+        const std::size_t vbytes = tombstone ? 0 : vlen;
+        if (pos + 8 + klen + vbytes > data.size()) break;
+        std::string_view entry_key(data.data() + pos + 8, klen);
+        if (entry_key == key) {
+            if (tombstone) return std::optional<std::string>{};
+            return std::optional<std::string>(std::string(data.data() + pos + 8 + klen, vlen));
+        }
+        if (entry_key > key) break;  // sorted within block
+        pos += 8 + klen + vbytes;
+    }
+    return Status::NotFound("key not in block");
+}
+
+// ------------------------------------------------------ SstReader::Iterator
+
+Status SstReader::Iterator::load_block(std::size_t block_idx) {
+    block_idx_ = block_idx;
+    pos_ = 0;
+    valid_ = false;
+    if (block_idx_ >= reader_->index_.size()) return Status::OK();  // exhausted
+    auto blk = reader_->read_block(block_idx_);
+    if (!blk.ok()) return blk.status();
+    block_ = *blk;
+    return Status::OK();
+}
+
+bool SstReader::Iterator::parse_current() {
+    if (!block_ || pos_ + 8 > block_->size()) return false;
+    const std::uint32_t klen = read_u32(block_->data() + pos_);
+    const std::uint32_t vlen = read_u32(block_->data() + pos_ + 4);
+    tombstone_ = (vlen == kTombstoneLen);
+    const std::size_t vbytes = tombstone_ ? 0 : vlen;
+    if (pos_ + 8 + klen + vbytes > block_->size()) return false;
+    key_.assign(block_->data() + pos_ + 8, klen);
+    value_.assign(block_->data() + pos_ + 8 + klen, vbytes);
+    pos_ += 8 + klen + vbytes;
+    return true;
+}
+
+Status SstReader::Iterator::seek(std::string_view bound, bool inclusive) {
+    valid_ = false;
+    std::size_t blk = reader_->find_block(bound);
+    // find_block gives the first block whose last_key >= bound; earlier keys
+    // in that block may still precede the bound — advance as needed.
+    while (blk < reader_->index_.size()) {
+        Status st = load_block(blk);
+        if (!st.ok()) return st;
+        while (parse_current()) {
+            const std::string_view k(key_);
+            if (inclusive ? k >= bound : k > bound) {
+                valid_ = true;
+                return Status::OK();
+            }
+        }
+        ++blk;
+    }
+    return Status::OK();  // exhausted: !valid()
+}
+
+Status SstReader::Iterator::next() {
+    valid_ = false;
+    while (true) {
+        if (parse_current()) {
+            valid_ = true;
+            return Status::OK();
+        }
+        if (block_idx_ + 1 >= reader_->index_.size()) return Status::OK();
+        Status st = load_block(block_idx_ + 1);
+        if (!st.ok()) return st;
+    }
+}
+
+}  // namespace hep::yokan::lsm

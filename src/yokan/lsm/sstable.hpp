@@ -1,0 +1,175 @@
+// Immutable sorted-string tables for rockslite.
+//
+// Layout:
+//   [data block]* [index] [bloom] [footer]
+//   data block: sequence of (klen u32, vlen u32, key, value); vlen of
+//               0xFFFFFFFF marks a tombstone. Blocks are cut at ~block_bytes.
+//   index:      count u64, then per block (last_klen u32, last_key,
+//               offset u64, size u64, crc32 u32)
+//   bloom:      serialized BloomFilter over every key in the table
+//   footer:     index_off u64, index_size u64, bloom_off u64, bloom_size u64,
+//               entry_count u64, magic u64
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "yokan/lsm/bloom.hpp"
+
+namespace hep::yokan::lsm {
+
+inline constexpr std::uint64_t kSstMagic = 0x524F434B534C5445ULL;  // "ROCKSLTE"
+inline constexpr std::uint32_t kTombstoneLen = 0xFFFFFFFFu;
+
+/// Metadata tracked per table in the manifest.
+struct TableMeta {
+    std::uint64_t file_number = 0;
+    std::string min_key;
+    std::string max_key;
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+};
+
+/// Simple shared LRU cache of decoded data blocks, keyed by (file, block#).
+class BlockCache {
+  public:
+    explicit BlockCache(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+    std::shared_ptr<const std::string> lookup(std::uint64_t file_number, std::uint64_t block);
+    void insert(std::uint64_t file_number, std::uint64_t block,
+                std::shared_ptr<const std::string> data);
+
+    [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+    [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+  private:
+    struct Entry {
+        std::uint64_t key;
+        std::shared_ptr<const std::string> data;
+    };
+    std::mutex mutex_;
+    std::size_t capacity_;
+    std::size_t used_ = 0;
+    std::list<Entry> lru_;  // front = most recent
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+    std::uint64_t hits_ = 0, misses_ = 0;
+};
+
+/// Streaming writer; add() must be called in strictly increasing key order.
+class SstWriter {
+  public:
+    SstWriter(std::string path, std::uint64_t file_number, std::size_t block_bytes,
+              std::size_t expected_keys);
+
+    Status add(std::string_view key, std::string_view value, bool tombstone = false);
+
+    /// Finish the table; returns its metadata.
+    Result<TableMeta> finish();
+
+  private:
+    void cut_block();
+
+    std::string path_;
+    TableMeta meta_;
+    std::size_t block_bytes_;
+    BloomFilter bloom_;
+    std::string current_block_;
+    std::string file_contents_;
+    struct IndexEntry {
+        std::string last_key;
+        std::uint64_t offset;
+        std::uint64_t size;
+        std::uint32_t crc;
+    };
+    std::vector<IndexEntry> index_;
+    std::string last_key_;
+    bool have_last_ = false;
+};
+
+/// Reader with point lookups and ordered iteration. Index and bloom are
+/// memory-resident; data blocks go through the shared BlockCache.
+class SstReader {
+  public:
+    static Result<std::shared_ptr<SstReader>> open(const std::string& path,
+                                                   std::uint64_t file_number,
+                                                   std::shared_ptr<BlockCache> cache);
+    ~SstReader();
+
+    /// Point lookup. outer Result failing with NotFound => key absent;
+    /// nullopt value => tombstone.
+    Result<std::optional<std::string>> get(std::string_view key);
+
+    [[nodiscard]] std::uint64_t entries() const noexcept { return entry_count_; }
+    [[nodiscard]] std::uint64_t file_number() const noexcept { return file_number_; }
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+    /// Forward iterator over (key, value, tombstone) triples.
+    class Iterator {
+      public:
+        explicit Iterator(std::shared_ptr<SstReader> reader) : reader_(std::move(reader)) {}
+
+        /// Position at the first key strictly greater than `after`.
+        Status seek_after(std::string_view after) { return seek(after, /*inclusive=*/false); }
+        /// Position at the first key greater than or equal to `bound`.
+        Status seek_geq(std::string_view bound) { return seek(bound, /*inclusive=*/true); }
+        [[nodiscard]] bool valid() const noexcept { return valid_; }
+        [[nodiscard]] std::string_view key() const noexcept { return key_; }
+        [[nodiscard]] std::string_view value() const noexcept { return value_; }
+        [[nodiscard]] bool is_tombstone() const noexcept { return tombstone_; }
+        Status next();
+
+      private:
+        Status seek(std::string_view bound, bool inclusive);
+        Status load_block(std::size_t block_idx);
+        bool parse_current();
+
+        std::shared_ptr<SstReader> reader_;
+        std::shared_ptr<const std::string> block_;
+        std::size_t block_idx_ = 0;
+        std::size_t pos_ = 0;
+        bool valid_ = false;
+        std::string key_, value_;
+        bool tombstone_ = false;
+    };
+
+    Iterator make_iterator() { return Iterator(shared_from_this_()); }
+
+  private:
+    friend class Iterator;
+    SstReader() = default;
+
+    std::shared_ptr<SstReader> shared_from_this_() { return self_.lock(); }
+
+    /// Read data block `idx` (through the cache).
+    Result<std::shared_ptr<const std::string>> read_block(std::size_t idx);
+
+    /// Index of the first block whose last_key >= key, or npos.
+    [[nodiscard]] std::size_t find_block(std::string_view key) const;
+
+    std::string path_;
+    std::uint64_t file_number_ = 0;
+    std::FILE* file_ = nullptr;
+    std::mutex file_mutex_;
+    std::shared_ptr<BlockCache> cache_;
+    struct IndexEntry {
+        std::string last_key;
+        std::uint64_t offset;
+        std::uint64_t size;
+        std::uint32_t crc;
+    };
+    std::vector<IndexEntry> index_;
+    BloomFilter bloom_{0};
+    std::uint64_t entry_count_ = 0;
+    std::weak_ptr<SstReader> self_;
+};
+
+}  // namespace hep::yokan::lsm

@@ -1,0 +1,59 @@
+// Write-ahead log: every mutation is appended (CRC-framed) before it is
+// applied to the memtable, so a crash loses nothing that was acknowledged.
+//
+// Record framing:  [crc32 u32][len u32][type u8][klen u32][key][value]
+// type: 1 = put, 2 = delete (value empty). Replay stops at the first corrupt
+// or truncated record (standard torn-write handling).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace hep::yokan::lsm {
+
+class Wal {
+  public:
+    enum class RecordType : std::uint8_t { kPut = 1, kDelete = 2 };
+
+    Wal() = default;
+    ~Wal();
+    Wal(const Wal&) = delete;
+    Wal& operator=(const Wal&) = delete;
+
+    /// Open (creating if missing) the log at `path` for appending.
+    Status open(const std::string& path);
+
+    Status append_put(std::string_view key, std::string_view value);
+    Status append_delete(std::string_view key);
+
+    /// Flush userspace buffers (fsync is out of scope for the simulator).
+    Status sync();
+
+    /// Close, truncate to zero and reopen — called after a memtable flush.
+    Status reset();
+
+    /// Close the file handle.
+    void close();
+
+    [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_written_; }
+
+    /// Replay records from `path` in order. Invokes `fn(type, key, value)`.
+    /// Returns the number of complete records applied; stops quietly at the
+    /// first torn/corrupt record.
+    using ReplayFn = std::function<void(RecordType, std::string_view key, std::string_view value)>;
+    static Result<std::uint64_t> replay(const std::string& path, const ReplayFn& fn);
+
+  private:
+    Status append(RecordType type, std::string_view key, std::string_view value);
+
+    std::FILE* file_ = nullptr;
+    std::string path_;
+    std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace hep::yokan::lsm

@@ -1,0 +1,77 @@
+#include "yokan/map_backend.hpp"
+
+#include <mutex>
+
+namespace hep::yokan {
+
+Status MapBackend::put(std::string_view key, std::string_view value, bool overwrite) {
+    std::unique_lock lock(mutex_);
+    ++stats_.puts;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        if (!overwrite) return Status::AlreadyExists(std::string(key));
+        it->second.assign(value);
+        return Status::OK();
+    }
+    map_.emplace(std::string(key), std::string(value));
+    return Status::OK();
+}
+
+Result<std::string> MapBackend::get(std::string_view key) {
+    std::shared_lock lock(mutex_);
+    ++stats_.gets;
+    auto it = map_.find(key);
+    if (it == map_.end()) return Status::NotFound(std::string(key));
+    return it->second;
+}
+
+Result<bool> MapBackend::exists(std::string_view key) {
+    std::shared_lock lock(mutex_);
+    ++stats_.gets;
+    return map_.find(key) != map_.end();
+}
+
+Result<std::uint64_t> MapBackend::length(std::string_view key) {
+    std::shared_lock lock(mutex_);
+    ++stats_.gets;
+    auto it = map_.find(key);
+    if (it == map_.end()) return Status::NotFound(std::string(key));
+    return static_cast<std::uint64_t>(it->second.size());
+}
+
+Status MapBackend::erase(std::string_view key) {
+    std::unique_lock lock(mutex_);
+    ++stats_.erases;
+    auto it = map_.find(key);
+    if (it == map_.end()) return Status::NotFound(std::string(key));
+    map_.erase(it);
+    return Status::OK();
+}
+
+Status MapBackend::scan(std::string_view after, std::string_view prefix, bool with_values,
+                        const ScanFn& fn) {
+    std::shared_lock lock(mutex_);
+    ++stats_.scans;
+    // Start strictly after `after`, but never before `prefix`.
+    auto it = after < prefix ? map_.lower_bound(prefix) : map_.upper_bound(after);
+    for (; it != map_.end(); ++it) {
+        std::string_view key = it->first;
+        if (!prefix.empty()) {
+            if (key.size() < prefix.size() || key.compare(0, prefix.size(), prefix) != 0) break;
+        }
+        if (!fn(key, with_values ? std::string_view(it->second) : std::string_view{})) break;
+    }
+    return Status::OK();
+}
+
+std::uint64_t MapBackend::size() const {
+    std::shared_lock lock(mutex_);
+    return map_.size();
+}
+
+BackendStats MapBackend::stats() const {
+    std::shared_lock lock(mutex_);
+    return stats_;
+}
+
+}  // namespace hep::yokan

@@ -1,0 +1,33 @@
+// In-memory backend over std::map (paper's "std::map backend", §IV-D).
+#pragma once
+
+#include <map>
+#include <shared_mutex>
+
+#include "yokan/backend.hpp"
+
+namespace hep::yokan {
+
+class MapBackend final : public Database {
+  public:
+    MapBackend() = default;
+
+    Status put(std::string_view key, std::string_view value, bool overwrite) override;
+    Result<std::string> get(std::string_view key) override;
+    Result<bool> exists(std::string_view key) override;
+    Result<std::uint64_t> length(std::string_view key) override;
+    Status erase(std::string_view key) override;
+    Status scan(std::string_view after, std::string_view prefix, bool with_values,
+                const ScanFn& fn) override;
+    std::uint64_t size() const override;
+    Status flush() override { return Status::OK(); }
+    std::string_view type() const noexcept override { return "map"; }
+    BackendStats stats() const override;
+
+  private:
+    mutable std::shared_mutex mutex_;
+    std::map<std::string, std::string, std::less<>> map_;
+    mutable BackendStats stats_;
+};
+
+}  // namespace hep::yokan

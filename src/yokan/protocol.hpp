@@ -1,0 +1,191 @@
+// RPC request/response types shared by the Yokan provider and client.
+//
+// Single-item operations ride inline in the RPC payload ("RPC for single
+// small objects"); multi-item operations ship their data through bulk
+// handles ("RDMA for large objects or batches of multiple objects"),
+// matching the paper's description of Yokan (§II-B).
+//
+// Packed batch format used inside bulk buffers:
+//   repeated (klen u32, vlen u32, key bytes, value bytes)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rpc/message.hpp"
+#include "yokan/backend.hpp"
+
+namespace hep::yokan::proto {
+
+inline constexpr std::uint32_t kMissing = 0xFFFFFFFFu;
+
+struct PutReq {
+    std::string db;
+    std::string key;
+    std::string value;
+    bool overwrite = true;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & db & key & value & overwrite;
+    }
+};
+
+struct Ack {
+    std::uint8_t ok = 1;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & ok;
+    }
+};
+
+struct KeyReq {
+    std::string db;
+    std::string key;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & db & key;
+    }
+};
+
+struct GetResp {
+    std::string value;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & value;
+    }
+};
+
+struct ExistsResp {
+    bool exists = false;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & exists;
+    }
+};
+
+struct LengthResp {
+    std::uint64_t length = 0;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & length;
+    }
+};
+
+struct ListReq {
+    std::string db;
+    std::string after;   // resume strictly after this key
+    std::string prefix;  // restrict to keys with this prefix
+    std::uint64_t max = 128;
+    bool with_values = false;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & db & after & prefix & max & with_values;
+    }
+};
+
+struct ListKeysResp {
+    std::vector<std::string> keys;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & keys;
+    }
+};
+
+struct ListKeyValsResp {
+    std::vector<KeyValue> items;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & items;
+    }
+};
+
+struct CountReq {
+    std::string db;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & db;
+    }
+};
+
+struct CountResp {
+    std::uint64_t count = 0;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & count;
+    }
+};
+
+/// Batched put: the packed key/value data lives in a client-exposed bulk
+/// region; the server pulls it with one RDMA read.
+struct PutMultiReq {
+    std::string db;
+    rpc::BulkRef bulk;
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;  // packed size
+    bool overwrite = true;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & db & bulk & count & bytes & overwrite;
+    }
+};
+
+struct PutMultiResp {
+    std::uint64_t stored = 0;
+    std::uint64_t already_existed = 0;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & stored & already_existed;
+    }
+};
+
+/// Batched get: the server packs the found values into the client-exposed
+/// region with one RDMA write and returns per-key sizes (kMissing = absent).
+/// If the region is too small nothing is written and `needed` tells the
+/// client how much to expose on retry.
+struct GetMultiReq {
+    std::string db;
+    std::vector<std::string> keys;
+    rpc::BulkRef dest;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & db & keys & dest;
+    }
+};
+
+struct GetMultiResp {
+    std::vector<std::uint32_t> sizes;  // parallel to keys; kMissing = absent
+    std::uint64_t needed = 0;          // total bytes required
+    bool written = false;              // data was bulk_put into dest
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & sizes & needed & written;
+    }
+};
+
+/// Batched erase (inline keys; erase payloads are small).
+struct EraseMultiReq {
+    std::string db;
+    std::vector<std::string> keys;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & db & keys;
+    }
+};
+
+struct EraseMultiResp {
+    std::uint64_t erased = 0;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & erased;
+    }
+};
+
+/// Pack helpers for the batch format.
+void pack_entry(std::string& out, std::string_view key, std::string_view value);
+/// Visit packed entries; returns false on malformed input.
+bool unpack_entries(std::string_view data,
+                    const std::function<void(std::string_view, std::string_view)>& fn);
+
+}  // namespace hep::yokan::proto

@@ -1,0 +1,249 @@
+#include "yokan/provider.hpp"
+
+#include <cstring>
+
+namespace hep::yokan {
+
+using namespace proto;
+
+namespace proto {
+
+void pack_entry(std::string& out, std::string_view key, std::string_view value) {
+    const std::uint32_t klen = static_cast<std::uint32_t>(key.size());
+    const std::uint32_t vlen = static_cast<std::uint32_t>(value.size());
+    out.append(reinterpret_cast<const char*>(&klen), 4);
+    out.append(reinterpret_cast<const char*>(&vlen), 4);
+    out.append(key);
+    out.append(value);
+}
+
+bool unpack_entries(std::string_view data,
+                    const std::function<void(std::string_view, std::string_view)>& fn) {
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        if (pos + 8 > data.size()) return false;
+        std::uint32_t klen = 0, vlen = 0;
+        std::memcpy(&klen, data.data() + pos, 4);
+        std::memcpy(&vlen, data.data() + pos + 4, 4);
+        if (pos + 8 + klen + vlen > data.size()) return false;
+        fn(data.substr(pos + 8, klen), data.substr(pos + 8 + klen, vlen));
+        pos += 8 + klen + vlen;
+    }
+    return true;
+}
+
+}  // namespace proto
+
+Provider::Provider(margo::Engine& engine, rpc::ProviderId provider_id,
+                   std::shared_ptr<abt::Pool> pool)
+    : margo::Provider(engine, provider_id, std::move(pool)) {}
+
+Result<std::unique_ptr<Provider>> Provider::create(margo::Engine& engine,
+                                                   rpc::ProviderId provider_id,
+                                                   const json::Value& config,
+                                                   std::shared_ptr<abt::Pool> pool,
+                                                   const std::string& base_dir) {
+    auto provider =
+        std::unique_ptr<Provider>(new Provider(engine, provider_id, std::move(pool)));
+    const json::Value& dbs = config["databases"];
+    for (std::size_t i = 0; i < dbs.size(); ++i) {
+        const json::Value& db_cfg = dbs.at(i);
+        std::string name = db_cfg["name"].as_string();
+        if (name.empty()) name = "db" + std::to_string(i);
+        auto db = create_database(db_cfg, base_dir);
+        if (!db.ok()) return db.status();
+        provider->databases_.emplace(std::move(name), std::move(db.value()));
+    }
+    provider->register_rpcs();
+    return provider;
+}
+
+Database* Provider::find_database(const std::string& name) {
+    auto it = databases_.find(name);
+    return it == databases_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Provider::database_names() const {
+    std::vector<std::string> names;
+    names.reserve(databases_.size());
+    for (const auto& [name, db] : databases_) names.push_back(name);
+    return names;
+}
+
+Result<Database*> Provider::resolve(const std::string& name) {
+    auto it = databases_.find(name);
+    if (it == databases_.end()) {
+        return Status::NotFound("no database named '" + name + "' in provider " +
+                                std::to_string(id_));
+    }
+    return it->second.get();
+}
+
+void Provider::register_rpcs() {
+    auto& eng = engine_;
+    const auto pid = id_;
+
+    eng.define<PutReq, Ack>(
+        "yokan_put", pid,
+        [this](const PutReq& req) -> Result<Ack> {
+            auto db = resolve(req.db);
+            if (!db.ok()) return db.status();
+            Status st = (*db)->put(req.key, req.value, req.overwrite);
+            if (!st.ok()) return st;
+            return Ack{};
+        },
+        pool_);
+
+    eng.define<KeyReq, GetResp>(
+        "yokan_get", pid,
+        [this](const KeyReq& req) -> Result<GetResp> {
+            auto db = resolve(req.db);
+            if (!db.ok()) return db.status();
+            auto v = (*db)->get(req.key);
+            if (!v.ok()) return v.status();
+            return GetResp{std::move(v.value())};
+        },
+        pool_);
+
+    eng.define<KeyReq, ExistsResp>(
+        "yokan_exists", pid,
+        [this](const KeyReq& req) -> Result<ExistsResp> {
+            auto db = resolve(req.db);
+            if (!db.ok()) return db.status();
+            auto v = (*db)->exists(req.key);
+            if (!v.ok()) return v.status();
+            return ExistsResp{*v};
+        },
+        pool_);
+
+    eng.define<KeyReq, LengthResp>(
+        "yokan_length", pid,
+        [this](const KeyReq& req) -> Result<LengthResp> {
+            auto db = resolve(req.db);
+            if (!db.ok()) return db.status();
+            auto v = (*db)->length(req.key);
+            if (!v.ok()) return v.status();
+            return LengthResp{*v};
+        },
+        pool_);
+
+    eng.define<KeyReq, Ack>(
+        "yokan_erase", pid,
+        [this](const KeyReq& req) -> Result<Ack> {
+            auto db = resolve(req.db);
+            if (!db.ok()) return db.status();
+            Status st = (*db)->erase(req.key);
+            if (!st.ok()) return st;
+            return Ack{};
+        },
+        pool_);
+
+    eng.define<ListReq, ListKeysResp>(
+        "yokan_list_keys", pid,
+        [this](const ListReq& req) -> Result<ListKeysResp> {
+            auto db = resolve(req.db);
+            if (!db.ok()) return db.status();
+            auto keys = (*db)->list_keys(req.after, req.prefix, req.max);
+            if (!keys.ok()) return keys.status();
+            return ListKeysResp{std::move(keys.value())};
+        },
+        pool_);
+
+    eng.define<ListReq, ListKeyValsResp>(
+        "yokan_list_keyvals", pid,
+        [this](const ListReq& req) -> Result<ListKeyValsResp> {
+            auto db = resolve(req.db);
+            if (!db.ok()) return db.status();
+            auto items = (*db)->list_keyvals(req.after, req.prefix, req.max);
+            if (!items.ok()) return items.status();
+            return ListKeyValsResp{std::move(items.value())};
+        },
+        pool_);
+
+    eng.define<CountReq, CountResp>(
+        "yokan_count", pid,
+        [this](const CountReq& req) -> Result<CountResp> {
+            auto db = resolve(req.db);
+            if (!db.ok()) return db.status();
+            return CountResp{(*db)->size()};
+        },
+        pool_);
+
+    eng.define<EraseMultiReq, EraseMultiResp>(
+        "yokan_erase_multi", pid,
+        [this](const EraseMultiReq& req) -> Result<EraseMultiResp> {
+            auto db = resolve(req.db);
+            if (!db.ok()) return db.status();
+            EraseMultiResp resp;
+            for (const auto& key : req.keys) {
+                if ((*db)->erase(key).ok()) ++resp.erased;
+            }
+            return resp;
+        },
+        pool_);
+
+    // Batched put: pull the packed payload with one bulk read, then apply.
+    eng.define_with_context(
+        "yokan_put_multi", pid,
+        [this](const std::string& payload, rpc::RequestContext& ctx) -> Result<std::string> {
+            PutMultiReq req;
+            try {
+                serial::from_string(payload, req);
+            } catch (const serial::SerializationError& e) {
+                return Status::InvalidArgument(e.what());
+            }
+            auto db = resolve(req.db);
+            if (!db.ok()) return db.status();
+            std::string packed(req.bytes, '\0');
+            Status st = ctx.bulk_get(req.bulk, 0, packed.data(), req.bytes);
+            if (!st.ok()) return st;
+            PutMultiResp resp;
+            bool well_formed = unpack_entries(packed, [&](std::string_view k, std::string_view v) {
+                Status put_st = (*db)->put(k, v, req.overwrite);
+                if (put_st.ok()) ++resp.stored;
+                else if (put_st.code() == StatusCode::kAlreadyExists) ++resp.already_existed;
+            });
+            if (!well_formed) return Status::InvalidArgument("malformed packed batch");
+            return serial::to_string(resp);
+        },
+        pool_);
+
+    // Batched get: push the values into the client's region with one bulk
+    // write; sizes travel inline.
+    eng.define_with_context(
+        "yokan_get_multi", pid,
+        [this](const std::string& payload, rpc::RequestContext& ctx) -> Result<std::string> {
+            GetMultiReq req;
+            try {
+                serial::from_string(payload, req);
+            } catch (const serial::SerializationError& e) {
+                return Status::InvalidArgument(e.what());
+            }
+            auto db = resolve(req.db);
+            if (!db.ok()) return db.status();
+            GetMultiResp resp;
+            resp.sizes.reserve(req.keys.size());
+            std::string packed;
+            for (const auto& key : req.keys) {
+                auto v = (*db)->get(key);
+                if (!v.ok()) {
+                    resp.sizes.push_back(kMissing);
+                    continue;
+                }
+                resp.sizes.push_back(static_cast<std::uint32_t>(v->size()));
+                packed.append(*v);
+            }
+            resp.needed = packed.size();
+            if (packed.size() <= req.dest.size) {
+                if (!packed.empty()) {
+                    Status st = ctx.bulk_put(packed.data(), req.dest, 0, packed.size());
+                    if (!st.ok()) return st;
+                }
+                resp.written = true;
+            }
+            return serial::to_string(resp);
+        },
+        pool_);
+}
+
+}  // namespace hep::yokan

@@ -1,0 +1,41 @@
+// Yokan provider: answers KV RPCs for a set of named databases, mapped to a
+// dedicated Argobots pool (paper §II-B and footnote 4).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "margo/engine.hpp"
+#include "yokan/backend.hpp"
+#include "yokan/protocol.hpp"
+
+namespace hep::yokan {
+
+class Provider final : public margo::Provider {
+  public:
+    /// Create a provider and register its RPC handlers.
+    /// `config` example (same shape Bedrock produces):
+    ///   {"databases": [{"name": "events0", "type": "map"},
+    ///                  {"name": "products0", "type": "lsm", "path": "p0"}]}
+    static Result<std::unique_ptr<Provider>> create(margo::Engine& engine,
+                                                    rpc::ProviderId provider_id,
+                                                    const json::Value& config,
+                                                    std::shared_ptr<abt::Pool> pool = nullptr,
+                                                    const std::string& base_dir = ".");
+
+    /// Direct access to a managed database (server-side tooling, tests).
+    [[nodiscard]] Database* find_database(const std::string& name);
+    [[nodiscard]] std::vector<std::string> database_names() const;
+
+  private:
+    Provider(margo::Engine& engine, rpc::ProviderId provider_id,
+             std::shared_ptr<abt::Pool> pool);
+    void register_rpcs();
+
+    Result<Database*> resolve(const std::string& name);
+
+    std::map<std::string, std::unique_ptr<Database>> databases_;
+};
+
+}  // namespace hep::yokan

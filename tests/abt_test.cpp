@@ -1,0 +1,301 @@
+// Tests for the argolite tasking substrate: pools, xstreams, ULTs,
+// yield/suspend, and the ULT-aware sync primitives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <vector>
+
+#include "abt/abt.hpp"
+
+namespace {
+
+using namespace hep::abt;
+using namespace std::chrono_literals;
+
+TEST(PoolTest, PushPopFifo) {
+    auto pool = Pool::create();
+    int order = 0;
+    pool->push(std::function<void()>([&] { order = order * 10 + 1; }));
+    pool->push(std::function<void()>([&] { order = order * 10 + 2; }));
+    EXPECT_EQ(pool->size(), 2u);
+    for (int i = 0; i < 2; ++i) {
+        auto item = pool->try_pop();
+        ASSERT_TRUE(item.has_value());
+        std::get<std::function<void()>>(*item)();
+    }
+    EXPECT_EQ(order, 12);
+    EXPECT_FALSE(pool->try_pop().has_value());
+}
+
+TEST(PoolTest, PopWaitTimesOut) {
+    auto pool = Pool::create();
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(pool->pop_wait(5ms).has_value());
+    EXPECT_GE(std::chrono::steady_clock::now() - start, 4ms);
+}
+
+TEST(XstreamTest, RunsTasklets) {
+    auto pool = Pool::create();
+    auto xs = Xstream::create({pool});
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i) {
+        pool->push(std::function<void()>([&] { count.fetch_add(1); }));
+    }
+    while (count.load() < 100) std::this_thread::sleep_for(1ms);
+    EXPECT_EQ(count.load(), 100);
+    xs->join();
+    EXPECT_GE(xs->items_executed(), 100u);
+}
+
+TEST(UltTest, RunsAndJoins) {
+    auto pool = Pool::create();
+    auto xs = Xstream::create({pool});
+    std::atomic<bool> ran{false};
+    auto ult = Ult::create(pool, [&] { ran = true; });
+    ult->join();
+    EXPECT_TRUE(ran.load());
+    EXPECT_EQ(ult->state(), UltState::kTerminated);
+}
+
+TEST(UltTest, YieldInterleavesUltsOnOneXstream) {
+    auto pool = Pool::create();
+    std::vector<int> trace;
+    std::mutex trace_mutex;
+    auto record = [&](int who) {
+        std::lock_guard<std::mutex> lk(trace_mutex);
+        trace.push_back(who);
+    };
+    auto a = Ult::create(pool, [&] {
+        for (int i = 0; i < 3; ++i) {
+            record(1);
+            yield();
+        }
+    });
+    auto b = Ult::create(pool, [&] {
+        for (int i = 0; i < 3; ++i) {
+            record(2);
+            yield();
+        }
+    });
+    // Start the (single) xstream only after both ULTs are queued, so the
+    // FIFO pool guarantees strict interleaving.
+    auto xs = Xstream::create({pool});
+    a->join();
+    b->join();
+    ASSERT_EQ(trace.size(), 6u);
+    // With a single xstream and FIFO pool, yields must interleave 1,2,1,2...
+    EXPECT_EQ(trace, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST(UltTest, ManyUltsAllComplete) {
+    auto pool = Pool::create();
+    auto xs1 = Xstream::create({pool});
+    auto xs2 = Xstream::create({pool});
+    std::atomic<int> done{0};
+    std::vector<std::shared_ptr<Ult>> ults;
+    for (int i = 0; i < 200; ++i) {
+        ults.push_back(Ult::create(pool, [&] {
+            yield();
+            done.fetch_add(1);
+        }));
+    }
+    for (auto& u : ults) u->join();
+    EXPECT_EQ(done.load(), 200);
+}
+
+TEST(UltTest, ExceptionInBodyIsContained) {
+    auto pool = Pool::create();
+    auto xs = Xstream::create({pool});
+    auto ult = Ult::create(pool, [] { throw std::runtime_error("boom"); });
+    ult->join();  // must not hang or crash the xstream
+    EXPECT_EQ(ult->state(), UltState::kTerminated);
+    // The xstream must still be able to run new work.
+    std::atomic<bool> ran{false};
+    auto ult2 = Ult::create(pool, [&] { ran = true; });
+    ult2->join();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(UltTest, JoinFromAnotherUlt) {
+    auto pool = Pool::create();
+    auto xs = Xstream::create({pool});
+    std::atomic<int> stage{0};
+    auto worker = Ult::create(pool, [&] {
+        for (int i = 0; i < 5; ++i) yield();
+        stage = 1;
+    });
+    std::atomic<int> observed{-1};
+    auto joiner = Ult::create(pool, [&] {
+        worker->join();
+        observed = stage.load();
+    });
+    joiner->join();
+    EXPECT_EQ(observed.load(), 1);
+}
+
+TEST(SyncTest, EventualDeliversValueAcrossUlts) {
+    auto pool = Pool::create();
+    auto xs1 = Xstream::create({pool});
+    auto xs2 = Xstream::create({pool});
+    Eventual<int> ev;
+    std::atomic<int> got{0};
+    auto consumer = Ult::create(pool, [&] { got = ev.wait(); });
+    auto producer = Ult::create(pool, [&] {
+        for (int i = 0; i < 3; ++i) yield();
+        ev.set(42);
+    });
+    consumer->join();
+    producer->join();
+    EXPECT_EQ(got.load(), 42);
+    EXPECT_TRUE(ev.ready());
+}
+
+TEST(SyncTest, EventualWaitFromOsThread) {
+    auto pool = Pool::create();
+    auto xs = Xstream::create({pool});
+    Eventual<std::string> ev;
+    auto setter = Ult::create(pool, [&] { ev.set("done"); });
+    EXPECT_EQ(ev.wait(), "done");  // main thread is an OS waiter
+    setter->join();
+}
+
+TEST(SyncTest, EventualSetBeforeWaitDoesNotBlock) {
+    Eventual<int> ev;
+    ev.set(7);
+    EXPECT_EQ(ev.wait(), 7);
+}
+
+TEST(SyncTest, MutexExcludesConcurrentUlts) {
+    auto pool = Pool::create();
+    auto xs1 = Xstream::create({pool});
+    auto xs2 = Xstream::create({pool});
+    Mutex m;
+    int counter = 0;  // protected by m
+    std::vector<std::shared_ptr<Ult>> ults;
+    constexpr int kUlts = 16, kIters = 100;
+    for (int i = 0; i < kUlts; ++i) {
+        ults.push_back(Ult::create(pool, [&] {
+            for (int j = 0; j < kIters; ++j) {
+                LockGuard lock(m);
+                const int v = counter;
+                if (j % 10 == 0) yield();  // force interleaving while holding
+                counter = v + 1;
+            }
+        }));
+    }
+    for (auto& u : ults) u->join();
+    EXPECT_EQ(counter, kUlts * kIters);
+}
+
+TEST(SyncTest, TryLock) {
+    Mutex m;
+    EXPECT_TRUE(m.try_lock());
+    EXPECT_FALSE(m.try_lock());
+    m.unlock();
+    EXPECT_TRUE(m.try_lock());
+    m.unlock();
+}
+
+TEST(SyncTest, CondVarProducerConsumer) {
+    auto pool = Pool::create();
+    auto xs1 = Xstream::create({pool});
+    auto xs2 = Xstream::create({pool});
+    Mutex m;
+    CondVar cv;
+    std::deque<int> queue;
+    std::vector<int> consumed;
+    constexpr int kItems = 50;
+
+    auto consumer = Ult::create(pool, [&] {
+        for (int i = 0; i < kItems; ++i) {
+            m.lock();
+            cv.wait(m, [&] { return !queue.empty(); });
+            consumed.push_back(queue.front());
+            queue.pop_front();
+            m.unlock();
+        }
+    });
+    auto producer = Ult::create(pool, [&] {
+        for (int i = 0; i < kItems; ++i) {
+            {
+                LockGuard lock(m);
+                queue.push_back(i);
+            }
+            cv.notify_one();
+            if (i % 7 == 0) yield();
+        }
+    });
+    producer->join();
+    consumer->join();
+    std::vector<int> expected(kItems);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(consumed, expected);
+}
+
+TEST(SyncTest, BarrierSynchronizesUltsAndIsReusable) {
+    auto pool = Pool::create();
+    auto xs1 = Xstream::create({pool});
+    auto xs2 = Xstream::create({pool});
+    constexpr int kParties = 8, kRounds = 5;
+    Barrier barrier(kParties);
+    std::atomic<int> in_phase[kRounds];
+    for (auto& p : in_phase) p = 0;
+    std::atomic<bool> violated{false};
+    std::vector<std::shared_ptr<Ult>> ults;
+    for (int i = 0; i < kParties; ++i) {
+        ults.push_back(Ult::create(pool, [&] {
+            for (int r = 0; r < kRounds; ++r) {
+                in_phase[r].fetch_add(1);
+                barrier.wait();
+                // After the barrier everyone must have arrived at phase r.
+                if (in_phase[r].load() != kParties) violated = true;
+            }
+        }));
+    }
+    for (auto& u : ults) u->join();
+    EXPECT_FALSE(violated.load());
+}
+
+TEST(SyncTest, InUltDetection) {
+    EXPECT_FALSE(in_ult());
+    EXPECT_EQ(self(), nullptr);
+    auto pool = Pool::create();
+    auto xs = Xstream::create({pool});
+    std::atomic<bool> inside{false};
+    std::atomic<bool> has_self{false};
+    auto ult = Ult::create(pool, [&] {
+        inside = in_ult();
+        has_self = (self() != nullptr);
+    });
+    ult->join();
+    EXPECT_TRUE(inside.load());
+    EXPECT_TRUE(has_self.load());
+}
+
+TEST(XstreamTest, PriorityPoolDrainedFirst) {
+    auto hi = Pool::create("hi");
+    auto lo = Pool::create("lo");
+    // Stage work before the xstream starts so priority is observable.
+    std::vector<int> order;
+    std::mutex order_mutex;
+    auto record = [&](int v) {
+        std::lock_guard<std::mutex> lk(order_mutex);
+        order.push_back(v);
+    };
+    lo->push(std::function<void()>([&] { record(2); }));
+    hi->push(std::function<void()>([&] { record(1); }));
+    auto xs = Xstream::create({hi, lo});
+    while (true) {
+        {
+            std::lock_guard<std::mutex> lk(order_mutex);
+            if (order.size() == 2) break;
+        }
+        std::this_thread::sleep_for(1ms);
+    }
+    xs->join();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace

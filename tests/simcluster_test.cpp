@@ -1,0 +1,252 @@
+// Tests for the discrete-event simulation core and the Theta workload models,
+// including the qualitative anchors the paper reports for Figs. 2-3.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcluster/sim.hpp"
+#include "simcluster/theta.hpp"
+
+namespace {
+
+using namespace hep;
+using namespace hep::sim;
+using namespace hep::simcluster;
+
+// ------------------------------------------------------------- DES core ---
+
+TEST(SimCoreTest, DelayAdvancesClockInOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    auto proc = [&](double d, int tag) -> Task {
+        co_await sim.delay(d);
+        order.push_back(tag);
+    };
+    sim.spawn(proc(3.0, 3));
+    sim.spawn(proc(1.0, 1));
+    sim.spawn(proc(2.0, 2));
+    EXPECT_DOUBLE_EQ(sim.run(), 3.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimCoreTest, SameTimeEventsKeepFifoOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        sim.schedule(1.0, [&, i] { order.push_back(i); });
+    }
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimCoreTest, ResourceSerializesAccess) {
+    Simulator sim;
+    Resource cores(sim, 2);
+    std::vector<double> completion;
+    auto proc = [&]() -> Task {
+        auto lease = co_await cores.acquire(1);
+        co_await sim.delay(1.0);
+        completion.push_back(sim.now());
+    };
+    for (int i = 0; i < 4; ++i) sim.spawn(proc());
+    sim.run();
+    // 2 units => two waves: {1, 1, 2, 2}.
+    ASSERT_EQ(completion.size(), 4u);
+    EXPECT_DOUBLE_EQ(completion[1], 1.0);
+    EXPECT_DOUBLE_EQ(completion[3], 2.0);
+}
+
+TEST(SimCoreTest, ResourceTokenQueueProducesAndConsumes) {
+    Simulator sim;
+    Resource tokens(sim, 0);
+    int consumed = 0;
+    auto consumer = [&]() -> Task {
+        for (int i = 0; i < 3; ++i) {
+            auto lease = co_await tokens.acquire(1);
+            lease.consume();
+            ++consumed;
+        }
+    };
+    auto producer = [&]() -> Task {
+        for (int i = 0; i < 3; ++i) {
+            co_await sim.delay(1.0);
+            tokens.release(1);
+        }
+    };
+    sim.spawn(consumer());
+    sim.spawn(producer());
+    EXPECT_DOUBLE_EQ(sim.run(), 3.0);
+    EXPECT_EQ(consumed, 3);
+    EXPECT_EQ(tokens.available(), 0u);  // consume() does not return units
+}
+
+TEST(SimCoreTest, FcfsServerQueuesAtAggregateRate) {
+    Simulator sim;
+    FcfsServer server(sim, 10.0, 1);  // 10 units/s, single unit
+    std::vector<double> done;
+    auto proc = [&](double amount) -> Task {
+        co_await server.serve(amount);
+        done.push_back(sim.now());
+    };
+    sim.spawn(proc(10.0));  // 1s
+    sim.spawn(proc(20.0));  // +2s queued behind
+    sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_NEAR(done[0], 1.0, 1e-9);
+    EXPECT_NEAR(done[1], 3.0, 1e-9);
+    EXPECT_EQ(server.served(), 2u);
+    EXPECT_NEAR(server.busy_time(), 3.0, 1e-9);
+}
+
+TEST(SimCoreTest, FcfsServerParallelUnitsOverlap) {
+    Simulator sim;
+    FcfsServer server(sim, 10.0, 4);
+    double end = 0;
+    auto proc = [&]() -> Task {
+        co_await server.serve(10.0);
+        end = sim.now();
+    };
+    for (int i = 0; i < 4; ++i) sim.spawn(proc());
+    sim.run();
+    EXPECT_NEAR(end, 1.0, 1e-9);  // all four in parallel
+}
+
+TEST(SimCoreTest, TriggerReleasesAllWaiters) {
+    Simulator sim;
+    Trigger trig(sim);
+    int released = 0;
+    auto waiter = [&]() -> Task {
+        co_await trig.wait();
+        ++released;
+    };
+    for (int i = 0; i < 3; ++i) sim.spawn(waiter());
+    sim.schedule(5.0, [&] { trig.fire(); });
+    sim.run();
+    EXPECT_EQ(released, 3);
+    EXPECT_TRUE(trig.fired());
+}
+
+// -------------------------------------------------------- workload models --
+
+class ThetaModelTest : public ::testing::Test {
+  protected:
+    ThetaParams params;
+    SimDataset big = SimDataset::paper_sample(4);    // 7716 files
+    SimDataset small = SimDataset::paper_sample(1);  // 1929 files
+};
+
+TEST_F(ThetaModelTest, ResultsAreDeterministic) {
+    auto a = simulate_hepnos(params, big, 64, Backend::kLsm);
+    auto b = simulate_hepnos(params, big, 64, Backend::kLsm);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    auto c = simulate_filebased(params, big, 64);
+    auto d = simulate_filebased(params, big, 64);
+    EXPECT_DOUBLE_EQ(c.seconds, d.seconds);
+}
+
+TEST_F(ThetaModelTest, HepnosBeatsFileBasedEverywhere) {
+    // Paper Fig. 2: "The performance of the HEPnOS based workflow is superior
+    // across all the different number of nodes used."
+    for (std::size_t nodes : {16, 64, 256}) {
+        const auto file_based = simulate_filebased(params, big, nodes);
+        const auto hepnos_map = simulate_hepnos(params, big, nodes, Backend::kMap);
+        const auto hepnos_lsm = simulate_hepnos(params, big, nodes, Backend::kLsm);
+        EXPECT_GT(hepnos_map.throughput, file_based.throughput) << nodes << " nodes";
+        EXPECT_GT(hepnos_lsm.throughput, file_based.throughput) << nodes << " nodes";
+    }
+}
+
+TEST_F(ThetaModelTest, BackendsComparableSmallScaleDivergeAtLargeScale) {
+    // Paper Fig. 2: "at the smaller node counts use of the RocksDB backend
+    // does not cause any inefficiency. However, as the node count increases
+    // beyond 32 nodes we see an increasing cost. At higher node counts the
+    // in-memory back-end achieves up to twice the throughput."
+    const auto map16 = simulate_hepnos(params, big, 16, Backend::kMap);
+    const auto lsm16 = simulate_hepnos(params, big, 16, Backend::kLsm);
+    EXPECT_LT(map16.throughput / lsm16.throughput, 1.35);
+
+    const auto map256 = simulate_hepnos(params, big, 256, Backend::kMap);
+    const auto lsm256 = simulate_hepnos(params, big, 256, Backend::kLsm);
+    const double gap = map256.throughput / lsm256.throughput;
+    EXPECT_GT(gap, 1.5);
+    EXPECT_LT(gap, 3.5);
+}
+
+TEST_F(ThetaModelTest, InMemoryStrongScalingEfficiency) {
+    // Paper Fig. 2: "With the in-memory backend the HEPnOS based workflow
+    // achieves 85% strong scaling efficiency at 128 nodes."
+    const auto base = simulate_hepnos(params, big, 16, Backend::kMap);
+    const auto at128 = simulate_hepnos(params, big, 128, Backend::kMap);
+    const double efficiency =
+        (at128.throughput / base.throughput) / (128.0 / 16.0);
+    EXPECT_GT(efficiency, 0.70);
+    EXPECT_LT(efficiency, 1.01);
+}
+
+TEST_F(ThetaModelTest, FileBasedFlattensWhenCoresOutnumberFiles) {
+    // Paper Fig. 2: "the file-based application is scaling poorly especially
+    // after 64 nodes at which point the number of cores outnumbers the number
+    // of files to process."
+    const auto at64 = simulate_filebased(params, big, 64);
+    const auto at256 = simulate_filebased(params, big, 256);
+    const double speedup = at256.throughput / at64.throughput;
+    EXPECT_LT(speedup, 2.0);  // nowhere near the 4x of perfect scaling
+
+    const auto at16 = simulate_filebased(params, big, 16);
+    EXPECT_GT(at64.throughput / at16.throughput, 1.8);  // early scaling is real
+}
+
+TEST_F(ThetaModelTest, SmallDatasetStarvesFileBasedCores) {
+    // Paper Fig. 3: at 128 nodes on the 1929-file sample "only 24% of the
+    // cores are busy".
+    const auto r = simulate_filebased(params, small, 128);
+    EXPECT_LT(r.core_busy_fraction, 0.30);
+
+    // HEPnOS on the same sample keeps the cores far busier.
+    const auto h = simulate_hepnos(params, small, 128, Backend::kMap);
+    EXPECT_GT(h.core_busy_fraction, 2.0 * r.core_busy_fraction);
+}
+
+TEST_F(ThetaModelTest, IngestIsConstrainedByFileCount) {
+    // Paper §III-B: the DataLoader is "the only step whose scalability is
+    // constrained by the number of files".
+    const auto at16 = simulate_ingest(params, small, 16, Backend::kMap);
+    const auto at256 = simulate_ingest(params, small, 256, Backend::kMap);
+    // Loader occupancy collapses as ranks outnumber the 1929 files...
+    EXPECT_DOUBLE_EQ(at16.core_busy_fraction, 1.0);
+    EXPECT_LT(at256.core_busy_fraction, 0.20);
+    // ...so throughput stops scaling long before 256 nodes.
+    EXPECT_LT(at256.throughput / at16.throughput, 1.5);
+
+    // The SELECTION step on the same sample keeps scaling meanwhile.
+    const auto sel16 = simulate_hepnos(params, small, 16, Backend::kMap);
+    const auto sel256 = simulate_hepnos(params, small, 256, Backend::kMap);
+    EXPECT_GT(sel256.throughput / sel16.throughput, 4.0);
+}
+
+TEST_F(ThetaModelTest, IngestLsmSlowerThanMapAtSmallScale) {
+    // LSM ingestion streams WAL + flushes to the node-local SSD.
+    const auto map16 = simulate_ingest(params, big, 16, Backend::kMap);
+    const auto lsm16 = simulate_ingest(params, big, 16, Backend::kLsm);
+    EXPECT_GT(map16.throughput, lsm16.throughput);
+}
+
+TEST_F(ThetaModelTest, IngestDeterministic) {
+    const auto a = simulate_ingest(params, big, 64, Backend::kLsm);
+    const auto b = simulate_ingest(params, big, 64, Backend::kLsm);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST_F(ThetaModelTest, HepnosNearlyFlatAcrossDatasetSizes) {
+    // Paper Fig. 3: HEPnOS throughput at 128 nodes varies mildly with the
+    // dataset size, file-based suffers on small datasets.
+    const auto h1 = simulate_hepnos(params, SimDataset::paper_sample(1), 128, Backend::kMap);
+    const auto h4 = simulate_hepnos(params, SimDataset::paper_sample(4), 128, Backend::kMap);
+    EXPECT_LT(h4.throughput / h1.throughput, 2.0);
+
+    const auto f1 = simulate_filebased(params, SimDataset::paper_sample(1), 128);
+    const auto f4 = simulate_filebased(params, SimDataset::paper_sample(4), 128);
+    EXPECT_GT(f4.throughput / f1.throughput, 1.8);  // file-based needs big sets
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Tests for the symbio monitoring component (Symbiomon substitute) and its
+// Bedrock integration.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "bedrock/service.hpp"
+#include "symbio/provider.hpp"
+#include "yokan/client.hpp"
+
+namespace {
+
+using namespace hep;
+using namespace hep::symbio;
+
+TEST(MetricsTest, CounterAccumulates) {
+    MetricsRegistry reg;
+    reg.counter("rpcs").add();
+    reg.counter("rpcs").add(41);
+    EXPECT_EQ(reg.counter("rpcs").value(), 42u);
+    EXPECT_EQ(reg.counter("other").value(), 0u);
+}
+
+TEST(MetricsTest, GaugeHoldsLastValue) {
+    MetricsRegistry reg;
+    reg.gauge("queue_depth").set(5.5);
+    reg.gauge("queue_depth").set(2.0);
+    EXPECT_DOUBLE_EQ(reg.gauge("queue_depth").value(), 2.0);
+}
+
+TEST(MetricsTest, CountersAreThreadSafe) {
+    MetricsRegistry reg;
+    auto& c = reg.counter("hits");
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 10000; ++i) c.add();
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(c.value(), 40000u);
+}
+
+TEST(MetricsTest, HistogramBucketsAndMoments) {
+    MetricsRegistry reg;
+    auto& h = reg.histogram("latency_us");
+    for (double v : {1.0, 3.0, 5.0, 100.0, 1000.0}) h.observe(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 1109.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 221.8);
+    // Median sample is 5.0, which lives in bucket [4,8) -> upper bound 8.
+    EXPECT_DOUBLE_EQ(h.quantile_upper_bound(0.5), 8.0);
+    // p99 upper bound must cover the 1000.0 sample: [512, 1024) -> 1024.
+    EXPECT_DOUBLE_EQ(h.quantile_upper_bound(0.99), 1024.0);
+}
+
+TEST(MetricsTest, HistogramJson) {
+    MetricsRegistry reg;
+    auto& h = reg.histogram("x");
+    h.observe(10.0);
+    auto j = h.to_json();
+    EXPECT_EQ(j["count"].as_int(), 1);
+    EXPECT_DOUBLE_EQ(j["sum"].as_double(), 10.0);
+    EXPECT_EQ(j["buckets"].size(), Histogram::kBuckets);
+}
+
+TEST(MetricsTest, ScopedTimerObserves) {
+    MetricsRegistry reg;
+    auto& h = reg.histogram("op_us");
+    {
+        ScopedTimer t(h);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_GE(h.sum(), 1500.0);  // >= 1.5ms in microseconds
+}
+
+TEST(MetricsTest, SnapshotContainsEverything) {
+    MetricsRegistry reg;
+    reg.counter("c").add(3);
+    reg.gauge("g").set(1.5);
+    reg.histogram("h").observe(4);
+    reg.add_source("src", [] {
+        json::Value v = json::Value::make_object();
+        v["alive"] = true;
+        return v;
+    });
+    auto snap = reg.snapshot();
+    EXPECT_EQ(snap["counters"]["c"].as_int(), 3);
+    EXPECT_DOUBLE_EQ(snap["gauges"]["g"].as_double(), 1.5);
+    EXPECT_EQ(snap["histograms"]["h"]["count"].as_int(), 1);
+    EXPECT_TRUE(snap["sources"]["src"]["alive"].as_bool());
+}
+
+TEST(SymbioServiceTest, RemoteFetchReflectsDatabaseActivity) {
+    rpc::Network net;
+    auto cfg = json::parse(R"({
+      "address": "mon-server",
+      "monitoring": { "provider_id": 99 },
+      "providers": [{ "type": "yokan", "provider_id": 1, "config": { "databases": [
+          { "name": "events", "type": "map", "role": "events" } ] } }]
+    })");
+    ASSERT_TRUE(cfg.ok());
+    auto svc = bedrock::ServiceProcess::create(net, *cfg);
+    ASSERT_TRUE(svc.ok()) << svc.status().to_string();
+    ASSERT_NE((*svc)->metrics(), nullptr);
+
+    margo::Engine client(net, "mon-client");
+    yokan::DatabaseHandle db(client, "mon-server", 1, "events");
+    for (int i = 0; i < 25; ++i) {
+        ASSERT_TRUE(db.put("k" + std::to_string(i), "v").ok());
+    }
+    (void)db.get("k3");
+    (void)db.get("k4");
+    (void)db.list_keys("", "", 10);
+
+    auto snap = symbio::fetch(client, "mon-server", 99);
+    ASSERT_TRUE(snap.ok()) << snap.status().to_string();
+    const json::Value& events = (*snap)["sources"]["db/events"];
+    EXPECT_EQ(events["puts"].as_int(), 25);
+    EXPECT_EQ(events["gets"].as_int(), 2);
+    EXPECT_EQ(events["scans"].as_int(), 1);
+    EXPECT_EQ(events["keys"].as_int(), 25);
+    EXPECT_EQ(events["backend"].as_string(), "map");
+}
+
+TEST(SymbioServiceTest, MonitoringAbsentWhenNotConfigured) {
+    rpc::Network net;
+    auto cfg = json::parse(R"({"address": "plain", "providers": []})");
+    auto svc = bedrock::ServiceProcess::create(net, *cfg);
+    ASSERT_TRUE(svc.ok());
+    EXPECT_EQ((*svc)->metrics(), nullptr);
+    margo::Engine client(net, "c");
+    EXPECT_FALSE(symbio::fetch(client, "plain", 99).ok());
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+// Tests for the Yokan provider + client over the RPC fabric, including the
+// bulk (RDMA-style) batch paths.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "yokan/client.hpp"
+#include "yokan/provider.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using namespace hep;
+using namespace hep::yokan;
+
+class YokanServiceTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        server_ = std::make_unique<margo::Engine>(net_, "server", margo::EngineConfig{2});
+        client_engine_ = std::make_unique<margo::Engine>(net_, "client");
+        auto cfg = json::parse(R"({"databases": [{"name": "events", "type": "map"},
+                                                 {"name": "products", "type": "map"}]})");
+        ASSERT_TRUE(cfg.ok());
+        auto provider = Provider::create(*server_, 1, *cfg);
+        ASSERT_TRUE(provider.ok()) << provider.status().to_string();
+        provider_ = std::move(provider.value());
+        db_ = DatabaseHandle(*client_engine_, "server", 1, "events");
+    }
+
+    rpc::Network net_;
+    std::unique_ptr<margo::Engine> server_;
+    std::unique_ptr<margo::Engine> client_engine_;
+    std::unique_ptr<Provider> provider_;
+    DatabaseHandle db_;
+};
+
+TEST_F(YokanServiceTest, RemotePutGetExistsEraseLength) {
+    ASSERT_TRUE(db_.put("run42", "payload").ok());
+    EXPECT_EQ(*db_.get("run42"), "payload");
+    EXPECT_TRUE(*db_.exists("run42"));
+    EXPECT_EQ(*db_.length("run42"), 7u);
+    EXPECT_TRUE(db_.erase("run42").ok());
+    EXPECT_FALSE(*db_.exists("run42"));
+    EXPECT_EQ(db_.get("run42").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(YokanServiceTest, CreateSemanticsOverRpc) {
+    ASSERT_TRUE(db_.put("k", "v", /*overwrite=*/false).ok());
+    EXPECT_EQ(db_.put("k", "v2", /*overwrite=*/false).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(YokanServiceTest, DatabasesAreIsolated) {
+    DatabaseHandle products(*client_engine_, "server", 1, "products");
+    ASSERT_TRUE(db_.put("key", "in-events").ok());
+    ASSERT_TRUE(products.put("key", "in-products").ok());
+    EXPECT_EQ(*db_.get("key"), "in-events");
+    EXPECT_EQ(*products.get("key"), "in-products");
+    EXPECT_EQ(*db_.count(), 1u);
+    EXPECT_EQ(*products.count(), 1u);
+}
+
+TEST_F(YokanServiceTest, UnknownDatabaseIsNotFound) {
+    DatabaseHandle ghost(*client_engine_, "server", 1, "ghost");
+    EXPECT_EQ(ghost.put("k", "v").code(), StatusCode::kNotFound);
+    EXPECT_EQ(ghost.get("k").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(YokanServiceTest, UnknownProviderIdFails) {
+    DatabaseHandle wrong(*client_engine_, "server", 9, "events");
+    EXPECT_FALSE(wrong.put("k", "v").ok());
+}
+
+TEST_F(YokanServiceTest, ListKeysOverRpcWithPaging) {
+    for (int i = 0; i < 10; ++i) {
+        char key[16];
+        std::snprintf(key, sizeof(key), "ev%02d", i);
+        ASSERT_TRUE(db_.put(key, "x").ok());
+    }
+    // Page through 4 at a time, resuming after the last key of each page.
+    std::vector<std::string> collected;
+    std::string after;
+    while (true) {
+        auto page = db_.list_keys(after, "ev", 4);
+        ASSERT_TRUE(page.ok());
+        if (page->empty()) break;
+        collected.insert(collected.end(), page->begin(), page->end());
+        after = page->back();
+    }
+    ASSERT_EQ(collected.size(), 10u);
+    EXPECT_EQ(collected.front(), "ev00");
+    EXPECT_EQ(collected.back(), "ev09");
+    for (std::size_t i = 1; i < collected.size(); ++i) {
+        EXPECT_LT(collected[i - 1], collected[i]);
+    }
+}
+
+TEST_F(YokanServiceTest, ListKeyvalsOverRpc) {
+    ASSERT_TRUE(db_.put("a", "1").ok());
+    ASSERT_TRUE(db_.put("b", "2").ok());
+    auto items = db_.list_keyvals("", "", 10);
+    ASSERT_TRUE(items.ok());
+    ASSERT_EQ(items->size(), 2u);
+    EXPECT_EQ((*items)[1].value, "2");
+}
+
+TEST_F(YokanServiceTest, PutMultiUsesOneBulkTransfer) {
+    std::vector<KeyValue> batch;
+    for (int i = 0; i < 500; ++i) {
+        batch.push_back({"bulk" + std::to_string(i), std::string(100, 'v')});
+    }
+    const auto before = net_.stats();
+    auto stored = db_.put_multi(batch);
+    ASSERT_TRUE(stored.ok()) << stored.status().to_string();
+    EXPECT_EQ(*stored, 500u);
+    const auto after = net_.stats();
+    // One request + one response, one bulk pull — not 500 RPCs.
+    EXPECT_EQ(after.messages - before.messages, 2u);
+    EXPECT_EQ(after.bulk_transfers - before.bulk_transfers, 1u);
+    EXPECT_GE(after.bulk_bytes - before.bulk_bytes, 500u * 100u);
+    EXPECT_EQ(*db_.count(), 500u);
+    EXPECT_EQ(*db_.get("bulk123"), std::string(100, 'v'));
+}
+
+TEST_F(YokanServiceTest, PutMultiCreateCountsExisting) {
+    ASSERT_TRUE(db_.put("dup", "old").ok());
+    std::vector<KeyValue> batch{{"dup", "new"}, {"fresh", "v"}};
+    auto stored = db_.put_multi(batch, /*overwrite=*/false);
+    ASSERT_TRUE(stored.ok());
+    EXPECT_EQ(*stored, 1u);
+    EXPECT_EQ(*db_.get("dup"), "old");
+}
+
+TEST_F(YokanServiceTest, GetMultiReturnsValuesAndMissing) {
+    ASSERT_TRUE(db_.put("a", "alpha").ok());
+    ASSERT_TRUE(db_.put("c", "gamma").ok());
+    auto out = db_.get_multi({"a", "b", "c"});
+    ASSERT_TRUE(out.ok()) << out.status().to_string();
+    ASSERT_EQ(out->size(), 3u);
+    EXPECT_EQ(*(*out)[0], "alpha");
+    EXPECT_FALSE((*out)[1].has_value());
+    EXPECT_EQ(*(*out)[2], "gamma");
+}
+
+TEST_F(YokanServiceTest, GetMultiGrowsBufferWhenHintTooSmall) {
+    const std::string big(1 << 16, 'B');
+    ASSERT_TRUE(db_.put("big0", big).ok());
+    ASSERT_TRUE(db_.put("big1", big).ok());
+    auto out = db_.get_multi({"big0", "big1"}, /*buffer_hint=*/16);
+    ASSERT_TRUE(out.ok()) << out.status().to_string();
+    ASSERT_EQ(out->size(), 2u);
+    EXPECT_EQ(*(*out)[0], big);
+    EXPECT_EQ(*(*out)[1], big);
+}
+
+TEST_F(YokanServiceTest, GetMultiEmptyKeyList) {
+    auto out = db_.get_multi({});
+    ASSERT_TRUE(out.ok());
+    EXPECT_TRUE(out->empty());
+}
+
+TEST_F(YokanServiceTest, ConcurrentClientsDoNotCorrupt) {
+    constexpr int kThreads = 4, kKeys = 100;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            margo::Engine eng(net_, "worker-" + std::to_string(t));
+            DatabaseHandle handle(eng, "server", 1, "events");
+            for (int i = 0; i < kKeys; ++i) {
+                std::string key = "t" + std::to_string(t) + "-k" + std::to_string(i);
+                ASSERT_TRUE(handle.put(key, key + "-value").ok());
+            }
+            for (int i = 0; i < kKeys; ++i) {
+                std::string key = "t" + std::to_string(t) + "-k" + std::to_string(i);
+                auto v = handle.get(key);
+                ASSERT_TRUE(v.ok());
+                EXPECT_EQ(*v, key + "-value");
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(*db_.count(), static_cast<std::uint64_t>(kThreads * kKeys));
+}
+
+TEST_F(YokanServiceTest, LsmBackedProviderOverRpc) {
+    const auto dir = fs::temp_directory_path() / "yokan_service_lsm";
+    fs::remove_all(dir);
+    auto cfg = json::parse(R"({"databases": [{"name": "persist", "type": "lsm",
+                                              "path": "db0", "memtable_bytes": 1024}]})");
+    ASSERT_TRUE(cfg.ok());
+    auto provider = Provider::create(*server_, 2, *cfg, nullptr, dir.string());
+    ASSERT_TRUE(provider.ok()) << provider.status().to_string();
+    DatabaseHandle lsm_db(*client_engine_, "server", 2, "persist");
+    for (int i = 0; i < 200; ++i) {
+        ASSERT_TRUE(lsm_db.put("key" + std::to_string(i), "value" + std::to_string(i)).ok());
+    }
+    EXPECT_EQ(*lsm_db.get("key150"), "value150");
+    EXPECT_EQ(*lsm_db.count(), 200u);
+    fs::remove_all(dir);
+}
+
+}  // namespace

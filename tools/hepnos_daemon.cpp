@@ -1,0 +1,63 @@
+// hepnos_daemon — run a HEPnOS service process over TCP.
+//
+//   hepnos_daemon <bedrock-config.json> <descriptor-out.json> [port]
+//
+// Boots the service described by the Bedrock JSON on a TCP fabric, writes the
+// client connection descriptor (full tcp:// addresses) to the output file,
+// then serves until stdin closes or SIGINT/SIGTERM arrives. Run one daemon
+// per "server node"; merge descriptors for clients with hepnos_merge or by
+// concatenating the "databases" arrays.
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+
+#include "bedrock/service.hpp"
+#include "rpc/tcp_fabric.hpp"
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace hep;
+    if (argc < 3) {
+        std::fprintf(stderr, "usage: %s <bedrock-config.json> <descriptor-out.json> [port]\n",
+                     argv[0]);
+        return 2;
+    }
+    auto config = json::parse_file(argv[1]);
+    if (!config.ok()) {
+        std::fprintf(stderr, "config error: %s\n", config.status().to_string().c_str());
+        return 1;
+    }
+    const auto port = static_cast<std::uint16_t>(argc > 3 ? std::atoi(argv[3]) : 0);
+
+    rpc::TcpFabric fabric("127.0.0.1", port);
+    auto service = bedrock::ServiceProcess::create(fabric, *config);
+    if (!service.ok()) {
+        std::fprintf(stderr, "boot error: %s\n", service.status().to_string().c_str());
+        return 1;
+    }
+    {
+        std::ofstream out(argv[2]);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", argv[2]);
+            return 1;
+        }
+        out << (*service)->descriptor().dump(2) << "\n";
+    }
+    std::fprintf(stderr, "hepnos_daemon: serving at %s (%zu databases); descriptor in %s\n",
+                 (*service)->address().c_str(), (*service)->databases().size(), argv[2]);
+    std::fprintf(stderr, "hepnos_daemon: close stdin or send SIGINT/SIGTERM to stop\n");
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    // Serve until stdin EOF or a signal.
+    while (!g_stop) {
+        const int c = std::fgetc(stdin);
+        if (c == EOF) break;
+    }
+    std::fprintf(stderr, "hepnos_daemon: shutting down\n");
+    return 0;
+}
