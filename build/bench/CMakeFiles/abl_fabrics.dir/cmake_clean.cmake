@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fabrics.dir/abl_fabrics.cpp.o"
+  "CMakeFiles/abl_fabrics.dir/abl_fabrics.cpp.o.d"
+  "abl_fabrics"
+  "abl_fabrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fabrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

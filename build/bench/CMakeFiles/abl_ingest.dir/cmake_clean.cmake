@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ingest.dir/abl_ingest.cpp.o"
+  "CMakeFiles/abl_ingest.dir/abl_ingest.cpp.o.d"
+  "abl_ingest"
+  "abl_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

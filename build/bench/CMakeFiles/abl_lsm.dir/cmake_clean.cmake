@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lsm.dir/abl_lsm.cpp.o"
+  "CMakeFiles/abl_lsm.dir/abl_lsm.cpp.o.d"
+  "abl_lsm"
+  "abl_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pep_batches.dir/abl_pep_batches.cpp.o"
+  "CMakeFiles/abl_pep_batches.dir/abl_pep_batches.cpp.o.d"
+  "abl_pep_batches"
+  "abl_pep_batches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pep_batches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_write_batch.dir/abl_write_batch.cpp.o"
+  "CMakeFiles/abl_write_batch.dir/abl_write_batch.cpp.o.d"
+  "abl_write_batch"
+  "abl_write_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_write_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_yokan_backends.dir/abl_yokan_backends.cpp.o"
+  "CMakeFiles/abl_yokan_backends.dir/abl_yokan_backends.cpp.o.d"
+  "abl_yokan_backends"
+  "abl_yokan_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_yokan_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

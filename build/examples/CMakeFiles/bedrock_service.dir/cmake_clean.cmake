@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bedrock_service.dir/bedrock_service.cpp.o"
+  "CMakeFiles/bedrock_service.dir/bedrock_service.cpp.o.d"
+  "bedrock_service"
+  "bedrock_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bedrock_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bedrock_service.
+# This may be replaced when dependencies are built.

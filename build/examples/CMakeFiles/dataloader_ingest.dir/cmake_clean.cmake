@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataloader_ingest.dir/dataloader_ingest.cpp.o"
+  "CMakeFiles/dataloader_ingest.dir/dataloader_ingest.cpp.o.d"
+  "dataloader_ingest"
+  "dataloader_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataloader_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

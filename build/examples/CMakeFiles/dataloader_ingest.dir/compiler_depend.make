@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dataloader_ingest.
+# This may be replaced when dependencies are built.

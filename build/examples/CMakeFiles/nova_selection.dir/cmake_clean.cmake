@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_selection.dir/nova_selection.cpp.o"
+  "CMakeFiles/nova_selection.dir/nova_selection.cpp.o.d"
+  "nova_selection"
+  "nova_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

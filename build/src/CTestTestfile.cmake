@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("serial")
+subdirs("abt")
+subdirs("rpc")
+subdirs("margo")
+subdirs("yokan")
+subdirs("bedrock")
+subdirs("mpisim")
+subdirs("hepnos")
+subdirs("htf")
+subdirs("nova")
+subdirs("dataloader")
+subdirs("workflow")
+subdirs("simcluster")
+subdirs("symbio")
+subdirs("autotune")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abt/pool.cpp" "src/abt/CMakeFiles/hep_abt.dir/pool.cpp.o" "gcc" "src/abt/CMakeFiles/hep_abt.dir/pool.cpp.o.d"
+  "/root/repo/src/abt/sync.cpp" "src/abt/CMakeFiles/hep_abt.dir/sync.cpp.o" "gcc" "src/abt/CMakeFiles/hep_abt.dir/sync.cpp.o.d"
+  "/root/repo/src/abt/ult.cpp" "src/abt/CMakeFiles/hep_abt.dir/ult.cpp.o" "gcc" "src/abt/CMakeFiles/hep_abt.dir/ult.cpp.o.d"
+  "/root/repo/src/abt/xstream.cpp" "src/abt/CMakeFiles/hep_abt.dir/xstream.cpp.o" "gcc" "src/abt/CMakeFiles/hep_abt.dir/xstream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_abt.dir/pool.cpp.o"
+  "CMakeFiles/hep_abt.dir/pool.cpp.o.d"
+  "CMakeFiles/hep_abt.dir/sync.cpp.o"
+  "CMakeFiles/hep_abt.dir/sync.cpp.o.d"
+  "CMakeFiles/hep_abt.dir/ult.cpp.o"
+  "CMakeFiles/hep_abt.dir/ult.cpp.o.d"
+  "CMakeFiles/hep_abt.dir/xstream.cpp.o"
+  "CMakeFiles/hep_abt.dir/xstream.cpp.o.d"
+  "libhep_abt.a"
+  "libhep_abt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_abt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

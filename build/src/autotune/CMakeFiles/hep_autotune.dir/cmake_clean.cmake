@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_autotune.dir/tuner.cpp.o"
+  "CMakeFiles/hep_autotune.dir/tuner.cpp.o.d"
+  "libhep_autotune.a"
+  "libhep_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_bedrock.dir/service.cpp.o"
+  "CMakeFiles/hep_bedrock.dir/service.cpp.o.d"
+  "libhep_bedrock.a"
+  "libhep_bedrock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_bedrock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_common.dir/json.cpp.o"
+  "CMakeFiles/hep_common.dir/json.cpp.o.d"
+  "CMakeFiles/hep_common.dir/logging.cpp.o"
+  "CMakeFiles/hep_common.dir/logging.cpp.o.d"
+  "CMakeFiles/hep_common.dir/rng.cpp.o"
+  "CMakeFiles/hep_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hep_common.dir/status.cpp.o"
+  "CMakeFiles/hep_common.dir/status.cpp.o.d"
+  "CMakeFiles/hep_common.dir/uuid.cpp.o"
+  "CMakeFiles/hep_common.dir/uuid.cpp.o.d"
+  "libhep_common.a"
+  "libhep_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

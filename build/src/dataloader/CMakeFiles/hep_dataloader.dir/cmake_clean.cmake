@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_dataloader.dir/loader.cpp.o"
+  "CMakeFiles/hep_dataloader.dir/loader.cpp.o.d"
+  "CMakeFiles/hep_dataloader.dir/schema_gen.cpp.o"
+  "CMakeFiles/hep_dataloader.dir/schema_gen.cpp.o.d"
+  "libhep_dataloader.a"
+  "libhep_dataloader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_dataloader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

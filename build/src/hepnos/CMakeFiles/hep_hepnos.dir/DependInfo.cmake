@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hepnos/containers.cpp" "src/hepnos/CMakeFiles/hep_hepnos.dir/containers.cpp.o" "gcc" "src/hepnos/CMakeFiles/hep_hepnos.dir/containers.cpp.o.d"
+  "/root/repo/src/hepnos/datastore.cpp" "src/hepnos/CMakeFiles/hep_hepnos.dir/datastore.cpp.o" "gcc" "src/hepnos/CMakeFiles/hep_hepnos.dir/datastore.cpp.o.d"
+  "/root/repo/src/hepnos/datastore_impl.cpp" "src/hepnos/CMakeFiles/hep_hepnos.dir/datastore_impl.cpp.o" "gcc" "src/hepnos/CMakeFiles/hep_hepnos.dir/datastore_impl.cpp.o.d"
+  "/root/repo/src/hepnos/keys.cpp" "src/hepnos/CMakeFiles/hep_hepnos.dir/keys.cpp.o" "gcc" "src/hepnos/CMakeFiles/hep_hepnos.dir/keys.cpp.o.d"
+  "/root/repo/src/hepnos/parallel_event_processor.cpp" "src/hepnos/CMakeFiles/hep_hepnos.dir/parallel_event_processor.cpp.o" "gcc" "src/hepnos/CMakeFiles/hep_hepnos.dir/parallel_event_processor.cpp.o.d"
+  "/root/repo/src/hepnos/prefetcher.cpp" "src/hepnos/CMakeFiles/hep_hepnos.dir/prefetcher.cpp.o" "gcc" "src/hepnos/CMakeFiles/hep_hepnos.dir/prefetcher.cpp.o.d"
+  "/root/repo/src/hepnos/rescale.cpp" "src/hepnos/CMakeFiles/hep_hepnos.dir/rescale.cpp.o" "gcc" "src/hepnos/CMakeFiles/hep_hepnos.dir/rescale.cpp.o.d"
+  "/root/repo/src/hepnos/write_batch.cpp" "src/hepnos/CMakeFiles/hep_hepnos.dir/write_batch.cpp.o" "gcc" "src/hepnos/CMakeFiles/hep_hepnos.dir/write_batch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/yokan/CMakeFiles/hep_yokan.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/hep_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/margo/CMakeFiles/hep_margo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hep_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/hep_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/abt/CMakeFiles/hep_abt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

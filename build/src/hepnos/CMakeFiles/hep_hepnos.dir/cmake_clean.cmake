@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_hepnos.dir/containers.cpp.o"
+  "CMakeFiles/hep_hepnos.dir/containers.cpp.o.d"
+  "CMakeFiles/hep_hepnos.dir/datastore.cpp.o"
+  "CMakeFiles/hep_hepnos.dir/datastore.cpp.o.d"
+  "CMakeFiles/hep_hepnos.dir/datastore_impl.cpp.o"
+  "CMakeFiles/hep_hepnos.dir/datastore_impl.cpp.o.d"
+  "CMakeFiles/hep_hepnos.dir/keys.cpp.o"
+  "CMakeFiles/hep_hepnos.dir/keys.cpp.o.d"
+  "CMakeFiles/hep_hepnos.dir/parallel_event_processor.cpp.o"
+  "CMakeFiles/hep_hepnos.dir/parallel_event_processor.cpp.o.d"
+  "CMakeFiles/hep_hepnos.dir/prefetcher.cpp.o"
+  "CMakeFiles/hep_hepnos.dir/prefetcher.cpp.o.d"
+  "CMakeFiles/hep_hepnos.dir/rescale.cpp.o"
+  "CMakeFiles/hep_hepnos.dir/rescale.cpp.o.d"
+  "CMakeFiles/hep_hepnos.dir/write_batch.cpp.o"
+  "CMakeFiles/hep_hepnos.dir/write_batch.cpp.o.d"
+  "libhep_hepnos.a"
+  "libhep_hepnos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_hepnos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhep_hepnos.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_htf.dir/htf.cpp.o"
+  "CMakeFiles/hep_htf.dir/htf.cpp.o.d"
+  "libhep_htf.a"
+  "libhep_htf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_htf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_margo.dir/engine.cpp.o"
+  "CMakeFiles/hep_margo.dir/engine.cpp.o.d"
+  "libhep_margo.a"
+  "libhep_margo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_margo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

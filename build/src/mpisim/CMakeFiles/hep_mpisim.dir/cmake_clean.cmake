@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_mpisim.dir/comm.cpp.o"
+  "CMakeFiles/hep_mpisim.dir/comm.cpp.o.d"
+  "libhep_mpisim.a"
+  "libhep_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

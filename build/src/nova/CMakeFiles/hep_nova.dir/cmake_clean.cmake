@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_nova.dir/generator.cpp.o"
+  "CMakeFiles/hep_nova.dir/generator.cpp.o.d"
+  "CMakeFiles/hep_nova.dir/selection.cpp.o"
+  "CMakeFiles/hep_nova.dir/selection.cpp.o.d"
+  "libhep_nova.a"
+  "libhep_nova.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_nova.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

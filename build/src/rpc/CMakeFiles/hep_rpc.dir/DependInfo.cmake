@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/endpoint.cpp" "src/rpc/CMakeFiles/hep_rpc.dir/endpoint.cpp.o" "gcc" "src/rpc/CMakeFiles/hep_rpc.dir/endpoint.cpp.o.d"
+  "/root/repo/src/rpc/network.cpp" "src/rpc/CMakeFiles/hep_rpc.dir/network.cpp.o" "gcc" "src/rpc/CMakeFiles/hep_rpc.dir/network.cpp.o.d"
+  "/root/repo/src/rpc/tcp_fabric.cpp" "src/rpc/CMakeFiles/hep_rpc.dir/tcp_fabric.cpp.o" "gcc" "src/rpc/CMakeFiles/hep_rpc.dir/tcp_fabric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hep_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/abt/CMakeFiles/hep_abt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_rpc.dir/endpoint.cpp.o"
+  "CMakeFiles/hep_rpc.dir/endpoint.cpp.o.d"
+  "CMakeFiles/hep_rpc.dir/network.cpp.o"
+  "CMakeFiles/hep_rpc.dir/network.cpp.o.d"
+  "CMakeFiles/hep_rpc.dir/tcp_fabric.cpp.o"
+  "CMakeFiles/hep_rpc.dir/tcp_fabric.cpp.o.d"
+  "libhep_rpc.a"
+  "libhep_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_simcluster.dir/models.cpp.o"
+  "CMakeFiles/hep_simcluster.dir/models.cpp.o.d"
+  "libhep_simcluster.a"
+  "libhep_simcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_simcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_symbio.dir/metrics.cpp.o"
+  "CMakeFiles/hep_symbio.dir/metrics.cpp.o.d"
+  "libhep_symbio.a"
+  "libhep_symbio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_symbio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_workflow.dir/hepnos_app.cpp.o"
+  "CMakeFiles/hep_workflow.dir/hepnos_app.cpp.o.d"
+  "CMakeFiles/hep_workflow.dir/traditional.cpp.o"
+  "CMakeFiles/hep_workflow.dir/traditional.cpp.o.d"
+  "libhep_workflow.a"
+  "libhep_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

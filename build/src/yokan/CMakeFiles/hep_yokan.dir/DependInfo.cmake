@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yokan/backend.cpp" "src/yokan/CMakeFiles/hep_yokan.dir/backend.cpp.o" "gcc" "src/yokan/CMakeFiles/hep_yokan.dir/backend.cpp.o.d"
+  "/root/repo/src/yokan/client.cpp" "src/yokan/CMakeFiles/hep_yokan.dir/client.cpp.o" "gcc" "src/yokan/CMakeFiles/hep_yokan.dir/client.cpp.o.d"
+  "/root/repo/src/yokan/lsm/bloom.cpp" "src/yokan/CMakeFiles/hep_yokan.dir/lsm/bloom.cpp.o" "gcc" "src/yokan/CMakeFiles/hep_yokan.dir/lsm/bloom.cpp.o.d"
+  "/root/repo/src/yokan/lsm/lsm_db.cpp" "src/yokan/CMakeFiles/hep_yokan.dir/lsm/lsm_db.cpp.o" "gcc" "src/yokan/CMakeFiles/hep_yokan.dir/lsm/lsm_db.cpp.o.d"
+  "/root/repo/src/yokan/lsm/sstable.cpp" "src/yokan/CMakeFiles/hep_yokan.dir/lsm/sstable.cpp.o" "gcc" "src/yokan/CMakeFiles/hep_yokan.dir/lsm/sstable.cpp.o.d"
+  "/root/repo/src/yokan/lsm/wal.cpp" "src/yokan/CMakeFiles/hep_yokan.dir/lsm/wal.cpp.o" "gcc" "src/yokan/CMakeFiles/hep_yokan.dir/lsm/wal.cpp.o.d"
+  "/root/repo/src/yokan/map_backend.cpp" "src/yokan/CMakeFiles/hep_yokan.dir/map_backend.cpp.o" "gcc" "src/yokan/CMakeFiles/hep_yokan.dir/map_backend.cpp.o.d"
+  "/root/repo/src/yokan/provider.cpp" "src/yokan/CMakeFiles/hep_yokan.dir/provider.cpp.o" "gcc" "src/yokan/CMakeFiles/hep_yokan.dir/provider.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/margo/CMakeFiles/hep_margo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hep_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/hep_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/abt/CMakeFiles/hep_abt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_yokan.dir/backend.cpp.o"
+  "CMakeFiles/hep_yokan.dir/backend.cpp.o.d"
+  "CMakeFiles/hep_yokan.dir/client.cpp.o"
+  "CMakeFiles/hep_yokan.dir/client.cpp.o.d"
+  "CMakeFiles/hep_yokan.dir/lsm/bloom.cpp.o"
+  "CMakeFiles/hep_yokan.dir/lsm/bloom.cpp.o.d"
+  "CMakeFiles/hep_yokan.dir/lsm/lsm_db.cpp.o"
+  "CMakeFiles/hep_yokan.dir/lsm/lsm_db.cpp.o.d"
+  "CMakeFiles/hep_yokan.dir/lsm/sstable.cpp.o"
+  "CMakeFiles/hep_yokan.dir/lsm/sstable.cpp.o.d"
+  "CMakeFiles/hep_yokan.dir/lsm/wal.cpp.o"
+  "CMakeFiles/hep_yokan.dir/lsm/wal.cpp.o.d"
+  "CMakeFiles/hep_yokan.dir/map_backend.cpp.o"
+  "CMakeFiles/hep_yokan.dir/map_backend.cpp.o.d"
+  "CMakeFiles/hep_yokan.dir/provider.cpp.o"
+  "CMakeFiles/hep_yokan.dir/provider.cpp.o.d"
+  "libhep_yokan.a"
+  "libhep_yokan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_yokan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hep_yokan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abt_test.dir/abt_test.cpp.o"
+  "CMakeFiles/abt_test.dir/abt_test.cpp.o.d"
+  "abt_test"
+  "abt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bedrock_test.dir/bedrock_test.cpp.o"
+  "CMakeFiles/bedrock_test.dir/bedrock_test.cpp.o.d"
+  "bedrock_test"
+  "bedrock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bedrock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataloader_test.dir/dataloader_test.cpp.o"
+  "CMakeFiles/dataloader_test.dir/dataloader_test.cpp.o.d"
+  "dataloader_test"
+  "dataloader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataloader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

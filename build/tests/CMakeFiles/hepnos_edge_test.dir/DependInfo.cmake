@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hepnos_edge_test.cpp" "tests/CMakeFiles/hepnos_edge_test.dir/hepnos_edge_test.cpp.o" "gcc" "tests/CMakeFiles/hepnos_edge_test.dir/hepnos_edge_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hepnos/CMakeFiles/hep_hepnos.dir/DependInfo.cmake"
+  "/root/repo/build/src/bedrock/CMakeFiles/hep_bedrock.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/hep_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/yokan/CMakeFiles/hep_yokan.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbio/CMakeFiles/hep_symbio.dir/DependInfo.cmake"
+  "/root/repo/build/src/margo/CMakeFiles/hep_margo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/hep_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/abt/CMakeFiles/hep_abt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepnos_edge_test.dir/hepnos_edge_test.cpp.o"
+  "CMakeFiles/hepnos_edge_test.dir/hepnos_edge_test.cpp.o.d"
+  "hepnos_edge_test"
+  "hepnos_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepnos_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepnos_test.dir/hepnos_test.cpp.o"
+  "CMakeFiles/hepnos_test.dir/hepnos_test.cpp.o.d"
+  "hepnos_test"
+  "hepnos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepnos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

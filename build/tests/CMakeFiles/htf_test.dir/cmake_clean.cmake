@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htf_test.dir/htf_test.cpp.o"
+  "CMakeFiles/htf_test.dir/htf_test.cpp.o.d"
+  "htf_test"
+  "htf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/margo_test.dir/margo_test.cpp.o"
+  "CMakeFiles/margo_test.dir/margo_test.cpp.o.d"
+  "margo_test"
+  "margo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/margo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

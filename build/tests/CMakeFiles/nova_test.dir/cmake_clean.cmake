@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_test.dir/nova_test.cpp.o"
+  "CMakeFiles/nova_test.dir/nova_test.cpp.o.d"
+  "nova_test"
+  "nova_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rescale_test.dir/rescale_test.cpp.o"
+  "CMakeFiles/rescale_test.dir/rescale_test.cpp.o.d"
+  "rescale_test"
+  "rescale_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rescale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcluster_test.dir/simcluster_test.cpp.o"
+  "CMakeFiles/simcluster_test.dir/simcluster_test.cpp.o.d"
+  "simcluster_test"
+  "simcluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbio_test.dir/symbio_test.cpp.o"
+  "CMakeFiles/symbio_test.dir/symbio_test.cpp.o.d"
+  "symbio_test"
+  "symbio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

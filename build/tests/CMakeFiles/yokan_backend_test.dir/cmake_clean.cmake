@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yokan_backend_test.dir/yokan_backend_test.cpp.o"
+  "CMakeFiles/yokan_backend_test.dir/yokan_backend_test.cpp.o.d"
+  "yokan_backend_test"
+  "yokan_backend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yokan_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

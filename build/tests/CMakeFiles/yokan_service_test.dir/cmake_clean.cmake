@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yokan_service_test.dir/yokan_service_test.cpp.o"
+  "CMakeFiles/yokan_service_test.dir/yokan_service_test.cpp.o.d"
+  "yokan_service_test"
+  "yokan_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yokan_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepnos_daemon.dir/hepnos_daemon.cpp.o"
+  "CMakeFiles/hepnos_daemon.dir/hepnos_daemon.cpp.o.d"
+  "hepnos_daemon"
+  "hepnos_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepnos_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

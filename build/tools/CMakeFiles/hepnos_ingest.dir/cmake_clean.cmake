@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepnos_ingest.dir/hepnos_ingest.cpp.o"
+  "CMakeFiles/hepnos_ingest.dir/hepnos_ingest.cpp.o.d"
+  "hepnos_ingest"
+  "hepnos_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepnos_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

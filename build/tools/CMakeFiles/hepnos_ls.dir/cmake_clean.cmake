@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepnos_ls.dir/hepnos_ls.cpp.o"
+  "CMakeFiles/hepnos_ls.dir/hepnos_ls.cpp.o.d"
+  "hepnos_ls"
+  "hepnos_ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepnos_ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepnos_select.dir/hepnos_select.cpp.o"
+  "CMakeFiles/hepnos_select.dir/hepnos_select.cpp.o.d"
+  "hepnos_select"
+  "hepnos_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepnos_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
