@@ -66,10 +66,17 @@ Result<std::unique_ptr<ServiceProcess>> ServiceProcess::create(rpc::Fabric& netw
             desc.name = dbs.at(d)["name"].as_string();
             if (desc.name.empty()) desc.name = "db" + std::to_string(d);
             desc.role = dbs.at(d)["role"].as_string();
+            desc.type = dbs.at(d)["type"].as_string();
+            if (desc.type.empty()) desc.type = "map";
             svc->databases_.push_back(std::move(desc));
         }
         svc->providers_.push_back(std::move(provider.value()));
     }
+
+    // Replication knob: the service does not wire the groups itself (the
+    // connecting client does, once it has merged every server's descriptor);
+    // it just advertises the section.
+    if (config.contains("replication")) svc->replication_ = config["replication"];
 
     // Optional monitoring (Symbiomon substitute): expose live metrics,
     // including a per-database stats source, under a dedicated provider id.
@@ -94,6 +101,15 @@ Result<std::unique_ptr<ServiceProcess>> ServiceProcess::create(rpc::Fabric& netw
                 });
             }
         }
+        // Replication metrics: records/bytes shipped, lag, repairs — one
+        // source per provider, evaluated live (replica groups are wired by
+        // clients after boot, so the closure must not snapshot now).
+        for (auto& provider : svc->providers_) {
+            yokan::Provider* p = provider.get();
+            svc->registry_->add_source(
+                "replica/" + std::to_string(p->provider_id()),
+                [p]() { return p->replica_stats(); });
+        }
         svc->symbio_provider_ =
             std::make_unique<symbio::Provider>(*svc->engine_, symbio_id, svc->registry_);
     }
@@ -115,9 +131,11 @@ json::Value ServiceProcess::descriptor() const {
         entry["provider_id"] = static_cast<std::int64_t>(db.provider_id);
         entry["name"] = db.name;
         entry["role"] = db.role;
+        entry["type"] = db.type;
         arr.push_back(std::move(entry));
     }
     doc["databases"] = std::move(arr);
+    if (!replication_.is_null()) doc["replication"] = replication_;
     return doc;
 }
 
@@ -131,9 +149,14 @@ yokan::Provider* ServiceProcess::find_provider(rpc::ProviderId id) {
 json::Value merge_descriptors(const std::vector<json::Value>& descriptors) {
     json::Value doc = json::Value::make_object();
     json::Value arr = json::Value::make_array();
+    bool have_replication = false;
     for (const auto& d : descriptors) {
         const json::Value& dbs = d["databases"];
         for (std::size_t i = 0; i < dbs.size(); ++i) arr.push_back(dbs.at(i));
+        if (!have_replication && !d["replication"].is_null()) {
+            doc["replication"] = d["replication"];
+            have_replication = true;
+        }
     }
     doc["databases"] = std::move(arr);
     return doc;

@@ -19,8 +19,14 @@
 //
 // Database "role" classifies what HEPnOS stores there: one of "datasets",
 // "runs", "subruns", "events", "products". ServiceProcess::descriptor()
-// aggregates (address, provider, db, role) tuples; hepnos::DataStore connects
-// from a JSON document listing those descriptors for every server.
+// aggregates (address, provider, db, role, type) tuples; hepnos::DataStore
+// connects from a JSON document listing those descriptors for every server.
+//
+// An optional top-level "replication" section — {"factor": 2,
+// "read_from_replicas": false, ...retry policy knobs...} — is passed through
+// into the descriptor verbatim; the connecting DataStore uses it to wire each
+// database into a replica group (round-robin backups across the other
+// servers) and to build its client-side retry/failover policy.
 #pragma once
 
 #include <memory>
@@ -40,6 +46,8 @@ struct DatabaseDescriptor {
     rpc::ProviderId provider_id = 0;
     std::string name;
     std::string role;  // datasets | runs | subruns | events | products
+    std::string type;  // backend ("map" | "lsm"); clients creating backup
+                       // replicas must match it
 };
 
 class ServiceProcess {
@@ -78,6 +86,8 @@ class ServiceProcess {
     std::unique_ptr<margo::Engine> engine_;
     std::vector<std::unique_ptr<yokan::Provider>> providers_;
     std::vector<DatabaseDescriptor> databases_;
+    json::Value replication_;  // "replication" config section, passed through
+                               // to the descriptor so clients wire the groups
     std::shared_ptr<symbio::MetricsRegistry> registry_;
     std::unique_ptr<symbio::Provider> symbio_provider_;
 };

@@ -12,6 +12,7 @@ std::string_view to_string(StatusCode code) noexcept {
         case StatusCode::kCorruption: return "corruption";
         case StatusCode::kUnavailable: return "unavailable";
         case StatusCode::kTimeout: return "timeout";
+        case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
         case StatusCode::kPermissionDenied: return "permission-denied";
         case StatusCode::kUnimplemented: return "unimplemented";
         case StatusCode::kInternal: return "internal";

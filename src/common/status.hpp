@@ -24,6 +24,7 @@ enum class StatusCode : std::uint8_t {
     kCorruption,
     kUnavailable,
     kTimeout,
+    kDeadlineExceeded,
     kPermissionDenied,
     kUnimplemented,
     kInternal,
@@ -56,6 +57,9 @@ class Status {
     static Status Corruption(std::string msg) { return {StatusCode::kCorruption, std::move(msg)}; }
     static Status Unavailable(std::string msg) { return {StatusCode::kUnavailable, std::move(msg)}; }
     static Status Timeout(std::string msg) { return {StatusCode::kTimeout, std::move(msg)}; }
+    static Status DeadlineExceeded(std::string msg) {
+        return {StatusCode::kDeadlineExceeded, std::move(msg)};
+    }
     static Status Unimplemented(std::string msg) { return {StatusCode::kUnimplemented, std::move(msg)}; }
     static Status Internal(std::string msg) { return {StatusCode::kInternal, std::move(msg)}; }
     static Status Cancelled(std::string msg) { return {StatusCode::kCancelled, std::move(msg)}; }

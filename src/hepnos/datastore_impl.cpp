@@ -1,6 +1,9 @@
 #include "hepnos/datastore_impl.hpp"
 
+#include <algorithm>
 #include <atomic>
+
+#include "replica/bootstrap.hpp"
 
 namespace hep::hepnos {
 
@@ -39,6 +42,15 @@ Result<std::shared_ptr<DataStoreImpl>> DataStoreImpl::connect(rpc::Fabric& netwo
     if (!dbs.is_array() || dbs.size() == 0) {
         return Status::InvalidArgument("connection config has no \"databases\"");
     }
+    struct ParsedDb {
+        std::size_t role;
+        std::size_t index_in_role;
+        std::string address;
+        rpc::ProviderId provider;
+        std::string name;
+        std::string type;
+    };
+    std::vector<ParsedDb> parsed;
     for (std::size_t i = 0; i < dbs.size(); ++i) {
         const json::Value& entry = dbs.at(i);
         auto role = parse_role(entry["role"].as_string());
@@ -49,9 +61,13 @@ Result<std::shared_ptr<DataStoreImpl>> DataStoreImpl::connect(rpc::Fabric& netwo
         if (address.empty() || name.empty()) {
             return Status::InvalidArgument("database entry needs address and name");
         }
+        std::string type = entry["type"].as_string();
+        if (type.empty()) type = "map";
         const auto idx = static_cast<std::size_t>(*role);
         impl->dbs_[idx].emplace_back(*impl->engine_, address, provider, name);
         impl->active_[idx].push_back(true);
+        parsed.push_back(
+            ParsedDb{idx, impl->dbs_[idx].size() - 1, address, provider, name, type});
     }
 
     for (std::size_t r = 0; r < kNumRoles; ++r) {
@@ -60,6 +76,48 @@ Result<std::shared_ptr<DataStoreImpl>> DataStoreImpl::connect(rpc::Fabric& netwo
                                            std::string(to_string(static_cast<Role>(r))) + '"');
         }
         impl->rings_[r] = HashRing(impl->dbs_[r].size());
+    }
+
+    impl->metrics_ = std::make_shared<symbio::MetricsRegistry>();
+    impl->failover_counters_ = std::make_shared<replica::FailoverCounters>();
+
+    const json::Value& rep = config["replication"];
+    auto factor = static_cast<std::size_t>(rep["factor"].as_int(1));
+    if (factor < 1) factor = 1;
+    impl->replication_factor_ = factor;
+    if (factor > 1) {
+        const replica::RetryPolicy policy = replica::RetryPolicy::from_json(rep);
+        // Placement nodes: every distinct (server, provider) pair, in
+        // document order so all clients derive the same groups.
+        std::vector<replica::Node> nodes;
+        for (const auto& e : parsed) {
+            replica::Node node{e.address, e.provider};
+            if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+                nodes.push_back(node);
+            }
+        }
+        for (std::size_t ord = 0; ord < parsed.size(); ++ord) {
+            const auto& e = parsed[ord];
+            const auto primary_idx = static_cast<std::size_t>(
+                std::find(nodes.begin(), nodes.end(), replica::Node{e.address, e.provider}) -
+                nodes.begin());
+            auto group = replica::assign_group(nodes, primary_idx, ord, factor, e.name);
+            if (group.size() < 2) continue;  // single-node service: nothing to wire
+            // Idempotent: servers already wired with the same group no-op, so
+            // any number of clients can connect in any order.
+            auto wired = replica::wire_replication(*impl->engine_, group, e.type, "");
+            if (!wired.ok()) return wired;
+            impl->dbs_[e.role][e.index_in_role].set_failover(
+                std::make_shared<replica::FailoverState>(group, policy,
+                                                         impl->failover_counters_));
+        }
+        auto counters = impl->failover_counters_;
+        impl->metrics_->add_source("replica/client", [counters]() {
+            json::Value out = json::Value::make_object();
+            out["retries"] = counters->retries.load();
+            out["failovers"] = counters->failovers.load();
+            return out;
+        });
     }
     return impl;
 }

@@ -14,6 +14,8 @@
 #include "common/hash.hpp"
 #include "common/json.hpp"
 #include "margo/engine.hpp"
+#include "replica/failover.hpp"
+#include "symbio/metrics.hpp"
 #include "yokan/client.hpp"
 
 namespace hep::hepnos {
@@ -33,7 +35,12 @@ Result<Role> parse_role(std::string_view name) noexcept;
 class DataStoreImpl {
   public:
     /// Build from a connection document: {"databases": [{address,
-    /// provider_id, name, role}, ...]}. Owns a fresh client engine.
+    /// provider_id, name, role, type}, ...], "replication": {...}?}. Owns a
+    /// fresh client engine. When the document carries a "replication" section
+    /// with factor >= 2, connect() wires every database into a replica group
+    /// (round-robin backups over the other providers) and attaches a shared
+    /// failover state to each handle, so all subsequent operations retry and
+    /// fail over transparently.
     static Result<std::shared_ptr<DataStoreImpl>> connect(rpc::Fabric& network,
                                                           const json::Value& config,
                                                           const std::string& client_address);
@@ -88,6 +95,22 @@ class DataStoreImpl {
         return index < active_[idx].size() && active_[idx][index];
     }
 
+    // ---- replication / failover ---------------------------------------------
+    /// Replication factor the connection document asked for (1 = off).
+    [[nodiscard]] std::size_t replication_factor() const noexcept {
+        return replication_factor_;
+    }
+
+    /// Retry/failover counters aggregated over every database handle.
+    [[nodiscard]] const std::shared_ptr<replica::FailoverCounters>& failover_counters()
+        const noexcept {
+        return failover_counters_;
+    }
+
+    /// Client-side metrics registry; carries a "replica/client" source with
+    /// the retry/failover counters when replication is on.
+    [[nodiscard]] symbio::MetricsRegistry& metrics() noexcept { return *metrics_; }
+
   private:
     DataStoreImpl() = default;
 
@@ -95,6 +118,9 @@ class DataStoreImpl {
     std::array<std::vector<yokan::DatabaseHandle>, kNumRoles> dbs_;
     std::array<std::vector<bool>, kNumRoles> active_;
     std::array<HashRing, kNumRoles> rings_;
+    std::size_t replication_factor_ = 1;
+    std::shared_ptr<replica::FailoverCounters> failover_counters_;
+    std::shared_ptr<symbio::MetricsRegistry> metrics_;
 };
 
 }  // namespace hep::hepnos

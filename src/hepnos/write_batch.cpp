@@ -87,6 +87,7 @@ void AsyncWriteBatch::ship(const yokan::DatabaseHandle& handle,
                                   pending->packed.size(), /*overwrite=*/true};
     pending->eventual = endpoint.call_async(handle.server(), "yokan_put_multi",
                                             handle.provider(), serial::to_string(req));
+    pending->handle = handle;
     in_flight_.push_back(std::move(pending));
 }
 
@@ -95,7 +96,20 @@ void AsyncWriteBatch::wait() {
     for (auto& pending : in_flight_) {
         auto& result = pending->eventual->wait();
         impl_->engine().endpoint().unexpose(pending->bulk);
-        if (!result.ok() && first_error.ok()) first_error = result.status();
+        if (result.ok()) continue;
+        Status st = result.status();
+        if (pending->handle.failover() && replica::FailoverState::retryable(st.code())) {
+            // The fire-and-forget RPC went to the (then-)primary and the
+            // transport failed. Fall back to the synchronous failover-aware
+            // path so the batch lands on a surviving replica.
+            std::vector<yokan::KeyValue> items;
+            yokan::proto::unpack_entries(
+                pending->packed, [&](std::string_view k, std::string_view v) {
+                    items.push_back(yokan::KeyValue{std::string(k), std::string(v)});
+                });
+            st = pending->handle.put_multi(items, /*overwrite=*/true).status();
+        }
+        if (!st.ok() && first_error.ok()) first_error = st;
     }
     in_flight_.clear();
     throw_if_error(first_error);

@@ -79,6 +79,7 @@ class AsyncWriteBatch final : public WriteBatch {
         std::string packed;  // must outlive the bulk pull
         rpc::BulkRef bulk;
         std::shared_ptr<abt::Eventual<Result<std::string>>> eventual;
+        yokan::DatabaseHandle handle;  // for the failover retry path
     };
     std::vector<std::unique_ptr<Pending>> in_flight_;
 };

@@ -10,6 +10,9 @@ Engine::Engine(rpc::Fabric& network, std::string address, EngineConfig config)
     if (!endpoint_) {
         throw std::runtime_error("margo::Engine: address already in use: " + address);
     }
+    if (config_.rpc_deadline_ms > 0) {
+        endpoint_->set_default_deadline(std::chrono::milliseconds(config_.rpc_deadline_ms));
+    }
     pool_ = abt::Pool::create(address + ":rpc-pool");
     for (std::size_t i = 0; i < config_.rpc_xstreams; ++i) {
         xstreams_.push_back(

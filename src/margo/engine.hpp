@@ -27,6 +27,10 @@ struct EngineConfig {
     std::size_t rpc_xstreams = 2;
     /// ULT stack size for handlers.
     std::size_t handler_stack_size = 256 * 1024;
+    /// Default per-RPC deadline in milliseconds for calls issued through this
+    /// engine's endpoint (0 = wait forever). Expired calls complete with
+    /// Status::DeadlineExceeded; the replica failover policy keys off it.
+    std::uint64_t rpc_deadline_ms = 0;
 };
 
 class Engine {
@@ -84,11 +88,13 @@ class Engine {
                     std::function<Result<std::string>(const std::string&)> handler,
                     std::shared_ptr<abt::Pool> pool = nullptr);
 
-    /// Typed synchronous call.
+    /// Typed synchronous call. `deadline` caps the wait for the response
+    /// (zero = the endpoint default).
     template <typename Req, typename Resp>
     Result<Resp> forward(const std::string& to, std::string_view name,
-                         rpc::ProviderId provider_id, const Req& req) {
-        auto raw = endpoint_->call(to, name, provider_id, serial::to_string(req));
+                         rpc::ProviderId provider_id, const Req& req,
+                         std::chrono::milliseconds deadline = std::chrono::milliseconds{0}) {
+        auto raw = endpoint_->call(to, name, provider_id, serial::to_string(req), deadline);
         if (!raw.ok()) return raw.status();
         Resp resp{};
         try {

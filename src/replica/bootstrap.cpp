@@ -1,0 +1,82 @@
+#include "replica/bootstrap.hpp"
+
+#include <chrono>
+
+#include "common/logging.hpp"
+
+namespace hep::replica {
+
+namespace {
+/// Configure is a metadata-only RPC; probing can trigger a synchronous
+/// snapshot repair on the server, so it gets a much longer leash. Both are
+/// bounded: an unreachable or wedged member must never hang connect().
+constexpr std::chrono::milliseconds kConfigureDeadline{10'000};
+constexpr std::chrono::milliseconds kProbeDeadline{60'000};
+}  // namespace
+
+std::vector<Target> assign_group(const std::vector<Node>& nodes, std::size_t primary_idx,
+                                 std::size_t ordinal, std::size_t factor, const std::string& db) {
+    std::vector<Target> group;
+    if (nodes.empty() || primary_idx >= nodes.size()) return group;
+    const auto& primary = nodes[primary_idx];
+    group.push_back(Target{primary.server, primary.provider, db});
+    const std::size_t n = nodes.size();
+    if (factor < 2 || n < 2) return group;
+    // Candidate backups are the other nodes in ring order after the primary;
+    // rotating the start by the database ordinal spreads the backup load.
+    const std::size_t rot = ordinal % (n - 1);
+    const std::size_t want = std::min(factor - 1, n - 1);
+    for (std::size_t i = 0; i < want; ++i) {
+        const std::size_t step = 1 + (rot + i) % (n - 1);
+        const auto& node = nodes[(primary_idx + step) % n];
+        group.push_back(Target{node.server, node.provider, db});
+    }
+    return group;
+}
+
+Status wire_replication(margo::Engine& engine, const std::vector<Target>& group,
+                        const std::string& create_type, const std::string& create_path,
+                        std::uint64_t log_capacity) {
+    if (group.size() < 2) return Status::OK();  // nothing to replicate
+    // Best-effort: a client must be able to connect while a member is DOWN —
+    // that is the whole point of failover. Unreachable members are skipped
+    // (they re-wire and catch up via the probe pass of a later connect); only
+    // a group with no reachable member at all fails the wiring.
+    std::size_t configured = 0;
+    Status first_error;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        ConfigureReq req;
+        req.db = group[i].db;
+        req.self = group[i];
+        for (std::size_t j = 0; j < group.size(); ++j) {
+            if (j != i) req.peers.push_back(group[j]);
+        }
+        req.create_type = create_type;
+        req.create_path = create_path;
+        req.log_capacity = log_capacity;
+        auto ack = engine.forward<ConfigureReq, Ack>(group[i].server, "replica_configure",
+                                                     group[i].provider, req, kConfigureDeadline);
+        if (ack.ok()) {
+            ++configured;
+        } else {
+            Status wrapped(ack.status().code(), "configuring replica " + group[i].str() +
+                                                    " failed: " + ack.status().message());
+            HEP_LOG_WARN("replica: %s (continuing with the rest of the group)",
+                         wrapped.to_string().c_str());
+            if (first_error.ok()) first_error = wrapped;
+        }
+    }
+    if (configured == 0) return first_error;
+    for (const auto& member : group) {
+        ProbeReq req{member.db};
+        auto ack = engine.forward<ProbeReq, Ack>(member.server, "replica_probe", member.provider,
+                                                 req, kProbeDeadline);
+        if (!ack.ok()) {
+            HEP_LOG_WARN("replica: probing %s failed: %s", member.str().c_str(),
+                         ack.status().message().c_str());
+        }
+    }
+    return Status::OK();
+}
+
+}  // namespace hep::replica

@@ -1,0 +1,43 @@
+// Client-driven wiring of replica groups.
+//
+// Whoever knows the full service topology (the hepnos DataStore after reading
+// the service descriptor, or a test harness) calls wire_replication() to turn
+// a set of existing primary databases into replica groups: every member gets
+// a `replica_configure` RPC (backups create their copy of the database on the
+// fly), then a `replica_probe` pass makes each member heartbeat its peers so
+// restarted or newly added members catch up immediately.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "margo/engine.hpp"
+#include "replica/protocol.hpp"
+
+namespace hep::replica {
+
+/// One provider able to host a replica (a node of the placement ring).
+struct Node {
+    std::string server;
+    rpc::ProviderId provider = 0;
+    bool operator==(const Node&) const = default;
+};
+
+/// Choose the replica group for database `db`: the primary plus factor-1
+/// backups assigned round-robin over the other nodes, rotated by `ordinal`
+/// (the database's index) so backups spread across the service instead of
+/// piling onto the primary's neighbor. All members share the database name.
+std::vector<Target> assign_group(const std::vector<Node>& nodes, std::size_t primary_idx,
+                                 std::size_t ordinal, std::size_t factor, const std::string& db);
+
+/// Configure every member of `group` (two passes: configure all, then probe
+/// all, so heartbeats never race a member that is not wired yet). Backups
+/// that do not have the database yet create it with `create_type` /
+/// `create_path` (paths get a per-member suffix server-side).
+Status wire_replication(margo::Engine& engine, const std::vector<Target>& group,
+                        const std::string& create_type, const std::string& create_path,
+                        std::uint64_t log_capacity = 0);
+
+}  // namespace hep::replica

@@ -1,0 +1,67 @@
+#include "replica/failover.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "abt/ult.hpp"
+
+namespace hep::replica {
+
+RetryPolicy RetryPolicy::from_json(const json::Value& cfg) {
+    RetryPolicy p;
+    if (!cfg.is_object()) return p;
+    if (cfg.contains("max_attempts")) p.max_attempts = static_cast<std::uint32_t>(cfg["max_attempts"].as_int());
+    if (cfg.contains("attempts_per_target"))
+        p.attempts_per_target = static_cast<std::uint32_t>(cfg["attempts_per_target"].as_int());
+    if (cfg.contains("base_backoff_ms"))
+        p.base_backoff_ms = static_cast<std::uint32_t>(cfg["base_backoff_ms"].as_int());
+    if (cfg.contains("max_backoff_ms"))
+        p.max_backoff_ms = static_cast<std::uint32_t>(cfg["max_backoff_ms"].as_int());
+    if (cfg.contains("deadline_ms"))
+        p.deadline_ms = static_cast<std::uint64_t>(cfg["deadline_ms"].as_int());
+    if (cfg.contains("read_from_replicas")) p.read_from_replicas = cfg["read_from_replicas"].as_bool();
+    if (p.max_attempts == 0) p.max_attempts = 1;
+    if (p.attempts_per_target == 0) p.attempts_per_target = 1;
+    return p;
+}
+
+FailoverState::FailoverState(std::vector<Target> targets, RetryPolicy policy,
+                             std::shared_ptr<FailoverCounters> counters)
+    : targets_(std::move(targets)),
+      policy_(policy),
+      counters_(std::move(counters)) {
+    if (targets_.empty()) targets_.emplace_back();
+    if (!counters_) counters_ = std::make_shared<FailoverCounters>();
+}
+
+std::size_t FailoverState::read_start() noexcept {
+    if (!policy_.read_from_replicas || targets_.size() < 2) return primary();
+    return read_rr_.fetch_add(1, std::memory_order_relaxed) % targets_.size();
+}
+
+void FailoverState::promote(std::size_t from) noexcept {
+    std::size_t expected = from;
+    const std::size_t next = (from + 1) % targets_.size();
+    if (primary_.compare_exchange_strong(expected, next, std::memory_order_acq_rel)) {
+        counters_->failovers.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void FailoverState::backoff(std::uint32_t attempt) const {
+    std::uint64_t ms = policy_.base_backoff_ms;
+    for (std::uint32_t i = 0; i < attempt && ms < policy_.max_backoff_ms; ++i) ms *= 2;
+    if (ms > policy_.max_backoff_ms) ms = policy_.max_backoff_ms;
+    if (ms == 0) {
+        abt::yield();
+        return;
+    }
+    // Sleep in small slices, yielding between them, so a ULT sharing its
+    // execution stream with other work does not starve it for the whole wait.
+    const auto end = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    while (std::chrono::steady_clock::now() < end) {
+        abt::yield();
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+}
+
+}  // namespace hep::replica

@@ -1,0 +1,92 @@
+// Client-side failover state: per-logical-database replica targets plus the
+// retry/timeout/backoff policy that drives transparent re-issue.
+//
+// Every handle copy of one logical database shares one FailoverState, so a
+// promotion ("the primary is dead, use the next replica") performed by one
+// ULT is immediately visible to all others. Retryable failures are the
+// transport-level ones — Unavailable (peer gone/partitioned), Timeout
+// (injected drop) and DeadlineExceeded (armed per-RPC deadline expired);
+// application-level statuses (NotFound, AlreadyExists, ...) never retry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/status.hpp"
+#include "replica/protocol.hpp"
+
+namespace hep::replica {
+
+struct RetryPolicy {
+    /// Total attempts for one operation across all targets.
+    std::uint32_t max_attempts = 8;
+    /// Attempts against one target before promoting the next replica.
+    std::uint32_t attempts_per_target = 2;
+    /// Bounded exponential backoff between attempts.
+    std::uint32_t base_backoff_ms = 2;
+    std::uint32_t max_backoff_ms = 250;
+    /// Per-RPC deadline armed on the client engine (0 = fabric default).
+    std::uint64_t deadline_ms = 0;
+    /// Allow reads to be served by (and rotated across) backup replicas.
+    bool read_from_replicas = false;
+
+    /// Parse from a client config document: {"max_attempts": 8, ...}.
+    /// Missing fields keep their defaults.
+    static RetryPolicy from_json(const json::Value& cfg);
+};
+
+/// Aggregated across all databases of one client connection.
+struct FailoverCounters {
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> failovers{0};
+};
+
+class FailoverState {
+  public:
+    FailoverState(std::vector<Target> targets, RetryPolicy policy,
+                  std::shared_ptr<FailoverCounters> counters);
+
+    [[nodiscard]] std::size_t size() const noexcept { return targets_.size(); }
+    [[nodiscard]] const Target& target(std::size_t i) const { return targets_[i]; }
+    [[nodiscard]] const RetryPolicy& policy() const noexcept { return policy_; }
+
+    /// Index of the member currently acting as primary for this client.
+    [[nodiscard]] std::size_t primary() const noexcept {
+        return primary_.load(std::memory_order_acquire);
+    }
+
+    /// Starting target for a read: the primary, or a round-robin rotation
+    /// over the whole group when read_from_replicas is on.
+    [[nodiscard]] std::size_t read_start() noexcept;
+
+    /// Promote the next replica if `from` is still the primary (CAS so one
+    /// failover is counted once no matter how many ULTs observe the failure).
+    void promote(std::size_t from) noexcept;
+
+    void count_retry() noexcept { counters_->retries.fetch_add(1, std::memory_order_relaxed); }
+
+    [[nodiscard]] const std::shared_ptr<FailoverCounters>& counters() const noexcept {
+        return counters_;
+    }
+
+    /// Should this failure be retried (possibly against another replica)?
+    [[nodiscard]] static bool retryable(StatusCode code) noexcept {
+        return code == StatusCode::kUnavailable || code == StatusCode::kTimeout ||
+               code == StatusCode::kDeadlineExceeded;
+    }
+
+    /// Sleep the bounded-exponential backoff for `attempt` (0-based).
+    void backoff(std::uint32_t attempt) const;
+
+  private:
+    std::vector<Target> targets_;
+    RetryPolicy policy_;
+    std::atomic<std::size_t> primary_{0};
+    std::atomic<std::uint64_t> read_rr_{0};
+    std::shared_ptr<FailoverCounters> counters_;
+};
+
+}  // namespace hep::replica

@@ -1,0 +1,144 @@
+// Wire types of the replication subsystem.
+//
+// A replica group is a set of (server, provider, db) members that hold copies
+// of one logical database. Every member numbers the mutations it originates
+// with a per-member monotonic sequence; records are shipped to the other
+// members over `replica_apply`. Receivers track the highest sequence applied
+// per origin, so duplicates are skipped and gaps are detected: an ApplyResp
+// with need_from > 0 asks the origin to re-ship from that sequence (from its
+// in-memory replication log, or — when the log has been trimmed — via a full
+// `replica_snapshot` stream).
+//
+// Record payloads reuse the packed batch format of the Yokan bulk protocol
+// (klen u32, vlen u32, key, value)*, so a write-batch flush replicates as ONE
+// record carrying the packed payload it arrived with.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpc/message.hpp"
+
+namespace hep::replica {
+
+/// One member of a replica group: a database hosted by a provider.
+struct Target {
+    std::string server;
+    rpc::ProviderId provider = 0;
+    std::string db;
+
+    [[nodiscard]] std::string str() const {
+        return server + "/" + std::to_string(provider) + "/" + db;
+    }
+    bool operator==(const Target&) const = default;
+
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & server & provider & db;
+    }
+};
+
+/// Mutation kinds carried by a replication record.
+enum class Op : std::uint8_t {
+    kPut = 0,         // key + value
+    kErase = 1,       // key only
+    kPutBatch = 2,    // value = packed entries (one write-batch flush)
+    kEraseBatch = 3,  // value = packed entries with empty values (keys only)
+};
+
+/// Flag bits on a record.
+inline constexpr std::uint8_t kFlagOverwrite = 0x1;
+
+struct Record {
+    std::uint64_t seq = 0;
+    std::uint8_t op = 0;     // replica::Op
+    std::uint8_t flags = 0;  // kFlag*
+    std::string key;
+    std::string value;
+
+    [[nodiscard]] std::size_t bytes() const noexcept { return key.size() + value.size() + 16; }
+
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & seq & op & flags & key & value;
+    }
+};
+
+/// Ship `records` (origin-ordered, seqs contiguous starting at first_seq) to
+/// a group member. An empty record vector is a heartbeat/probe: the receiver
+/// only reports its applied watermark.
+struct ApplyReq {
+    std::string db;      // receiver-side database name
+    std::string origin;  // Target::str() of the originating member
+    std::uint64_t first_seq = 0;
+    std::vector<Record> records;
+
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & db & origin & first_seq & records;
+    }
+};
+
+struct ApplyResp {
+    /// 0 = applied/ok; otherwise the receiver is missing records and asks the
+    /// origin to re-ship starting from this sequence number.
+    std::uint64_t need_from = 0;
+    /// Receiver's applied watermark for this origin (after this request).
+    std::uint64_t last_applied = 0;
+
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & need_from & last_applied;
+    }
+};
+
+/// Full-state catch-up when the origin's log no longer covers the gap: the
+/// origin streams its current contents as packed chunks. `last` carries the
+/// origin's sequence watermark the snapshot corresponds to.
+struct SnapshotReq {
+    std::string db;
+    std::string origin;
+    std::uint64_t upto_seq = 0;
+    std::string packed;  // packed entries chunk
+    bool last = false;
+
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & db & origin & upto_seq & packed & last;
+    }
+};
+
+/// Create (if needed) and wire one member of a replica group.
+struct ConfigureReq {
+    std::string db;
+    Target self;                // the member being configured
+    std::vector<Target> peers;  // the rest of the group
+    std::string create_type;    // "" = the database must already exist
+    std::string create_path;    // lsm path for created backup databases
+    std::uint64_t log_capacity = 0;  // 0 = default
+
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & db & self & peers & create_type & create_path & log_capacity;
+    }
+};
+
+struct ProbeReq {
+    std::string db;
+
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & db;
+    }
+};
+
+struct Ack {
+    std::uint8_t ok = 1;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & ok;
+    }
+};
+
+}  // namespace hep::replica

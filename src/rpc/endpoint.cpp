@@ -2,8 +2,10 @@
 
 #include "rpc/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <vector>
 
 #include "common/hash.hpp"
 #include "common/logging.hpp"
@@ -75,14 +77,13 @@ void Endpoint::shutdown() {
     if (progress_thread_.joinable()) progress_thread_.join();
     fabric_.remove_endpoint(address_);
     // Fail any calls still in flight.
-    std::unordered_map<std::uint64_t, std::shared_ptr<abt::Eventual<Result<std::string>>>>
-        pending;
+    std::unordered_map<std::uint64_t, PendingCall> pending;
     {
         std::lock_guard<std::mutex> lock(pending_mutex_);
         pending.swap(pending_);
     }
-    for (auto& [seq, ev] : pending) {
-        ev->set(Status::Cancelled("endpoint shut down with call in flight"));
+    for (auto& [seq, call] : pending) {
+        call.eventual->set(Status::Cancelled("endpoint shut down with call in flight"));
     }
 }
 
@@ -104,10 +105,23 @@ void Endpoint::enqueue(Message msg) {
 
 void Endpoint::progress_loop() {
     while (true) {
+        // Deadline expiry rides the progress loop: between messages we sleep
+        // only until the nearest armed deadline (Mercury's trigger/timeout).
+        const auto nearest = expire_deadlines();
         Message msg;
         {
             std::unique_lock<std::mutex> lock(queue_mutex_);
-            queue_cv_.wait(lock, [&] { return stopped_.load() || !queue_.empty(); });
+            // Single (non-predicated) wait: any wake — message, shutdown,
+            // spurious, or a new deadline armed (deadline_dirty_) — loops back
+            // through expire_deadlines() so the sleep re-arms correctly.
+            if (queue_.empty() && !stopped_.load() && !deadline_dirty_) {
+                if (nearest == std::chrono::steady_clock::time_point::max()) {
+                    queue_cv_.wait(lock);
+                } else {
+                    queue_cv_.wait_until(lock, nearest);
+                }
+            }
+            deadline_dirty_ = false;
             if (queue_.empty()) {
                 if (stopped_.load()) return;
                 continue;
@@ -162,8 +176,8 @@ void Endpoint::complete_response(Message msg) {
     {
         std::lock_guard<std::mutex> lock(pending_mutex_);
         auto it = pending_.find(msg.seq);
-        if (it == pending_.end()) return;  // late/duplicate response
-        ev = std::move(it->second);
+        if (it == pending_.end()) return;  // late/duplicate/expired response
+        ev = std::move(it->second.eventual);
         pending_.erase(it);
     }
     if (msg.status.ok()) {
@@ -173,10 +187,33 @@ void Endpoint::complete_response(Message msg) {
     }
 }
 
+std::chrono::steady_clock::time_point Endpoint::expire_deadlines() {
+    const auto now = std::chrono::steady_clock::now();
+    auto nearest = std::chrono::steady_clock::time_point::max();
+    std::vector<PendingCall> expired;
+    {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        for (auto it = pending_.begin(); it != pending_.end();) {
+            if (it->second.deadline <= now) {
+                expired.push_back(std::move(it->second));
+                it = pending_.erase(it);
+            } else {
+                nearest = std::min(nearest, it->second.deadline);
+                ++it;
+            }
+        }
+    }
+    for (auto& call : expired) {
+        call.eventual->set(Status::DeadlineExceeded(call.describe + " exceeded its deadline"));
+    }
+    return nearest;
+}
+
 std::shared_ptr<abt::Eventual<Result<std::string>>> Endpoint::call_async(
-    const std::string& to, std::string_view rpc_name, ProviderId provider,
-    std::string payload) {
+    const std::string& to, std::string_view rpc_name, ProviderId provider, std::string payload,
+    std::chrono::milliseconds deadline) {
     auto ev = std::make_shared<abt::Eventual<Result<std::string>>>();
+    if (deadline.count() == 0) deadline = default_deadline();
     Message req;
     req.type = MessageType::kRequest;
     req.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
@@ -186,7 +223,15 @@ std::shared_ptr<abt::Eventual<Result<std::string>>> Endpoint::call_async(
     req.payload = std::move(payload);
     {
         std::lock_guard<std::mutex> lock(pending_mutex_);
-        pending_.emplace(req.seq, ev);
+        PendingCall call;
+        call.eventual = ev;
+        if (deadline.count() > 0) {
+            call.deadline = std::chrono::steady_clock::now() + deadline;
+            call.describe = "rpc '" + std::string(rpc_name) + "' to " + to;
+        } else {
+            call.deadline = std::chrono::steady_clock::time_point::max();
+        }
+        pending_.emplace(req.seq, std::move(call));
     }
     const std::uint64_t seq = req.seq;
     Status st = fabric_.deliver(to, std::move(req));
@@ -196,13 +241,24 @@ std::shared_ptr<abt::Eventual<Result<std::string>>> Endpoint::call_async(
             pending_.erase(seq);
         }
         ev->set(std::move(st));
+        return ev;
+    }
+    // Wake the progress loop so it re-arms its sleep against the (possibly
+    // nearer) new deadline.
+    if (deadline.count() > 0) {
+        {
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            deadline_dirty_ = true;
+        }
+        queue_cv_.notify_one();
     }
     return ev;
 }
 
 Result<std::string> Endpoint::call(const std::string& to, std::string_view rpc_name,
-                                   ProviderId provider, std::string payload) {
-    auto ev = call_async(to, rpc_name, provider, std::move(payload));
+                                   ProviderId provider, std::string payload,
+                                   std::chrono::milliseconds deadline) {
+    auto ev = call_async(to, rpc_name, provider, std::move(payload), deadline);
     return ev->wait();
 }
 

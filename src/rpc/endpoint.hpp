@@ -12,6 +12,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -78,15 +79,28 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
     void set_executor(Executor exec);
 
     /// Synchronous RPC: send and block until the response arrives. Blocks a
-    /// ULT cooperatively or an OS thread natively.
+    /// ULT cooperatively or an OS thread natively. `deadline` caps how long
+    /// the caller waits for the response: on expiry the call completes with
+    /// Status::DeadlineExceeded (a late response is dropped as a duplicate).
+    /// A zero deadline falls back to the endpoint default; a zero default
+    /// means "wait forever" (the seed behavior).
     Result<std::string> call(const std::string& to, std::string_view rpc_name,
-                             ProviderId provider, std::string payload);
+                             ProviderId provider, std::string payload,
+                             std::chrono::milliseconds deadline = std::chrono::milliseconds{0});
 
     /// Asynchronous RPC: returns an eventual delivering payload-or-status.
-    std::shared_ptr<abt::Eventual<Result<std::string>>> call_async(const std::string& to,
-                                                                   std::string_view rpc_name,
-                                                                   ProviderId provider,
-                                                                   std::string payload);
+    std::shared_ptr<abt::Eventual<Result<std::string>>> call_async(
+        const std::string& to, std::string_view rpc_name, ProviderId provider,
+        std::string payload, std::chrono::milliseconds deadline = std::chrono::milliseconds{0});
+
+    /// Default per-RPC deadline applied when call()/call_async() is given a
+    /// zero deadline. Zero (the default) disables deadline tracking.
+    void set_default_deadline(std::chrono::milliseconds deadline) noexcept {
+        default_deadline_ms_.store(deadline.count(), std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::chrono::milliseconds default_deadline() const noexcept {
+        return std::chrono::milliseconds{default_deadline_ms_.load(std::memory_order_relaxed)};
+    }
 
     // ---- bulk (one-sided) --------------------------------------------------
     /// Expose a local memory region; the returned ref can be shipped inside
@@ -131,6 +145,10 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
     void dispatch_request(Message msg);
     void complete_response(Message msg);
 
+    /// Fail every pending call whose deadline has passed; returns the nearest
+    /// remaining deadline (time_point::max() when none is armed).
+    std::chrono::steady_clock::time_point expire_deadlines();
+
     Fabric& fabric_;
     std::string address_;
 
@@ -143,15 +161,21 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
     std::mutex queue_mutex_;
     std::condition_variable queue_cv_;
     std::deque<Message> queue_;
+    bool deadline_dirty_ = false;  // guarded by queue_mutex_: re-scan deadlines
     std::thread progress_thread_;
     std::atomic<bool> stopped_{false};
     std::atomic<bool> shut_down_{false};
 
     // Outstanding calls.
+    struct PendingCall {
+        std::shared_ptr<abt::Eventual<Result<std::string>>> eventual;
+        std::chrono::steady_clock::time_point deadline;  // time_point::max() = none
+        std::string describe;                            // "rpc 'x' to addr" for errors
+    };
     std::mutex pending_mutex_;
-    std::unordered_map<std::uint64_t, std::shared_ptr<abt::Eventual<Result<std::string>>>>
-        pending_;
+    std::unordered_map<std::uint64_t, PendingCall> pending_;
     std::atomic<std::uint64_t> next_seq_{1};
+    std::atomic<std::int64_t> default_deadline_ms_{0};
 
     // Exposed bulk regions.
     std::mutex bulk_mutex_;

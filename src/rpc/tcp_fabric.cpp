@@ -137,14 +137,17 @@ TcpFabric::~TcpFabric() {
         std::lock_guard<std::mutex> lock(mutex_);
         for (auto& [hp, c] : outbound_) conns.push_back(c.get());
         for (auto& c : inbound_) conns.push_back(c.get());
+        for (auto& c : dead_) conns.push_back(c.get());
     }
     for (auto* c : conns) {
+        std::lock_guard<std::mutex> lock(c->write_mutex);
         if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
     }
-    // Join readers outside the lock; reader_loop never takes mutex_ while
+    // Join readers outside the locks; reader_loop never takes mutex_ while
     // blocked in recv.
     for (auto* c : conns) {
         if (c->reader.joinable()) c->reader.join();
+        std::lock_guard<std::mutex> lock(c->write_mutex);
         if (c->fd >= 0) ::close(c->fd);
         c->fd = -1;
     }
@@ -286,7 +289,15 @@ Status TcpFabric::deliver(const std::string& to, Message msg) {
 
     auto conn = connection_to(hostport);
     if (!conn.ok()) return conn.status();
-    return send_frame(*conn, kFrameMessage, serial::to_string(wire));
+    const std::string frame = serial::to_string(wire);
+    Status st = send_frame(*conn, kFrameMessage, frame);
+    if (st.ok()) return st;
+    // The cached connection is dead (its peer went away). Evict it and retry
+    // once on a fresh dial — the peer may have restarted on the same port.
+    abandon(hostport, *conn);
+    auto fresh = connection_to(hostport);
+    if (!fresh.ok()) return fresh.status();
+    return send_frame(*fresh, kFrameMessage, frame);
 }
 
 Status TcpFabric::bulk_access(const BulkRef& ref, std::uint64_t offset, std::uint64_t len,
@@ -334,11 +345,18 @@ Status TcpFabric::bulk_access(const BulkRef& ref, std::uint64_t offset, std::uin
         bulk_pending_.erase(req.bulk_seq);
         return conn.status();
     }
-    Status st = send_frame(*conn, kFrameBulkReq, serial::to_string(req));
+    const std::string frame = serial::to_string(req);
+    Status st = send_frame(*conn, kFrameBulkReq, frame);
     if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        bulk_pending_.erase(req.bulk_seq);
-        return st;
+        // Same dead-connection recovery as deliver(): redial once.
+        abandon(hostport, *conn);
+        auto fresh = connection_to(hostport);
+        if (fresh.ok()) st = send_frame(*fresh, kFrameBulkReq, frame);
+        if (!st.ok()) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            bulk_pending_.erase(req.bulk_seq);
+            return st;
+        }
     }
 
     std::unique_lock<std::mutex> lock(slot->m);
@@ -385,16 +403,58 @@ void TcpFabric::reader_loop(Connection* conn) {
     while (true) {
         std::uint32_t len = 0;
         std::uint8_t kind = 0;
-        if (!read_exact(conn->fd, &len, 4) || !read_exact(conn->fd, &kind, 1)) return;
-        if (len > (256u << 20)) return;  // refuse absurd frames
+        if (!read_exact(conn->fd, &len, 4) || !read_exact(conn->fd, &kind, 1)) break;
+        if (len > (256u << 20)) break;  // refuse absurd frames
         std::string payload(len, '\0');
-        if (!read_exact(conn->fd, payload.data(), len)) return;
+        if (!read_exact(conn->fd, payload.data(), len)) break;
         try {
             handle_frame(conn, kind, std::move(payload));
         } catch (const serial::SerializationError& e) {
             HEP_LOG_ERROR("tcp frame decode failed: %s", e.what());
+            break;
+        }
+    }
+    retire(conn);
+}
+
+void TcpFabric::retire(Connection* conn) {
+    {
+        std::lock_guard<std::mutex> lock(conn->write_mutex);
+        if (conn->fd >= 0) {
+            ::close(conn->fd);
+            conn->fd = -1;
+        }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_.load()) return;  // the destructor owns cleanup from here
+    for (auto it = outbound_.begin(); it != outbound_.end(); ++it) {
+        if (it->second.get() == conn) {
+            dead_.push_back(std::move(it->second));
+            outbound_.erase(it);
             return;
         }
+    }
+    for (auto it = inbound_.begin(); it != inbound_.end(); ++it) {
+        if (it->get() == conn) {
+            dead_.push_back(std::move(*it));
+            inbound_.erase(it);
+            return;
+        }
+    }
+}
+
+void TcpFabric::abandon(const std::string& hostport, Connection* conn) {
+    {
+        // shutdown (not close) so the blocked reader wakes and retires the
+        // socket itself; closing here could invalidate the fd under recv.
+        std::lock_guard<std::mutex> lock(conn->write_mutex);
+        if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = outbound_.find(hostport);
+    if (it != outbound_.end() && it->second.get() == conn) {
+        dead_.push_back(std::move(it->second));
+        outbound_.erase(it);
     }
 }
 

@@ -78,6 +78,15 @@ class TcpFabric final : public Fabric {
     /// Existing or fresh outbound connection to "host:port".
     Result<Connection*> connection_to(const std::string& hostport);
 
+    /// Reader-side teardown: close the socket and evict the connection from
+    /// the routing maps so the next deliver() dials the peer afresh.
+    void retire(Connection* conn);
+
+    /// Sender-side eviction after a failed send: wake the reader (which will
+    /// retire the socket) and drop the cached outbound entry immediately so
+    /// the caller can redial without waiting for the reader to run.
+    void abandon(const std::string& hostport, Connection* conn);
+
     Status send_frame(Connection* conn, std::uint8_t kind, const std::string& payload);
 
     /// Split "tcp://host:port/name" -> (host:port, name); empty on error.
@@ -95,6 +104,10 @@ class TcpFabric final : public Fabric {
     std::map<std::string, std::shared_ptr<Endpoint>> locals_;   // by bare name
     std::map<std::string, std::unique_ptr<Connection>> outbound_;  // by host:port
     std::vector<std::unique_ptr<Connection>> inbound_;
+    // Connections whose peer went away. Kept alive (senders may still hold
+    // raw pointers; their sends fail fast on the closed fd) until the fabric
+    // itself is destroyed, which joins the finished reader threads.
+    std::vector<std::unique_ptr<Connection>> dead_;
     std::map<std::uint64_t, std::shared_ptr<BulkSlot>> bulk_pending_;
     std::atomic<std::uint64_t> next_bulk_seq_{1};
     NetworkStats stats_;

@@ -5,44 +5,66 @@ namespace hep::yokan {
 using namespace proto;
 
 Status DatabaseHandle::put(std::string_view key, std::string_view value, bool overwrite) const {
-    auto r = engine_->forward<PutReq, Ack>(
-        server_, "yokan_put", provider_,
-        PutReq{db_, std::string(key), std::string(value), overwrite});
+    auto r = with_failover<Ack>(false, [&](const std::string& server, rpc::ProviderId provider,
+                                           const std::string& db) -> Result<Ack> {
+        return engine_->forward<PutReq, Ack>(
+            server, "yokan_put", provider,
+            PutReq{db, std::string(key), std::string(value), overwrite}, deadline());
+    });
     return r.status();
 }
 
 Result<std::string> DatabaseHandle::get(std::string_view key) const {
-    auto r = engine_->forward<KeyReq, GetResp>(server_, "yokan_get", provider_,
-                                               KeyReq{db_, std::string(key)});
+    auto r = with_failover<GetResp>(true, [&](const std::string& server, rpc::ProviderId provider,
+                                              const std::string& db) -> Result<GetResp> {
+        return engine_->forward<KeyReq, GetResp>(server, "yokan_get", provider,
+                                                 KeyReq{db, std::string(key)}, deadline());
+    });
     if (!r.ok()) return r.status();
     return std::move(r->value);
 }
 
 Result<bool> DatabaseHandle::exists(std::string_view key) const {
-    auto r = engine_->forward<KeyReq, ExistsResp>(server_, "yokan_exists", provider_,
-                                                  KeyReq{db_, std::string(key)});
+    auto r = with_failover<ExistsResp>(
+        true, [&](const std::string& server, rpc::ProviderId provider,
+                  const std::string& db) -> Result<ExistsResp> {
+            return engine_->forward<KeyReq, ExistsResp>(server, "yokan_exists", provider,
+                                                        KeyReq{db, std::string(key)}, deadline());
+        });
     if (!r.ok()) return r.status();
     return r->exists;
 }
 
 Result<std::uint64_t> DatabaseHandle::length(std::string_view key) const {
-    auto r = engine_->forward<KeyReq, LengthResp>(server_, "yokan_length", provider_,
-                                                  KeyReq{db_, std::string(key)});
+    auto r = with_failover<LengthResp>(
+        true, [&](const std::string& server, rpc::ProviderId provider,
+                  const std::string& db) -> Result<LengthResp> {
+            return engine_->forward<KeyReq, LengthResp>(server, "yokan_length", provider,
+                                                        KeyReq{db, std::string(key)}, deadline());
+        });
     if (!r.ok()) return r.status();
     return r->length;
 }
 
 Status DatabaseHandle::erase(std::string_view key) const {
-    auto r = engine_->forward<KeyReq, Ack>(server_, "yokan_erase", provider_,
-                                           KeyReq{db_, std::string(key)});
+    auto r = with_failover<Ack>(false, [&](const std::string& server, rpc::ProviderId provider,
+                                           const std::string& db) -> Result<Ack> {
+        return engine_->forward<KeyReq, Ack>(server, "yokan_erase", provider,
+                                             KeyReq{db, std::string(key)}, deadline());
+    });
     return r.status();
 }
 
 Result<std::vector<std::string>> DatabaseHandle::list_keys(std::string_view after,
                                                            std::string_view prefix,
                                                            std::size_t max) const {
-    ListReq req{db_, std::string(after), std::string(prefix), max, false};
-    auto r = engine_->forward<ListReq, ListKeysResp>(server_, "yokan_list_keys", provider_, req);
+    auto r = with_failover<ListKeysResp>(
+        true, [&](const std::string& server, rpc::ProviderId provider,
+                  const std::string& db) -> Result<ListKeysResp> {
+            ListReq req{db, std::string(after), std::string(prefix), max, false};
+            return engine_->forward<ListReq, ListKeysResp>(server, "yokan_list_keys", provider,
+                                                           req, deadline());
+        });
     if (!r.ok()) return r.status();
     return std::move(r->keys);
 }
@@ -50,23 +72,36 @@ Result<std::vector<std::string>> DatabaseHandle::list_keys(std::string_view afte
 Result<std::vector<KeyValue>> DatabaseHandle::list_keyvals(std::string_view after,
                                                            std::string_view prefix,
                                                            std::size_t max) const {
-    ListReq req{db_, std::string(after), std::string(prefix), max, true};
-    auto r = engine_->forward<ListReq, ListKeyValsResp>(server_, "yokan_list_keyvals", provider_,
-                                                        req);
+    auto r = with_failover<ListKeyValsResp>(
+        true, [&](const std::string& server, rpc::ProviderId provider,
+                  const std::string& db) -> Result<ListKeyValsResp> {
+            ListReq req{db, std::string(after), std::string(prefix), max, true};
+            return engine_->forward<ListReq, ListKeyValsResp>(server, "yokan_list_keyvals",
+                                                              provider, req, deadline());
+        });
     if (!r.ok()) return r.status();
     return std::move(r->items);
 }
 
 Result<std::uint64_t> DatabaseHandle::count() const {
-    auto r = engine_->forward<CountReq, CountResp>(server_, "yokan_count", provider_,
-                                                   CountReq{db_});
+    auto r = with_failover<CountResp>(
+        true, [&](const std::string& server, rpc::ProviderId provider,
+                  const std::string& db) -> Result<CountResp> {
+            return engine_->forward<CountReq, CountResp>(server, "yokan_count", provider,
+                                                         CountReq{db}, deadline());
+        });
     if (!r.ok()) return r.status();
     return r->count;
 }
 
 Result<std::uint64_t> DatabaseHandle::erase_multi(const std::vector<std::string>& keys) const {
-    auto r = engine_->forward<EraseMultiReq, EraseMultiResp>(server_, "yokan_erase_multi",
-                                                             provider_, {db_, keys});
+    auto r = with_failover<EraseMultiResp>(
+        false, [&](const std::string& server, rpc::ProviderId provider,
+                   const std::string& db) -> Result<EraseMultiResp> {
+            return engine_->forward<EraseMultiReq, EraseMultiResp>(server, "yokan_erase_multi",
+                                                                   provider, {db, keys},
+                                                                   deadline());
+        });
     if (!r.ok()) return r.status();
     return r->erased;
 }
@@ -80,18 +115,24 @@ Result<std::uint64_t> DatabaseHandle::put_multi(const std::vector<KeyValue>& ite
     for (const auto& kv : items) pack_entry(packed, kv.key, kv.value);
 
     rpc::BulkRef bulk = engine_->endpoint().expose(packed.data(), packed.size());
-    PutMultiReq req{db_, bulk, items.size(), packed.size(), overwrite};
-    auto r = engine_->endpoint().call(server_, "yokan_put_multi", provider_,
-                                      serial::to_string(req));
+    auto r = with_failover<PutMultiResp>(
+        false, [&](const std::string& server, rpc::ProviderId provider,
+                   const std::string& db) -> Result<PutMultiResp> {
+            PutMultiReq req{db, bulk, items.size(), packed.size(), overwrite};
+            auto raw = engine_->endpoint().call(server, "yokan_put_multi", provider,
+                                                serial::to_string(req), deadline());
+            if (!raw.ok()) return raw.status();
+            PutMultiResp resp;
+            try {
+                serial::from_string(*raw, resp);
+            } catch (const serial::SerializationError& e) {
+                return Status::Corruption(e.what());
+            }
+            return resp;
+        });
     engine_->endpoint().unexpose(bulk);
     if (!r.ok()) return r.status();
-    PutMultiResp resp;
-    try {
-        serial::from_string(*r, resp);
-    } catch (const serial::SerializationError& e) {
-        return Status::Corruption(e.what());
-    }
-    return resp.stored;
+    return r->stored;
 }
 
 Result<std::vector<std::optional<std::string>>> DatabaseHandle::get_multi(
@@ -99,17 +140,24 @@ Result<std::vector<std::optional<std::string>>> DatabaseHandle::get_multi(
     std::string buffer(buffer_hint, '\0');
     for (int attempt = 0; attempt < 2; ++attempt) {
         rpc::BulkRef bulk = engine_->endpoint().expose(buffer.data(), buffer.size());
-        GetMultiReq req{db_, keys, bulk};
-        auto r = engine_->endpoint().call(server_, "yokan_get_multi", provider_,
-                                          serial::to_string(req));
+        auto r = with_failover<GetMultiResp>(
+            true, [&](const std::string& server, rpc::ProviderId provider,
+                      const std::string& db) -> Result<GetMultiResp> {
+                GetMultiReq req{db, keys, bulk};
+                auto raw = engine_->endpoint().call(server, "yokan_get_multi", provider,
+                                                    serial::to_string(req), deadline());
+                if (!raw.ok()) return raw.status();
+                GetMultiResp resp;
+                try {
+                    serial::from_string(*raw, resp);
+                } catch (const serial::SerializationError& e) {
+                    return Status::Corruption(e.what());
+                }
+                return resp;
+            });
         engine_->endpoint().unexpose(bulk);
         if (!r.ok()) return r.status();
-        GetMultiResp resp;
-        try {
-            serial::from_string(*r, resp);
-        } catch (const serial::SerializationError& e) {
-            return Status::Corruption(e.what());
-        }
+        const GetMultiResp& resp = *r;
         if (resp.sizes.size() != keys.size()) {
             return Status::Internal("get_multi size vector mismatch");
         }

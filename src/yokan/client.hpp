@@ -1,4 +1,12 @@
 // Yokan client: a remote handle to one database served by a Provider.
+//
+// A handle may carry replica::FailoverState: the logical database's replica
+// group plus a retry policy. Every operation is then issued through a
+// retry/failover loop — transport failures (Unavailable, Timeout,
+// DeadlineExceeded) are retried with bounded exponential backoff, and after a
+// few attempts the next replica is promoted and the operation transparently
+// re-issued against it. Reads can additionally rotate across backups when
+// the policy's read_from_replicas flag is set.
 #pragma once
 
 #include <optional>
@@ -6,6 +14,7 @@
 #include <vector>
 
 #include "margo/engine.hpp"
+#include "replica/failover.hpp"
 #include "yokan/protocol.hpp"
 
 namespace hep::yokan {
@@ -26,6 +35,17 @@ class DatabaseHandle {
     [[nodiscard]] const std::string& server() const noexcept { return server_; }
     [[nodiscard]] const std::string& name() const noexcept { return db_; }
     [[nodiscard]] rpc::ProviderId provider() const noexcept { return provider_; }
+
+    /// Attach the replica group + retry policy. The state is SHARED by every
+    /// copy of this handle (and every handle of the same logical database
+    /// that received the same state), so one ULT's failover promotion is
+    /// immediately visible to all of them.
+    void set_failover(std::shared_ptr<replica::FailoverState> state) {
+        failover_ = std::move(state);
+    }
+    [[nodiscard]] const std::shared_ptr<replica::FailoverState>& failover() const noexcept {
+        return failover_;
+    }
 
     Status put(std::string_view key, std::string_view value, bool overwrite = true) const;
     Result<std::string> get(std::string_view key) const;
@@ -53,10 +73,46 @@ class DatabaseHandle {
         const std::vector<std::string>& keys, std::size_t buffer_hint = 1 << 20) const;
 
   private:
+    /// Run `op(server, provider, db)` through the retry/failover loop (or
+    /// once, directly, when no failover state is attached).
+    template <typename T, typename Fn>
+    Result<T> with_failover(bool is_read, Fn&& op) const {
+        if (!failover_) return op(server_, provider_, db_);
+        auto& fo = *failover_;
+        const auto& policy = fo.policy();
+        std::size_t idx = is_read ? fo.read_start() : fo.primary();
+        std::uint32_t tried_here = 0;
+        Result<T> last = Status::Unavailable("no replica of '" + db_ + "' reachable");
+        for (std::uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+            const replica::Target& t = fo.target(idx);
+            Result<T> r = op(t.server, t.provider, t.db);
+            if (r.ok() || !replica::FailoverState::retryable(r.status().code())) return r;
+            last = std::move(r);
+            fo.count_retry();
+            if (++tried_here >= policy.attempts_per_target) {
+                // This replica looks dead. If it was the group primary,
+                // promote the next one for everybody; either way move on.
+                if (idx == fo.primary()) fo.promote(idx);
+                idx = is_read ? (idx + 1) % fo.size() : fo.primary();
+                tried_here = 0;
+            } else if (!is_read) {
+                idx = fo.primary();  // another ULT may have promoted meanwhile
+            }
+            fo.backoff(attempt);
+        }
+        return last;
+    }
+
+    /// Per-attempt RPC deadline from the failover policy (zero otherwise).
+    [[nodiscard]] std::chrono::milliseconds deadline() const noexcept {
+        return std::chrono::milliseconds{failover_ ? failover_->policy().deadline_ms : 0};
+    }
+
     margo::Engine* engine_ = nullptr;
     std::string server_;
     rpc::ProviderId provider_ = 0;
     std::string db_;
+    std::shared_ptr<replica::FailoverState> failover_;
 };
 
 }  // namespace hep::yokan

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -182,10 +183,31 @@ struct EraseMultiResp {
     }
 };
 
-/// Pack helpers for the batch format.
-void pack_entry(std::string& out, std::string_view key, std::string_view value);
+/// Pack helpers for the batch format. Inline so other libraries (the replica
+/// subsystem replays packed batches) can use them without linking yokan.
+inline void pack_entry(std::string& out, std::string_view key, std::string_view value) {
+    const std::uint32_t klen = static_cast<std::uint32_t>(key.size());
+    const std::uint32_t vlen = static_cast<std::uint32_t>(value.size());
+    out.append(reinterpret_cast<const char*>(&klen), 4);
+    out.append(reinterpret_cast<const char*>(&vlen), 4);
+    out.append(key);
+    out.append(value);
+}
+
 /// Visit packed entries; returns false on malformed input.
-bool unpack_entries(std::string_view data,
-                    const std::function<void(std::string_view, std::string_view)>& fn);
+inline bool unpack_entries(std::string_view data,
+                           const std::function<void(std::string_view, std::string_view)>& fn) {
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        if (pos + 8 > data.size()) return false;
+        std::uint32_t klen = 0, vlen = 0;
+        std::memcpy(&klen, data.data() + pos, 4);
+        std::memcpy(&vlen, data.data() + pos + 4, 4);
+        if (pos + 8 + klen + vlen > data.size()) return false;
+        fn(data.substr(pos + 8, klen), data.substr(pos + 8 + klen, vlen));
+        pos += 8 + klen + vlen;
+    }
+    return true;
+}
 
 }  // namespace hep::yokan::proto

@@ -1,38 +1,24 @@
 #include "yokan/provider.hpp"
 
+#include <cctype>
 #include <cstring>
+#include <mutex>
 
 namespace hep::yokan {
 
 using namespace proto;
 
-namespace proto {
-
-void pack_entry(std::string& out, std::string_view key, std::string_view value) {
-    const std::uint32_t klen = static_cast<std::uint32_t>(key.size());
-    const std::uint32_t vlen = static_cast<std::uint32_t>(value.size());
-    out.append(reinterpret_cast<const char*>(&klen), 4);
-    out.append(reinterpret_cast<const char*>(&vlen), 4);
-    out.append(key);
-    out.append(value);
-}
-
-bool unpack_entries(std::string_view data,
-                    const std::function<void(std::string_view, std::string_view)>& fn) {
-    std::size_t pos = 0;
-    while (pos < data.size()) {
-        if (pos + 8 > data.size()) return false;
-        std::uint32_t klen = 0, vlen = 0;
-        std::memcpy(&klen, data.data() + pos, 4);
-        std::memcpy(&vlen, data.data() + pos + 4, 4);
-        if (pos + 8 + klen + vlen > data.size()) return false;
-        fn(data.substr(pos + 8, klen), data.substr(pos + 8 + klen, vlen));
-        pos += 8 + klen + vlen;
+namespace {
+/// Filesystem-safe member tag used to derive per-member lsm paths and the
+/// replica sidecar file name from a Target ("tcp://h:1/3/db" -> "tcp_h_1_3_db").
+std::string path_tag(const replica::Target& t) {
+    std::string tag = t.str();
+    for (char& c : tag) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '.')) c = '_';
     }
-    return true;
+    return tag;
 }
-
-}  // namespace proto
+}  // namespace
 
 Provider::Provider(margo::Engine& engine, rpc::ProviderId provider_id,
                    std::shared_ptr<abt::Pool> pool)
@@ -45,6 +31,7 @@ Result<std::unique_ptr<Provider>> Provider::create(margo::Engine& engine,
                                                    const std::string& base_dir) {
     auto provider =
         std::unique_ptr<Provider>(new Provider(engine, provider_id, std::move(pool)));
+    provider->base_dir_ = base_dir;
     const json::Value& dbs = config["databases"];
     for (std::size_t i = 0; i < dbs.size(); ++i) {
         const json::Value& db_cfg = dbs.at(i);
@@ -59,24 +46,92 @@ Result<std::unique_ptr<Provider>> Provider::create(margo::Engine& engine,
 }
 
 Database* Provider::find_database(const std::string& name) {
+    std::shared_lock lock(tables_mutex_);
     auto it = databases_.find(name);
     return it == databases_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> Provider::database_names() const {
+    std::shared_lock lock(tables_mutex_);
     std::vector<std::string> names;
     names.reserve(databases_.size());
     for (const auto& [name, db] : databases_) names.push_back(name);
     return names;
 }
 
+replica::ReplicaSet* Provider::find_replica_set(const std::string& name) {
+    std::shared_lock lock(tables_mutex_);
+    auto it = replica_sets_.find(name);
+    return it == replica_sets_.end() ? nullptr : it->second.get();
+}
+
+json::Value Provider::replica_stats() const {
+    std::vector<replica::ReplicaSet*> sets;
+    {
+        std::shared_lock lock(tables_mutex_);
+        sets.reserve(replica_sets_.size());
+        for (const auto& [name, set] : replica_sets_) sets.push_back(set.get());
+    }
+    json::Value out = json::Value::make_array();
+    for (auto* set : sets) out.push_back(set->stats_json());
+    return out;
+}
+
 Result<Database*> Provider::resolve(const std::string& name) {
-    auto it = databases_.find(name);
-    if (it == databases_.end()) {
+    Database* db = find_database(name);
+    if (!db) {
         return Status::NotFound("no database named '" + name + "' in provider " +
                                 std::to_string(id_));
     }
-    return it->second.get();
+    return db;
+}
+
+Result<replica::ReplicaSet*> Provider::resolve_replica(const std::string& name) {
+    replica::ReplicaSet* set = find_replica_set(name);
+    if (!set) {
+        return Status::NotFound("database '" + name + "' is not replicated in provider " +
+                                std::to_string(id_));
+    }
+    return set;
+}
+
+Status Provider::configure_replica(const replica::ConfigureReq& req) {
+    std::unique_lock lock(tables_mutex_);
+    auto db_it = databases_.find(req.db);
+    if (db_it == databases_.end()) {
+        if (req.create_type.empty()) {
+            return Status::NotFound("database '" + req.db + "' does not exist and no " +
+                                    "create_type was given");
+        }
+        json::Value cfg = json::Value::make_object();
+        cfg["name"] = json::Value(req.db);
+        cfg["type"] = json::Value(req.create_type);
+        if (req.create_type != "map") {
+            std::string path = req.create_path.empty() ? "replicas" : req.create_path;
+            cfg["path"] = json::Value(path + "/" + path_tag(req.self));
+        }
+        auto db = create_database(cfg, base_dir_);
+        if (!db.ok()) return db.status();
+        db_it = databases_.emplace(req.db, std::move(db.value())).first;
+    }
+    auto set_it = replica_sets_.find(req.db);
+    if (set_it != replica_sets_.end()) {
+        // Re-wiring with the same membership is an idempotent no-op (e.g. a
+        // second client connecting runs the same bootstrap).
+        if (set_it->second->self() == req.self && set_it->second->peers() == req.peers) {
+            return Status::OK();
+        }
+        replica_sets_.erase(set_it);
+    }
+    Database* db = db_it->second.get();
+    std::string meta_path;
+    if (db->type() == "lsm") {
+        meta_path = base_dir_ + "/" + path_tag(req.self) + ".replica.json";
+    }
+    replica_sets_.emplace(
+        req.db, std::make_unique<replica::ReplicaSet>(engine_, req.self, req.peers, db,
+                                                      req.log_capacity, std::move(meta_path)));
+    return Status::OK();
 }
 
 void Provider::register_rpcs() {
@@ -88,7 +143,9 @@ void Provider::register_rpcs() {
         [this](const PutReq& req) -> Result<Ack> {
             auto db = resolve(req.db);
             if (!db.ok()) return db.status();
-            Status st = (*db)->put(req.key, req.value, req.overwrite);
+            Status st;
+            if (auto* rs = find_replica_set(req.db)) st = rs->put(req.key, req.value, req.overwrite);
+            else st = (*db)->put(req.key, req.value, req.overwrite);
             if (!st.ok()) return st;
             return Ack{};
         },
@@ -132,7 +189,9 @@ void Provider::register_rpcs() {
         [this](const KeyReq& req) -> Result<Ack> {
             auto db = resolve(req.db);
             if (!db.ok()) return db.status();
-            Status st = (*db)->erase(req.key);
+            Status st;
+            if (auto* rs = find_replica_set(req.db)) st = rs->erase(req.key);
+            else st = (*db)->erase(req.key);
             if (!st.ok()) return st;
             return Ack{};
         },
@@ -175,6 +234,12 @@ void Provider::register_rpcs() {
             auto db = resolve(req.db);
             if (!db.ok()) return db.status();
             EraseMultiResp resp;
+            if (auto* rs = find_replica_set(req.db)) {
+                auto erased = rs->erase_multi(req.keys);
+                if (!erased.ok()) return erased.status();
+                resp.erased = *erased;
+                return resp;
+            }
             for (const auto& key : req.keys) {
                 if ((*db)->erase(key).ok()) ++resp.erased;
             }
@@ -183,6 +248,7 @@ void Provider::register_rpcs() {
         pool_);
 
     // Batched put: pull the packed payload with one bulk read, then apply.
+    // Replicated databases forward the packed payload as ONE record.
     eng.define_with_context(
         "yokan_put_multi", pid,
         [this](const std::string& payload, rpc::RequestContext& ctx) -> Result<std::string> {
@@ -198,6 +264,13 @@ void Provider::register_rpcs() {
             Status st = ctx.bulk_get(req.bulk, 0, packed.data(), req.bytes);
             if (!st.ok()) return st;
             PutMultiResp resp;
+            if (auto* rs = find_replica_set(req.db)) {
+                auto counts = rs->put_packed(packed, req.overwrite);
+                if (!counts.ok()) return counts.status();
+                resp.stored = counts->first;
+                resp.already_existed = counts->second;
+                return serial::to_string(resp);
+            }
             bool well_formed = unpack_entries(packed, [&](std::string_view k, std::string_view v) {
                 Status put_st = (*db)->put(k, v, req.overwrite);
                 if (put_st.ok()) ++resp.stored;
@@ -242,6 +315,47 @@ void Provider::register_rpcs() {
                 resp.written = true;
             }
             return serial::to_string(resp);
+        },
+        pool_);
+
+    // ---- replication protocol ---------------------------------------------
+
+    eng.define<replica::ConfigureReq, replica::Ack>(
+        "replica_configure", pid,
+        [this](const replica::ConfigureReq& req) -> Result<replica::Ack> {
+            Status st = configure_replica(req);
+            if (!st.ok()) return st;
+            return replica::Ack{};
+        },
+        pool_);
+
+    eng.define<replica::ApplyReq, replica::ApplyResp>(
+        "replica_apply", pid,
+        [this](const replica::ApplyReq& req) -> Result<replica::ApplyResp> {
+            auto set = resolve_replica(req.db);
+            if (!set.ok()) return set.status();
+            return (*set)->handle_apply(req);
+        },
+        pool_);
+
+    eng.define<replica::SnapshotReq, replica::Ack>(
+        "replica_snapshot", pid,
+        [this](const replica::SnapshotReq& req) -> Result<replica::Ack> {
+            auto set = resolve_replica(req.db);
+            if (!set.ok()) return set.status();
+            Status st = (*set)->handle_snapshot(req);
+            if (!st.ok()) return st;
+            return replica::Ack{};
+        },
+        pool_);
+
+    eng.define<replica::ProbeReq, replica::Ack>(
+        "replica_probe", pid,
+        [this](const replica::ProbeReq& req) -> Result<replica::Ack> {
+            auto set = resolve_replica(req.db);
+            if (!set.ok()) return set.status();
+            (*set)->probe_peers();
+            return replica::Ack{};
         },
         pool_);
 }

@@ -1,12 +1,19 @@
 // Yokan provider: answers KV RPCs for a set of named databases, mapped to a
 // dedicated Argobots pool (paper §II-B and footnote 4).
+//
+// A database may additionally be a member of a replica group (src/replica):
+// once configured via the `replica_configure` RPC, every mutation the
+// provider accepts for it is routed through the group's ReplicaSet, which
+// applies it locally and ships it to the backup members.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 
 #include "margo/engine.hpp"
+#include "replica/replica_set.hpp"
 #include "yokan/backend.hpp"
 #include "yokan/protocol.hpp"
 
@@ -28,14 +35,32 @@ class Provider final : public margo::Provider {
     [[nodiscard]] Database* find_database(const std::string& name);
     [[nodiscard]] std::vector<std::string> database_names() const;
 
+    /// Replica group membership of a database (nullptr when not replicated).
+    [[nodiscard]] replica::ReplicaSet* find_replica_set(const std::string& name);
+
+    /// Per-group replication counters (one stats object per replicated db);
+    /// symbio's "replica" source snapshots this.
+    [[nodiscard]] json::Value replica_stats() const;
+
   private:
     Provider(margo::Engine& engine, rpc::ProviderId provider_id,
              std::shared_ptr<abt::Pool> pool);
     void register_rpcs();
 
     Result<Database*> resolve(const std::string& name);
+    Result<replica::ReplicaSet*> resolve_replica(const std::string& name);
 
+    /// Join (or create the local member of) a replica group. Creates the
+    /// database on the fly for backups that do not have it yet.
+    Status configure_replica(const replica::ConfigureReq& req);
+
+    std::string base_dir_ = ".";
+    /// Guards the SHAPE of both maps (inserts at configure time vs. handler
+    /// lookups); Database/ReplicaSet objects themselves are internally
+    /// synchronized and their addresses are stable once inserted.
+    mutable std::shared_mutex tables_mutex_;
     std::map<std::string, std::unique_ptr<Database>> databases_;
+    std::map<std::string, std::unique_ptr<replica::ReplicaSet>> replica_sets_;
 };
 
 }  // namespace hep::yokan

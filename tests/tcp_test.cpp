@@ -224,4 +224,44 @@ TEST(TcpFabricTest, FullHepnosStackOverTcp) {
     EXPECT_EQ(count, 200u);
 }
 
+TEST(TcpFabricTest, PerRpcDeadlineSurfacesDeadlineExceeded) {
+    // A handler that never responds must not strand the caller when a
+    // deadline is armed — and the resulting status must be DeadlineExceeded,
+    // NOT Unavailable: the retry policy treats "server reachable but slow"
+    // differently from "server gone".
+    TcpFabric server_fabric;
+    TcpFabric client_fabric;
+    auto server = server_fabric.create_endpoint("server");
+    auto client = client_fabric.create_endpoint("client");
+    server->register_handler("blackhole", 0, [](RequestContext&) { /* no respond() */ });
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = client->call(server->address(), "blackhole", 0, "x",
+                          std::chrono::milliseconds(100));
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded) << r.status().to_string();
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+
+    // A dead address still fails fast as Unavailable (distinct code).
+    auto gone = client->call("tcp://127.0.0.1:1/nobody", "blackhole", 0, "x",
+                             std::chrono::milliseconds(100));
+    ASSERT_FALSE(gone.ok());
+    EXPECT_EQ(gone.status().code(), StatusCode::kUnavailable) << gone.status().to_string();
+
+    // Endpoint-wide default deadline covers calls that do not pass one.
+    client->set_default_deadline(std::chrono::milliseconds(100));
+    auto r2 = client->call(server->address(), "blackhole", 0, "y");
+    ASSERT_FALSE(r2.ok());
+    EXPECT_EQ(r2.status().code(), StatusCode::kDeadlineExceeded);
+    client->set_default_deadline(std::chrono::milliseconds(0));
+
+    // A responsive handler under a deadline still succeeds.
+    server->register_handler("echo2", 0, [](RequestContext& ctx) { ctx.respond(ctx.payload()); });
+    auto ok = client->call(server->address(), "echo2", 0, "fast",
+                           std::chrono::milliseconds(2000));
+    ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+    EXPECT_EQ(*ok, "fast");
+}
+
 }  // namespace

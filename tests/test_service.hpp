@@ -18,6 +18,9 @@ struct TestServiceOptions {
     std::string backend = "map";      // "map" or "lsm"
     std::string base_dir = ".";      // anchor for lsm paths
     std::size_t rpc_xstreams = 2;
+    std::size_t replication_factor = 1;  // >= 2 turns on primary-backup replication
+    bool read_from_replicas = false;     // let reads rotate across backups
+    bool monitoring = false;             // expose a symbio provider (id 99)
 };
 
 /// Builds the bedrock JSON for one server.
@@ -51,6 +54,11 @@ inline json::Value make_server_config(const TestServiceOptions& opts, std::size_
     provider["config"]["databases"] = std::move(dbs);
     providers.push_back(std::move(provider));
     cfg["providers"] = std::move(providers);
+    if (opts.replication_factor > 1) {
+        cfg["replication"]["factor"] = opts.replication_factor;
+        cfg["replication"]["read_from_replicas"] = opts.read_from_replicas;
+    }
+    if (opts.monitoring) cfg["monitoring"]["provider_id"] = 99;
     return cfg;
 }
 
@@ -69,6 +77,20 @@ class TestService {
             servers.push_back(std::move(svc.value()));
         }
         connection = bedrock::merge_descriptors(descriptors);
+    }
+
+    /// Simulate a crash-restart of one server: tear it down (its endpoints
+    /// leave the fabric; a map backend loses all its state) and boot a fresh
+    /// process with the same configuration on the same address. The merged
+    /// connection document stays valid — names and addresses are unchanged.
+    void restart_server(std::size_t index, const TestServiceOptions& opts) {
+        servers.at(index).reset();
+        auto cfg = make_server_config(opts, index);
+        auto svc = bedrock::ServiceProcess::create(network, cfg, opts.base_dir);
+        if (!svc.ok()) {
+            throw std::runtime_error("TestService restart failed: " + svc.status().to_string());
+        }
+        servers[index] = std::move(svc.value());
     }
 
     rpc::Network network;

@@ -5,8 +5,10 @@
 // Lists child datasets and runs under the given path (default: the root),
 // with run/subrun/event counts. Also polls the monitoring provider when the
 // service exposes one (provider id 99 by convention).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "rpc/tcp_fabric.hpp"
 #include "hepnos/hepnos.hpp"
@@ -67,13 +69,21 @@ int main(int argc, char** argv) {
         std::printf("%s\n", *path ? root.fullname().c_str() : "/");
         list_dataset(root, with_events, 1);
 
-        // Best effort: show per-database stats if monitoring is up.
+        // Best effort: show per-database stats from every server whose
+        // monitoring provider is up (replication stats are per-server).
         auto doc = json::parse_file(argv[1]);
         if (doc.ok() && (*doc)["databases"].size() > 0) {
-            const std::string server = (*doc)["databases"].at(0)["address"].as_string();
+            std::vector<std::string> servers;
+            for (std::size_t i = 0; i < (*doc)["databases"].size(); ++i) {
+                std::string server = (*doc)["databases"].at(i)["address"].as_string();
+                if (std::find(servers.begin(), servers.end(), server) == servers.end()) {
+                    servers.push_back(std::move(server));
+                }
+            }
             margo::Engine probe(fabric, "hepnos-ls-probe");
-            auto snap = symbio::fetch(probe, server, 99);
-            if (snap.ok()) {
+            for (const auto& server : servers) {
+                auto snap = symbio::fetch(probe, server, 99);
+                if (!snap.ok()) continue;
                 std::printf("\nmonitoring (%s):\n", server.c_str());
                 const json::Value& sources = (*snap)["sources"];
                 if (sources.is_object()) {
