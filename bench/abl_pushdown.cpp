@@ -1,0 +1,178 @@
+// Ablation: server-side selection pushdown (src/query) vs the client-pull
+// ParallelEventProcessor selection on the same ingested dataset.
+//
+// The PEP path moves every slices product to the client and filters there;
+// pushdown ships the cuts to the servers as a FilterProgram and moves back
+// only the accepted (event, slice-ids) pairs. Both must accept the same
+// slices; the interesting numbers are wall time and bytes moved client-ward.
+// The table (and BENCH_pushdown.json, written to the working directory) shows
+// the measured fabric traffic of each run plus the pushdown cursor accounting:
+// bytes_scanned is what a client-side selection must transfer (the product
+// values), bytes_received is what the pushdown client actually pulled.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+
+#include "bedrock/service.hpp"
+#include "bench_table.hpp"
+#include "dataloader/loader.hpp"
+#include "query/evaluator.hpp"
+#include "workflow/hepnos_app.hpp"
+
+namespace {
+
+using namespace hep;
+
+constexpr const char* kDataset = "nova/abl";
+
+struct LiveService {
+    LiveService() {
+        auto cfg = json::parse(R"({
+          "address": "bench-server",
+          "margo": {"rpc_xstreams": 4},
+          "query": {"enabled": true},
+          "providers": [{"type": "yokan", "provider_id": 1, "config": {"databases": [
+            {"name": "ds", "type": "map", "role": "datasets"},
+            {"name": "r0", "type": "map", "role": "runs"},
+            {"name": "s0", "type": "map", "role": "subruns"},
+            {"name": "e0", "type": "map", "role": "events"},
+            {"name": "e1", "type": "map", "role": "events"},
+            {"name": "p0", "type": "map", "role": "products"},
+            {"name": "p1", "type": "map", "role": "products"},
+            {"name": "p2", "type": "map", "role": "products"},
+            {"name": "p3", "type": "map", "role": "products"}]}}]
+        })");
+        service = bedrock::ServiceProcess::create(network, *cfg).value();
+        store = hepnos::DataStore::connect(network, service->descriptor());
+        gen = nova::Generator({.num_files = 32, .events_per_file = 100});
+        mpisim::run_ranks(4, [&](mpisim::Comm& comm) {
+            dataloader::ingest_generated(store, comm, gen, kDataset, 1024);
+        });
+    }
+    rpc::Network network;
+    std::unique_ptr<bedrock::ServiceProcess> service;
+    hepnos::DataStore store;
+    nova::Generator gen{nova::DatasetConfig{}};
+};
+
+LiveService& live() {
+    static LiveService instance;
+    return instance;
+}
+
+std::uint64_t fabric_bytes(const rpc::NetworkStats& s) {
+    return s.message_bytes + s.bulk_bytes;
+}
+
+void print_reproduction() {
+    using namespace hep::bench;
+    auto& svc = live();
+
+    print_header(
+        "Ablation — selection pushdown vs client-pull PEP selection\n"
+        "expect: identical accepted IDs; >=10x fewer bytes moved client-ward");
+
+    workflow::HepnosAppOptions pep_opts;
+    pep_opts.num_ranks = 4;
+    pep_opts.pep.input_batch_size = 1024;
+    auto before_pep = svc.network.stats();
+    auto pep = run_hepnos_selection(svc.store, kDataset, pep_opts);
+    const std::uint64_t pep_bytes = fabric_bytes(svc.network.stats()) -
+                                    fabric_bytes(before_pep);
+
+    workflow::HepnosAppOptions push_opts;
+    push_opts.num_ranks = 4;
+    push_opts.pushdown = true;
+    auto before_push = svc.network.stats();
+    auto push = run_hepnos_selection(svc.store, kDataset, push_opts);
+    const std::uint64_t push_bytes = fabric_bytes(svc.network.stats()) -
+                                     fabric_bytes(before_push);
+
+    if (push.accepted_ids != pep.accepted_ids) {
+        std::printf("ERROR: pushdown and PEP accepted-ID sets differ!\n");
+    }
+
+    // Cursor-level accounting straight from the query client: product bytes
+    // the scan examined (what client-pull must move) vs page bytes received.
+    auto spec = query::nova_selection_spec(
+        pep_opts.cuts,
+        std::string(hepnos::product_type_name<std::vector<nova::Slice>>()));
+    auto qr = svc.store.query(svc.store[kDataset], spec);
+    const auto& qs = qr->stats();
+
+    print_row({"mode", "seconds", "accepted", "fabric-bytes", "slices/s"});
+    print_row({"pep", fmt(pep.wall_seconds, 3), std::to_string(pep.accepted_ids.size()),
+               std::to_string(pep_bytes), fmt(pep.throughput_slices_per_s(), 0)});
+    print_row({"pushdown", fmt(push.wall_seconds, 3),
+               std::to_string(push.accepted_ids.size()), std::to_string(push_bytes),
+               fmt(push.throughput_slices_per_s(), 0)});
+
+    const double fabric_ratio = push_bytes ? static_cast<double>(pep_bytes) /
+                                                 static_cast<double>(push_bytes)
+                                           : 0.0;
+    const double value_ratio = qs.bytes_received
+                                   ? static_cast<double>(qs.bytes_scanned) /
+                                         static_cast<double>(qs.bytes_received)
+                                   : 0.0;
+    std::printf("\nclient-ward bytes: pep=%llu pushdown=%llu (%.1fx less)\n",
+                static_cast<unsigned long long>(pep_bytes),
+                static_cast<unsigned long long>(push_bytes), fabric_ratio);
+    std::printf("cursor accounting: scanned=%llu received=%llu (%.1fx less)\n",
+                static_cast<unsigned long long>(qs.bytes_scanned),
+                static_cast<unsigned long long>(qs.bytes_received), value_ratio);
+
+    json::Value doc = json::Value::make_object();
+    doc["bench"] = "pushdown";
+    doc["dataset"]["files"] = svc.gen.config().num_files;
+    doc["dataset"]["events"] = svc.gen.total_events();
+    doc["results_match"] = push.accepted_ids == pep.accepted_ids;
+    doc["accepted"] = static_cast<std::uint64_t>(pep.accepted_ids.size());
+    doc["pep"]["seconds"] = pep.wall_seconds;
+    doc["pep"]["client_bytes"] = pep_bytes;
+    doc["pushdown"]["seconds"] = push.wall_seconds;
+    doc["pushdown"]["client_bytes"] = push_bytes;
+    doc["pushdown"]["bytes_scanned"] = qs.bytes_scanned;
+    doc["pushdown"]["bytes_received"] = qs.bytes_received;
+    doc["pushdown"]["pages"] = qs.pages;
+    doc["byte_ratio_fabric"] = fabric_ratio;
+    doc["byte_ratio_values"] = value_ratio;
+    std::ofstream("BENCH_pushdown.json") << doc.dump(2) << "\n";
+    std::printf("wrote BENCH_pushdown.json\n");
+}
+
+// Micro-benchmark: the per-row cost of the interpreted FilterProgram vs the
+// compiled-in Selector — the price of genericity on the server's scan path.
+void BM_FilterProgramEval(benchmark::State& state) {
+    auto program = query::nova_cuts_program({});
+    auto slices = nova::Generator({.num_files = 1, .events_per_file = 64})
+                      .make_event(1, 1, 1)
+                      .slices;
+    double fields[nova::kNumSliceFields];
+    std::size_t i = 0, accepted = 0;
+    for (auto _ : state) {
+        nova::slice_fields(slices[i++ % slices.size()], fields);
+        accepted += program.matches(fields, nova::kNumSliceFields);
+    }
+    benchmark::DoNotOptimize(accepted);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FilterProgramEval);
+
+void BM_SelectorEval(benchmark::State& state) {
+    nova::Selector selector{nova::SelectionCuts{}};
+    auto slices = nova::Generator({.num_files = 1, .events_per_file = 64})
+                      .make_event(1, 1, 1)
+                      .slices;
+    std::size_t i = 0, accepted = 0;
+    for (auto _ : state) {
+        accepted += selector.select(slices[i++ % slices.size()]);
+    }
+    benchmark::DoNotOptimize(accepted);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectorEval);
+
+}  // namespace
+
+HEP_BENCH_MAIN(print_reproduction)

@@ -1,6 +1,7 @@
 // Internal: per-OS-thread scheduler state shared by ult.cpp and xstream.cpp.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <ucontext.h>
 
@@ -17,6 +18,14 @@ struct SchedContext {
     std::shared_ptr<Ult> current;
     enum class PostAction : int { kNone, kYield, kSuspend, kTerminate };
     PostAction post_action = PostAction::kNone;
+
+    // ASan fiber bookkeeping (see asan_fiber.hpp; unused without ASan).
+    // fake_stack parks the scheduler's fake stack while a ULT runs; the
+    // sched_stack bounds are captured by the ULT's finish_switch on entry so
+    // switches back to the scheduler can announce the target stack.
+    void* asan_fake_stack = nullptr;
+    const void* asan_sched_stack = nullptr;
+    std::size_t asan_sched_stack_size = 0;
 };
 
 SchedContext*& sched_tls();

@@ -4,6 +4,7 @@
 #include <exception>
 #include <thread>
 
+#include "abt/asan_fiber.hpp"
 #include "abt/pool.hpp"
 #include "abt/sched_context.hpp"
 #include "abt/wait_queue.hpp"
@@ -48,12 +49,18 @@ std::shared_ptr<Ult> Ult::create(const std::shared_ptr<Pool>& pool, std::functio
 
 void Ult::trampoline() {
     // Runs on the ULT's own stack, right after the scheduler swapped us in.
+    // Complete the fiber switch first: no fake stack saved yet (first entry),
+    // and record the scheduler's stack bounds for the switch back.
     Ult* self = detail::tls_sched->current.get();
+    detail::asan_finish_switch(nullptr, &detail::tls_sched->asan_sched_stack,
+                               &detail::tls_sched->asan_sched_stack_size);
     self->run_body();
     // The body may have suspended and resumed on a different xstream:
     // re-read the thread-local scheduler context.
     auto* sc = detail::tls_sched;
     sc->post_action = detail::SchedContext::PostAction::kTerminate;
+    // nullptr fake-stack slot: this ULT never runs again, drop its fake stack.
+    detail::asan_start_switch(nullptr, sc->asan_sched_stack, sc->asan_sched_stack_size);
     swapcontext(&self->context_, &sc->sched_ctx);
     // never reached
 }
@@ -112,7 +119,13 @@ void yield() {
     auto* sc = detail::tls_sched;
     Ult* cur = sc->current.get();
     sc->post_action = detail::SchedContext::PostAction::kYield;
+    detail::asan_start_switch(&cur->asan_fake_stack_, sc->asan_sched_stack,
+                              sc->asan_sched_stack_size);
     swapcontext(&cur->context_, &sc->sched_ctx);
+    // Resumed, possibly on a different xstream: finish the switch there.
+    auto* back = detail::tls_sched;
+    detail::asan_finish_switch(cur->asan_fake_stack_, &back->asan_sched_stack,
+                               &back->asan_sched_stack_size);
 }
 
 void suspend() {
@@ -120,7 +133,12 @@ void suspend() {
     Ult* cur = sc->current.get();
     cur->state_.store(UltState::kBlocking, std::memory_order_release);
     sc->post_action = detail::SchedContext::PostAction::kSuspend;
+    detail::asan_start_switch(&cur->asan_fake_stack_, sc->asan_sched_stack,
+                              sc->asan_sched_stack_size);
     swapcontext(&cur->context_, &sc->sched_ctx);
+    auto* back = detail::tls_sched;
+    detail::asan_finish_switch(cur->asan_fake_stack_, &back->asan_sched_stack,
+                               &back->asan_sched_stack_size);
 }
 
 namespace detail {
@@ -162,7 +180,12 @@ void block_on(WaitQueue& queue, std::unique_lock<std::mutex>& lock) {
         lock.unlock();
         auto* sc = detail::tls_sched;
         sc->post_action = SchedContext::PostAction::kSuspend;
+        asan_start_switch(&cur->asan_fake_stack_, sc->asan_sched_stack,
+                          sc->asan_sched_stack_size);
         swapcontext(&cur->context_, &sc->sched_ctx);
+        auto* back = detail::tls_sched;
+        asan_finish_switch(cur->asan_fake_stack_, &back->asan_sched_stack,
+                           &back->asan_sched_stack_size);
     } else {
         auto w = std::make_shared<WaitQueue::OsWaiter>();
         queue.add_os(w);

@@ -74,6 +74,9 @@ class Ult : public std::enable_shared_from_this<Ult> {
     std::unique_ptr<char[]> stack_;
     std::size_t stack_size_;
     ucontext_t context_{};
+    // ASan fiber bookkeeping: parks this ULT's fake stack across switches
+    // (see asan_fiber.hpp; unused without ASan).
+    void* asan_fake_stack_ = nullptr;
 
     std::atomic<UltState> state_{UltState::kReady};
     // Guards the Blocking->Blocked transition against a concurrent wake().

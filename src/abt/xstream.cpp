@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "abt/asan_fiber.hpp"
 #include "abt/sched_context.hpp"
 #include "abt/ult.hpp"
 #include "abt/wait_queue.hpp"
@@ -42,7 +43,9 @@ void Xstream::scheduler_loop() {
         sc.current = ult;
         sc.post_action = detail::SchedContext::PostAction::kNone;
         ult->state_.store(UltState::kRunning, std::memory_order_release);
+        detail::asan_start_switch(&sc.asan_fake_stack, ult->stack_.get(), ult->stack_size_);
         swapcontext(&sc.sched_ctx, &ult->context_);
+        detail::asan_finish_switch(sc.asan_fake_stack, nullptr, nullptr);
         // Back on the scheduler stack: act on how the ULT left.
         sc.current.reset();
         switch (sc.post_action) {

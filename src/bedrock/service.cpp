@@ -78,6 +78,24 @@ Result<std::unique_ptr<ServiceProcess>> ServiceProcess::create(rpc::Fabric& netw
     // it just advertises the section.
     if (config.contains("replication")) svc->replication_ = config["replication"];
 
+    // Query pushdown knob: co-locate one QueryProvider with every yokan
+    // provider (same provider id, same pool — scans share the provider's
+    // execution stream) and advertise "query": true in the descriptor.
+    //   "query": { "enabled": true, "max_cursors": 1024, "prefetch": true }
+    const json::Value& qcfg = config["query"];
+    if (qcfg.is_object() && qcfg["enabled"].as_bool(true)) {
+        query::QueryProvider::Options qopts;
+        qopts.max_cursors =
+            static_cast<std::uint64_t>(qcfg["max_cursors"].as_int(
+                static_cast<std::int64_t>(qopts.max_cursors)));
+        qopts.prefetch = qcfg["prefetch"].as_bool(qopts.prefetch);
+        for (auto& provider : svc->providers_) {
+            svc->query_providers_.push_back(std::make_unique<query::QueryProvider>(
+                *svc->engine_, provider->provider_id(), *provider, qopts, provider->pool()));
+        }
+        svc->query_enabled_ = true;
+    }
+
     // Optional monitoring (Symbiomon substitute): expose live metrics,
     // including a per-database stats source, under a dedicated provider id.
     //   "monitoring": { "provider_id": 99 }
@@ -110,6 +128,12 @@ Result<std::unique_ptr<ServiceProcess>> ServiceProcess::create(rpc::Fabric& netw
                 "replica/" + std::to_string(p->provider_id()),
                 [p]() { return p->replica_stats(); });
         }
+        // Pushdown scan metrics: one source per query provider.
+        for (auto& qp : svc->query_providers_) {
+            query::QueryProvider* q = qp.get();
+            svc->registry_->add_source("query/" + std::to_string(q->provider_id()),
+                                       [q]() { return q->stats_json(); });
+        }
         svc->symbio_provider_ =
             std::make_unique<symbio::Provider>(*svc->engine_, symbio_id, svc->registry_);
     }
@@ -136,6 +160,7 @@ json::Value ServiceProcess::descriptor() const {
     }
     doc["databases"] = std::move(arr);
     if (!replication_.is_null()) doc["replication"] = replication_;
+    if (query_enabled_) doc["query"] = true;
     return doc;
 }
 
@@ -146,10 +171,18 @@ yokan::Provider* ServiceProcess::find_provider(rpc::ProviderId id) {
     return nullptr;
 }
 
+query::QueryProvider* ServiceProcess::find_query_provider(rpc::ProviderId id) {
+    for (auto& p : query_providers_) {
+        if (p->provider_id() == id) return p.get();
+    }
+    return nullptr;
+}
+
 json::Value merge_descriptors(const std::vector<json::Value>& descriptors) {
     json::Value doc = json::Value::make_object();
     json::Value arr = json::Value::make_array();
     bool have_replication = false;
+    bool query = !descriptors.empty();
     for (const auto& d : descriptors) {
         const json::Value& dbs = d["databases"];
         for (std::size_t i = 0; i < dbs.size(); ++i) arr.push_back(dbs.at(i));
@@ -157,8 +190,11 @@ json::Value merge_descriptors(const std::vector<json::Value>& descriptors) {
             doc["replication"] = d["replication"];
             have_replication = true;
         }
+        // Pushdown is only usable when EVERY process serves the query RPCs.
+        if (!d["query"].as_bool(false)) query = false;
     }
     doc["databases"] = std::move(arr);
+    if (query) doc["query"] = true;
     return doc;
 }
 

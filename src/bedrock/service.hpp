@@ -27,6 +27,11 @@
 // into the descriptor verbatim; the connecting DataStore uses it to wire each
 // database into a replica group (round-robin backups across the other
 // servers) and to build its client-side retry/failover policy.
+//
+// An optional top-level "query" section — {"enabled": true, "max_cursors":
+// 1024, "prefetch": true} — co-locates a query-pushdown provider (src/query)
+// with every yokan provider and advertises "query": true in the descriptor,
+// which DataStore::query requires.
 #pragma once
 
 #include <memory>
@@ -35,6 +40,7 @@
 
 #include "common/json.hpp"
 #include "margo/engine.hpp"
+#include "query/provider.hpp"
 #include "symbio/provider.hpp"
 #include "yokan/provider.hpp"
 
@@ -74,6 +80,10 @@ class ServiceProcess {
     /// Direct access for tests/ingestion tools.
     [[nodiscard]] yokan::Provider* find_provider(rpc::ProviderId id);
 
+    /// The query-pushdown provider co-located with yokan provider `id`
+    /// (nullptr when the "query" knob is off).
+    [[nodiscard]] query::QueryProvider* find_query_provider(rpc::ProviderId id);
+
     /// Monitoring registry, if the config enabled a "monitoring" section
     /// (null otherwise). Remote access goes through symbio::fetch.
     [[nodiscard]] symbio::MetricsRegistry* metrics() noexcept { return registry_.get(); }
@@ -85,7 +95,9 @@ class ServiceProcess {
 
     std::unique_ptr<margo::Engine> engine_;
     std::vector<std::unique_ptr<yokan::Provider>> providers_;
+    std::vector<std::unique_ptr<query::QueryProvider>> query_providers_;
     std::vector<DatabaseDescriptor> databases_;
+    bool query_enabled_ = false;
     json::Value replication_;  // "replication" config section, passed through
                                // to the descriptor so clients wire the groups
     std::shared_ptr<symbio::MetricsRegistry> registry_;

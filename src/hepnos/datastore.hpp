@@ -15,7 +15,16 @@
 #include "hepnos/containers.hpp"
 #include "hepnos/datastore_impl.hpp"
 
+namespace hep::query {
+struct QueryOptions;
+namespace proto {
+struct QuerySpec;
+}  // namespace proto
+}  // namespace hep::query
+
 namespace hep::hepnos {
+
+class QueryResult;
 
 class DataStore {
   public:
@@ -44,6 +53,17 @@ class DataStore {
     DataSet createDataSet(std::string_view path) const;
 
     [[nodiscard]] bool exists(std::string_view path) const { return root().hasDataSet(path); }
+
+    /// Server-side selection pushdown over `dataset`'s products (see
+    /// hepnos/query.hpp). (offset, stride) subsets the product databases —
+    /// (rank, num_ranks) gives an MPI-style worker its share; defaults query
+    /// all of them. Requires a service deployed with the Bedrock "query"
+    /// knob; otherwise returns Unimplemented.
+    Result<QueryResult> query(const DataSet& dataset, const query::proto::QuerySpec& spec,
+                              std::size_t offset = 0, std::size_t stride = 1) const;
+    Result<QueryResult> query(const DataSet& dataset, const query::proto::QuerySpec& spec,
+                              const query::QueryOptions& options, std::size_t offset = 0,
+                              std::size_t stride = 1) const;
 
     /// Shared connection internals (used by the ParallelEventProcessor, the
     /// DataLoader and the benches).

@@ -80,6 +80,7 @@ Result<std::shared_ptr<DataStoreImpl>> DataStoreImpl::connect(rpc::Fabric& netwo
 
     impl->metrics_ = std::make_shared<symbio::MetricsRegistry>();
     impl->failover_counters_ = std::make_shared<replica::FailoverCounters>();
+    impl->query_enabled_ = config["query"].as_bool(false);
 
     const json::Value& rep = config["replication"];
     auto factor = static_cast<std::size_t>(rep["factor"].as_int(1));

@@ -101,6 +101,10 @@ class DataStoreImpl {
         return replication_factor_;
     }
 
+    /// True when the service advertised query pushdown ("query": true in the
+    /// connection document; Bedrock emits it when the knob is enabled).
+    [[nodiscard]] bool query_enabled() const noexcept { return query_enabled_; }
+
     /// Retry/failover counters aggregated over every database handle.
     [[nodiscard]] const std::shared_ptr<replica::FailoverCounters>& failover_counters()
         const noexcept {
@@ -119,6 +123,7 @@ class DataStoreImpl {
     std::array<std::vector<bool>, kNumRoles> active_;
     std::array<HashRing, kNumRoles> rings_;
     std::size_t replication_factor_ = 1;
+    bool query_enabled_ = false;
     std::shared_ptr<replica::FailoverCounters> failover_counters_;
     std::shared_ptr<symbio::MetricsRegistry> metrics_;
 };

@@ -9,5 +9,6 @@
 #include "hepnos/keys.hpp"                      // IWYU pragma: export
 #include "hepnos/parallel_event_processor.hpp"  // IWYU pragma: export
 #include "hepnos/prefetcher.hpp"                // IWYU pragma: export
+#include "hepnos/query.hpp"                     // IWYU pragma: export
 #include "hepnos/rescale.hpp"                   // IWYU pragma: export
 #include "hepnos/write_batch.hpp"               // IWYU pragma: export

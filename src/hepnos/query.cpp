@@ -1,0 +1,34 @@
+#include "hepnos/query.hpp"
+
+namespace hep::hepnos {
+
+Result<QueryResult> run_query(const DataStore& datastore, const DataSet& dataset,
+                              const query::proto::QuerySpec& spec, std::size_t offset,
+                              std::size_t stride, const query::QueryOptions& options) {
+    if (!datastore.valid()) return Status::InvalidArgument("datastore is not connected");
+    const auto& impl = datastore.impl();
+    if (!impl->query_enabled()) {
+        return Status::Unimplemented(
+            "this service was not deployed with query pushdown (enable the Bedrock "
+            "\"query\" section)");
+    }
+    query::QueryEngine engine(impl->engine(), impl->databases(Role::kProducts));
+    query::ClientStats stats;
+    auto entries =
+        engine.run(spec, dataset.uuid().bytes(), offset, stride, stats, options);
+    if (!entries.ok()) return entries.status();
+    return QueryResult(impl, dataset.uuid(), std::move(*entries), stats);
+}
+
+Result<QueryResult> DataStore::query(const DataSet& dataset, const query::proto::QuerySpec& spec,
+                                     std::size_t offset, std::size_t stride) const {
+    return run_query(*this, dataset, spec, offset, stride);
+}
+
+Result<QueryResult> DataStore::query(const DataSet& dataset, const query::proto::QuerySpec& spec,
+                                     const query::QueryOptions& options, std::size_t offset,
+                                     std::size_t stride) const {
+    return run_query(*this, dataset, spec, offset, stride, options);
+}
+
+}  // namespace hep::hepnos

@@ -1,0 +1,63 @@
+// DataSet-scoped query pushdown (client entry point of src/query).
+//
+//   hepnos::QueryOptions opts;
+//   auto result = hepnos::run_query(datastore, dataset, spec);
+//   for (const hepnos::Event& ev : result->events()) ...
+//
+// The query fans out to every products database holding data of the dataset
+// (or a rank's offset/stride share of them) and brings back only the
+// accepted (event, row-indices) pairs — the products themselves never cross
+// the network. Requires a service deployed with the Bedrock "query" knob;
+// connections to older services fail with Unimplemented.
+#pragma once
+
+#include "hepnos/containers.hpp"
+#include "hepnos/datastore.hpp"
+#include "query/client.hpp"
+
+namespace hep::hepnos {
+
+/// Accepted entries of one dataset-scoped pushdown query, with enough
+/// context to materialize Event handles (the EventSet-style integration).
+class QueryResult {
+  public:
+    QueryResult() = default;
+    QueryResult(std::shared_ptr<DataStoreImpl> impl, Uuid dataset,
+                std::vector<query::proto::Entry> entries, query::ClientStats stats)
+        : impl_(std::move(impl)),
+          dataset_(dataset),
+          entries_(std::move(entries)),
+          stats_(stats) {}
+
+    [[nodiscard]] const std::vector<query::proto::Entry>& entries() const noexcept {
+        return entries_;
+    }
+    [[nodiscard]] const query::ClientStats& stats() const noexcept { return stats_; }
+
+    /// Event handles of the accepted entries, in entry order. Each handle is
+    /// fully usable (load/store products) like one obtained from an EventSet.
+    [[nodiscard]] std::vector<Event> events() const {
+        std::vector<Event> out;
+        out.reserve(entries_.size());
+        for (const auto& e : entries_) {
+            out.emplace_back(impl_, dataset_, e.run, e.subrun, e.event);
+        }
+        return out;
+    }
+
+  private:
+    std::shared_ptr<DataStoreImpl> impl_;
+    Uuid dataset_;
+    std::vector<query::proto::Entry> entries_;
+    query::ClientStats stats_;
+};
+
+/// Run `spec` over the products of `dataset`, database subset
+/// [offset, offset+stride, ...] — (0, 1) queries all of them; (rank, n)
+/// gives one MPI-style worker its share.
+Result<QueryResult> run_query(const DataStore& datastore, const DataSet& dataset,
+                              const query::proto::QuerySpec& spec, std::size_t offset = 0,
+                              std::size_t stride = 1,
+                              const query::QueryOptions& options = {});
+
+}  // namespace hep::hepnos

@@ -5,7 +5,7 @@
 namespace hep::nova {
 
 bool Selector::select(const Slice& slice) const {
-    ++examined_;
+    examined_.fetch_add(1, std::memory_order_relaxed);
 
     // Optional CPU-bound kernel standing in for the derived-quantity
     // evaluation of the real CAFAna cut chain.

@@ -9,6 +9,7 @@
 // accepted-ID sets — the paper's correctness cross-check.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -33,22 +34,33 @@ class Selector {
   public:
     explicit Selector(SelectionCuts cuts = {}) : cuts_(cuts) {}
 
+    Selector(const Selector& other)
+        : cuts_(other.cuts_), examined_(other.slices_examined()) {}
+    Selector& operator=(const Selector& other) {
+        cuts_ = other.cuts_;
+        examined_.store(other.slices_examined(), std::memory_order_relaxed);
+        return *this;
+    }
+
     [[nodiscard]] const SelectionCuts& cuts() const noexcept { return cuts_; }
 
     /// The candidate selection, applied to one slice.
     [[nodiscard]] bool select(const Slice& slice) const;
 
+    /// Total slices examined so far. The counter is atomic, so one Selector
+    /// may be shared by concurrent workers (ULTs or threads) and the tally
+    /// stays exact.
+    [[nodiscard]] std::uint64_t slices_examined() const noexcept {
+        return examined_.load(std::memory_order_relaxed);
+    }
+
     /// Run the selection over an event; returns the packed IDs of accepted
     /// slices (empty most of the time — that is the point of the selection).
     [[nodiscard]] std::vector<std::uint64_t> selected_ids(const EventRecord& event) const;
 
-    /// Total slices examined so far (local counter; not thread-safe — use
-    /// one Selector per worker).
-    [[nodiscard]] std::uint64_t slices_examined() const noexcept { return examined_; }
-
   private:
     SelectionCuts cuts_;
-    mutable std::uint64_t examined_ = 0;
+    mutable std::atomic<std::uint64_t> examined_{0};
 };
 
 }  // namespace hep::nova

@@ -73,4 +73,41 @@ struct EventRecord {
 /// The product label HEPnOS stores slice vectors under.
 inline constexpr const char* kSliceLabel = "slices";
 
+/// Stable numbering of a Slice's quantities as seen by the query-pushdown
+/// subsystem (src/query): a slice is one "row", these are its fields. Append
+/// only — programs serialized with these ids travel over the wire.
+enum SliceField : std::uint32_t {
+    kFieldIndex = 0,
+    kFieldNhits = 1,
+    kFieldCalE = 2,
+    kFieldVtxX = 3,
+    kFieldVtxY = 4,
+    kFieldVtxZ = 5,
+    kFieldTrackLen = 6,
+    kFieldEpi0Score = 7,
+    kFieldMuonScore = 8,
+    kFieldCosmicScore = 9,
+    kFieldTimeNs = 10,
+    kFieldContained = 11,
+    kNumSliceFields = 12,
+};
+
+/// Materialize a slice as a field row. Every conversion (u32/float -> double)
+/// is exact, so comparisons on the row agree bit for bit with comparisons on
+/// the original members.
+inline void slice_fields(const Slice& s, double out[kNumSliceFields]) {
+    out[kFieldIndex] = s.index;
+    out[kFieldNhits] = s.nhits;
+    out[kFieldCalE] = s.cal_e;
+    out[kFieldVtxX] = s.vtx_x;
+    out[kFieldVtxY] = s.vtx_y;
+    out[kFieldVtxZ] = s.vtx_z;
+    out[kFieldTrackLen] = s.track_len;
+    out[kFieldEpi0Score] = s.epi0_score;
+    out[kFieldMuonScore] = s.muon_score;
+    out[kFieldCosmicScore] = s.cosmic_score;
+    out[kFieldTimeNs] = s.time_ns;
+    out[kFieldContained] = s.contained;
+}
+
 }  // namespace hep::nova

@@ -1,0 +1,104 @@
+// Client side of the query-pushdown subsystem.
+//
+// QueryClient drives one cursor against one database: open, pull pages,
+// close. Losing the cursor is a non-event — every page carries resume_key,
+// so on NotFound (server restarted, cursor evicted) or a transport failure
+// (primary died, failover promoted a backup) the client transparently
+// re-opens with resume_after and continues with no duplicates and no gaps.
+// Scans always target the group PRIMARY: backups may lag mid-replication,
+// and a selection must see every event exactly once.
+//
+// QueryEngine fans a query out across all product databases of a DataStore
+// connection (optionally a rank's offset/stride subset, for MPI-style
+// workers) and concatenates the accepted entries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "margo/engine.hpp"
+#include "query/protocol.hpp"
+#include "yokan/client.hpp"
+
+namespace hep::query {
+
+/// Client-side accounting for one query execution. bytes_received is the
+/// serialized size of every page pulled — the client-ward traffic pushdown
+/// actually paid; bytes_scanned (reported by the servers) is what a
+/// client-side selection would have had to move instead.
+struct ClientStats {
+    std::uint64_t pages = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t resumes = 0;  // cursor re-opens (lost cursor / failover)
+    std::uint64_t bytes_received = 0;
+    std::uint64_t events_examined = 0;
+    std::uint64_t rows_examined = 0;
+    std::uint64_t bytes_scanned = 0;
+
+    ClientStats& operator+=(const ClientStats& o) {
+        pages += o.pages;
+        entries += o.entries;
+        resumes += o.resumes;
+        bytes_received += o.bytes_received;
+        events_examined += o.events_examined;
+        rows_examined += o.rows_examined;
+        bytes_scanned += o.bytes_scanned;
+        return *this;
+    }
+};
+
+struct QueryOptions {
+    std::uint64_t page_entries = 512;
+    std::uint64_t scan_chunk = 2048;
+    /// Cursor re-opens tolerated per database before giving up. Transport
+    /// retries within one attempt are the failover policy's business; this
+    /// bounds how often we restart the cursor protocol itself.
+    std::uint32_t max_reopens = 8;
+};
+
+/// Drives one pushdown cursor against one database handle.
+class QueryClient {
+  public:
+    QueryClient(margo::Engine& engine, yokan::DatabaseHandle handle)
+        : engine_(&engine), handle_(std::move(handle)) {}
+
+    /// Run `spec` over every key under `prefix`, appending accepted entries
+    /// to `out`. Handles paging, cursor loss and primary failover internally.
+    Status run(const proto::QuerySpec& spec, std::string_view prefix,
+               std::vector<proto::Entry>& out, ClientStats& stats,
+               const QueryOptions& options = {}) const;
+
+  private:
+    /// Current scan target: the replica-group primary when failover state is
+    /// attached, the handle's direct address otherwise.
+    void resolve_target(std::string& server, rpc::ProviderId& provider,
+                        std::string& db) const;
+    [[nodiscard]] std::chrono::milliseconds deadline() const noexcept;
+
+    margo::Engine* engine_;
+    yokan::DatabaseHandle handle_;
+};
+
+/// Fans one query out over a set of product databases.
+class QueryEngine {
+  public:
+    QueryEngine(margo::Engine& engine, std::vector<yokan::DatabaseHandle> product_dbs)
+        : engine_(&engine), dbs_(std::move(product_dbs)) {}
+
+    [[nodiscard]] std::size_t num_targets() const noexcept { return dbs_.size(); }
+
+    /// Query databases [offset, offset+stride, ...] — one MPI-style rank's
+    /// share when (offset, stride) = (rank, num_ranks); (0, 1) = all of them.
+    /// Accepted entries are concatenated in database order.
+    Result<std::vector<proto::Entry>> run(const proto::QuerySpec& spec,
+                                          std::string_view prefix, std::size_t offset,
+                                          std::size_t stride, ClientStats& stats,
+                                          const QueryOptions& options = {}) const;
+
+  private:
+    margo::Engine* engine_;
+    std::vector<yokan::DatabaseHandle> dbs_;
+};
+
+}  // namespace hep::query

@@ -1,0 +1,85 @@
+#include "query/evaluator.hpp"
+
+#include <vector>
+
+#include "nova/types.hpp"
+#include "serial/archive.hpp"
+
+namespace hep::query {
+
+namespace {
+
+/// Rows = the slices of a std::vector<nova::Slice> product.
+class NovaSlicesEvaluator final : public ProductEvaluator {
+  public:
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return kNovaSlicesEvaluator;
+    }
+    [[nodiscard]] std::uint32_t num_fields() const noexcept override {
+        return nova::kNumSliceFields;
+    }
+
+    Status for_each_row(std::string_view bytes, const RowFn& fn) const override {
+        std::vector<nova::Slice> slices;
+        try {
+            serial::from_string(bytes, slices);
+        } catch (const serial::SerializationError& e) {
+            return Status::Corruption(std::string("undecodable slice product: ") + e.what());
+        }
+        double fields[nova::kNumSliceFields];
+        for (std::uint32_t i = 0; i < slices.size(); ++i) {
+            nova::slice_fields(slices[i], fields);
+            fn(i, fields);
+        }
+        return Status::OK();
+    }
+};
+
+}  // namespace
+
+EvaluatorRegistry EvaluatorRegistry::with_builtins() {
+    EvaluatorRegistry reg;
+    reg.add(std::make_unique<NovaSlicesEvaluator>());
+    return reg;
+}
+
+void EvaluatorRegistry::add(std::unique_ptr<ProductEvaluator> evaluator) {
+    std::string key(evaluator->name());
+    evaluators_[std::move(key)] = std::move(evaluator);
+}
+
+const ProductEvaluator* EvaluatorRegistry::find(std::string_view name) const {
+    auto it = evaluators_.find(name);
+    return it == evaluators_.end() ? nullptr : it->second.get();
+}
+
+FilterProgram nova_cuts_program(const nova::SelectionCuts& cuts) {
+    FilterProgram p;
+    // Mirror Selector::select's reject chain term by term:
+    //   if (!contained) return false;                 -> contained != 0
+    p.compare(nova::kFieldContained, FilterOp::kNe, 0.0);
+    //   if (nhits < min_nhits) return false;          -> NOT(nhits < min)
+    p.not_compare(nova::kFieldNhits, FilterOp::kLt, cuts.min_nhits).and_also();
+    //   if (cal_e < min || cal_e > max) return false;
+    p.not_compare(nova::kFieldCalE, FilterOp::kLt, cuts.min_cal_e).and_also();
+    p.not_compare(nova::kFieldCalE, FilterOp::kGt, cuts.max_cal_e).and_also();
+    //   if (epi0_score < min_epi0_score) return false;
+    p.not_compare(nova::kFieldEpi0Score, FilterOp::kLt, cuts.min_epi0_score).and_also();
+    //   if (muon_score > max_muon_score) return false;
+    p.not_compare(nova::kFieldMuonScore, FilterOp::kGt, cuts.max_muon_score).and_also();
+    //   if (cosmic_score > max_cosmic_score) return false;
+    p.not_compare(nova::kFieldCosmicScore, FilterOp::kGt, cuts.max_cosmic_score).and_also();
+    return p;
+}
+
+proto::QuerySpec nova_selection_spec(const nova::SelectionCuts& cuts, std::string type_name) {
+    proto::QuerySpec spec;
+    spec.evaluator = kNovaSlicesEvaluator;
+    spec.label = nova::kSliceLabel;
+    spec.type = std::move(type_name);
+    spec.filter = nova_cuts_program(cuts);
+    spec.id_field = nova::kFieldIndex;
+    return spec;
+}
+
+}  // namespace hep::query

@@ -1,0 +1,73 @@
+// Product evaluators: decode a serialized product value into rows of numeric
+// fields that a FilterProgram can run over.
+//
+// The scan machinery in the QueryProvider is generic — it only talks to this
+// interface — so adding a pushdown-able product type means registering one
+// evaluator, not touching the cursor protocol. The first concrete instance is
+// "nova/slices" (std::vector<nova::Slice>, the §IV-B selection workload);
+// nova_cuts_program() translates a nova::SelectionCuts into the equivalent
+// FilterProgram so pushdown and the client-side Selector accept bit-identical
+// slice sets.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "nova/selection.hpp"
+#include "query/filter.hpp"
+#include "query/protocol.hpp"
+
+namespace hep::query {
+
+class ProductEvaluator {
+  public:
+    virtual ~ProductEvaluator() = default;
+
+    /// Registry key clients put into QuerySpec::evaluator.
+    [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+    /// Width of one row; FilterPrograms are validated against it.
+    [[nodiscard]] virtual std::uint32_t num_fields() const noexcept = 0;
+
+    /// Decode `bytes` and visit every row. Malformed bytes must return a
+    /// Status (the provider skips the record and counts it), never throw out
+    /// of the call or crash.
+    using RowFn = std::function<void(std::uint32_t row_index, const double* fields)>;
+    virtual Status for_each_row(std::string_view bytes, const RowFn& fn) const = 0;
+};
+
+/// Evaluator lookup by name. The default registry (one per QueryProvider)
+/// starts with every builtin registered.
+class EvaluatorRegistry {
+  public:
+    /// Registry preloaded with the builtin evaluators ("nova/slices").
+    static EvaluatorRegistry with_builtins();
+
+    void add(std::unique_ptr<ProductEvaluator> evaluator);
+    [[nodiscard]] const ProductEvaluator* find(std::string_view name) const;
+
+  private:
+    std::map<std::string, std::unique_ptr<ProductEvaluator>, std::less<>> evaluators_;
+};
+
+/// The evaluator name for std::vector<nova::Slice> products.
+inline constexpr const char* kNovaSlicesEvaluator = "nova/slices";
+
+/// Translate the CAFAna-substitute cuts into a FilterProgram with IDENTICAL
+/// accept/reject behaviour, including NaN edge cases: every cut is expressed
+/// as NOT(reject-comparison), exactly like Selector::select's early returns.
+FilterProgram nova_cuts_program(const nova::SelectionCuts& cuts);
+
+/// QuerySpec equivalent to running Selector(cuts) over "slices" products.
+/// `type_name` is the product type component of the key (the client computes
+/// it with product_type_name<std::vector<nova::Slice>>(), exactly as it
+/// crafts keys for store/load). Accepted row ids are the slices' own `index`
+/// fields — what SliceId packs — so pushdown results compare bit for bit
+/// with client-side selection.
+proto::QuerySpec nova_selection_spec(const nova::SelectionCuts& cuts, std::string type_name);
+
+}  // namespace hep::query

@@ -1,0 +1,141 @@
+#include "query/filter.hpp"
+
+namespace hep::query {
+
+FilterProgram& FilterProgram::push_field(std::uint32_t field) {
+    instrs_.push_back({static_cast<std::uint8_t>(FilterOp::kPushField), field, 0});
+    return *this;
+}
+
+FilterProgram& FilterProgram::push_const(double value) {
+    instrs_.push_back({static_cast<std::uint8_t>(FilterOp::kPushConst), 0, value});
+    return *this;
+}
+
+FilterProgram& FilterProgram::op(FilterOp o) {
+    instrs_.push_back({static_cast<std::uint8_t>(o), 0, 0});
+    return *this;
+}
+
+FilterProgram& FilterProgram::compare(std::uint32_t field, FilterOp o, double value) {
+    return push_field(field).push_const(value).op(o);
+}
+
+FilterProgram& FilterProgram::not_compare(std::uint32_t field, FilterOp o, double value) {
+    return compare(field, o, value).op(FilterOp::kNot);
+}
+
+Status FilterProgram::validate(std::uint32_t num_fields) const {
+    if (instrs_.size() > kMaxInstructions) {
+        return Status::InvalidArgument("filter program too long (" +
+                                       std::to_string(instrs_.size()) + " > " +
+                                       std::to_string(kMaxInstructions) + " instructions)");
+    }
+    std::size_t depth = 0;
+    for (std::size_t i = 0; i < instrs_.size(); ++i) {
+        const auto& ins = instrs_[i];
+        switch (static_cast<FilterOp>(ins.op)) {
+            case FilterOp::kPushField:
+                if (ins.field >= num_fields) {
+                    return Status::InvalidArgument(
+                        "filter references field " + std::to_string(ins.field) +
+                        " but rows have " + std::to_string(num_fields) + " fields");
+                }
+                ++depth;
+                break;
+            case FilterOp::kPushConst:
+                ++depth;
+                break;
+            case FilterOp::kLt:
+            case FilterOp::kLe:
+            case FilterOp::kGt:
+            case FilterOp::kGe:
+            case FilterOp::kEq:
+            case FilterOp::kNe:
+            case FilterOp::kAnd:
+            case FilterOp::kOr:
+                if (depth < 2) {
+                    return Status::InvalidArgument("filter stack underflow at instruction " +
+                                                   std::to_string(i));
+                }
+                --depth;
+                break;
+            case FilterOp::kNot:
+                if (depth < 1) {
+                    return Status::InvalidArgument("filter stack underflow at instruction " +
+                                                   std::to_string(i));
+                }
+                break;
+            default:
+                return Status::InvalidArgument("unknown filter opcode " +
+                                               std::to_string(ins.op));
+        }
+    }
+    if (!instrs_.empty() && depth != 1) {
+        return Status::InvalidArgument("filter leaves " + std::to_string(depth) +
+                                       " values on the stack (want exactly 1)");
+    }
+    return Status::OK();
+}
+
+bool FilterProgram::matches(const double* fields, std::size_t num_fields) const noexcept {
+    if (instrs_.empty()) return true;
+    double stack[kMaxInstructions];
+    std::size_t top = 0;  // next free slot
+    for (const auto& ins : instrs_) {
+        switch (static_cast<FilterOp>(ins.op)) {
+            case FilterOp::kPushField:
+                stack[top++] = ins.field < num_fields ? fields[ins.field] : 0.0;
+                break;
+            case FilterOp::kPushConst:
+                stack[top++] = ins.imm;
+                break;
+            case FilterOp::kLt: {
+                const double b = stack[--top];
+                stack[top - 1] = stack[top - 1] < b ? 1.0 : 0.0;
+                break;
+            }
+            case FilterOp::kLe: {
+                const double b = stack[--top];
+                stack[top - 1] = stack[top - 1] <= b ? 1.0 : 0.0;
+                break;
+            }
+            case FilterOp::kGt: {
+                const double b = stack[--top];
+                stack[top - 1] = stack[top - 1] > b ? 1.0 : 0.0;
+                break;
+            }
+            case FilterOp::kGe: {
+                const double b = stack[--top];
+                stack[top - 1] = stack[top - 1] >= b ? 1.0 : 0.0;
+                break;
+            }
+            case FilterOp::kEq: {
+                const double b = stack[--top];
+                stack[top - 1] = stack[top - 1] == b ? 1.0 : 0.0;
+                break;
+            }
+            case FilterOp::kNe: {
+                const double b = stack[--top];
+                stack[top - 1] = stack[top - 1] != b ? 1.0 : 0.0;
+                break;
+            }
+            case FilterOp::kAnd: {
+                const double b = stack[--top];
+                stack[top - 1] = (stack[top - 1] != 0.0 && b != 0.0) ? 1.0 : 0.0;
+                break;
+            }
+            case FilterOp::kOr: {
+                const double b = stack[--top];
+                stack[top - 1] = (stack[top - 1] != 0.0 || b != 0.0) ? 1.0 : 0.0;
+                break;
+            }
+            case FilterOp::kNot:
+                stack[top - 1] = stack[top - 1] == 0.0 ? 1.0 : 0.0;
+                break;
+        }
+    }
+    return top > 0 && stack[top - 1] != 0.0;
+}
+
+}  // namespace hep::query

@@ -1,0 +1,96 @@
+// Serializable filter expressions for server-side selection pushdown.
+//
+// A FilterProgram is a tiny postfix (RPN) program evaluated over one "row" of
+// numeric fields — for the NOvA workload a row is one reconstructed slice and
+// the fields are its physics quantities. Postfix keeps the wire format flat
+// (no pointers, no recursion), so a program received from the network can be
+// fully validated with one linear stack-discipline pass before it ever runs:
+// a malformed or hostile program is rejected with a Status, never executed.
+//
+// Comparison operators mirror IEEE semantics exactly (NaN compares false), so
+// a program built from nova::SelectionCuts with Not(Lt(...)) style negations
+// reproduces the client-side Selector bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hep::query {
+
+/// One postfix instruction. Operands live on an implicit f64 stack; booleans
+/// are represented as 0.0 / 1.0.
+enum class FilterOp : std::uint8_t {
+    kPushField = 0,  // push row field [field]
+    kPushConst = 1,  // push immediate [imm]
+    kLt = 2,         // binary comparisons: pop b, pop a, push a OP b
+    kLe = 3,
+    kGt = 4,
+    kGe = 5,
+    kEq = 6,
+    kNe = 7,
+    kAnd = 8,        // logical: operands are "truthy" (!= 0)
+    kOr = 9,
+    kNot = 10,
+};
+
+struct FilterInstr {
+    std::uint8_t op = 0;
+    std::uint32_t field = 0;  // kPushField only
+    double imm = 0;           // kPushConst only
+
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & op & field & imm;
+    }
+    bool operator==(const FilterInstr&) const = default;
+};
+
+class FilterProgram {
+  public:
+    /// Hard cap on program length; longer programs are rejected by validate().
+    static constexpr std::size_t kMaxInstructions = 256;
+
+    FilterProgram() = default;
+
+    // ---- builder interface (appends postfix instructions) ------------------
+    FilterProgram& push_field(std::uint32_t field);
+    FilterProgram& push_const(double value);
+    FilterProgram& op(FilterOp o);
+    /// Convenience: field OP constant.
+    FilterProgram& compare(std::uint32_t field, FilterOp o, double value);
+    /// Convenience: NOT(field OP constant) — the shape SelectionCuts needs to
+    /// keep NaN semantics identical to the client-side cut chain.
+    FilterProgram& not_compare(std::uint32_t field, FilterOp o, double value);
+    /// Pop two subexpressions, push their conjunction/disjunction.
+    FilterProgram& and_also() { return op(FilterOp::kAnd); }
+    FilterProgram& or_else() { return op(FilterOp::kOr); }
+
+    [[nodiscard]] const std::vector<FilterInstr>& instructions() const noexcept {
+        return instrs_;
+    }
+    [[nodiscard]] bool empty() const noexcept { return instrs_.empty(); }
+
+    /// Static verification: every opcode known, every field < num_fields,
+    /// stack discipline holds, exactly one value remains. An empty program is
+    /// valid and accepts every row.
+    [[nodiscard]] Status validate(std::uint32_t num_fields) const;
+
+    /// Evaluate over one row. Only call after validate() succeeded — the
+    /// interpreter assumes stack discipline and does no bounds checks beyond
+    /// the field count baked in at validation.
+    [[nodiscard]] bool matches(const double* fields, std::size_t num_fields) const noexcept;
+
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & instrs_;
+    }
+    bool operator==(const FilterProgram&) const = default;
+
+  private:
+    std::vector<FilterInstr> instrs_;
+};
+
+}  // namespace hep::query

@@ -1,0 +1,137 @@
+// RPC protocol of the query-pushdown subsystem.
+//
+// Cursor model: query_open registers a cursor (spec + scan position) and
+// returns its id; query_next streams back one page of accepted entries per
+// call, advancing the server-side position; the final page carries done=true
+// and retires the cursor. Every page also carries `resume_key` — the last key
+// the scan EXAMINED — so a client that loses its cursor (server restart,
+// cursor-table eviction, failover to a promoted primary) re-opens with
+// resume_after = resume_key of the last page it received and continues with
+// no duplicated and no skipped entries. Cursors are therefore cheap,
+// disposable hints; correctness never depends on server-side cursor state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/filter.hpp"
+
+namespace hep::query::proto {
+
+/// What to scan for and what to do with matches. Label/type are the product
+/// key components (the client computes `type` with product_type_name<T>, the
+/// same way it crafts keys for store/load).
+/// QuerySpec::id_field value meaning "report the row's ordinal position".
+inline constexpr std::uint32_t kRowOrdinal = 0xFFFFFFFFu;
+
+struct QuerySpec {
+    std::string evaluator;  // registry key, e.g. "nova/slices"
+    std::string label;      // product label to scan, e.g. "slices"
+    std::string type;       // product type name for the scanned product
+    FilterProgram filter;   // row predicate (empty = accept everything)
+
+    /// What Entry::rows reports for an accepted row: its ordinal position
+    /// (kRowOrdinal, the default) or the value of this field — e.g. nova
+    /// slices carry their own `index`, which is what SliceId packs.
+    std::uint32_t id_field = kRowOrdinal;
+
+    /// Server-side write-back: store the accepted row indices of each
+    /// accepted event as a product (label `selected_label`, type
+    /// `selected_type`, value = serialized std::vector<std::uint32_t>) in the
+    /// SAME database the scan runs over — products of one event are co-located
+    /// by placement, so this never leaves the server.
+    bool write_selected = false;
+    std::string selected_label;
+    std::string selected_type;
+
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & evaluator & label & type & filter & id_field & write_selected &
+            selected_label & selected_type;
+    }
+};
+
+struct OpenReq {
+    std::string db;            // database name within the provider
+    std::string prefix;        // key prefix scoping the scan (dataset UUID bytes)
+    std::string resume_after;  // resume strictly after this key ("" = start)
+    QuerySpec spec;
+    std::uint64_t page_entries = 512;  // max accepted entries per page
+    std::uint64_t scan_chunk = 2048;   // keys examined per backend scan chunk
+
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & db & prefix & resume_after & spec & page_entries & scan_chunk;
+    }
+};
+
+struct OpenResp {
+    std::uint64_t cursor = 0;
+
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & cursor;
+    }
+};
+
+/// One accepted event: its coordinates plus the accepted row indices.
+struct Entry {
+    std::uint64_t run = 0;
+    std::uint64_t subrun = 0;
+    std::uint64_t event = 0;
+    std::vector<std::uint32_t> rows;
+
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & run & subrun & event & rows;
+    }
+    bool operator==(const Entry&) const = default;
+};
+
+struct NextReq {
+    std::string db;
+    std::uint64_t cursor = 0;
+
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & db & cursor;
+    }
+};
+
+struct Page {
+    std::vector<Entry> entries;
+    std::string resume_key;  // last key examined; resume_after for re-opens
+    bool done = false;       // key space exhausted; cursor retired
+    // Scan-cost accounting for this page (symbio aggregates them too):
+    std::uint64_t events_examined = 0;  // product records decoded
+    std::uint64_t rows_examined = 0;    // rows run through the filter
+    std::uint64_t bytes_scanned = 0;    // product value bytes examined — what
+                                        // a client-side selection would move
+
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & entries & resume_key & done & events_examined & rows_examined & bytes_scanned;
+    }
+};
+
+struct CloseReq {
+    std::string db;
+    std::uint64_t cursor = 0;
+
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & db & cursor;
+    }
+};
+
+struct CloseResp {
+    std::uint8_t ok = 1;
+
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & ok;
+    }
+};
+
+}  // namespace hep::query::proto

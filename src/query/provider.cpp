@@ -1,0 +1,355 @@
+#include "query/provider.hpp"
+
+#include <chrono>
+
+#include "common/endian.hpp"
+#include "hepnos/keys.hpp"
+#include "serial/archive.hpp"
+
+namespace hep::query {
+
+using proto::CloseReq;
+using proto::CloseResp;
+using proto::Entry;
+using proto::NextReq;
+using proto::OpenReq;
+using proto::OpenResp;
+using proto::Page;
+
+namespace {
+// Product keys of EVENT-level containers are exactly this long before the
+// "<label>#<type>" suffix: 16-byte dataset UUID + run/subrun/event BE64.
+constexpr std::size_t kEventKeyBytes = 16 + 3 * 8;
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+    return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+}  // namespace
+
+/// Server-side cursor: the spec plus the scan position. `mutex`/`cv` guard
+/// the one-slot prefetch hand-off; `busy` serializes producers (at most one
+/// ULT — handler or read-ahead — runs produce_page for a cursor at a time).
+struct QueryProvider::Cursor {
+    std::uint64_t id = 0;
+    std::string db_name;
+    yokan::Database* db = nullptr;
+    const ProductEvaluator* evaluator = nullptr;
+    proto::QuerySpec spec;
+    std::string suffix;           // "<label>#<type>" of the scanned product
+    std::string selected_suffix;  // suffix of the write-back product (if any)
+    std::string prefix;           // dataset UUID bytes scoping the scan
+    std::string pos;              // resume strictly after this key
+    std::uint64_t page_entries = 512;
+    std::uint64_t scan_chunk = 2048;
+    bool done = false;
+
+    abt::Mutex mutex;
+    abt::CondVar cv;
+    bool busy = false;                  // a producer is inside produce_page
+    std::optional<Result<Page>> ready;  // one-slot read-ahead page
+
+    std::uint64_t last_touch = 0;  // LRU clock value
+};
+
+QueryProvider::QueryProvider(margo::Engine& engine, rpc::ProviderId provider_id,
+                             yokan::Provider& databases, Options options,
+                             std::shared_ptr<abt::Pool> pool)
+    : margo::Provider(engine, provider_id, std::move(pool)),
+      databases_(databases),
+      options_(options) {
+    // Seed the cursor-id counter so ids from a previous incarnation of this
+    // provider (server restart) do not collide with fresh ones — a stale
+    // client must get NotFound and take its resume path, not someone else's
+    // cursor.
+    auto ticks = std::chrono::steady_clock::now().time_since_epoch().count();
+    next_cursor_id_ = (static_cast<std::uint64_t>(ticks) ^
+                       (static_cast<std::uint64_t>(provider_id) << 48)) |
+                      1;
+    register_rpcs();
+}
+
+QueryProvider::QueryProvider(margo::Engine& engine, rpc::ProviderId provider_id,
+                             yokan::Provider& databases)
+    : QueryProvider(engine, provider_id, databases, Options{}) {}
+
+void QueryProvider::register_rpcs() {
+    const rpc::ProviderId pid = id_;
+    engine_.define<OpenReq, OpenResp>(
+        "query_open", pid, [this](const OpenReq& req) { return handle_open(req); }, pool_);
+    engine_.define<NextReq, Page>(
+        "query_next", pid, [this](const NextReq& req) { return handle_next(req); }, pool_);
+    engine_.define<CloseReq, CloseResp>(
+        "query_close", pid, [this](const CloseReq& req) { return handle_close(req); }, pool_);
+}
+
+Result<OpenResp> QueryProvider::handle_open(const OpenReq& req) {
+    yokan::Database* db = databases_.find_database(req.db);
+    if (db == nullptr) {
+        stats_.queries_rejected.fetch_add(1, std::memory_order_relaxed);
+        return Status::NotFound("no database named '" + req.db + "'");
+    }
+    const ProductEvaluator* evaluator = evaluators_.find(req.spec.evaluator);
+    if (evaluator == nullptr) {
+        stats_.queries_rejected.fetch_add(1, std::memory_order_relaxed);
+        return Status::InvalidArgument("no evaluator named '" + req.spec.evaluator + "'");
+    }
+    if (Status st = req.spec.filter.validate(evaluator->num_fields()); !st.ok()) {
+        stats_.queries_rejected.fetch_add(1, std::memory_order_relaxed);
+        return st;
+    }
+    if (req.spec.label.empty() || req.spec.type.empty()) {
+        stats_.queries_rejected.fetch_add(1, std::memory_order_relaxed);
+        return Status::InvalidArgument("query spec needs a product label and type");
+    }
+    if (req.spec.id_field != proto::kRowOrdinal &&
+        req.spec.id_field >= evaluator->num_fields()) {
+        stats_.queries_rejected.fetch_add(1, std::memory_order_relaxed);
+        return Status::InvalidArgument("id_field out of range for evaluator '" +
+                                       req.spec.evaluator + "'");
+    }
+
+    auto cursor = std::make_shared<Cursor>();
+    cursor->db_name = req.db;
+    cursor->db = db;
+    cursor->evaluator = evaluator;
+    cursor->spec = req.spec;
+    cursor->suffix = hepnos::product_key("", req.spec.label, req.spec.type);
+    cursor->prefix = req.prefix;
+    cursor->pos = req.resume_after;
+    cursor->page_entries =
+        std::min<std::uint64_t>(std::max<std::uint64_t>(req.page_entries, 1),
+                                options_.max_page_entries);
+    cursor->scan_chunk = std::min<std::uint64_t>(std::max<std::uint64_t>(req.scan_chunk, 1),
+                                                 options_.max_scan_chunk);
+
+    if (req.spec.write_selected) {
+        if (req.spec.selected_label.empty() || req.spec.selected_type.empty()) {
+            stats_.queries_rejected.fetch_add(1, std::memory_order_relaxed);
+            return Status::InvalidArgument("write_selected needs selected_label/selected_type");
+        }
+        cursor->selected_suffix =
+            hepnos::product_key("", req.spec.selected_label, req.spec.selected_type);
+        if (cursor->selected_suffix == cursor->suffix) {
+            // Would mutate the very records being scanned.
+            stats_.queries_rejected.fetch_add(1, std::memory_order_relaxed);
+            return Status::InvalidArgument(
+                "selected product must differ from the scanned product");
+        }
+    }
+
+    stats_.queries_opened.fetch_add(1, std::memory_order_relaxed);
+    if (!req.resume_after.empty())
+        stats_.cursors_resumed.fetch_add(1, std::memory_order_relaxed);
+
+    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    cursor->id = next_cursor_id_++;
+    cursor->last_touch = ++touch_counter_;
+    if (cursors_.size() >= options_.max_cursors) {
+        // Evict the least-recently-used cursor; its client recovers by
+        // re-opening with resume_after (the protocol is built for this).
+        auto victim = cursors_.begin();
+        for (auto it = cursors_.begin(); it != cursors_.end(); ++it) {
+            if (it->second->last_touch < victim->second->last_touch) victim = it;
+        }
+        cursors_.erase(victim);
+        stats_.cursors_evicted.fetch_add(1, std::memory_order_relaxed);
+    }
+    cursors_.emplace(cursor->id, cursor);
+    return OpenResp{cursor->id};
+}
+
+std::shared_ptr<QueryProvider::Cursor> QueryProvider::find_cursor(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    auto it = cursors_.find(id);
+    if (it == cursors_.end()) return nullptr;
+    it->second->last_touch = ++touch_counter_;
+    return it->second;
+}
+
+void QueryProvider::retire_cursor(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    cursors_.erase(id);
+}
+
+Result<Page> QueryProvider::handle_next(const NextReq& req) {
+    std::shared_ptr<Cursor> c = find_cursor(req.cursor);
+    if (!c || c->db_name != req.db) {
+        return Status::NotFound("unknown cursor " + std::to_string(req.cursor) +
+                                " (resume by re-opening with resume_after)");
+    }
+
+    Result<Page> page = Status::Internal("query page not produced");
+    c->mutex.lock();
+    while (c->busy && !c->ready) c->cv.wait(c->mutex);
+    if (c->ready) {
+        page = std::move(*c->ready);
+        c->ready.reset();
+        stats_.pages_prefetched.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        c->busy = true;
+        c->mutex.unlock();
+        page = produce_page(*c);
+        c->mutex.lock();
+        c->busy = false;
+    }
+    const bool finished = !page.ok() || page->done;
+    if (!finished && options_.prefetch && !c->busy && !c->ready) {
+        c->busy = true;
+        maybe_spawn_prefetch(c);
+    }
+    c->mutex.unlock();
+    c->cv.notify_all();
+
+    if (finished) retire_cursor(c->id);
+    if (page.ok()) {
+        stats_.pages_served.fetch_add(1, std::memory_order_relaxed);
+        stats_.bytes_returned.fetch_add(serial::to_string(*page).size(),
+                                        std::memory_order_relaxed);
+    }
+    return page;
+}
+
+void QueryProvider::maybe_spawn_prefetch(const std::shared_ptr<Cursor>& c) {
+    // One-shot read-ahead: produce exactly one page, park it in the slot,
+    // exit. The ULT never waits for a consumer, so it can always run to
+    // completion — including during engine teardown.
+    abt::Ult::create(pool_, [this, c] {
+        Result<Page> page = produce_page(*c);
+        c->mutex.lock();
+        c->ready = std::move(page);
+        c->busy = false;
+        c->mutex.unlock();
+        c->cv.notify_all();
+    });
+}
+
+Result<Page> QueryProvider::produce_page(Cursor& c) {
+    Page page;
+    page.resume_key = c.pos;
+    if (c.done) {
+        page.done = true;
+        return page;
+    }
+
+    // Write-backs buffered per chunk: both backends hold their reader lock
+    // for the whole scan, so a put() from inside the scan callback would
+    // deadlock. Applying between chunks keeps the scan lock-free of writers.
+    std::vector<yokan::KeyValue> writebacks;
+
+    while (page.entries.size() < c.page_entries && !c.done) {
+        auto chunk = c.db->scan_chunk(
+            c.pos, c.prefix, c.scan_chunk, /*with_values=*/true,
+            [&](std::string_view key, std::string_view value) {
+                stats_.keys_examined.fetch_add(1, std::memory_order_relaxed);
+                if (key.size() != kEventKeyBytes + c.suffix.size() ||
+                    !ends_with(key, c.suffix)) {
+                    return true;  // not the product we scan for
+                }
+                page.bytes_scanned += value.size();
+                page.events_examined += 1;
+                std::vector<std::uint32_t> accepted;
+                std::uint64_t rows = 0;
+                Status st = c.evaluator->for_each_row(
+                    value, [&](std::uint32_t row, const double* fields) {
+                        ++rows;
+                        if (c.spec.filter.matches(fields, c.evaluator->num_fields())) {
+                            accepted.push_back(
+                                c.spec.id_field == proto::kRowOrdinal
+                                    ? row
+                                    : static_cast<std::uint32_t>(fields[c.spec.id_field]));
+                        }
+                    });
+                page.rows_examined += rows;
+                if (!st.ok()) {
+                    // Undecodable record: skip it, count it, keep scanning —
+                    // one corrupt value must not wedge the whole query.
+                    stats_.events_corrupt.fetch_add(1, std::memory_order_relaxed);
+                    return true;
+                }
+                if (accepted.empty()) return true;
+                Entry entry;
+                entry.run = decode_be64(key.substr(16, 8));
+                entry.subrun = decode_be64(key.substr(24, 8));
+                entry.event = decode_be64(key.substr(32, 8));
+                entry.rows = accepted;
+                stats_.events_accepted.fetch_add(1, std::memory_order_relaxed);
+                stats_.rows_accepted.fetch_add(accepted.size(), std::memory_order_relaxed);
+                if (c.spec.write_selected) {
+                    std::string wkey(key.substr(0, kEventKeyBytes));
+                    wkey += c.selected_suffix;
+                    writebacks.push_back(
+                        yokan::KeyValue{std::move(wkey), serial::to_string(accepted)});
+                }
+                page.entries.push_back(std::move(entry));
+                return true;
+            });
+        if (!chunk.ok()) return chunk.status();
+
+        if (!chunk->last_key.empty()) c.pos = chunk->last_key;
+        if (chunk->exhausted) c.done = true;
+
+        if (!writebacks.empty()) {
+            // Mutations route through the replica group when one is
+            // configured, like any other write the provider accepts.
+            replica::ReplicaSet* rs = databases_.find_replica_set(c.db_name);
+            for (const auto& kv : writebacks) {
+                Status st = rs ? rs->put(kv.key, kv.value, /*overwrite=*/true)
+                               : c.db->put(kv.key, kv.value, /*overwrite=*/true);
+                if (!st.ok()) return st;
+            }
+            stats_.writebacks.fetch_add(writebacks.size(), std::memory_order_relaxed);
+            writebacks.clear();
+        }
+    }
+
+    page.resume_key = c.pos;
+    page.done = c.done;
+    stats_.events_examined.fetch_add(page.events_examined, std::memory_order_relaxed);
+    stats_.rows_examined.fetch_add(page.rows_examined, std::memory_order_relaxed);
+    stats_.bytes_scanned.fetch_add(page.bytes_scanned, std::memory_order_relaxed);
+    return page;
+}
+
+Result<CloseResp> QueryProvider::handle_close(const CloseReq& req) {
+    std::shared_ptr<Cursor> c = find_cursor(req.cursor);
+    if (c && c->db_name == req.db) retire_cursor(req.cursor);
+    return CloseResp{};  // closing an unknown cursor is fine (already retired)
+}
+
+std::size_t QueryProvider::cursor_count() const {
+    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    return cursors_.size();
+}
+
+std::size_t QueryProvider::drop_cursors() {
+    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    std::size_t n = cursors_.size();
+    cursors_.clear();
+    return n;
+}
+
+json::Value QueryProvider::stats_json() const {
+    json::Value v = json::Value::make_object();
+    auto get = [](const std::atomic<std::uint64_t>& a) {
+        return static_cast<std::int64_t>(a.load(std::memory_order_relaxed));
+    };
+    v["queries_opened"] = get(stats_.queries_opened);
+    v["queries_rejected"] = get(stats_.queries_rejected);
+    v["cursors_resumed"] = get(stats_.cursors_resumed);
+    v["cursors_evicted"] = get(stats_.cursors_evicted);
+    v["cursors_live"] = static_cast<std::int64_t>(cursor_count());
+    v["pages_served"] = get(stats_.pages_served);
+    v["pages_prefetched"] = get(stats_.pages_prefetched);
+    v["keys_examined"] = get(stats_.keys_examined);
+    v["events_examined"] = get(stats_.events_examined);
+    v["events_corrupt"] = get(stats_.events_corrupt);
+    v["rows_examined"] = get(stats_.rows_examined);
+    v["events_accepted"] = get(stats_.events_accepted);
+    v["rows_accepted"] = get(stats_.rows_accepted);
+    v["bytes_scanned"] = get(stats_.bytes_scanned);
+    v["bytes_returned"] = get(stats_.bytes_returned);
+    v["writebacks"] = get(stats_.writebacks);
+    return v;
+}
+
+}  // namespace hep::query

@@ -1,12 +1,83 @@
 #include "workflow/hepnos_app.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
+
+#include "hepnos/query.hpp"
+#include "query/evaluator.hpp"
 
 namespace hep::workflow {
 
+namespace {
+
+/// The pushdown variant of the selection: the cuts travel to the servers as
+/// a FilterProgram; only accepted (event, slice-index) pairs travel back.
+/// Each rank queries its offset/stride share of the product databases — the
+/// same granularity the PEP distributes whole databases to ranks.
+WorkflowResult run_pushdown_selection(hepnos::DataStore store, const std::string& dataset_path,
+                                      const HepnosAppOptions& options) {
+    WorkflowResult result;
+    result.workers.resize(options.num_ranks);
+    std::mutex result_mutex;
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    mpisim::run_ranks(static_cast<int>(options.num_ranks), [&](mpisim::Comm& comm) {
+        hepnos::DataSet dataset = store[dataset_path];
+
+        auto spec = query::nova_selection_spec(
+            options.cuts,
+            std::string(hepnos::product_type_name<std::vector<nova::Slice>>()));
+        if (options.store_results) {
+            spec.write_selected = true;
+            spec.selected_label = kSelectedLabel;
+            spec.selected_type =
+                std::string(hepnos::product_type_name<std::vector<std::uint32_t>>());
+        }
+        query::QueryOptions qopts;
+        qopts.page_entries = options.pushdown_page_entries;
+        qopts.scan_chunk = options.pushdown_scan_chunk;
+
+        const auto start = std::chrono::steady_clock::now();
+        auto res = hepnos::run_query(store, dataset, spec,
+                                     static_cast<std::size_t>(comm.rank()),
+                                     static_cast<std::size_t>(comm.size()), qopts);
+        if (!res.ok()) throw hepnos::Exception(res.status());
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+        std::vector<std::uint64_t> local_ids;
+        for (const auto& entry : res->entries()) {
+            for (std::uint32_t row : entry.rows) {
+                local_ids.push_back(
+                    nova::SliceId{entry.run, entry.subrun, entry.event, row}.packed());
+            }
+        }
+
+        auto merged = comm.reduce_concat(local_ids, 0);
+        {
+            std::lock_guard<std::mutex> lock(result_mutex);
+            const auto& stats = res->stats();
+            result.workers[static_cast<std::size_t>(comm.rank())] =
+                WorkerTiming{seconds, 0, stats.rows_examined};
+            result.slices_processed += stats.rows_examined;
+            result.events_processed += stats.events_examined;
+            if (comm.rank() == 0) result.accepted_ids = std::move(merged);
+        }
+    });
+
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    std::sort(result.accepted_ids.begin(), result.accepted_ids.end());
+    return result;
+}
+
+}  // namespace
+
 WorkflowResult run_hepnos_selection(hepnos::DataStore store, const std::string& dataset_path,
                                     const HepnosAppOptions& options) {
+    if (options.pushdown) return run_pushdown_selection(store, dataset_path, options);
+
     WorkflowResult result;
     result.workers.resize(options.num_ranks);
     std::mutex result_mutex;

@@ -28,6 +28,16 @@ struct HepnosAppOptions {
     /// Type: std::vector<std::uint32_t> of accepted slice indices; only
     /// events with at least one accepted slice get the product.
     bool store_results = false;
+
+    /// Server-side selection pushdown (src/query): instead of the PEP
+    /// pulling every slices product to the client, each rank compiles the
+    /// cuts into a FilterProgram, ships it to the servers, and receives only
+    /// the accepted slice IDs. Produces bit-identical accepted-ID sets to
+    /// the PEP path; store_results is honored via server-side write-back.
+    /// Requires a service deployed with the Bedrock "query" knob.
+    bool pushdown = false;
+    std::uint64_t pushdown_page_entries = 512;  // accepted entries per page
+    std::uint64_t pushdown_scan_chunk = 2048;   // keys per backend scan chunk
 };
 
 /// The label the write-back path stores accepted slice indices under.

@@ -29,6 +29,31 @@ Result<std::vector<KeyValue>> Database::list_keyvals(std::string_view after,
     return out;
 }
 
+Result<Database::ScanChunk> Database::scan_chunk(std::string_view after, std::string_view prefix,
+                                                 std::uint64_t max_keys, bool with_values,
+                                                 const ScanFn& fn) {
+    ScanChunk out;
+    bool limited = false;
+    bool callee_stopped = false;
+    Status st = scan(after, prefix, with_values,
+                     [&](std::string_view key, std::string_view value) {
+                         if (out.examined >= max_keys) {
+                             limited = true;
+                             return false;  // not examined; resume revisits it
+                         }
+                         ++out.examined;
+                         out.last_key.assign(key);
+                         if (!fn(key, value)) {
+                             callee_stopped = true;
+                             return false;
+                         }
+                         return true;
+                     });
+    if (!st.ok()) return st;
+    out.exhausted = !limited && !callee_stopped;
+    return out;
+}
+
 Result<std::unique_ptr<Database>> create_database(const json::Value& config,
                                                   const std::string& base_dir) {
     const std::string type = config["type"].as_string();

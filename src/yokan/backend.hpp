@@ -69,6 +69,25 @@ class Database {
     Result<std::vector<KeyValue>> list_keyvals(std::string_view after, std::string_view prefix,
                                                std::size_t max);
 
+    /// Outcome of one bounded scan chunk (see scan_chunk()).
+    struct ScanChunk {
+        std::string last_key;        // last key examined ("" if none) — resume
+                                     // with after=last_key to continue
+        bool exhausted = true;       // the key space ran out (vs. chunk limit
+                                     // hit or callee stopped early)
+        std::uint64_t examined = 0;  // keys handed to `fn`
+    };
+
+    /// Bounded, resumable scan: like scan(), but examines at most `max_keys`
+    /// keys and reports where it stopped. This is the iterate hook the
+    /// query-pushdown cursors (src/query) and the paged list RPCs build on:
+    /// repeated chunks with after=last_key walk the whole prefix without
+    /// holding the backend's scan lock across pauses, at the cost of
+    /// observing keys inserted between chunks (the documented ListReq
+    /// resume-after contract).
+    Result<ScanChunk> scan_chunk(std::string_view after, std::string_view prefix,
+                                 std::uint64_t max_keys, bool with_values, const ScanFn& fn);
+
     /// Approximate number of live keys.
     virtual std::uint64_t size() const = 0;
 

@@ -83,6 +83,18 @@ Result<std::vector<KeyValue>> DatabaseHandle::list_keyvals(std::string_view afte
     return std::move(r->items);
 }
 
+Result<proto::ScanResp> DatabaseHandle::scan_page(std::string_view after,
+                                                  std::string_view prefix, std::size_t max,
+                                                  bool with_values) const {
+    return with_failover<ScanResp>(
+        true, [&](const std::string& server, rpc::ProviderId provider,
+                  const std::string& db) -> Result<ScanResp> {
+            ListReq req{db, std::string(after), std::string(prefix), max, with_values};
+            return engine_->forward<ListReq, ScanResp>(server, "yokan_scan", provider, req,
+                                                       deadline());
+        });
+}
+
 Result<std::uint64_t> DatabaseHandle::count() const {
     auto r = with_failover<CountResp>(
         true, [&](const std::string& server, rpc::ProviderId provider,

@@ -58,6 +58,11 @@ class DatabaseHandle {
                                                std::size_t max = 128) const;
     Result<std::uint64_t> count() const;
 
+    /// Paged scan with explicit cursor state: examines up to `max` keys and
+    /// reports the exact resume key plus whether the key space ran out.
+    Result<proto::ScanResp> scan_page(std::string_view after, std::string_view prefix,
+                                      std::size_t max = 128, bool with_values = false) const;
+
     /// Batched store: one RPC + one bulk read on the server side.
     /// Returns the number of newly stored pairs.
     Result<std::uint64_t> put_multi(const std::vector<KeyValue>& items,

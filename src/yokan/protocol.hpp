@@ -102,6 +102,20 @@ struct ListKeyValsResp {
     }
 };
 
+/// Paged scan with explicit cursor state: unlike the list RPCs (which leave
+/// the client inferring exhaustion from a short page), the response reports
+/// the exact resume key and whether the key space ran out. The pushdown
+/// cursors (src/query) and pagination-aware clients build on this contract.
+struct ScanResp {
+    std::vector<KeyValue> items;  // values empty unless ListReq::with_values
+    std::string last_key;         // resume with after=last_key
+    bool exhausted = true;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & items & last_key & exhausted;
+    }
+};
+
 struct CountReq {
     std::string db;
     template <typename A>

@@ -219,6 +219,25 @@ void Provider::register_rpcs() {
         },
         pool_);
 
+    eng.define<ListReq, ScanResp>(
+        "yokan_scan", pid,
+        [this](const ListReq& req) -> Result<ScanResp> {
+            auto db = resolve(req.db);
+            if (!db.ok()) return db.status();
+            ScanResp resp;
+            auto chunk = (*db)->scan_chunk(
+                req.after, req.prefix, req.max, req.with_values,
+                [&](std::string_view key, std::string_view value) {
+                    resp.items.push_back(KeyValue{std::string(key), std::string(value)});
+                    return true;
+                });
+            if (!chunk.ok()) return chunk.status();
+            resp.last_key = std::move(chunk->last_key);
+            resp.exhausted = chunk->exhausted;
+            return resp;
+        },
+        pool_);
+
     eng.define<CountReq, CountResp>(
         "yokan_count", pid,
         [this](const CountReq& req) -> Result<CountResp> {

@@ -21,6 +21,7 @@ struct TestServiceOptions {
     std::size_t replication_factor = 1;  // >= 2 turns on primary-backup replication
     bool read_from_replicas = false;     // let reads rotate across backups
     bool monitoring = false;             // expose a symbio provider (id 99)
+    bool query_pushdown = false;         // co-locate query providers (src/query)
 };
 
 /// Builds the bedrock JSON for one server.
@@ -59,6 +60,7 @@ inline json::Value make_server_config(const TestServiceOptions& opts, std::size_
         cfg["replication"]["read_from_replicas"] = opts.read_from_replicas;
     }
     if (opts.monitoring) cfg["monitoring"]["provider_id"] = 99;
+    if (opts.query_pushdown) cfg["query"]["enabled"] = true;
     return cfg;
 }
 

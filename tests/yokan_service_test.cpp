@@ -2,7 +2,9 @@
 // bulk (RDMA-style) batch paths.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <thread>
 
 #include "yokan/client.hpp"
 #include "yokan/provider.hpp"
@@ -180,6 +182,104 @@ TEST_F(YokanServiceTest, ConcurrentClientsDoNotCorrupt) {
     }
     for (auto& th : threads) th.join();
     EXPECT_EQ(*db_.count(), static_cast<std::uint64_t>(kThreads * kKeys));
+}
+
+TEST_F(YokanServiceTest, ScanPageReportsResumeKeyAndExhaustion) {
+    // The explicit-cursor contract the query-pushdown scans build on: unlike
+    // list_keys, scan_page reports the exact key it stopped at (even when the
+    // page is short) and whether the key space ran out.
+    for (int i = 0; i < 10; ++i) {
+        char key[16];
+        std::snprintf(key, sizeof(key), "ev%02d", i);
+        ASSERT_TRUE(db_.put(key, "v").ok());
+    }
+
+    auto page = db_.scan_page("", "ev", 4);
+    ASSERT_TRUE(page.ok());
+    ASSERT_EQ(page->items.size(), 4u);
+    EXPECT_EQ(page->last_key, "ev03");
+    EXPECT_FALSE(page->exhausted);
+
+    // Mutate on both sides of the cursor between pages: a key BEHIND the
+    // resume point must never be revisited; a key AHEAD must be observed.
+    ASSERT_TRUE(db_.put("ev00a", "behind").ok());
+    ASSERT_TRUE(db_.put("ev095", "ahead").ok());
+
+    std::vector<std::string> rest;
+    std::string after = page->last_key;
+    bool exhausted = false;
+    while (!exhausted) {
+        auto next = db_.scan_page(after, "ev", 4);
+        ASSERT_TRUE(next.ok());
+        for (const auto& kv : next->items) rest.push_back(kv.key);
+        if (!next->items.empty()) EXPECT_EQ(next->last_key, next->items.back().key);
+        after = next->last_key;
+        exhausted = next->exhausted;
+    }
+    EXPECT_EQ(rest, (std::vector<std::string>{"ev04", "ev05", "ev06", "ev07", "ev08",
+                                              "ev09", "ev095"}));
+
+    // Prefix with no matches: empty page, empty resume key, exhausted.
+    auto none = db_.scan_page("", "zz", 4);
+    ASSERT_TRUE(none.ok());
+    EXPECT_TRUE(none->items.empty());
+    EXPECT_TRUE(none->last_key.empty());
+    EXPECT_TRUE(none->exhausted);
+}
+
+TEST_F(YokanServiceTest, ListCursorResumeSurvivesConcurrentMutation) {
+    // Regression test for the ListReq resume-after contract under writers:
+    // paging with after+prefix while another client inserts into the same
+    // prefix must yield every pre-existing key exactly once, in order. Keys
+    // inserted ahead of the cursor may appear; keys behind it may not.
+    constexpr int kStable = 200;
+    std::vector<std::string> stable;
+    for (int i = 0; i < kStable; ++i) {
+        char key[24];
+        std::snprintf(key, sizeof(key), "cur-%04d", i);
+        stable.push_back(key);
+        ASSERT_TRUE(db_.put(key, "stable").ok());
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> written{0};
+    std::thread writer([&] {
+        margo::Engine eng(net_, "cursor-writer");
+        DatabaseHandle handle(eng, "server", 1, "events");
+        // Interleave new keys throughout the scanned range (the "-x" suffix
+        // sorts them between stable keys) until the reader is done.
+        for (int i = 0; !stop.load(); i = (i + 7) % kStable) {
+            char key[32];
+            std::snprintf(key, sizeof(key), "cur-%04d-x%04d", i, written.load());
+            if (!handle.put(key, "concurrent").ok()) break;
+            ++written;
+        }
+    });
+
+    std::vector<std::string> collected;
+    std::string after;
+    while (true) {
+        auto page = db_.list_keys(after, "cur-", 16);
+        ASSERT_TRUE(page.ok());
+        if (page->empty()) break;
+        collected.insert(collected.end(), page->begin(), page->end());
+        after = page->back();
+    }
+    stop = true;
+    writer.join();
+    EXPECT_GT(written.load(), 0);
+
+    // Strictly increasing: ordered, and no key delivered twice.
+    for (std::size_t i = 1; i < collected.size(); ++i) {
+        ASSERT_LT(collected[i - 1], collected[i]);
+    }
+    // Every stable key was seen exactly once; everything else is a writer key.
+    std::vector<std::string> seen_stable;
+    for (const auto& key : collected) {
+        if (key.find("-x") == std::string::npos) seen_stable.push_back(key);
+        else EXPECT_EQ(*db_.get(key), "concurrent");
+    }
+    EXPECT_EQ(seen_stable, stable);
 }
 
 TEST_F(YokanServiceTest, LsmBackedProviderOverRpc) {

@@ -1,30 +1,48 @@
 // hepnos_select — run the NOvA candidate selection against a running service.
 //
-//   hepnos_select <descriptor.json> <dataset-path> [ranks]
+//   hepnos_select <descriptor.json> <dataset-path> [ranks] [--pushdown]
 //
-// Connects over TCP, runs the ParallelEventProcessor-based selection
-// application (paper §IV-B) and prints throughput plus the accepted count.
+// Connects over TCP and runs the selection application (paper §IV-B): by
+// default the ParallelEventProcessor pulls every slices product client-side;
+// with --pushdown the cuts are shipped to the servers as a filter program and
+// only the accepted slice IDs come back (requires a service deployed with the
+// Bedrock "query" knob). Both modes print throughput plus the accepted count.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "rpc/tcp_fabric.hpp"
 #include "workflow/hepnos_app.hpp"
 
 int main(int argc, char** argv) {
     using namespace hep;
-    if (argc < 3) {
-        std::fprintf(stderr, "usage: %s <descriptor.json> <dataset-path> [ranks]\n", argv[0]);
+    bool pushdown = false;
+    std::vector<const char*> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--pushdown") == 0) {
+            pushdown = true;
+        } else {
+            positional.push_back(argv[i]);
+        }
+    }
+    if (positional.size() < 2) {
+        std::fprintf(stderr, "usage: %s <descriptor.json> <dataset-path> [ranks] [--pushdown]\n",
+                     argv[0]);
         return 2;
     }
-    const auto ranks = static_cast<std::size_t>(argc > 3 ? std::atoi(argv[3]) : 4);
+    const auto ranks =
+        static_cast<std::size_t>(positional.size() > 2 ? std::atoi(positional[2]) : 4);
     try {
         rpc::TcpFabric fabric;
-        auto store = hepnos::DataStore::connect(fabric, std::string(argv[1]));
+        auto store = hepnos::DataStore::connect(fabric, std::string(positional[0]));
         workflow::HepnosAppOptions opts;
         opts.num_ranks = ranks;
         opts.pep.input_batch_size = 4096;
-        auto result = workflow::run_hepnos_selection(store, argv[2], opts);
-        std::printf("processed %llu events / %llu slices in %.3fs -> %.0f slices/s\n",
+        opts.pushdown = pushdown;
+        auto result = workflow::run_hepnos_selection(store, positional[1], opts);
+        std::printf("[%s] processed %llu events / %llu slices in %.3fs -> %.0f slices/s\n",
+                    pushdown ? "pushdown" : "pep",
                     static_cast<unsigned long long>(result.events_processed),
                     static_cast<unsigned long long>(result.slices_processed),
                     result.wall_seconds, result.throughput_slices_per_s());
