@@ -1,6 +1,7 @@
 #include "bedrock/service.hpp"
 
 #include "common/logging.hpp"
+#include "symbio/buffers.hpp"
 
 namespace hep::bedrock {
 
@@ -134,6 +135,9 @@ Result<std::unique_ptr<ServiceProcess>> ServiceProcess::create(rpc::Fabric& netw
             svc->registry_->add_source("query/" + std::to_string(q->provider_id()),
                                        [q]() { return q->stats_json(); });
         }
+        // Zero-copy buffer pipeline counters (allocations, memcpys, chain
+        // depth) for this process.
+        symbio::add_buffer_source(*svc->registry_);
         svc->symbio_provider_ =
             std::make_unique<symbio::Provider>(*svc->engine_, symbio_id, svc->registry_);
     }

@@ -5,7 +5,7 @@ namespace hep::hepnos {
 namespace detail {
 
 void store_product_bytes(DataStoreImpl& impl, std::string_view container_key,
-                         std::string_view label, std::string_view type, std::string bytes,
+                         std::string_view label, std::string_view type, hep::Buffer bytes,
                          WriteBatch* batch) {
     std::string key = product_key(container_key, label, type);
     if (batch) {
@@ -13,18 +13,27 @@ void store_product_bytes(DataStoreImpl& impl, std::string_view container_key,
         return;
     }
     const auto& db = impl.locate(Role::kProducts, container_key);
-    throw_if_error(db.put(key, bytes, /*overwrite=*/true));
+    throw_if_error(db.put(key, std::move(bytes), /*overwrite=*/true));
 }
 
 bool load_product_bytes(DataStoreImpl& impl, std::string_view container_key,
                         std::string_view label, std::string_view type, std::string& bytes) {
+    hep::BufferView view;
+    if (!load_product_view(impl, container_key, label, type, view)) return false;
+    hep::count_buffer_copy(view.size());
+    bytes.assign(view.sv());
+    return true;
+}
+
+bool load_product_view(DataStoreImpl& impl, std::string_view container_key,
+                       std::string_view label, std::string_view type, hep::BufferView& view) {
     const auto& db = impl.locate(Role::kProducts, container_key);
-    auto value = db.get(product_key(container_key, label, type));
+    auto value = db.get_view(product_key(container_key, label, type));
     if (!value.ok()) {
         if (value.status().code() == StatusCode::kNotFound) return false;
         throw Exception(value.status());
     }
-    bytes = std::move(value.value());
+    view = std::move(value.value());
     return true;
 }
 

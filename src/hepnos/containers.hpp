@@ -35,14 +35,20 @@ class Event;
 
 namespace detail {
 
-/// Store a serialized product under its container (direct or batched).
+/// Store a serialized product under its container (direct or batched). The
+/// Buffer travels the whole write path by reference — serialize-once,
+/// copy-never (paper §II-D keeps products on the client→Yokan fast path).
 void store_product_bytes(DataStoreImpl& impl, std::string_view container_key,
-                         std::string_view label, std::string_view type, std::string bytes,
+                         std::string_view label, std::string_view type, hep::Buffer bytes,
                          WriteBatch* batch);
 
 /// Load product bytes; false if the product does not exist.
 bool load_product_bytes(DataStoreImpl& impl, std::string_view container_key,
                         std::string_view label, std::string_view type, std::string& bytes);
+
+/// Zero-copy load: `view` lands anchored to the RPC response frame.
+bool load_product_view(DataStoreImpl& impl, std::string_view container_key,
+                       std::string_view label, std::string_view type, hep::BufferView& view);
 
 bool product_exists(DataStoreImpl& impl, std::string_view container_key, std::string_view label,
                     std::string_view type);
@@ -74,7 +80,7 @@ class ProductContainer {
     void store(std::string_view label, const T& value, WriteBatch* batch = nullptr) const {
         const auto& self = static_cast<const Derived&>(*this);
         detail::store_product_bytes(*self.impl(), self.container_key(), label,
-                                    product_type_name<T>(), serial::to_string(value), batch);
+                                    product_type_name<T>(), serial::to_buffer(value), batch);
     }
     template <typename T>
     void store(const T& value) const {
@@ -86,15 +92,16 @@ class ProductContainer {
     }
 
     /// Load the product with this label and type. Returns false if absent.
+    /// Deserializes straight out of the response frame (no staging copy).
     template <typename T>
     bool load(std::string_view label, T& value) const {
         const auto& self = static_cast<const Derived&>(*this);
-        std::string bytes;
-        if (!detail::load_product_bytes(*self.impl(), self.container_key(), label,
-                                        product_type_name<T>(), bytes)) {
+        hep::BufferView bytes;
+        if (!detail::load_product_view(*self.impl(), self.container_key(), label,
+                                       product_type_name<T>(), bytes)) {
             return false;
         }
-        serial::from_string(bytes, value);  // throws SerializationError on corruption
+        serial::from_string(bytes.sv(), value);  // throws SerializationError on corruption
         return true;
     }
     template <typename T>

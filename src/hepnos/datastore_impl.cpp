@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "replica/bootstrap.hpp"
+#include "symbio/buffers.hpp"
 
 namespace hep::hepnos {
 
@@ -79,6 +80,7 @@ Result<std::shared_ptr<DataStoreImpl>> DataStoreImpl::connect(rpc::Fabric& netwo
     }
 
     impl->metrics_ = std::make_shared<symbio::MetricsRegistry>();
+    symbio::add_buffer_source(*impl->metrics_);
     impl->failover_counters_ = std::make_shared<replica::FailoverCounters>();
     impl->query_enabled_ = config["query"].as_bool(false);
 

@@ -30,7 +30,7 @@ std::shared_ptr<ProductCache> ParallelEventProcessor::prefetch_products(
     }
     for (auto& [db_index, keys] : by_db) {
         const auto& handle = impl.databases(Role::kProducts)[db_index];
-        auto values = handle.get_multi(keys);
+        auto values = handle.get_multi_views(keys);
         if (!values.ok()) throw Exception(values.status());
         for (std::size_t i = 0; i < keys.size(); ++i) {
             if ((*values)[i].has_value()) {

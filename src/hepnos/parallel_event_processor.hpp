@@ -46,10 +46,16 @@ struct ParallelEventProcessorStatistics {
 };
 
 /// Products prefetched for a batch of events, keyed by full product key.
+/// Entries are refcounted views into the get_multi receive buffer — one
+/// allocation per prefetch page, no per-product copies.
 class ProductCache {
   public:
-    void put(std::string key, std::string bytes) {
+    void put(std::string key, hep::BufferView bytes) {
         items_.emplace(std::move(key), std::move(bytes));
+    }
+    /// Compatibility shim: adopts the string into owned storage (no copy).
+    void put(std::string key, std::string bytes) {
+        put(std::move(key), hep::BufferView(hep::Buffer::adopt(std::move(bytes))));
     }
 
     /// Load a prefetched product; false if it was not prefetched (the caller
@@ -59,14 +65,14 @@ class ProductCache {
         auto it = items_.find(product_key(event.container_key(), label,
                                           product_type_name<T>()));
         if (it == items_.end()) return false;
-        serial::from_string(it->second, value);
+        serial::from_string(it->second.sv(), value);
         return true;
     }
 
     [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
 
   private:
-    std::map<std::string, std::string, std::less<>> items_;
+    std::map<std::string, hep::BufferView, std::less<>> items_;
 };
 
 class ParallelEventProcessor {

@@ -25,7 +25,7 @@ void Prefetcher::visit_container(const Uuid& dataset, std::string_view parent_ke
                 }
             }
             for (auto& [db, keys] : by_db) {
-                auto values = impl.databases(Role::kProducts)[db].get_multi(keys);
+                auto values = impl.databases(Role::kProducts)[db].get_multi_views(keys);
                 if (!values.ok()) throw Exception(values.status());
                 for (std::size_t i = 0; i < keys.size(); ++i) {
                     if ((*values)[i].has_value()) {

@@ -21,16 +21,16 @@ WriteBatch::~WriteBatch() {
 }
 
 void WriteBatch::add(Role role, std::string_view parent_key, std::string key,
-                     std::string value) {
+                     hep::Buffer value) {
     const yokan::DatabaseHandle& handle = impl_->locate(role, parent_key);
     TargetKey tk{handle.server(), handle.provider(), handle.name()};
     auto it = groups_.find(tk);
     if (it == groups_.end()) {
         it = groups_.emplace(std::move(tk),
-                             std::make_pair(handle, std::vector<yokan::KeyValue>{}))
+                             std::make_pair(handle, std::vector<yokan::BatchItem>{}))
                  .first;
     }
-    it->second.second.push_back(yokan::KeyValue{std::move(key), std::move(value)});
+    it->second.second.push_back(yokan::BatchItem{std::move(key), std::move(value)});
     ++pending_;
     if (it->second.second.size() >= flush_threshold_) {
         auto items = std::move(it->second.second);
@@ -54,7 +54,7 @@ void WriteBatch::flush() {
     }
 }
 
-void WriteBatch::ship(const yokan::DatabaseHandle& handle, std::vector<yokan::KeyValue> items) {
+void WriteBatch::ship(const yokan::DatabaseHandle& handle, std::vector<yokan::BatchItem> items) {
     auto stored = handle.put_multi(items, /*overwrite=*/true);
     throw_if_error(stored.status());
 }
@@ -75,18 +75,17 @@ AsyncWriteBatch::~AsyncWriteBatch() {
 }
 
 void AsyncWriteBatch::ship(const yokan::DatabaseHandle& handle,
-                           std::vector<yokan::KeyValue> items) {
-    // Issue the put_multi without blocking: pack, expose, fire the RPC, and
-    // remember the pending completion. The packed buffer stays alive in
-    // `in_flight_` until wait().
+                           std::vector<yokan::BatchItem> items) {
+    // Issue the put_packed without blocking: the request chain references the
+    // item buffers (headers in one metadata segment, values zero-copy), so
+    // nothing is packed into a contiguous staging buffer. The items stay
+    // alive in `in_flight_` until wait().
     auto pending = std::make_unique<Pending>();
-    for (const auto& kv : items) yokan::proto::pack_entry(pending->packed, kv.key, kv.value);
-    auto& endpoint = impl_->engine().endpoint();
-    pending->bulk = endpoint.expose(pending->packed.data(), pending->packed.size());
-    yokan::proto::PutMultiReq req{handle.name(), pending->bulk, items.size(),
-                                  pending->packed.size(), /*overwrite=*/true};
-    pending->eventual = endpoint.call_async(handle.server(), "yokan_put_multi",
-                                            handle.provider(), serial::to_string(req));
+    pending->items = std::move(items);
+    yokan::proto::PutPackedReq req{handle.name(), pending->items.size(), /*overwrite=*/true,
+                                   yokan::proto::pack_items(pending->items)};
+    pending->eventual = impl_->engine().endpoint().call_async_chain(
+        handle.server(), "yokan_put_packed", handle.provider(), serial::to_chain(req));
     pending->handle = handle;
     in_flight_.push_back(std::move(pending));
 }
@@ -95,19 +94,13 @@ void AsyncWriteBatch::wait() {
     Status first_error;
     for (auto& pending : in_flight_) {
         auto& result = pending->eventual->wait();
-        impl_->engine().endpoint().unexpose(pending->bulk);
         if (result.ok()) continue;
         Status st = result.status();
         if (pending->handle.failover() && replica::FailoverState::retryable(st.code())) {
             // The fire-and-forget RPC went to the (then-)primary and the
             // transport failed. Fall back to the synchronous failover-aware
             // path so the batch lands on a surviving replica.
-            std::vector<yokan::KeyValue> items;
-            yokan::proto::unpack_entries(
-                pending->packed, [&](std::string_view k, std::string_view v) {
-                    items.push_back(yokan::KeyValue{std::string(k), std::string(v)});
-                });
-            st = pending->handle.put_multi(items, /*overwrite=*/true).status();
+            st = pending->handle.put_multi(pending->items, /*overwrite=*/true).status();
         }
         if (!st.ok() && first_error.ok()) first_error = st;
     }

@@ -29,8 +29,14 @@ class WriteBatch {
     WriteBatch(const WriteBatch&) = delete;
     WriteBatch& operator=(const WriteBatch&) = delete;
 
-    /// Queue a put; placement follows the same rule as direct writes.
-    void add(Role role, std::string_view parent_key, std::string key, std::string value);
+    /// Queue a put; placement follows the same rule as direct writes. The
+    /// Buffer value is held by reference until the group ships — the product
+    /// bytes are never copied into the batch.
+    void add(Role role, std::string_view parent_key, std::string key, hep::Buffer value);
+    /// Compatibility shim: adopts the string into a Buffer (no copy).
+    void add(Role role, std::string_view parent_key, std::string key, std::string value) {
+        add(role, parent_key, std::move(key), hep::Buffer::adopt(std::move(value)));
+    }
 
     /// Send everything queued; throws hepnos::Exception on failure.
     void flush();
@@ -50,11 +56,11 @@ class WriteBatch {
     };
 
     /// Ship one group; overridden by AsyncWriteBatch.
-    virtual void ship(const yokan::DatabaseHandle& handle, std::vector<yokan::KeyValue> items);
+    virtual void ship(const yokan::DatabaseHandle& handle, std::vector<yokan::BatchItem> items);
 
     std::shared_ptr<DataStoreImpl> impl_;
     std::size_t flush_threshold_;
-    std::map<TargetKey, std::pair<yokan::DatabaseHandle, std::vector<yokan::KeyValue>>> groups_;
+    std::map<TargetKey, std::pair<yokan::DatabaseHandle, std::vector<yokan::BatchItem>>> groups_;
     std::size_t pending_ = 0;
     std::uint64_t total_flushed_ = 0;
     std::uint64_t flush_rpcs_ = 0;
@@ -72,13 +78,15 @@ class AsyncWriteBatch final : public WriteBatch {
     void wait();
 
   protected:
-    void ship(const yokan::DatabaseHandle& handle, std::vector<yokan::KeyValue> items) override;
+    void ship(const yokan::DatabaseHandle& handle, std::vector<yokan::BatchItem> items) override;
 
   private:
     struct Pending {
-        std::string packed;  // must outlive the bulk pull
-        rpc::BulkRef bulk;
-        std::shared_ptr<abt::Eventual<Result<std::string>>> eventual;
+        // The items keep the product buffers alive while the send is in
+        // flight, and feed the synchronous failover retry path directly —
+        // no re-unpacking of a packed copy.
+        std::vector<yokan::BatchItem> items;
+        std::shared_ptr<abt::Eventual<Result<hep::BufferChain>>> eventual;
         yokan::DatabaseHandle handle;  // for the failover retry path
     };
     std::vector<std::unique_ptr<Pending>> in_flight_;

@@ -39,8 +39,8 @@ std::shared_ptr<abt::Pool> Engine::create_pool(const std::string& name, std::siz
     return pool;
 }
 
-void Engine::define_with_context(std::string_view name, rpc::ProviderId provider_id,
-                                 RawHandler handler, std::shared_ptr<abt::Pool> pool) {
+void Engine::define_chain(std::string_view name, rpc::ProviderId provider_id,
+                          ChainHandler handler, std::shared_ptr<abt::Pool> pool) {
     auto target_pool = pool ? std::move(pool) : pool_;
     const std::size_t stack_size = config_.handler_stack_size;
     endpoint_->register_handler(
@@ -48,13 +48,15 @@ void Engine::define_with_context(std::string_view name, rpc::ProviderId provider
         [target_pool, handler = std::move(handler), stack_size](rpc::RequestContext& ctx) {
             // The rpc layer owns the context only for the duration of this
             // callback; move it into the ULT so the handler can respond later.
+            // The payload chain's segments own their bytes (receive buffer /
+            // sender's buffers), so they survive the ULT switch.
             auto owned = std::make_shared<rpc::RequestContext>(std::move(ctx));
             abt::Ult::create(
                 target_pool,
                 [owned, handler] {
-                    Result<std::string> out = [&]() -> Result<std::string> {
+                    Result<hep::BufferChain> out = [&]() -> Result<hep::BufferChain> {
                         try {
-                            return handler(owned->payload(), *owned);
+                            return handler(owned->payload_chain(), *owned);
                         } catch (const std::exception& e) {
                             return Status::Internal(std::string("handler exception: ") +
                                                     e.what());
@@ -68,6 +70,25 @@ void Engine::define_with_context(std::string_view name, rpc::ProviderId provider
                 },
                 stack_size);
         });
+}
+
+void Engine::define_with_context(std::string_view name, rpc::ProviderId provider_id,
+                                 RawHandler handler, std::shared_ptr<abt::Pool> pool) {
+    // String compatibility shim over define_chain: flattens the request,
+    // adopts the response.
+    define_chain(
+        name, provider_id,
+        [handler = std::move(handler)](const hep::BufferChain&,
+                                       rpc::RequestContext& ctx) -> Result<hep::BufferChain> {
+            Result<std::string> out = handler(ctx.payload(), ctx);
+            if (!out.ok()) return out.status();
+            hep::BufferChain resp;
+            if (!out.value().empty()) {
+                resp.append(hep::Buffer::adopt(std::move(out.value())));
+            }
+            return resp;
+        },
+        std::move(pool));
 }
 
 void Engine::define_raw(std::string_view name, rpc::ProviderId provider_id,

@@ -56,29 +56,43 @@ class Engine {
 
     /// Register a typed RPC handler for (name, provider_id).
     /// The handler runs as a ULT in `pool` (default: the engine pool).
+    /// Requests decode straight from the payload chain and responses are
+    /// serialized to a chain, so hep::Buffer fields in Req/Resp travel by
+    /// reference the whole way.
     template <typename Req, typename Resp>
     void define(std::string_view name, rpc::ProviderId provider_id,
                 std::function<Result<Resp>(const Req&)> handler,
                 std::shared_ptr<abt::Pool> pool = nullptr) {
-        define_raw(
+        define_chain(
             name, provider_id,
-            [handler = std::move(handler)](const std::string& payload) -> Result<std::string> {
+            [handler = std::move(handler)](const hep::BufferChain& payload,
+                                           rpc::RequestContext&) -> Result<hep::BufferChain> {
                 Req req{};
                 try {
-                    serial::from_string(payload, req);
+                    serial::from_chain(payload, req);
                 } catch (const serial::SerializationError& e) {
                     return Status::InvalidArgument(std::string("bad request payload: ") +
                                                    e.what());
                 }
                 Result<Resp> out = handler(req);
                 if (!out.ok()) return out.status();
-                return serial::to_string(out.value());
+                return serial::to_chain(out.value());
             },
             std::move(pool));
     }
 
-    /// Untyped variant: payload-in, payload-out. The handler may also use the
-    /// context for bulk transfers.
+    /// Untyped chain handler: scatter-gather payload in, scatter-gather
+    /// payload out. The handler may also use the context for bulk transfers.
+    /// The chain (and any views sliced from it) owns its bytes, so it is safe
+    /// to keep across the ULT switch and beyond the handler's return.
+    using ChainHandler = std::function<Result<hep::BufferChain>(const hep::BufferChain& payload,
+                                                                rpc::RequestContext& ctx)>;
+    void define_chain(std::string_view name, rpc::ProviderId provider_id, ChainHandler handler,
+                      std::shared_ptr<abt::Pool> pool = nullptr);
+
+    /// Untyped variant over contiguous strings. Compatibility shim: the
+    /// request chain is flattened (a counted copy) before the handler runs —
+    /// prefer define_chain() on hot paths.
     using RawHandler =
         std::function<Result<std::string>(const std::string& payload, rpc::RequestContext& ctx)>;
     void define_with_context(std::string_view name, rpc::ProviderId provider_id,
@@ -94,11 +108,12 @@ class Engine {
     Result<Resp> forward(const std::string& to, std::string_view name,
                          rpc::ProviderId provider_id, const Req& req,
                          std::chrono::milliseconds deadline = std::chrono::milliseconds{0}) {
-        auto raw = endpoint_->call(to, name, provider_id, serial::to_string(req), deadline);
+        auto raw =
+            endpoint_->call_chain(to, name, provider_id, serial::to_chain(req), deadline);
         if (!raw.ok()) return raw.status();
         Resp resp{};
         try {
-            serial::from_string(raw.value(), resp);
+            serial::from_chain(raw.value(), resp);
         } catch (const serial::SerializationError& e) {
             return Status::Corruption(std::string("bad response payload: ") + e.what());
         }

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "rpc/message.hpp"
 
 namespace hep::replica {
@@ -55,7 +56,11 @@ struct Record {
     std::uint8_t op = 0;     // replica::Op
     std::uint8_t flags = 0;  // kFlag*
     std::string key;
-    std::string value;
+    /// Refcounted: a write-batch flush shares the SAME packed bytes between
+    /// the local log record and every peer ship — copying a Record (log →
+    /// resend batch → ApplyReq) bumps a refcount instead of duplicating the
+    /// payload, and serialization reads straight out of the shared storage.
+    hep::Buffer value;
 
     [[nodiscard]] std::size_t bytes() const noexcept { return key.size() + value.size() + 16; }
 

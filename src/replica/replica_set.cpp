@@ -46,17 +46,17 @@ ReplicaSet::ReplicaSet(margo::Engine& engine, Target self, std::vector<Target> p
 
 // ---- local mutation path ---------------------------------------------------
 
-Status ReplicaSet::put(std::string_view key, std::string_view value, bool overwrite) {
+Status ReplicaSet::put(std::string_view key, hep::Buffer value, bool overwrite) {
     Record rec;
     {
         abt::LockGuard guard(mu_);
-        Status st = db_->put(key, value, overwrite);
+        Status st = db_->put_view(key, value.view(), overwrite);
         if (!st.ok()) return st;
         rec.seq = next_seq_++;
         rec.op = static_cast<std::uint8_t>(Op::kPut);
         rec.flags = overwrite ? kFlagOverwrite : 0;
         rec.key = std::string(key);
-        rec.value = std::string(value);
+        rec.value = std::move(value);
         append_to_log(rec);
         persist_meta_locked();
     }
@@ -84,15 +84,19 @@ Status ReplicaSet::erase(std::string_view key) {
     return Status::OK();
 }
 
-Result<std::pair<std::uint64_t, std::uint64_t>> ReplicaSet::put_packed(const std::string& packed,
+Result<std::pair<std::uint64_t, std::uint64_t>> ReplicaSet::put_packed(hep::Buffer packed,
                                                                        bool overwrite) {
     std::uint64_t stored = 0, already = 0;
     Record rec;
     {
         abt::LockGuard guard(mu_);
-        bool well_formed =
-            yokan::proto::unpack_entries(packed, [&](std::string_view k, std::string_view v) {
-                Status st = db_->put(k, v, overwrite);
+        // Unpack as views anchored in `packed`: the local store, the log
+        // record, and every peer ship all reference the same immutable bytes.
+        hep::BufferChain entries;
+        entries.append(packed.view());
+        bool well_formed = yokan::proto::unpack_entries_chain(
+            entries, [&](std::string_view k, hep::BufferView v) {
+                Status st = db_->put_view(k, std::move(v), overwrite);
                 if (st.ok()) ++stored;
                 else if (st.code() == StatusCode::kAlreadyExists) ++already;
             });
@@ -100,7 +104,7 @@ Result<std::pair<std::uint64_t, std::uint64_t>> ReplicaSet::put_packed(const std
         rec.seq = next_seq_++;
         rec.op = static_cast<std::uint8_t>(Op::kPutBatch);
         rec.flags = overwrite ? kFlagOverwrite : 0;
-        rec.value = packed;  // the whole flush replicates as ONE record
+        rec.value = std::move(packed);  // the whole flush replicates as ONE record
         append_to_log(rec);
         persist_meta_locked();
     }
@@ -122,7 +126,7 @@ Result<std::uint64_t> ReplicaSet::erase_multi(const std::vector<std::string>& ke
         }
         rec.seq = next_seq_++;
         rec.op = static_cast<std::uint8_t>(Op::kEraseBatch);
-        rec.value = std::move(packed);
+        rec.value = hep::Buffer::adopt(std::move(packed));
         append_to_log(rec);
         persist_meta_locked();
     }
@@ -138,7 +142,9 @@ Status ReplicaSet::apply_record(const Record& rec) {
     const bool overwrite = (rec.flags & kFlagOverwrite) != 0;
     switch (static_cast<Op>(rec.op)) {
         case Op::kPut: {
-            Status st = db_->put(rec.key, rec.value, overwrite);
+            // The backend shares the record's buffer (view anchored in it)
+            // rather than copying the value out.
+            Status st = db_->put_view(rec.key, rec.value.view(), overwrite);
             // Replay is idempotent: a create-mode put that already landed is ok.
             if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
             return Status::OK();
@@ -150,9 +156,11 @@ Status ReplicaSet::apply_record(const Record& rec) {
         }
         case Op::kPutBatch: {
             Status bad = Status::OK();
-            bool well_formed = yokan::proto::unpack_entries(
-                rec.value, [&](std::string_view k, std::string_view v) {
-                    Status st = db_->put(k, v, overwrite);
+            hep::BufferChain entries;
+            entries.append(rec.value.view());
+            bool well_formed = yokan::proto::unpack_entries_chain(
+                entries, [&](std::string_view k, hep::BufferView v) {
+                    Status st = db_->put_view(k, std::move(v), overwrite);
                     if (!st.ok() && st.code() != StatusCode::kAlreadyExists && bad.ok()) bad = st;
                 });
             if (!well_formed) return Status::InvalidArgument("malformed replicated batch");
@@ -160,7 +168,8 @@ Status ReplicaSet::apply_record(const Record& rec) {
         }
         case Op::kEraseBatch: {
             bool well_formed = yokan::proto::unpack_entries(
-                rec.value, [&](std::string_view k, std::string_view) { (void)db_->erase(k); });
+                rec.value.sv(),
+                [&](std::string_view k, std::string_view) { (void)db_->erase(k); });
             if (!well_formed) return Status::InvalidArgument("malformed replicated batch");
             return Status::OK();
         }
@@ -294,11 +303,13 @@ void ReplicaSet::repair_peer(Peer& peer, std::uint64_t need_from) {
                 use_snapshot = true;
                 upto = next_seq_ - 1;
                 std::string chunk;
+                chunk.reserve(kSnapshotChunk + 4096);
                 (void)db_->scan({}, {}, true, [&](std::string_view k, std::string_view v) {
                     yokan::proto::pack_entry(chunk, k, v);
                     if (chunk.size() >= kSnapshotChunk) {
                         chunks.push_back(std::move(chunk));
                         chunk.clear();
+                        chunk.reserve(kSnapshotChunk + 4096);
                     }
                     return true;
                 });
@@ -378,11 +389,13 @@ void ReplicaSet::push_state_to_origin(const std::string& origin) {
         abt::LockGuard guard(mu_);
         upto = next_seq_ - 1;
         std::string chunk;
+        chunk.reserve(kSnapshotChunk + 4096);
         (void)db_->scan({}, {}, true, [&](std::string_view k, std::string_view v) {
             yokan::proto::pack_entry(chunk, k, v);
             if (chunk.size() >= kSnapshotChunk) {
                 chunks.push_back(std::move(chunk));
                 chunk.clear();
+                chunk.reserve(kSnapshotChunk + 4096);
             }
             return true;
         });

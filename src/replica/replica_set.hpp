@@ -59,12 +59,25 @@ class ReplicaSet {
     [[nodiscard]] const std::vector<Target>& peers() const noexcept { return peers_; }
 
     // ---- mutation path (provider routes client writes here) ---------------
-    Status put(std::string_view key, std::string_view value, bool overwrite);
+    /// The value buffer is shared between the local store, the log record and
+    /// every peer ship — no copy is made on the replication path.
+    Status put(std::string_view key, hep::Buffer value, bool overwrite);
+    /// Compatibility shim: copies `value` into owned storage first.
+    Status put(std::string_view key, std::string_view value, bool overwrite) {
+        return put(key, hep::Buffer::copy_of(value), overwrite);
+    }
     Status erase(std::string_view key);
     /// One write-batch flush: `packed` is the wire format of the yokan bulk
-    /// protocol and replicates as ONE record. Returns (stored, already).
-    Result<std::pair<std::uint64_t, std::uint64_t>> put_packed(const std::string& packed,
+    /// protocol and replicates as ONE record. The buffer is shared, not
+    /// copied: the log record and every peer ship reference the same
+    /// immutable bytes the flush arrived with. Returns (stored, already).
+    Result<std::pair<std::uint64_t, std::uint64_t>> put_packed(hep::Buffer packed,
                                                                bool overwrite);
+    /// Compatibility shim: copies `packed` into owned storage first.
+    Result<std::pair<std::uint64_t, std::uint64_t>> put_packed(const std::string& packed,
+                                                               bool overwrite) {
+        return put_packed(hep::Buffer::copy_of(packed), overwrite);
+    }
     Result<std::uint64_t> erase_multi(const std::vector<std::string>& keys);
 
     // ---- replication protocol (provider RPC handlers call these) ----------

@@ -24,9 +24,13 @@ std::uint64_t handler_key(RpcId rpc, ProviderId provider) noexcept {
 
 // ----------------------------------------------------------- RequestContext
 
-void RequestContext::respond(std::string payload) {
+void RequestContext::respond(hep::BufferChain payload) {
     assert(!responded_ && "respond() called twice");
     responded_ = true;
+    // The handler's frame is about to unwind while the response sits in the
+    // target's queue: every segment must own its bytes.
+    payload.ensure_owned();
+    hep::count_chain_sent(payload.depth());
     Message resp;
     resp.type = MessageType::kResponse;
     resp.seq = msg_.seq;
@@ -37,6 +41,12 @@ void RequestContext::respond(std::string payload) {
         HEP_LOG_DEBUG("response to %s undeliverable: %s", msg_.origin.c_str(),
                       st.to_string().c_str());
     }
+}
+
+void RequestContext::respond(std::string payload) {
+    hep::BufferChain chain;
+    if (!payload.empty()) chain.append(hep::Buffer::adopt(std::move(payload)));
+    respond(std::move(chain));
 }
 
 void RequestContext::respond_error(Status status) {
@@ -58,6 +68,11 @@ Status RequestContext::bulk_get(const BulkRef& remote, std::uint64_t remote_offs
 Status RequestContext::bulk_put(const void* src, const BulkRef& remote,
                                 std::uint64_t remote_offset, std::uint64_t len) {
     return endpoint_.bulk_put(src, remote, remote_offset, len);
+}
+
+Status RequestContext::bulk_put_chain(const hep::BufferChain& src, const BulkRef& remote,
+                                      std::uint64_t remote_offset) {
+    return endpoint_.bulk_put_chain(src, remote, remote_offset);
 }
 
 // ------------------------------------------------------------------ Endpoint
@@ -83,7 +98,7 @@ void Endpoint::shutdown() {
         pending.swap(pending_);
     }
     for (auto& [seq, call] : pending) {
-        call.eventual->set(Status::Cancelled("endpoint shut down with call in flight"));
+        call.fail(Status::Cancelled("endpoint shut down with call in flight"));
     }
 }
 
@@ -172,18 +187,22 @@ void Endpoint::dispatch_request(Message msg) {
 }
 
 void Endpoint::complete_response(Message msg) {
-    std::shared_ptr<abt::Eventual<Result<std::string>>> ev;
+    PendingCall call;
     {
         std::lock_guard<std::mutex> lock(pending_mutex_);
         auto it = pending_.find(msg.seq);
         if (it == pending_.end()) return;  // late/duplicate/expired response
-        ev = std::move(it->second.eventual);
+        call = std::move(it->second);
         pending_.erase(it);
     }
-    if (msg.status.ok()) {
-        ev->set(std::move(msg.payload));
+    if (!msg.status.ok()) {
+        call.fail(std::move(msg.status));
+    } else if (call.chain_eventual) {
+        call.chain_eventual->set(std::move(msg.payload));
     } else {
-        ev->set(std::move(msg.status));
+        // String shim: buy back contiguity here, once (zero-copy when the
+        // payload is a single whole-buffer segment).
+        call.string_eventual->set(std::move(msg.payload).into_string());
     }
 }
 
@@ -204,16 +223,20 @@ std::chrono::steady_clock::time_point Endpoint::expire_deadlines() {
         }
     }
     for (auto& call : expired) {
-        call.eventual->set(Status::DeadlineExceeded(call.describe + " exceeded its deadline"));
+        const std::string describe = call.describe;
+        call.fail(Status::DeadlineExceeded(describe + " exceeded its deadline"));
     }
     return nearest;
 }
 
-std::shared_ptr<abt::Eventual<Result<std::string>>> Endpoint::call_async(
-    const std::string& to, std::string_view rpc_name, ProviderId provider, std::string payload,
-    std::chrono::milliseconds deadline) {
-    auto ev = std::make_shared<abt::Eventual<Result<std::string>>>();
+std::uint64_t Endpoint::send_request(const std::string& to, std::string_view rpc_name,
+                                     ProviderId provider, hep::BufferChain payload,
+                                     std::chrono::milliseconds deadline, PendingCall call) {
     if (deadline.count() == 0) deadline = default_deadline();
+    // The caller may return (deadline expiry, shutdown) while the request
+    // still sits in the target's queue: the payload must own its bytes.
+    payload.ensure_owned();
+    hep::count_chain_sent(payload.depth());
     Message req;
     req.type = MessageType::kRequest;
     req.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
@@ -223,8 +246,6 @@ std::shared_ptr<abt::Eventual<Result<std::string>>> Endpoint::call_async(
     req.payload = std::move(payload);
     {
         std::lock_guard<std::mutex> lock(pending_mutex_);
-        PendingCall call;
-        call.eventual = ev;
         if (deadline.count() > 0) {
             call.deadline = std::chrono::steady_clock::now() + deadline;
             call.describe = "rpc '" + std::string(rpc_name) + "' to " + to;
@@ -236,12 +257,16 @@ std::shared_ptr<abt::Eventual<Result<std::string>>> Endpoint::call_async(
     const std::uint64_t seq = req.seq;
     Status st = fabric_.deliver(to, std::move(req));
     if (!st.ok()) {
+        PendingCall failed;
         {
             std::lock_guard<std::mutex> lock(pending_mutex_);
-            pending_.erase(seq);
+            auto it = pending_.find(seq);
+            if (it == pending_.end()) return seq;
+            failed = std::move(it->second);
+            pending_.erase(it);
         }
-        ev->set(std::move(st));
-        return ev;
+        failed.fail(std::move(st));
+        return seq;
     }
     // Wake the progress loop so it re-arms its sleep against the (possibly
     // nearer) new deadline.
@@ -252,7 +277,36 @@ std::shared_ptr<abt::Eventual<Result<std::string>>> Endpoint::call_async(
         }
         queue_cv_.notify_one();
     }
+    return seq;
+}
+
+std::shared_ptr<abt::Eventual<Result<hep::BufferChain>>> Endpoint::call_async_chain(
+    const std::string& to, std::string_view rpc_name, ProviderId provider,
+    hep::BufferChain payload, std::chrono::milliseconds deadline) {
+    auto ev = std::make_shared<abt::Eventual<Result<hep::BufferChain>>>();
+    PendingCall call;
+    call.chain_eventual = ev;
+    send_request(to, rpc_name, provider, std::move(payload), deadline, std::move(call));
     return ev;
+}
+
+std::shared_ptr<abt::Eventual<Result<std::string>>> Endpoint::call_async(
+    const std::string& to, std::string_view rpc_name, ProviderId provider, std::string payload,
+    std::chrono::milliseconds deadline) {
+    auto ev = std::make_shared<abt::Eventual<Result<std::string>>>();
+    hep::BufferChain chain;
+    if (!payload.empty()) chain.append(hep::Buffer::adopt(std::move(payload)));
+    PendingCall call;
+    call.string_eventual = ev;
+    send_request(to, rpc_name, provider, std::move(chain), deadline, std::move(call));
+    return ev;
+}
+
+Result<hep::BufferChain> Endpoint::call_chain(const std::string& to, std::string_view rpc_name,
+                                              ProviderId provider, hep::BufferChain payload,
+                                              std::chrono::milliseconds deadline) {
+    auto ev = call_async_chain(to, rpc_name, provider, std::move(payload), deadline);
+    return ev->wait();
 }
 
 Result<std::string> Endpoint::call(const std::string& to, std::string_view rpc_name,
@@ -266,7 +320,24 @@ BulkRef Endpoint::expose(void* data, std::uint64_t size) {
     const std::uint64_t id = next_bulk_id_.fetch_add(1, std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(bulk_mutex_);
-        regions_[id] = Region{data, size};
+        Region region;
+        region.data = data;
+        region.size = size;
+        regions_[id] = std::move(region);
+    }
+    return BulkRef{address_, id, size};
+}
+
+BulkRef Endpoint::expose(hep::BufferChain chain) {
+    chain.ensure_owned();  // the region pins the bytes until unexpose()
+    const std::uint64_t size = chain.size();
+    const std::uint64_t id = next_bulk_id_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(bulk_mutex_);
+        Region region;
+        region.size = size;
+        region.chain = std::move(chain);
+        regions_[id] = std::move(region);
     }
     return BulkRef{address_, id, size};
 }
@@ -288,6 +359,26 @@ Status Endpoint::access_region(std::uint64_t region_id, std::uint64_t offset,
     if (offset + len > region.size) {
         return Status::OutOfRange("bulk access beyond exposed region");
     }
+    if (region.data == nullptr) {
+        // Chain-backed region: read-only, gathered from the segments.
+        if (write) {
+            return Status::InvalidArgument("bulk write into a read-only chain region");
+        }
+        auto* dst = static_cast<char*>(local_dst);
+        for (const auto& seg : region.chain.segments()) {
+            if (len == 0) break;
+            if (offset >= seg.size()) {
+                offset -= seg.size();
+                continue;
+            }
+            const std::uint64_t take = std::min<std::uint64_t>(len, seg.size() - offset);
+            std::memcpy(dst, seg.data() + offset, take);
+            dst += take;
+            offset = 0;
+            len -= take;
+        }
+        return Status::OK();
+    }
     if (write) {
         std::memcpy(static_cast<char*>(region.data) + offset, local_src, len);
     } else {
@@ -304,6 +395,11 @@ Status Endpoint::bulk_get(const BulkRef& remote, std::uint64_t remote_offset, vo
 Status Endpoint::bulk_put(const void* src, const BulkRef& remote, std::uint64_t remote_offset,
                           std::uint64_t len) {
     return fabric_.bulk_access(remote, remote_offset, len, /*write=*/true, nullptr, src);
+}
+
+Status Endpoint::bulk_put_chain(const hep::BufferChain& src, const BulkRef& remote,
+                                std::uint64_t remote_offset) {
+    return fabric_.bulk_access_chain(remote, remote_offset, src);
 }
 
 }  // namespace hep::rpc

@@ -9,6 +9,13 @@
 // its receive queue. Request dispatch is pluggable: by default handlers run
 // inline on the progress thread; Margo installs an executor that spawns a ULT
 // in the provider's Argobots pool instead.
+//
+// Payloads are hep::BufferChain scatter-gather lists end to end. The
+// std::string call()/respond() overloads are compatibility shims that adopt
+// (never copy) the string into a single-segment chain; new code should build
+// chains so product bytes travel by reference. Chains handed to call_*() or
+// respond() are promoted to owned segments before they cross the scheduling
+// boundary (the sender may unwind while the message sits in a queue).
 #pragma once
 
 #include <atomic>
@@ -24,6 +31,7 @@
 #include <unordered_map>
 
 #include "abt/sync.hpp"
+#include "common/buffer.hpp"
 #include "common/status.hpp"
 #include "rpc/fabric.hpp"
 #include "rpc/message.hpp"
@@ -37,11 +45,26 @@ class RequestContext {
   public:
     RequestContext(Endpoint& ep, Message msg) : endpoint_(ep), msg_(std::move(msg)) {}
 
-    [[nodiscard]] const std::string& payload() const noexcept { return msg_.payload; }
+    /// The request body as a scatter-gather chain (zero-copy: segments are
+    /// views into the receive buffer / the caller's product bytes).
+    [[nodiscard]] const hep::BufferChain& payload_chain() const noexcept {
+        return msg_.payload;
+    }
+    /// Contiguous request body. Compatibility shim: flattens the chain into a
+    /// cached string on first use (a counted copy) — prefer payload_chain().
+    [[nodiscard]] const std::string& payload() const {
+        if (!flat_valid_) {
+            flat_payload_ = msg_.payload.flatten();
+            flat_valid_ = true;
+        }
+        return flat_payload_;
+    }
     [[nodiscard]] const std::string& origin() const noexcept { return msg_.origin; }
     [[nodiscard]] ProviderId provider() const noexcept { return msg_.provider; }
 
     /// Send the response. Must be called exactly once per request.
+    void respond(hep::BufferChain payload);
+    /// Compatibility shim: adopts the string (no copy) into a chain.
     void respond(std::string payload);
     void respond_error(Status status);
 
@@ -50,10 +73,15 @@ class RequestContext {
                     std::uint64_t len);
     Status bulk_put(const void* src, const BulkRef& remote, std::uint64_t remote_offset,
                     std::uint64_t len);
+    /// Gathered write of a chain into the remote region (no local flatten).
+    Status bulk_put_chain(const hep::BufferChain& src, const BulkRef& remote,
+                          std::uint64_t remote_offset);
 
   private:
     Endpoint& endpoint_;
     Message msg_;
+    mutable std::string flat_payload_;  // lazy flatten cache for payload()
+    mutable bool flat_valid_ = false;
     bool responded_ = false;
 };
 
@@ -84,14 +112,30 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
     /// Status::DeadlineExceeded (a late response is dropped as a duplicate).
     /// A zero deadline falls back to the endpoint default; a zero default
     /// means "wait forever" (the seed behavior).
+    /// Compatibility shim over call_chain(): adopts the payload, flattens the
+    /// response.
     Result<std::string> call(const std::string& to, std::string_view rpc_name,
                              ProviderId provider, std::string payload,
                              std::chrono::milliseconds deadline = std::chrono::milliseconds{0});
 
+    /// Synchronous RPC carrying scatter-gather payloads both ways (zero-copy
+    /// fast path).
+    Result<hep::BufferChain> call_chain(
+        const std::string& to, std::string_view rpc_name, ProviderId provider,
+        hep::BufferChain payload,
+        std::chrono::milliseconds deadline = std::chrono::milliseconds{0});
+
     /// Asynchronous RPC: returns an eventual delivering payload-or-status.
+    /// Compatibility shim: the response chain is flattened into a string.
     std::shared_ptr<abt::Eventual<Result<std::string>>> call_async(
         const std::string& to, std::string_view rpc_name, ProviderId provider,
         std::string payload, std::chrono::milliseconds deadline = std::chrono::milliseconds{0});
+
+    /// Asynchronous chain-payload RPC (zero-copy fast path).
+    std::shared_ptr<abt::Eventual<Result<hep::BufferChain>>> call_async_chain(
+        const std::string& to, std::string_view rpc_name, ProviderId provider,
+        hep::BufferChain payload,
+        std::chrono::milliseconds deadline = std::chrono::milliseconds{0});
 
     /// Default per-RPC deadline applied when call()/call_async() is given a
     /// zero deadline. Zero (the default) disables deadline tracking.
@@ -106,6 +150,10 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
     /// Expose a local memory region; the returned ref can be shipped inside
     /// an RPC payload so the peer can bulk_get/bulk_put against it.
     BulkRef expose(void* data, std::uint64_t size);
+    /// Expose a scatter-gather chain as one logical read-only region (peers
+    /// bulk_get linear offsets; the segments are never flattened locally).
+    /// The region keeps the chain's storage alive until unexpose().
+    BulkRef expose(hep::BufferChain chain);
     /// Withdraw a region (refs become invalid).
     void unexpose(const BulkRef& ref);
 
@@ -114,6 +162,8 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
                     std::uint64_t len);
     Status bulk_put(const void* src, const BulkRef& remote, std::uint64_t remote_offset,
                     std::uint64_t len);
+    Status bulk_put_chain(const hep::BufferChain& src, const BulkRef& remote,
+                          std::uint64_t remote_offset);
 
     /// Stop the progress loop and deregister from the fabric. Idempotent;
     /// also called by the destructor.
@@ -166,22 +216,36 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
     std::atomic<bool> stopped_{false};
     std::atomic<bool> shut_down_{false};
 
-    // Outstanding calls.
+    // Outstanding calls. Exactly one of the two eventuals is armed per call:
+    // the chain one for call_*_chain() callers, the string one for the
+    // compatibility shims (the response is flattened at completion).
     struct PendingCall {
-        std::shared_ptr<abt::Eventual<Result<std::string>>> eventual;
+        std::shared_ptr<abt::Eventual<Result<hep::BufferChain>>> chain_eventual;
+        std::shared_ptr<abt::Eventual<Result<std::string>>> string_eventual;
         std::chrono::steady_clock::time_point deadline;  // time_point::max() = none
         std::string describe;                            // "rpc 'x' to addr" for errors
+
+        void fail(Status st) {
+            if (chain_eventual) chain_eventual->set(std::move(st));
+            else string_eventual->set(std::move(st));
+        }
     };
     std::mutex pending_mutex_;
     std::unordered_map<std::uint64_t, PendingCall> pending_;
     std::atomic<std::uint64_t> next_seq_{1};
     std::atomic<std::int64_t> default_deadline_ms_{0};
 
-    // Exposed bulk regions.
+    std::uint64_t send_request(const std::string& to, std::string_view rpc_name,
+                               ProviderId provider, hep::BufferChain payload,
+                               std::chrono::milliseconds deadline, PendingCall call);
+
+    // Exposed bulk regions: either a contiguous caller-owned range (data) or
+    // a read-only scatter-gather chain whose storage the region pins.
     std::mutex bulk_mutex_;
     struct Region {
-        void* data;
-        std::uint64_t size;
+        void* data = nullptr;
+        std::uint64_t size = 0;
+        hep::BufferChain chain;  // used when data == nullptr
     };
     std::unordered_map<std::uint64_t, Region> regions_;
     std::atomic<std::uint64_t> next_bulk_id_{1};

@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "common/buffer.hpp"
 #include "common/status.hpp"
 #include "rpc/message.hpp"
 
@@ -48,6 +49,21 @@ class Fabric {
     /// write=true:  copy local_src into the region.
     virtual Status bulk_access(const BulkRef& ref, std::uint64_t offset, std::uint64_t len,
                                bool write, void* local_dst, const void* local_src) = 0;
+
+    /// Gathered one-sided write: push the chain's segments into the region at
+    /// `offset` without requiring them to be contiguous locally. The default
+    /// walks the segments through bulk_access; fabrics override it to do the
+    /// write in one shot (loopback: direct memcpys; tcp: one gathered frame).
+    virtual Status bulk_access_chain(const BulkRef& ref, std::uint64_t offset,
+                                     const hep::BufferChain& src) {
+        std::uint64_t at = offset;
+        for (const auto& seg : src.segments()) {
+            Status st = bulk_access(ref, at, seg.size(), /*write=*/true, nullptr, seg.data());
+            if (!st.ok()) return st;
+            at += seg.size();
+        }
+        return Status::OK();
+    }
 
     /// Deregister an endpoint (it stops receiving).
     virtual void remove_endpoint(const std::string& address) = 0;

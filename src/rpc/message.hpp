@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/buffer.hpp"
 #include "common/status.hpp"
 
 namespace hep::rpc {
@@ -19,19 +20,31 @@ RpcId rpc_id_of(std::string_view name) noexcept;
 
 enum class MessageType : std::uint8_t { kRequest = 0, kResponse = 1 };
 
-/// One message on the (simulated) wire.
+/// One message on the (simulated) wire. The payload is a scatter-gather
+/// chain: endpoints and fabrics pass the same refcounted segments along
+/// instead of copying the body at each layer boundary.
 struct Message {
     MessageType type = MessageType::kRequest;
     std::uint64_t seq = 0;        // request/response correlation
     RpcId rpc = 0;                // request only
     ProviderId provider = 0;      // request only
     std::string origin;           // address to send the response to
-    std::string payload;          // serialized body
+    hep::BufferChain payload;     // serialized body (scatter-gather)
     Status status;                // response only: handler-level outcome
 
-    [[nodiscard]] std::size_t wire_size() const noexcept {
-        // Approximate header + payload; used for traffic accounting.
-        return 64 + payload.size();
+    /// Exact number of bytes TcpFabric writes for this message: the
+    /// [u32 len][u8 kind] frame preamble, the serialized wire::MessageHeader
+    /// (fixed fields + u64-length-prefixed origin/status/to_name strings +
+    /// u64 payload length), and the raw payload tail. `to_name_len` is the
+    /// bare destination endpoint name carried in the header (0 on loopback,
+    /// where no frame is built but the same accounting applies). Pinned
+    /// against the actual framing by rpc_test/tcp_test.
+    [[nodiscard]] std::size_t wire_size(std::size_t to_name_len = 0) const noexcept {
+        constexpr std::size_t kPreamble = 4 + 1;                    // len + kind
+        constexpr std::size_t kFixed = 1 + 8 + 4 + 2 + 1 + 8;      // type..status_code+payload_len
+        constexpr std::size_t kStringPrefixes = 3 * 8;             // origin/status/to_name
+        return kPreamble + kFixed + kStringPrefixes + origin.size() +
+               status.message().size() + to_name_len + payload.size();
     }
 };
 

@@ -103,4 +103,23 @@ Status Network::bulk_access(const BulkRef& ref, std::uint64_t offset, std::uint6
     return st;
 }
 
+Status Network::bulk_access_chain(const BulkRef& ref, std::uint64_t offset,
+                                  const hep::BufferChain& src) {
+    auto owner = find(ref.endpoint);
+    if (!owner) return Status::Unavailable("bulk owner " + ref.endpoint + " not reachable");
+    std::uint64_t at = offset;
+    for (const auto& seg : src.segments()) {
+        Status st = owner->access_region(ref.id, at, seg.size(), /*write=*/true, nullptr,
+                                         seg.data());
+        if (!st.ok()) return st;
+        at += seg.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.bulk_transfers;
+        stats_.bulk_bytes += src.size();
+    }
+    return Status::OK();
+}
+
 }  // namespace hep::rpc

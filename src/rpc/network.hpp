@@ -39,6 +39,10 @@ class Network final : public Fabric {
     Status bulk_access(const BulkRef& ref, std::uint64_t offset, std::uint64_t len, bool write,
                        void* local_dst, const void* local_src) override;
 
+    /// Gathered write: one owner lookup, one stats bump, per-segment memcpys.
+    Status bulk_access_chain(const BulkRef& ref, std::uint64_t offset,
+                             const hep::BufferChain& src) override;
+
     void remove_endpoint(const std::string& address) override;
 
     // ---- failure injection ------------------------------------------------

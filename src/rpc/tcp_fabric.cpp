@@ -1,9 +1,11 @@
 #include "rpc/tcp_fabric.hpp"
 
 #include <arpa/inet.h>
+#include <limits.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -14,57 +16,11 @@
 
 namespace hep::rpc {
 
+using wire::kFrameBulkReq;
+using wire::kFrameBulkResp;
+using wire::kFrameMessage;
+
 namespace {
-
-constexpr std::uint8_t kFrameMessage = 1;
-constexpr std::uint8_t kFrameBulkReq = 2;
-constexpr std::uint8_t kFrameBulkResp = 3;
-
-// Wire representations (serialized with the serial archives).
-struct WireMessage {
-    std::uint8_t type = 0;
-    std::uint64_t seq = 0;
-    std::uint32_t rpc = 0;
-    std::uint16_t provider = 0;
-    std::string origin;
-    std::string payload;
-    std::uint8_t status_code = 0;
-    std::string status_message;
-    std::string to_name;  // bare endpoint name on the receiving fabric
-
-    template <typename A>
-    void serialize(A& ar, unsigned) {
-        ar & type & seq & rpc & provider & origin & payload & status_code & status_message &
-            to_name;
-    }
-};
-
-struct WireBulkReq {
-    std::uint64_t bulk_seq = 0;
-    std::string endpoint_name;  // bare name of the region owner
-    std::uint64_t region_id = 0;
-    std::uint64_t offset = 0;
-    std::uint64_t len = 0;
-    std::uint8_t write = 0;
-    std::string data;  // payload for writes
-
-    template <typename A>
-    void serialize(A& ar, unsigned) {
-        ar & bulk_seq & endpoint_name & region_id & offset & len & write & data;
-    }
-};
-
-struct WireBulkResp {
-    std::uint64_t bulk_seq = 0;
-    std::uint8_t status_code = 0;
-    std::string status_message;
-    std::string data;  // payload for reads
-
-    template <typename A>
-    void serialize(A& ar, unsigned) {
-        ar & bulk_seq & status_code & status_message & data;
-    }
-};
 
 bool read_exact(int fd, void* buf, std::size_t n) {
     auto* p = static_cast<char*>(buf);
@@ -77,13 +33,39 @@ bool read_exact(int fd, void* buf, std::size_t n) {
     return true;
 }
 
-bool write_exact(int fd, const void* buf, std::size_t n) {
-    const auto* p = static_cast<const char*>(buf);
-    while (n > 0) {
-        const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+/// Gathered write of every iovec in [iov, iov+count). Mutates the iovecs to
+/// track partial sends; batches by IOV_MAX for large chains.
+bool writev_exact(int fd, struct iovec* iov, std::size_t count) {
+#ifdef IOV_MAX
+    constexpr std::size_t kIovBatch = IOV_MAX < 1024 ? IOV_MAX : 1024;
+#else
+    constexpr std::size_t kIovBatch = 1024;
+#endif
+    while (count > 0) {
+        // Skip fully-sent entries.
+        if (iov->iov_len == 0) {
+            ++iov;
+            --count;
+            continue;
+        }
+        msghdr msg{};
+        msg.msg_iov = iov;
+        msg.msg_iovlen = count < kIovBatch ? count : kIovBatch;
+        ssize_t sent = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
         if (sent <= 0) return false;
-        p += sent;
-        n -= static_cast<std::size_t>(sent);
+        while (sent > 0 && count > 0) {
+            const std::size_t take =
+                static_cast<std::size_t>(sent) < iov->iov_len
+                    ? static_cast<std::size_t>(sent)
+                    : iov->iov_len;
+            iov->iov_base = static_cast<char*>(iov->iov_base) + take;
+            iov->iov_len -= take;
+            sent -= static_cast<ssize_t>(take);
+            if (iov->iov_len == 0) {
+                ++iov;
+                --count;
+            }
+        }
     }
     return true;
 }
@@ -198,12 +180,24 @@ NetworkStats TcpFabric::stats() const {
     return stats_;
 }
 
-Status TcpFabric::send_frame(Connection* conn, std::uint8_t kind, const std::string& payload) {
-    const auto len = static_cast<std::uint32_t>(payload.size());
+Status TcpFabric::send_frame(Connection* conn, std::uint8_t kind, const std::string& header,
+                             const hep::BufferChain& tail) {
+    const auto len = static_cast<std::uint32_t>(header.size() + tail.size());
+    // One gathered write: preamble + header + the chain's segments, straight
+    // from wherever they live (no contiguous frame is ever assembled).
+    std::vector<struct iovec> iov;
+    iov.reserve(2 + 1 + tail.depth());
+    iov.push_back({const_cast<std::uint32_t*>(&len), 4});
+    iov.push_back({const_cast<std::uint8_t*>(&kind), 1});
+    if (!header.empty()) {
+        iov.push_back({const_cast<char*>(header.data()), header.size()});
+    }
+    for (const auto& seg : tail.segments()) {
+        iov.push_back({const_cast<char*>(seg.data()), seg.size()});
+    }
     std::lock_guard<std::mutex> lock(conn->write_mutex);
     if (conn->fd < 0) return Status::Unavailable("connection closed");
-    if (!write_exact(conn->fd, &len, 4) || !write_exact(conn->fd, &kind, 1) ||
-        !write_exact(conn->fd, payload.data(), payload.size())) {
+    if (!writev_exact(conn->fd, iov.data(), iov.size())) {
         return Status::Unavailable("tcp send failed");
     }
     return Status::OK();
@@ -258,11 +252,14 @@ Status TcpFabric::deliver(const std::string& to, Message msg) {
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.messages;
-        stats_.message_bytes += msg.wire_size();
+        // Count the real framed size (header with to_name + payload tail);
+        // the local shortcut charges the same so ratios stay comparable.
+        stats_.message_bytes += msg.wire_size(name.size());
     }
 
     if (hostport == hostport_) {
-        // Local shortcut.
+        // Local shortcut: the payload chain is handed over as-is — the
+        // receiver's views share the sender's buffers (shared memory).
         std::shared_ptr<Endpoint> target;
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -276,28 +273,65 @@ Status TcpFabric::deliver(const std::string& to, Message msg) {
         return Status::OK();
     }
 
-    WireMessage wire;
-    wire.type = static_cast<std::uint8_t>(msg.type);
-    wire.seq = msg.seq;
-    wire.rpc = msg.rpc;
-    wire.provider = msg.provider;
-    wire.origin = msg.origin;
-    wire.payload = std::move(msg.payload);
-    wire.status_code = static_cast<std::uint8_t>(msg.status.code());
-    wire.status_message = msg.status.message();
-    wire.to_name = name;
-
+    const std::string header = serial::to_string(wire::make_header(msg, name));
     auto conn = connection_to(hostport);
     if (!conn.ok()) return conn.status();
-    const std::string frame = serial::to_string(wire);
-    Status st = send_frame(*conn, kFrameMessage, frame);
+    Status st = send_frame(*conn, kFrameMessage, header, msg.payload);
     if (st.ok()) return st;
     // The cached connection is dead (its peer went away). Evict it and retry
     // once on a fresh dial — the peer may have restarted on the same port.
     abandon(hostport, *conn);
     auto fresh = connection_to(hostport);
     if (!fresh.ok()) return fresh.status();
-    return send_frame(*fresh, kFrameMessage, frame);
+    return send_frame(*fresh, kFrameMessage, header, msg.payload);
+}
+
+Status TcpFabric::bulk_roundtrip(const std::string& hostport, wire::BulkReqHeader req,
+                                 const hep::BufferChain& tail, void* local_dst) {
+    auto slot = std::make_shared<BulkSlot>();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        bulk_pending_[req.bulk_seq] = slot;
+    }
+    auto conn = connection_to(hostport);
+    if (!conn.ok()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        bulk_pending_.erase(req.bulk_seq);
+        return conn.status();
+    }
+    const std::string header = serial::to_string(req);
+    Status st = send_frame(*conn, kFrameBulkReq, header, tail);
+    if (!st.ok()) {
+        // Same dead-connection recovery as deliver(): redial once.
+        abandon(hostport, *conn);
+        auto fresh = connection_to(hostport);
+        if (fresh.ok()) st = send_frame(*fresh, kFrameBulkReq, header, tail);
+        if (!st.ok()) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            bulk_pending_.erase(req.bulk_seq);
+            return st;
+        }
+    }
+
+    std::unique_lock<std::mutex> lock(slot->m);
+    if (!slot->cv.wait_for(lock, std::chrono::duration<double>(bulk_timeout_s_),
+                           [&] { return slot->done; })) {
+        std::lock_guard<std::mutex> plock(mutex_);
+        bulk_pending_.erase(req.bulk_seq);
+        return Status::Timeout("bulk transfer to " + hostport + " timed out");
+    }
+    if (!slot->status.ok()) return slot->status;
+    if (!req.write) {
+        if (slot->data.size() != req.len) return Status::Corruption("bulk read size mismatch");
+        std::memcpy(local_dst, slot->data.data(), req.len);
+        hep::count_buffer_copy(req.len);
+    }
+    {
+        std::lock_guard<std::mutex> plock(mutex_);
+        ++stats_.bulk_transfers;
+        stats_.bulk_bytes += req.len;
+    }
+    return Status::OK();
 }
 
 Status TcpFabric::bulk_access(const BulkRef& ref, std::uint64_t offset, std::uint64_t len,
@@ -325,58 +359,61 @@ Status TcpFabric::bulk_access(const BulkRef& ref, std::uint64_t offset, std::uin
         return st;
     }
 
-    WireBulkReq req;
+    wire::BulkReqHeader req;
     req.bulk_seq = next_bulk_seq_.fetch_add(1);
     req.endpoint_name = name;
     req.region_id = ref.id;
     req.offset = offset;
     req.len = len;
     req.write = write ? 1 : 0;
-    if (write) req.data.assign(static_cast<const char*>(local_src), len);
+    hep::BufferChain tail;
+    if (write) {
+        // Borrowed view is safe: the send happens synchronously below and
+        // the redial path reuses the same still-live caller bytes.
+        tail.append(hep::BufferView(
+            std::string_view(static_cast<const char*>(local_src), len)));
+    }
+    return bulk_roundtrip(hostport, std::move(req), tail, local_dst);
+}
 
-    auto slot = std::make_shared<BulkSlot>();
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        bulk_pending_[req.bulk_seq] = slot;
+Status TcpFabric::bulk_access_chain(const BulkRef& ref, std::uint64_t offset,
+                                    const hep::BufferChain& src) {
+    std::string hostport, name;
+    if (!parse_address(ref.endpoint, hostport, name)) {
+        return Status::InvalidArgument("bulk ref has a non-tcp address: " + ref.endpoint);
     }
-    auto conn = connection_to(hostport);
-    if (!conn.ok()) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        bulk_pending_.erase(req.bulk_seq);
-        return conn.status();
-    }
-    const std::string frame = serial::to_string(req);
-    Status st = send_frame(*conn, kFrameBulkReq, frame);
-    if (!st.ok()) {
-        // Same dead-connection recovery as deliver(): redial once.
-        abandon(hostport, *conn);
-        auto fresh = connection_to(hostport);
-        if (fresh.ok()) st = send_frame(*fresh, kFrameBulkReq, frame);
-        if (!st.ok()) {
+
+    if (hostport == hostport_) {
+        std::shared_ptr<Endpoint> owner;
+        {
             std::lock_guard<std::mutex> lock(mutex_);
-            bulk_pending_.erase(req.bulk_seq);
-            return st;
+            auto it = locals_.find(name);
+            if (it != locals_.end()) owner = it->second;
         }
+        if (!owner) return Status::Unavailable("bulk owner " + name + " gone");
+        std::uint64_t at = offset;
+        for (const auto& seg : src.segments()) {
+            Status st = owner->access_region(ref.id, at, seg.size(), /*write=*/true, nullptr,
+                                             seg.data());
+            if (!st.ok()) return st;
+            at += seg.size();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.bulk_transfers;
+            stats_.bulk_bytes += src.size();
+        }
+        return Status::OK();
     }
 
-    std::unique_lock<std::mutex> lock(slot->m);
-    if (!slot->cv.wait_for(lock, std::chrono::duration<double>(bulk_timeout_s_),
-                           [&] { return slot->done; })) {
-        std::lock_guard<std::mutex> plock(mutex_);
-        bulk_pending_.erase(req.bulk_seq);
-        return Status::Timeout("bulk transfer to " + hostport + " timed out");
-    }
-    if (!slot->status.ok()) return slot->status;
-    if (!write) {
-        if (slot->data.size() != len) return Status::Corruption("bulk read size mismatch");
-        std::memcpy(local_dst, slot->data.data(), len);
-    }
-    {
-        std::lock_guard<std::mutex> plock(mutex_);
-        ++stats_.bulk_transfers;
-        stats_.bulk_bytes += len;
-    }
-    return Status::OK();
+    wire::BulkReqHeader req;
+    req.bulk_seq = next_bulk_seq_.fetch_add(1);
+    req.endpoint_name = name;
+    req.region_id = ref.id;
+    req.offset = offset;
+    req.len = src.size();
+    req.write = 1;
+    return bulk_roundtrip(hostport, std::move(req), src, nullptr);
 }
 
 void TcpFabric::accept_loop() {
@@ -405,10 +442,12 @@ void TcpFabric::reader_loop(Connection* conn) {
         std::uint8_t kind = 0;
         if (!read_exact(conn->fd, &len, 4) || !read_exact(conn->fd, &kind, 1)) break;
         if (len > (256u << 20)) break;  // refuse absurd frames
-        std::string payload(len, '\0');
-        if (!read_exact(conn->fd, payload.data(), len)) break;
+        // One receive buffer per frame; everything downstream (payload chain,
+        // bulk data) is a refcounted view into it — no further copies.
+        hep::Buffer frame = hep::Buffer::allocate(len);
+        if (!read_exact(conn->fd, frame.mutable_data(), len)) break;
         try {
-            handle_frame(conn, kind, std::move(payload));
+            handle_frame(conn, kind, std::move(frame));
         } catch (const serial::SerializationError& e) {
             HEP_LOG_ERROR("tcp frame decode failed: %s", e.what());
             break;
@@ -458,26 +497,31 @@ void TcpFabric::abandon(const std::string& hostport, Connection* conn) {
     }
 }
 
-void TcpFabric::handle_frame(Connection* conn, std::uint8_t kind, std::string payload) {
+void TcpFabric::handle_frame(Connection* conn, std::uint8_t kind, hep::Buffer frame) {
+    hep::BufferChain frame_chain;
+    frame_chain.append(frame.view());
+    serial::BinaryIArchive in(frame_chain);
     switch (kind) {
         case kFrameMessage: {
-            WireMessage wire;
-            serial::from_string(payload, wire);
+            wire::MessageHeader header;
+            in >> header;
             Message msg;
-            msg.type = static_cast<MessageType>(wire.type);
-            msg.seq = wire.seq;
-            msg.rpc = wire.rpc;
-            msg.provider = wire.provider;
-            msg.origin = std::move(wire.origin);
-            msg.payload = std::move(wire.payload);
-            if (wire.status_code != 0) {
-                msg.status = Status(static_cast<StatusCode>(wire.status_code),
-                                    std::move(wire.status_message));
+            msg.type = static_cast<MessageType>(header.type);
+            msg.seq = header.seq;
+            msg.rpc = header.rpc;
+            msg.provider = header.provider;
+            msg.origin = std::move(header.origin);
+            // Zero-copy: the payload is a view into the frame buffer, which
+            // stays alive (refcounted) for as long as any consumer needs it.
+            msg.payload = in.read_chain(header.payload_len);
+            if (header.status_code != 0) {
+                msg.status = Status(static_cast<StatusCode>(header.status_code),
+                                    std::move(header.status_message));
             }
             std::shared_ptr<Endpoint> target;
             {
                 std::lock_guard<std::mutex> lock(mutex_);
-                auto it = locals_.find(wire.to_name);
+                auto it = locals_.find(header.to_name);
                 if (it != locals_.end()) target = it->second;
             }
             if (target && !target->stopped()) {
@@ -487,16 +531,16 @@ void TcpFabric::handle_frame(Connection* conn, std::uint8_t kind, std::string pa
                 Message resp;
                 resp.type = MessageType::kResponse;
                 resp.seq = msg.seq;
-                resp.origin = base_address_ + "/" + wire.to_name;
-                resp.status = Status::Unavailable("no endpoint " + wire.to_name);
+                resp.origin = base_address_ + "/" + header.to_name;
+                resp.status = Status::Unavailable("no endpoint " + header.to_name);
                 (void)deliver(msg.origin, std::move(resp));
             }
             break;
         }
         case kFrameBulkReq: {
-            WireBulkReq req;
-            serial::from_string(payload, req);
-            WireBulkResp resp;
+            wire::BulkReqHeader req;
+            in >> req;
+            wire::BulkRespHeader resp;
             resp.bulk_seq = req.bulk_seq;
             std::shared_ptr<Endpoint> owner;
             {
@@ -505,30 +549,36 @@ void TcpFabric::handle_frame(Connection* conn, std::uint8_t kind, std::string pa
                 if (it != locals_.end()) owner = it->second;
             }
             Status st;
+            hep::BufferChain resp_tail;
             if (!owner) {
                 st = Status::NotFound("no endpoint " + req.endpoint_name);
             } else if (req.write) {
-                if (req.data.size() != req.len) {
+                if (in.remaining() != req.len) {
                     st = Status::InvalidArgument("bulk write size mismatch");
                 } else {
+                    // The write data is contiguous within the frame.
+                    hep::BufferView data = in.read_view(req.len);
                     st = owner->access_region(req.region_id, req.offset, req.len, true,
-                                              nullptr, req.data.data());
+                                              nullptr, data.data());
                 }
             } else {
-                resp.data.resize(req.len);
+                hep::Buffer out = hep::Buffer::allocate(req.len);
                 st = owner->access_region(req.region_id, req.offset, req.len, false,
-                                          resp.data.data(), nullptr);
-                if (!st.ok()) resp.data.clear();
+                                          out.mutable_data(), nullptr);
+                if (st.ok()) {
+                    resp_tail.append(out.view());
+                    resp.data_len = req.len;
+                }
             }
             resp.status_code = static_cast<std::uint8_t>(st.code());
             resp.status_message = st.message();
             // Reply on the same socket the request arrived on.
-            (void)send_frame(conn, kFrameBulkResp, serial::to_string(resp));
+            (void)send_frame(conn, kFrameBulkResp, serial::to_string(resp), resp_tail);
             break;
         }
         case kFrameBulkResp: {
-            WireBulkResp resp;
-            serial::from_string(payload, resp);
+            wire::BulkRespHeader resp;
+            in >> resp;
             std::shared_ptr<BulkSlot> slot;
             {
                 std::lock_guard<std::mutex> lock(mutex_);
@@ -545,7 +595,8 @@ void TcpFabric::handle_frame(Connection* conn, std::uint8_t kind, std::string pa
                     slot->status = Status(static_cast<StatusCode>(resp.status_code),
                                           std::move(resp.status_message));
                 }
-                slot->data = std::move(resp.data);
+                // Anchored into the frame buffer: outlives this handler.
+                slot->data = in.read_view(resp.data_len);
                 slot->cv.notify_all();
             }
             break;

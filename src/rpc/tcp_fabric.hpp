@@ -28,7 +28,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "rpc/fabric.hpp"
+#include "rpc/wire_format.hpp"
 
 namespace hep::rpc {
 
@@ -50,6 +52,10 @@ class TcpFabric final : public Fabric {
     Status deliver(const std::string& to, Message msg) override;
     Status bulk_access(const BulkRef& ref, std::uint64_t offset, std::uint64_t len, bool write,
                        void* local_dst, const void* local_src) override;
+    /// Gathered write: the chain's segments go onto the socket as one frame
+    /// tail (sendmsg scatter-gather), never flattened locally.
+    Status bulk_access_chain(const BulkRef& ref, std::uint64_t offset,
+                             const hep::BufferChain& src) override;
     void remove_endpoint(const std::string& address) override;
     [[nodiscard]] NetworkStats stats() const override;
 
@@ -68,12 +74,12 @@ class TcpFabric final : public Fabric {
         std::condition_variable cv;
         bool done = false;
         Status status;
-        std::string data;  // read payload
+        hep::BufferView data;  // read payload: a view anchored to the frame
     };
 
     void accept_loop();
     void reader_loop(Connection* conn);
-    void handle_frame(Connection* conn, std::uint8_t kind, std::string payload);
+    void handle_frame(Connection* conn, std::uint8_t kind, hep::Buffer frame);
 
     /// Existing or fresh outbound connection to "host:port".
     Result<Connection*> connection_to(const std::string& hostport);
@@ -87,7 +93,16 @@ class TcpFabric final : public Fabric {
     /// the caller can redial without waiting for the reader to run.
     void abandon(const std::string& hostport, Connection* conn);
 
-    Status send_frame(Connection* conn, std::uint8_t kind, const std::string& payload);
+    /// Write one frame: [u32 header+tail][u8 kind][header][tail segments],
+    /// gathered onto the socket with sendmsg (no local assembly of the tail).
+    Status send_frame(Connection* conn, std::uint8_t kind, const std::string& header,
+                      const hep::BufferChain& tail);
+
+    /// Remote bulk request/response shared by bulk_access/bulk_access_chain:
+    /// ships `req` (+ write data in `tail`), waits for the peer, and for
+    /// reads copies the returned bytes into local_dst.
+    Status bulk_roundtrip(const std::string& hostport, wire::BulkReqHeader req,
+                          const hep::BufferChain& tail, void* local_dst);
 
     /// Split "tcp://host:port/name" -> (host:port, name); empty on error.
     static bool parse_address(const std::string& address, std::string& hostport,

@@ -1,0 +1,95 @@
+// TcpFabric's frame layout, factored out so tests can pin traffic accounting
+// (Message::wire_size) against the bytes the fabric actually writes.
+//
+// Every frame is
+//
+//     [u32 total][u8 kind][serialized header][raw tail]
+//
+// where `total` counts header + tail. The tail is the message payload (or
+// bulk data) written as-is: the sender gathers the BufferChain segments
+// straight onto the socket and the receiver slices views out of the frame
+// buffer, so the body is never re-serialized or re-copied on either side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rpc/message.hpp"
+#include "serial/archive.hpp"
+
+namespace hep::rpc::wire {
+
+constexpr std::uint8_t kFrameMessage = 1;
+constexpr std::uint8_t kFrameBulkReq = 2;
+constexpr std::uint8_t kFrameBulkResp = 3;
+
+/// Everything of a Message except the payload bytes, which follow as the
+/// raw frame tail (payload_len of them).
+struct MessageHeader {
+    std::uint8_t type = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t rpc = 0;
+    std::uint16_t provider = 0;
+    std::string origin;
+    std::uint8_t status_code = 0;
+    std::string status_message;
+    std::string to_name;  // bare endpoint name on the receiving fabric
+    std::uint64_t payload_len = 0;
+
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & type & seq & rpc & provider & origin & status_code & status_message & to_name &
+            payload_len;
+    }
+};
+
+inline MessageHeader make_header(const Message& msg, std::string to_name) {
+    MessageHeader h;
+    h.type = static_cast<std::uint8_t>(msg.type);
+    h.seq = msg.seq;
+    h.rpc = msg.rpc;
+    h.provider = msg.provider;
+    h.origin = msg.origin;
+    h.status_code = static_cast<std::uint8_t>(msg.status.code());
+    h.status_message = msg.status.message();
+    h.to_name = std::move(to_name);
+    h.payload_len = msg.payload.size();
+    return h;
+}
+
+/// Total bytes on the socket for `msg` framed toward `to_name` — the ground
+/// truth Message::wire_size() must match.
+inline std::size_t framed_size(const Message& msg, std::string_view to_name) {
+    return 4 + 1 + serial::serialized_size(make_header(msg, std::string(to_name))) +
+           msg.payload.size();
+}
+
+/// Bulk request header; for writes the data follows as the raw tail.
+struct BulkReqHeader {
+    std::uint64_t bulk_seq = 0;
+    std::string endpoint_name;  // bare name of the region owner
+    std::uint64_t region_id = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t len = 0;
+    std::uint8_t write = 0;
+
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & bulk_seq & endpoint_name & region_id & offset & len & write;
+    }
+};
+
+/// Bulk response header; for reads the data follows as the raw tail.
+struct BulkRespHeader {
+    std::uint64_t bulk_seq = 0;
+    std::uint8_t status_code = 0;
+    std::string status_message;
+    std::uint64_t data_len = 0;
+
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & bulk_seq & status_code & status_message & data_len;
+    }
+};
+
+}  // namespace hep::rpc::wire

@@ -15,13 +15,24 @@
 // Wire format: little-endian fixed-width scalars, u64 length prefixes for
 // containers and strings. Deliberately simple and stable — values written by
 // one build are readable by another.
+//
+// Zero-copy surface: BinaryOArchive can emit a BufferChain instead of a
+// contiguous string — large owned byte regions (hep::Buffer / BufferView /
+// BufferChain fields) are appended to the chain as refcounted views rather
+// than copied into the stream (to_chain / to_buffer). BinaryIArchive reads
+// from a (possibly multi-segment) BufferChain and can hand back zero-copy
+// views anchored to the chain's storage (from_chain, read_view, read_chain).
+// The byte layout is identical either way: a hep::Buffer field serializes
+// exactly like a std::string.
 #pragma once
 
+#include <cassert>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 
+#include "common/buffer.hpp"
 #include "serial/traits.hpp"
 
 namespace hep::serial {
@@ -46,17 +57,41 @@ void dispatch_load(BinaryIArchive& ar, T& value);
 
 }  // namespace detail
 
-/// Serializing (output) archive: appends to an owned byte buffer.
+/// Serializing (output) archive. Scalars and small fields append to an open
+/// contiguous tail; owned byte regions can be appended as zero-copy chain
+/// segments (append_view). The result is either a contiguous string (str())
+/// or a scatter-gather chain (take_chain()) with identical byte content.
 class BinaryOArchive {
   public:
     static constexpr bool is_saving = true;
     static constexpr bool is_loading = false;
 
     BinaryOArchive() = default;
+    ~BinaryOArchive() { flush_copy_accounting(); }
+    BinaryOArchive(const BinaryOArchive&) = delete;
+    BinaryOArchive& operator=(const BinaryOArchive&) = delete;
 
-    /// Raw byte append (scalars use this).
+    /// Raw byte append (scalars use this). Counted as memcpy traffic.
     void write_bytes(const void* data, std::size_t n) {
         buffer_.append(static_cast<const char*>(data), n);
+        copied_ += n;
+    }
+
+    /// Append an owned view as a chain segment without copying. Borrowed
+    /// views are copied into the tail instead — the archive cannot vouch for
+    /// their lifetime once it leaves the call frame.
+    void append_view(hep::BufferView view) {
+        if (view.empty()) return;
+        if (!view.owning()) {
+            write_bytes(view.data(), view.size());
+            return;
+        }
+        seal_tail();
+        chain_.append(std::move(view));
+    }
+
+    void append_chain(const hep::BufferChain& chain) {
+        for (const auto& seg : chain.segments()) append_view(seg);
     }
 
     template <typename T>
@@ -69,32 +104,149 @@ class BinaryOArchive {
         return *this & value;
     }
 
-    [[nodiscard]] const std::string& str() const& noexcept { return buffer_; }
-    [[nodiscard]] std::string str() && noexcept { return std::move(buffer_); }
-    [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+    /// Contiguous view of the bytes. Only valid while nothing was appended as
+    /// a chain segment (the legacy all-in-the-tail mode).
+    [[nodiscard]] const std::string& str() const& noexcept {
+        assert(chain_.empty() && "str() const& on a chained archive; use take_chain()");
+        return buffer_;
+    }
+    /// Contiguous bytes; zero-copy for tail-only archives.
+    [[nodiscard]] std::string str() && {
+        flush_copy_accounting();
+        if (chain_.empty()) return std::move(buffer_);
+        seal_tail();
+        return std::move(chain_).into_string();
+    }
+
+    /// The serialized bytes as a scatter-gather chain (zero-copy).
+    [[nodiscard]] hep::BufferChain take_chain() && {
+        flush_copy_accounting();
+        seal_tail();
+        return std::move(chain_);
+    }
+
+    /// The serialized bytes as one owned Buffer (flattens a multi-segment
+    /// chain; zero-copy for tail-only archives).
+    [[nodiscard]] hep::Buffer take_buffer() && {
+        flush_copy_accounting();
+        if (chain_.empty()) return hep::Buffer::adopt(std::move(buffer_));
+        seal_tail();
+        return hep::Buffer::adopt(std::move(chain_).into_string());
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return chain_.size() + buffer_.size(); }
     void reserve(std::size_t n) { buffer_.reserve(n); }
-    void clear() noexcept { buffer_.clear(); }
+    void clear() noexcept {
+        buffer_.clear();
+        chain_.clear();
+    }
 
   private:
-    std::string buffer_;
+    void seal_tail() {
+        if (buffer_.empty()) return;
+        chain_.append(hep::Buffer::adopt(std::move(buffer_)));
+        buffer_.clear();
+    }
+    void flush_copy_accounting() noexcept {
+        if (copied_ > 0) {
+            hep::count_buffer_copy(copied_);
+            copied_ = 0;
+        }
+    }
+
+    std::string buffer_;       // open contiguous tail
+    hep::BufferChain chain_;   // sealed segments, in order
+    std::size_t copied_ = 0;   // bytes memcpy'd, flushed to BufferCounters
 };
 
-/// Deserializing (input) archive over a non-owned byte range.
+/// Deserializing (input) archive over non-owned bytes: either one contiguous
+/// range or the segments of a BufferChain (which must outlive the archive).
+/// read_view()/read_chain() return views anchored to the chain's storage, so
+/// THOSE may outlive both the archive and the chain object.
 class BinaryIArchive {
   public:
     static constexpr bool is_saving = false;
     static constexpr bool is_loading = true;
 
-    explicit BinaryIArchive(std::string_view data) : data_(data) {}
+    explicit BinaryIArchive(std::string_view data)
+        : single_(data), segs_(&single_), nsegs_(1), total_(data.size()) {}
+
+    explicit BinaryIArchive(const hep::BufferChain& chain)
+        : segs_(chain.segments().data()),
+          nsegs_(chain.segments().size()),
+          total_(chain.size()) {}
+
+    ~BinaryIArchive() { flush_copy_accounting(); }
+    BinaryIArchive(const BinaryIArchive&) = delete;
+    BinaryIArchive& operator=(const BinaryIArchive&) = delete;
 
     void read_bytes(void* out, std::size_t n) {
-        if (pos_ + n > data_.size()) {
+        if (n > remaining()) {
             throw SerializationError("archive underflow: need " + std::to_string(n) +
-                                     " bytes at offset " + std::to_string(pos_) + ", have " +
-                                     std::to_string(data_.size() - pos_));
+                                     " bytes at offset " + std::to_string(consumed_) +
+                                     ", have " + std::to_string(remaining()));
         }
-        std::memcpy(out, data_.data() + pos_, n);
-        pos_ += n;
+        auto* dst = static_cast<char*>(out);
+        std::size_t left = n;
+        while (left > 0) {
+            const hep::BufferView& seg = segs_[seg_idx_];
+            const std::size_t avail = seg.size() - seg_off_;
+            if (avail == 0) {
+                ++seg_idx_;
+                seg_off_ = 0;
+                continue;
+            }
+            const std::size_t take = left < avail ? left : avail;
+            std::memcpy(dst, seg.data() + seg_off_, take);
+            dst += take;
+            seg_off_ += take;
+            left -= take;
+        }
+        consumed_ += n;
+        copied_ += n;
+    }
+
+    /// Read `n` bytes as a view. Zero-copy (anchored to the source segment)
+    /// when the bytes are contiguous within one owned segment; otherwise a
+    /// counted copy into fresh storage. Borrowed input yields borrowed views.
+    [[nodiscard]] hep::BufferView read_view(std::size_t n) {
+        if (n == 0) return {};
+        if (n > remaining()) {
+            throw SerializationError("archive underflow: need " + std::to_string(n) +
+                                     " bytes, have " + std::to_string(remaining()));
+        }
+        skip_exhausted_segments();
+        const hep::BufferView& seg = segs_[seg_idx_];
+        if (seg.size() - seg_off_ >= n) {
+            hep::BufferView out = seg.slice(seg_off_, n);
+            seg_off_ += n;
+            consumed_ += n;
+            return out;
+        }
+        hep::Buffer buf = hep::Buffer::allocate(n);
+        read_bytes(buf.mutable_data(), n);
+        return hep::BufferView(buf);
+    }
+
+    /// Read `n` bytes as a chain of segment-wise views (zero-copy even when
+    /// the range spans segment boundaries).
+    [[nodiscard]] hep::BufferChain read_chain(std::size_t n) {
+        if (n > remaining()) {
+            throw SerializationError("archive underflow: need " + std::to_string(n) +
+                                     " bytes, have " + std::to_string(remaining()));
+        }
+        hep::BufferChain out;
+        while (n > 0) {
+            skip_exhausted_segments();
+            const hep::BufferView& seg = segs_[seg_idx_];
+            const std::size_t avail = seg.size() - seg_off_;
+            const std::size_t take = n < avail ? n : avail;
+            out.append(seg.slice(seg_off_, take));
+            seg_off_ += take;
+            consumed_ += take;
+            n -= take;
+        }
+        return out;
     }
 
     template <typename T>
@@ -107,12 +259,31 @@ class BinaryIArchive {
         return *this & value;
     }
 
-    [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
-    [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+    [[nodiscard]] std::size_t remaining() const noexcept { return total_ - consumed_; }
+    [[nodiscard]] bool exhausted() const noexcept { return consumed_ == total_; }
 
   private:
-    std::string_view data_;
-    std::size_t pos_ = 0;
+    void skip_exhausted_segments() noexcept {
+        while (seg_idx_ < nsegs_ && seg_off_ == segs_[seg_idx_].size()) {
+            ++seg_idx_;
+            seg_off_ = 0;
+        }
+    }
+    void flush_copy_accounting() noexcept {
+        if (copied_ > 0) {
+            hep::count_buffer_copy(copied_);
+            copied_ = 0;
+        }
+    }
+
+    hep::BufferView single_;          // backing for the string_view ctor
+    const hep::BufferView* segs_;     // not owned; chain must outlive us
+    std::size_t nsegs_ = 0;
+    std::size_t seg_idx_ = 0;
+    std::size_t seg_off_ = 0;
+    std::size_t total_ = 0;
+    std::size_t consumed_ = 0;
+    std::size_t copied_ = 0;
 };
 
 /// Counts bytes without copying — lets WriteBatch budget buffer space.
@@ -148,6 +319,29 @@ void dispatch_save(Archive& ar, const T& value) {
         const std::uint64_t n = value.size();
         ar.write_bytes(&n, sizeof(n));
         ar.write_bytes(value.data(), value.size());
+    } else if constexpr (std::is_same_v<T, hep::Buffer> || std::is_same_v<T, hep::BufferView>) {
+        // Same wire format as std::string; owned bytes ride the chain.
+        const std::uint64_t n = value.size();
+        ar.write_bytes(&n, sizeof(n));
+        if (n > 0) {
+            if constexpr (std::is_same_v<Archive, BinaryOArchive>) {
+                if constexpr (std::is_same_v<T, hep::Buffer>) {
+                    ar.append_view(value.view());
+                } else {
+                    ar.append_view(value);
+                }
+            } else {
+                ar.write_bytes(value.data(), value.size());
+            }
+        }
+    } else if constexpr (std::is_same_v<T, hep::BufferChain>) {
+        const std::uint64_t n = value.size();
+        ar.write_bytes(&n, sizeof(n));
+        if constexpr (std::is_same_v<Archive, BinaryOArchive>) {
+            ar.append_chain(value);
+        } else {
+            for (const auto& seg : value.segments()) ar.write_bytes(seg.data(), seg.size());
+        }
     } else if constexpr (is_std_vector<T>::value) {
         const std::uint64_t n = value.size();
         ar.write_bytes(&n, sizeof(n));
@@ -200,6 +394,30 @@ void dispatch_load(BinaryIArchive& ar, T& value) {
         if (n > ar.remaining()) throw SerializationError("string length exceeds input");
         value.resize(n);
         ar.read_bytes(value.data(), n);
+    } else if constexpr (std::is_same_v<T, hep::Buffer>) {
+        std::uint64_t n = 0;
+        ar.read_bytes(&n, sizeof(n));
+        if (n > ar.remaining()) throw SerializationError("buffer length exceeds input");
+        hep::BufferView v = ar.read_view(n);
+        const auto& owner = v.owner();
+        if (owner && v.data() == owner->data() && v.size() == owner->size()) {
+            value = hep::Buffer(owner);  // re-share whole-storage views
+        } else if (n == 0) {
+            value = hep::Buffer();
+        } else {
+            value = hep::Buffer::copy_of(v.sv());
+        }
+    } else if constexpr (std::is_same_v<T, hep::BufferView>) {
+        std::uint64_t n = 0;
+        ar.read_bytes(&n, sizeof(n));
+        if (n > ar.remaining()) throw SerializationError("view length exceeds input");
+        value = ar.read_view(n).to_owned();
+    } else if constexpr (std::is_same_v<T, hep::BufferChain>) {
+        std::uint64_t n = 0;
+        ar.read_bytes(&n, sizeof(n));
+        if (n > ar.remaining()) throw SerializationError("chain length exceeds input");
+        value = ar.read_chain(n);
+        value.ensure_owned();
     } else if constexpr (is_std_vector<T>::value) {
         std::uint64_t n = 0;
         ar.read_bytes(&n, sizeof(n));
@@ -289,10 +507,35 @@ std::string to_string(const T& value) {
     return std::move(ar).str();
 }
 
+/// Serialize `value` to a scatter-gather chain; owned byte fields (Buffer,
+/// BufferView, BufferChain) are referenced, not copied.
+template <typename T>
+hep::BufferChain to_chain(const T& value) {
+    BinaryOArchive ar;
+    ar & value;
+    return std::move(ar).take_chain();
+}
+
+/// Serialize `value` into one owned Buffer (serialize-once; the buffer can
+/// then travel the whole write path by reference).
+template <typename T>
+hep::Buffer to_buffer(const T& value) {
+    BinaryOArchive ar;
+    ar & value;
+    return std::move(ar).take_buffer();
+}
+
 /// Deserialize `value` from bytes; throws SerializationError on corruption.
 template <typename T>
 void from_string(std::string_view bytes, T& value) {
     BinaryIArchive ar(bytes);
+    ar & value;
+}
+
+/// Deserialize `value` from a (possibly multi-segment) chain.
+template <typename T>
+void from_chain(const hep::BufferChain& chain, T& value) {
+    BinaryIArchive ar(chain);
     ar & value;
 }
 

@@ -1,0 +1,17 @@
+// Symbio source exporting the process-wide hep::BufferCounters: allocation,
+// memcpy and adoption totals from the zero-copy buffer pipeline, plus derived
+// ratios (average segments per shipped chain, bytes copied per allocation).
+// Wired into both the client registry (DataStore::connect) and every service
+// process (bedrock), so `copies per stored event` regressions show up in the
+// same snapshots operators already poll.
+#pragma once
+
+#include "symbio/metrics.hpp"
+
+namespace hep::symbio {
+
+/// Register a pull-based "buffers" source on `registry` snapshotting the
+/// global buffer counters.
+void add_buffer_source(MetricsRegistry& registry);
+
+}  // namespace hep::symbio

@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "common/json.hpp"
 #include "common/status.hpp"
 
@@ -32,6 +33,19 @@ struct KeyValue {
         ar & key & value;
     }
     bool operator==(const KeyValue&) const = default;
+};
+
+/// One batch entry on the zero-copy path: the value is a refcounted Buffer so
+/// building/shipping/storing a batch shares the product bytes instead of
+/// copying them (KeyValue is the legacy copying equivalent).
+struct BatchItem {
+    std::string key;
+    hep::Buffer value;
+
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & key & value;
+    }
 };
 
 /// Counters every backend maintains.
@@ -50,7 +64,24 @@ class Database {
     /// AlreadyExists error (used for "create" semantics).
     virtual Status put(std::string_view key, std::string_view value, bool overwrite = true) = 0;
 
+    /// Store an owned view by adopting the reference (no value copy on
+    /// backends that support it). `value` must be owning — callers hold
+    /// anchored views into the request frame or the product Buffer.
+    virtual Status put_view(std::string_view key, hep::BufferView value,
+                            bool overwrite = true) {
+        return put(key, value.sv(), overwrite);
+    }
+
     virtual Result<std::string> get(std::string_view key) = 0;
+
+    /// Fetch the value as a refcounted view (backends that store views hand
+    /// back the stored buffer without copying).
+    virtual Result<hep::BufferView> get_view(std::string_view key) {
+        Result<std::string> r = get(key);
+        if (!r.ok()) return r.status();
+        return hep::BufferView(hep::Buffer::adopt(std::move(r.value())));
+    }
+
     virtual Result<bool> exists(std::string_view key) = 0;
     /// Value size without fetching the value.
     virtual Result<std::uint64_t> length(std::string_view key) = 0;

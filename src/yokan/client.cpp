@@ -14,7 +14,24 @@ Status DatabaseHandle::put(std::string_view key, std::string_view value, bool ov
     return r.status();
 }
 
+Status DatabaseHandle::put(std::string_view key, hep::Buffer value, bool overwrite) const {
+    auto r = with_failover<Ack>(false, [&](const std::string& server, rpc::ProviderId provider,
+                                           const std::string& db) -> Result<Ack> {
+        return engine_->forward<PutViewReq, Ack>(
+            server, "yokan_put_owned", provider,
+            PutViewReq{db, std::string(key), value, overwrite}, deadline());
+    });
+    return r.status();
+}
+
 Result<std::string> DatabaseHandle::get(std::string_view key) const {
+    auto r = get_view(key);
+    if (!r.ok()) return r.status();
+    hep::count_buffer_copy(r->size());
+    return std::string(r->sv());
+}
+
+Result<hep::BufferView> DatabaseHandle::get_view(std::string_view key) const {
     auto r = with_failover<GetResp>(true, [&](const std::string& server, rpc::ProviderId provider,
                                               const std::string& db) -> Result<GetResp> {
         return engine_->forward<KeyReq, GetResp>(server, "yokan_get", provider,
@@ -147,6 +164,20 @@ Result<std::uint64_t> DatabaseHandle::put_multi(const std::vector<KeyValue>& ite
     return r->stored;
 }
 
+Result<std::uint64_t> DatabaseHandle::put_multi(const std::vector<BatchItem>& items,
+                                                bool overwrite) const {
+    hep::BufferChain entries = pack_items(items);
+    auto r = with_failover<PutMultiResp>(
+        false, [&](const std::string& server, rpc::ProviderId provider,
+                   const std::string& db) -> Result<PutMultiResp> {
+            return engine_->forward<PutPackedReq, PutMultiResp>(
+                server, "yokan_put_packed", provider,
+                PutPackedReq{db, items.size(), overwrite, entries}, deadline());
+        });
+    if (!r.ok()) return r.status();
+    return r->stored;
+}
+
 Result<std::vector<std::optional<std::string>>> DatabaseHandle::get_multi(
     const std::vector<std::string>& keys, std::size_t buffer_hint) const {
     std::string buffer(buffer_hint, '\0');
@@ -186,6 +217,46 @@ Result<std::vector<std::optional<std::string>>> DatabaseHandle::get_multi(
                 out.emplace_back(std::nullopt);
             } else {
                 out.emplace_back(buffer.substr(offset, size));
+                offset += size;
+            }
+        }
+        return out;
+    }
+    return Status::Internal("get_multi retry with exact buffer size still failed");
+}
+
+Result<std::vector<std::optional<hep::BufferView>>> DatabaseHandle::get_multi_views(
+    const std::vector<std::string>& keys, std::size_t buffer_hint) const {
+    hep::Buffer buffer = hep::Buffer::allocate(buffer_hint);
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        rpc::BulkRef bulk = engine_->endpoint().expose(buffer.mutable_data(), buffer.size());
+        auto r = with_failover<GetMultiResp>(
+            true, [&](const std::string& server, rpc::ProviderId provider,
+                      const std::string& db) -> Result<GetMultiResp> {
+                return engine_->forward<GetMultiReq, GetMultiResp>(
+                    server, "yokan_get_multi", provider, GetMultiReq{db, keys, bulk},
+                    deadline());
+            });
+        engine_->endpoint().unexpose(bulk);
+        if (!r.ok()) return r.status();
+        const GetMultiResp& resp = *r;
+        if (resp.sizes.size() != keys.size()) {
+            return Status::Internal("get_multi size vector mismatch");
+        }
+        if (!resp.written) {
+            // Buffer was too small; retry once with the exact size.
+            buffer = hep::Buffer::allocate(resp.needed);
+            continue;
+        }
+        // Carve refcounted views out of the single receive buffer.
+        std::vector<std::optional<hep::BufferView>> out;
+        out.reserve(keys.size());
+        std::size_t offset = 0;
+        for (std::uint32_t size : resp.sizes) {
+            if (size == kMissing) {
+                out.emplace_back(std::nullopt);
+            } else {
+                out.emplace_back(buffer.view(offset, size));
                 offset += size;
             }
         }

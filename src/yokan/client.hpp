@@ -47,8 +47,15 @@ class DatabaseHandle {
         return failover_;
     }
 
+    /// Legacy contiguous put (copies `value` into the request).
     Status put(std::string_view key, std::string_view value, bool overwrite = true) const;
+    /// Zero-copy put: the Buffer rides the request by reference
+    /// ("yokan_put_owned"); the server parks the received bytes directly.
+    Status put(std::string_view key, hep::Buffer value, bool overwrite = true) const;
     Result<std::string> get(std::string_view key) const;
+    /// Zero-copy get: the value comes back as a view anchored to the response
+    /// frame (one receive buffer, no per-value copy).
+    Result<hep::BufferView> get_view(std::string_view key) const;
     Result<bool> exists(std::string_view key) const;
     Result<std::uint64_t> length(std::string_view key) const;
     Status erase(std::string_view key) const;
@@ -63,9 +70,15 @@ class DatabaseHandle {
     Result<proto::ScanResp> scan_page(std::string_view after, std::string_view prefix,
                                       std::size_t max = 128, bool with_values = false) const;
 
-    /// Batched store: one RPC + one bulk read on the server side.
+    /// Legacy batched store: one RPC + one bulk read on the server side.
     /// Returns the number of newly stored pairs.
     Result<std::uint64_t> put_multi(const std::vector<KeyValue>& items,
+                                    bool overwrite = true) const;
+
+    /// Zero-copy batched store ("yokan_put_packed"): headers go into one
+    /// metadata buffer, the item values ride the RPC payload as referenced
+    /// views — no packing copy, no bulk round-trip.
+    Result<std::uint64_t> put_multi(const std::vector<BatchItem>& items,
                                     bool overwrite = true) const;
 
     /// Batched erase; returns how many keys existed and were removed.
@@ -75,6 +88,12 @@ class DatabaseHandle {
     /// with a larger buffer if the initial estimate was too small).
     /// Missing keys come back as nullopt.
     Result<std::vector<std::optional<std::string>>> get_multi(
+        const std::vector<std::string>& keys, std::size_t buffer_hint = 1 << 20) const;
+
+    /// Zero-copy batched load: values land in ONE receive buffer and come
+    /// back as refcounted views into it (missing keys = nullopt). The views
+    /// share the buffer's storage, so they stay valid independently.
+    Result<std::vector<std::optional<hep::BufferView>>> get_multi_views(
         const std::vector<std::string>& keys, std::size_t buffer_hint = 1 << 20) const;
 
   private:

@@ -109,10 +109,8 @@ Status LsmDb::recover_wal() {
     auto replayed = Wal::replay(wal_path, [&](Wal::RecordType type, std::string_view key,
                                               std::string_view value) {
         if (type == Wal::RecordType::kPut) {
-            auto [it, inserted] = memtable_.insert_or_assign(std::string(key),
-                                                             std::string(value));
-            (void)it;
-            (void)inserted;
+            memtable_.insert_or_assign(std::string(key),
+                                       hep::BufferView(hep::Buffer::copy_of(value)));
             memtable_bytes_ += key.size() + value.size() + 32;
         } else {
             memtable_.insert_or_assign(std::string(key), std::nullopt);
@@ -134,6 +132,13 @@ Result<std::shared_ptr<SstReader>> LsmDb::open_table(const TableMeta& meta) cons
 // ------------------------------------------------------------------ writes
 
 Status LsmDb::put(std::string_view key, std::string_view value, bool overwrite) {
+    // Legacy contiguous path: the memtable must own the bytes, so this copy is
+    // the point (and is counted by copy_of).
+    return put_view(key, hep::BufferView(hep::Buffer::copy_of(value)), overwrite);
+}
+
+Status LsmDb::put_view(std::string_view key, hep::BufferView value, bool overwrite) {
+    hep::BufferView owned = value.to_owned();
     std::unique_lock lock(mutex_);
     ++stats_.puts;
     if (!overwrite) {
@@ -148,14 +153,14 @@ Status LsmDb::put(std::string_view key, std::string_view value, bool overwrite) 
             }
         }
     }
-    Status st = wal_.append_put(key, value);
+    Status st = wal_.append_put(key, owned.sv());
     if (!st.ok()) return st;
     if (options_.wal_sync_every_put) {
         st = wal_.sync();
         if (!st.ok()) return st;
     }
-    memtable_.insert_or_assign(std::string(key), std::string(value));
-    memtable_bytes_ += key.size() + value.size() + 32;
+    memtable_bytes_ += key.size() + owned.size() + 32;
+    memtable_.insert_or_assign(std::string(key), std::move(owned));
     if (memtable_bytes_ >= options_.memtable_bytes) {
         st = flush_memtable_locked();
         if (!st.ok()) return st;
@@ -201,7 +206,7 @@ Status LsmDb::flush_memtable_locked() {
     SstWriter writer(table_path(file_number), file_number, options_.block_bytes,
                      memtable_.size());
     for (const auto& [key, value] : memtable_) {
-        Status st = value.has_value() ? writer.add(key, *value) : writer.add(key, {}, true);
+        Status st = value.has_value() ? writer.add(key, value->sv()) : writer.add(key, {}, true);
         if (!st.ok()) return st;
     }
     auto meta = writer.finish();
@@ -433,12 +438,28 @@ Result<std::string> LsmDb::get(std::string_view key) {
     auto mem = memtable_.find(key);
     if (mem != memtable_.end()) {
         if (!mem->second.has_value()) return Status::NotFound(std::string(key));
-        return *mem->second;
+        hep::count_buffer_copy(mem->second->size());
+        return std::string(mem->second->sv());
     }
     auto found = table_lookup(key);
     if (!found.ok()) return found.status();
     if (!found->has_value()) return Status::NotFound(std::string(key));
     return std::move(**found);
+}
+
+Result<hep::BufferView> LsmDb::get_view(std::string_view key) {
+    std::shared_lock lock(mutex_);
+    ++stats_.gets;
+    auto mem = memtable_.find(key);
+    if (mem != memtable_.end()) {
+        if (!mem->second.has_value()) return Status::NotFound(std::string(key));
+        return *mem->second;  // refcount bump only
+    }
+    auto found = table_lookup(key);
+    if (!found.ok()) return found.status();
+    if (!found->has_value()) return Status::NotFound(std::string(key));
+    // Table values materialize from disk/cache as a fresh string; adopt it.
+    return hep::BufferView(hep::Buffer::adopt(std::move(**found)));
 }
 
 Result<bool> LsmDb::exists(std::string_view key) {
@@ -511,7 +532,7 @@ Status LsmDb::scan(std::string_view after, std::string_view prefix, bool with_va
         const std::string key(best);
         if (mem_key && *mem_key == key) {
             if (mem_it->second.has_value() && prefix_matches(key)) {
-                keep_going = fn(key, *mem_it->second);
+                keep_going = fn(key, mem_it->second->sv());
             }
             emitted_handled = true;
             ++mem_it;

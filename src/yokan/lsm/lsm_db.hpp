@@ -53,7 +53,9 @@ class LsmDb final : public Database {
     ~LsmDb() override;
 
     Status put(std::string_view key, std::string_view value, bool overwrite) override;
+    Status put_view(std::string_view key, hep::BufferView value, bool overwrite) override;
     Result<std::string> get(std::string_view key) override;
+    Result<hep::BufferView> get_view(std::string_view key) override;
     Result<bool> exists(std::string_view key) override;
     Result<std::uint64_t> length(std::string_view key) override;
     Status erase(std::string_view key) override;
@@ -88,8 +90,10 @@ class LsmDb final : public Database {
     LsmOptions options_;
     mutable std::shared_mutex mutex_;
 
-    // memtable: nullopt value = tombstone.
-    std::map<std::string, std::optional<std::string>, std::less<>> memtable_;
+    // memtable: nullopt value = tombstone. Values are owned BufferViews so a
+    // put_view() from the RPC frame parks the refcounted bytes here without a
+    // memcpy; the WAL append is the only per-put traversal of the value.
+    std::map<std::string, std::optional<hep::BufferView>, std::less<>> memtable_;
     std::size_t memtable_bytes_ = 0;
     Wal wal_;
 

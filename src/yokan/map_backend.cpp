@@ -5,15 +5,22 @@
 namespace hep::yokan {
 
 Status MapBackend::put(std::string_view key, std::string_view value, bool overwrite) {
+    // Legacy contiguous path: the backend must own the bytes, so this copy is
+    // the point (and is counted by copy_of).
+    return put_view(key, hep::BufferView(hep::Buffer::copy_of(value)), overwrite);
+}
+
+Status MapBackend::put_view(std::string_view key, hep::BufferView value, bool overwrite) {
+    hep::BufferView owned = value.to_owned();
     std::unique_lock lock(mutex_);
     ++stats_.puts;
     auto it = map_.find(key);
     if (it != map_.end()) {
         if (!overwrite) return Status::AlreadyExists(std::string(key));
-        it->second.assign(value);
+        it->second = std::move(owned);
         return Status::OK();
     }
-    map_.emplace(std::string(key), std::string(value));
+    map_.emplace(std::string(key), std::move(owned));
     return Status::OK();
 }
 
@@ -22,7 +29,16 @@ Result<std::string> MapBackend::get(std::string_view key) {
     ++stats_.gets;
     auto it = map_.find(key);
     if (it == map_.end()) return Status::NotFound(std::string(key));
-    return it->second;
+    hep::count_buffer_copy(it->second.size());
+    return std::string(it->second.sv());
+}
+
+Result<hep::BufferView> MapBackend::get_view(std::string_view key) {
+    std::shared_lock lock(mutex_);
+    ++stats_.gets;
+    auto it = map_.find(key);
+    if (it == map_.end()) return Status::NotFound(std::string(key));
+    return it->second;  // refcount bump only
 }
 
 Result<bool> MapBackend::exists(std::string_view key) {
@@ -59,7 +75,7 @@ Status MapBackend::scan(std::string_view after, std::string_view prefix, bool wi
         if (!prefix.empty()) {
             if (key.size() < prefix.size() || key.compare(0, prefix.size(), prefix) != 0) break;
         }
-        if (!fn(key, with_values ? std::string_view(it->second) : std::string_view{})) break;
+        if (!fn(key, with_values ? it->second.sv() : std::string_view{})) break;
     }
     return Status::OK();
 }

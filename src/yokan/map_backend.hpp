@@ -1,4 +1,10 @@
 // In-memory backend over std::map (paper's "std::map backend", §IV-D).
+//
+// Values are stored as owned hep::BufferViews: put_view() adopts the caller's
+// refcounted bytes without copying, and get_view() hands the stored buffer
+// back by bumping a refcount. Since buffers are immutable after publish, an
+// overwrite simply swaps the view — readers holding the old view keep valid
+// bytes.
 #pragma once
 
 #include <map>
@@ -13,7 +19,9 @@ class MapBackend final : public Database {
     MapBackend() = default;
 
     Status put(std::string_view key, std::string_view value, bool overwrite) override;
+    Status put_view(std::string_view key, hep::BufferView value, bool overwrite) override;
     Result<std::string> get(std::string_view key) override;
+    Result<hep::BufferView> get_view(std::string_view key) override;
     Result<bool> exists(std::string_view key) override;
     Result<std::uint64_t> length(std::string_view key) override;
     Status erase(std::string_view key) override;
@@ -26,7 +34,7 @@ class MapBackend final : public Database {
 
   private:
     mutable std::shared_mutex mutex_;
-    std::map<std::string, std::string, std::less<>> map_;
+    std::map<std::string, hep::BufferView, std::less<>> map_;
     mutable BackendStats stats_;
 };
 

@@ -13,19 +13,40 @@
 #include <cstring>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "rpc/message.hpp"
+#include "serial/archive.hpp"
 #include "yokan/backend.hpp"
 
 namespace hep::yokan::proto {
 
 inline constexpr std::uint32_t kMissing = 0xFFFFFFFFu;
 
+/// Legacy single put with a contiguous std::string value. Kept as the
+/// compatibility shim (and the "before" baseline for abl_zerocopy); the
+/// zero-copy path is PutViewReq / "yokan_put_owned".
 struct PutReq {
     std::string db;
     std::string key;
     std::string value;
+    bool overwrite = true;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & db & key & value & overwrite;
+    }
+};
+
+/// Zero-copy single put ("yokan_put_owned"): the value is a refcounted
+/// Buffer, so serializing the request references the product bytes instead of
+/// copying them, and the server parks the received frame slice straight into
+/// the backend via put_view(). Wire-compatible with PutReq (a Buffer
+/// serializes exactly like a std::string).
+struct PutViewReq {
+    std::string db;
+    std::string key;
+    hep::Buffer value;
     bool overwrite = true;
     template <typename A>
     void serialize(A& ar, unsigned) {
@@ -50,8 +71,11 @@ struct KeyReq {
     }
 };
 
+/// The value travels as a BufferView: serialized like a std::string on the
+/// wire, but the server references the stored bytes (no copy out of the
+/// backend) and the client receives a view anchored to the response frame.
 struct GetResp {
-    std::string value;
+    hep::BufferView value;
     template <typename A>
     void serialize(A& ar, unsigned) {
         ar & value;
@@ -132,8 +156,26 @@ struct CountResp {
     }
 };
 
-/// Batched put: the packed key/value data lives in a client-exposed bulk
-/// region; the server pulls it with one RDMA read.
+/// Zero-copy batched put ("yokan_put_packed"): the packed entries ride the
+/// RPC payload as a scatter-gather chain — per-entry (klen, vlen, key)
+/// headers live in one metadata buffer, the values are referenced views of
+/// the caller's product buffers (see pack_items()). The server iterates the
+/// received chain and parks each value slice via put_view(). Replaces the
+/// expose/bulk_access round-trip of PutMultiReq on the hot ingest path.
+struct PutPackedReq {
+    std::string db;
+    std::uint64_t count = 0;
+    bool overwrite = true;
+    hep::BufferChain entries;  // packed (klen u32, vlen u32, key, value)*
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & db & count & overwrite & entries;
+    }
+};
+
+/// Legacy batched put: the packed key/value data lives in a client-exposed
+/// bulk region; the server pulls it with one RDMA read. Kept as the
+/// compatibility shim (and the "before" baseline for abl_zerocopy).
 struct PutMultiReq {
     std::string db;
     rpc::BulkRef bulk;
@@ -206,6 +248,50 @@ inline void pack_entry(std::string& out, std::string_view key, std::string_view 
     out.append(reinterpret_cast<const char*>(&vlen), 4);
     out.append(key);
     out.append(value);
+    hep::count_buffer_copy(8 + key.size() + value.size());
+}
+
+/// Exact size of one packed entry.
+inline std::size_t packed_entry_size(std::size_t klen, std::size_t vlen) {
+    return 8 + klen + vlen;
+}
+
+/// Pack a whole batch with an exact-size pre-pass: one reservation, no
+/// append-realloc growth (packing used to be quadratic for large batches).
+inline void pack_entries(std::string& out, const std::vector<KeyValue>& items) {
+    std::size_t total = out.size();
+    for (const auto& kv : items) total += packed_entry_size(kv.key.size(), kv.value.size());
+    out.reserve(total);
+    for (const auto& kv : items) pack_entry(out, kv.key, kv.value);
+}
+
+/// Pack a batch of BatchItems as a scatter-gather chain: all (klen, vlen,
+/// key) headers go into ONE exactly-sized metadata buffer; each value is
+/// appended as a refcounted view of the item's Buffer. One allocation, keys
+/// copied once, values never copied.
+inline hep::BufferChain pack_items(const std::vector<BatchItem>& items) {
+    std::size_t meta_bytes = 0;
+    for (const auto& it : items) meta_bytes += 8 + it.key.size();
+    std::string meta;
+    meta.reserve(meta_bytes);
+    std::vector<std::size_t> offsets;
+    offsets.reserve(items.size());
+    for (const auto& it : items) {
+        offsets.push_back(meta.size());
+        const std::uint32_t klen = static_cast<std::uint32_t>(it.key.size());
+        const std::uint32_t vlen = static_cast<std::uint32_t>(it.value.size());
+        meta.append(reinterpret_cast<const char*>(&klen), 4);
+        meta.append(reinterpret_cast<const char*>(&vlen), 4);
+        meta.append(it.key);
+    }
+    hep::count_buffer_copy(meta.size());
+    hep::Buffer meta_buf = hep::Buffer::adopt(std::move(meta));
+    hep::BufferChain chain;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        chain.append(meta_buf.view(offsets[i], 8 + items[i].key.size()));
+        chain.append(items[i].value.view());
+    }
+    return chain;
 }
 
 /// Visit packed entries; returns false on malformed input.
@@ -220,6 +306,26 @@ inline bool unpack_entries(std::string_view data,
         if (pos + 8 + klen + vlen > data.size()) return false;
         fn(data.substr(pos + 8, klen), data.substr(pos + 8 + klen, vlen));
         pos += 8 + klen + vlen;
+    }
+    return true;
+}
+
+/// Visit packed entries in a (possibly multi-segment) chain. Values are
+/// handed out as owned views anchored to the chain's storage — safe to park
+/// directly in a backend via put_view(). Returns false on malformed input.
+inline bool unpack_entries_chain(
+    const hep::BufferChain& entries,
+    const std::function<void(std::string_view key, hep::BufferView value)>& fn) {
+    serial::BinaryIArchive in(entries);
+    while (!in.exhausted()) {
+        if (in.remaining() < 8) return false;
+        std::uint32_t klen = 0, vlen = 0;
+        in.read_bytes(&klen, 4);
+        in.read_bytes(&vlen, 4);
+        if (in.remaining() < static_cast<std::size_t>(klen) + vlen) return false;
+        hep::BufferView key = in.read_view(klen);
+        hep::BufferView value = in.read_view(vlen);
+        fn(key.sv(), value.to_owned());
     }
     return true;
 }

@@ -151,13 +151,33 @@ void Provider::register_rpcs() {
         },
         pool_);
 
+    // Zero-copy single put: the request's Buffer value arrives as a view
+    // anchored to the receive frame and is parked in the backend by reference.
+    eng.define<PutViewReq, Ack>(
+        "yokan_put_owned", pid,
+        [this](const PutViewReq& req) -> Result<Ack> {
+            auto db = resolve(req.db);
+            if (!db.ok()) return db.status();
+            Status st;
+            if (auto* rs = find_replica_set(req.db)) {
+                st = rs->put(req.key, req.value, req.overwrite);  // shares the buffer
+            } else {
+                st = (*db)->put_view(req.key, req.value.view(), req.overwrite);
+            }
+            if (!st.ok()) return st;
+            return Ack{};
+        },
+        pool_);
+
     eng.define<KeyReq, GetResp>(
         "yokan_get", pid,
         [this](const KeyReq& req) -> Result<GetResp> {
             auto db = resolve(req.db);
             if (!db.ok()) return db.status();
-            auto v = (*db)->get(req.key);
+            auto v = (*db)->get_view(req.key);
             if (!v.ok()) return v.status();
+            // The stored view rides the response by reference; the response
+            // chain keeps its storage alive until the frame is sent.
             return GetResp{std::move(v.value())};
         },
         pool_);
@@ -266,8 +286,39 @@ void Provider::register_rpcs() {
         },
         pool_);
 
-    // Batched put: pull the packed payload with one bulk read, then apply.
-    // Replicated databases forward the packed payload as ONE record.
+    // Zero-copy batched put: the packed entries ride the request payload as a
+    // scatter-gather chain anchored to the receive frame; each value slice is
+    // parked in the backend by reference. Replicated databases forward the
+    // batch as ONE record.
+    eng.define<PutPackedReq, PutMultiResp>(
+        "yokan_put_packed", pid,
+        [this](const PutPackedReq& req) -> Result<PutMultiResp> {
+            auto db = resolve(req.db);
+            if (!db.ok()) return db.status();
+            PutMultiResp resp;
+            if (auto* rs = find_replica_set(req.db)) {
+                // The replication log needs one contiguous record; adopt the
+                // flattened bytes so log + peer ships share them from here on.
+                auto counts = rs->put_packed(hep::Buffer::adopt(req.entries.flatten()),
+                                             req.overwrite);
+                if (!counts.ok()) return counts.status();
+                resp.stored = counts->first;
+                resp.already_existed = counts->second;
+                return resp;
+            }
+            bool well_formed =
+                unpack_entries_chain(req.entries, [&](std::string_view k, hep::BufferView v) {
+                    Status put_st = (*db)->put_view(k, v, req.overwrite);
+                    if (put_st.ok()) ++resp.stored;
+                    else if (put_st.code() == StatusCode::kAlreadyExists) ++resp.already_existed;
+                });
+            if (!well_formed) return Status::InvalidArgument("malformed packed batch");
+            return resp;
+        },
+        pool_);
+
+    // Legacy batched put: pull the packed payload with one bulk read, then
+    // apply. Replicated databases forward the packed payload as ONE record.
     eng.define_with_context(
         "yokan_put_multi", pid,
         [this](const std::string& payload, rpc::RequestContext& ctx) -> Result<std::string> {
@@ -284,7 +335,7 @@ void Provider::register_rpcs() {
             if (!st.ok()) return st;
             PutMultiResp resp;
             if (auto* rs = find_replica_set(req.db)) {
-                auto counts = rs->put_packed(packed, req.overwrite);
+                auto counts = rs->put_packed(hep::Buffer::adopt(std::move(packed)), req.overwrite);
                 if (!counts.ok()) return counts.status();
                 resp.stored = counts->first;
                 resp.already_existed = counts->second;
@@ -315,20 +366,23 @@ void Provider::register_rpcs() {
             if (!db.ok()) return db.status();
             GetMultiResp resp;
             resp.sizes.reserve(req.keys.size());
-            std::string packed;
+            // Gather the stored values as views — no server-side packing copy;
+            // the fabric writes them into the client's region as one gathered
+            // transfer.
+            hep::BufferChain values;
             for (const auto& key : req.keys) {
-                auto v = (*db)->get(key);
+                auto v = (*db)->get_view(key);
                 if (!v.ok()) {
                     resp.sizes.push_back(kMissing);
                     continue;
                 }
                 resp.sizes.push_back(static_cast<std::uint32_t>(v->size()));
-                packed.append(*v);
+                values.append(std::move(v.value()));
             }
-            resp.needed = packed.size();
-            if (packed.size() <= req.dest.size) {
-                if (!packed.empty()) {
-                    Status st = ctx.bulk_put(packed.data(), req.dest, 0, packed.size());
+            resp.needed = values.size();
+            if (values.size() <= req.dest.size) {
+                if (!values.empty()) {
+                    Status st = ctx.bulk_put_chain(values, req.dest, 0);
                     if (!st.ok()) return st;
                 }
                 resp.written = true;

@@ -1,0 +1,280 @@
+// Unit tests for the zero-copy buffer layer: Buffer / BufferView /
+// BufferChain ownership semantics, the copy-accounting counters, and the
+// chain-aware serialization archives built on top of them.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "serial/archive.hpp"
+
+namespace {
+
+using hep::Buffer;
+using hep::BufferChain;
+using hep::BufferView;
+using hep::buffer_counters;
+using hep::reset_buffer_counters;
+using hep::serial::BinaryIArchive;
+using hep::serial::BinaryOArchive;
+using hep::serial::SerializationError;
+
+TEST(BufferTest, AllocateAndCopyOf) {
+    Buffer b = Buffer::allocate(16);
+    ASSERT_TRUE(b.valid());
+    EXPECT_EQ(b.size(), 16u);
+    for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b.data()[i], '\0');
+
+    Buffer c = Buffer::copy_of("hepnos");
+    EXPECT_EQ(c.sv(), "hepnos");
+}
+
+TEST(BufferTest, AdoptIsZeroCopy) {
+    std::string s(1024, 'x');
+    const char* ptr = s.data();
+    Buffer b = Buffer::adopt(std::move(s));
+    EXPECT_EQ(b.data(), ptr);  // same heap bytes, no copy
+    EXPECT_EQ(b.size(), 1024u);
+}
+
+TEST(BufferTest, ReleaseMovesWhenUnique) {
+    Buffer b = Buffer::adopt(std::string(512, 'y'));
+    const char* ptr = b.data();
+    std::string out = std::move(b).release();
+    EXPECT_EQ(out.data(), ptr);
+    EXPECT_EQ(out.size(), 512u);
+}
+
+TEST(BufferTest, ReleaseCopiesWhenShared) {
+    Buffer b = Buffer::adopt(std::string(512, 'z'));
+    Buffer alias = b;  // refcount 2
+    std::string out = std::move(b).release();
+    EXPECT_NE(out.data(), alias.data());
+    EXPECT_EQ(out, alias.sv());
+}
+
+TEST(BufferViewTest, BorrowedVsOwned) {
+    std::string local = "borrowed bytes";
+    BufferView borrowed{std::string_view(local)};
+    EXPECT_FALSE(borrowed.owning());
+
+    Buffer b = Buffer::copy_of("owned bytes");
+    BufferView owned(b);
+    EXPECT_TRUE(owned.owning());
+    EXPECT_EQ(owned.data(), b.data());  // anchored, not copied
+
+    // to_owned on an already-owned view is identity (same pointer).
+    EXPECT_EQ(owned.to_owned().data(), b.data());
+    // to_owned on a borrowed view copies.
+    BufferView promoted = borrowed.to_owned();
+    EXPECT_TRUE(promoted.owning());
+    EXPECT_NE(promoted.data(), local.data());
+    EXPECT_EQ(promoted.sv(), local);
+}
+
+TEST(BufferViewTest, SliceSharesOwnerAndClamps) {
+    Buffer b = Buffer::copy_of("0123456789");
+    BufferView v(b);
+    BufferView mid = v.slice(2, 5);
+    EXPECT_EQ(mid.sv(), "23456");
+    EXPECT_EQ(mid.owner(), b.storage());
+    EXPECT_EQ(v.slice(8, 100).sv(), "89");  // clamped
+    EXPECT_EQ(v.slice(100, 5).size(), 0u);
+}
+
+TEST(BufferViewTest, ViewOutlivesBufferHandle) {
+    BufferView v;
+    {
+        Buffer b = Buffer::copy_of("survivor");
+        v = b.view(0, 8);
+    }  // Buffer handle gone; storage pinned by the view
+    EXPECT_EQ(v.sv(), "survivor");
+}
+
+TEST(BufferChainTest, AppendAndSize) {
+    BufferChain chain;
+    EXPECT_TRUE(chain.empty());
+    chain.append(Buffer::copy_of("abc"));
+    chain.append(Buffer::copy_of("defg"));
+    chain.append(BufferView{});  // empty views are skipped
+    EXPECT_EQ(chain.size(), 7u);
+    EXPECT_EQ(chain.depth(), 2u);
+    EXPECT_EQ(chain.flatten(), "abcdefg");
+}
+
+TEST(BufferChainTest, SliceAcrossSegments) {
+    BufferChain chain;
+    chain.append(Buffer::copy_of("aaa"));
+    chain.append(Buffer::copy_of("bbb"));
+    chain.append(Buffer::copy_of("ccc"));
+    EXPECT_EQ(chain.slice(2, 5).flatten(), "abbbc");
+    EXPECT_EQ(chain.slice(0, 9).flatten(), "aaabbbccc");
+    EXPECT_EQ(chain.slice(9, 4).size(), 0u);
+}
+
+TEST(BufferChainTest, IntoStringMovesSingleUniqueSegment) {
+    Buffer b = Buffer::adopt(std::string(256, 'q'));
+    const char* ptr = b.data();
+    BufferChain chain;
+    chain.append(b.view());
+    b = Buffer();  // chain is now the sole owner
+    std::string out = std::move(chain).into_string();
+    EXPECT_EQ(out.data(), ptr);  // moved, not copied
+    EXPECT_EQ(out.size(), 256u);
+}
+
+TEST(BufferChainTest, EnsureOwnedPromotesBorrowedSegments) {
+    std::string local = "ephemeral";
+    BufferChain chain;
+    chain.append(BufferView{std::string_view(local)});
+    chain.append(Buffer::copy_of("durable"));
+    EXPECT_FALSE(chain.fully_owned());
+    chain.ensure_owned();
+    EXPECT_TRUE(chain.fully_owned());
+    EXPECT_EQ(chain.flatten(), "ephemeraldurable");
+    EXPECT_NE(chain.segments()[0].data(), local.data());
+}
+
+TEST(BufferCountersTest, CopiesAndAdoptionsAreCounted) {
+    reset_buffer_counters();
+    auto& c = buffer_counters();
+    Buffer::copy_of(std::string(100, 'a'));
+    EXPECT_EQ(c.copies.load(), 1u);
+    EXPECT_EQ(c.bytes_copied.load(), 100u);
+    EXPECT_EQ(c.allocations.load(), 1u);
+
+    Buffer::adopt(std::string(50, 'b'));
+    EXPECT_EQ(c.adoptions.load(), 1u);
+    EXPECT_EQ(c.bytes_copied.load(), 100u);  // adoption copies nothing
+
+    BufferChain chain;
+    chain.append(Buffer::copy_of("xy"));
+    (void)chain.flatten();
+    EXPECT_EQ(c.flattens.load(), 1u);
+    reset_buffer_counters();
+    EXPECT_EQ(c.copies.load(), 0u);
+}
+
+// ---- chain-aware archives ------------------------------------------------
+
+TEST(ChainArchiveTest, TailOnlyArchiveStrIsZeroCopyCompatible) {
+    BinaryOArchive out;
+    out << std::uint32_t{7} << std::string("abc");
+    EXPECT_EQ(out.size(), 4u + 8u + 3u);
+    std::string bytes = std::move(out).str();
+    std::uint32_t a = 0;
+    std::string b;
+    BinaryIArchive in{std::string_view(bytes)};
+    in >> a >> b;
+    EXPECT_EQ(a, 7u);
+    EXPECT_EQ(b, "abc");
+}
+
+TEST(ChainArchiveTest, BufferFieldRidesChainWithoutCopy) {
+    Buffer product = Buffer::adopt(std::string(4096, 'p'));
+    const char* ptr = product.data();
+
+    BinaryOArchive out;
+    out << std::uint64_t{42} << product << std::uint8_t{9};
+    BufferChain chain = std::move(out).take_chain();
+    // tail(8) | product view | tail(1)
+    EXPECT_EQ(chain.size(), 8u + 8u + 4096u + 1u);
+    bool found = false;
+    for (const auto& seg : chain.segments()) {
+        if (seg.data() == ptr) found = true;
+    }
+    EXPECT_TRUE(found) << "product bytes should be chained, not copied";
+
+    // Decode from the multi-segment chain.
+    BinaryIArchive in(chain);
+    std::uint64_t x = 0;
+    Buffer back;
+    std::uint8_t y = 0;
+    in >> x >> back >> y;
+    EXPECT_TRUE(in.exhausted());
+    EXPECT_EQ(x, 42u);
+    EXPECT_EQ(y, 9u);
+    EXPECT_EQ(back.sv(), product.sv());
+    // Whole-segment views re-share storage on load.
+    EXPECT_EQ(back.data(), ptr);
+}
+
+TEST(ChainArchiveTest, ChainFieldRoundTrips) {
+    BufferChain payload;
+    payload.append(Buffer::copy_of("seg-one|"));
+    payload.append(Buffer::copy_of("seg-two"));
+
+    BinaryOArchive out;
+    out << std::int32_t{-1} << payload << std::int32_t{-2};
+    BufferChain wire = std::move(out).take_chain();
+
+    BinaryIArchive in(wire);
+    std::int32_t a = 0, b = 0;
+    BufferChain got;
+    in >> a >> got >> b;
+    EXPECT_EQ(a, -1);
+    EXPECT_EQ(b, -2);
+    EXPECT_EQ(got.flatten(), "seg-one|seg-two");
+    EXPECT_TRUE(got.fully_owned());
+}
+
+TEST(ChainArchiveTest, ReadViewIsZeroCopyWithinSegment) {
+    Buffer big = Buffer::adopt(std::string(1000, 'z'));
+    BufferChain chain;
+    chain.append(big.view());
+    BinaryIArchive in(chain);
+    BufferView v = in.read_view(100);
+    EXPECT_EQ(v.data(), big.data());  // anchored slice, no copy
+    BufferView w = in.read_view(900);
+    EXPECT_EQ(w.data(), big.data() + 100);
+    EXPECT_TRUE(in.exhausted());
+}
+
+TEST(ChainArchiveTest, ReadViewSpanningSegmentsCopies) {
+    BufferChain chain;
+    chain.append(Buffer::copy_of("half"));
+    chain.append(Buffer::copy_of("moon"));
+    BinaryIArchive in(chain);
+    BufferView v = in.read_view(8);
+    EXPECT_EQ(v.sv(), "halfmoon");
+    EXPECT_TRUE(v.owning());
+}
+
+TEST(ChainArchiveTest, ReadChainSpanningSegmentsStaysZeroCopy) {
+    Buffer a = Buffer::copy_of("alpha");
+    Buffer b = Buffer::copy_of("beta");
+    BufferChain chain;
+    chain.append(a.view());
+    chain.append(b.view());
+    BinaryIArchive in(chain);
+    BufferChain sub = in.read_chain(7);  // "alpha" + "be"
+    ASSERT_EQ(sub.depth(), 2u);
+    EXPECT_EQ(sub.segments()[0].data(), a.data());
+    EXPECT_EQ(sub.segments()[1].data(), b.data());
+    EXPECT_EQ(sub.flatten(), "alphabe");
+}
+
+TEST(ChainArchiveTest, UnderflowAcrossSegmentsThrows) {
+    BufferChain chain;
+    chain.append(Buffer::copy_of("ab"));
+    chain.append(Buffer::copy_of("cd"));
+    BinaryIArchive in(chain);
+    char sink[8];
+    EXPECT_THROW(in.read_bytes(sink, 5), SerializationError);
+    BinaryIArchive in2(chain);
+    EXPECT_THROW((void)in2.read_view(5), SerializationError);
+    BinaryIArchive in3(chain);
+    EXPECT_THROW((void)in3.read_chain(5), SerializationError);
+}
+
+TEST(ChainArchiveTest, TakeBufferFlattensDeterministically) {
+    BinaryOArchive out;
+    out << std::string("abc") << std::uint16_t{3};
+    Buffer b = std::move(out).take_buffer();
+    BinaryOArchive out2;
+    out2 << std::string("abc") << std::uint16_t{3};
+    EXPECT_EQ(b.sv(), std::move(out2).str());
+}
+
+}  // namespace

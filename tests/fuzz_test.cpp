@@ -102,6 +102,100 @@ TEST_P(SerialFuzzTest, SingleByteCorruptionNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SerialFuzzTest, ::testing::Values(1, 7, 42, 1234));
 
+// ------------------------------------------- multi-segment BufferChain input
+
+namespace {
+/// Split `bytes` into a chain of owned segments with random widths, so
+/// boundaries land mid-scalar and mid-length-prefix.
+hep::BufferChain random_chop(Rng& rng, std::string_view bytes) {
+    hep::BufferChain chain;
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+        const std::size_t n = std::min<std::size_t>(1 + rng.uniform(0, 9), bytes.size() - pos);
+        chain.append(hep::BufferView(hep::Buffer::copy_of(bytes.substr(pos, n))));
+        pos += n;
+    }
+    return chain;
+}
+}  // namespace
+
+class ChainFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChainFuzzTest, TruncatedChainsAtEveryPointAreClean) {
+    Rng rng(GetParam());
+    nova::EventRecord rec;
+    rec.run = 1;
+    rec.subrun = 2;
+    rec.event = 3;
+    for (int i = 0; i < 4; ++i) {
+        nova::Slice s;
+        s.nhits = static_cast<std::uint32_t>(rng.next_u64());
+        rec.slices.push_back(s);
+    }
+    const std::string bytes = serial::to_string(rec);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        hep::BufferChain chain = random_chop(rng, std::string_view(bytes).substr(0, cut));
+        nova::EventRecord out;
+        EXPECT_THROW(serial::from_chain(chain, out), serial::SerializationError)
+            << "cut at " << cut;
+    }
+}
+
+TEST_P(ChainFuzzTest, CorruptedChainsNeverCrashDeserializers) {
+    Rng rng(GetParam());
+    std::vector<nova::Slice> slices(8);
+    const std::string bytes = serial::to_string(slices);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::string corrupted = bytes;
+        corrupted[rng.uniform(0, corrupted.size() - 1)] =
+            static_cast<char>(rng.next_u64() & 0xFF);
+        hep::BufferChain chain = random_chop(rng, corrupted);
+        try {
+            std::vector<nova::Slice> out;
+            serial::from_chain(chain, out);
+            // Success is fine — payload bytes may change without breaking
+            // framing. The property is "no crash, no OOM".
+        } catch (const serial::SerializationError&) {
+        }
+    }
+}
+
+TEST_P(ChainFuzzTest, RandomByteChainsNeverCrashDeserializers) {
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 150; ++iter) {
+        const std::string bytes = random_bytes(rng, 256);
+        hep::BufferChain chain = random_chop(rng, bytes);
+        try {
+            nova::EventRecord rec;
+            serial::from_chain(chain, rec);
+        } catch (const serial::SerializationError&) {
+        }
+        try {
+            std::map<std::string, std::vector<double>> m;
+            serial::from_chain(chain, m);
+        } catch (const serial::SerializationError&) {
+        }
+    }
+}
+
+TEST_P(ChainFuzzTest, MalformedPackedChainsAreRejectedNotCrashed) {
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 150; ++iter) {
+        const std::string bytes = random_bytes(rng, 200);
+        hep::BufferChain chain = random_chop(rng, bytes);
+        std::size_t visited_bytes = 0;
+        const bool ok = yokan::proto::unpack_entries_chain(
+            chain, [&](std::string_view k, hep::BufferView v) {
+                visited_bytes += 8 + k.size() + v.size();
+            });
+        // Whatever was visited must have framed cleanly within the input.
+        if (ok) EXPECT_EQ(visited_bytes, bytes.size());
+        else EXPECT_LE(visited_bytes, bytes.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainFuzzTest, ::testing::Values(2, 19, 77, 4321));
+
 // -------------------------------------------------------------------- JSON
 
 class JsonFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};

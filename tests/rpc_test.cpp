@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "rpc/rpc.hpp"
+#include "rpc/wire_format.hpp"
 #include "serial/archive.hpp"
 
 namespace {
@@ -18,6 +19,45 @@ using namespace hep::rpc;
 TEST(RpcIdTest, StableAndDistinct) {
     EXPECT_EQ(rpc_id_of("yokan_put"), rpc_id_of("yokan_put"));
     EXPECT_NE(rpc_id_of("yokan_put"), rpc_id_of("yokan_get"));
+}
+
+// Message::wire_size() used to be a flat `64 + payload` guess that ignored
+// the origin string entirely; it is now pinned against the exact frame the
+// TCP fabric writes: [u32 len][u8 kind][serialized header][payload tail].
+TEST(WireSizeTest, MatchesFramedBytesExactly) {
+    Message msg;
+    msg.type = MessageType::kRequest;
+    msg.seq = 0x0123456789abcdefULL;
+    msg.rpc = rpc_id_of("echo");
+    msg.provider = 7;
+    msg.origin = "tcp://127.0.0.1:54321/client";
+    msg.payload.append_copy("hello, wire accounting");
+    for (const auto& to_name :
+         {std::string(), std::string("server"), std::string(60, 'n')}) {
+        // framed_size is computed from the serialized header…
+        EXPECT_EQ(msg.wire_size(to_name.size()), wire::framed_size(msg, to_name));
+        // …and the serialized header is literally what the fabric writes.
+        const std::string header = serial::to_string(wire::make_header(msg, to_name));
+        EXPECT_EQ(msg.wire_size(to_name.size()),
+                  4 + 1 + header.size() + msg.payload.size());
+    }
+}
+
+TEST(WireSizeTest, CoversStatusMessageAndEmptyFields) {
+    Message resp;
+    resp.type = MessageType::kResponse;
+    resp.seq = 9;
+    resp.origin = "net://client";
+    resp.status = Status::NotFound("no such key in any database");
+    EXPECT_EQ(resp.wire_size(0), wire::framed_size(resp, ""));
+
+    Message empty;  // all defaults: no origin, no payload, OK status
+    EXPECT_EQ(empty.wire_size(), wire::framed_size(empty, ""));
+
+    Message chained;  // multi-segment payloads count their total size
+    chained.payload.append_copy("abc");
+    chained.payload.append_copy("defgh");
+    EXPECT_EQ(chained.wire_size(4), wire::framed_size(chained, "peer"));
 }
 
 class RpcTest : public ::testing::Test {

@@ -222,4 +222,104 @@ TEST_P(SerialPropertyTest, RandomEventRecordsRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SerialPropertyTest,
                          ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
 
+// ---- multi-segment BufferChain inputs --------------------------------------
+
+/// Chop `bytes` into a chain of owned segments of width `width` (the last one
+/// shorter). Small widths put segment boundaries inside scalars and inside
+/// the 8-byte length prefixes.
+hep::BufferChain chop(std::string_view bytes, std::size_t width) {
+    hep::BufferChain chain;
+    for (std::size_t pos = 0; pos < bytes.size(); pos += width) {
+        chain.append(hep::BufferView(
+            hep::Buffer::copy_of(bytes.substr(pos, std::min(width, bytes.size() - pos)))));
+    }
+    return chain;
+}
+
+EventRecord sample_record() {
+    EventRecord ev;
+    ev.run = 0x1122334455667788ULL;
+    ev.subrun = 3;
+    ev.event = 9;
+    ev.particles = {{1.5f, -2.5f, 3.25f}, {4.f, 5.f, 6.f}, {0.f, -0.f, 1e-7f}};
+    ev.weights = {{"cv", 1.0}, {"ppfx", 0.9}};
+    ev.note = "multi-segment";
+    return ev;
+}
+
+TEST(SerialChainTest, RoundTripWithSegmentBoundaryAtEveryByte) {
+    const EventRecord ev = sample_record();
+    const std::string bytes = to_string(ev);
+    // Width 1 forces a boundary inside EVERY scalar and length prefix.
+    for (std::size_t width : {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{5},
+                              std::size_t{7}, std::size_t{13}, bytes.size()}) {
+        hep::BufferChain chain = chop(bytes, width);
+        EventRecord out;
+        hep::serial::from_chain(chain, out);
+        EXPECT_EQ(out, ev) << "segment width " << width;
+    }
+}
+
+TEST(SerialChainTest, ChainOutputEqualsContiguousOutput) {
+    const EventRecord ev = sample_record();
+    // to_chain() must describe exactly the bytes to_string() produces.
+    EXPECT_EQ(hep::serial::to_chain(ev).flatten(), to_string(ev));
+    EXPECT_EQ(hep::serial::to_buffer(ev).view().sv(), to_string(ev));
+}
+
+TEST(SerialChainTest, TruncatedChainThrowsAtEveryCut) {
+    const std::string bytes = to_string(sample_record());
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        hep::BufferChain chain = chop(std::string_view(bytes).substr(0, cut), 3);
+        EventRecord out;
+        EXPECT_THROW(hep::serial::from_chain(chain, out), SerializationError)
+            << "cut at " << cut;
+    }
+}
+
+TEST(SerialChainTest, ReadViewAcrossSegmentBoundaryCopiesOnce) {
+    BinaryOArchive out;
+    out << std::string("abcdefgh");
+    const std::string bytes = std::move(out).str();
+    hep::BufferChain chain = chop(bytes, 5);  // boundary mid-prefix AND mid-body
+    BinaryIArchive in(chain);
+    std::string s;
+    in >> s;
+    EXPECT_EQ(s, "abcdefgh");
+    EXPECT_TRUE(in.exhausted());
+}
+
+// Property test: random records round-trip through randomly-segmented chains.
+class SerialChainPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerialChainPropertyTest, RandomSegmentationRoundTrips) {
+    hep::Rng rng(GetParam());
+    for (int iter = 0; iter < 20; ++iter) {
+        EventRecord ev;
+        ev.run = rng.next_u64();
+        const auto np = rng.uniform(0, 30);
+        for (std::uint64_t i = 0; i < np; ++i) {
+            ev.particles.push_back({static_cast<float>(rng.uniform_real(-1, 1)),
+                                    static_cast<float>(rng.uniform_real(-1, 1)),
+                                    static_cast<float>(rng.uniform_real(-1, 1))});
+        }
+        if (rng.bernoulli(0.5)) ev.note = std::string(rng.uniform(0, 40), 'x');
+        const std::string bytes = to_string(ev);
+        hep::BufferChain chain;
+        std::size_t pos = 0;
+        while (pos < bytes.size()) {
+            const std::size_t n =
+                std::min<std::size_t>(1 + rng.uniform(0, 10), bytes.size() - pos);
+            chain.append(
+                hep::BufferView(hep::Buffer::copy_of(std::string_view(bytes).substr(pos, n))));
+            pos += n;
+        }
+        EventRecord out;
+        hep::serial::from_chain(chain, out);
+        EXPECT_EQ(out, ev);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialChainPropertyTest, ::testing::Values(3, 17, 29, 101));
+
 }  // namespace

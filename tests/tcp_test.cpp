@@ -9,6 +9,7 @@
 #include "hepnos/hepnos.hpp"
 #include "margo/engine.hpp"
 #include "rpc/tcp_fabric.hpp"
+#include "rpc/wire_format.hpp"
 
 namespace {
 
@@ -35,6 +36,30 @@ TEST(TcpFabricTest, EchoAcrossTwoFabrics) {
     auto r = client->call(server->address(), "echo", 0, "hello");
     ASSERT_TRUE(r.ok()) << r.status().to_string();
     EXPECT_EQ(*r, "tcp:hello");
+}
+
+TEST(TcpFabricTest, TrafficAccountingMatchesFramedBytes) {
+    TcpFabric server_fabric;
+    TcpFabric client_fabric;
+    auto server = server_fabric.create_endpoint("server");
+    auto client = client_fabric.create_endpoint("client");
+    server->register_handler("echo", 0,
+                             [](RequestContext& ctx) { ctx.respond(ctx.payload()); });
+    const std::string payload = "0123456789";
+    auto r = client->call(server->address(), "echo", 0, payload);
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+
+    // Reconstruct the one request message the client fabric shipped and pin
+    // the byte counter against its real framed size (wire_size only depends
+    // on the string fields and payload length, not on seq/rpc values).
+    Message req;
+    req.type = MessageType::kRequest;
+    req.rpc = rpc_id_of("echo");
+    req.origin = client->address();
+    req.payload.append_copy(payload);
+    EXPECT_EQ(client_fabric.stats().messages, 1u);
+    EXPECT_EQ(client_fabric.stats().message_bytes, wire::framed_size(req, "server"));
+    EXPECT_EQ(client_fabric.stats().message_bytes, req.wire_size(std::string("server").size()));
 }
 
 TEST(TcpFabricTest, LocalShortcutWithinOneFabric) {

@@ -15,6 +15,7 @@
 #include "yokan/lsm/sstable.hpp"
 #include "yokan/lsm/wal.hpp"
 #include "yokan/map_backend.hpp"
+#include "yokan/protocol.hpp"
 
 namespace fs = std::filesystem;
 
@@ -508,6 +509,74 @@ TEST(SstTest, CorruptFooterRejected) {
     EXPECT_FALSE(reader.ok());
     EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
     fs::remove_all(dir);
+}
+
+// ---- batch packing ---------------------------------------------------------
+
+// Batch assembly used to grow the packed string entry by entry; pack_entries
+// now does an exact-size pre-pass so a large batch packs with ONE reservation
+// and no realloc growth.
+TEST(ProtoPackTest, LargeBatchPacksLinearWithExactReserve) {
+    constexpr std::size_t kEntries = 50'000;
+    std::vector<KeyValue> items;
+    items.reserve(kEntries);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < kEntries; ++i) {
+        std::string key = "key-" + std::to_string(i);
+        std::string value(17 + i % 64, static_cast<char>('a' + i % 26));
+        total += proto::packed_entry_size(key.size(), value.size());
+        items.push_back(KeyValue{std::move(key), std::move(value)});
+    }
+    std::string out;
+    proto::pack_entries(out, items);
+    EXPECT_EQ(out.size(), total);
+    // The pre-pass reserved the exact total up front: no geometric growth
+    // overshoot (an append-grown string would end well above its size).
+    EXPECT_LE(out.capacity(), total + 64);
+
+    std::size_t n = 0;
+    ASSERT_TRUE(proto::unpack_entries(out, [&](std::string_view k, std::string_view v) {
+        EXPECT_EQ(k, items[n].key);
+        EXPECT_EQ(v, items[n].value);
+        ++n;
+    }));
+    EXPECT_EQ(n, kEntries);
+}
+
+TEST(ProtoPackTest, PackItemsSharesValuesInsteadOfCopying) {
+    constexpr std::size_t kEntries = 1000;
+    std::vector<BatchItem> items;
+    std::size_t meta_bytes = 0, value_bytes = 0;
+    for (std::size_t i = 0; i < kEntries; ++i) {
+        std::string key = "k" + std::to_string(i);
+        std::string value(64 + i % 32, static_cast<char>('A' + i % 26));
+        meta_bytes += 8 + key.size();
+        value_bytes += value.size();
+        items.push_back(BatchItem{std::move(key), hep::Buffer::adopt(std::move(value))});
+    }
+    hep::reset_buffer_counters();
+    hep::BufferChain chain = proto::pack_items(items);
+    const auto& c = hep::buffer_counters();
+    // One header+key metadata block, every value a refcounted view: only the
+    // metadata bytes were memcpy'd, none of the value payload.
+    EXPECT_EQ(c.bytes_copied.load(), meta_bytes);
+    EXPECT_EQ(chain.depth(), 2 * kEntries);
+    EXPECT_EQ(chain.size(), meta_bytes + value_bytes);
+
+    // The chain unpacks to exactly the packed entries, in order.
+    std::size_t n = 0;
+    ASSERT_TRUE(proto::unpack_entries_chain(
+        chain, [&](std::string_view k, hep::BufferView v) {
+            EXPECT_EQ(k, items[n].key);
+            EXPECT_EQ(v.sv(), items[n].value.view().sv());
+            ++n;
+        }));
+    EXPECT_EQ(n, kEntries);
+
+    // And it flattens to the same bytes the legacy contiguous pack produces.
+    std::string legacy;
+    for (const auto& it : items) proto::pack_entry(legacy, it.key, it.value.view().sv());
+    EXPECT_EQ(chain.flatten(), legacy);
 }
 
 TEST(FactoryTest, RejectsUnknownTypeAndMissingPath) {
