@@ -2,6 +2,7 @@
 
 #include "common/logging.hpp"
 #include "symbio/buffers.hpp"
+#include "yokan/lsm/lsm_db.hpp"
 
 namespace hep::bedrock {
 
@@ -52,8 +53,14 @@ Result<std::unique_ptr<ServiceProcess>> ServiceProcess::create(rpc::Fabric& netw
             pool = svc->engine_->create_pool(pool_name, xstreams);
         }
 
+        // Service-wide lsm tuning ("lsm": {"background_compaction": ...,
+        // "group_commit": ..., "compaction_xstreams": ...}) applies to every
+        // provider that does not carry its own "lsm" section.
+        json::Value pcfg = p["config"];
+        if (config.contains("lsm") && !pcfg.contains("lsm")) pcfg["lsm"] = config["lsm"];
+
         auto provider =
-            yokan::Provider::create(*svc->engine_, provider_id, p["config"], pool, base_dir);
+            yokan::Provider::create(*svc->engine_, provider_id, pcfg, pool, base_dir);
         if (!provider.ok()) return provider.status();
 
         // Record client-facing descriptors, including each database's role.
@@ -118,6 +125,12 @@ Result<std::unique_ptr<ServiceProcess>> ServiceProcess::create(rpc::Fabric& netw
                     out["backend"] = std::string(db->type());
                     return out;
                 });
+                // LSM pipeline health: stall time, immutable-queue depth,
+                // compaction backlog, group-commit batching.
+                if (auto* lsm_db = dynamic_cast<yokan::lsm::LsmDb*>(db)) {
+                    svc->registry_->add_source("lsm/" + db_name,
+                                               [lsm_db]() { return lsm_db->stats_json(); });
+                }
             }
         }
         // Replication metrics: records/bytes shipped, lag, repairs — one

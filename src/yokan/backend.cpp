@@ -55,7 +55,8 @@ Result<Database::ScanChunk> Database::scan_chunk(std::string_view after, std::st
 }
 
 Result<std::unique_ptr<Database>> create_database(const json::Value& config,
-                                                  const std::string& base_dir) {
+                                                  const std::string& base_dir,
+                                                  std::shared_ptr<abt::Pool> compaction_pool) {
     const std::string type = config["type"].as_string();
     if (type == "map" || type.empty()) {
         return std::unique_ptr<Database>(std::make_unique<MapBackend>());
@@ -92,6 +93,24 @@ Result<std::unique_ptr<Database>> create_database(const json::Value& config,
         if (config.contains("wal_sync_every_put")) {
             opts.wal_sync_every_put = config["wal_sync_every_put"].as_bool();
         }
+        if (config.contains("background_compaction")) {
+            opts.background_compaction = config["background_compaction"].as_bool();
+        }
+        if (config.contains("group_commit")) {
+            opts.group_commit = config["group_commit"].as_bool();
+        }
+        if (config.contains("max_immutable_memtables")) {
+            opts.max_immutable_memtables =
+                static_cast<std::size_t>(config["max_immutable_memtables"].as_int());
+        }
+        if (config.contains("l0_slowdown_trigger")) {
+            opts.l0_slowdown_trigger =
+                static_cast<std::size_t>(config["l0_slowdown_trigger"].as_int());
+        }
+        if (config.contains("l0_stop_trigger")) {
+            opts.l0_stop_trigger = static_cast<std::size_t>(config["l0_stop_trigger"].as_int());
+        }
+        opts.compaction_pool = std::move(compaction_pool);
         auto db = lsm::LsmDb::open(std::move(opts));
         if (!db.ok()) return db.status();
         return std::unique_ptr<Database>(std::move(db.value()));

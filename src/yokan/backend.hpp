@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "abt/pool.hpp"
 #include "common/buffer.hpp"
 #include "common/json.hpp"
 #include "common/status.hpp"
@@ -132,8 +133,11 @@ class Database {
 /// Backend factory. `config` is the database's JSON description, e.g.
 ///   {"type": "map"} or
 ///   {"type": "lsm", "path": "/tmp/db1", "memtable_bytes": 4194304}
-/// Relative lsm paths resolve under `base_dir`.
+/// Relative lsm paths resolve under `base_dir`. `compaction_pool`, when set,
+/// hosts the lsm backend's background flush/compaction ULT (shared across a
+/// provider's databases); without it each lsm db runs its own xstream.
 Result<std::unique_ptr<Database>> create_database(const json::Value& config,
-                                                  const std::string& base_dir = ".");
+                                                  const std::string& base_dir = ".",
+                                                  std::shared_ptr<abt::Pool> compaction_pool = nullptr);
 
 }  // namespace hep::yokan

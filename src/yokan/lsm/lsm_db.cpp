@@ -1,7 +1,9 @@
 #include "yokan/lsm/lsm_db.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <limits>
 
 #include "common/logging.hpp"
 
@@ -11,22 +13,50 @@ namespace hep::yokan::lsm {
 
 namespace {
 constexpr const char* kManifestName = "MANIFEST.json";
-constexpr const char* kWalName = "wal.log";
+constexpr const char* kLegacyWalName = "wal.log";
+constexpr std::size_t kNoLevel = std::numeric_limits<std::size_t>::max();
 }  // namespace
+
+std::uint64_t LsmDb::Version::level_bytes(std::size_t li) const {
+    std::uint64_t b = 0;
+    for (const auto& t : levels[li]) b += t.meta.bytes;
+    return b;
+}
 
 LsmDb::LsmDb(LsmOptions options) : options_(std::move(options)) {
     cache_ = std::make_shared<BlockCache>(options_.block_cache_bytes);
-    levels_.resize(options_.max_levels);
+    active_ = std::make_shared<MemTable>();
+    auto v = std::make_shared<Version>();
+    v->levels.resize(options_.max_levels);
+    current_ = std::move(v);
 }
 
 LsmDb::~LsmDb() {
-    // Best-effort durability on clean shutdown.
-    std::unique_lock lock(mutex_);
+    if (worker_) {
+        {
+            abt::LockGuard g(coord_mutex_);
+            stop_ = true;
+            work_cv_.notify_all();
+            idle_cv_.notify_all();
+        }
+        worker_->join();
+        worker_.reset();
+    }
+    own_xstream_.reset();
+    // Best-effort durability on clean shutdown; unflushed memtables are
+    // covered by their WAL segments.
+    std::lock_guard wl(write_mutex_);
     (void)wal_.sync();
 }
 
 std::string LsmDb::table_path(std::uint64_t file_number) const {
     return options_.path + "/" + std::to_string(file_number) + ".sst";
+}
+
+std::string LsmDb::wal_segment_path(std::uint64_t seq) const {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "wal.%06llu.log", static_cast<unsigned long long>(seq));
+    return options_.path + "/" + buf;
 }
 
 Result<std::unique_ptr<LsmDb>> LsmDb::open(LsmOptions options) {
@@ -39,6 +69,7 @@ Result<std::unique_ptr<LsmDb>> LsmDb::open(LsmOptions options) {
     if (!st.ok()) return st;
     st = db->recover_wal();
     if (!st.ok()) return st;
+    db->start_worker();
     return db;
 }
 
@@ -48,9 +79,11 @@ Status LsmDb::load_manifest() {
     auto doc = json::parse_file(path);
     if (!doc.ok()) return Status::Corruption("manifest unreadable: " + doc.status().message());
     const json::Value& v = *doc;
-    next_file_number_ = static_cast<std::uint64_t>(v["next_file"].as_int(1));
+    next_file_number_.store(static_cast<std::uint64_t>(v["next_file"].as_int(1)));
+    auto nv = std::make_shared<Version>();
+    nv->levels.resize(options_.max_levels);
     const json::Value& levels = v["levels"];
-    for (std::size_t li = 0; li < levels.size() && li < levels_.size(); ++li) {
+    for (std::size_t li = 0; li < levels.size() && li < nv->levels.size(); ++li) {
         const json::Value& level = levels.at(li);
         for (std::size_t ti = 0; ti < level.size(); ++ti) {
             const json::Value& t = level.at(ti);
@@ -62,26 +95,28 @@ Status LsmDb::load_manifest() {
             meta.bytes = static_cast<std::uint64_t>(t["bytes"].as_int());
             auto reader = open_table(meta);
             if (!reader.ok()) return reader.status();
-            levels_[li].tables.push_back(std::move(meta));
-            levels_[li].readers.push_back(std::move(reader.value()));
+            nv->levels[li].push_back({std::move(meta), std::move(reader.value())});
         }
     }
+    std::lock_guard vl(version_mutex_);
+    current_ = std::move(nv);
     return Status::OK();
 }
 
 Status LsmDb::save_manifest() {
+    auto v = snapshot_version();
     json::Value doc = json::Value::make_object();
-    doc["next_file"] = next_file_number_;
+    doc["next_file"] = next_file_number_.load();
     json::Value levels = json::Value::make_array();
-    for (const auto& level : levels_) {
+    for (const auto& level : v->levels) {
         json::Value arr = json::Value::make_array();
-        for (const auto& t : level.tables) {
+        for (const auto& t : level) {
             json::Value entry = json::Value::make_object();
-            entry["file"] = t.file_number;
-            entry["min"] = t.min_key;
-            entry["max"] = t.max_key;
-            entry["entries"] = t.entries;
-            entry["bytes"] = t.bytes;
+            entry["file"] = t.meta.file_number;
+            entry["min"] = t.meta.min_key;
+            entry["max"] = t.meta.max_key;
+            entry["entries"] = t.meta.entries;
+            entry["bytes"] = t.meta.bytes;
             arr.push_back(std::move(entry));
         }
         levels.push_back(std::move(arr));
@@ -104,144 +139,220 @@ Status LsmDb::save_manifest() {
     return Status::OK();
 }
 
+Status LsmDb::open_wal_segment() {
+    return wal_.open(wal_segment_path(wal_seq_));
+}
+
 Status LsmDb::recover_wal() {
-    const std::string wal_path = options_.path + "/" + kWalName;
-    auto replayed = Wal::replay(wal_path, [&](Wal::RecordType type, std::string_view key,
-                                              std::string_view value) {
+    // Replay the legacy single log (pre-segmentation layout) first, then
+    // every wal.NNNNNN.log segment in sequence order: last writer wins, and
+    // segments are strictly newer than any legacy log.
+    auto apply = [&](Wal::RecordType type, std::string_view key, std::string_view value) {
         if (type == Wal::RecordType::kPut) {
-            memtable_.insert_or_assign(std::string(key),
-                                       hep::BufferView(hep::Buffer::copy_of(value)));
-            memtable_bytes_ += key.size() + value.size() + 32;
+            active_->entries.insert_or_assign(std::string(key),
+                                              hep::BufferView(hep::Buffer::copy_of(value)));
+            active_->bytes += key.size() + value.size() + 32;
         } else {
-            memtable_.insert_or_assign(std::string(key), std::nullopt);
-            memtable_bytes_ += key.size() + 32;
+            active_->entries.insert_or_assign(std::string(key), std::nullopt);
+            active_->bytes += key.size() + 32;
         }
-    });
-    if (!replayed.ok()) return replayed.status();
-    if (*replayed > 0) {
-        HEP_LOG_INFO("lsm %s: replayed %llu WAL records", options_.path.c_str(),
-                     static_cast<unsigned long long>(*replayed));
+    };
+
+    std::uint64_t total = 0;
+    const std::string legacy = options_.path + "/" + kLegacyWalName;
+    if (fs::exists(legacy)) {
+        auto replayed = Wal::replay(legacy, apply);
+        if (!replayed.ok()) return replayed.status();
+        total += *replayed;
+        active_->wal_segments.push_back(legacy);
     }
-    return wal_.open(wal_path);
+
+    std::vector<std::pair<std::uint64_t, std::string>> segments;
+    std::error_code ec;
+    for (const auto& e : fs::directory_iterator(options_.path, ec)) {
+        const std::string name = e.path().filename().string();
+        if (name.size() <= 8 || name.rfind("wal.", 0) != 0 ||
+            name.compare(name.size() - 4, 4, ".log") != 0 || name == kLegacyWalName) {
+            continue;
+        }
+        const std::string digits = name.substr(4, name.size() - 8);
+        if (digits.empty() || digits.find_first_not_of("0123456789") != std::string::npos) {
+            continue;
+        }
+        segments.emplace_back(std::strtoull(digits.c_str(), nullptr, 10), e.path().string());
+    }
+    std::sort(segments.begin(), segments.end());
+    for (const auto& [seq, path] : segments) {
+        auto replayed = Wal::replay(path, apply);
+        if (!replayed.ok()) return replayed.status();
+        total += *replayed;
+        active_->wal_segments.push_back(path);
+        wal_seq_ = std::max(wal_seq_, seq);
+    }
+    if (total > 0) {
+        HEP_LOG_INFO("lsm %s: replayed %llu WAL records", options_.path.c_str(),
+                     static_cast<unsigned long long>(total));
+    }
+
+    ++wal_seq_;
+    Status st = open_wal_segment();
+    if (!st.ok()) return st;
+
+    // If replay overfilled the memtable, flush inline before serving traffic
+    // (the worker is not running yet).
+    if (active_->bytes >= options_.memtable_bytes) {
+        {
+            std::lock_guard wl(write_mutex_);
+            std::unique_lock ml(mem_mutex_);
+            st = seal_active_locked();
+            if (!st.ok()) return st;
+        }
+        st = drain_work(/*background=*/false);
+        if (!st.ok()) return st;
+    }
+    return Status::OK();
 }
 
 Result<std::shared_ptr<SstReader>> LsmDb::open_table(const TableMeta& meta) const {
     return SstReader::open(table_path(meta.file_number), meta.file_number, cache_);
 }
 
-// ------------------------------------------------------------------ writes
-
-Status LsmDb::put(std::string_view key, std::string_view value, bool overwrite) {
-    // Legacy contiguous path: the memtable must own the bytes, so this copy is
-    // the point (and is counted by copy_of).
-    return put_view(key, hep::BufferView(hep::Buffer::copy_of(value)), overwrite);
+std::shared_ptr<const LsmDb::Version> LsmDb::snapshot_version() const {
+    std::lock_guard vl(version_mutex_);
+    return current_;
 }
 
-Status LsmDb::put_view(std::string_view key, hep::BufferView value, bool overwrite) {
-    hep::BufferView owned = value.to_owned();
-    std::unique_lock lock(mutex_);
-    ++stats_.puts;
-    if (!overwrite) {
-        // "create" semantics require an existence probe.
-        auto mem = memtable_.find(key);
-        if (mem != memtable_.end()) {
-            if (mem->second.has_value()) return Status::AlreadyExists(std::string(key));
-        } else {
-            auto found = table_lookup(key);
-            if (found.ok() && found->has_value()) {
-                return Status::AlreadyExists(std::string(key));
-            }
+// ------------------------------------------------------------ worker plumbing
+
+void LsmDb::start_worker() {
+    if (!options_.background_compaction) return;
+    if (options_.compaction_pool) {
+        worker_pool_ = options_.compaction_pool;
+    } else {
+        worker_pool_ = abt::Pool::create("lsm-compaction");
+        own_xstream_ = abt::Xstream::create({worker_pool_}, "lsm-compaction");
+    }
+    worker_ = abt::Ult::create(worker_pool_, [this] { worker_loop(); });
+}
+
+void LsmDb::signal_work() {
+    abt::LockGuard g(coord_mutex_);
+    work_pending_ = true;
+    work_cv_.notify_one();
+}
+
+void LsmDb::notify_installed() {
+    abt::LockGuard g(coord_mutex_);
+    idle_cv_.notify_all();
+}
+
+void LsmDb::worker_loop() {
+    while (true) {
+        {
+            abt::LockGuard g(coord_mutex_);
+            while (!work_pending_ && !stop_) work_cv_.wait(coord_mutex_);
+            if (stop_) break;  // unflushed memtables stay WAL-covered
+            work_pending_ = false;
+            worker_busy_ = true;
+        }
+        Status st = drain_work(/*background=*/true);
+        if (!st.ok()) set_background_error(st);
+        {
+            abt::LockGuard g(coord_mutex_);
+            worker_busy_ = false;
+            idle_cv_.notify_all();
         }
     }
-    Status st = wal_.append_put(key, owned.sv());
-    if (!st.ok()) return st;
-    if (options_.wal_sync_every_put) {
-        st = wal_.sync();
-        if (!st.ok()) return st;
-    }
-    memtable_bytes_ += key.size() + owned.size() + 32;
-    memtable_.insert_or_assign(std::string(key), std::move(owned));
-    if (memtable_bytes_ >= options_.memtable_bytes) {
-        st = flush_memtable_locked();
-        if (!st.ok()) return st;
-        st = maybe_compact_locked();
-        if (!st.ok()) return st;
-        st = save_manifest();
-        if (!st.ok()) return st;
-    }
-    return Status::OK();
 }
 
-Status LsmDb::erase(std::string_view key) {
-    std::unique_lock lock(mutex_);
-    ++stats_.erases;
-    // Contract: erasing a missing key is NotFound (matches the map backend).
-    auto mem = memtable_.find(key);
-    if (mem != memtable_.end()) {
-        if (!mem->second.has_value()) return Status::NotFound(std::string(key));
-    } else {
-        auto found = table_lookup(key);
-        if (!found.ok() || !found->has_value()) return Status::NotFound(std::string(key));
+void LsmDb::set_background_error(const Status& st) {
+    std::lock_guard g(err_mutex_);
+    if (bg_error_.ok()) bg_error_ = st;
+}
+
+Status LsmDb::background_error() const {
+    std::lock_guard g(err_mutex_);
+    return bg_error_;
+}
+
+std::size_t LsmDb::compaction_candidate(const Version& v) const {
+    if (!v.levels.empty() && v.levels[0].size() >= options_.l0_compaction_trigger) return 0;
+    std::uint64_t budget = options_.level_base_bytes;
+    for (std::size_t i = 1; i + 1 < v.levels.size(); ++i) {
+        if (v.level_bytes(i) > budget) return i;
+        budget *= options_.level_multiplier;
     }
-    Status st = wal_.append_delete(key);
-    if (!st.ok()) return st;
-    memtable_.insert_or_assign(std::string(key), std::nullopt);
-    memtable_bytes_ += key.size() + 32;
-    return Status::OK();
+    return kNoLevel;
 }
 
-Status LsmDb::flush() {
-    std::unique_lock lock(mutex_);
-    if (memtable_.empty()) return Status::OK();
-    Status st = flush_memtable_locked();
-    if (!st.ok()) return st;
-    st = maybe_compact_locked();
-    if (!st.ok()) return st;
-    return save_manifest();
-}
-
-Status LsmDb::flush_memtable_locked() {
-    if (memtable_.empty()) return Status::OK();
-    const std::uint64_t file_number = next_file_number_++;
-    SstWriter writer(table_path(file_number), file_number, options_.block_bytes,
-                     memtable_.size());
-    for (const auto& [key, value] : memtable_) {
-        Status st = value.has_value() ? writer.add(key, value->sv()) : writer.add(key, {}, true);
-        if (!st.ok()) return st;
-    }
-    auto meta = writer.finish();
-    if (!meta.ok()) return meta.status();
-    auto reader = open_table(*meta);
-    if (!reader.ok()) return reader.status();
-    levels_[0].tables.push_back(std::move(meta.value()));  // newest last
-    levels_[0].readers.push_back(std::move(reader.value()));
-    memtable_.clear();
-    memtable_bytes_ = 0;
-    ++lsm_stats_.flushes;
-    ++lsm_stats_.sst_files_written;
-    return wal_.reset();
-}
-
-Status LsmDb::maybe_compact_locked() {
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        if (levels_[0].tables.size() >= options_.l0_compaction_trigger) {
-            Status st = compact_level_locked(0);
-            if (!st.ok()) return st;
-            changed = true;
+Status LsmDb::drain_work(bool background) {
+    abt::LockGuard serial(work_serial_);
+    compaction_running_.store(true, std::memory_order_relaxed);
+    Status st;
+    while (st.ok()) {
+        auto v = snapshot_version();
+        if (!v->imm.empty()) {
+            st = flush_oldest_imm();
+            if (st.ok()) notify_installed();
             continue;
         }
-        std::uint64_t budget = options_.level_base_bytes;
-        for (std::size_t i = 1; i + 1 < levels_.size(); ++i) {
-            if (levels_[i].bytes() > budget) {
-                Status st = compact_level_locked(i);
-                if (!st.ok()) return st;
-                changed = true;
-                break;
+        const std::size_t lvl = compaction_candidate(*v);
+        if (lvl == kNoLevel) break;
+        st = compact_level(lvl);
+        if (st.ok()) {
+            {
+                std::lock_guard g(stats_mutex_);
+                ++lsm_stats_.compactions;
+                if (background) ++lsm_stats_.compactions_background;
+                else ++lsm_stats_.compactions_inline;
             }
-            budget *= options_.level_multiplier;
+            notify_installed();
         }
+    }
+    compaction_running_.store(false, std::memory_order_relaxed);
+    return st;
+}
+
+Status LsmDb::flush_oldest_imm() {
+    auto v = snapshot_version();
+    if (v->imm.empty()) return Status::OK();
+    // seal prepends at the front; the worker (sole remover) drains the back.
+    std::shared_ptr<const MemTable> victim = v->imm.back();
+
+    std::optional<TableHandle> handle;
+    if (!victim->entries.empty()) {
+        const std::uint64_t fn = next_file_number_.fetch_add(1);
+        SstWriter writer(table_path(fn), fn, options_.block_bytes, victim->entries.size());
+        for (const auto& [key, value] : victim->entries) {
+            Status st =
+                value.has_value() ? writer.add(key, value->sv()) : writer.add(key, {}, true);
+            if (!st.ok()) return st;
+        }
+        auto meta = writer.finish();
+        if (!meta.ok()) return meta.status();
+        auto reader = open_table(*meta);
+        if (!reader.ok()) return reader.status();
+        handle.emplace(TableHandle{std::move(meta.value()), std::move(reader.value())});
+    }
+
+    {
+        std::lock_guard vl(version_mutex_);
+        auto nv = std::make_shared<Version>(*current_);
+        nv->imm.pop_back();
+        if (handle) nv->levels[0].push_back(std::move(*handle));  // newest last
+        current_ = std::move(nv);
+    }
+    {
+        std::lock_guard g(stats_mutex_);
+        ++lsm_stats_.flushes;
+        if (handle) ++lsm_stats_.sst_files_written;
+    }
+    Status st = save_manifest();
+    if (!st.ok()) return st;
+    // The memtable is on disk; its log segments are no longer needed.
+    for (const auto& seg : victim->wal_segments) {
+        std::error_code ec;
+        fs::remove(seg, ec);
     }
     return Status::OK();
 }
@@ -261,36 +372,39 @@ bool ranges_overlap(const TableMeta& a, std::string_view min_key, std::string_vi
 
 }  // namespace
 
-Status LsmDb::compact_level_locked(std::size_t level) {
+Status LsmDb::compact_level(std::size_t level) {
+    // Levels are only mutated under work_serial_, so this copy is the truth;
+    // concurrent seals/flushes only touch the imm queue and L0 appends are
+    // re-merged at publish time.
+    auto base = snapshot_version();
+    std::vector<std::vector<TableHandle>> levels = base->levels;
     const std::size_t target = level + 1;
-    if (target >= levels_.size()) return Status::OK();
+    if (target >= levels.size()) return Status::OK();
 
-    // Choose input tables from `level`.
     std::vector<std::size_t> src_idx;
     if (level == 0) {
-        for (std::size_t i = 0; i < levels_[0].tables.size(); ++i) src_idx.push_back(i);
-    } else {
+        for (std::size_t i = 0; i < levels[0].size(); ++i) src_idx.push_back(i);
+    } else if (!levels[level].empty()) {
         src_idx.push_back(0);  // oldest-first keeps levels rolling forward
     }
     if (src_idx.empty()) return Status::OK();
 
-    std::string min_key = levels_[level].tables[src_idx[0]].min_key;
-    std::string max_key = levels_[level].tables[src_idx[0]].max_key;
+    std::string min_key = levels[level][src_idx[0]].meta.min_key;
+    std::string max_key = levels[level][src_idx[0]].meta.max_key;
     for (std::size_t i : src_idx) {
-        min_key = std::min(min_key, levels_[level].tables[i].min_key);
-        max_key = std::max(max_key, levels_[level].tables[i].max_key);
+        min_key = std::min(min_key, levels[level][i].meta.min_key);
+        max_key = std::max(max_key, levels[level][i].meta.max_key);
     }
 
-    // Overlapping tables in the target level.
     std::vector<std::size_t> dst_idx;
-    for (std::size_t i = 0; i < levels_[target].tables.size(); ++i) {
-        if (ranges_overlap(levels_[target].tables[i], min_key, max_key)) dst_idx.push_back(i);
+    for (std::size_t i = 0; i < levels[target].size(); ++i) {
+        if (ranges_overlap(levels[target][i].meta, min_key, max_key)) dst_idx.push_back(i);
     }
 
     // Tombstones may be dropped only if no key version can exist deeper.
     bool deeper_empty = true;
-    for (std::size_t d = target + 1; d < levels_.size(); ++d) {
-        if (!levels_[d].tables.empty()) deeper_empty = false;
+    for (std::size_t d = target + 1; d < levels.size(); ++d) {
+        if (!levels[d].empty()) deeper_empty = false;
     }
 
     // Build merge sources; lower prio wins. L0 newest (highest index) is the
@@ -299,18 +413,18 @@ Status LsmDb::compact_level_locked(std::size_t level) {
     std::uint64_t input_entries = 0;
     if (level == 0) {
         for (auto rit = src_idx.rbegin(); rit != src_idx.rend(); ++rit) {
-            sources.push_back({levels_[0].readers[*rit]->make_iterator(), sources.size()});
-            input_entries += levels_[0].tables[*rit].entries;
+            sources.push_back({levels[0][*rit].reader->make_iterator(), sources.size()});
+            input_entries += levels[0][*rit].meta.entries;
         }
     } else {
         for (std::size_t i : src_idx) {
-            sources.push_back({levels_[level].readers[i]->make_iterator(), sources.size()});
-            input_entries += levels_[level].tables[i].entries;
+            sources.push_back({levels[level][i].reader->make_iterator(), sources.size()});
+            input_entries += levels[level][i].meta.entries;
         }
     }
     for (std::size_t i : dst_idx) {
-        sources.push_back({levels_[target].readers[i]->make_iterator(), sources.size()});
-        input_entries += levels_[target].tables[i].entries;
+        sources.push_back({levels[target][i].reader->make_iterator(), sources.size()});
+        input_entries += levels[target][i].meta.entries;
     }
     for (auto& s : sources) {
         Status st = s.it.seek_after(std::string_view{});  // from the beginning
@@ -322,7 +436,7 @@ Status LsmDb::compact_level_locked(std::size_t level) {
     std::optional<SstWriter> writer;
     std::size_t out_bytes_estimate = 0;
     auto open_writer = [&]() {
-        const std::uint64_t fn = next_file_number_++;
+        const std::uint64_t fn = next_file_number_.fetch_add(1);
         writer.emplace(table_path(fn), fn, options_.block_bytes,
                        std::max<std::size_t>(16, input_entries));
         out_bytes_estimate = 0;
@@ -333,7 +447,7 @@ Status LsmDb::compact_level_locked(std::size_t level) {
         if (!meta.ok()) return meta.status();
         // Drop empty output tables.
         if (meta->entries > 0) outputs.push_back(std::move(meta.value()));
-        else std::filesystem::remove(table_path(meta->file_number));
+        else fs::remove(table_path(meta->file_number));
         writer.reset();
         return Status::OK();
     };
@@ -372,60 +486,299 @@ Status LsmDb::compact_level_locked(std::size_t level) {
     Status st = close_writer();
     if (!st.ok()) return st;
 
-    // Install outputs: delete inputs from both levels, insert outputs sorted.
-    auto remove_tables = [&](Level& lvl, const std::vector<std::size_t>& idx) {
-        // idx is sorted ascending; erase from the back.
+    // Remove inputs from the working copy; their files are only unlinked
+    // after the new version (without them) is published, so readers pinning
+    // an old version keep valid open handles (POSIX unlink semantics).
+    std::vector<std::string> doomed;
+    auto remove_tables = [&](std::vector<TableHandle>& lvl, const std::vector<std::size_t>& idx) {
         for (auto rit = idx.rbegin(); rit != idx.rend(); ++rit) {
-            std::filesystem::remove(table_path(lvl.tables[*rit].file_number));
-            lvl.tables.erase(lvl.tables.begin() + static_cast<std::ptrdiff_t>(*rit));
-            lvl.readers.erase(lvl.readers.begin() + static_cast<std::ptrdiff_t>(*rit));
+            doomed.push_back(table_path(lvl[*rit].meta.file_number));
+            lvl.erase(lvl.begin() + static_cast<std::ptrdiff_t>(*rit));
         }
     };
-    remove_tables(levels_[level], src_idx);
-    remove_tables(levels_[target], dst_idx);
+    remove_tables(levels[level], src_idx);
+    remove_tables(levels[target], dst_idx);
 
     for (auto& meta : outputs) {
         auto reader = open_table(meta);
         if (!reader.ok()) return reader.status();
         // Insert sorted by min_key (levels >= 1 are non-overlapping).
         auto pos = std::lower_bound(
-            levels_[target].tables.begin(), levels_[target].tables.end(), meta,
-            [](const TableMeta& a, const TableMeta& b) { return a.min_key < b.min_key; });
-        const auto offset = pos - levels_[target].tables.begin();
-        levels_[target].tables.insert(pos, std::move(meta));
-        levels_[target].readers.insert(levels_[target].readers.begin() + offset,
-                                       std::move(reader.value()));
+            levels[target].begin(), levels[target].end(), meta,
+            [](const TableHandle& a, const TableMeta& b) { return a.meta.min_key < b.min_key; });
+        levels[target].insert(pos, {std::move(meta), std::move(reader.value())});
     }
-    ++lsm_stats_.compactions;
-    lsm_stats_.sst_files_written += outputs.size();
+
+    {
+        std::lock_guard vl(version_mutex_);
+        auto nv = std::make_shared<Version>(*current_);  // picks up fresh seals
+        nv->levels = std::move(levels);
+        current_ = std::move(nv);
+    }
+    {
+        std::lock_guard g(stats_mutex_);
+        lsm_stats_.sst_files_written += outputs.size();
+    }
+    st = save_manifest();
+    if (!st.ok()) return st;
+    for (const auto& p : doomed) {
+        std::error_code ec;
+        fs::remove(p, ec);
+    }
+    return Status::OK();
+}
+
+// ------------------------------------------------------------------ writes
+
+Status LsmDb::put(std::string_view key, std::string_view value, bool overwrite) {
+    // Legacy contiguous path: the memtable must own the bytes, so this copy is
+    // the point (and is counted by copy_of).
+    return put_view(key, hep::BufferView(hep::Buffer::copy_of(value)), overwrite);
+}
+
+Status LsmDb::put_view(std::string_view key, hep::BufferView value, bool overwrite) {
+    {
+        std::lock_guard g(stats_mutex_);
+        ++stats_.puts;
+    }
+    return write_impl(key, value.to_owned(), overwrite, /*is_erase=*/false);
+}
+
+Status LsmDb::erase(std::string_view key) {
+    {
+        std::lock_guard g(stats_mutex_);
+        ++stats_.erases;
+    }
+    // Tombstones grow the memtable too: erase goes through the same seal /
+    // backpressure path as put so delete-heavy workloads still flush.
+    return write_impl(key, std::nullopt, /*overwrite=*/true, /*is_erase=*/true);
+}
+
+bool LsmDb::key_present(std::string_view key) const {
+    std::shared_ptr<const Version> ver;
+    {
+        std::shared_lock ml(mem_mutex_);
+        auto it = active_->entries.find(key);
+        if (it != active_->entries.end()) return it->second.has_value();
+        ver = snapshot_version();
+    }
+    for (const auto& m : ver->imm) {
+        auto it = m->entries.find(key);
+        if (it != m->entries.end()) return it->second.has_value();
+    }
+    auto found = table_lookup(*ver, key);
+    return found.ok() && found->has_value();
+}
+
+void LsmDb::maybe_stall() {
+    auto over_stop = [&](const Version& v) {
+        return v.imm.size() >= options_.max_immutable_memtables ||
+               (!v.levels.empty() && v.levels[0].size() >= options_.l0_stop_trigger);
+    };
+    auto v = snapshot_version();
+    if (over_stop(*v)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        {
+            abt::LockGuard g(coord_mutex_);
+            while (!stop_ && background_error().ok()) {
+                auto cur = snapshot_version();
+                if (!over_stop(*cur)) break;
+                work_pending_ = true;
+                work_cv_.notify_one();
+                idle_cv_.wait(coord_mutex_);
+            }
+        }
+        const auto dt = std::chrono::steady_clock::now() - t0;
+        std::lock_guard g(stats_mutex_);
+        ++lsm_stats_.write_stalls;
+        lsm_stats_.write_stall_micros += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(dt).count());
+    } else if (!v->levels.empty() && v->levels[0].size() >= options_.l0_slowdown_trigger) {
+        {
+            std::lock_guard g(stats_mutex_);
+            ++lsm_stats_.write_slowdowns;
+        }
+        abt::yield();  // one scheduling quantum of grace for the worker
+    }
+}
+
+Status LsmDb::write_impl(std::string_view key, std::optional<hep::BufferView> value,
+                         bool overwrite, bool is_erase) {
+    Status bg = background_error();
+    if (!bg.ok()) return bg;
+    if (options_.background_compaction) maybe_stall();
+
+    bool sealed = false;
+    std::uint64_t my_seq = 0;
+    {
+        std::lock_guard wl(write_mutex_);
+        if (is_erase || !overwrite) {
+            const bool present = key_present(key);
+            // Contract (matches the map backend): erasing a missing key is
+            // NotFound; "create" semantics make an existing key AlreadyExists.
+            if (is_erase && !present) return Status::NotFound(std::string(key));
+            if (!is_erase && present) return Status::AlreadyExists(std::string(key));
+        }
+        Status st = is_erase ? wal_.append_delete(key) : wal_.append_put(key, value->sv());
+        if (!st.ok()) return st;
+        my_seq = append_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+        {
+            std::unique_lock ml(mem_mutex_);
+            active_->bytes += key.size() + (value ? value->size() : 0) + 32;
+            active_->entries.insert_or_assign(std::string(key), std::move(value));
+            if (active_->bytes >= options_.memtable_bytes) {
+                st = seal_active_locked();
+                if (!st.ok()) return st;
+                sealed = true;
+            }
+        }
+        if (options_.wal_sync_every_put && !options_.group_commit && !sealed) {
+            st = wal_.sync();
+            if (!st.ok()) return st;
+        }
+    }
+    // The sync happens outside every lock the read/insert paths use; under
+    // group commit a single leader flushes for the whole batch.
+    if (options_.wal_sync_every_put && options_.group_commit) {
+        Status st = group_sync(my_seq);
+        if (!st.ok()) return st;
+    }
+    if (sealed) {
+        if (options_.background_compaction) {
+            signal_work();
+        } else {
+            Status st = drain_work(/*background=*/false);
+            if (!st.ok()) return st;
+        }
+    }
+    return Status::OK();
+}
+
+Status LsmDb::seal_active_locked() {
+    // Rotate the WAL: closing the segment flushes the sealed memtable's
+    // records, so this doubles as a group commit for everything appended.
+    wal_.close();
+    active_->wal_segments.push_back(wal_segment_path(wal_seq_));
+    {
+        std::lock_guard sl(sync_mutex_);
+        const std::uint64_t appended = append_seq_.load(std::memory_order_relaxed);
+        if (appended > synced_seq_) synced_seq_ = appended;
+    }
+    ++wal_seq_;
+    Status st = open_wal_segment();
+    if (!st.ok()) return st;
+
+    {
+        std::lock_guard vl(version_mutex_);
+        auto nv = std::make_shared<Version>(*current_);
+        nv->imm.insert(nv->imm.begin(), active_);  // newest first
+        current_ = std::move(nv);
+    }
+    active_ = std::make_shared<MemTable>();
+    return Status::OK();
+}
+
+Status LsmDb::group_sync(std::uint64_t my_seq) {
+    while (true) {
+        std::shared_ptr<abt::Eventual<bool>> batch;
+        {
+            std::unique_lock sl(sync_mutex_);
+            if (synced_seq_ >= my_seq) return last_sync_status_;
+            if (!sync_leader_active_) {
+                sync_leader_active_ = true;
+                sl.unlock();
+                // Leader: one flush covers every record appended so far.
+                std::uint64_t target = 0;
+                Status st;
+                {
+                    std::lock_guard wl(write_mutex_);
+                    target = append_seq_.load(std::memory_order_relaxed);
+                    st = wal_.sync();
+                }
+                std::shared_ptr<abt::Eventual<bool>> done;
+                std::uint64_t covered = 0;
+                {
+                    std::lock_guard sl2(sync_mutex_);
+                    sync_leader_active_ = false;
+                    if (target > synced_seq_) {
+                        covered = target - synced_seq_;
+                        synced_seq_ = target;
+                    }
+                    last_sync_status_ = st;
+                    done = std::move(pending_batch_);
+                    pending_batch_.reset();
+                }
+                {
+                    std::lock_guard g(stats_mutex_);
+                    ++lsm_stats_.group_commit_syncs;
+                    lsm_stats_.group_commit_records += covered;
+                }
+                if (done) done->set(true);
+                continue;  // re-check: our own seq is covered now
+            }
+            // Follower: ride the next leader's flush.
+            if (!pending_batch_) pending_batch_ = std::make_shared<abt::Eventual<bool>>();
+            batch = pending_batch_;
+        }
+        batch->wait();
+    }
+}
+
+Status LsmDb::flush() {
+    Status bg = background_error();
+    if (!bg.ok()) return bg;
+    {
+        std::lock_guard wl(write_mutex_);
+        std::unique_lock ml(mem_mutex_);
+        if (!active_->entries.empty()) {
+            Status st = seal_active_locked();
+            if (!st.ok()) return st;
+        }
+    }
+    if (!options_.background_compaction) return drain_work(/*background=*/false);
+
+    signal_work();
+    abt::LockGuard g(coord_mutex_);
+    while (true) {
+        bg = background_error();
+        if (!bg.ok()) return bg;
+        if (!worker_busy_ && !work_pending_) {
+            auto v = snapshot_version();
+            if (v->imm.empty() && compaction_candidate(*v) == kNoLevel) break;
+            work_pending_ = true;  // worker missed it or new work arrived
+            work_cv_.notify_one();
+        }
+        idle_cv_.wait(coord_mutex_);
+    }
     return Status::OK();
 }
 
 // ------------------------------------------------------------------- reads
 
-Result<std::optional<std::string>> LsmDb::table_lookup(std::string_view key) const {
+Result<std::optional<std::string>> LsmDb::table_lookup(const Version& v,
+                                                       std::string_view key) const {
     // L0: newest to oldest (later files shadow earlier ones).
-    const Level& l0 = levels_[0];
-    for (std::size_t i = l0.tables.size(); i-- > 0;) {
-        const TableMeta& t = l0.tables[i];
+    const auto& l0 = v.levels[0];
+    for (std::size_t i = l0.size(); i-- > 0;) {
+        const TableMeta& t = l0[i].meta;
         if (key < std::string_view(t.min_key) || std::string_view(t.max_key) < key) continue;
-        auto r = l0.readers[i]->get(key);
+        auto r = l0[i].reader->get(key);
         if (r.ok()) return r;  // value or tombstone
         if (r.status().code() != StatusCode::kNotFound) return r.status();
     }
     // Deeper levels: at most one candidate file per level.
-    for (std::size_t li = 1; li < levels_.size(); ++li) {
-        const Level& lvl = levels_[li];
+    for (std::size_t li = 1; li < v.levels.size(); ++li) {
+        const auto& lvl = v.levels[li];
         // First table with max_key >= key.
-        std::size_t lo = 0, hi = lvl.tables.size();
+        std::size_t lo = 0, hi = lvl.size();
         while (lo < hi) {
             const std::size_t mid = (lo + hi) / 2;
-            if (std::string_view(lvl.tables[mid].max_key) < key) lo = mid + 1;
+            if (std::string_view(lvl[mid].meta.max_key) < key) lo = mid + 1;
             else hi = mid;
         }
-        if (lo == lvl.tables.size()) continue;
-        if (key < std::string_view(lvl.tables[lo].min_key)) continue;
-        auto r = lvl.readers[lo]->get(key);
+        if (lo == lvl.size()) continue;
+        if (key < std::string_view(lvl[lo].meta.min_key)) continue;
+        auto r = lvl[lo].reader->get(key);
         if (r.ok()) return r;
         if (r.status().code() != StatusCode::kNotFound) return r.status();
     }
@@ -433,29 +786,67 @@ Result<std::optional<std::string>> LsmDb::table_lookup(std::string_view key) con
 }
 
 Result<std::string> LsmDb::get(std::string_view key) {
-    std::shared_lock lock(mutex_);
-    ++stats_.gets;
-    auto mem = memtable_.find(key);
-    if (mem != memtable_.end()) {
-        if (!mem->second.has_value()) return Status::NotFound(std::string(key));
-        hep::count_buffer_copy(mem->second->size());
-        return std::string(mem->second->sv());
+    {
+        std::lock_guard g(stats_mutex_);
+        ++stats_.gets;
+        if (compaction_running_.load(std::memory_order_relaxed)) {
+            ++lsm_stats_.reads_during_compaction;
+        }
     }
-    auto found = table_lookup(key);
+    std::shared_ptr<const Version> ver;
+    {
+        // Active memtable first, and the version captured under the same
+        // shared lock: a concurrent seal cannot move a key out from between
+        // the two probes.
+        std::shared_lock ml(mem_mutex_);
+        auto it = active_->entries.find(key);
+        if (it != active_->entries.end()) {
+            if (!it->second.has_value()) return Status::NotFound(std::string(key));
+            hep::count_buffer_copy(it->second->size());
+            return std::string(it->second->sv());
+        }
+        ver = snapshot_version();
+    }
+    for (const auto& m : ver->imm) {
+        auto it = m->entries.find(key);
+        if (it != m->entries.end()) {
+            if (!it->second.has_value()) return Status::NotFound(std::string(key));
+            hep::count_buffer_copy(it->second->size());
+            return std::string(it->second->sv());
+        }
+    }
+    auto found = table_lookup(*ver, key);
     if (!found.ok()) return found.status();
     if (!found->has_value()) return Status::NotFound(std::string(key));
     return std::move(**found);
 }
 
 Result<hep::BufferView> LsmDb::get_view(std::string_view key) {
-    std::shared_lock lock(mutex_);
-    ++stats_.gets;
-    auto mem = memtable_.find(key);
-    if (mem != memtable_.end()) {
-        if (!mem->second.has_value()) return Status::NotFound(std::string(key));
-        return *mem->second;  // refcount bump only
+    {
+        std::lock_guard g(stats_mutex_);
+        ++stats_.gets;
+        if (compaction_running_.load(std::memory_order_relaxed)) {
+            ++lsm_stats_.reads_during_compaction;
+        }
     }
-    auto found = table_lookup(key);
+    std::shared_ptr<const Version> ver;
+    {
+        std::shared_lock ml(mem_mutex_);
+        auto it = active_->entries.find(key);
+        if (it != active_->entries.end()) {
+            if (!it->second.has_value()) return Status::NotFound(std::string(key));
+            return *it->second;  // refcount bump only
+        }
+        ver = snapshot_version();
+    }
+    for (const auto& m : ver->imm) {
+        auto it = m->entries.find(key);
+        if (it != m->entries.end()) {
+            if (!it->second.has_value()) return Status::NotFound(std::string(key));
+            return *it->second;
+        }
+    }
+    auto found = table_lookup(*ver, key);
     if (!found.ok()) return found.status();
     if (!found->has_value()) return Status::NotFound(std::string(key));
     // Table values materialize from disk/cache as a fresh string; adopt it.
@@ -463,13 +854,11 @@ Result<hep::BufferView> LsmDb::get_view(std::string_view key) {
 }
 
 Result<bool> LsmDb::exists(std::string_view key) {
-    std::shared_lock lock(mutex_);
-    ++stats_.gets;
-    auto mem = memtable_.find(key);
-    if (mem != memtable_.end()) return mem->second.has_value();
-    auto found = table_lookup(key);
-    if (!found.ok()) return false;
-    return found->has_value();
+    {
+        std::lock_guard g(stats_mutex_);
+        ++stats_.gets;
+    }
+    return key_present(key);
 }
 
 Result<std::uint64_t> LsmDb::length(std::string_view key) {
@@ -481,21 +870,70 @@ Result<std::uint64_t> LsmDb::length(std::string_view key) {
 Status LsmDb::scan(std::string_view after, std::string_view prefix, bool with_values,
                    const ScanFn& fn) {
     (void)with_values;  // values come along for free in this implementation
-    std::shared_lock lock(mutex_);
-    ++stats_.scans;
+    {
+        std::lock_guard g(stats_mutex_);
+        ++stats_.scans;
+        if (compaction_running_.load(std::memory_order_relaxed)) {
+            ++lsm_stats_.reads_during_compaction;
+        }
+    }
+
+    // Pin the active memtable and a version snapshot together: a seal that
+    // races this capture either already moved the memtable onto the imm list
+    // we see, or happens after and leaves `mem` frozen — no key can fall
+    // between the two.
+    std::shared_ptr<const MemTable> mem;
+    std::shared_ptr<const Version> ver;
+    {
+        std::shared_lock ml(mem_mutex_);
+        mem = active_;
+        ver = snapshot_version();
+    }
 
     const bool start_at_prefix = !prefix.empty() && after < prefix;
 
-    // Source 0: memtable. Sources 1..: tables, ordered newest-first so the
-    // lowest source index always holds the most recent version of a key.
-    auto mem_it = start_at_prefix ? memtable_.lower_bound(prefix) : memtable_.upper_bound(after);
+    // Cursor over `mem`: it may still be the live memtable, so each step
+    // re-probes under a brief shared lock (keys inserted behind the cursor
+    // are skipped — the documented resume-after contract).
+    std::string mem_key;
+    std::optional<hep::BufferView> mem_val;
+    bool mem_valid = false;
+    auto mem_load = [&](bool initial) {
+        std::shared_lock ml(mem_mutex_);
+        auto it = initial ? (start_at_prefix ? mem->entries.lower_bound(prefix)
+                                             : mem->entries.upper_bound(after))
+                          : mem->entries.upper_bound(mem_key);
+        if (it == mem->entries.end()) {
+            mem_valid = false;
+            mem_val.reset();
+            return;
+        }
+        mem_valid = true;
+        mem_key = it->first;
+        mem_val = it->second;  // refcount bump: bytes stay valid off-lock
+    };
+    mem_load(/*initial=*/true);
 
-    std::vector<SstReader::Iterator> its;
-    for (std::size_t i = levels_[0].readers.size(); i-- > 0;) {
-        its.push_back(levels_[0].readers[i]->make_iterator());
+    // Sealed memtables are frozen — plain iterators, newest first.
+    struct ImmCursor {
+        const MemTable* mt;
+        decltype(MemTable::entries)::const_iterator it;
+    };
+    std::vector<ImmCursor> imms;
+    imms.reserve(ver->imm.size());
+    for (const auto& m : ver->imm) {
+        auto it = start_at_prefix ? m->entries.lower_bound(prefix) : m->entries.upper_bound(after);
+        imms.push_back({m.get(), it});
     }
-    for (std::size_t li = 1; li < levels_.size(); ++li) {
-        for (const auto& r : levels_[li].readers) its.push_back(r->make_iterator());
+
+    // Table iterators, ordered newest-first so the lowest source index always
+    // holds the most recent version of a key.
+    std::vector<SstReader::Iterator> its;
+    for (std::size_t i = ver->levels[0].size(); i-- > 0;) {
+        its.push_back(ver->levels[0][i].reader->make_iterator());
+    }
+    for (std::size_t li = 1; li < ver->levels.size(); ++li) {
+        for (const auto& t : ver->levels[li]) its.push_back(t.reader->make_iterator());
     }
     for (auto& it : its) {
         Status st = start_at_prefix ? it.seek_geq(prefix) : it.seek_after(after);
@@ -508,16 +946,20 @@ Status LsmDb::scan(std::string_view after, std::string_view prefix, bool with_va
     };
 
     while (true) {
-        // Smallest key across memtable + table iterators.
-        const std::string* mem_key =
-            mem_it != memtable_.end() ? &mem_it->first : nullptr;
+        // Smallest key across the active cursor, imm cursors and tables.
         std::string_view best;
         bool have_best = false;
-        if (mem_key) {
-            best = *mem_key;
+        if (mem_valid) {
+            best = mem_key;
             have_best = true;
         }
-        for (auto& it : its) {
+        for (const auto& c : imms) {
+            if (c.it != c.mt->entries.end() && (!have_best || c.it->first < best)) {
+                best = c.it->first;
+                have_best = true;
+            }
+        }
+        for (const auto& it : its) {
             if (it.valid() && (!have_best || it.key() < best)) {
                 best = it.key();
                 have_best = true;
@@ -526,24 +968,36 @@ Status LsmDb::scan(std::string_view after, std::string_view prefix, bool with_va
         if (!have_best) break;
         if (!prefix_matches(best) && best > prefix) break;  // past the prefix range
 
-        // Resolve winner: memtable first, then newest table.
-        bool emitted_handled = false;
-        bool keep_going = true;
+        // Resolve winner: active memtable first, then newest imm, then
+        // newest table. Advance every source positioned at this key.
         const std::string key(best);
-        if (mem_key && *mem_key == key) {
-            if (mem_it->second.has_value() && prefix_matches(key)) {
-                keep_going = fn(key, mem_it->second->sv());
+        bool handled = false;
+        bool keep_going = true;
+        if (mem_valid && mem_key == key) {
+            if (mem_val.has_value() && prefix_matches(key)) {
+                keep_going = fn(key, mem_val->sv());
             }
-            emitted_handled = true;
-            ++mem_it;
+            handled = true;
+            mem_load(/*initial=*/false);
+        }
+        for (auto& c : imms) {
+            if (c.it != c.mt->entries.end() && c.it->first == key) {
+                if (!handled) {
+                    if (c.it->second.has_value() && prefix_matches(key)) {
+                        keep_going = fn(key, c.it->second->sv());
+                    }
+                    handled = true;
+                }
+                ++c.it;
+            }
         }
         for (auto& it : its) {
             if (it.valid() && it.key() == key) {
-                if (!emitted_handled) {
+                if (!handled) {
                     if (!it.is_tombstone() && prefix_matches(key)) {
                         keep_going = fn(key, it.value());
                     }
-                    emitted_handled = true;
+                    handled = true;
                 }
                 Status st = it.next();
                 if (!st.ok()) return st;
@@ -565,19 +1019,63 @@ std::uint64_t LsmDb::size() const {
     return count;
 }
 
+// ------------------------------------------------------------------- stats
+
 BackendStats LsmDb::stats() const {
-    std::shared_lock lock(mutex_);
+    std::lock_guard g(stats_mutex_);
     return stats_;
 }
 
 LsmStats LsmDb::lsm_stats() const {
-    std::shared_lock lock(mutex_);
-    LsmStats out = lsm_stats_;
+    LsmStats out;
+    {
+        std::lock_guard g(stats_mutex_);
+        out = lsm_stats_;
+    }
     out.cache_hits = cache_->hits();
     out.cache_misses = cache_->misses();
+    auto v = snapshot_version();
+    out.immutable_queue_depth = v->imm.size();
+    std::uint64_t backlog = 0;
+    for (const auto& m : v->imm) backlog += m->bytes;
+    if (!v->levels.empty()) backlog += v->level_bytes(0);
+    out.compaction_backlog_bytes = backlog;
     out.files_per_level.clear();
-    for (const auto& l : levels_) out.files_per_level.push_back(l.tables.size());
+    for (const auto& l : v->levels) out.files_per_level.push_back(l.size());
     return out;
+}
+
+json::Value LsmDb::stats_json() const {
+    const LsmStats s = lsm_stats();
+    const BackendStats b = stats();
+    json::Value doc = json::Value::make_object();
+    doc["puts"] = b.puts;
+    doc["gets"] = b.gets;
+    doc["scans"] = b.scans;
+    doc["erases"] = b.erases;
+    doc["flushes"] = s.flushes;
+    doc["compactions"] = s.compactions;
+    doc["compactions_background"] = s.compactions_background;
+    doc["compactions_inline"] = s.compactions_inline;
+    doc["sst_files_written"] = s.sst_files_written;
+    doc["cache_hits"] = s.cache_hits;
+    doc["cache_misses"] = s.cache_misses;
+    doc["write_stalls"] = s.write_stalls;
+    doc["write_stall_micros"] = s.write_stall_micros;
+    doc["write_slowdowns"] = s.write_slowdowns;
+    doc["group_commit_syncs"] = s.group_commit_syncs;
+    doc["group_commit_records"] = s.group_commit_records;
+    doc["group_commit_batch_size"] =
+        s.group_commit_syncs ? static_cast<double>(s.group_commit_records) /
+                                   static_cast<double>(s.group_commit_syncs)
+                             : 0.0;
+    doc["reads_during_compaction"] = s.reads_during_compaction;
+    doc["immutable_queue_depth"] = s.immutable_queue_depth;
+    doc["compaction_backlog_bytes"] = s.compaction_backlog_bytes;
+    json::Value fpl = json::Value::make_array();
+    for (std::size_t n : s.files_per_level) fpl.push_back(static_cast<std::uint64_t>(n));
+    doc["files_per_level"] = std::move(fpl);
+    return doc;
 }
 
 }  // namespace hep::yokan::lsm

@@ -1,21 +1,38 @@
 // rockslite: a log-structured merge-tree backend (RocksDB substitute).
 //
-// Write path: WAL append -> memtable insert; when the memtable exceeds its
-// budget it is flushed to an L0 SSTable and the WAL is reset. L0 tables may
-// overlap; levels >= 1 hold sorted, non-overlapping runs. Compaction merges
-// L0 into L1 when L0 accumulates too many files, and level i into i+1 when a
-// level exceeds its size budget (10x per level, RocksDB-style).
+// Write path: WAL append -> memtable insert, both under a short writer lock;
+// when the active memtable exceeds its budget it is SEALED — swapped onto an
+// immutable queue and the WAL rotated to a fresh segment — and the put
+// returns immediately. A background compaction worker (an argolite ULT,
+// optionally scheduled on a pool shared across a provider's databases) drains
+// sealed memtables into L0 SSTables and runs level compactions off the
+// critical path, exactly like RocksDB's background flush/compaction threads.
+// Writers are throttled only through explicit backpressure (slowdown/stop
+// thresholds on the immutable queue and L0), never by riding a compaction
+// inline. `background_compaction=false` restores the legacy inline mode for
+// ablation.
 //
-// Read path: memtable -> L0 newest-to-oldest -> L1..Ln (one candidate file
-// per level), with bloom filters and a shared block cache. This is the read
-// amplification that makes the paper's RocksDB backend fall behind the
-// in-memory backend at scale (Fig. 2).
+// Read path: versioned. Every flush/compaction publishes a new immutable
+// `Version` (refs to sealed memtables + per-level table lists) under a brief
+// mutex; gets and scans grab a shared_ptr snapshot and never contend with
+// compaction — there is no db-wide exclusive lock anywhere on the read path.
+// The active memtable is probed under a short shared lock per operation.
+//
+// Durability: the WAL is segmented; each sealed memtable owns the segments
+// holding its records, deleted only after its SSTable is on disk. Under
+// `wal_sync_every_put`, concurrent writers group-commit: one leader flushes
+// the log for every append batched so far while followers wait on an
+// abt::Eventual.
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 
+#include "abt/abt.hpp"
 #include "yokan/backend.hpp"
 #include "yokan/lsm/sstable.hpp"
 #include "yokan/lsm/wal.hpp"
@@ -24,7 +41,7 @@ namespace hep::yokan::lsm {
 
 struct LsmOptions {
     std::string path;                               // directory for this DB
-    std::size_t memtable_bytes = 4 * 1024 * 1024;   // flush threshold
+    std::size_t memtable_bytes = 4 * 1024 * 1024;   // seal threshold
     std::size_t block_bytes = 4096;                 // sstable block size
     std::size_t l0_compaction_trigger = 4;          // #L0 files before L0->L1
     std::size_t level_base_bytes = 8 * 1024 * 1024; // L1 budget; 10x per level
@@ -33,22 +50,42 @@ struct LsmOptions {
     std::size_t block_cache_bytes = 8 * 1024 * 1024;
     std::size_t target_file_bytes = 2 * 1024 * 1024;  // compaction output split
     bool wal_sync_every_put = false;                  // fflush per put
+
+    // Concurrency model (see file header).
+    bool background_compaction = true;   // false = legacy inline flush/compact
+    bool group_commit = true;            // batch wal_sync_every_put fsyncs
+    std::size_t max_immutable_memtables = 2;  // stop writes when queue is full
+    std::size_t l0_slowdown_trigger = 8;      // writers yield above this
+    std::size_t l0_stop_trigger = 16;         // writers block above this
+    /// Worker pool for the compaction ULT; typically shared across all of a
+    /// provider's databases. When null the db spins up its own pool+xstream.
+    std::shared_ptr<abt::Pool> compaction_pool;
 };
 
-/// Extra observability for tests and the ablation benches.
+/// Extra observability for tests, symbio and the ablation benches.
 struct LsmStats {
     std::uint64_t flushes = 0;
     std::uint64_t compactions = 0;
+    std::uint64_t compactions_background = 0;
+    std::uint64_t compactions_inline = 0;
     std::uint64_t sst_files_written = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
+    std::uint64_t write_stalls = 0;        // hard stops at the stop trigger
+    std::uint64_t write_stall_micros = 0;  // time writers spent blocked
+    std::uint64_t write_slowdowns = 0;     // soft yields at the slowdown trigger
+    std::uint64_t group_commit_syncs = 0;    // leader fsyncs
+    std::uint64_t group_commit_records = 0;  // records covered by those fsyncs
+    std::uint64_t reads_during_compaction = 0;  // overlap proof for tests
+    std::uint64_t immutable_queue_depth = 0;    // snapshot
+    std::uint64_t compaction_backlog_bytes = 0; // snapshot: imm + L0 bytes
     std::vector<std::size_t> files_per_level;
 };
 
 class LsmDb final : public Database {
   public:
-    /// Open (or create) a database in options.path. Replays the WAL and
-    /// loads the manifest.
+    /// Open (or create) a database in options.path. Replays the WAL segments
+    /// and loads the manifest; starts the compaction worker if backgrounded.
     static Result<std::unique_ptr<LsmDb>> open(LsmOptions options);
     ~LsmDb() override;
 
@@ -62,57 +99,120 @@ class LsmDb final : public Database {
     Status scan(std::string_view after, std::string_view prefix, bool with_values,
                 const ScanFn& fn) override;
     std::uint64_t size() const override;
-    Status flush() override;  // force memtable -> L0
+    Status flush() override;  // seal + drain every memtable and compaction
     std::string_view type() const noexcept override { return "lsm"; }
     BackendStats stats() const override;
 
     [[nodiscard]] LsmStats lsm_stats() const;
+    /// Snapshot for symbio's "lsm/<db>" source.
+    [[nodiscard]] json::Value stats_json() const;
 
   private:
+    /// A memtable: mutable while active, frozen once sealed. `wal_segments`
+    /// lists the log files holding its records; they are deleted after the
+    /// memtable reaches an SSTable.
+    struct MemTable {
+        std::map<std::string, std::optional<hep::BufferView>, std::less<>> entries;
+        std::size_t bytes = 0;
+        std::vector<std::string> wal_segments;
+    };
+    struct TableHandle {
+        TableMeta meta;
+        std::shared_ptr<SstReader> reader;
+    };
+    /// Copy-on-write snapshot of everything a read needs beyond the active
+    /// memtable. Published atomically; readers pin it with a shared_ptr.
+    struct Version {
+        std::vector<std::shared_ptr<const MemTable>> imm;  // newest first
+        std::vector<std::vector<TableHandle>> levels;  // L0 newest last;
+                                                       // L1+ sorted by min_key
+        [[nodiscard]] std::uint64_t level_bytes(std::size_t li) const;
+    };
+
     explicit LsmDb(LsmOptions options);
 
     Status load_manifest();
     Status save_manifest();
     Status recover_wal();
+    Status open_wal_segment();
 
-    // All three require mutex_ held exclusively.
-    Status flush_memtable_locked();
-    Status maybe_compact_locked();
-    Status compact_level_locked(std::size_t level);
+    [[nodiscard]] std::shared_ptr<const Version> snapshot_version() const;
 
-    /// Lookup in SSTables only (memtable checked by caller). nullopt value
-    /// means "deleted"; NotFound status means "not present anywhere".
-    Result<std::optional<std::string>> table_lookup(std::string_view key) const;
+    // ---- write path
+    Status write_impl(std::string_view key, std::optional<hep::BufferView> value,
+                      bool overwrite, bool is_erase);
+    /// Requires write_mutex_ and mem_mutex_ (exclusive). Rotates the WAL and
+    /// publishes a Version with the active memtable on the immutable queue.
+    Status seal_active_locked();
+    Status group_sync(std::uint64_t my_seq);
+    [[nodiscard]] bool key_present(std::string_view key) const;
+    void maybe_stall();
 
+    // ---- background machinery
+    void start_worker();
+    void worker_loop();
+    void signal_work();
+    void notify_installed();
+    Status drain_work(bool background);
+    Status flush_oldest_imm();
+    Status compact_level(std::size_t level);
+    /// Level needing compaction in `v`, or npos.
+    [[nodiscard]] std::size_t compaction_candidate(const Version& v) const;
+    void set_background_error(const Status& st);
+    [[nodiscard]] Status background_error() const;
+
+    Result<std::optional<std::string>> table_lookup(const Version& v,
+                                                    std::string_view key) const;
     Result<std::shared_ptr<SstReader>> open_table(const TableMeta& meta) const;
     [[nodiscard]] std::string table_path(std::uint64_t file_number) const;
+    [[nodiscard]] std::string wal_segment_path(std::uint64_t seq) const;
 
     LsmOptions options_;
-    mutable std::shared_mutex mutex_;
 
-    // memtable: nullopt value = tombstone. Values are owned BufferViews so a
-    // put_view() from the RPC frame parks the refcounted bytes here without a
-    // memcpy; the WAL append is the only per-put traversal of the value.
-    std::map<std::string, std::optional<hep::BufferView>, std::less<>> memtable_;
-    std::size_t memtable_bytes_ = 0;
+    // Write path. write_mutex_ serializes WAL append + memtable insert (so
+    // recovery replays in apply order); mem_mutex_ guards the active memtable
+    // against concurrent readers — both are held only for the O(log n)
+    // insert, never across a flush, compaction or fsync.
+    std::mutex write_mutex_;
+    mutable std::shared_mutex mem_mutex_;
+    std::shared_ptr<MemTable> active_;
     Wal wal_;
+    std::uint64_t wal_seq_ = 0;                 // current segment number
+    std::atomic<std::uint64_t> append_seq_{0};  // WAL records ever appended
 
-    struct Level {
-        std::vector<TableMeta> tables;          // L0: newest last; L1+: sorted by min_key
-        std::vector<std::shared_ptr<SstReader>> readers;  // parallel to tables
-        [[nodiscard]] std::uint64_t bytes() const {
-            std::uint64_t total = 0;
-            for (const auto& t : tables) total += t.bytes;
-            return total;
-        }
-    };
-    std::vector<Level> levels_;
-    std::uint64_t next_file_number_ = 1;
-    std::uint64_t live_keys_ = 0;  // approximate
+    // Group commit (leader/follower over an abt::Eventual).
+    std::mutex sync_mutex_;
+    std::uint64_t synced_seq_ = 0;
+    bool sync_leader_active_ = false;
+    Status last_sync_status_;
+    std::shared_ptr<abt::Eventual<bool>> pending_batch_;
+
+    // Version publication.
+    mutable std::mutex version_mutex_;
+    std::shared_ptr<const Version> current_;
+    std::atomic<std::uint64_t> next_file_number_{1};
+
+    // Worker coordination. coord_mutex_ is ULT-aware: a stalled writer or a
+    // waiting worker suspends its ULT instead of blocking the xstream.
+    abt::Mutex coord_mutex_;
+    abt::CondVar work_cv_;  // worker waits for work
+    abt::CondVar idle_cv_;  // stalled writers / flush() wait for installs
+    bool work_pending_ = false;
+    bool worker_busy_ = false;
+    bool stop_ = false;
+    abt::Mutex work_serial_;  // one structural mutator (flush/compact) at a time
+    std::shared_ptr<abt::Pool> worker_pool_;
+    std::unique_ptr<abt::Xstream> own_xstream_;
+    std::shared_ptr<abt::Ult> worker_;
+    std::atomic<bool> compaction_running_{false};
+
+    mutable std::mutex err_mutex_;
+    Status bg_error_;
 
     std::shared_ptr<BlockCache> cache_;
-    mutable BackendStats stats_;
-    mutable LsmStats lsm_stats_;
+    mutable std::mutex stats_mutex_;
+    BackendStats stats_;
+    LsmStats lsm_stats_;
 };
 
 }  // namespace hep::yokan::lsm

@@ -32,17 +32,52 @@ Result<std::unique_ptr<Provider>> Provider::create(margo::Engine& engine,
     auto provider =
         std::unique_ptr<Provider>(new Provider(engine, provider_id, std::move(pool)));
     provider->base_dir_ = base_dir;
+    if (config.contains("lsm")) provider->lsm_defaults_ = config["lsm"];
     const json::Value& dbs = config["databases"];
     for (std::size_t i = 0; i < dbs.size(); ++i) {
-        const json::Value& db_cfg = dbs.at(i);
+        const json::Value db_cfg = provider->merged_db_config(dbs.at(i));
         std::string name = db_cfg["name"].as_string();
         if (name.empty()) name = "db" + std::to_string(i);
-        auto db = create_database(db_cfg, base_dir);
+        auto db = create_database(db_cfg, base_dir, provider->compaction_pool_for(db_cfg));
         if (!db.ok()) return db.status();
         provider->databases_.emplace(std::move(name), std::move(db.value()));
     }
     provider->register_rpcs();
     return provider;
+}
+
+json::Value Provider::merged_db_config(const json::Value& db_cfg) const {
+    if (db_cfg["type"].as_string() != "lsm" || !lsm_defaults_.is_object()) return db_cfg;
+    // Database-level settings win over the provider-level "lsm" section.
+    static constexpr const char* kKnobs[] = {
+        "background_compaction", "group_commit",       "max_immutable_memtables",
+        "l0_slowdown_trigger",   "l0_stop_trigger",    "wal_sync_every_put",
+        "memtable_bytes",        "block_bytes",        "l0_compaction_trigger",
+        "level_base_bytes",      "block_cache_bytes",  "target_file_bytes",
+    };
+    json::Value merged = db_cfg;
+    for (const char* knob : kKnobs) {
+        if (!merged.contains(knob) && lsm_defaults_.contains(knob)) {
+            merged[std::string(knob)] = lsm_defaults_[knob];
+        }
+    }
+    return merged;
+}
+
+std::shared_ptr<abt::Pool> Provider::compaction_pool_for(const json::Value& db_cfg) {
+    if (db_cfg["type"].as_string() != "lsm") return nullptr;
+    if (!db_cfg["background_compaction"].as_bool(true)) return nullptr;
+    if (!compaction_pool_) {
+        compaction_pool_ = abt::Pool::create("yokan-compaction-" + std::to_string(id_));
+        const auto n = static_cast<std::size_t>(
+            std::max<std::int64_t>(1, lsm_defaults_["compaction_xstreams"].as_int(1)));
+        for (std::size_t i = 0; i < n; ++i) {
+            compaction_xstreams_.push_back(abt::Xstream::create(
+                {compaction_pool_}, "yokan-compaction-" + std::to_string(id_) + "-" +
+                                        std::to_string(i)));
+        }
+    }
+    return compaction_pool_;
 }
 
 Database* Provider::find_database(const std::string& name) {
@@ -110,7 +145,8 @@ Status Provider::configure_replica(const replica::ConfigureReq& req) {
             std::string path = req.create_path.empty() ? "replicas" : req.create_path;
             cfg["path"] = json::Value(path + "/" + path_tag(req.self));
         }
-        auto db = create_database(cfg, base_dir_);
+        const json::Value merged = merged_db_config(cfg);
+        auto db = create_database(merged, base_dir_, compaction_pool_for(merged));
         if (!db.ok()) return db.status();
         db_it = databases_.emplace(req.db, std::move(db.value())).first;
     }

@@ -11,7 +11,9 @@
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
+#include "abt/xstream.hpp"
 #include "margo/engine.hpp"
 #include "replica/replica_set.hpp"
 #include "yokan/backend.hpp"
@@ -54,7 +56,22 @@ class Provider final : public margo::Provider {
     /// database on the fly for backups that do not have it yet.
     Status configure_replica(const replica::ConfigureReq& req);
 
+    /// Provider-level lsm defaults (the bedrock "lsm" section) merged into a
+    /// database config that does not override them itself.
+    [[nodiscard]] json::Value merged_db_config(const json::Value& db_cfg) const;
+    /// The pool hosting every lsm database's compaction ULT (created on first
+    /// use). Returns nullptr when the db config disables background work.
+    std::shared_ptr<abt::Pool> compaction_pool_for(const json::Value& db_cfg);
+
     std::string base_dir_ = ".";
+    json::Value lsm_defaults_;
+
+    // One compaction pool (plus its xstreams) is shared by every lsm database
+    // of this provider. Declared before databases_: destruction runs in
+    // reverse order, so the workers' xstreams outlive the databases whose
+    // shutdown joins their worker ULTs.
+    std::shared_ptr<abt::Pool> compaction_pool_;
+    std::vector<std::unique_ptr<abt::Xstream>> compaction_xstreams_;
     /// Guards the SHAPE of both maps (inserts at configure time vs. handler
     /// lookups); Database/ReplicaSet objects themselves are internally
     /// synchronized and their addresses are stable once inserted.

@@ -232,6 +232,9 @@ TEST_P(ModelEquivalenceTest, LsmMatchesStdMapUnderRandomOps) {
                   }).ok());
     std::vector<std::pair<std::string, std::string>> expected(model.begin(), model.end());
     EXPECT_EQ(scanned, expected);
+    // Close the db (joining its compaction worker) before deleting the
+    // directory — a live worker may be unlinking obsolete SSTs concurrently.
+    db_r.value().reset();
     fs::remove_all(dir);
 }
 
@@ -303,6 +306,7 @@ TEST(LsmTest, CompactionReclaimsTombstones) {
     for (int i = 0; i < 200; ++i) {
         EXPECT_FALSE(*db.exists("k" + std::to_string(i)));
     }
+    db_r.value().reset();  // join the compaction worker before rm -rf
     fs::remove_all(dir);
 }
 
@@ -327,6 +331,7 @@ TEST(LsmTest, StatsReportLevelShape) {
     std::size_t total_files = 0;
     for (auto n : st.files_per_level) total_files += n;
     EXPECT_GT(total_files, 0u);
+    db_r.value().reset();  // join the compaction worker before rm -rf
     fs::remove_all(dir);
 }
 
@@ -349,6 +354,7 @@ TEST(LsmTest, BlockCacheServesRepeatReads) {
     }
     auto st = db.lsm_stats();
     EXPECT_GT(st.cache_hits, st.cache_misses);
+    db_r.value().reset();  // join the compaction worker before rm -rf
     fs::remove_all(dir);
 }
 
