@@ -1,5 +1,9 @@
 #include "abt/pool.hpp"
 
+#include <algorithm>
+
+#include "abt/ult.hpp"
+
 namespace hep::abt {
 
 std::shared_ptr<Pool> Pool::create(std::string name) {
@@ -39,6 +43,86 @@ std::size_t Pool::size() const {
 std::uint64_t Pool::total_pushed() const noexcept {
     std::lock_guard<std::mutex> lock(mutex_);
     return total_pushed_;
+}
+
+// ---- PriorityPool -----------------------------------------------------------
+
+PriorityPool::PriorityPool(std::vector<std::uint32_t> weights, std::string name)
+    : Pool(std::move(name)), weights_(std::move(weights)) {
+    if (weights_.empty()) weights_.push_back(1);
+    for (auto& w : weights_) w = std::max<std::uint32_t>(1, w);
+    credits_ = weights_;
+    queues_.resize(weights_.size());
+}
+
+std::shared_ptr<PriorityPool> PriorityPool::create(std::vector<std::uint32_t> weights,
+                                                   std::string name) {
+    return std::shared_ptr<PriorityPool>(new PriorityPool(std::move(weights), std::move(name)));
+}
+
+std::uint8_t PriorityPool::clamp_class(std::uint8_t cls) const noexcept {
+    return cls < queues_.size() ? cls : static_cast<std::uint8_t>(queues_.size() - 1);
+}
+
+void PriorityPool::push(WorkItem item) {
+    // The class travels on the work item itself so requeues (yield/wake)
+    // land back in the right queue. Tasklets are internal plumbing: class 0.
+    std::uint8_t cls = 0;
+    if (const auto* ult = std::get_if<std::shared_ptr<Ult>>(&item)) {
+        cls = (*ult)->sched_class();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queues_[clamp_class(cls)].push_back(std::move(item));
+        ++queued_;
+        ++total_pushed_;
+    }
+    cv_.notify_one();
+}
+
+std::optional<WorkItem> PriorityPool::pick_locked() {
+    if (queued_ == 0) return std::nullopt;
+    // Deficit round robin: take from the highest class that still has both
+    // work and credit; when all non-empty classes are out of credit, start a
+    // new round.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t c = 0; c < queues_.size(); ++c) {
+            if (queues_[c].empty() || credits_[c] == 0) continue;
+            --credits_[c];
+            WorkItem item = std::move(queues_[c].front());
+            queues_[c].pop_front();
+            --queued_;
+            return item;
+        }
+        credits_ = weights_;  // round over: replenish and rescan
+    }
+    return std::nullopt;  // unreachable while queued_ > 0
+}
+
+std::optional<WorkItem> PriorityPool::try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pick_locked();
+}
+
+std::optional<WorkItem> PriorityPool::pop_wait(std::chrono::microseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, timeout, [&] { return queued_ > 0; })) return std::nullopt;
+    return pick_locked();
+}
+
+std::size_t PriorityPool::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queued_;
+}
+
+std::uint64_t PriorityPool::total_pushed() const noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_pushed_;
+}
+
+std::size_t PriorityPool::size_for(std::uint8_t cls) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cls < queues_.size() ? queues_[cls].size() : 0;
 }
 
 }  // namespace hep::abt

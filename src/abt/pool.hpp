@@ -3,6 +3,13 @@
 // A pool may feed any number of xstreams; sharing one pool across xstreams is
 // how Argobots (and Margo services) do work sharing. Tasklets are stackless
 // run-to-completion closures — cheaper than ULTs when the body never blocks.
+//
+// Two implementations exist:
+//   Pool          — plain FIFO (the historical behavior).
+//   PriorityPool  — weighted-fair (deficit-round-robin) across scheduling
+//                   classes, read from each ULT's sched_class(). Margo
+//                   selects it per provider via the bedrock "qos" knob so
+//                   latency-sensitive handlers overtake queued bulk work.
 #pragma once
 
 #include <chrono>
@@ -15,6 +22,7 @@
 #include <optional>
 #include <string>
 #include <variant>
+#include <vector>
 
 namespace hep::abt {
 
@@ -26,29 +34,73 @@ using WorkItem = std::variant<std::shared_ptr<Ult>, std::function<void()>>;
 class Pool : public std::enable_shared_from_this<Pool> {
   public:
     static std::shared_ptr<Pool> create(std::string name = "pool");
+    virtual ~Pool() = default;
 
     /// FIFO push; wakes one waiting xstream.
-    void push(WorkItem item);
+    virtual void push(WorkItem item);
 
     /// Non-blocking pop; empty optional if the pool is empty.
-    std::optional<WorkItem> try_pop();
+    virtual std::optional<WorkItem> try_pop();
 
     /// Pop, waiting up to `timeout` for work. Empty optional on timeout.
-    std::optional<WorkItem> pop_wait(std::chrono::microseconds timeout);
+    virtual std::optional<WorkItem> pop_wait(std::chrono::microseconds timeout);
 
-    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] virtual std::size_t size() const;
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
     /// Total items ever pushed (diagnostics).
-    [[nodiscard]] std::uint64_t total_pushed() const noexcept;
+    [[nodiscard]] virtual std::uint64_t total_pushed() const noexcept;
 
-  private:
+  protected:
     explicit Pool(std::string name) : name_(std::move(name)) {}
 
+  private:
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::deque<WorkItem> queue_;
     std::string name_;
+    std::uint64_t total_pushed_ = 0;
+};
+
+/// Weighted-fair pool: one FIFO per scheduling class, served deficit-round-
+/// robin. Each round, class c may pop up to weights[c] items before lower
+/// classes are considered; when every non-empty class has exhausted its
+/// credit, credits reset. Every weight is clamped to >= 1, so no class can
+/// be starved outright — a saturating bulk backlog still drains, just slowly
+/// while higher classes have work.
+///
+/// An item's class comes from the work itself (Ult::sched_class(); tasklets
+/// count as class 0), so requeues after yield()/suspend()/wake() — which go
+/// through the generic `home_pool_->push(ult)` path — keep their priority.
+class PriorityPool final : public Pool {
+  public:
+    /// `weights[c]` = pops class c may take per DRR round (clamped >= 1).
+    static std::shared_ptr<PriorityPool> create(std::vector<std::uint32_t> weights,
+                                                std::string name = "prio-pool");
+
+    void push(WorkItem item) override;
+    std::optional<WorkItem> try_pop() override;
+    std::optional<WorkItem> pop_wait(std::chrono::microseconds timeout) override;
+    [[nodiscard]] std::size_t size() const override;
+    [[nodiscard]] std::uint64_t total_pushed() const noexcept override;
+
+    [[nodiscard]] std::size_t num_classes() const noexcept { return weights_.size(); }
+    /// Queued items in class `cls` (diagnostics / tests).
+    [[nodiscard]] std::size_t size_for(std::uint8_t cls) const;
+
+  private:
+    PriorityPool(std::vector<std::uint32_t> weights, std::string name);
+
+    /// DRR selection; requires `mutex_` held. Empty optional if all empty.
+    std::optional<WorkItem> pick_locked();
+    [[nodiscard]] std::uint8_t clamp_class(std::uint8_t cls) const noexcept;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<std::uint32_t> weights_;
+    std::vector<std::uint32_t> credits_;
+    std::vector<std::deque<WorkItem>> queues_;
+    std::size_t queued_ = 0;
     std::uint64_t total_pushed_ = 0;
 };
 

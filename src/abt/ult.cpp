@@ -41,8 +41,9 @@ Ult::Ult(std::shared_ptr<Pool> pool, std::function<void()> fn, std::size_t stack
 Ult::~Ult() = default;
 
 std::shared_ptr<Ult> Ult::create(const std::shared_ptr<Pool>& pool, std::function<void()> fn,
-                                 std::size_t stack_size) {
+                                 std::size_t stack_size, std::uint8_t sched_class) {
     auto ult = std::shared_ptr<Ult>(new Ult(pool, std::move(fn), stack_size));
+    ult->sched_class_ = sched_class;
     pool->push(ult);
     return ult;
 }

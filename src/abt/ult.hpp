@@ -37,9 +37,12 @@ class Ult : public std::enable_shared_from_this<Ult> {
   public:
     static constexpr std::size_t kDefaultStackSize = 256 * 1024;
 
-    /// Create a ULT running `fn` and push it into `pool`.
+    /// Create a ULT running `fn` and push it into `pool`. `sched_class` is
+    /// the ULT's scheduling class for PriorityPool (ignored by plain pools);
+    /// it rides on the ULT so requeues after yield/suspend keep priority.
     static std::shared_ptr<Ult> create(const std::shared_ptr<Pool>& pool, std::function<void()> fn,
-                                       std::size_t stack_size = kDefaultStackSize);
+                                       std::size_t stack_size = kDefaultStackSize,
+                                       std::uint8_t sched_class = 0);
 
     ~Ult();
     Ult(const Ult&) = delete;
@@ -53,6 +56,7 @@ class Ult : public std::enable_shared_from_this<Ult> {
         return state_.load(std::memory_order_acquire);
     }
     [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+    [[nodiscard]] std::uint8_t sched_class() const noexcept { return sched_class_; }
 
     /// Make a kBlocked (or mid-suspend kBlocking) ULT runnable again by
     /// pushing it back to its pool. Used by the sync primitives.
@@ -88,6 +92,7 @@ class Ult : public std::enable_shared_from_this<Ult> {
     detail::WaitQueue joiners_;
 
     std::uint64_t id_;
+    std::uint8_t sched_class_ = 0;
 };
 
 /// True when the calling code runs inside a ULT (as opposed to a plain OS

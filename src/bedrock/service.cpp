@@ -23,11 +23,29 @@ Result<std::unique_ptr<ServiceProcess>> ServiceProcess::create(rpc::Fabric& netw
         return Status::InvalidArgument("margo.rpc_xstreams must be >= 1");
     }
 
+    // QoS knob: parsed before the engine exists so the handler pools (the
+    // default pool AND every per-provider pool created below) come up as
+    // weighted-fair PriorityPools.
+    const json::Value& qos_cfg = config["qos"];
+    const bool qos_enabled = qos_cfg.is_object() && qos_cfg["enabled"].as_bool(true);
+    qos::AdmissionOptions qos_opts;
+    if (qos_enabled) {
+        qos_opts = qos::AdmissionOptions::from_json(qos_cfg);
+        engine_cfg.qos_weights = qos_opts.weights;
+    }
+
     auto svc = std::unique_ptr<ServiceProcess>(new ServiceProcess());
     try {
         svc->engine_ = std::make_unique<margo::Engine>(network, address, engine_cfg);
     } catch (const std::exception& e) {
         return Status::AlreadyExists(e.what());
+    }
+
+    // Arm admission before any provider registers handlers: every request is
+    // gated from the very first RPC.
+    if (qos_enabled) {
+        svc->admission_ = std::make_shared<qos::AdmissionController>(std::move(qos_opts));
+        svc->engine_->enable_qos(svc->admission_);
     }
 
     const json::Value& providers = config["providers"];
@@ -148,6 +166,17 @@ Result<std::unique_ptr<ServiceProcess>> ServiceProcess::create(rpc::Fabric& netw
             svc->registry_->add_source("query/" + std::to_string(q->provider_id()),
                                        [q]() { return q->stats_json(); });
         }
+        // Admission-control health: one source per provider (admitted/shed/
+        // expired counts, per-class queue-delay histograms, inflight level,
+        // token-bucket levels).
+        if (svc->admission_) {
+            for (auto& provider : svc->providers_) {
+                const auto pid = provider->provider_id();
+                auto ctrl = svc->admission_;
+                svc->registry_->add_source("qos/" + std::to_string(pid),
+                                           [ctrl, pid]() { return ctrl->stats_json(pid); });
+            }
+        }
         // Zero-copy buffer pipeline counters (allocations, memcpys, chain
         // depth) for this process.
         symbio::add_buffer_source(*svc->registry_);
@@ -178,6 +207,7 @@ json::Value ServiceProcess::descriptor() const {
     doc["databases"] = std::move(arr);
     if (!replication_.is_null()) doc["replication"] = replication_;
     if (query_enabled_) doc["query"] = true;
+    if (admission_) doc["qos"] = true;
     return doc;
 }
 

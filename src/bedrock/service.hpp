@@ -32,6 +32,27 @@
 // 1024, "prefetch": true} — co-locates a query-pushdown provider (src/query)
 // with every yokan provider and advertises "query": true in the descriptor,
 // which DataStore::query requires.
+//
+// An optional top-level "qos" section arms admission control (src/qos):
+//
+//   "qos": {
+//     "enabled": true,
+//     "weights": [32, 16, 4, 1],        // control/interactive/batch/bulk
+//     "slowdown_inflight": 64,          // tier 1: bulk classes start yielding
+//     "shed_inflight": 256,             // tier 2: shed with Overloaded
+//     "retry_after_ms": 25,             // hint attached to queue-depth sheds
+//     "slowdown_min_class": "batch",    // first class the slowdown applies to
+//     "max_slowdown_ms": 20,
+//     "default_limit": { "rate": 0, "burst": 0 },   // tokens/sec; 0 = off
+//     "tenants": { "ingest": { "rate": 500, "burst": 100 } }
+//   }
+//
+// With qos enabled, every handler pool becomes a weighted-fair PriorityPool,
+// requests are admitted (token buckets, deadline expiry, two-tier overload
+// control) before any handler ULT is created, and the descriptor advertises
+// "qos": true. Under "monitoring", a "qos/<provider_id>" source exposes
+// admitted/shed/expired counts, per-class queue-delay histograms and
+// token-bucket levels.
 #pragma once
 
 #include <memory>
@@ -40,6 +61,7 @@
 
 #include "common/json.hpp"
 #include "margo/engine.hpp"
+#include "qos/admission.hpp"
 #include "query/provider.hpp"
 #include "symbio/provider.hpp"
 #include "yokan/provider.hpp"
@@ -88,6 +110,9 @@ class ServiceProcess {
     /// (null otherwise). Remote access goes through symbio::fetch.
     [[nodiscard]] symbio::MetricsRegistry* metrics() noexcept { return registry_.get(); }
 
+    /// Admission controller, if the config enabled a "qos" section.
+    [[nodiscard]] qos::AdmissionController* admission() noexcept { return admission_.get(); }
+
     void shutdown();
 
   private:
@@ -98,6 +123,7 @@ class ServiceProcess {
     std::vector<std::unique_ptr<query::QueryProvider>> query_providers_;
     std::vector<DatabaseDescriptor> databases_;
     bool query_enabled_ = false;
+    std::shared_ptr<qos::AdmissionController> admission_;
     json::Value replication_;  // "replication" config section, passed through
                                // to the descriptor so clients wire the groups
     std::shared_ptr<symbio::MetricsRegistry> registry_;

@@ -18,6 +18,7 @@ std::string_view to_string(StatusCode code) noexcept {
         case StatusCode::kInternal: return "internal";
         case StatusCode::kCancelled: return "cancelled";
         case StatusCode::kOutOfRange: return "out-of-range";
+        case StatusCode::kOverloaded: return "overloaded";
     }
     return "unknown";
 }

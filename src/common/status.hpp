@@ -30,6 +30,7 @@ enum class StatusCode : std::uint8_t {
     kInternal,
     kCancelled,
     kOutOfRange,
+    kOverloaded,  // server shed the request under load; retry after the hint
 };
 
 /// Human-readable name of a status code ("ok", "not-found", ...).
@@ -64,6 +65,7 @@ class Status {
     static Status Internal(std::string msg) { return {StatusCode::kInternal, std::move(msg)}; }
     static Status Cancelled(std::string msg) { return {StatusCode::kCancelled, std::move(msg)}; }
     static Status OutOfRange(std::string msg) { return {StatusCode::kOutOfRange, std::move(msg)}; }
+    static Status Overloaded(std::string msg) { return {StatusCode::kOverloaded, std::move(msg)}; }
 
     friend bool operator==(const Status& a, const Status& b) noexcept {
         return a.code_ == b.code_;

@@ -84,6 +84,21 @@ Result<std::shared_ptr<DataStoreImpl>> DataStoreImpl::connect(rpc::Fabric& netwo
     impl->failover_counters_ = std::make_shared<replica::FailoverCounters>();
     impl->query_enabled_ = config["query"].as_bool(false);
 
+    // Client QoS: one shared policy + circuit breaker for the connection.
+    // Always on — an untagged-by-policy server simply ignores the stamp, and
+    // the connection document's "qos" section overrides tenant/classes.
+    impl->qos_ = std::make_shared<qos::ClientQos>(qos::QosPolicy::from_json(config["qos"]));
+    for (auto& role_dbs : impl->dbs_) {
+        for (auto& handle : role_dbs) handle.set_qos(impl->qos_);
+    }
+    // Requests issued outside DatabaseHandle (raw endpoint calls) still carry
+    // the tenant: stamp the engine-wide default with the interactive tag.
+    impl->engine_->endpoint().set_default_qos(impl->qos_->point_tag());
+    {
+        auto q = impl->qos_;
+        impl->metrics_->add_source("qos/client", [q]() { return q->stats_json(); });
+    }
+
     const json::Value& rep = config["replication"];
     auto factor = static_cast<std::size_t>(rep["factor"].as_int(1));
     if (factor < 1) factor = 1;

@@ -14,6 +14,7 @@
 #include "common/hash.hpp"
 #include "common/json.hpp"
 #include "margo/engine.hpp"
+#include "qos/client.hpp"
 #include "replica/failover.hpp"
 #include "symbio/metrics.hpp"
 #include "yokan/client.hpp"
@@ -76,6 +77,7 @@ class DataStoreImpl {
     /// are responsible for migrating the keys that changed owner.
     std::size_t add_database(Role role, yokan::DatabaseHandle handle) {
         const auto idx = static_cast<std::size_t>(role);
+        if (qos_) handle.set_qos(qos_);
         dbs_[idx].push_back(std::move(handle));
         active_[idx].push_back(true);
         rings_[idx].add_target(dbs_[idx].size() - 1);
@@ -112,8 +114,16 @@ class DataStoreImpl {
     }
 
     /// Client-side metrics registry; carries a "replica/client" source with
-    /// the retry/failover counters when replication is on.
+    /// the retry/failover counters when replication is on and a "qos/client"
+    /// source with shed/fast-fail/breaker counters.
     [[nodiscard]] symbio::MetricsRegistry& metrics() noexcept { return *metrics_; }
+
+    /// Client QoS state: classification policy, Overloaded-retry counters and
+    /// the per-server circuit breaker, shared by every database handle of
+    /// this connection. Configured by the connection document's "qos" section
+    /// (defaults apply when absent — tagging is harmless for servers without
+    /// admission control).
+    [[nodiscard]] const std::shared_ptr<qos::ClientQos>& qos() const noexcept { return qos_; }
 
   private:
     DataStoreImpl() = default;
@@ -126,6 +136,7 @@ class DataStoreImpl {
     bool query_enabled_ = false;
     std::shared_ptr<replica::FailoverCounters> failover_counters_;
     std::shared_ptr<symbio::MetricsRegistry> metrics_;
+    std::shared_ptr<qos::ClientQos> qos_;
 };
 
 }  // namespace hep::hepnos

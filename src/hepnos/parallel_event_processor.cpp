@@ -29,7 +29,9 @@ std::shared_ptr<ProductCache> ParallelEventProcessor::prefetch_products(
         }
     }
     for (auto& [db_index, keys] : by_db) {
-        const auto& handle = impl.databases(Role::kProducts)[db_index];
+        // Background prefetch rides batch class (see reader_loop).
+        const auto handle =
+            impl.databases(Role::kProducts)[db_index].with_class(qos::kClassBatch);
         auto values = handle.get_multi_views(keys);
         if (!values.ok()) throw Exception(values.status());
         for (std::size_t i = 0; i < keys.size(); ++i) {
@@ -49,7 +51,10 @@ void ParallelEventProcessor::reader_loop(const DataSet& dataset, std::size_t rea
 
     // Reader r drains event databases r, r+R, r+2R, ...
     for (std::size_t db_index = reader_index; db_index < num_dbs; db_index += num_readers) {
-        const auto& handle = impl.databases(Role::kEvents)[db_index];
+        // Reader threads stream whole databases: batch class, so a saturating
+        // PEP run cannot starve interactive users of the same service.
+        const auto handle =
+            impl.databases(Role::kEvents)[db_index].with_class(qos::kClassBatch);
         std::string after = prefix;
         while (true) {
             auto page = handle.list_keys(after, prefix, options_.input_batch_size);

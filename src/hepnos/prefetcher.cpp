@@ -5,7 +5,9 @@ namespace hep::hepnos {
 void Prefetcher::visit_container(const Uuid& dataset, std::string_view parent_key,
                                  const Visitor& fn) const {
     auto& impl = *datastore_.impl();
-    const auto& events_db = impl.locate(Role::kEvents, parent_key);
+    // The prefetcher reads ahead of the analysis loop: demote its scans and
+    // bulk loads to batch class so they never starve interactive requests.
+    const auto events_db = impl.locate(Role::kEvents, parent_key).with_class(qos::kClassBatch);
 
     std::string after(parent_key);
     while (true) {
@@ -25,7 +27,9 @@ void Prefetcher::visit_container(const Uuid& dataset, std::string_view parent_ke
                 }
             }
             for (auto& [db, keys] : by_db) {
-                auto values = impl.databases(Role::kProducts)[db].get_multi_views(keys);
+                auto values = impl.databases(Role::kProducts)[db]
+                                  .with_class(qos::kClassBatch)
+                                  .get_multi_views(keys);
                 if (!values.ok()) throw Exception(values.status());
                 for (std::size_t i = 0; i < keys.size(); ++i) {
                     if ((*values)[i].has_value()) {

@@ -33,7 +33,10 @@ Result<std::string> parent_key_of(Role role, std::string_view key) {
 Result<RescaleStats> migrate_from(DataStoreImpl& impl, Role role, std::size_t source_index,
                                   bool may_keep, std::size_t batch_size) {
     RescaleStats stats;
-    const yokan::DatabaseHandle& source = impl.databases(role)[source_index];
+    // Migration is pure background traffic: bulk class, the first to be
+    // slowed/shed when the service is under interactive load.
+    const yokan::DatabaseHandle source =
+        impl.databases(role)[source_index].with_class(qos::kClassBulk);
 
     // Collect the full moving set first so migration does not race the scan
     // cursor. Container values are empty, so keys are all we need; the
@@ -65,7 +68,9 @@ Result<RescaleStats> migrate_from(DataStoreImpl& impl, Role role, std::size_t so
             const std::size_t end = std::min(start + batch_size, items.size());
             std::vector<yokan::KeyValue> chunk(items.begin() + static_cast<long>(start),
                                                items.begin() + static_cast<long>(end));
-            auto stored = impl.databases(role)[dest].put_multi(chunk, /*overwrite=*/true);
+            auto stored = impl.databases(role)[dest]
+                              .with_class(qos::kClassBulk)
+                              .put_multi(chunk, /*overwrite=*/true);
             if (!stored.ok()) return stored.status();
             ++stats.batches;
         }

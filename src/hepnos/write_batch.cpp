@@ -84,8 +84,12 @@ void AsyncWriteBatch::ship(const yokan::DatabaseHandle& handle,
     pending->items = std::move(items);
     yokan::proto::PutPackedReq req{handle.name(), pending->items.size(), /*overwrite=*/true,
                                    yokan::proto::pack_items(pending->items)};
+    // Batched ingestion is bulk-class traffic: under load the server's
+    // admission control may slow or shed it in favor of interactive reads.
     pending->eventual = impl_->engine().endpoint().call_async_chain(
-        handle.server(), "yokan_put_packed", handle.provider(), serial::to_chain(req));
+        handle.server(), "yokan_put_packed", handle.provider(), serial::to_chain(req),
+        std::chrono::milliseconds{0},
+        impl_->qos() ? impl_->qos()->bulk_tag() : qos::QosTag{});
     pending->handle = handle;
     in_flight_.push_back(std::move(pending));
 }
@@ -96,10 +100,15 @@ void AsyncWriteBatch::wait() {
         auto& result = pending->eventual->wait();
         if (result.ok()) continue;
         Status st = result.status();
-        if (pending->handle.failover() && replica::FailoverState::retryable(st.code())) {
+        const bool transport_retry =
+            pending->handle.failover() && replica::FailoverState::retryable(st.code());
+        const bool overload_retry =
+            pending->handle.qos() && st.code() == StatusCode::kOverloaded;
+        if (transport_retry || overload_retry) {
             // The fire-and-forget RPC went to the (then-)primary and the
-            // transport failed. Fall back to the synchronous failover-aware
-            // path so the batch lands on a surviving replica.
+            // transport failed — or the server shed it. Fall back to the
+            // synchronous path, which fails over across replicas and waits
+            // out retry-after hints, so the batch still lands.
             st = pending->handle.put_multi(pending->items, /*overwrite=*/true).status();
         }
         if (!st.ok() && first_error.ok()) first_error = st;

@@ -16,6 +16,7 @@
 
 #include "abt/abt.hpp"
 #include "common/status.hpp"
+#include "qos/admission.hpp"
 #include "rpc/rpc.hpp"
 #include "serial/archive.hpp"
 
@@ -31,6 +32,11 @@ struct EngineConfig {
     /// engine's endpoint (0 = wait forever). Expired calls complete with
     /// Status::DeadlineExceeded; the replica failover policy keys off it.
     std::uint64_t rpc_deadline_ms = 0;
+    /// Non-empty: handler pools (the default pool and any create_pool()) are
+    /// weighted-fair PriorityPools with these per-class weights, so
+    /// latency-sensitive handlers overtake queued bulk work (bedrock "qos"
+    /// knob). Empty keeps the historical FIFO pools.
+    std::vector<std::uint32_t> qos_weights;
 };
 
 class Engine {
@@ -53,6 +59,15 @@ class Engine {
     /// "map each provider to its own execution stream" configuration the
     /// paper uses for Yokan providers (§IV-D).
     std::shared_ptr<abt::Pool> create_pool(const std::string& name, std::size_t xstreams = 1);
+
+    /// Arm admission control: every request dispatched by this engine passes
+    /// `ctrl->admit()` on the progress thread before its handler ULT is
+    /// created, and handler ULTs report queue-wait / execution time back.
+    /// Call before providers start serving traffic.
+    void enable_qos(std::shared_ptr<qos::AdmissionController> ctrl);
+    [[nodiscard]] std::shared_ptr<qos::AdmissionController> qos_controller() const {
+        return qos_->get();
+    }
 
     /// Register a typed RPC handler for (name, provider_id).
     /// The handler runs as a ULT in `pool` (default: the engine pool).
@@ -103,13 +118,15 @@ class Engine {
                     std::shared_ptr<abt::Pool> pool = nullptr);
 
     /// Typed synchronous call. `deadline` caps the wait for the response
-    /// (zero = the endpoint default).
+    /// (zero = the endpoint default); `tag` is the QoS stamp (unset = the
+    /// endpoint default).
     template <typename Req, typename Resp>
     Result<Resp> forward(const std::string& to, std::string_view name,
                          rpc::ProviderId provider_id, const Req& req,
-                         std::chrono::milliseconds deadline = std::chrono::milliseconds{0}) {
+                         std::chrono::milliseconds deadline = std::chrono::milliseconds{0},
+                         const qos::QosTag& tag = {}) {
         auto raw =
-            endpoint_->call_chain(to, name, provider_id, serial::to_chain(req), deadline);
+            endpoint_->call_chain(to, name, provider_id, serial::to_chain(req), deadline, tag);
         if (!raw.ok()) return raw.status();
         Resp resp{};
         try {
@@ -124,11 +141,23 @@ class Engine {
     void finalize();
 
   private:
+    /// The admission controller slot, shared with every registered handler
+    /// closure so enable_qos() can arrive after (or before) define() calls.
+    struct QosSlot {
+        mutable std::mutex mutex;
+        std::shared_ptr<qos::AdmissionController> ctrl;
+        [[nodiscard]] std::shared_ptr<qos::AdmissionController> get() const {
+            std::lock_guard<std::mutex> lock(mutex);
+            return ctrl;
+        }
+    };
+
     rpc::Fabric& network_;
     EngineConfig config_;
     std::shared_ptr<rpc::Endpoint> endpoint_;
     std::shared_ptr<abt::Pool> pool_;
     std::vector<std::unique_ptr<abt::Xstream>> xstreams_;
+    std::shared_ptr<QosSlot> qos_ = std::make_shared<QosSlot>();
     bool finalized_ = false;
 };
 

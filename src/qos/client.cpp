@@ -1,0 +1,78 @@
+#include "qos/client.hpp"
+
+#include <algorithm>
+
+namespace hep::qos {
+
+QosPolicy QosPolicy::from_json(const json::Value& cfg) {
+    QosPolicy policy;
+    if (!cfg.is_object()) return policy;
+    if (cfg["tenant"].is_string() && !cfg["tenant"].as_string().empty()) {
+        policy.tenant = cfg["tenant"].as_string().substr(0, kMaxTenantLen);
+    }
+    auto pick = [](const json::Value& v, std::uint8_t fallback) {
+        if (v.is_string()) {
+            if (auto cls = parse_class(v.as_string())) return *cls;
+        }
+        return fallback;
+    };
+    policy.point_class = pick(cfg["point_class"], policy.point_class);
+    policy.scan_class = pick(cfg["scan_class"], policy.scan_class);
+    policy.bulk_class = pick(cfg["bulk_class"], policy.bulk_class);
+    if (cfg["max_overload_retries"].is_number()) {
+        policy.max_overload_retries = static_cast<std::uint32_t>(
+            std::max<std::int64_t>(0, cfg["max_overload_retries"].as_int()));
+    }
+    if (cfg["max_retry_after_ms"].is_number()) {
+        policy.max_retry_after_ms = static_cast<std::uint32_t>(
+            std::max<std::int64_t>(1, cfg["max_retry_after_ms"].as_int()));
+    }
+    return policy;
+}
+
+json::Value QosPolicy::to_json() const {
+    auto v = json::Value::make_object();
+    v["tenant"] = tenant;
+    v["point_class"] = std::string(class_name(point_class));
+    v["scan_class"] = std::string(class_name(scan_class));
+    v["bulk_class"] = std::string(class_name(bulk_class));
+    v["max_overload_retries"] = static_cast<std::uint64_t>(max_overload_retries);
+    v["max_retry_after_ms"] = static_cast<std::uint64_t>(max_retry_after_ms);
+    return v;
+}
+
+void CircuitBreaker::trip(const std::string& server, std::uint32_t retry_after_ms) {
+    const auto until = Clock::now() + std::chrono::milliseconds(retry_after_ms);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = open_until_[server];
+    if (until > slot) slot = until;
+    trips_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<std::uint32_t> CircuitBreaker::open_for(const std::string& server) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = open_until_.find(server);
+    if (it == open_until_.end()) return std::nullopt;
+    const auto now = Clock::now();
+    if (now >= it->second) return std::nullopt;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(it->second - now).count();
+    return static_cast<std::uint32_t>(std::max<std::int64_t>(1, left));
+}
+
+void CircuitBreaker::reset(const std::string& server) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_until_.erase(server);
+}
+
+json::Value ClientQos::stats_json() const {
+    auto v = json::Value::make_object();
+    v["policy"] = policy_.to_json();
+    v["overloaded_seen"] = overloaded_seen();
+    v["retry_successes"] = retry_successes();
+    v["breaker_fast_fails"] = fast_fails();
+    v["breaker_trips"] = breaker_.trips();
+    return v;
+}
+
+}  // namespace hep::qos

@@ -1,0 +1,107 @@
+// Client-side QoS: per-DataStore classification policy, a per-server circuit
+// breaker for Overloaded responses, and client-local shed/retry counters.
+//
+// The client stamps every RPC from its QosPolicy (tenant name + a class per
+// operation kind); the yokan DatabaseHandle retry path consults the breaker
+// before issuing and feeds it every Overloaded response, so a shedding server
+// gets a quiet period of exactly its own retry-after hint instead of an
+// instant retry storm.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/json.hpp"
+#include "common/status.hpp"
+#include "qos/context.hpp"
+
+namespace hep::qos {
+
+/// How a client classifies its operations. Parsed from the DataStore config's
+/// "qos" block; every field is optional and falls back to the defaults below.
+struct QosPolicy {
+    std::string tenant = "default";
+    std::uint8_t point_class = kClassInteractive;  // get/put/exists/length/erase
+    std::uint8_t scan_class = kClassBatch;         // scans, list, count, queries
+    std::uint8_t bulk_class = kClassBulk;          // write batches, multi ops
+    /// Cap on Overloaded-driven retries per op (on top of failover retries).
+    std::uint32_t max_overload_retries = 8;
+    /// Clamp applied to server retry-after hints (defensive: a bad hint must
+    /// not park the client for minutes).
+    std::uint32_t max_retry_after_ms = 1000;
+
+    static QosPolicy from_json(const json::Value& cfg);
+    [[nodiscard]] json::Value to_json() const;
+};
+
+/// Per-server circuit breaker. While a server's breaker is open, calls to it
+/// fail fast locally with the same Overloaded status (remaining open window
+/// as the retry-after hint) instead of going to the wire.
+class CircuitBreaker {
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /// Record an Overloaded response from `server`: open its breaker for the
+    /// server-provided retry-after window.
+    void trip(const std::string& server, std::uint32_t retry_after_ms);
+
+    /// Milliseconds until `server`'s breaker closes; empty if closed now.
+    [[nodiscard]] std::optional<std::uint32_t> open_for(const std::string& server) const;
+
+    /// Successful response: close the breaker immediately.
+    void reset(const std::string& server);
+
+    [[nodiscard]] std::uint64_t trips() const noexcept {
+        return trips_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, Clock::time_point> open_until_;
+    std::atomic<std::uint64_t> trips_{0};
+};
+
+/// Shared per-DataStore client QoS state: the policy, the breaker and the
+/// counters surfaced through the "qos/client" symbio source.
+class ClientQos {
+  public:
+    explicit ClientQos(QosPolicy policy) : policy_(std::move(policy)) {}
+
+    [[nodiscard]] const QosPolicy& policy() const noexcept { return policy_; }
+    [[nodiscard]] CircuitBreaker& breaker() noexcept { return breaker_; }
+
+    [[nodiscard]] QosTag point_tag() const { return {policy_.tenant, policy_.point_class}; }
+    [[nodiscard]] QosTag scan_tag() const { return {policy_.tenant, policy_.scan_class}; }
+    [[nodiscard]] QosTag bulk_tag() const { return {policy_.tenant, policy_.bulk_class}; }
+
+    void note_overloaded() { overloaded_.fetch_add(1, std::memory_order_relaxed); }
+    void note_retry_success() { retry_successes_.fetch_add(1, std::memory_order_relaxed); }
+    void note_fast_fail() { fast_fails_.fetch_add(1, std::memory_order_relaxed); }
+
+    [[nodiscard]] std::uint64_t overloaded_seen() const noexcept {
+        return overloaded_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t retry_successes() const noexcept {
+        return retry_successes_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t fast_fails() const noexcept {
+        return fast_fails_.load(std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] json::Value stats_json() const;
+
+  private:
+    QosPolicy policy_;
+    CircuitBreaker breaker_;
+    std::atomic<std::uint64_t> overloaded_{0};       // Overloaded responses seen
+    std::atomic<std::uint64_t> retry_successes_{0};  // ops that succeeded after a shed
+    std::atomic<std::uint64_t> fast_fails_{0};       // calls skipped by an open breaker
+};
+
+}  // namespace hep::qos

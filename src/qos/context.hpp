@@ -1,0 +1,112 @@
+// Wire-level QoS vocabulary shared by clients, the RPC substrate and the
+// server-side admission controller (src/qos/admission.hpp).
+//
+// Every RPC carries a QoS stamp in its wire header: the tenant it belongs
+// to, a priority class, and the remaining deadline budget the client armed
+// for the call. Servers use the stamp to (a) schedule the handler ULT in a
+// weighted-fair priority pool, (b) rate-limit tenants with token buckets,
+// and (c) drop requests whose deadline already expired instead of burning a
+// handler on dead work.
+//
+// This header is dependency-free on purpose: rpc/message.hpp includes it to
+// define the wire fields, so it must not pull in abt/margo/symbio.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace hep::qos {
+
+/// Priority classes, highest priority first. Class 0 is reserved for
+/// control-plane traffic (replication ships, failover probes, group
+/// bootstrap): it is exempt from token buckets and shedding so failover can
+/// never starve behind tenant load.
+enum PriorityClass : std::uint8_t {
+    kClassControl = 0,      // replication / failover / membership
+    kClassInteractive = 1,  // latency-sensitive point ops (PEP gets, puts)
+    kClassBatch = 2,        // scans, queries, prefetch fills
+    kClassBulk = 3,         // saturating ingest (write batches, loaders)
+};
+inline constexpr unsigned kNumClasses = 4;
+
+/// Wire value meaning "the sender did not classify this call"; the endpoint
+/// substitutes its default tag (see rpc::Endpoint::set_default_qos).
+inline constexpr std::uint8_t kClassUnset = 0xFF;
+
+/// Longest tenant name the server accepts; longer ones are rejected as
+/// malformed before any handler runs.
+inline constexpr std::size_t kMaxTenantLen = 64;
+
+[[nodiscard]] inline std::string_view class_name(std::uint8_t cls) noexcept {
+    switch (cls) {
+        case kClassControl: return "control";
+        case kClassInteractive: return "interactive";
+        case kClassBatch: return "batch";
+        case kClassBulk: return "bulk";
+        default: return "unset";
+    }
+}
+
+/// Parse a class from its config-file spelling; empty optional on garbage.
+[[nodiscard]] inline std::optional<std::uint8_t> parse_class(std::string_view name) noexcept {
+    if (name == "control") return kClassControl;
+    if (name == "interactive") return kClassInteractive;
+    if (name == "batch") return kClassBatch;
+    if (name == "bulk") return kClassBulk;
+    return std::nullopt;
+}
+
+/// The per-call classification a client attaches to an RPC. A
+/// default-constructed tag means "unclassified": the endpoint fills in its
+/// connection-wide default before the message hits the wire.
+struct QosTag {
+    std::string tenant;                 // "" = unclassified
+    std::uint8_t cls = kClassUnset;     // PriorityClass or kClassUnset
+
+    [[nodiscard]] bool set() const noexcept { return cls != kClassUnset; }
+};
+
+// ---- Overloaded status + retry-after hint ----------------------------------
+//
+// A shedding server answers Status::Overloaded whose message carries a
+// machine-readable retry-after hint. The client retry path parses the hint
+// and waits that long (instead of its generic exponential backoff) before
+// re-issuing, and trips a per-server circuit breaker so a shedding server is
+// not hammered in the meantime.
+
+inline constexpr std::string_view kRetryAfterKey = "retry_after_ms=";
+
+/// Build the Overloaded status a shedding server responds with.
+[[nodiscard]] inline Status make_overloaded(std::uint32_t retry_after_ms,
+                                            std::string_view why = "server overloaded") {
+    std::string msg(why);
+    msg += "; ";
+    msg += kRetryAfterKey;
+    msg += std::to_string(retry_after_ms);
+    return Status::Overloaded(std::move(msg));
+}
+
+/// Extract the retry-after hint from an Overloaded status (empty optional
+/// when the status is not Overloaded or carries no hint).
+[[nodiscard]] inline std::optional<std::uint32_t> retry_after_ms(const Status& st) noexcept {
+    if (st.code() != StatusCode::kOverloaded) return std::nullopt;
+    const std::string& msg = st.message();
+    const auto pos = msg.find(kRetryAfterKey);
+    if (pos == std::string::npos) return std::nullopt;
+    std::uint64_t value = 0;
+    bool any = false;
+    for (std::size_t i = pos + kRetryAfterKey.size(); i < msg.size(); ++i) {
+        const char c = msg[i];
+        if (c < '0' || c > '9') break;
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+        any = true;
+        if (value > 0xFFFFFFFFull) return std::nullopt;
+    }
+    if (!any) return std::nullopt;
+    return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace hep::qos

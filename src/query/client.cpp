@@ -33,6 +33,11 @@ std::chrono::milliseconds QueryClient::deadline() const noexcept {
     return std::chrono::milliseconds{fo ? fo->policy().deadline_ms : 0};
 }
 
+qos::QosTag QueryClient::scan_tag() const {
+    const auto& q = handle_.qos();
+    return q ? q->scan_tag() : qos::QosTag{};
+}
+
 Status QueryClient::run(const proto::QuerySpec& spec, std::string_view prefix,
                         std::vector<proto::Entry>& out, ClientStats& stats,
                         const QueryOptions& options) const {
@@ -54,7 +59,8 @@ Status QueryClient::run(const proto::QuerySpec& spec, std::string_view prefix,
         open.scan_chunk = options.scan_chunk;
 
         auto opened =
-            engine_->forward<OpenReq, OpenResp>(server, "query_open", provider, open, deadline());
+            engine_->forward<OpenReq, OpenResp>(server, "query_open", provider, open, deadline(),
+                                                scan_tag());
         if (!opened.ok()) {
             if (fo && replica::FailoverState::retryable(opened.status().code()) &&
                 reopens < options.max_reopens) {
@@ -71,7 +77,8 @@ Status QueryClient::run(const proto::QuerySpec& spec, std::string_view prefix,
         bool reopen = false;
         while (!reopen) {
             auto page = engine_->forward<NextReq, Page>(server, "query_next", provider,
-                                                        NextReq{db, cursor}, deadline());
+                                                        NextReq{db, cursor}, deadline(),
+                                                        scan_tag());
             if (!page.ok()) {
                 StatusCode code = page.status().code();
                 // A lost cursor (restart, eviction) or a dead primary both

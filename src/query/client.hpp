@@ -75,6 +75,9 @@ class QueryClient {
     void resolve_target(std::string& server, rpc::ProviderId& provider,
                         std::string& db) const;
     [[nodiscard]] std::chrono::milliseconds deadline() const noexcept;
+    /// QoS stamp for scan RPCs: the handle's scan-class tag (tenant + batch
+    /// class by default), or an unset tag when no ClientQos is attached.
+    [[nodiscard]] qos::QosTag scan_tag() const;
 
     margo::Engine* engine_;
     yokan::DatabaseHandle handle_;

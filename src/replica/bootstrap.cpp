@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.hpp"
+#include "qos/context.hpp"
 
 namespace hep::replica {
 
@@ -12,6 +13,9 @@ namespace {
 /// bounded: an unreachable or wedged member must never hang connect().
 constexpr std::chrono::milliseconds kConfigureDeadline{10'000};
 constexpr std::chrono::milliseconds kProbeDeadline{60'000};
+/// Group wiring/probing is control-plane (see replica_set.cpp): exempt from
+/// tenant buckets and shedding so connect() cannot be starved by load.
+const qos::QosTag kControlTag{"__replica", qos::kClassControl};
 }  // namespace
 
 std::vector<Target> assign_group(const std::vector<Node>& nodes, std::size_t primary_idx,
@@ -55,7 +59,8 @@ Status wire_replication(margo::Engine& engine, const std::vector<Target>& group,
         req.create_path = create_path;
         req.log_capacity = log_capacity;
         auto ack = engine.forward<ConfigureReq, Ack>(group[i].server, "replica_configure",
-                                                     group[i].provider, req, kConfigureDeadline);
+                                                     group[i].provider, req, kConfigureDeadline,
+                                                     kControlTag);
         if (ack.ok()) {
             ++configured;
         } else {
@@ -70,7 +75,7 @@ Status wire_replication(margo::Engine& engine, const std::vector<Target>& group,
     for (const auto& member : group) {
         ProbeReq req{member.db};
         auto ack = engine.forward<ProbeReq, Ack>(member.server, "replica_probe", member.provider,
-                                                 req, kProbeDeadline);
+                                                 req, kProbeDeadline, kControlTag);
         if (!ack.ok()) {
             HEP_LOG_WARN("replica: probing %s failed: %s", member.str().c_str(),
                          ack.status().message().c_str());

@@ -73,9 +73,12 @@ class FailoverState {
     }
 
     /// Should this failure be retried (possibly against another replica)?
+    /// Overloaded is retryable but must NOT promote — the server is alive,
+    /// just shedding; the retry path honors its retry-after hint instead of
+    /// failing over (see DatabaseHandle::with_failover).
     [[nodiscard]] static bool retryable(StatusCode code) noexcept {
         return code == StatusCode::kUnavailable || code == StatusCode::kTimeout ||
-               code == StatusCode::kDeadlineExceeded;
+               code == StatusCode::kDeadlineExceeded || code == StatusCode::kOverloaded;
     }
 
     /// Sleep the bounded-exponential backoff for `attempt` (0-based).

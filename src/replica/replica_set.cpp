@@ -4,6 +4,7 @@
 #include <chrono>
 #include <fstream>
 
+#include "qos/context.hpp"
 #include "yokan/protocol.hpp"
 
 namespace hep::replica {
@@ -21,6 +22,10 @@ constexpr std::size_t kSnapshotChunk = 256 * 1024;
 /// wedge the shipping handler (and the client call behind it) forever; a
 /// timed-out ship counts as a ship_failure and the probe pass repairs it.
 constexpr std::chrono::milliseconds kPeerRpcDeadline{10'000};
+/// Replication traffic is control-plane: it rides kClassControl, which the
+/// admission controller exempts from tenant buckets and load shedding — a
+/// shed ship/snapshot would count as a ship_failure and stall repair.
+const qos::QosTag kControlTag{"__replica", qos::kClassControl};
 
 std::uint64_t ceil_to_headroom(std::uint64_t seq) {
     return ((seq / kSeqHeadroom) + 1) * kSeqHeadroom;
@@ -255,7 +260,8 @@ void ReplicaSet::ship_to_peer(Peer& peer, std::uint64_t first_seq,
     req.first_seq = first_seq;
     req.records = records;
     auto resp = engine_.forward<ApplyReq, ApplyResp>(
-        peer.target.server, "replica_apply", peer.target.provider, req, kPeerRpcDeadline);
+        peer.target.server, "replica_apply", peer.target.provider, req, kPeerRpcDeadline,
+        kControlTag);
     std::uint64_t need = 0;
     {
         abt::LockGuard guard(mu_);
@@ -333,7 +339,7 @@ void ReplicaSet::repair_peer(Peer& peer, std::uint64_t need_from) {
                 auto ack =
                     engine_.forward<SnapshotReq, Ack>(peer.target.server, "replica_snapshot",
                                                       peer.target.provider, snap,
-                                                      kPeerRpcDeadline);
+                                                      kPeerRpcDeadline, kControlTag);
                 if (!ack.ok()) {
                     abt::LockGuard guard(mu_);
                     ++stats_.ship_failures;
@@ -353,7 +359,8 @@ void ReplicaSet::repair_peer(Peer& peer, std::uint64_t need_from) {
         req.first_seq = resend.front().seq;
         req.records = std::move(resend);
         auto resp = engine_.forward<ApplyReq, ApplyResp>(
-            peer.target.server, "replica_apply", peer.target.provider, req, kPeerRpcDeadline);
+            peer.target.server, "replica_apply", peer.target.provider, req, kPeerRpcDeadline,
+            kControlTag);
         {
             abt::LockGuard guard(mu_);
             if (!resp.ok()) {
@@ -410,7 +417,7 @@ void ReplicaSet::push_state_to_origin(const std::string& origin) {
         snap.last = (i + 1 == chunks.size());
         auto ack = engine_.forward<SnapshotReq, Ack>(peer->target.server, "replica_snapshot",
                                                      peer->target.provider, snap,
-                                                     kPeerRpcDeadline);
+                                                     kPeerRpcDeadline, kControlTag);
         if (!ack.ok()) {
             abt::LockGuard guard(mu_);
             ++stats_.ship_failures;

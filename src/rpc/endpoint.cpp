@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -110,7 +111,10 @@ void Endpoint::register_handler(std::string_view rpc_name, ProviderId provider,
 
 void Endpoint::set_executor(Executor exec) { executor_ = std::move(exec); }
 
+void Endpoint::set_admission(AdmissionHook hook) { admission_ = std::move(hook); }
+
 void Endpoint::enqueue(Message msg) {
+    msg.arrival = std::chrono::steady_clock::now();
     {
         std::lock_guard<std::mutex> lock(queue_mutex_);
         queue_.push_back(std::move(msg));
@@ -167,6 +171,16 @@ void Endpoint::dispatch_request(Message msg) {
         RequestContext ctx(*this, std::move(msg));
         ctx.respond_error(Status::Unimplemented("no handler for rpc on " + address_));
         return;
+    }
+    // Admission gate: runs after handler lookup (an unknown rpc is not an
+    // admission decision) and before any handler resources are committed.
+    if (admission_) {
+        Status verdict = admission_(msg);
+        if (!verdict.ok()) {
+            RequestContext ctx(*this, std::move(msg));
+            ctx.respond_error(std::move(verdict));
+            return;
+        }
     }
     auto self = shared_from_this();
     auto work = [self, handler = std::move(handler), msg = std::move(msg)]() mutable {
@@ -231,7 +245,8 @@ std::chrono::steady_clock::time_point Endpoint::expire_deadlines() {
 
 std::uint64_t Endpoint::send_request(const std::string& to, std::string_view rpc_name,
                                      ProviderId provider, hep::BufferChain payload,
-                                     std::chrono::milliseconds deadline, PendingCall call) {
+                                     std::chrono::milliseconds deadline, const qos::QosTag& tag,
+                                     PendingCall call) {
     if (deadline.count() == 0) deadline = default_deadline();
     // The caller may return (deadline expiry, shutdown) while the request
     // still sits in the target's queue: the payload must own its bytes.
@@ -244,6 +259,21 @@ std::uint64_t Endpoint::send_request(const std::string& to, std::string_view rpc
     req.provider = provider;
     req.origin = address_;
     req.payload = std::move(payload);
+    // QoS stamp: explicit tag wins, else the endpoint-wide default. The
+    // armed deadline doubles as the propagated budget, so the server can see
+    // how much time the caller is still willing to wait.
+    if (tag.set() || !tag.tenant.empty()) {
+        req.qos_tenant = tag.tenant;
+        req.qos_class = tag.cls;
+    } else {
+        qos::QosTag def = default_qos();
+        req.qos_tenant = std::move(def.tenant);
+        req.qos_class = def.cls;
+    }
+    if (deadline.count() > 0) {
+        req.qos_budget_ms = static_cast<std::uint32_t>(std::min<std::int64_t>(
+            deadline.count(), std::numeric_limits<std::uint32_t>::max()));
+    }
     {
         std::lock_guard<std::mutex> lock(pending_mutex_);
         if (deadline.count() > 0) {
@@ -282,37 +312,38 @@ std::uint64_t Endpoint::send_request(const std::string& to, std::string_view rpc
 
 std::shared_ptr<abt::Eventual<Result<hep::BufferChain>>> Endpoint::call_async_chain(
     const std::string& to, std::string_view rpc_name, ProviderId provider,
-    hep::BufferChain payload, std::chrono::milliseconds deadline) {
+    hep::BufferChain payload, std::chrono::milliseconds deadline, const qos::QosTag& tag) {
     auto ev = std::make_shared<abt::Eventual<Result<hep::BufferChain>>>();
     PendingCall call;
     call.chain_eventual = ev;
-    send_request(to, rpc_name, provider, std::move(payload), deadline, std::move(call));
+    send_request(to, rpc_name, provider, std::move(payload), deadline, tag, std::move(call));
     return ev;
 }
 
 std::shared_ptr<abt::Eventual<Result<std::string>>> Endpoint::call_async(
     const std::string& to, std::string_view rpc_name, ProviderId provider, std::string payload,
-    std::chrono::milliseconds deadline) {
+    std::chrono::milliseconds deadline, const qos::QosTag& tag) {
     auto ev = std::make_shared<abt::Eventual<Result<std::string>>>();
     hep::BufferChain chain;
     if (!payload.empty()) chain.append(hep::Buffer::adopt(std::move(payload)));
     PendingCall call;
     call.string_eventual = ev;
-    send_request(to, rpc_name, provider, std::move(chain), deadline, std::move(call));
+    send_request(to, rpc_name, provider, std::move(chain), deadline, tag, std::move(call));
     return ev;
 }
 
 Result<hep::BufferChain> Endpoint::call_chain(const std::string& to, std::string_view rpc_name,
                                               ProviderId provider, hep::BufferChain payload,
-                                              std::chrono::milliseconds deadline) {
-    auto ev = call_async_chain(to, rpc_name, provider, std::move(payload), deadline);
+                                              std::chrono::milliseconds deadline,
+                                              const qos::QosTag& tag) {
+    auto ev = call_async_chain(to, rpc_name, provider, std::move(payload), deadline, tag);
     return ev->wait();
 }
 
 Result<std::string> Endpoint::call(const std::string& to, std::string_view rpc_name,
                                    ProviderId provider, std::string payload,
-                                   std::chrono::milliseconds deadline) {
-    auto ev = call_async(to, rpc_name, provider, std::move(payload), deadline);
+                                   std::chrono::milliseconds deadline, const qos::QosTag& tag) {
+    auto ev = call_async(to, rpc_name, provider, std::move(payload), deadline, tag);
     return ev->wait();
 }
 

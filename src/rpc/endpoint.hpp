@@ -62,6 +62,16 @@ class RequestContext {
     [[nodiscard]] const std::string& origin() const noexcept { return msg_.origin; }
     [[nodiscard]] ProviderId provider() const noexcept { return msg_.provider; }
 
+    // QoS stamp the client attached (see qos/context.hpp) plus the local
+    // arrival time; margo's dispatch wrapper feeds these to the admission
+    // controller's ULT-side accounting.
+    [[nodiscard]] const std::string& qos_tenant() const noexcept { return msg_.qos_tenant; }
+    [[nodiscard]] std::uint8_t qos_class() const noexcept { return msg_.qos_class; }
+    [[nodiscard]] std::uint32_t qos_budget_ms() const noexcept { return msg_.qos_budget_ms; }
+    [[nodiscard]] std::chrono::steady_clock::time_point arrival() const noexcept {
+        return msg_.arrival;
+    }
+
     /// Send the response. Must be called exactly once per request.
     void respond(hep::BufferChain payload);
     /// Compatibility shim: adopts the string (no copy) into a chain.
@@ -90,6 +100,11 @@ using Handler = std::function<void(RequestContext&)>;
 /// Runs a dispatch closure; Margo overrides this to spawn ULTs.
 using Executor = std::function<void(std::function<void()>)>;
 
+/// Admission gate run on the progress thread at dispatch, after handler
+/// lookup and before any handler work: a non-OK status becomes the error
+/// response and the handler never runs (src/qos wires this up).
+using AdmissionHook = std::function<Status(const Message&)>;
+
 class Endpoint : public std::enable_shared_from_this<Endpoint> {
   public:
     ~Endpoint();
@@ -106,6 +121,9 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
     /// Install the dispatch executor (default: run inline on progress thread).
     void set_executor(Executor exec);
 
+    /// Install the admission gate (default: admit everything).
+    void set_admission(AdmissionHook hook);
+
     /// Synchronous RPC: send and block until the response arrives. Blocks a
     /// ULT cooperatively or an OS thread natively. `deadline` caps how long
     /// the caller waits for the response: on expiry the call completes with
@@ -113,29 +131,34 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
     /// A zero deadline falls back to the endpoint default; a zero default
     /// means "wait forever" (the seed behavior).
     /// Compatibility shim over call_chain(): adopts the payload, flattens the
-    /// response.
+    /// response. `tag` is the QoS stamp for the wire header; an unset tag
+    /// falls back to the endpoint default (set_default_qos).
     Result<std::string> call(const std::string& to, std::string_view rpc_name,
                              ProviderId provider, std::string payload,
-                             std::chrono::milliseconds deadline = std::chrono::milliseconds{0});
+                             std::chrono::milliseconds deadline = std::chrono::milliseconds{0},
+                             const qos::QosTag& tag = {});
 
     /// Synchronous RPC carrying scatter-gather payloads both ways (zero-copy
     /// fast path).
     Result<hep::BufferChain> call_chain(
         const std::string& to, std::string_view rpc_name, ProviderId provider,
         hep::BufferChain payload,
-        std::chrono::milliseconds deadline = std::chrono::milliseconds{0});
+        std::chrono::milliseconds deadline = std::chrono::milliseconds{0},
+        const qos::QosTag& tag = {});
 
     /// Asynchronous RPC: returns an eventual delivering payload-or-status.
     /// Compatibility shim: the response chain is flattened into a string.
     std::shared_ptr<abt::Eventual<Result<std::string>>> call_async(
         const std::string& to, std::string_view rpc_name, ProviderId provider,
-        std::string payload, std::chrono::milliseconds deadline = std::chrono::milliseconds{0});
+        std::string payload, std::chrono::milliseconds deadline = std::chrono::milliseconds{0},
+        const qos::QosTag& tag = {});
 
     /// Asynchronous chain-payload RPC (zero-copy fast path).
     std::shared_ptr<abt::Eventual<Result<hep::BufferChain>>> call_async_chain(
         const std::string& to, std::string_view rpc_name, ProviderId provider,
         hep::BufferChain payload,
-        std::chrono::milliseconds deadline = std::chrono::milliseconds{0});
+        std::chrono::milliseconds deadline = std::chrono::milliseconds{0},
+        const qos::QosTag& tag = {});
 
     /// Default per-RPC deadline applied when call()/call_async() is given a
     /// zero deadline. Zero (the default) disables deadline tracking.
@@ -144,6 +167,17 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
     }
     [[nodiscard]] std::chrono::milliseconds default_deadline() const noexcept {
         return std::chrono::milliseconds{default_deadline_ms_.load(std::memory_order_relaxed)};
+    }
+
+    /// Connection-wide QoS stamp applied to calls issued with an unset tag
+    /// (hepnos::DataStore sets this from its client policy).
+    void set_default_qos(qos::QosTag tag) {
+        std::lock_guard<std::mutex> lock(default_qos_mutex_);
+        default_qos_ = std::move(tag);
+    }
+    [[nodiscard]] qos::QosTag default_qos() const {
+        std::lock_guard<std::mutex> lock(default_qos_mutex_);
+        return default_qos_;
     }
 
     // ---- bulk (one-sided) --------------------------------------------------
@@ -206,6 +240,10 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
     std::unordered_map<std::uint64_t, Handler> handlers_;  // key: rpc<<16|provider
 
     Executor executor_;
+    AdmissionHook admission_;
+
+    mutable std::mutex default_qos_mutex_;
+    qos::QosTag default_qos_;
 
     // Receive queue + progress thread.
     std::mutex queue_mutex_;
@@ -237,7 +275,8 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
 
     std::uint64_t send_request(const std::string& to, std::string_view rpc_name,
                                ProviderId provider, hep::BufferChain payload,
-                               std::chrono::milliseconds deadline, PendingCall call);
+                               std::chrono::milliseconds deadline, const qos::QosTag& tag,
+                               PendingCall call);
 
     // Exposed bulk regions: either a contiguous caller-owned range (data) or
     // a read-only scatter-gather chain whose storage the region pins.

@@ -1,11 +1,13 @@
 // Wire-level message types for the RPC substrate.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
 #include "common/buffer.hpp"
 #include "common/status.hpp"
+#include "qos/context.hpp"
 
 namespace hep::rpc {
 
@@ -32,19 +34,33 @@ struct Message {
     hep::BufferChain payload;     // serialized body (scatter-gather)
     Status status;                // response only: handler-level outcome
 
+    // QoS stamp (request only): tenant + priority class the client attached,
+    // and the remaining deadline budget in milliseconds (0 = no deadline).
+    // Servers feed these to the admission controller (src/qos) before any
+    // handler ULT is created.
+    std::string qos_tenant;
+    std::uint8_t qos_class = qos::kClassUnset;
+    std::uint32_t qos_budget_ms = 0;
+
+    // Local bookkeeping, never on the wire: when the receiving endpoint
+    // dequeued the message from its fabric (stamped by Endpoint::enqueue).
+    // Deadline budgets are measured against this.
+    std::chrono::steady_clock::time_point arrival{};
+
     /// Exact number of bytes TcpFabric writes for this message: the
     /// [u32 len][u8 kind] frame preamble, the serialized wire::MessageHeader
-    /// (fixed fields + u64-length-prefixed origin/status/to_name strings +
-    /// u64 payload length), and the raw payload tail. `to_name_len` is the
-    /// bare destination endpoint name carried in the header (0 on loopback,
-    /// where no frame is built but the same accounting applies). Pinned
-    /// against the actual framing by rpc_test/tcp_test.
+    /// (fixed fields + u64-length-prefixed origin/status/to_name/tenant
+    /// strings + u64 payload length), and the raw payload tail. `to_name_len`
+    /// is the bare destination endpoint name carried in the header (0 on
+    /// loopback, where no frame is built but the same accounting applies).
+    /// Pinned against the actual framing by rpc_test/tcp_test.
     [[nodiscard]] std::size_t wire_size(std::size_t to_name_len = 0) const noexcept {
-        constexpr std::size_t kPreamble = 4 + 1;                    // len + kind
-        constexpr std::size_t kFixed = 1 + 8 + 4 + 2 + 1 + 8;      // type..status_code+payload_len
-        constexpr std::size_t kStringPrefixes = 3 * 8;             // origin/status/to_name
-        return kPreamble + kFixed + kStringPrefixes + origin.size() +
-               status.message().size() + to_name_len + payload.size();
+        constexpr std::size_t kPreamble = 4 + 1;                // len + kind
+        constexpr std::size_t kFixed = 1 + 8 + 4 + 2 + 1 + 8;   // type..status_code+payload_len
+        constexpr std::size_t kQosFixed = 1 + 4;                // qos class + budget
+        constexpr std::size_t kStringPrefixes = 4 * 8;          // origin/status/to_name/tenant
+        return kPreamble + kFixed + kQosFixed + kStringPrefixes + origin.size() +
+               status.message().size() + to_name_len + qos_tenant.size() + payload.size();
     }
 };
 

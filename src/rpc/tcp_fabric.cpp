@@ -511,6 +511,9 @@ void TcpFabric::handle_frame(Connection* conn, std::uint8_t kind, hep::Buffer fr
             msg.rpc = header.rpc;
             msg.provider = header.provider;
             msg.origin = std::move(header.origin);
+            msg.qos_tenant = std::move(header.qos_tenant);
+            msg.qos_class = header.qos_class;
+            msg.qos_budget_ms = header.qos_budget_ms;
             // Zero-copy: the payload is a view into the frame buffer, which
             // stays alive (refcounted) for as long as any consumer needs it.
             msg.payload = in.read_chain(header.payload_len);

@@ -34,12 +34,15 @@ struct MessageHeader {
     std::uint8_t status_code = 0;
     std::string status_message;
     std::string to_name;  // bare endpoint name on the receiving fabric
+    std::string qos_tenant;
+    std::uint8_t qos_class = 0xFF;
+    std::uint32_t qos_budget_ms = 0;
     std::uint64_t payload_len = 0;
 
     template <typename A>
     void serialize(A& ar, unsigned) {
         ar & type & seq & rpc & provider & origin & status_code & status_message & to_name &
-            payload_len;
+            qos_tenant & qos_class & qos_budget_ms & payload_len;
     }
 };
 
@@ -53,6 +56,9 @@ inline MessageHeader make_header(const Message& msg, std::string to_name) {
     h.status_code = static_cast<std::uint8_t>(msg.status.code());
     h.status_message = msg.status.message();
     h.to_name = std::move(to_name);
+    h.qos_tenant = msg.qos_tenant;
+    h.qos_class = msg.qos_class;
+    h.qos_budget_ms = msg.qos_budget_ms;
     h.payload_len = msg.payload.size();
     return h;
 }

@@ -9,7 +9,8 @@ Status DatabaseHandle::put(std::string_view key, std::string_view value, bool ov
                                            const std::string& db) -> Result<Ack> {
         return engine_->forward<PutReq, Ack>(
             server, "yokan_put", provider,
-            PutReq{db, std::string(key), std::string(value), overwrite}, deadline());
+            PutReq{db, std::string(key), std::string(value), overwrite}, deadline(),
+            point_tag());
     });
     return r.status();
 }
@@ -19,7 +20,7 @@ Status DatabaseHandle::put(std::string_view key, hep::Buffer value, bool overwri
                                            const std::string& db) -> Result<Ack> {
         return engine_->forward<PutViewReq, Ack>(
             server, "yokan_put_owned", provider,
-            PutViewReq{db, std::string(key), value, overwrite}, deadline());
+            PutViewReq{db, std::string(key), value, overwrite}, deadline(), point_tag());
     });
     return r.status();
 }
@@ -35,7 +36,8 @@ Result<hep::BufferView> DatabaseHandle::get_view(std::string_view key) const {
     auto r = with_failover<GetResp>(true, [&](const std::string& server, rpc::ProviderId provider,
                                               const std::string& db) -> Result<GetResp> {
         return engine_->forward<KeyReq, GetResp>(server, "yokan_get", provider,
-                                                 KeyReq{db, std::string(key)}, deadline());
+                                                 KeyReq{db, std::string(key)}, deadline(),
+                                                 point_tag());
     });
     if (!r.ok()) return r.status();
     return std::move(r->value);
@@ -46,7 +48,8 @@ Result<bool> DatabaseHandle::exists(std::string_view key) const {
         true, [&](const std::string& server, rpc::ProviderId provider,
                   const std::string& db) -> Result<ExistsResp> {
             return engine_->forward<KeyReq, ExistsResp>(server, "yokan_exists", provider,
-                                                        KeyReq{db, std::string(key)}, deadline());
+                                                        KeyReq{db, std::string(key)}, deadline(),
+                                                        point_tag());
         });
     if (!r.ok()) return r.status();
     return r->exists;
@@ -57,7 +60,8 @@ Result<std::uint64_t> DatabaseHandle::length(std::string_view key) const {
         true, [&](const std::string& server, rpc::ProviderId provider,
                   const std::string& db) -> Result<LengthResp> {
             return engine_->forward<KeyReq, LengthResp>(server, "yokan_length", provider,
-                                                        KeyReq{db, std::string(key)}, deadline());
+                                                        KeyReq{db, std::string(key)}, deadline(),
+                                                        point_tag());
         });
     if (!r.ok()) return r.status();
     return r->length;
@@ -67,7 +71,8 @@ Status DatabaseHandle::erase(std::string_view key) const {
     auto r = with_failover<Ack>(false, [&](const std::string& server, rpc::ProviderId provider,
                                            const std::string& db) -> Result<Ack> {
         return engine_->forward<KeyReq, Ack>(server, "yokan_erase", provider,
-                                             KeyReq{db, std::string(key)}, deadline());
+                                             KeyReq{db, std::string(key)}, deadline(),
+                                             point_tag());
     });
     return r.status();
 }
@@ -80,7 +85,7 @@ Result<std::vector<std::string>> DatabaseHandle::list_keys(std::string_view afte
                   const std::string& db) -> Result<ListKeysResp> {
             ListReq req{db, std::string(after), std::string(prefix), max, false};
             return engine_->forward<ListReq, ListKeysResp>(server, "yokan_list_keys", provider,
-                                                           req, deadline());
+                                                           req, deadline(), scan_tag());
         });
     if (!r.ok()) return r.status();
     return std::move(r->keys);
@@ -94,7 +99,8 @@ Result<std::vector<KeyValue>> DatabaseHandle::list_keyvals(std::string_view afte
                   const std::string& db) -> Result<ListKeyValsResp> {
             ListReq req{db, std::string(after), std::string(prefix), max, true};
             return engine_->forward<ListReq, ListKeyValsResp>(server, "yokan_list_keyvals",
-                                                              provider, req, deadline());
+                                                              provider, req, deadline(),
+                                                              scan_tag());
         });
     if (!r.ok()) return r.status();
     return std::move(r->items);
@@ -108,7 +114,7 @@ Result<proto::ScanResp> DatabaseHandle::scan_page(std::string_view after,
                   const std::string& db) -> Result<ScanResp> {
             ListReq req{db, std::string(after), std::string(prefix), max, with_values};
             return engine_->forward<ListReq, ScanResp>(server, "yokan_scan", provider, req,
-                                                       deadline());
+                                                       deadline(), scan_tag());
         });
 }
 
@@ -117,7 +123,7 @@ Result<std::uint64_t> DatabaseHandle::count() const {
         true, [&](const std::string& server, rpc::ProviderId provider,
                   const std::string& db) -> Result<CountResp> {
             return engine_->forward<CountReq, CountResp>(server, "yokan_count", provider,
-                                                         CountReq{db}, deadline());
+                                                         CountReq{db}, deadline(), scan_tag());
         });
     if (!r.ok()) return r.status();
     return r->count;
@@ -129,7 +135,7 @@ Result<std::uint64_t> DatabaseHandle::erase_multi(const std::vector<std::string>
                    const std::string& db) -> Result<EraseMultiResp> {
             return engine_->forward<EraseMultiReq, EraseMultiResp>(server, "yokan_erase_multi",
                                                                    provider, {db, keys},
-                                                                   deadline());
+                                                                   deadline(), bulk_tag());
         });
     if (!r.ok()) return r.status();
     return r->erased;
@@ -149,7 +155,8 @@ Result<std::uint64_t> DatabaseHandle::put_multi(const std::vector<KeyValue>& ite
                    const std::string& db) -> Result<PutMultiResp> {
             PutMultiReq req{db, bulk, items.size(), packed.size(), overwrite};
             auto raw = engine_->endpoint().call(server, "yokan_put_multi", provider,
-                                                serial::to_string(req), deadline());
+                                                serial::to_string(req), deadline(),
+                                                bulk_tag());
             if (!raw.ok()) return raw.status();
             PutMultiResp resp;
             try {
@@ -172,7 +179,7 @@ Result<std::uint64_t> DatabaseHandle::put_multi(const std::vector<BatchItem>& it
                    const std::string& db) -> Result<PutMultiResp> {
             return engine_->forward<PutPackedReq, PutMultiResp>(
                 server, "yokan_put_packed", provider,
-                PutPackedReq{db, items.size(), overwrite, entries}, deadline());
+                PutPackedReq{db, items.size(), overwrite, entries}, deadline(), bulk_tag());
         });
     if (!r.ok()) return r.status();
     return r->stored;
@@ -188,7 +195,8 @@ Result<std::vector<std::optional<std::string>>> DatabaseHandle::get_multi(
                       const std::string& db) -> Result<GetMultiResp> {
                 GetMultiReq req{db, keys, bulk};
                 auto raw = engine_->endpoint().call(server, "yokan_get_multi", provider,
-                                                    serial::to_string(req), deadline());
+                                                    serial::to_string(req), deadline(),
+                                                    bulk_tag());
                 if (!raw.ok()) return raw.status();
                 GetMultiResp resp;
                 try {
@@ -235,7 +243,7 @@ Result<std::vector<std::optional<hep::BufferView>>> DatabaseHandle::get_multi_vi
                       const std::string& db) -> Result<GetMultiResp> {
                 return engine_->forward<GetMultiReq, GetMultiResp>(
                     server, "yokan_get_multi", provider, GetMultiReq{db, keys, bulk},
-                    deadline());
+                    deadline(), bulk_tag());
             });
         engine_->endpoint().unexpose(bulk);
         if (!r.ok()) return r.status();

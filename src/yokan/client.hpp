@@ -7,13 +7,23 @@
 // few attempts the next replica is promoted and the operation transparently
 // re-issued against it. Reads can additionally rotate across backups when
 // the policy's read_from_replicas flag is set.
+//
+// A handle may also carry qos::ClientQos: operations are then stamped with
+// the policy's tenant + per-op-kind priority class, Overloaded responses trip
+// a per-server circuit breaker and are retried after the server's retry-after
+// hint (without promoting a replica — the server is alive, just shedding),
+// and calls to a server with an open breaker fail fast locally.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "margo/engine.hpp"
+#include "qos/client.hpp"
 #include "replica/failover.hpp"
 #include "yokan/protocol.hpp"
 
@@ -45,6 +55,20 @@ class DatabaseHandle {
     }
     [[nodiscard]] const std::shared_ptr<replica::FailoverState>& failover() const noexcept {
         return failover_;
+    }
+
+    /// Attach the client QoS state (classification policy + circuit breaker),
+    /// shared across all handles of one DataStore connection.
+    void set_qos(std::shared_ptr<qos::ClientQos> q) { qos_ = std::move(q); }
+    [[nodiscard]] const std::shared_ptr<qos::ClientQos>& qos() const noexcept { return qos_; }
+
+    /// A copy of this handle whose every operation is stamped with `cls`
+    /// instead of the policy's per-op-kind class (prefetcher/loader use this
+    /// to demote themselves to batch/bulk explicitly).
+    [[nodiscard]] DatabaseHandle with_class(std::uint8_t cls) const {
+        DatabaseHandle h = *this;
+        h.class_override_ = cls;
+        return h;
     }
 
     /// Legacy contiguous put (copies `value` into the request).
@@ -97,22 +121,88 @@ class DatabaseHandle {
         const std::vector<std::string>& keys, std::size_t buffer_hint = 1 << 20) const;
 
   private:
+    /// One wire attempt against `server`, wrapped with the circuit breaker:
+    /// an open breaker fails fast locally (same Overloaded shape, remaining
+    /// window as the hint), a shed response trips it, a success closes it.
+    template <typename T, typename Fn>
+    Result<T> attempt_once(Fn& op, const std::string& server, rpc::ProviderId provider,
+                           const std::string& db) const {
+        if (qos_) {
+            if (auto left = qos_->breaker().open_for(server)) {
+                qos_->note_fast_fail();
+                return qos::make_overloaded(*left, "circuit breaker open for " + server);
+            }
+        }
+        Result<T> r = op(server, provider, db);
+        if (qos_) {
+            if (r.ok()) {
+                qos_->breaker().reset(server);
+            } else if (r.status().code() == StatusCode::kOverloaded) {
+                qos_->note_overloaded();
+                qos_->breaker().trip(server, overload_wait_ms(r.status()));
+            }
+        }
+        return r;
+    }
+
+    /// The clamped retry-after hint of an Overloaded status (milliseconds).
+    [[nodiscard]] std::uint32_t overload_wait_ms(const Status& st) const {
+        const std::uint32_t cap = qos_ ? qos_->policy().max_retry_after_ms : 1000;
+        const std::uint32_t hint = qos::retry_after_ms(st).value_or(1);
+        return std::min(std::max<std::uint32_t>(1, hint), cap);
+    }
+
+    /// Sleep out a shed's retry-after window (yielding, ULT-friendly).
+    void overload_backoff(const Status& st) const {
+        const auto end = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(overload_wait_ms(st));
+        while (std::chrono::steady_clock::now() < end) {
+            abt::yield();
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    }
+
     /// Run `op(server, provider, db)` through the retry/failover loop (or
-    /// once, directly, when no failover state is attached).
+    /// an Overloaded-only retry loop when no failover state is attached).
+    /// Overloaded retries wait the server's retry-after hint and re-issue
+    /// against the SAME target — shedding is not failure, so it never
+    /// promotes a replica or counts toward the per-target attempt budget.
     template <typename T, typename Fn>
     Result<T> with_failover(bool is_read, Fn&& op) const {
-        if (!failover_) return op(server_, provider_, db_);
+        if (!failover_) {
+            Result<T> r = attempt_once<T>(op, server_, provider_, db_);
+            if (!qos_) return r;
+            std::uint32_t sheds = 0;
+            while (!r.ok() && r.status().code() == StatusCode::kOverloaded &&
+                   sheds < qos_->policy().max_overload_retries) {
+                ++sheds;
+                overload_backoff(r.status());
+                r = attempt_once<T>(op, server_, provider_, db_);
+            }
+            if (r.ok() && sheds > 0) qos_->note_retry_success();
+            return r;
+        }
         auto& fo = *failover_;
         const auto& policy = fo.policy();
         std::size_t idx = is_read ? fo.read_start() : fo.primary();
         std::uint32_t tried_here = 0;
+        bool was_shed = false;
         Result<T> last = Status::Unavailable("no replica of '" + db_ + "' reachable");
         for (std::uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
             const replica::Target& t = fo.target(idx);
-            Result<T> r = op(t.server, t.provider, t.db);
-            if (r.ok() || !replica::FailoverState::retryable(r.status().code())) return r;
+            Result<T> r = attempt_once<T>(op, t.server, t.provider, t.db);
+            if (r.ok()) {
+                if (was_shed && qos_) qos_->note_retry_success();
+                return r;
+            }
+            if (!replica::FailoverState::retryable(r.status().code())) return r;
             last = std::move(r);
             fo.count_retry();
+            if (last.status().code() == StatusCode::kOverloaded) {
+                was_shed = true;
+                overload_backoff(last.status());
+                continue;
+            }
             if (++tried_here >= policy.attempts_per_target) {
                 // This replica looks dead. If it was the group primary,
                 // promote the next one for everybody; either way move on.
@@ -127,6 +217,25 @@ class DatabaseHandle {
         return last;
     }
 
+    /// QoS stamp for one operation kind; the explicit class override (from
+    /// with_class) wins over the policy's per-kind class.
+    [[nodiscard]] qos::QosTag tag(qos::QosTag base) const {
+        if (class_override_ != qos::kClassUnset) {
+            if (base.tenant.empty() && qos_) base.tenant = qos_->policy().tenant;
+            base.cls = class_override_;
+        }
+        return base;
+    }
+    [[nodiscard]] qos::QosTag point_tag() const {
+        return tag(qos_ ? qos_->point_tag() : qos::QosTag{});
+    }
+    [[nodiscard]] qos::QosTag scan_tag() const {
+        return tag(qos_ ? qos_->scan_tag() : qos::QosTag{});
+    }
+    [[nodiscard]] qos::QosTag bulk_tag() const {
+        return tag(qos_ ? qos_->bulk_tag() : qos::QosTag{});
+    }
+
     /// Per-attempt RPC deadline from the failover policy (zero otherwise).
     [[nodiscard]] std::chrono::milliseconds deadline() const noexcept {
         return std::chrono::milliseconds{failover_ ? failover_->policy().deadline_ms : 0};
@@ -137,6 +246,8 @@ class DatabaseHandle {
     rpc::ProviderId provider_ = 0;
     std::string db_;
     std::shared_ptr<replica::FailoverState> failover_;
+    std::shared_ptr<qos::ClientQos> qos_;
+    std::uint8_t class_override_ = qos::kClassUnset;
 };
 
 }  // namespace hep::yokan

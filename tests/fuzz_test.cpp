@@ -2,6 +2,8 @@
 // or Status), never crashes, hangs or silent corruption.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
@@ -467,5 +469,55 @@ TEST(ProtoFuzzTest, UnpackEntriesRejectsMalformedPacks) {
         }));
     EXPECT_EQ(seen, 2);
 }
+
+// ---------------------------------------------------------- qos wire stamps
+
+class QosFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QosFuzzTest, RandomQosStampsNeverKillAnAdmittingServer) {
+    // Property: arbitrary tenant bytes / class values / deadline budgets in
+    // the wire header produce a clean response (OK for well-formed stamps,
+    // InvalidArgument/DeadlineExceeded/Overloaded otherwise) — never a crash,
+    // hang or silently dropped request.
+    Rng rng(GetParam());
+    rpc::Network net;
+    margo::Engine server(net, "qos-server", margo::EngineConfig{2});
+    auto ctrl = std::make_shared<qos::AdmissionController>(qos::AdmissionOptions{});
+    server.enable_qos(ctrl);
+    margo::Engine client(net, "qos-client");
+    std::atomic<int> executed{0};
+    server.define<int, int>("echo", 1, [&](const int& x) -> hep::Result<int> {
+        ++executed;
+        return x;
+    });
+
+    int answered = 0;
+    for (int iter = 0; iter < 200; ++iter) {
+        qos::QosTag tag;
+        tag.tenant = random_bytes(rng, 2 * qos::kMaxTenantLen);
+        tag.cls = static_cast<std::uint8_t>(rng.next_u64() & 0xFF);
+        const auto budget = std::chrono::milliseconds(
+            rng.uniform(0, 2) == 0 ? 0 : static_cast<long>(rng.uniform(1, 100000)));
+        auto r = client.forward<int, int>("qos-server", "echo", 1, iter, budget, tag);
+        if (r.ok()) {
+            EXPECT_EQ(*r, iter);
+            ++answered;
+        } else {
+            const StatusCode code = r.status().code();
+            EXPECT_TRUE(code == StatusCode::kInvalidArgument ||
+                        code == StatusCode::kDeadlineExceeded ||
+                        code == StatusCode::kOverloaded)
+                << r.status().to_string();
+        }
+    }
+    // The server survived the storm and still answers a clean request.
+    auto ok = client.forward<int, int>("qos-server", "echo", 1, 42, std::chrono::milliseconds{0},
+                                       qos::QosTag{"clean", qos::kClassInteractive});
+    ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+    EXPECT_EQ(*ok, 42);
+    EXPECT_GE(executed.load(), answered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QosFuzzTest, ::testing::Values(11, 97, 2026));
 
 }  // namespace

@@ -22,6 +22,7 @@ struct TestServiceOptions {
     bool read_from_replicas = false;     // let reads rotate across backups
     bool monitoring = false;             // expose a symbio provider (id 99)
     bool query_pushdown = false;         // co-locate query providers (src/query)
+    json::Value qos;                     // non-null: passed through as the "qos" knob
 };
 
 /// Builds the bedrock JSON for one server.
@@ -61,6 +62,7 @@ inline json::Value make_server_config(const TestServiceOptions& opts, std::size_
     }
     if (opts.monitoring) cfg["monitoring"]["provider_id"] = 99;
     if (opts.query_pushdown) cfg["query"]["enabled"] = true;
+    if (!opts.qos.is_null()) cfg["qos"] = opts.qos;
     return cfg;
 }
 

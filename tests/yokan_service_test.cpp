@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <thread>
 
@@ -255,6 +256,14 @@ TEST_F(YokanServiceTest, ListCursorResumeSurvivesConcurrentMutation) {
             ++written;
         }
     });
+
+    // The writer boots its own engine first; on a loaded machine the scan
+    // below can finish before that boot completes. Wait for the first write
+    // so the scan genuinely races the mutations.
+    const auto boot_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (written.load() == 0 && std::chrono::steady_clock::now() < boot_deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
 
     std::vector<std::string> collected;
     std::string after;
