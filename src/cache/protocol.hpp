@@ -1,0 +1,60 @@
+// RPC request/response types of the dedicated cache-provider tier.
+//
+// A cache node fronts Yokan providers: "cache_get" names the OWNING database
+// (server / provider id / db name) plus the product key; the node serves a
+// fresh cached value without touching the owner, revalidates an expired
+// lease against the owner's mutation seq, or fills the miss from the owner
+// (a batch-class read, so cache fills never starve interactive traffic).
+// "cache_invalidate" drops specific keys — or, with `keys` empty, epoch-bumps
+// every entry of the owning database at once (the write-batch flush shape).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/buffer.hpp"
+
+namespace hep::cache::proto {
+
+struct GetReq {
+    std::string owner_server;
+    std::uint16_t owner_provider = 0;
+    std::string db;
+    std::string key;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & owner_server & owner_provider & db & key;
+    }
+};
+
+struct GetResp {
+    hep::BufferView value;  // zero-copy: references the node's cached bytes
+    std::uint64_t seq = 0;  // owner mutation seq the value was filled under
+    bool hit = false;       // served from cache (false = filled on this call)
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & value & seq & hit;
+    }
+};
+
+struct InvalidateReq {
+    std::string owner_server;
+    std::uint16_t owner_provider = 0;
+    std::string db;
+    std::vector<std::string> keys;  // empty = invalidate the whole database
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & owner_server & owner_provider & db & keys;
+    }
+};
+
+struct Ack {
+    std::uint64_t dropped = 0;  // entries removed (or whole-db epoch bumps)
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & dropped;
+    }
+};
+
+}  // namespace hep::cache::proto

@@ -1,0 +1,41 @@
+// Dedicated cache-provider tier: a bedrock-launchable node that fronts Yokan
+// providers for hot-product reads.
+//
+// Placement is the client's job (consistent hash over the advertised cache
+// nodes, see cache::TierClient); each node simply caches whatever owner-
+// qualified keys land on it. Misses and expired-lease refreshes are filled
+// from the owning Yokan provider with batch-class QoS stamps under the
+// "cache" tenant, so a storm of fills degrades gracefully under the owner's
+// admission control instead of starving interactive readers.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cache/lease_cache.hpp"
+#include "cache/protocol.hpp"
+#include "margo/engine.hpp"
+
+namespace hep::cache {
+
+/// Tenant stamped on owner reads issued by cache fills (client and tier).
+inline constexpr std::string_view kCacheTenant = "cache";
+
+class Provider final : public margo::Provider {
+  public:
+    /// `config`: {"capacity_bytes": ..., "max_entries": ..., "lease_ms": ...}.
+    Provider(margo::Engine& engine, rpc::ProviderId provider_id, const json::Value& config,
+             std::shared_ptr<abt::Pool> pool = nullptr);
+
+    [[nodiscard]] LeaseCache& table() noexcept { return *table_; }
+    [[nodiscard]] json::Value stats_json() const { return table_->stats_json(); }
+
+  private:
+    void register_rpcs();
+    Result<proto::GetResp> handle_get(const proto::GetReq& req);
+    Result<proto::Ack> handle_invalidate(const proto::InvalidateReq& req);
+
+    std::unique_ptr<LeaseCache> table_;
+};
+
+}  // namespace hep::cache

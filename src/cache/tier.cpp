@@ -1,0 +1,57 @@
+#include "cache/tier.hpp"
+
+#include <map>
+
+namespace hep::cache {
+
+TierClient::TierClient(margo::Engine& engine, std::vector<TierNode> nodes)
+    : engine_(&engine), nodes_(std::move(nodes)), ring_(nodes_.size()) {}
+
+Result<proto::GetResp> TierClient::get(const std::string& owner_server,
+                                       rpc::ProviderId owner_provider, const std::string& db,
+                                       const std::string& key, const qos::QosTag& tag,
+                                       std::chrono::milliseconds deadline) {
+    if (nodes_.empty()) return Status::Unavailable("no cache tier nodes");
+    const TierNode& node = node_for(key);
+    return engine_->forward<proto::GetReq, proto::GetResp>(
+        node.server, "cache_get", node.provider, {owner_server, owner_provider, db, key},
+        deadline, tag);
+}
+
+void TierClient::invalidate(const std::string& owner_server, rpc::ProviderId owner_provider,
+                            const std::string& db, const std::vector<std::string>& keys) {
+    if (nodes_.empty()) return;
+    if (keys.empty()) {
+        // Whole-db epoch bump: any node may hold entries of this database.
+        for (const auto& node : nodes_) {
+            (void)engine_->forward<proto::InvalidateReq, proto::Ack>(
+                node.server, "cache_invalidate", node.provider,
+                {owner_server, owner_provider, db, {}});
+        }
+        return;
+    }
+    // Route each key to the one node its placement allows to cache it.
+    std::map<std::size_t, std::vector<std::string>> by_node;
+    for (const auto& key : keys) by_node[ring_.lookup(key)].push_back(key);
+    for (auto& [idx, node_keys] : by_node) {
+        (void)engine_->forward<proto::InvalidateReq, proto::Ack>(
+            nodes_[idx].server, "cache_invalidate", nodes_[idx].provider,
+            {owner_server, owner_provider, db, std::move(node_keys)});
+    }
+}
+
+std::vector<TierNode> parse_tier_nodes(const json::Value& doc) {
+    std::vector<TierNode> nodes;
+    const json::Value& arr = doc["cache_tier"];
+    if (!arr.is_array()) return nodes;
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        const json::Value& entry = arr.at(i);
+        TierNode node;
+        node.server = entry["address"].as_string();
+        node.provider = static_cast<rpc::ProviderId>(entry["provider_id"].as_int());
+        if (!node.server.empty()) nodes.push_back(std::move(node));
+    }
+    return nodes;
+}
+
+}  // namespace hep::cache

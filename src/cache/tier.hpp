@@ -1,0 +1,59 @@
+// Client-side access to the cache-provider tier: consistent-hash placement
+// of product keys over the advertised cache nodes.
+//
+// Placement hashes the PRODUCT key (not its container's key, which yokan
+// placement uses): hot calibration keys spread over all cache nodes even when
+// one products database owns them all. Invalidations follow the same ring,
+// so the node that may cache a key is exactly the node that is told to drop
+// it. Tier errors are never fatal to a read — callers fall through to the
+// owning provider.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cache/protocol.hpp"
+#include "common/hash.hpp"
+#include "margo/engine.hpp"
+
+namespace hep::cache {
+
+struct TierNode {
+    std::string server;
+    rpc::ProviderId provider = 0;
+};
+
+class TierClient {
+  public:
+    TierClient(margo::Engine& engine, std::vector<TierNode> nodes);
+
+    [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+    [[nodiscard]] const TierNode& node_for(std::string_view key) const {
+        return nodes_[ring_.lookup(key)];
+    }
+
+    /// Read `key` through the tier node that owns it. Transport errors and
+    /// NotFound surface to the caller (which falls back to the owner).
+    Result<proto::GetResp> get(const std::string& owner_server, rpc::ProviderId owner_provider,
+                               const std::string& db, const std::string& key,
+                               const qos::QosTag& tag,
+                               std::chrono::milliseconds deadline = std::chrono::milliseconds{
+                                   0});
+
+    /// Best-effort invalidation: drop `keys` (empty = the whole database) on
+    /// every tier node that could cache them. Errors are swallowed — the
+    /// lease window bounds the staleness of an unreachable node.
+    void invalidate(const std::string& owner_server, rpc::ProviderId owner_provider,
+                    const std::string& db, const std::vector<std::string>& keys);
+
+  private:
+    margo::Engine* engine_;
+    std::vector<TierNode> nodes_;
+    HashRing ring_;
+};
+
+/// Parse the connection document's "cache_tier" array:
+/// [{"address": ..., "provider_id": ...}, ...] (absent/empty = no tier).
+std::vector<TierNode> parse_tier_nodes(const json::Value& doc);
+
+}  // namespace hep::cache

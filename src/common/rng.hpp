@@ -4,7 +4,9 @@
 // can be compared exactly (paper §IV).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "common/hash.hpp"
 
@@ -69,6 +71,42 @@ class Rng {
         return (x << k) | (x >> (64 - k));
     }
     std::uint64_t s_[4]{};
+};
+
+/// Zipfian index sampler over [0, n): item i is drawn with probability
+/// proportional to 1 / (i+1)^s. Precomputes the CDF once (O(n) setup,
+/// O(log n) per draw), so hot-key workload synthesis stays deterministic
+/// given the caller's Rng.
+class ZipfSampler {
+  public:
+    ZipfSampler(std::size_t n, double s) : cdf_(n) {
+        double sum = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+            cdf_[i] = sum;
+        }
+        for (auto& c : cdf_) c /= sum;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+    std::size_t sample(Rng& rng) const {
+        const double u = rng.next_double();
+        // Binary search for the first CDF entry >= u.
+        std::size_t lo = 0, hi = cdf_.size();
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (cdf_[mid] < u) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        return lo < cdf_.size() ? lo : cdf_.size() - 1;
+    }
+
+  private:
+    std::vector<double> cdf_;
 };
 
 }  // namespace hep

@@ -14,6 +14,20 @@ void store_product_bytes(DataStoreImpl& impl, std::string_view container_key,
     }
     const auto& db = impl.locate(Role::kProducts, container_key);
     throw_if_error(db.put(key, std::move(bytes), /*overwrite=*/true));
+    // Synchronous invalidation before returning: a load() issued by this
+    // client after store() returns must never see the overwritten value.
+    impl.invalidate_products(db, std::vector<std::string>{std::move(key)});
+}
+
+bool erase_product_bytes(DataStoreImpl& impl, std::string_view container_key,
+                         std::string_view label, std::string_view type) {
+    std::string key = product_key(container_key, label, type);
+    const auto& db = impl.locate(Role::kProducts, container_key);
+    const Status st = db.erase(key);
+    if (st.code() == StatusCode::kNotFound) return false;
+    throw_if_error(st);
+    impl.invalidate_products(db, std::vector<std::string>{std::move(key)});
+    return true;
 }
 
 bool load_product_bytes(DataStoreImpl& impl, std::string_view container_key,
@@ -27,8 +41,9 @@ bool load_product_bytes(DataStoreImpl& impl, std::string_view container_key,
 
 bool load_product_view(DataStoreImpl& impl, std::string_view container_key,
                        std::string_view label, std::string_view type, hep::BufferView& view) {
-    const auto& db = impl.locate(Role::kProducts, container_key);
-    auto value = db.get_view(product_key(container_key, label, type));
+    // Read-through: client lease cache, then the cache tier (if the service
+    // runs one), then the owning provider.
+    auto value = impl.read_product(container_key, product_key(container_key, label, type));
     if (!value.ok()) {
         if (value.status().code() == StatusCode::kNotFound) return false;
         throw Exception(value.status());

@@ -53,6 +53,10 @@ bool load_product_view(DataStoreImpl& impl, std::string_view container_key,
 bool product_exists(DataStoreImpl& impl, std::string_view container_key, std::string_view label,
                     std::string_view type);
 
+/// Erase a product (and invalidate its cached copies); false if absent.
+bool erase_product_bytes(DataStoreImpl& impl, std::string_view container_key,
+                         std::string_view label, std::string_view type);
+
 /// Create a container key (value-less). Throws on transport errors.
 void create_container(DataStoreImpl& impl, Role role, std::string_view parent_key,
                       std::string key, WriteBatch* batch);
@@ -114,6 +118,15 @@ class ProductContainer {
         const auto& self = static_cast<const Derived&>(*this);
         return detail::product_exists(*self.impl(), self.container_key(), label,
                                       product_type_name<T>());
+    }
+
+    /// Remove the product with this label and type; false if it was absent.
+    /// Cached copies (local and tier) are invalidated before returning.
+    template <typename T>
+    bool eraseProduct(std::string_view label = "") const {
+        const auto& self = static_cast<const Derived&>(*this);
+        return detail::erase_product_bytes(*self.impl(), self.container_key(), label,
+                                           product_type_name<T>());
     }
 };
 

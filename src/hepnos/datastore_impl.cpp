@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <optional>
 
 #include "replica/bootstrap.hpp"
 #include "symbio/buffers.hpp"
@@ -99,6 +101,25 @@ Result<std::shared_ptr<DataStoreImpl>> DataStoreImpl::connect(rpc::Fabric& netwo
         impl->metrics_->add_source("qos/client", [q]() { return q->stats_json(); });
     }
 
+    // Hot-product read cache: a bounded client-side LRU consulted by every
+    // product read, plus (optionally) the dedicated cache-provider tier the
+    // service advertises in its connection document. Created BEFORE the
+    // replication wiring below so failover promotions can be hooked into the
+    // cache's target epochs.
+    const json::Value& cache_cfg = config["cache"];
+    const cache::CacheOptions cache_opts = cache::CacheOptions::from_json(cache_cfg);
+    if (cache_opts.enabled) {
+        impl->cache_ = std::make_shared<cache::LeaseCache>(cache_opts);
+        auto c = impl->cache_;
+        impl->metrics_->add_source("cache/client", [c]() { return c->stats_json(); });
+        const bool tier_on = !cache_cfg.is_object() || cache_cfg["tier"].as_bool(true);
+        auto tier_nodes = cache::parse_tier_nodes(config);
+        if (tier_on && !tier_nodes.empty()) {
+            impl->tier_ =
+                std::make_unique<cache::TierClient>(*impl->engine_, std::move(tier_nodes));
+        }
+    }
+
     const json::Value& rep = config["replication"];
     auto factor = static_cast<std::size_t>(rep["factor"].as_int(1));
     if (factor < 1) factor = 1;
@@ -125,9 +146,17 @@ Result<std::shared_ptr<DataStoreImpl>> DataStoreImpl::connect(rpc::Fabric& netwo
             // any number of clients can connect in any order.
             auto wired = replica::wire_replication(*impl->engine_, group, e.type, "");
             if (!wired.ok()) return wired;
-            impl->dbs_[e.role][e.index_in_role].set_failover(
-                std::make_shared<replica::FailoverState>(group, policy,
-                                                         impl->failover_counters_));
+            auto state = std::make_shared<replica::FailoverState>(group, policy,
+                                                                  impl->failover_counters_);
+            if (impl->cache_) {
+                // A promoted replica may have missed mutations the demoted
+                // primary acknowledged to OTHER clients: drop everything the
+                // demoted target ever served us.
+                auto c = impl->cache_;
+                state->on_promote(
+                    [c](const replica::Target& demoted) { c->bump_target(demoted.str()); });
+            }
+            impl->dbs_[e.role][e.index_in_role].set_failover(std::move(state));
         }
         auto counters = impl->failover_counters_;
         impl->metrics_->add_source("replica/client", [counters]() {
@@ -142,6 +171,125 @@ Result<std::shared_ptr<DataStoreImpl>> DataStoreImpl::connect(rpc::Fabric& netwo
 
 DataStoreImpl::~DataStoreImpl() {
     if (engine_) engine_->finalize();
+}
+
+namespace {
+
+std::string cache_db_id(const yokan::DatabaseHandle& db) {
+    return cache::db_epoch_key(db.server(), db.provider(), db.name());
+}
+
+/// The target a fill is attributed to: the replica group's current primary
+/// when failover is wired (promotions then kill the entry), the handle's own
+/// identity otherwise. Reads rotated to a backup by read_from_replicas are
+/// attributed to the primary too — over-invalidation on its demotion, never
+/// under-invalidation.
+std::string cache_fill_target(const yokan::DatabaseHandle& db) {
+    if (const auto& fo = db.failover()) return fo->target(fo->primary()).str();
+    return cache_db_id(db);
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+}  // namespace
+
+Result<hep::BufferView> DataStoreImpl::read_product(std::string_view container_key,
+                                                    const std::string& key) {
+    const yokan::DatabaseHandle& db = locate(Role::kProducts, container_key);
+    if (!cache_ || cache_->bypass()) return db.get_view(key);
+
+    const auto start = std::chrono::steady_clock::now();
+    auto found = cache_->lookup(key);
+    if (found.state == cache::LeaseCache::LookupState::kHit) {
+        cache_->hit_latency().observe(ms_since(start));
+        return std::move(found.value);
+    }
+    if (found.state == cache::LeaseCache::LookupState::kExpired) {
+        // The lease ran out but the value may well still be current: confirm
+        // the owner's mutation seq and renew instead of refetching the bytes.
+        auto seq = db.mutation_seq();
+        if (seq.ok() && *seq == found.seq && cache_->renew(key, *seq)) {
+            cache_->hit_latency().observe(ms_since(start));
+            return std::move(found.value);
+        }
+    }
+
+    // Miss: epochs are captured BEFORE the read goes out, so a mutation that
+    // lands while the fill is in flight makes the entry born-stale.
+    const std::string db_id = cache_db_id(db);
+    if (tier_) {
+        auto ticket = cache_->ticket(db_id, cache_fill_target(db));
+        auto r = tier_->get(db.server(), db.provider(), db.name(), key,
+                            qos_ ? qos_->point_tag() : qos::QosTag{});
+        if (r.ok()) {
+            cache_->fill(key, r->value, r->seq, ticket);
+            cache_->miss_latency().observe(ms_since(start));
+            return std::move(r->value);
+        }
+        if (r.status().code() == StatusCode::kNotFound) return r.status();
+        // Tier unreachable: not fatal to a read, fall through to the owner.
+    }
+    auto ticket = cache_->ticket(db_id, cache_fill_target(db));
+    auto r = db.get_view_vs(key);
+    if (!r.ok()) return r.status();
+    cache_->fill(key, r->value, r->seq, ticket);
+    cache_->miss_latency().observe(ms_since(start));
+    return std::move(r->value);
+}
+
+Result<std::vector<std::optional<hep::BufferView>>> DataStoreImpl::load_products_bulk(
+    std::size_t db_index, const std::vector<std::string>& keys) {
+    // Prefetch traffic self-classifies as batch so it never starves
+    // interactive readers (paper §II-D).
+    const auto db =
+        dbs_[static_cast<std::size_t>(Role::kProducts)][db_index].with_class(qos::kClassBatch);
+    if (!cache_ || cache_->bypass() || keys.empty()) return db.get_multi_views(keys);
+
+    std::vector<std::optional<hep::BufferView>> out(keys.size());
+    std::vector<std::string> missing;
+    std::vector<std::size_t> slots;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        auto found = cache_->lookup(keys[i]);
+        if (found.state == cache::LeaseCache::LookupState::kHit) {
+            out[i] = std::move(found.value);
+        } else {
+            missing.push_back(keys[i]);
+            slots.push_back(i);
+        }
+    }
+    if (missing.empty()) return out;
+
+    // The seq rides the get_multi response (sampled server-side before the
+    // reads), so versioned bulk fills cost no extra RPC.
+    const auto ticket = cache_->ticket(cache_db_id(db), cache_fill_target(db));
+    std::uint64_t seq = 0;
+    auto fetched = db.get_multi_views(missing, 1 << 20, &seq);
+    if (!fetched.ok()) return fetched.status();
+    for (std::size_t j = 0; j < missing.size(); ++j) {
+        if (!(*fetched)[j].has_value()) continue;
+        cache_->fill(missing[j], *(*fetched)[j], seq, ticket);
+        out[slots[j]] = std::move(*(*fetched)[j]);
+    }
+    return out;
+}
+
+void DataStoreImpl::invalidate_products(const yokan::DatabaseHandle& handle,
+                                        const std::vector<std::string>& keys) {
+    if (cache_) cache_->bump_db(cache_db_id(handle));
+    if (tier_) tier_->invalidate(handle.server(), handle.provider(), handle.name(), keys);
+}
+
+void DataStoreImpl::invalidate_products(const yokan::DatabaseHandle& handle,
+                                        const std::vector<yokan::BatchItem>& items) {
+    if (cache_) cache_->bump_db(cache_db_id(handle));
+    if (!tier_) return;
+    std::vector<std::string> keys;
+    keys.reserve(items.size());
+    for (const auto& item : items) keys.push_back(item.key);
+    tier_->invalidate(handle.server(), handle.provider(), handle.name(), keys);
 }
 
 }  // namespace hep::hepnos

@@ -8,9 +8,12 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "cache/lease_cache.hpp"
+#include "cache/tier.hpp"
 #include "common/hash.hpp"
 #include "common/json.hpp"
 #include "margo/engine.hpp"
@@ -125,6 +128,41 @@ class DataStoreImpl {
     /// admission control).
     [[nodiscard]] const std::shared_ptr<qos::ClientQos>& qos() const noexcept { return qos_; }
 
+    // ---- hot-product read cache (see src/cache) -----------------------------
+    /// The client-side lease cache; null when the "cache" section disabled it.
+    [[nodiscard]] const std::shared_ptr<cache::LeaseCache>& product_cache() const noexcept {
+        return cache_;
+    }
+    /// The dedicated cache-provider tier; null when the service advertises
+    /// none (or "cache.tier" turned it off).
+    [[nodiscard]] cache::TierClient* tier() const noexcept { return tier_.get(); }
+
+    /// Read-through product load: local cache, then the cache tier, then the
+    /// owning provider (filling both caches on the way back). `key` is the
+    /// full product key; `container_key` only drives placement. Honors the
+    /// cache's bypass mode (straight to the owner) and lease revalidation
+    /// (one mutation_seq probe instead of a refetch when the value is
+    /// unchanged). NotFound passes through un-cached.
+    Result<hep::BufferView> read_product(std::string_view container_key, const std::string& key);
+
+    /// Bulk read-through for the prefetch paths (Prefetcher / parallel event
+    /// processor): serve what the local cache can, fetch the rest with one
+    /// batch-class get_multi on products database `db_index`, and fill the
+    /// cache with the result. Result order matches `keys`.
+    Result<std::vector<std::optional<hep::BufferView>>> load_products_bulk(
+        std::size_t db_index, const std::vector<std::string>& keys);
+
+    /// A mutation landed on the logical database behind `handle`: bump the
+    /// local cache's db epoch synchronously (same-client read-after-write is
+    /// never stale) and tell the tier to drop `keys` (all its entries for the
+    /// database when empty — used by erase paths that don't know the keys).
+    void invalidate_products(const yokan::DatabaseHandle& handle,
+                             const std::vector<std::string>& keys);
+    /// Same, for a just-flushed write batch (keys extracted only when a tier
+    /// invalidation actually needs them).
+    void invalidate_products(const yokan::DatabaseHandle& handle,
+                             const std::vector<yokan::BatchItem>& items);
+
   private:
     DataStoreImpl() = default;
 
@@ -137,6 +175,8 @@ class DataStoreImpl {
     std::shared_ptr<replica::FailoverCounters> failover_counters_;
     std::shared_ptr<symbio::MetricsRegistry> metrics_;
     std::shared_ptr<qos::ClientQos> qos_;
+    std::shared_ptr<cache::LeaseCache> cache_;
+    std::unique_ptr<cache::TierClient> tier_;
 };
 
 }  // namespace hep::hepnos

@@ -29,10 +29,9 @@ std::shared_ptr<ProductCache> ParallelEventProcessor::prefetch_products(
         }
     }
     for (auto& [db_index, keys] : by_db) {
-        // Background prefetch rides batch class (see reader_loop).
-        const auto handle =
-            impl.databases(Role::kProducts)[db_index].with_class(qos::kClassBatch);
-        auto values = handle.get_multi_views(keys);
+        // Background prefetch rides batch class (see reader_loop) and reads
+        // through the client lease cache — hot products skip the wire.
+        auto values = impl.load_products_bulk(db_index, keys);
         if (!values.ok()) throw Exception(values.status());
         for (std::size_t i = 0; i < keys.size(); ++i) {
             if ((*values)[i].has_value()) {

@@ -27,9 +27,9 @@ void Prefetcher::visit_container(const Uuid& dataset, std::string_view parent_ke
                 }
             }
             for (auto& [db, keys] : by_db) {
-                auto values = impl.databases(Role::kProducts)[db]
-                                  .with_class(qos::kClassBatch)
-                                  .get_multi_views(keys);
+                // Batch-class bulk load through the client lease cache: hot
+                // products are served locally, only the rest hit the wire.
+                auto values = impl.load_products_bulk(db, keys);
                 if (!values.ok()) throw Exception(values.status());
                 for (std::size_t i = 0; i < keys.size(); ++i) {
                     if ((*values)[i].has_value()) {

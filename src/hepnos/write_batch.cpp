@@ -57,6 +57,10 @@ void WriteBatch::flush() {
 void WriteBatch::ship(const yokan::DatabaseHandle& handle, std::vector<yokan::BatchItem> items) {
     auto stored = handle.put_multi(items, /*overwrite=*/true);
     throw_if_error(stored.status());
+    // Flush is the moment batched writes become visible: invalidate cached
+    // copies synchronously so a read issued after flush() returns never sees
+    // a pre-batch value from this client's cache.
+    impl_->invalidate_products(handle, items);
 }
 
 // ----------------------------------------------------------- AsyncWriteBatch
@@ -112,6 +116,12 @@ void AsyncWriteBatch::wait() {
             st = pending->handle.put_multi(pending->items, /*overwrite=*/true).status();
         }
         if (!st.ok() && first_error.ok()) first_error = st;
+    }
+    // Async batches become visible by wait(): invalidate everything that was
+    // in flight (even for the failed groups — a partial landing must not be
+    // masked by a stale cached value).
+    for (auto& pending : in_flight_) {
+        impl_->invalidate_products(pending->handle, pending->items);
     }
     in_flight_.clear();
     throw_if_error(first_error);

@@ -44,7 +44,25 @@ void FailoverState::promote(std::size_t from) noexcept {
     const std::size_t next = (from + 1) % targets_.size();
     if (primary_.compare_exchange_strong(expected, next, std::memory_order_acq_rel)) {
         counters_->failovers.fetch_add(1, std::memory_order_relaxed);
+        std::vector<std::function<void(const Target&)>> listeners;
+        {
+            std::lock_guard<std::mutex> lock(listeners_mutex_);
+            listeners = promote_listeners_;
+        }
+        for (const auto& listener : listeners) {
+            try {
+                listener(targets_[from]);
+            } catch (...) {
+                // promote() is noexcept: a throwing listener must not take
+                // down the retry loop that observed the failure.
+            }
+        }
     }
+}
+
+void FailoverState::on_promote(std::function<void(const Target& demoted)> listener) {
+    std::lock_guard<std::mutex> lock(listeners_mutex_);
+    promote_listeners_.push_back(std::move(listener));
 }
 
 void FailoverState::backoff(std::uint32_t attempt) const {

@@ -11,7 +11,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/json.hpp"
@@ -64,7 +66,15 @@ class FailoverState {
 
     /// Promote the next replica if `from` is still the primary (CAS so one
     /// failover is counted once no matter how many ULTs observe the failure).
+    /// On a successful promotion the registered listeners fire with the
+    /// DEMOTED target, exactly once per promotion.
     void promote(std::size_t from) noexcept;
+
+    /// Register a promotion listener (e.g. the read cache drops every entry
+    /// filled from a demoted primary — it may have missed mutations the new
+    /// primary accepted). Listeners must be cheap and must not throw; they
+    /// run on the ULT that observed the failure.
+    void on_promote(std::function<void(const Target& demoted)> listener);
 
     void count_retry() noexcept { counters_->retries.fetch_add(1, std::memory_order_relaxed); }
 
@@ -90,6 +100,8 @@ class FailoverState {
     std::atomic<std::size_t> primary_{0};
     std::atomic<std::uint64_t> read_rr_{0};
     std::shared_ptr<FailoverCounters> counters_;
+    mutable std::mutex listeners_mutex_;
+    std::vector<std::function<void(const Target&)>> promote_listeners_;
 };
 
 }  // namespace hep::replica

@@ -489,6 +489,13 @@ ReplicaStats ReplicaSet::stats() const {
     return stats_;
 }
 
+std::uint64_t ReplicaSet::version_seq() const {
+    abt::LockGuard guard(mu_);
+    std::uint64_t version = next_seq_ - 1;
+    for (const auto& [origin, applied] : last_applied_) version += applied;
+    return version;
+}
+
 json::Value ReplicaSet::stats_json() const {
     ReplicaStats s;
     std::uint64_t seq = 0;

@@ -92,6 +92,12 @@ class ReplicaSet {
     [[nodiscard]] ReplicaStats stats() const;
     [[nodiscard]] json::Value stats_json() const;
 
+    /// Monotonic version of this member's materialized state: own mutations
+    /// plus every record replayed from peers. Any committed change (local or
+    /// replicated) advances it, so the read-cache tier compares two samples
+    /// to decide whether a cached value may still be served ("yokan_seq").
+    [[nodiscard]] std::uint64_t version_seq() const;
+
   private:
     struct Peer {
         Target target;

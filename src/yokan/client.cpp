@@ -43,6 +43,27 @@ Result<hep::BufferView> DatabaseHandle::get_view(std::string_view key) const {
     return std::move(r->value);
 }
 
+Result<proto::GetSeqResp> DatabaseHandle::get_view_vs(std::string_view key) const {
+    return with_failover<GetSeqResp>(
+        true, [&](const std::string& server, rpc::ProviderId provider,
+                  const std::string& db) -> Result<GetSeqResp> {
+            return engine_->forward<KeyReq, GetSeqResp>(server, "yokan_get_vs", provider,
+                                                        KeyReq{db, std::string(key)}, deadline(),
+                                                        point_tag());
+        });
+}
+
+Result<std::uint64_t> DatabaseHandle::mutation_seq() const {
+    auto r = with_failover<SeqResp>(
+        true, [&](const std::string& server, rpc::ProviderId provider,
+                  const std::string& db) -> Result<SeqResp> {
+            return engine_->forward<CountReq, SeqResp>(server, "yokan_seq", provider,
+                                                       CountReq{db}, deadline(), point_tag());
+        });
+    if (!r.ok()) return r.status();
+    return r->seq;
+}
+
 Result<bool> DatabaseHandle::exists(std::string_view key) const {
     auto r = with_failover<ExistsResp>(
         true, [&](const std::string& server, rpc::ProviderId provider,
@@ -234,7 +255,8 @@ Result<std::vector<std::optional<std::string>>> DatabaseHandle::get_multi(
 }
 
 Result<std::vector<std::optional<hep::BufferView>>> DatabaseHandle::get_multi_views(
-    const std::vector<std::string>& keys, std::size_t buffer_hint) const {
+    const std::vector<std::string>& keys, std::size_t buffer_hint,
+    std::uint64_t* seq_out) const {
     hep::Buffer buffer = hep::Buffer::allocate(buffer_hint);
     for (int attempt = 0; attempt < 2; ++attempt) {
         rpc::BulkRef bulk = engine_->endpoint().expose(buffer.mutable_data(), buffer.size());
@@ -256,6 +278,7 @@ Result<std::vector<std::optional<hep::BufferView>>> DatabaseHandle::get_multi_vi
             buffer = hep::Buffer::allocate(resp.needed);
             continue;
         }
+        if (seq_out) *seq_out = resp.seq;
         // Carve refcounted views out of the single receive buffer.
         std::vector<std::optional<hep::BufferView>> out;
         out.reserve(keys.size());

@@ -80,6 +80,14 @@ class DatabaseHandle {
     /// Zero-copy get: the value comes back as a view anchored to the response
     /// frame (one receive buffer, no per-value copy).
     Result<hep::BufferView> get_view(std::string_view key) const;
+    /// Versioned zero-copy get: the value plus the database's mutation seq
+    /// (sampled before the read — see proto::GetSeqResp). The read-cache
+    /// fills record the seq so expired leases revalidate with one cheap
+    /// mutation_seq() probe instead of refetching the value.
+    Result<proto::GetSeqResp> get_view_vs(std::string_view key) const;
+    /// Current mutation sequence of the database (replica seqs when
+    /// replicated, backend put+erase count otherwise).
+    Result<std::uint64_t> mutation_seq() const;
     Result<bool> exists(std::string_view key) const;
     Result<std::uint64_t> length(std::string_view key) const;
     Status erase(std::string_view key) const;
@@ -117,8 +125,11 @@ class DatabaseHandle {
     /// Zero-copy batched load: values land in ONE receive buffer and come
     /// back as refcounted views into it (missing keys = nullopt). The views
     /// share the buffer's storage, so they stay valid independently.
+    /// `seq_out`, when non-null, receives the database's mutation seq sampled
+    /// before the reads (so read-cache bulk fills get versioning for free).
     Result<std::vector<std::optional<hep::BufferView>>> get_multi_views(
-        const std::vector<std::string>& keys, std::size_t buffer_hint = 1 << 20) const;
+        const std::vector<std::string>& keys, std::size_t buffer_hint = 1 << 20,
+        std::uint64_t* seq_out = nullptr) const;
 
   private:
     /// One wire attempt against `server`, wrapped with the circuit breaker:

@@ -148,6 +148,32 @@ struct CountReq {
     }
 };
 
+/// Mutation sequence of a database ("yokan_seq"): the replica group's
+/// monotonic sequence numbers when the db is replicated, the backend's
+/// put+erase count otherwise. Any committed mutation advances it, so the
+/// cache tier (src/cache) uses it to revalidate expired leases with one
+/// cheap probe instead of refetching the value.
+struct SeqResp {
+    std::uint64_t seq = 0;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & seq;
+    }
+};
+
+/// Versioned get ("yokan_get_vs"): the value plus the db's mutation seq,
+/// sampled BEFORE the read. A mutation racing the read can only make the
+/// returned seq older than the value — a cache filling under this seq then
+/// revalidates too eagerly, never too lazily.
+struct GetSeqResp {
+    hep::BufferView value;
+    std::uint64_t seq = 0;
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & value & seq;
+    }
+};
+
 struct CountResp {
     std::uint64_t count = 0;
     template <typename A>
@@ -215,9 +241,12 @@ struct GetMultiResp {
     std::vector<std::uint32_t> sizes;  // parallel to keys; kMissing = absent
     std::uint64_t needed = 0;          // total bytes required
     bool written = false;              // data was bulk_put into dest
+    std::uint64_t seq = 0;             // db mutation seq, sampled BEFORE the
+                                       // reads (read-cache bulk fills record
+                                       // it; same ordering as GetSeqResp)
     template <typename A>
     void serialize(A& ar, unsigned) {
-        ar & sizes & needed & written;
+        ar & sizes & needed & written & seq;
     }
 };
 

@@ -112,6 +112,15 @@ json::Value Provider::replica_stats() const {
     return out;
 }
 
+std::uint64_t Provider::mutation_seq(const std::string& name) {
+    if (auto* rs = find_replica_set(name)) return rs->version_seq();
+    if (Database* db = find_database(name)) {
+        const auto stats = db->stats();
+        return stats.puts + stats.erases;
+    }
+    return 0;
+}
+
 Result<Database*> Provider::resolve(const std::string& name) {
     Database* db = find_database(name);
     if (!db) {
@@ -294,6 +303,30 @@ void Provider::register_rpcs() {
         },
         pool_);
 
+    eng.define<CountReq, SeqResp>(
+        "yokan_seq", pid,
+        [this](const CountReq& req) -> Result<SeqResp> {
+            auto db = resolve(req.db);
+            if (!db.ok()) return db.status();
+            return SeqResp{mutation_seq(req.db)};
+        },
+        pool_);
+
+    // Versioned get for cache fills: the seq is sampled BEFORE the read (see
+    // proto::GetSeqResp), so a racing mutation can only make a filled entry
+    // revalidate too eagerly, never serve past the mutation.
+    eng.define<KeyReq, GetSeqResp>(
+        "yokan_get_vs", pid,
+        [this](const KeyReq& req) -> Result<GetSeqResp> {
+            auto db = resolve(req.db);
+            if (!db.ok()) return db.status();
+            const std::uint64_t seq = mutation_seq(req.db);
+            auto v = (*db)->get_view(req.key);
+            if (!v.ok()) return v.status();
+            return GetSeqResp{std::move(v.value()), seq};
+        },
+        pool_);
+
     eng.define<CountReq, CountResp>(
         "yokan_count", pid,
         [this](const CountReq& req) -> Result<CountResp> {
@@ -401,6 +434,7 @@ void Provider::register_rpcs() {
             auto db = resolve(req.db);
             if (!db.ok()) return db.status();
             GetMultiResp resp;
+            resp.seq = mutation_seq(req.db);
             resp.sizes.reserve(req.keys.size());
             // Gather the stored values as views — no server-side packing copy;
             // the fabric writes them into the client's region as one gathered

@@ -40,6 +40,11 @@ class Provider final : public margo::Provider {
     /// Replica group membership of a database (nullptr when not replicated).
     [[nodiscard]] replica::ReplicaSet* find_replica_set(const std::string& name);
 
+    /// Monotonic mutation sequence of a database: the replica group's
+    /// version when replicated, the backend's put+erase count otherwise.
+    /// The cache tier's lease revalidation keys off it ("yokan_seq").
+    [[nodiscard]] std::uint64_t mutation_seq(const std::string& name);
+
     /// Per-group replication counters (one stats object per replicated db);
     /// symbio's "replica" source snapshots this.
     [[nodiscard]] json::Value replica_stats() const;

@@ -7,6 +7,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "cache/protocol.hpp"
+#include "cache/provider.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
 #include "htf/htf.hpp"
@@ -468,6 +470,75 @@ TEST(ProtoFuzzTest, UnpackEntriesRejectsMalformedPacks) {
             ++seen;
         }));
     EXPECT_EQ(seen, 2);
+}
+
+// ------------------------------------------------------------- cache tier
+
+TEST(CacheFuzzTest, MalformedCacheRpcsNeverKillTheProvider) {
+    // Provider-level property: arbitrary bytes thrown at the cache-tier RPCs
+    // come back as error Statuses, and garbage owner coordinates inside
+    // well-formed requests fail cleanly — the node keeps serving afterwards.
+    rpc::Network net;
+    margo::Engine server(net, "cserver", margo::EngineConfig{2});
+    margo::Engine client(net, "cclient");
+    auto cfg = json::parse(R"({"databases": [{"name": "products", "type": "map"}]})");
+    ASSERT_TRUE(cfg.ok());
+    auto owner = yokan::Provider::create(server, 1, *cfg);
+    ASSERT_TRUE(owner.ok()) << owner.status().to_string();
+    cache::Provider node(server, 90, json::Value());
+
+    ASSERT_TRUE((*owner)->find_database("products")->put("k", "v", true).ok());
+
+    Rng rng(20260809);
+    const char* rpcs[] = {"cache_get", "cache_invalidate"};
+    for (int iter = 0; iter < 400; ++iter) {
+        const std::string payload = random_bytes(rng, 192);
+        auto raw = client.endpoint().call("cserver", rpcs[iter % 2], 90, payload,
+                                          std::chrono::milliseconds{0});
+        if (raw.ok()) continue;  // e.g. an invalidate of nothing
+        EXPECT_FALSE(raw.status().to_string().empty());
+    }
+
+    // Parse-valid requests with hostile owner coordinates: unknown servers,
+    // providers and databases must come back as Statuses, never crashes, and
+    // must not poison the table with bogus entries served as hits later.
+    for (int iter = 0; iter < 60; ++iter) {
+        cache::proto::GetReq req;
+        req.owner_server = (iter % 3 == 0) ? "cserver" : random_bytes(rng, 16);
+        req.owner_provider = static_cast<std::uint16_t>(rng.next_u64());
+        req.db = (iter % 2 == 0) ? "products" : random_bytes(rng, 16);
+        req.key = random_bytes(rng, 32);
+        auto resp = client.forward<cache::proto::GetReq, cache::proto::GetResp>(
+            "cserver", "cache_get", 90, req, std::chrono::milliseconds{0});
+        if (resp.ok()) {
+            // Only a reachable owner with the key can produce a value.
+            EXPECT_EQ(req.owner_server, "cserver");
+        }
+        cache::proto::InvalidateReq inv;
+        inv.owner_server = req.owner_server;
+        inv.owner_provider = req.owner_provider;
+        inv.db = req.db;
+        if (iter % 2) inv.keys.push_back(random_bytes(rng, 32));
+        auto ack = client.forward<cache::proto::InvalidateReq, cache::proto::Ack>(
+            "cserver", "cache_invalidate", 90, inv, std::chrono::milliseconds{0});
+        // Empty owner coordinates are rejected up front; anything else acks.
+        if (!ack.ok()) {
+            EXPECT_EQ(ack.status().code(), StatusCode::kInvalidArgument)
+                << ack.status().to_string();
+        }
+    }
+
+    // The node survived: a well-formed get fills from the owner and then hits.
+    cache::proto::GetReq good{"cserver", 1, "products", "k"};
+    auto filled = client.forward<cache::proto::GetReq, cache::proto::GetResp>(
+        "cserver", "cache_get", 90, good);
+    ASSERT_TRUE(filled.ok()) << filled.status().to_string();
+    EXPECT_EQ(std::string(filled->value.sv()), "v");
+    auto hit = client.forward<cache::proto::GetReq, cache::proto::GetResp>(
+        "cserver", "cache_get", 90, good);
+    ASSERT_TRUE(hit.ok()) << hit.status().to_string();
+    EXPECT_TRUE(hit->hit);
+    EXPECT_EQ(std::string(hit->value.sv()), "v");
 }
 
 // ---------------------------------------------------------- qos wire stamps

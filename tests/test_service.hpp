@@ -23,6 +23,8 @@ struct TestServiceOptions {
     bool monitoring = false;             // expose a symbio provider (id 99)
     bool query_pushdown = false;         // co-locate query providers (src/query)
     json::Value qos;                     // non-null: passed through as the "qos" knob
+    json::Value cache;                   // non-null: passed through as the "cache" knob
+    bool cache_tier = false;             // add a cache provider (id 90) per server
 };
 
 /// Builds the bedrock JSON for one server.
@@ -55,6 +57,12 @@ inline json::Value make_server_config(const TestServiceOptions& opts, std::size_
     for (std::size_t i = 0; i < opts.dbs_per_role; ++i) add_db("products", i);
     provider["config"]["databases"] = std::move(dbs);
     providers.push_back(std::move(provider));
+    if (opts.cache_tier) {
+        json::Value cp = json::Value::make_object();
+        cp["type"] = "cache";
+        cp["provider_id"] = 90;
+        providers.push_back(std::move(cp));
+    }
     cfg["providers"] = std::move(providers);
     if (opts.replication_factor > 1) {
         cfg["replication"]["factor"] = opts.replication_factor;
@@ -63,6 +71,7 @@ inline json::Value make_server_config(const TestServiceOptions& opts, std::size_
     if (opts.monitoring) cfg["monitoring"]["provider_id"] = 99;
     if (opts.query_pushdown) cfg["query"]["enabled"] = true;
     if (!opts.qos.is_null()) cfg["qos"] = opts.qos;
+    if (!opts.cache.is_null()) cfg["cache"] = opts.cache;
     return cfg;
 }
 
