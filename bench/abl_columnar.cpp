@@ -1,0 +1,416 @@
+// Ablation: column-pruned vectorized pushdown (src/columnar + the columnar
+// scan in src/query) vs the blob pushdown scan, on the same ingested dataset.
+//
+// Both modes evaluate identical FilterPrograms server-side and must accept
+// identical (event, slice) sets — checked here with an FNV-1a readback hash
+// per query, on the map AND lsm backends. The interesting numbers are what
+// the server has to DECOMPRESS to answer: the blob scan deserializes every
+// 45-byte slice row it examines, the columnar scan only the referenced
+// member columns plus the chunk directory. A zipfian query mix models an
+// analysis facility where narrow selections dominate: the headline "energy
+// window" selection touches 2 of 12 members (plus the lazily-fetched id
+// column) and must come out >= 3x cheaper in decompressed bytes per accepted
+// event. Results land in BENCH_columnar.json.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+
+#include "bedrock/service.hpp"
+#include "bench_table.hpp"
+#include "columnar/chunk.hpp"
+#include "columnar/schema.hpp"
+#include "dataloader/loader.hpp"
+#include "hepnos/query.hpp"
+#include "query/evaluator.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using namespace hep;
+
+constexpr const char* kDataset = "nova/ablcol";
+
+std::uint64_t fnv1a64(const std::vector<std::uint64_t>& ids) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::uint64_t id : ids) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (id >> (8 * b)) & 0xFF;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+std::string slices_type() {
+    return std::string(hepnos::product_type_name<std::vector<nova::Slice>>());
+}
+
+/// The zipfian query mix: narrow selections dominate. Each returns the spec
+/// plus how many member columns (incl. the lazily-fetched id column) the
+/// columnar scan must decompress.
+struct Selection {
+    const char* name;
+    std::size_t columns;  // referenced members + id column
+    query::proto::QuerySpec spec;
+};
+
+std::vector<Selection> make_selections() {
+    std::vector<Selection> sels;
+    // Headline: the energy-window selection — contained slices inside the
+    // calorimetric window. 2 referenced members of 12, + the index id column.
+    {
+        auto spec = query::nova_selection_spec(nova::SelectionCuts{}, slices_type());
+        query::FilterProgram p;
+        p.compare(nova::kFieldContained, query::FilterOp::kEq, 1.0)
+            .compare(nova::kFieldCalE, query::FilterOp::kGe, 1.0)
+            .op(query::FilterOp::kAnd)
+            .compare(nova::kFieldCalE, query::FilterOp::kLe, 4.0)
+            .op(query::FilterOp::kAnd);
+        spec.filter = std::move(p);
+        sels.push_back({"energy-window", 3, std::move(spec)});
+    }
+    // Context: the full NOvA cuts — 6 referenced members, the pruning win
+    // shrinks with selection width.
+    sels.push_back({"full-cuts", 7,
+                    query::nova_selection_spec(nova::SelectionCuts{}, slices_type())});
+    // Tail: a single-member quality sweep.
+    {
+        auto spec = query::nova_selection_spec(nova::SelectionCuts{}, slices_type());
+        query::FilterProgram p;
+        p.compare(nova::kFieldNhits, query::FilterOp::kGe, 40.0);
+        spec.filter = std::move(p);
+        sels.push_back({"nhits-sweep", 2, std::move(spec)});
+    }
+    return sels;
+}
+
+/// Zipf(s=1) over the selections: P(k) ~ 1/k.
+std::vector<std::size_t> zipf_sequence(std::size_t n_selections, std::size_t n_queries) {
+    std::vector<double> cdf;
+    double total = 0;
+    for (std::size_t k = 1; k <= n_selections; ++k) total += 1.0 / static_cast<double>(k);
+    double acc = 0;
+    for (std::size_t k = 1; k <= n_selections; ++k) {
+        acc += 1.0 / static_cast<double>(k) / total;
+        cdf.push_back(acc);
+    }
+    std::vector<std::size_t> seq;
+    std::uint64_t state = 0x5EED;
+    for (std::size_t q = 0; q < n_queries; ++q) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const double u = static_cast<double>(state >> 11) / 9007199254740992.0;
+        std::size_t pick = 0;
+        while (pick + 1 < n_selections && u > cdf[pick]) ++pick;
+        seq.push_back(pick);
+    }
+    return seq;
+}
+
+struct ModeResult {
+    double wall_seconds = 0;
+    double cpu_seconds = 0;
+    query::ClientStats stats;
+    std::vector<std::uint64_t> hashes;  // per query, in mix order
+    std::uint64_t accepted = 0;
+};
+
+std::vector<std::uint64_t> entry_ids(const std::vector<query::proto::Entry>& entries) {
+    std::vector<std::uint64_t> ids;
+    for (const auto& e : entries) {
+        for (std::uint32_t row : e.rows) {
+            ids.push_back(nova::SliceId{e.run, e.subrun, e.event, row}.packed());
+        }
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+/// Run the whole zipfian mix through one client (columnar or blob).
+ModeResult run_mix(hepnos::DataStore& store, const std::vector<Selection>& sels,
+                   const std::vector<std::size_t>& mix,
+                   std::vector<query::ClientStats>* per_selection) {
+    ModeResult r;
+    const auto wall0 = std::chrono::steady_clock::now();
+    const std::clock_t cpu0 = std::clock();
+    for (std::size_t pick : mix) {
+        auto res = hepnos::run_query(store, store[kDataset], sels[pick].spec);
+        if (!res.ok()) {
+            std::printf("ERROR: query failed: %s\n", res.status().to_string().c_str());
+            std::exit(1);
+        }
+        auto ids = entry_ids(res->entries());
+        r.hashes.push_back(fnv1a64(ids));
+        r.accepted += ids.size();
+        r.stats += res->stats();
+        if (per_selection) (*per_selection)[pick] += res->stats();
+    }
+    r.cpu_seconds = static_cast<double>(std::clock() - cpu0) / CLOCKS_PER_SEC;
+    r.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+    return r;
+}
+
+json::Value make_service_config(const std::string& backend) {
+    json::Value cfg = json::Value::make_object();
+    cfg["address"] = "bench-col-" + backend;
+    cfg["margo"]["rpc_xstreams"] = 4;
+    cfg["query"]["enabled"] = true;
+    cfg["columnar"]["enabled"] = true;
+    cfg["columnar"]["chunk_rows"] = 128;
+    cfg["columnar"]["min_batch"] = 8;
+    json::Value dbs = json::Value::make_array();
+    auto add = [&](const std::string& name, const std::string& role) {
+        json::Value db = json::Value::make_object();
+        db["name"] = name;
+        db["role"] = role;
+        db["type"] = backend;
+        if (backend == "lsm") {
+            db["path"] = name;
+            db["memtable_bytes"] = 256 * 1024;
+        }
+        dbs.push_back(std::move(db));
+    };
+    add("ds", "datasets");
+    add("r0", "runs");
+    add("s0", "subruns");
+    add("e0", "events");
+    add("e1", "events");
+    add("p0", "products");
+    add("p1", "products");
+    add("p2", "products");
+    add("p3", "products");
+    json::Value provider = json::Value::make_object();
+    provider["type"] = "yokan";
+    provider["provider_id"] = 1;
+    provider["config"]["databases"] = std::move(dbs);
+    cfg["providers"] = json::Value::make_array();
+    cfg["providers"].push_back(std::move(provider));
+    return cfg;
+}
+
+struct BackendReport {
+    std::string backend;
+    bool hashes_match = false;
+    std::uint64_t accepted = 0;
+    ModeResult blob, col;
+    double headline_ratio = 0;           // energy-window bytes ratio
+    double full_ratio = 0;               // full-cuts bytes ratio
+    json::Value selections = json::Value::make_array();
+};
+
+BackendReport run_backend(const std::string& backend, const fs::path& dir) {
+    BackendReport rep;
+    rep.backend = backend;
+
+    rpc::Network network;
+    auto cfg = make_service_config(backend);
+    auto svc = bedrock::ServiceProcess::create(network, cfg, dir.string());
+    if (!svc.ok()) {
+        std::printf("ERROR: service boot failed: %s\n", svc.status().to_string().c_str());
+        std::exit(1);
+    }
+    auto connection = (*svc)->descriptor();
+    auto store = hepnos::DataStore::connect(network, connection);
+    json::Value blob_conn = connection;
+    blob_conn["columnar"] = json::Value();  // un-advertise: pure blob client
+    auto blob_store = hepnos::DataStore::connect(network, blob_conn);
+
+    nova::Generator gen({.num_files = backend == "map" ? 24u : 8u,
+                         .events_per_file = 80,
+                         .slices_per_event_mean = 8.0});
+    mpisim::run_ranks(4, [&](mpisim::Comm& comm) {
+        dataloader::ingest_generated(store, comm, gen, kDataset, 1024);
+    });
+
+    auto sels = make_selections();
+    const auto mix = zipf_sequence(sels.size(), 12);
+    std::vector<query::ClientStats> blob_by_sel(sels.size()), col_by_sel(sels.size());
+    rep.blob = run_mix(blob_store, sels, mix, &blob_by_sel);
+    rep.col = run_mix(store, sels, mix, &col_by_sel);
+
+    rep.hashes_match = rep.blob.hashes == rep.col.hashes;
+    rep.accepted = rep.col.accepted;
+
+    for (std::size_t s = 0; s < sels.size(); ++s) {
+        const auto& b = blob_by_sel[s];
+        const auto& c = col_by_sel[s];
+        if (c.entries == 0) continue;
+        // "Decompressed" work: the blob scan deserializes every product blob
+        // it examines (bytes_scanned); the columnar scan decodes only the
+        // referenced columns + chunk directories (bytes_decompressed), plus
+        // the raw blobs of uncovered events (already in its bytes_scanned
+        // minus the compressed column reads — small, reported as-is).
+        const double blob_per_acc = static_cast<double>(b.bytes_scanned) /
+                                    static_cast<double>(b.entries);
+        const double col_per_acc = static_cast<double>(c.bytes_decompressed) /
+                                   static_cast<double>(c.entries);
+        const double ratio = col_per_acc > 0 ? blob_per_acc / col_per_acc : 0;
+        if (std::string(sels[s].name) == "energy-window") rep.headline_ratio = ratio;
+        if (std::string(sels[s].name) == "full-cuts") rep.full_ratio = ratio;
+
+        json::Value row = json::Value::make_object();
+        row["selection"] = sels[s].name;
+        row["columns_decoded"] = static_cast<std::uint64_t>(sels[s].columns);
+        row["accepted_entries"] = c.entries;
+        row["blob_bytes_scanned"] = b.bytes_scanned;
+        row["columnar_bytes_decompressed"] = c.bytes_decompressed;
+        row["blob_bytes_per_accepted"] = blob_per_acc;
+        row["columnar_bytes_per_accepted"] = col_per_acc;
+        row["bytes_ratio"] = ratio;
+        row["chunks_scanned"] = c.chunks_scanned;
+        rep.selections.push_back(std::move(row));
+    }
+    return rep;
+}
+
+void print_reproduction() {
+    using namespace hep::bench;
+    print_header(
+        "Ablation — columnar (vectorized, column-pruned) vs blob pushdown\n"
+        "zipfian query mix; expect: identical FNV readback per query,\n"
+        ">=3x fewer decompressed bytes per accepted event on the headline\n"
+        "energy-window selection, on map and lsm backends");
+
+    const auto dir = fs::temp_directory_path() / "abl_columnar";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    json::Value doc = json::Value::make_object();
+    doc["bench"] = "columnar";
+    doc["queries_per_mode"] = 12;
+    doc["backends"] = json::Value::make_array();
+    bool all_match = true, headline_ok = true;
+
+    for (const std::string backend : {"map", "lsm"}) {
+        auto rep = run_backend(backend, dir / backend);
+        all_match = all_match && rep.hashes_match;
+        headline_ok = headline_ok && rep.headline_ratio >= 3.0;
+
+        std::printf("\n[%s] FNV readback: %s, accepted entries: %llu\n", backend.c_str(),
+                    rep.hashes_match ? "identical" : "MISMATCH",
+                    static_cast<unsigned long long>(rep.accepted));
+        print_row({"selection", "blob B/acc", "col B/acc", "ratio"});
+        for (std::size_t i = 0; i < rep.selections.size(); ++i) {
+            const json::Value& row = rep.selections.at(i);
+            print_row({std::string(row["selection"].as_string()),
+                       fmt(row["blob_bytes_per_accepted"].as_double(), 1),
+                       fmt(row["columnar_bytes_per_accepted"].as_double(), 1),
+                       fmt(row["bytes_ratio"].as_double(), 2) + "x"});
+        }
+        print_row({"mode", "wall-s", "cpu-us/event", "decompressed-B"});
+        const double blob_cpu = rep.blob.stats.events_examined
+                                    ? rep.blob.cpu_seconds * 1e6 /
+                                          static_cast<double>(rep.blob.stats.events_examined)
+                                    : 0;
+        const double col_cpu = rep.col.stats.events_examined
+                                   ? rep.col.cpu_seconds * 1e6 /
+                                         static_cast<double>(rep.col.stats.events_examined)
+                                   : 0;
+        print_row({"blob", fmt(rep.blob.wall_seconds, 3), fmt(blob_cpu, 2),
+                   std::to_string(rep.blob.stats.bytes_scanned)});
+        print_row({"columnar", fmt(rep.col.wall_seconds, 3), fmt(col_cpu, 2),
+                   std::to_string(rep.col.stats.bytes_decompressed)});
+
+        json::Value b = json::Value::make_object();
+        b["backend"] = backend;
+        b["fnv_readback_identical"] = rep.hashes_match;
+        b["accepted_entries"] = rep.accepted;
+        b["headline_bytes_ratio"] = rep.headline_ratio;
+        b["full_cuts_bytes_ratio"] = rep.full_ratio;
+        b["blob"]["wall_seconds"] = rep.blob.wall_seconds;
+        b["blob"]["cpu_seconds"] = rep.blob.cpu_seconds;
+        b["blob"]["cpu_us_per_event"] = blob_cpu;
+        b["blob"]["events_examined"] = rep.blob.stats.events_examined;
+        b["blob"]["bytes_scanned"] = rep.blob.stats.bytes_scanned;
+        b["columnar"]["wall_seconds"] = rep.col.wall_seconds;
+        b["columnar"]["cpu_seconds"] = rep.col.cpu_seconds;
+        b["columnar"]["cpu_us_per_event"] = col_cpu;
+        b["columnar"]["events_examined"] = rep.col.stats.events_examined;
+        b["columnar"]["bytes_decompressed"] = rep.col.stats.bytes_decompressed;
+        b["columnar"]["chunks_scanned"] = rep.col.stats.chunks_scanned;
+        b["selections"] = std::move(rep.selections);
+        doc["backends"].push_back(std::move(b));
+    }
+
+    doc["results_match"] = all_match;
+    doc["headline_ratio_at_least_3x"] = headline_ok;
+    std::ofstream("BENCH_columnar.json") << doc.dump(2) << "\n";
+    std::printf("\nreadback %s, headline >=3x %s — wrote BENCH_columnar.json\n",
+                all_match ? "OK" : "FAILED", headline_ok ? "OK" : "FAILED");
+    fs::remove_all(dir);
+}
+
+// Micro-benchmark: vectorized batch evaluation vs the row-at-a-time
+// interpreter over the same program and data.
+void BM_MatchesRowLoop(benchmark::State& state) {
+    auto program = query::nova_cuts_program({});
+    auto slices = nova::Generator({.num_files = 1, .events_per_file = 64})
+                      .make_event(1, 1, 1)
+                      .slices;
+    std::vector<std::array<double, nova::kNumSliceFields>> rows(slices.size());
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+        nova::slice_fields(slices[i], rows[i].data());
+    }
+    std::size_t accepted = 0;
+    for (auto _ : state) {
+        for (const auto& row : rows) {
+            accepted += program.matches(row.data(), nova::kNumSliceFields);
+        }
+    }
+    benchmark::DoNotOptimize(accepted);
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(rows.size()));
+}
+BENCHMARK(BM_MatchesRowLoop);
+
+void BM_MatchesBatch(benchmark::State& state) {
+    auto program = query::nova_cuts_program({});
+    auto slices = nova::Generator({.num_files = 1, .events_per_file = 64})
+                      .make_event(1, 1, 1)
+                      .slices;
+    const std::size_t n = slices.size();
+    std::vector<std::vector<double>> cols(nova::kNumSliceFields, std::vector<double>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+        double fields[nova::kNumSliceFields];
+        nova::slice_fields(slices[i], fields);
+        for (std::size_t f = 0; f < nova::kNumSliceFields; ++f) cols[f][i] = fields[f];
+    }
+    std::vector<const double*> ptrs;
+    for (auto& c : cols) ptrs.push_back(c.data());
+    std::vector<std::uint8_t> accept(n);
+    std::vector<double> scratch;
+    for (auto _ : state) {
+        program.matches_batch(ptrs.data(), nova::kNumSliceFields, n, accept.data(),
+                              scratch);
+        benchmark::DoNotOptimize(accept.data());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MatchesBatch);
+
+// Micro-benchmark: column encode+decode round trip at chunk granularity.
+void BM_ColumnCodecRoundTrip(benchmark::State& state) {
+    std::vector<std::uint32_t> vals(1024);
+    std::uint64_t s = 5;
+    for (auto& v : vals) {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        v = static_cast<std::uint32_t>(s >> 40);  // small-ish: varint-friendly
+    }
+    std::vector<std::uint32_t> out(vals.size());
+    for (auto _ : state) {
+        auto block = columnar::encode_block(vals.data(), vals.size(), 4,
+                                            columnar::CompressionMode::kAuto);
+        benchmark::DoNotOptimize(columnar::decode_block(block, out.data()).ok());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(vals.size() * 4));
+}
+BENCHMARK(BM_ColumnCodecRoundTrip);
+
+}  // namespace
+
+HEP_BENCH_MAIN(print_reproduction)

@@ -122,6 +122,16 @@ Result<std::unique_ptr<ServiceProcess>> ServiceProcess::create(rpc::Fabric& netw
     // provider (same provider id, same pool — scans share the provider's
     // execution stream) and advertise "query": true in the descriptor.
     //   "query": { "enabled": true, "max_cursors": 1024, "prefetch": true }
+    // Columnar layout knob: the section is parsed here (so the query
+    // providers below come up with the vectorized path armed) and passed
+    // through to the descriptor for the write side.
+    //   "columnar": { "enabled": true, "chunk_rows": 256, "min_batch": 16,
+    //                 "compression": "auto" }
+    const json::Value& colcfg = config["columnar"];
+    if (colcfg.is_object() && colcfg["enabled"].as_bool(true)) {
+        svc->columnar_cfg_ = colcfg;
+    }
+
     const json::Value& qcfg = config["query"];
     if (qcfg.is_object() && qcfg["enabled"].as_bool(true)) {
         query::QueryProvider::Options qopts;
@@ -129,6 +139,7 @@ Result<std::unique_ptr<ServiceProcess>> ServiceProcess::create(rpc::Fabric& netw
             static_cast<std::uint64_t>(qcfg["max_cursors"].as_int(
                 static_cast<std::int64_t>(qopts.max_cursors)));
         qopts.prefetch = qcfg["prefetch"].as_bool(qopts.prefetch);
+        qopts.columnar = !svc->columnar_cfg_.is_null();
         for (auto& provider : svc->providers_) {
             svc->query_providers_.push_back(std::make_unique<query::QueryProvider>(
                 *svc->engine_, provider->provider_id(), *provider, qopts, provider->pool()));
@@ -228,6 +239,8 @@ json::Value ServiceProcess::descriptor() const {
     doc["databases"] = std::move(arr);
     if (!replication_.is_null()) doc["replication"] = replication_;
     if (query_enabled_) doc["query"] = true;
+    // Columnar needs the query RPCs to be worth anything to readers.
+    if (query_enabled_ && !columnar_cfg_.is_null()) doc["columnar"] = columnar_cfg_;
     if (admission_) doc["qos"] = true;
     if (!cache_cfg_.is_null()) doc["cache"] = cache_cfg_;
     if (!cache_providers_.empty()) {
@@ -271,6 +284,8 @@ json::Value merge_descriptors(const std::vector<json::Value>& descriptors) {
     bool have_replication = false;
     bool have_cache = false;
     bool query = !descriptors.empty();
+    bool columnar = !descriptors.empty();
+    json::Value columnar_cfg;
     for (const auto& d : descriptors) {
         const json::Value& dbs = d["databases"];
         for (std::size_t i = 0; i < dbs.size(); ++i) arr.push_back(dbs.at(i));
@@ -290,9 +305,19 @@ json::Value merge_descriptors(const std::vector<json::Value>& descriptors) {
         }
         // Pushdown is only usable when EVERY process serves the query RPCs.
         if (!d["query"].as_bool(false)) query = false;
+        // Same all-or-nothing rule for columnar: a server without the knob
+        // answers Unimplemented, so a mixed deployment advertises nothing and
+        // clients stay on the blob path everywhere.
+        const json::Value& cc = d["columnar"];
+        if (cc.is_object()) {
+            if (columnar_cfg.is_null()) columnar_cfg = cc;
+        } else {
+            columnar = false;
+        }
     }
     doc["databases"] = std::move(arr);
     if (query) doc["query"] = true;
+    if (query && columnar && !columnar_cfg.is_null()) doc["columnar"] = columnar_cfg;
     if (tier.size() > 0) doc["cache_tier"] = std::move(tier);
     return doc;
 }

@@ -64,6 +64,16 @@
 // descriptor, so clients build their local lease caches with the same knobs.
 // Under "monitoring", a "cache/<provider_id>" source exposes hit/miss/fill/
 // eviction/invalidation counters and hit-latency histograms.
+//
+// An optional top-level "columnar" section — {"enabled": true, "chunk_rows":
+// 256, "min_batch": 16, "compression": "auto"} — turns on the columnar
+// layout (src/columnar): query providers serve the vectorized column-pruned
+// scan path, and the section is passed through to the descriptor so
+// connecting clients shred their ingest batches into column chunks with the
+// same knobs. Requires "query"; it is advertised to clients only when EVERY
+// process in the merged connection document enables it (a mixed deployment
+// would answer Unimplemented from some servers, so clients fall back to blob
+// scans entirely).
 #pragma once
 
 #include <memory>
@@ -140,8 +150,10 @@ class ServiceProcess {
     std::vector<std::unique_ptr<cache::Provider>> cache_providers_;
     std::vector<DatabaseDescriptor> databases_;
     bool query_enabled_ = false;
-    json::Value cache_cfg_;  // "cache" config section, passed through to the
-                             // descriptor so clients pick up the same knobs
+    json::Value cache_cfg_;     // "cache" config section, passed through to the
+                                // descriptor so clients pick up the same knobs
+    json::Value columnar_cfg_;  // "columnar" config section, passed through so
+                                // clients shred ingest with the same knobs
     std::shared_ptr<qos::AdmissionController> admission_;
     json::Value replication_;  // "replication" config section, passed through
                                // to the descriptor so clients wire the groups

@@ -1,0 +1,75 @@
+#include "columnar/schema.hpp"
+
+#include <typeinfo>
+#include <vector>
+
+#include "nova/types.hpp"
+
+namespace hep::columnar {
+
+std::string_view to_string(MemberType t) noexcept {
+    switch (t) {
+        case MemberType::kUInt8: return "u8";
+        case MemberType::kInt32: return "i32";
+        case MemberType::kUInt32: return "u32";
+        case MemberType::kInt64: return "i64";
+        case MemberType::kUInt64: return "u64";
+        case MemberType::kFloat32: return "f32";
+        case MemberType::kFloat64: return "f64";
+    }
+    return "?";
+}
+
+Result<MemberType> member_type_from_htf(htf::ColumnType t) noexcept {
+    switch (t) {
+        case htf::ColumnType::kInt32: return MemberType::kInt32;
+        case htf::ColumnType::kInt64: return MemberType::kInt64;
+        case htf::ColumnType::kUInt32: return MemberType::kUInt32;
+        case htf::ColumnType::kUInt64: return MemberType::kUInt64;
+        case htf::ColumnType::kFloat32: return MemberType::kFloat32;
+        case htf::ColumnType::kFloat64: return MemberType::kFloat64;
+    }
+    return Status::InvalidArgument("HTF column type has no columnar member type");
+}
+
+Status StructSchema::validate() const {
+    if (members.empty()) return Status::InvalidArgument("schema has no members");
+    if (members.size() > 1024) return Status::InvalidArgument("schema has too many members");
+    for (const auto& m : members) {
+        if (m.name.empty() || m.name.front() == '@') {
+            return Status::InvalidArgument("schema member needs a plain name");
+        }
+        if (m.name.find('/') != std::string::npos) {
+            return Status::InvalidArgument("schema member name must not contain '/'");
+        }
+        if (!valid_member_type(static_cast<std::uint8_t>(m.type))) {
+            return Status::InvalidArgument("schema member has an unknown type");
+        }
+    }
+    return Status::OK();
+}
+
+StructSchema nova_slice_schema() {
+    StructSchema s;
+    s.name = "nova::Slice";
+    s.members = {
+        {"index", MemberType::kUInt32},        {"nhits", MemberType::kUInt32},
+        {"cal_e", MemberType::kFloat32},       {"vtx_x", MemberType::kFloat32},
+        {"vtx_y", MemberType::kFloat32},       {"vtx_z", MemberType::kFloat32},
+        {"track_len", MemberType::kFloat32},   {"epi0_score", MemberType::kFloat32},
+        {"muon_score", MemberType::kFloat32},  {"cosmic_score", MemberType::kFloat32},
+        {"time_ns", MemberType::kFloat32},     {"contained", MemberType::kUInt8},
+    };
+    return s;
+}
+
+SchemaRegistry SchemaRegistry::with_builtins() {
+    SchemaRegistry r;
+    // Same name product_type_name<std::vector<nova::Slice>>() produces — the
+    // registry key must match the type component of the product keys the
+    // write batch sees.
+    r.register_schema(typeid(std::vector<nova::Slice>).name(), nova_slice_schema());
+    return r;
+}
+
+}  // namespace hep::columnar

@@ -1,0 +1,126 @@
+// Column schemas for the columnar product codec (the RNTuple-style layout).
+//
+// A StructSchema describes one "row struct" — the element type of a
+// std::vector<T> product — as an ordered list of fixed-width members. The
+// order is load-bearing twice over: it is the member order of the serialized
+// blob (src/serial writes arithmetic members in declaration order, flat and
+// little-endian), AND the field numbering the query evaluators expose
+// (member i of the schema is field i of the evaluator), which is what lets
+// the vectorized scan feed decompressed columns straight into a
+// FilterProgram.
+//
+// Schemas come from two places: built-ins registered in code (nova::Slice),
+// and HTF schema introspection via dataloader::columnar_schema_for_group —
+// the same machinery HDF2HEPnOS uses to deduce classes from files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "htf/htf.hpp"
+
+namespace hep::columnar {
+
+/// Wire types a member can have. Matches what src/serial emits for the
+/// corresponding C++ member: fixed width, little-endian, floats as IEEE bit
+/// patterns. Append only — the values are stored inside chunk metadata.
+enum class MemberType : std::uint8_t {
+    kUInt8 = 1,
+    kInt32 = 2,
+    kUInt32 = 3,
+    kInt64 = 4,
+    kUInt64 = 5,
+    kFloat32 = 6,
+    kFloat64 = 7,
+};
+
+std::string_view to_string(MemberType t) noexcept;
+
+inline constexpr std::size_t width_of(MemberType t) noexcept {
+    switch (t) {
+        case MemberType::kUInt8: return 1;
+        case MemberType::kInt32:
+        case MemberType::kUInt32:
+        case MemberType::kFloat32: return 4;
+        case MemberType::kInt64:
+        case MemberType::kUInt64:
+        case MemberType::kFloat64: return 8;
+    }
+    return 0;
+}
+
+inline constexpr bool valid_member_type(std::uint8_t t) noexcept {
+    return t >= static_cast<std::uint8_t>(MemberType::kUInt8) &&
+           t <= static_cast<std::uint8_t>(MemberType::kFloat64);
+}
+
+/// The HTF column type carrying the same wire representation. u8 members
+/// have no HTF counterpart (HDF5 tables store them widened), so the mapping
+/// is partial in that direction only.
+Result<MemberType> member_type_from_htf(htf::ColumnType t) noexcept;
+
+struct Member {
+    std::string name;
+    MemberType type = MemberType::kUInt8;
+
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & name & type;
+    }
+    bool operator==(const Member&) const = default;
+};
+
+struct StructSchema {
+    std::string name;  // diagnostic only, e.g. "nova::Slice"
+    std::vector<Member> members;
+
+    /// Serialized bytes of one row: the flat sum of member widths.
+    [[nodiscard]] std::size_t row_width() const noexcept {
+        std::size_t w = 0;
+        for (const auto& m : members) w += width_of(m.type);
+        return w;
+    }
+
+    /// A schema decoded from the wire must be structurally sound before any
+    /// width arithmetic trusts it.
+    [[nodiscard]] Status validate() const;
+
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & name & members;
+    }
+    bool operator==(const StructSchema&) const = default;
+};
+
+/// Maps product TYPE names (the `type` component of a product key, i.e.
+/// product_type_name<std::vector<T>>()) to the row schema of T. Only the
+/// write side needs a registry — the scan side reads the schema out of each
+/// chunk's metadata. Unregistered types simply stay blob-only.
+class SchemaRegistry {
+  public:
+    void register_schema(std::string product_type, StructSchema schema) {
+        schemas_[std::move(product_type)] = std::move(schema);
+    }
+
+    [[nodiscard]] const StructSchema* find(std::string_view product_type) const {
+        auto it = schemas_.find(product_type);
+        return it == schemas_.end() ? nullptr : &it->second;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return schemas_.size(); }
+
+    /// Registry with the built-in schemas (nova slices).
+    static SchemaRegistry with_builtins();
+
+  private:
+    std::map<std::string, StructSchema, std::less<>> schemas_;
+};
+
+/// The built-in row schema of nova::Slice, member order == SliceField order.
+StructSchema nova_slice_schema();
+
+}  // namespace hep::columnar

@@ -1,0 +1,166 @@
+#include "columnar/writer.hpp"
+
+#include <chrono>
+
+#include "common/endian.hpp"
+#include "common/hash.hpp"
+#include "serial/archive.hpp"
+
+namespace hep::columnar {
+
+namespace {
+// Event-level product keys: 16-byte dataset uuid + run/subrun/event BE64,
+// then "<label>#<type>".
+constexpr std::size_t kEventKeyBytes = kUuidBytes + 3 * 8;
+}  // namespace
+
+WriterOptions WriterOptions::from_json(const json::Value& cfg) {
+    WriterOptions o;
+    if (!cfg.is_object()) return o;
+    o.enabled = cfg["enabled"].as_bool(true);
+    o.chunk_rows = static_cast<std::uint64_t>(
+        cfg["chunk_rows"].as_int(static_cast<std::int64_t>(o.chunk_rows)));
+    if (o.chunk_rows == 0) o.chunk_rows = 1;
+    o.min_batch = static_cast<std::uint64_t>(
+        cfg["min_batch"].as_int(static_cast<std::int64_t>(o.min_batch)));
+    if (o.min_batch == 0) o.min_batch = 1;
+    if (o.min_batch > o.chunk_rows) o.min_batch = o.chunk_rows;
+    if (!cfg["compression"].as_string().empty()) o.compression = cfg["compression"].as_string();
+    if (!parse_compression_mode(o.compression).ok()) o.compression = "auto";
+    return o;
+}
+
+json::Value WriterOptions::to_json() const {
+    json::Value v = json::Value::make_object();
+    v["enabled"] = enabled;
+    v["chunk_rows"] = static_cast<std::int64_t>(chunk_rows);
+    v["min_batch"] = static_cast<std::int64_t>(min_batch);
+    v["compression"] = compression;
+    return v;
+}
+
+json::Value WriterCounters::snapshot() const {
+    json::Value v = json::Value::make_object();
+    auto get = [](const std::atomic<std::uint64_t>& a) {
+        return static_cast<std::int64_t>(a.load(std::memory_order_relaxed));
+    };
+    v["events_buffered"] = get(events_buffered);
+    v["events_shredded"] = get(events_shredded);
+    v["events_dropped"] = get(events_dropped);
+    v["events_unschematized"] = get(events_unschematized);
+    v["chunks_written"] = get(chunks_written);
+    v["columns_written"] = get(columns_written);
+    v["bytes_raw"] = get(bytes_raw);
+    v["bytes_compressed"] = get(bytes_compressed);
+    return v;
+}
+
+ColumnWriter::ColumnWriter(WriterOptions options, SchemaRegistry registry,
+                           std::shared_ptr<WriterCounters> counters, Emit emit)
+    : options_(std::move(options)),
+      registry_(std::move(registry)),
+      counters_(std::move(counters)),
+      emit_(std::move(emit)) {
+    // Chunk ids only need to be unique within (database, dataset, product);
+    // several writers (loader ranks) may feed the same database, so start
+    // from a salted counter rather than zero. Collisions would overwrite a
+    // foreign chunk — 64 random-ish bits make that negligible.
+    const auto ticks = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    next_chunk_id_ = mix64(ticks ^ fnv1a64({reinterpret_cast<const char*>(this), sizeof(void*)}));
+}
+
+void ColumnWriter::observe(const yokan::DatabaseHandle& handle, std::string_view key,
+                           const hep::Buffer& value) {
+    if (key.size() <= kEventKeyBytes) return;  // container key or shorter product
+    if (key.substr(0, kColPrefix.size()) == kColPrefix) return;  // our own chunks
+    const std::string_view suffix = key.substr(kEventKeyBytes);
+    const std::size_t sep = suffix.rfind('#');
+    if (sep == std::string_view::npos) return;  // not a product key
+    const StructSchema* schema = registry_.find(suffix.substr(sep + 1));
+    if (schema == nullptr) {
+        counters_->events_unschematized.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+
+    std::string group_key;
+    group_key.reserve(handle.server().size() + handle.name().size() + key.size());
+    group_key.append(handle.server());
+    group_key.push_back('|');
+    group_key.append(std::to_string(handle.provider()));
+    group_key.push_back('|');
+    group_key.append(handle.name());
+    group_key.push_back('|');
+    group_key.append(key.substr(0, kUuidBytes));
+    group_key.append(suffix);
+
+    auto it = groups_.find(group_key);
+    if (it == groups_.end()) {
+        Group g;
+        g.handle = handle;
+        g.schema = schema;
+        g.uuid = std::string(key.substr(0, kUuidBytes));
+        g.suffix = std::string(suffix);
+        it = groups_.emplace(std::move(group_key), std::move(g)).first;
+    }
+    Buffered b;
+    b.run = decode_be64(key.substr(kUuidBytes, 8));
+    b.subrun = decode_be64(key.substr(kUuidBytes + 8, 8));
+    b.event = decode_be64(key.substr(kUuidBytes + 16, 8));
+    b.blob = value;
+    it->second.events.push_back(std::move(b));
+    counters_->events_buffered.fetch_add(1, std::memory_order_relaxed);
+
+    if (it->second.events.size() >= options_.chunk_rows) emit_chunk(it->second);
+}
+
+void ColumnWriter::emit_chunk(Group& group) {
+    const CompressionMode mode =
+        parse_compression_mode(options_.compression).value_or(CompressionMode::kAuto);
+    std::vector<EventBlob> batch;
+    batch.reserve(group.events.size());
+    for (const auto& ev : group.events) {
+        batch.push_back(EventBlob{ev.run, ev.subrun, ev.event,
+                                  std::string_view(ev.blob.data(), ev.blob.size())});
+    }
+    auto shredded = shred(*group.schema, batch, mode);
+    if (!shredded.ok()) {
+        // Some blob in the batch does not match the schema (a hand-stored
+        // product, a schema drift). Leave the whole batch blob-only — the
+        // scan's fallback picks these events up.
+        counters_->events_dropped.fetch_add(group.events.size(), std::memory_order_relaxed);
+        group.events.clear();
+        return;
+    }
+
+    const std::uint64_t chunk_id = next_chunk_id_++;
+    emit_(group.handle, chunk_key(group.uuid, group.suffix, kMetaMember, chunk_id),
+          hep::Buffer::adopt(serial::to_string(shredded->meta)));
+    for (auto& [member, block] : shredded->columns) {
+        emit_(group.handle, chunk_key(group.uuid, group.suffix, member, chunk_id),
+              hep::Buffer::adopt(serial::to_string(block)));
+    }
+
+    counters_->events_shredded.fetch_add(group.events.size(), std::memory_order_relaxed);
+    counters_->chunks_written.fetch_add(1, std::memory_order_relaxed);
+    counters_->columns_written.fetch_add(shredded->columns.size(), std::memory_order_relaxed);
+    counters_->bytes_raw.fetch_add(shredded->raw_bytes, std::memory_order_relaxed);
+    counters_->bytes_compressed.fetch_add(shredded->compressed_bytes,
+                                          std::memory_order_relaxed);
+    group.events.clear();
+}
+
+void ColumnWriter::flush() {
+    for (auto& [key, group] : groups_) {
+        if (group.events.empty()) continue;
+        if (group.events.size() >= options_.min_batch) {
+            emit_chunk(group);
+        } else {
+            counters_->events_dropped.fetch_add(group.events.size(),
+                                                std::memory_order_relaxed);
+            group.events.clear();
+        }
+    }
+}
+
+}  // namespace hep::columnar

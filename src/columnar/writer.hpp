@@ -1,0 +1,105 @@
+// ColumnWriter: the write-side half of the columnar layout.
+//
+// Sits inside a WriteBatch (see hepnos/write_batch.cpp) and observes every
+// product put the batch accepts. Event-level products whose TYPE has a
+// registered schema are buffered per (target database, dataset, product);
+// when a buffer reaches chunk_rows events it is shredded into compressed
+// column chunks which are emitted back into the SAME batch group — the
+// chunks ride the normal zero-copy put_multi/put_packed path and land
+// co-located with the blobs they mirror. Unschematized or non-parsing
+// products are simply left alone: they stay blob-only and the scan's blob
+// fallback covers them (the compatibility contract in chunk.hpp).
+//
+// flush() shreds leftover buffers that still hold >= min_batch events;
+// smaller remainders are dropped (blob-only) rather than producing chunks
+// whose metadata overhead outweighs their columns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/chunk.hpp"
+#include "columnar/schema.hpp"
+#include "common/buffer.hpp"
+#include "common/json.hpp"
+#include "yokan/client.hpp"
+
+namespace hep::columnar {
+
+/// The bedrock "columnar" knob, advertised verbatim in the connection
+/// document so every client of a deployment shreds the same way.
+struct WriterOptions {
+    bool enabled = false;
+    std::uint64_t chunk_rows = 256;  // events per chunk
+    std::uint64_t min_batch = 16;    // smallest chunk worth emitting at flush
+    std::string compression = "auto";
+
+    static WriterOptions from_json(const json::Value& cfg);
+    [[nodiscard]] json::Value to_json() const;
+};
+
+/// Client-side shredding counters; exposed through symbio as
+/// "columnar/client".
+struct WriterCounters {
+    std::atomic<std::uint64_t> events_buffered{0};
+    std::atomic<std::uint64_t> events_shredded{0};
+    std::atomic<std::uint64_t> events_dropped{0};  // < min_batch at flush
+    std::atomic<std::uint64_t> events_unschematized{0};
+    std::atomic<std::uint64_t> chunks_written{0};
+    std::atomic<std::uint64_t> columns_written{0};
+    std::atomic<std::uint64_t> bytes_raw{0};
+    std::atomic<std::uint64_t> bytes_compressed{0};
+
+    [[nodiscard]] json::Value snapshot() const;
+};
+
+class ColumnWriter {
+  public:
+    /// Emits one chunk key/value into the owning batch, targeted at the SAME
+    /// database as the products it mirrors.
+    using Emit = std::function<void(const yokan::DatabaseHandle&, std::string, hep::Buffer)>;
+
+    ColumnWriter(WriterOptions options, SchemaRegistry registry,
+                 std::shared_ptr<WriterCounters> counters, Emit emit);
+
+    /// Observe a product put targeted at `handle`. Ignores keys that are not
+    /// event-level product keys of a registered type (including chunk keys
+    /// the writer itself emitted). The Buffer is retained until the batch
+    /// containing its event shreds or drops.
+    void observe(const yokan::DatabaseHandle& handle, std::string_view key,
+                 const hep::Buffer& value);
+
+    /// Shred every buffer holding >= min_batch events; drop the rest.
+    void flush();
+
+    [[nodiscard]] const WriterOptions& options() const noexcept { return options_; }
+
+  private:
+    struct Buffered {
+        std::uint64_t run, subrun, event;
+        hep::Buffer blob;
+    };
+    struct Group {
+        yokan::DatabaseHandle handle;
+        const StructSchema* schema = nullptr;
+        std::string uuid;    // raw dataset uuid bytes
+        std::string suffix;  // "<label>#<type>"
+        std::vector<Buffered> events;
+    };
+
+    void emit_chunk(Group& group);
+
+    WriterOptions options_;
+    SchemaRegistry registry_;
+    std::shared_ptr<WriterCounters> counters_;
+    Emit emit_;
+    std::map<std::string, Group> groups_;  // keyed by target + dataset + product
+    std::uint64_t next_chunk_id_;
+};
+
+}  // namespace hep::columnar

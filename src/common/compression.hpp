@@ -1,0 +1,255 @@
+// Lightweight per-column compression for the columnar chunk codec
+// (src/columnar). Self-contained — no external compression library.
+//
+// Three codecs over arrays of fixed-width unsigned elements (1, 4 or 8
+// bytes; floats travel as their bit patterns):
+//   kRaw    — elements packed flat, little-endian. Always valid; the upper
+//             bound every auto-pick falls back to.
+//   kVarint — LEB128 per element. Wins on small-magnitude integer columns
+//             (hit counts, flags, sparse scores whose float bits are 0).
+//   kDelta  — first element varint-encoded as-is, then zigzag(v[i]-v[i-1])
+//             varints. Wins on sorted/sequential columns (slice index, event
+//             numbers, offset arrays).
+//
+// Every decode is bounded and total: a truncated or corrupt payload yields
+// Status::Corruption, never a crash or an out-of-bounds read, and a decode
+// only succeeds if it consumes the payload exactly and every decoded value
+// fits the element width. compress() output is exact-size (no padding), and
+// max_compressed_size() gives the tight worst-case bound callers can use to
+// pre-validate payload lengths.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace hep::compress {
+
+enum class Codec : std::uint8_t {
+    kRaw = 0,
+    kVarint = 1,
+    kDelta = 2,
+};
+
+inline std::string_view to_string(Codec c) noexcept {
+    switch (c) {
+        case Codec::kRaw: return "raw";
+        case Codec::kVarint: return "varint";
+        case Codec::kDelta: return "delta";
+    }
+    return "?";
+}
+
+inline bool valid_codec(std::uint8_t c) noexcept {
+    return c <= static_cast<std::uint8_t>(Codec::kDelta);
+}
+
+inline bool valid_width(std::size_t width) noexcept {
+    return width == 1 || width == 4 || width == 8;
+}
+
+/// Longest LEB128 encoding of a value that fits `width` bytes.
+inline constexpr std::size_t max_varint_bytes(std::size_t width) noexcept {
+    return width == 1 ? 2 : width == 4 ? 5 : 10;  // ceil(8*width / 7)
+}
+
+/// Tight worst-case payload size for `count` elements of `width` bytes.
+inline constexpr std::size_t max_compressed_size(Codec codec, std::size_t count,
+                                                 std::size_t width) noexcept {
+    switch (codec) {
+        case Codec::kRaw: return count * width;
+        case Codec::kVarint: return count * max_varint_bytes(width);
+        case Codec::kDelta:
+            // The first element encodes as-is; deltas zigzag to at most one
+            // bit more than the width, which still fits the same varint
+            // bound for w=1/4 and one extra byte for w=8.
+            return count == 0 ? 0
+                              : max_varint_bytes(width) +
+                                    (count - 1) * (width == 8 ? 10 : max_varint_bytes(width) + 1);
+    }
+    return count * width;
+}
+
+// ---- primitives ------------------------------------------------------------
+
+inline void put_varint(std::string& out, std::uint64_t v) {
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+/// Bounded LEB128 decode; advances `pos`. False on truncation, a >10-byte
+/// encoding, or bits beyond 64.
+inline bool get_varint(std::string_view in, std::size_t& pos, std::uint64_t& out) noexcept {
+    std::uint64_t v = 0;
+    for (std::size_t shift = 0; shift < 64; shift += 7) {
+        if (pos >= in.size()) return false;  // truncated mid-value
+        const auto byte = static_cast<std::uint8_t>(in[pos++]);
+        if (shift == 63 && (byte & 0x7E) != 0) return false;  // overflows 64 bits
+        v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) {
+            out = v;
+            return true;
+        }
+    }
+    return false;  // 10 continuation bytes — not a valid u64
+}
+
+inline std::uint64_t zigzag_encode(std::uint64_t delta) noexcept {
+    const auto s = static_cast<std::int64_t>(delta);
+    return (static_cast<std::uint64_t>(s) << 1) ^ static_cast<std::uint64_t>(s >> 63);
+}
+
+inline std::uint64_t zigzag_decode(std::uint64_t z) noexcept {
+    return (z >> 1) ^ (~(z & 1) + 1);
+}
+
+namespace detail {
+
+/// Little-endian element load/store so the codecs are byte-order stable.
+inline std::uint64_t load_elem(const void* data, std::size_t index, std::size_t width) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data) + index * width;
+    std::uint64_t v = 0;
+    for (std::size_t b = 0; b < width; ++b) v |= static_cast<std::uint64_t>(p[b]) << (8 * b);
+    return v;
+}
+
+inline void store_elem(void* data, std::size_t index, std::size_t width,
+                       std::uint64_t v) noexcept {
+    auto* p = static_cast<unsigned char*>(data) + index * width;
+    for (std::size_t b = 0; b < width; ++b) p[b] = static_cast<unsigned char>(v >> (8 * b));
+}
+
+inline bool fits_width(std::uint64_t v, std::size_t width) noexcept {
+    return width >= 8 || (v >> (8 * width)) == 0;
+}
+
+}  // namespace detail
+
+// ---- encode ----------------------------------------------------------------
+
+/// Compress `count` elements of `width` bytes with one codec. The output is
+/// the payload only — callers record (codec, count, width) themselves.
+inline Result<std::string> compress(Codec codec, const void* data, std::size_t count,
+                                    std::size_t width) {
+    if (!valid_width(width)) {
+        return Status::InvalidArgument("unsupported element width " + std::to_string(width));
+    }
+    std::string out;
+    switch (codec) {
+        case Codec::kRaw: {
+            out.resize(count * width);
+            if (count > 0) std::memcpy(out.data(), data, count * width);
+            return out;
+        }
+        case Codec::kVarint: {
+            out.reserve(count * 2);
+            for (std::size_t i = 0; i < count; ++i) {
+                put_varint(out, detail::load_elem(data, i, width));
+            }
+            return out;
+        }
+        case Codec::kDelta: {
+            out.reserve(count * 2);
+            std::uint64_t prev = 0;
+            for (std::size_t i = 0; i < count; ++i) {
+                const std::uint64_t v = detail::load_elem(data, i, width);
+                if (i == 0) {
+                    put_varint(out, v);
+                } else {
+                    put_varint(out, zigzag_encode(v - prev));
+                }
+                prev = v;
+            }
+            return out;
+        }
+    }
+    return Status::InvalidArgument("unknown codec " +
+                                   std::to_string(static_cast<unsigned>(codec)));
+}
+
+/// Try every codec and keep the smallest payload (ties go to the cheaper
+/// decode: raw, then varint, then delta).
+inline std::pair<Codec, std::string> compress_auto(const void* data, std::size_t count,
+                                                   std::size_t width) {
+    std::pair<Codec, std::string> best{Codec::kRaw, std::string()};
+    if (count == 0) return best;
+    best.second.assign(static_cast<const char*>(data), count * width);
+    for (Codec c : {Codec::kVarint, Codec::kDelta}) {
+        auto attempt = compress(c, data, count, width);
+        if (attempt.ok() && attempt->size() < best.second.size()) {
+            best = {c, std::move(*attempt)};
+        }
+    }
+    return best;
+}
+
+// ---- decode ----------------------------------------------------------------
+
+/// Decompress exactly `count` elements of `width` bytes into `out` (which
+/// must hold count*width bytes). Corruption if the payload is truncated,
+/// over-long, encodes a value that does not fit the width, or is not
+/// consumed exactly.
+inline Status decompress(Codec codec, std::string_view payload, std::size_t count,
+                         std::size_t width, void* out) noexcept {
+    if (!valid_width(width)) {
+        return Status::InvalidArgument("unsupported element width " + std::to_string(width));
+    }
+    if (payload.size() > max_compressed_size(codec, count, width)) {
+        return Status::Corruption("column payload exceeds the codec's size bound");
+    }
+    switch (codec) {
+        case Codec::kRaw: {
+            if (payload.size() != count * width) {
+                return Status::Corruption("raw column payload has wrong size");
+            }
+            if (count > 0) std::memcpy(out, payload.data(), payload.size());
+            return Status::OK();
+        }
+        case Codec::kVarint: {
+            std::size_t pos = 0;
+            for (std::size_t i = 0; i < count; ++i) {
+                std::uint64_t v = 0;
+                if (!get_varint(payload, pos, v) || !detail::fits_width(v, width)) {
+                    return Status::Corruption("varint column payload is corrupt");
+                }
+                detail::store_elem(out, i, width, v);
+            }
+            if (pos != payload.size()) {
+                return Status::Corruption("varint column payload has trailing bytes");
+            }
+            return Status::OK();
+        }
+        case Codec::kDelta: {
+            std::size_t pos = 0;
+            std::uint64_t prev = 0;
+            for (std::size_t i = 0; i < count; ++i) {
+                std::uint64_t raw = 0;
+                if (!get_varint(payload, pos, raw)) {
+                    return Status::Corruption("delta column payload is corrupt");
+                }
+                const std::uint64_t v = i == 0 ? raw : prev + zigzag_decode(raw);
+                // Deltas wrap modulo 2^64; the reconstructed value must still
+                // fit the element width or the stream is not a valid encode.
+                if (!detail::fits_width(v, width)) {
+                    return Status::Corruption("delta column decodes out of range");
+                }
+                detail::store_elem(out, i, width, v);
+                prev = v;
+            }
+            if (pos != payload.size()) {
+                return Status::Corruption("delta column payload has trailing bytes");
+            }
+            return Status::OK();
+        }
+    }
+    return Status::Corruption("unknown column codec " +
+                              std::to_string(static_cast<unsigned>(codec)));
+}
+
+}  // namespace hep::compress

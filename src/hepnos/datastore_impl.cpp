@@ -86,6 +86,17 @@ Result<std::shared_ptr<DataStoreImpl>> DataStoreImpl::connect(rpc::Fabric& netwo
     impl->failover_counters_ = std::make_shared<replica::FailoverCounters>();
     impl->query_enabled_ = config["query"].as_bool(false);
 
+    // Columnar layout: the merged descriptor carries the service's "columnar"
+    // section only when every process enabled the knob, so write batches of
+    // this connection shred with exactly the deployment's chunk/compression
+    // settings (and not at all against a service that cannot serve chunks).
+    impl->columnar_opts_ = columnar::WriterOptions::from_json(config["columnar"]);
+    impl->columnar_counters_ = std::make_shared<columnar::WriterCounters>();
+    if (impl->columnar_opts_.enabled) {
+        auto cc = impl->columnar_counters_;
+        impl->metrics_->add_source("columnar/client", [cc]() { return cc->snapshot(); });
+    }
+
     // Client QoS: one shared policy + circuit breaker for the connection.
     // Always on — an untagged-by-policy server simply ignores the stamp, and
     // the connection document's "qos" section overrides tenant/classes.

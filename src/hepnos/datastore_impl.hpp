@@ -14,6 +14,7 @@
 
 #include "cache/lease_cache.hpp"
 #include "cache/tier.hpp"
+#include "columnar/writer.hpp"
 #include "common/hash.hpp"
 #include "common/json.hpp"
 #include "margo/engine.hpp"
@@ -110,6 +111,21 @@ class DataStoreImpl {
     /// connection document; Bedrock emits it when the knob is enabled).
     [[nodiscard]] bool query_enabled() const noexcept { return query_enabled_; }
 
+    // ---- columnar layout (see src/columnar) ---------------------------------
+    /// Writer knobs from the connection document's "columnar" section
+    /// (advertised by bedrock only when every process enables the knob);
+    /// enabled=false when the service never advertised it.
+    [[nodiscard]] const columnar::WriterOptions& columnar_options() const noexcept {
+        return columnar_opts_;
+    }
+    [[nodiscard]] bool columnar_enabled() const noexcept { return columnar_opts_.enabled; }
+    /// Shredding counters shared by every WriteBatch of this connection;
+    /// exposed through metrics() as "columnar/client".
+    [[nodiscard]] const std::shared_ptr<columnar::WriterCounters>& columnar_counters()
+        const noexcept {
+        return columnar_counters_;
+    }
+
     /// Retry/failover counters aggregated over every database handle.
     [[nodiscard]] const std::shared_ptr<replica::FailoverCounters>& failover_counters()
         const noexcept {
@@ -172,6 +188,8 @@ class DataStoreImpl {
     std::array<HashRing, kNumRoles> rings_;
     std::size_t replication_factor_ = 1;
     bool query_enabled_ = false;
+    columnar::WriterOptions columnar_opts_;
+    std::shared_ptr<columnar::WriterCounters> columnar_counters_;
     std::shared_ptr<replica::FailoverCounters> failover_counters_;
     std::shared_ptr<symbio::MetricsRegistry> metrics_;
     std::shared_ptr<qos::ClientQos> qos_;

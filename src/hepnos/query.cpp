@@ -14,8 +14,13 @@ Result<QueryResult> run_query(const DataStore& datastore, const DataSet& dataset
     }
     query::QueryEngine engine(impl->engine(), impl->databases(Role::kProducts));
     query::ClientStats stats;
-    auto entries =
-        engine.run(spec, dataset.uuid().bytes(), offset, stride, stats, options);
+    // Columnar scans return bit-identical results off an acceleration copy,
+    // so they are used whenever the deployment advertises the knob (callers
+    // may also force the flag; servers without the knob answer Unimplemented
+    // and the client falls back to the blob scan on its own).
+    query::QueryOptions opts = options;
+    opts.columnar = opts.columnar || impl->columnar_enabled();
+    auto entries = engine.run(spec, dataset.uuid().bytes(), offset, stride, stats, opts);
     if (!entries.ok()) return entries.status();
     return QueryResult(impl, dataset.uuid(), std::move(*entries), stats);
 }

@@ -9,6 +9,12 @@
 // accepted (event, row-indices) pairs — the products themselves never cross
 // the network. Requires a service deployed with the Bedrock "query" knob;
 // connections to older services fail with Unimplemented.
+//
+// When the deployment also advertises the "columnar" knob, queries run over
+// the compressed column chunks (vectorized, column-pruned — see
+// src/columnar) automatically; results are bit-identical to the blob scan,
+// which remains the transparent fallback for unchunked events and older
+// servers.
 #pragma once
 
 #include "hepnos/containers.hpp"

@@ -9,6 +9,14 @@ namespace hep::hepnos {
 WriteBatch::WriteBatch(std::shared_ptr<DataStoreImpl> impl, std::size_t flush_threshold)
     : impl_(std::move(impl)), flush_threshold_(flush_threshold) {
     if (!impl_) throw Exception("WriteBatch needs a connected DataStore");
+    if (impl_->columnar_enabled()) {
+        writer_ = std::make_unique<columnar::ColumnWriter>(
+            impl_->columnar_options(), columnar::SchemaRegistry::with_builtins(),
+            impl_->columnar_counters(),
+            [this](const yokan::DatabaseHandle& handle, std::string key, hep::Buffer value) {
+                add_raw(handle, std::move(key), std::move(value));
+            });
+    }
 }
 
 WriteBatch::~WriteBatch() {
@@ -23,6 +31,14 @@ WriteBatch::~WriteBatch() {
 void WriteBatch::add(Role role, std::string_view parent_key, std::string key,
                      hep::Buffer value) {
     const yokan::DatabaseHandle& handle = impl_->locate(role, parent_key);
+    // The shredder sees every product put (it retains the refcounted buffer,
+    // not a copy) and may emit finished chunks back through add_raw.
+    if (writer_ && role == Role::kProducts) writer_->observe(handle, key, value);
+    add_raw(handle, std::move(key), std::move(value));
+}
+
+void WriteBatch::add_raw(const yokan::DatabaseHandle& handle, std::string key,
+                         hep::Buffer value) {
     TargetKey tk{handle.server(), handle.provider(), handle.name()};
     auto it = groups_.find(tk);
     if (it == groups_.end()) {
@@ -43,6 +59,8 @@ void WriteBatch::add(Role role, std::string_view parent_key, std::string key,
 }
 
 void WriteBatch::flush() {
+    // Shred leftovers first so their chunks join the groups shipped below.
+    if (writer_) writer_->flush();
     for (auto& [tk, group] : groups_) {
         if (group.second.empty()) continue;
         auto items = std::move(group.second);

@@ -58,12 +58,21 @@ class WriteBatch {
     /// Ship one group; overridden by AsyncWriteBatch.
     virtual void ship(const yokan::DatabaseHandle& handle, std::vector<yokan::BatchItem> items);
 
+    /// Queue one item on a group whose target is already resolved — the
+    /// shared tail of add() and the column writer's emit path.
+    void add_raw(const yokan::DatabaseHandle& handle, std::string key, hep::Buffer value);
+
     std::shared_ptr<DataStoreImpl> impl_;
     std::size_t flush_threshold_;
     std::map<TargetKey, std::pair<yokan::DatabaseHandle, std::vector<yokan::BatchItem>>> groups_;
     std::size_t pending_ = 0;
     std::uint64_t total_flushed_ = 0;
     std::uint64_t flush_rpcs_ = 0;
+    /// Columnar shredder (null unless the connection's "columnar" knob is
+    /// on): observes every product add and emits compressed column chunks
+    /// back into the same groups, so chunks ride the normal batched path and
+    /// land co-located with the blobs they mirror.
+    std::unique_ptr<columnar::ColumnWriter> writer_;
 };
 
 /// Issues grouped updates asynchronously; wait() (or the destructor) blocks

@@ -44,6 +44,7 @@ Status QueryClient::run(const proto::QuerySpec& spec, std::string_view prefix,
     const auto& fo = handle_.failover();
     std::string resume;  // resume_key of the last page safely received
     std::uint32_t reopens = 0;
+    bool columnar = options.columnar;
 
     while (true) {
         std::string server, db;
@@ -57,11 +58,22 @@ Status QueryClient::run(const proto::QuerySpec& spec, std::string_view prefix,
         open.spec = spec;
         open.page_entries = options.page_entries;
         open.scan_chunk = options.scan_chunk;
+        open.columnar = columnar ? 1 : 0;
 
         auto opened =
             engine_->forward<OpenReq, OpenResp>(server, "query_open", provider, open, deadline(),
                                                 scan_tag());
         if (!opened.ok()) {
+            if (columnar && opened.status().code() == StatusCode::kUnimplemented &&
+                resume.empty()) {
+                // Old service without the columnar knob: fall back to the
+                // blob scan, transparently. Only from a clean start — a
+                // columnar resume key is phase-tagged and means nothing to a
+                // blob cursor.
+                columnar = false;
+                ++stats.columnar_fallbacks;
+                continue;
+            }
             if (fo && replica::FailoverState::retryable(opened.status().code()) &&
                 reopens < options.max_reopens) {
                 fo->count_retry();
@@ -106,6 +118,8 @@ Status QueryClient::run(const proto::QuerySpec& spec, std::string_view prefix,
             stats.events_examined += page->events_examined;
             stats.rows_examined += page->rows_examined;
             stats.bytes_scanned += page->bytes_scanned;
+            stats.chunks_scanned += page->chunks_scanned;
+            stats.bytes_decompressed += page->bytes_decompressed;
             resume = page->resume_key;
             for (auto& e : page->entries) out.push_back(std::move(e));
             if (page->done) return Status::OK();

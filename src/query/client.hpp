@@ -35,6 +35,11 @@ struct ClientStats {
     std::uint64_t events_examined = 0;
     std::uint64_t rows_examined = 0;
     std::uint64_t bytes_scanned = 0;
+    // Columnar-mode accounting (zero on blob scans):
+    std::uint64_t chunks_scanned = 0;
+    std::uint64_t bytes_decompressed = 0;
+    std::uint64_t columnar_fallbacks = 0;  // columnar asked, server said
+                                           // Unimplemented, ran blob mode
 
     ClientStats& operator+=(const ClientStats& o) {
         pages += o.pages;
@@ -44,6 +49,9 @@ struct ClientStats {
         events_examined += o.events_examined;
         rows_examined += o.rows_examined;
         bytes_scanned += o.bytes_scanned;
+        chunks_scanned += o.chunks_scanned;
+        bytes_decompressed += o.bytes_decompressed;
+        columnar_fallbacks += o.columnar_fallbacks;
         return *this;
     }
 };
@@ -55,6 +63,11 @@ struct QueryOptions {
     /// retries within one attempt are the failover policy's business; this
     /// bounds how often we restart the cursor protocol itself.
     std::uint32_t max_reopens = 8;
+    /// Ask the server for the columnar (vectorized, column-pruned) scan.
+    /// A provider deployed without the "columnar" knob answers Unimplemented
+    /// and the client transparently retries in blob mode — results are
+    /// identical either way, chunks are an acceleration copy.
+    bool columnar = false;
 };
 
 /// Drives one pushdown cursor against one database handle.

@@ -1,5 +1,7 @@
 #include "query/filter.hpp"
 
+#include <algorithm>
+
 namespace hep::query {
 
 FilterProgram& FilterProgram::push_field(std::uint32_t field) {
@@ -76,6 +78,130 @@ Status FilterProgram::validate(std::uint32_t num_fields) const {
                                        " values on the stack (want exactly 1)");
     }
     return Status::OK();
+}
+
+std::vector<std::uint32_t> FilterProgram::referenced_members() const {
+    std::vector<std::uint32_t> fields;
+    for (const auto& ins : instrs_) {
+        if (static_cast<FilterOp>(ins.op) == FilterOp::kPushField) {
+            fields.push_back(ins.field);
+        }
+    }
+    std::sort(fields.begin(), fields.end());
+    fields.erase(std::unique(fields.begin(), fields.end()), fields.end());
+    return fields;
+}
+
+void FilterProgram::matches_batch(const double* const* columns, std::size_t num_fields,
+                                  std::size_t nrows, std::uint8_t* accept,
+                                  std::vector<double>& scratch) const {
+    if (nrows == 0) return;
+    if (instrs_.empty()) {
+        std::fill(accept, accept + nrows, std::uint8_t{1});
+        return;
+    }
+    // One scratch slot of nrows doubles per stack level; validate() bounded
+    // the depth, so a single linear pass sizes the arena exactly.
+    std::size_t depth = 0, max_depth = 0;
+    for (const auto& ins : instrs_) {
+        switch (static_cast<FilterOp>(ins.op)) {
+            case FilterOp::kPushField:
+            case FilterOp::kPushConst:
+                max_depth = std::max(max_depth, ++depth);
+                break;
+            case FilterOp::kNot:
+                break;
+            default:
+                --depth;
+                break;
+        }
+    }
+    if (scratch.size() < max_depth * nrows) scratch.resize(max_depth * nrows);
+
+    // Each instruction is one tight loop over the batch — comparisons emit
+    // as branchless compare/select, which is the whole point of evaluating
+    // column-at-a-time instead of row-at-a-time.
+    std::size_t top = 0;  // next free slot
+    auto slot = [&](std::size_t s) { return scratch.data() + s * nrows; };
+    for (const auto& ins : instrs_) {
+        switch (static_cast<FilterOp>(ins.op)) {
+            case FilterOp::kPushField: {
+                double* dst = slot(top++);
+                const double* src =
+                    ins.field < num_fields ? columns[ins.field] : nullptr;
+                if (src) {
+                    std::copy(src, src + nrows, dst);
+                } else {
+                    std::fill(dst, dst + nrows, 0.0);
+                }
+                break;
+            }
+            case FilterOp::kPushConst: {
+                double* dst = slot(top++);
+                std::fill(dst, dst + nrows, ins.imm);
+                break;
+            }
+            case FilterOp::kLt: {
+                const double* b = slot(--top);
+                double* a = slot(top - 1);
+                for (std::size_t r = 0; r < nrows; ++r) a[r] = a[r] < b[r] ? 1.0 : 0.0;
+                break;
+            }
+            case FilterOp::kLe: {
+                const double* b = slot(--top);
+                double* a = slot(top - 1);
+                for (std::size_t r = 0; r < nrows; ++r) a[r] = a[r] <= b[r] ? 1.0 : 0.0;
+                break;
+            }
+            case FilterOp::kGt: {
+                const double* b = slot(--top);
+                double* a = slot(top - 1);
+                for (std::size_t r = 0; r < nrows; ++r) a[r] = a[r] > b[r] ? 1.0 : 0.0;
+                break;
+            }
+            case FilterOp::kGe: {
+                const double* b = slot(--top);
+                double* a = slot(top - 1);
+                for (std::size_t r = 0; r < nrows; ++r) a[r] = a[r] >= b[r] ? 1.0 : 0.0;
+                break;
+            }
+            case FilterOp::kEq: {
+                const double* b = slot(--top);
+                double* a = slot(top - 1);
+                for (std::size_t r = 0; r < nrows; ++r) a[r] = a[r] == b[r] ? 1.0 : 0.0;
+                break;
+            }
+            case FilterOp::kNe: {
+                const double* b = slot(--top);
+                double* a = slot(top - 1);
+                for (std::size_t r = 0; r < nrows; ++r) a[r] = a[r] != b[r] ? 1.0 : 0.0;
+                break;
+            }
+            case FilterOp::kAnd: {
+                const double* b = slot(--top);
+                double* a = slot(top - 1);
+                for (std::size_t r = 0; r < nrows; ++r) {
+                    a[r] = (a[r] != 0.0) & (b[r] != 0.0) ? 1.0 : 0.0;
+                }
+                break;
+            }
+            case FilterOp::kOr: {
+                const double* b = slot(--top);
+                double* a = slot(top - 1);
+                for (std::size_t r = 0; r < nrows; ++r) {
+                    a[r] = (a[r] != 0.0) | (b[r] != 0.0) ? 1.0 : 0.0;
+                }
+                break;
+            }
+            case FilterOp::kNot: {
+                double* a = slot(top - 1);
+                for (std::size_t r = 0; r < nrows; ++r) a[r] = a[r] == 0.0 ? 1.0 : 0.0;
+                break;
+            }
+        }
+    }
+    const double* result = slot(top - 1);
+    for (std::size_t r = 0; r < nrows; ++r) accept[r] = result[r] != 0.0 ? 1 : 0;
 }
 
 bool FilterProgram::matches(const double* fields, std::size_t num_fields) const noexcept {

@@ -83,6 +83,24 @@ class FilterProgram {
     /// the field count baked in at validation.
     [[nodiscard]] bool matches(const double* fields, std::size_t num_fields) const noexcept;
 
+    /// Column-pruning analysis: the sorted, de-duplicated field ids this
+    /// program reads. A columnar scan only needs to decompress these members
+    /// (plus the id field, which the caller accounts for separately). An
+    /// empty program references nothing.
+    [[nodiscard]] std::vector<std::uint32_t> referenced_members() const;
+
+    /// Vectorized evaluation: run the program over rows [0, nrows) at once.
+    /// `columns[f]` must point at nrows doubles for every field in
+    /// referenced_members() (unreferenced slots may be null; a null
+    /// referenced column reads as 0.0). `accept` receives nrows bytes of
+    /// 0/1 — a branch-free selection bitmap. Row r's verdict is identical to
+    /// matches() over that row, including IEEE NaN comparison semantics.
+    /// `scratch` is reusable working memory (one slot of nrows doubles per
+    /// stack level), grown as needed. Only call after validate() succeeded.
+    void matches_batch(const double* const* columns, std::size_t num_fields,
+                       std::size_t nrows, std::uint8_t* accept,
+                       std::vector<double>& scratch) const;
+
     template <typename A>
     void serialize(A& ar, unsigned /*version*/) {
         ar & instrs_;

@@ -60,9 +60,18 @@ struct OpenReq {
     std::uint64_t page_entries = 512;  // max accepted entries per page
     std::uint64_t scan_chunk = 2048;   // keys examined per backend scan chunk
 
+    /// Columnar scan mode: evaluate the filter over the product's column
+    /// chunks (src/columnar), decompressing only the referenced members;
+    /// events without chunks fall back to their blobs. A provider deployed
+    /// without the "columnar" knob rejects this with Unimplemented and the
+    /// client retries in blob mode. Columnar resume keys are phase-tagged
+    /// ('C' + chunk-scan position or 'B' + blob-scan position) — opaque to
+    /// clients, like every resume key.
+    std::uint8_t columnar = 0;
+
     template <typename A>
     void serialize(A& ar, unsigned /*version*/) {
-        ar & db & prefix & resume_after & spec & page_entries & scan_chunk;
+        ar & db & prefix & resume_after & spec & page_entries & scan_chunk & columnar;
     }
 };
 
@@ -108,10 +117,16 @@ struct Page {
     std::uint64_t rows_examined = 0;    // rows run through the filter
     std::uint64_t bytes_scanned = 0;    // product value bytes examined — what
                                         // a client-side selection would move
+    // Columnar-mode accounting (zero on blob scans):
+    std::uint64_t chunks_scanned = 0;       // column chunks evaluated
+    std::uint64_t bytes_decompressed = 0;   // raw bytes materialized from
+                                            // chunk metadata + the referenced
+                                            // (and lazily, the id) columns
 
     template <typename A>
     void serialize(A& ar, unsigned /*version*/) {
-        ar & entries & resume_key & done & events_examined & rows_examined & bytes_scanned;
+        ar & entries & resume_key & done & events_examined & rows_examined & bytes_scanned &
+            chunks_scanned & bytes_decompressed;
     }
 };
 

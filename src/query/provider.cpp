@@ -1,7 +1,9 @@
 #include "query/provider.hpp"
 
 #include <chrono>
+#include <set>
 
+#include "columnar/chunk.hpp"
 #include "common/endian.hpp"
 #include "hepnos/keys.hpp"
 #include "serial/archive.hpp"
@@ -24,6 +26,26 @@ constexpr std::size_t kEventKeyBytes = 16 + 3 * 8;
 bool ends_with(std::string_view s, std::string_view suffix) {
     return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
 }
+
+/// Event container key (uuid + run/subrun/event BE64) — the blob product key
+/// minus its "<label>#<type>" suffix; what the covered-event set stores.
+std::string container_key(std::string_view uuid, std::uint64_t run, std::uint64_t subrun,
+                          std::uint64_t event) {
+    std::string key(uuid);
+    append_be64(key, run);
+    append_be64(key, subrun);
+    append_be64(key, event);
+    return key;
+}
+
+/// Metadata keys scanned per chunk-phase iteration. The "col/" range holds
+/// one @meta plus one key per member for every chunk, so this covers a few
+/// chunks' worth of keys per backend lock acquisition.
+constexpr std::uint64_t kMetaScanKeys = 128;
+
+/// Refuse to materialize columns beyond this many rows — an allocation guard
+/// against corrupt chunk metadata, mirroring the one inside decode_block.
+constexpr std::uint64_t kMaxChunkRows = 1ull << 28;
 }  // namespace
 
 /// Server-side cursor: the spec plus the scan position. `mutex`/`cv` guard
@@ -42,6 +64,21 @@ struct QueryProvider::Cursor {
     std::uint64_t page_entries = 512;
     std::uint64_t scan_chunk = 2048;
     bool done = false;
+
+    // Columnar (vectorized) scan state. Phase kChunks walks the "col/" chunk
+    // metadata range and evaluates whole chunks vectorized; phase kBlobs then
+    // walks the blob keys, skipping every chunk-covered event, so mixed
+    // blob+columnar datasets come out exactly once. `covered` is rebuilt from
+    // the chunk metas on resume (rebuild_coverage) — cursor state stays a
+    // disposable hint.
+    bool columnar = false;
+    enum class Phase : std::uint8_t { kChunks, kBlobs };
+    Phase phase = Phase::kChunks;
+    std::string chunk_pos;    // chunk-phase scan position
+    std::string meta_prefix;  // "col/" + prefix
+    std::set<std::string, std::less<>> covered;  // container keys served from chunks
+    std::vector<std::uint32_t> needed;           // filter.referenced_members()
+    std::vector<double> scratch;                 // matches_batch arena, reused
 
     abt::Mutex mutex;
     abt::CondVar cv;
@@ -137,6 +174,43 @@ Result<OpenResp> QueryProvider::handle_open(const OpenReq& req) {
         }
     }
 
+    if (req.columnar != 0) {
+        if (!options_.columnar) {
+            stats_.queries_rejected.fetch_add(1, std::memory_order_relaxed);
+            return Status::Unimplemented(
+                "columnar scans are not enabled on this provider (deploy with the "
+                "\"columnar\" knob)");
+        }
+        cursor->columnar = true;
+        cursor->meta_prefix = columnar::meta_scan_prefix(req.prefix);
+        cursor->needed = req.spec.filter.referenced_members();
+        stats_.columnar_queries.fetch_add(1, std::memory_order_relaxed);
+        if (!req.resume_after.empty()) {
+            // Phase-tagged resume key: 'C' + chunk position or 'B' + blob
+            // position. Either way the covered set is re-derived from chunk
+            // metadata so the blob phase skips exactly what chunks served.
+            cursor->pos.clear();
+            switch (req.resume_after[0]) {
+                case 'C':
+                    cursor->chunk_pos = req.resume_after.substr(1);
+                    if (!cursor->chunk_pos.empty()) {
+                        if (Status st = rebuild_coverage(*cursor, cursor->chunk_pos);
+                            !st.ok())
+                            return st;
+                    }
+                    break;
+                case 'B':
+                    cursor->phase = Cursor::Phase::kBlobs;
+                    cursor->pos = req.resume_after.substr(1);
+                    if (Status st = rebuild_coverage(*cursor, ""); !st.ok()) return st;
+                    break;
+                default:
+                    stats_.queries_rejected.fetch_add(1, std::memory_order_relaxed);
+                    return Status::InvalidArgument("malformed columnar resume key");
+            }
+        }
+    }
+
     stats_.queries_opened.fetch_add(1, std::memory_order_relaxed);
     if (!req.resume_after.empty())
         stats_.cursors_resumed.fetch_add(1, std::memory_order_relaxed);
@@ -223,7 +297,47 @@ void QueryProvider::maybe_spawn_prefetch(const std::shared_ptr<Cursor>& c) {
     });
 }
 
+void QueryProvider::evaluate_blob_record(Cursor& c, std::string_view key,
+                                         std::string_view value, Page& page,
+                                         std::vector<yokan::KeyValue>& writebacks) {
+    page.bytes_scanned += value.size();
+    page.events_examined += 1;
+    std::vector<std::uint32_t> accepted;
+    std::uint64_t rows = 0;
+    Status st = c.evaluator->for_each_row(value, [&](std::uint32_t row, const double* fields) {
+        ++rows;
+        if (c.spec.filter.matches(fields, c.evaluator->num_fields())) {
+            accepted.push_back(c.spec.id_field == proto::kRowOrdinal
+                                   ? row
+                                   : static_cast<std::uint32_t>(fields[c.spec.id_field]));
+        }
+    });
+    page.rows_examined += rows;
+    if (!st.ok()) {
+        // Undecodable record: skip it, count it, keep scanning — one corrupt
+        // value must not wedge the whole query.
+        stats_.events_corrupt.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    if (accepted.empty()) return;
+    Entry entry;
+    entry.run = decode_be64(key.substr(16, 8));
+    entry.subrun = decode_be64(key.substr(24, 8));
+    entry.event = decode_be64(key.substr(32, 8));
+    entry.rows = accepted;
+    stats_.events_accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_.rows_accepted.fetch_add(accepted.size(), std::memory_order_relaxed);
+    if (c.spec.write_selected) {
+        std::string wkey(key.substr(0, kEventKeyBytes));
+        wkey += c.selected_suffix;
+        writebacks.push_back(yokan::KeyValue{std::move(wkey), serial::to_string(accepted)});
+    }
+    page.entries.push_back(std::move(entry));
+}
+
 Result<Page> QueryProvider::produce_page(Cursor& c) {
+    if (c.columnar) return produce_page_columnar(c);
+
     Page page;
     page.resume_key = c.pos;
     if (c.done) {
@@ -245,42 +359,7 @@ Result<Page> QueryProvider::produce_page(Cursor& c) {
                     !ends_with(key, c.suffix)) {
                     return true;  // not the product we scan for
                 }
-                page.bytes_scanned += value.size();
-                page.events_examined += 1;
-                std::vector<std::uint32_t> accepted;
-                std::uint64_t rows = 0;
-                Status st = c.evaluator->for_each_row(
-                    value, [&](std::uint32_t row, const double* fields) {
-                        ++rows;
-                        if (c.spec.filter.matches(fields, c.evaluator->num_fields())) {
-                            accepted.push_back(
-                                c.spec.id_field == proto::kRowOrdinal
-                                    ? row
-                                    : static_cast<std::uint32_t>(fields[c.spec.id_field]));
-                        }
-                    });
-                page.rows_examined += rows;
-                if (!st.ok()) {
-                    // Undecodable record: skip it, count it, keep scanning —
-                    // one corrupt value must not wedge the whole query.
-                    stats_.events_corrupt.fetch_add(1, std::memory_order_relaxed);
-                    return true;
-                }
-                if (accepted.empty()) return true;
-                Entry entry;
-                entry.run = decode_be64(key.substr(16, 8));
-                entry.subrun = decode_be64(key.substr(24, 8));
-                entry.event = decode_be64(key.substr(32, 8));
-                entry.rows = accepted;
-                stats_.events_accepted.fetch_add(1, std::memory_order_relaxed);
-                stats_.rows_accepted.fetch_add(accepted.size(), std::memory_order_relaxed);
-                if (c.spec.write_selected) {
-                    std::string wkey(key.substr(0, kEventKeyBytes));
-                    wkey += c.selected_suffix;
-                    writebacks.push_back(
-                        yokan::KeyValue{std::move(wkey), serial::to_string(accepted)});
-                }
-                page.entries.push_back(std::move(entry));
+                evaluate_blob_record(c, key, value, page, writebacks);
                 return true;
             });
         if (!chunk.ok()) return chunk.status();
@@ -308,6 +387,313 @@ Result<Page> QueryProvider::produce_page(Cursor& c) {
     stats_.rows_examined.fetch_add(page.rows_examined, std::memory_order_relaxed);
     stats_.bytes_scanned.fetch_add(page.bytes_scanned, std::memory_order_relaxed);
     return page;
+}
+
+Result<Page> QueryProvider::produce_page_columnar(Cursor& c) {
+    Page page;
+    auto resume = [&c] {
+        return c.phase == Cursor::Phase::kChunks ? "C" + c.chunk_pos : "B" + c.pos;
+    };
+    page.resume_key = resume();
+    if (c.done) {
+        page.done = true;
+        return page;
+    }
+
+    std::vector<yokan::KeyValue> writebacks;
+    auto apply_writebacks = [&]() -> Status {
+        if (writebacks.empty()) return Status::OK();
+        replica::ReplicaSet* rs = databases_.find_replica_set(c.db_name);
+        for (const auto& kv : writebacks) {
+            Status st = rs ? rs->put(kv.key, kv.value, /*overwrite=*/true)
+                           : c.db->put(kv.key, kv.value, /*overwrite=*/true);
+            if (!st.ok()) return st;
+        }
+        stats_.writebacks.fetch_add(writebacks.size(), std::memory_order_relaxed);
+        writebacks.clear();
+        return Status::OK();
+    };
+
+    while (page.entries.size() < c.page_entries && !c.done) {
+        if (c.phase == Cursor::Phase::kChunks) {
+            // Collect @meta keys inside the (reader-locked) scan; fetch and
+            // evaluate the chunks only after the scan returns — gets from
+            // inside the callback would deadlock on the backend lock.
+            std::vector<std::string> metas;
+            auto chunk = c.db->scan_chunk(
+                c.chunk_pos, c.meta_prefix, kMetaScanKeys, /*with_values=*/false,
+                [&](std::string_view key, std::string_view) {
+                    stats_.keys_examined.fetch_add(1, std::memory_order_relaxed);
+                    std::string_view uuid;
+                    std::uint64_t chunk_id = 0;
+                    if (columnar::parse_meta_key(key, c.suffix, uuid, chunk_id)) {
+                        metas.emplace_back(key);
+                    }
+                    return true;
+                });
+            if (!chunk.ok()) return chunk.status();
+            // Honor the page cap per chunk: the resume position advances to
+            // each processed @meta key, so a full page hands the remaining
+            // metas of this scan to the next page (or the next cursor).
+            bool page_full = false;
+            for (const auto& meta_key : metas) {
+                if (Status st = process_chunk(c, meta_key, page, writebacks); !st.ok())
+                    return st;
+                c.chunk_pos = meta_key;
+                if (page.entries.size() >= c.page_entries) {
+                    page_full = true;
+                    break;
+                }
+            }
+            if (!page_full) {
+                if (!chunk->last_key.empty()) c.chunk_pos = chunk->last_key;
+                if (chunk->exhausted) c.phase = Cursor::Phase::kBlobs;
+            }
+            if (Status st = apply_writebacks(); !st.ok()) return st;
+        } else {
+            // Blob phase: serve everything the chunks did not cover. With a
+            // non-empty covered set the scan moves keys only and the few
+            // uncovered events are point-read afterwards; with no chunks at
+            // all this degenerates to exactly the blob pushdown scan.
+            const bool inline_values = c.covered.empty();
+            std::vector<std::string> uncovered;
+            auto chunk = c.db->scan_chunk(
+                c.pos, c.prefix, c.scan_chunk, /*with_values=*/inline_values,
+                [&](std::string_view key, std::string_view value) {
+                    stats_.keys_examined.fetch_add(1, std::memory_order_relaxed);
+                    if (key.size() != kEventKeyBytes + c.suffix.size() ||
+                        !ends_with(key, c.suffix)) {
+                        return true;
+                    }
+                    if (inline_values) {
+                        evaluate_blob_record(c, key, value, page, writebacks);
+                    } else if (c.covered.find(key.substr(0, kEventKeyBytes)) ==
+                               c.covered.end()) {
+                        uncovered.emplace_back(key);
+                    }
+                    return true;
+                });
+            if (!chunk.ok()) return chunk.status();
+            for (const auto& key : uncovered) {
+                auto value = c.db->get(key);
+                if (!value.ok()) {
+                    if (value.status().code() == StatusCode::kNotFound) continue;
+                    return value.status();
+                }
+                stats_.events_uncovered.fetch_add(1, std::memory_order_relaxed);
+                evaluate_blob_record(c, key, *value, page, writebacks);
+            }
+            if (!chunk->last_key.empty()) c.pos = chunk->last_key;
+            if (chunk->exhausted) c.done = true;
+            if (Status st = apply_writebacks(); !st.ok()) return st;
+        }
+    }
+
+    page.resume_key = resume();
+    page.done = c.done;
+    stats_.events_examined.fetch_add(page.events_examined, std::memory_order_relaxed);
+    stats_.rows_examined.fetch_add(page.rows_examined, std::memory_order_relaxed);
+    stats_.bytes_scanned.fetch_add(page.bytes_scanned, std::memory_order_relaxed);
+    stats_.chunks_scanned.fetch_add(page.chunks_scanned, std::memory_order_relaxed);
+    stats_.bytes_decompressed.fetch_add(page.bytes_decompressed, std::memory_order_relaxed);
+    return page;
+}
+
+Status QueryProvider::process_chunk(Cursor& c, const std::string& meta_key, Page& page,
+                                    std::vector<yokan::KeyValue>& writebacks) {
+    std::string_view uuid;
+    std::uint64_t chunk_id = 0;
+    if (!columnar::parse_meta_key(meta_key, c.suffix, uuid, chunk_id)) return Status::OK();
+
+    auto meta_value = c.db->get(meta_key);
+    if (!meta_value.ok()) {
+        // Deleted between scan and fetch: its events simply stay uncovered.
+        if (meta_value.status().code() == StatusCode::kNotFound) return Status::OK();
+        return meta_value.status();
+    }
+    page.bytes_scanned += meta_value->size();
+    auto dm = columnar::decode_meta(*meta_value);
+    if (!dm.ok()) {
+        // Corrupt metadata: nothing gets covered, so the blob phase serves
+        // this chunk's events from their blobs.
+        stats_.chunks_corrupt.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+    }
+    const std::size_t n = dm->runs.size();
+    const std::uint64_t total_rows = dm->meta.total_rows;
+    // Decoded event directory: 3 u64 coordinates + 1 u32 row count per event.
+    page.bytes_decompressed += n * (3 * 8 + 4);
+
+    // Coverage registration doubles as dedup: if two chunks carry the same
+    // event (re-ingest), only the first to register serves it.
+    std::vector<std::uint8_t> fresh(n, 0);
+    std::vector<std::string> ckeys(n);
+    std::size_t num_fresh = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        ckeys[i] = container_key(uuid, dm->runs[i], dm->subruns[i], dm->events[i]);
+        if (c.covered.insert(ckeys[i]).second) {
+            fresh[i] = 1;
+            ++num_fresh;
+        }
+    }
+    if (num_fresh == 0) return Status::OK();
+
+    const std::size_t num_fields = c.evaluator->num_fields();
+    const auto& members = dm->meta.schema.members;
+    bool usable = members.size() == num_fields && total_rows <= kMaxChunkRows;
+
+    // Fetch + decompress + widen exactly one member column on demand.
+    std::vector<std::string> raw(members.size());
+    std::vector<std::vector<double>> widened(members.size());
+    std::vector<const double*> cols(members.size(), nullptr);
+    auto fetch_member = [&](std::uint32_t f) -> bool {
+        if (f >= members.size()) return false;
+        if (cols[f] != nullptr) return true;
+        const auto& m = members[f];
+        auto value = c.db->get(columnar::chunk_key(uuid, c.suffix, m.name, chunk_id));
+        if (!value.ok()) return false;
+        page.bytes_scanned += value->size();
+        columnar::ColumnBlock block;
+        try {
+            serial::from_string(*value, block);
+        } catch (const serial::SerializationError&) {
+            return false;
+        }
+        const std::size_t width = columnar::width_of(m.type);
+        if (block.count != total_rows || block.width != width) return false;
+        raw[f].assign(total_rows * width, '\0');
+        if (!columnar::decode_block(block, raw[f].data()).ok()) return false;
+        page.bytes_decompressed += raw[f].size();
+        widened[f].resize(total_rows);
+        columnar::widen_to_doubles(m.type, raw[f], 0, total_rows, widened[f].data());
+        cols[f] = widened[f].data();
+        return true;
+    };
+    if (usable) {
+        for (std::uint32_t f : c.needed) {
+            if (!fetch_member(f)) {
+                usable = false;
+                break;
+            }
+        }
+    }
+
+    std::vector<std::uint8_t> accept;
+    if (usable) {
+        accept.resize(total_rows);
+        c.spec.filter.matches_batch(cols.data(), num_fields, total_rows, accept.data(),
+                                    c.scratch);
+        // Lazy id column: only decompressed when some fresh event actually
+        // accepted a row (and the filter did not already pull it in).
+        if (c.spec.id_field != proto::kRowOrdinal && cols[c.spec.id_field] == nullptr) {
+            bool any = false;
+            for (std::size_t i = 0; i < n && !any; ++i) {
+                if (!fresh[i]) continue;
+                for (std::uint64_t r = dm->row_offsets[i]; r < dm->row_offsets[i + 1]; ++r) {
+                    if (accept[r]) {
+                        any = true;
+                        break;
+                    }
+                }
+            }
+            if (any && !fetch_member(c.spec.id_field)) usable = false;
+        }
+    }
+
+    if (!usable) {
+        // Columns unusable (missing, corrupt, or schema/evaluator mismatch):
+        // the chunk's fresh events are point-read from their blobs right here,
+        // keeping the coverage invariant "covered == chunk meta was readable".
+        stats_.chunk_fallbacks.fetch_add(1, std::memory_order_relaxed);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!fresh[i]) continue;
+            std::string key = ckeys[i] + c.suffix;
+            auto value = c.db->get(key);
+            if (!value.ok()) {
+                if (value.status().code() == StatusCode::kNotFound) continue;
+                return value.status();
+            }
+            stats_.events_uncovered.fetch_add(1, std::memory_order_relaxed);
+            evaluate_blob_record(c, key, *value, page, writebacks);
+        }
+        return Status::OK();
+    }
+
+    const double* id_col =
+        c.spec.id_field != proto::kRowOrdinal ? cols[c.spec.id_field] : nullptr;
+    page.chunks_scanned += 1;
+    stats_.events_covered.fetch_add(num_fresh, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!fresh[i]) continue;
+        const std::uint64_t begin = dm->row_offsets[i];
+        const std::uint64_t end = dm->row_offsets[i + 1];
+        page.events_examined += 1;
+        page.rows_examined += end - begin;
+        std::vector<std::uint32_t> accepted;
+        for (std::uint64_t r = begin; r < end; ++r) {
+            if (!accept[r]) continue;
+            accepted.push_back(id_col != nullptr
+                                   ? static_cast<std::uint32_t>(id_col[r])
+                                   : static_cast<std::uint32_t>(r - begin));
+        }
+        if (accepted.empty()) continue;
+        Entry entry;
+        entry.run = dm->runs[i];
+        entry.subrun = dm->subruns[i];
+        entry.event = dm->events[i];
+        entry.rows = accepted;
+        stats_.events_accepted.fetch_add(1, std::memory_order_relaxed);
+        stats_.rows_accepted.fetch_add(accepted.size(), std::memory_order_relaxed);
+        if (c.spec.write_selected) {
+            writebacks.push_back(
+                yokan::KeyValue{ckeys[i] + c.selected_suffix, serial::to_string(accepted)});
+        }
+        page.entries.push_back(std::move(entry));
+    }
+    return Status::OK();
+}
+
+Status QueryProvider::rebuild_coverage(Cursor& c, std::string_view upto) {
+    std::string pos;
+    bool done = false;
+    while (!done) {
+        std::vector<std::string> metas;
+        bool past_upto = false;
+        auto chunk = c.db->scan_chunk(
+            pos, c.meta_prefix, kMetaScanKeys, /*with_values=*/false,
+            [&](std::string_view key, std::string_view) {
+                if (!upto.empty() && key > upto) {
+                    past_upto = true;
+                    return false;
+                }
+                std::string_view uuid;
+                std::uint64_t chunk_id = 0;
+                if (columnar::parse_meta_key(key, c.suffix, uuid, chunk_id)) {
+                    metas.emplace_back(key);
+                }
+                return true;
+            });
+        if (!chunk.ok()) return chunk.status();
+        for (const auto& meta_key : metas) {
+            std::string_view uuid;
+            std::uint64_t chunk_id = 0;
+            columnar::parse_meta_key(meta_key, c.suffix, uuid, chunk_id);
+            auto value = c.db->get(meta_key);
+            if (!value.ok()) {
+                if (value.status().code() == StatusCode::kNotFound) continue;
+                return value.status();
+            }
+            auto dm = columnar::decode_meta(*value);
+            if (!dm.ok()) continue;  // corrupt meta never covered anything
+            for (std::size_t i = 0; i < dm->runs.size(); ++i) {
+                c.covered.insert(
+                    container_key(uuid, dm->runs[i], dm->subruns[i], dm->events[i]));
+            }
+        }
+        done = chunk->exhausted || past_upto || chunk->last_key.empty();
+        pos = chunk->last_key;
+    }
+    return Status::OK();
 }
 
 Result<CloseResp> QueryProvider::handle_close(const CloseReq& req) {
@@ -349,6 +735,13 @@ json::Value QueryProvider::stats_json() const {
     v["bytes_scanned"] = get(stats_.bytes_scanned);
     v["bytes_returned"] = get(stats_.bytes_returned);
     v["writebacks"] = get(stats_.writebacks);
+    v["columnar_queries"] = get(stats_.columnar_queries);
+    v["chunks_scanned"] = get(stats_.chunks_scanned);
+    v["chunks_corrupt"] = get(stats_.chunks_corrupt);
+    v["chunk_fallbacks"] = get(stats_.chunk_fallbacks);
+    v["bytes_decompressed"] = get(stats_.bytes_decompressed);
+    v["events_covered"] = get(stats_.events_covered);
+    v["events_uncovered"] = get(stats_.events_uncovered);
     return v;
 }
 

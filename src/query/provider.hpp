@@ -54,6 +54,15 @@ struct QueryStats {
     std::atomic<std::uint64_t> bytes_returned{0};     // serialized page bytes
     std::atomic<std::uint64_t> writebacks{0};
     std::atomic<std::uint64_t> cursors_evicted{0};
+    // Columnar (vectorized) scan path:
+    std::atomic<std::uint64_t> columnar_queries{0};   // columnar cursors opened
+    std::atomic<std::uint64_t> chunks_scanned{0};     // chunks evaluated vectorized
+    std::atomic<std::uint64_t> chunks_corrupt{0};     // undecodable meta, skipped
+    std::atomic<std::uint64_t> chunk_fallbacks{0};    // chunks whose events fell
+                                                      // back to blob point reads
+    std::atomic<std::uint64_t> bytes_decompressed{0}; // raw column bytes widened
+    std::atomic<std::uint64_t> events_covered{0};     // events served from chunks
+    std::atomic<std::uint64_t> events_uncovered{0};   // blob fallback events
 };
 
 class QueryProvider final : public margo::Provider {
@@ -63,6 +72,8 @@ class QueryProvider final : public margo::Provider {
         std::uint64_t max_page_entries = 65536;  // clamp on OpenReq::page_entries
         std::uint64_t max_scan_chunk = 65536;    // clamp on OpenReq::scan_chunk
         bool prefetch = true;                    // read-ahead ULTs
+        bool columnar = false;                   // serve columnar (vectorized)
+                                                 // scans; off = Unimplemented
     };
 
     /// Register the query RPCs under `databases`' provider id. `pool`
@@ -95,6 +106,19 @@ class QueryProvider final : public margo::Provider {
     /// Run the chunked scan until one page is full (or the key space ends),
     /// applying write-backs between chunks. Caller holds the cursor's mutex.
     Result<proto::Page> produce_page(Cursor& c);
+    /// Columnar variant: vectorized chunk phase, then blob fallback phase.
+    Result<proto::Page> produce_page_columnar(Cursor& c);
+    /// Fetch, decode and evaluate one column chunk, appending accepted
+    /// entries; falls back to blob point reads when columns are unusable.
+    Status process_chunk(Cursor& c, const std::string& meta_key, proto::Page& page,
+                         std::vector<yokan::KeyValue>& writebacks);
+    /// Decode one blob product record and append its entry if rows pass.
+    void evaluate_blob_record(Cursor& c, std::string_view key, std::string_view value,
+                              proto::Page& page, std::vector<yokan::KeyValue>& writebacks);
+    /// Re-derive the covered-event set from chunk metadata at open time —
+    /// what makes columnar cursors as disposable as blob ones. `upto` bounds
+    /// the rebuild for resumes that land mid-chunk-phase ("" = all chunks).
+    Status rebuild_coverage(Cursor& c, std::string_view upto);
     void maybe_spawn_prefetch(const std::shared_ptr<Cursor>& c);
 
     std::shared_ptr<Cursor> find_cursor(std::uint64_t id);

@@ -37,6 +37,7 @@ WorkflowResult run_pushdown_selection(hepnos::DataStore store, const std::string
         query::QueryOptions qopts;
         qopts.page_entries = options.pushdown_page_entries;
         qopts.scan_chunk = options.pushdown_scan_chunk;
+        qopts.columnar = options.columnar;
 
         const auto start = std::chrono::steady_clock::now();
         auto res = hepnos::run_query(store, dataset, spec,

@@ -38,6 +38,12 @@ struct HepnosAppOptions {
     bool pushdown = false;
     std::uint64_t pushdown_page_entries = 512;  // accepted entries per page
     std::uint64_t pushdown_scan_chunk = 2048;   // keys per backend scan chunk
+
+    /// Ask for the columnar (vectorized, column-pruned) scan explicitly.
+    /// run_query already turns this on when the connection advertises the
+    /// "columnar" knob; against older services the client falls back to the
+    /// blob scan, so results are identical either way.
+    bool columnar = false;
 };
 
 /// The label the write-back path stores accepted slice indices under.

@@ -25,6 +25,7 @@ struct TestServiceOptions {
     json::Value qos;                     // non-null: passed through as the "qos" knob
     json::Value cache;                   // non-null: passed through as the "cache" knob
     bool cache_tier = false;             // add a cache provider (id 90) per server
+    json::Value columnar;                // non-null: passed through as the "columnar" knob
 };
 
 /// Builds the bedrock JSON for one server.
@@ -72,6 +73,7 @@ inline json::Value make_server_config(const TestServiceOptions& opts, std::size_
     if (opts.query_pushdown) cfg["query"]["enabled"] = true;
     if (!opts.qos.is_null()) cfg["qos"] = opts.qos;
     if (!opts.cache.is_null()) cfg["cache"] = opts.cache;
+    if (!opts.columnar.is_null()) cfg["columnar"] = opts.columnar;
     return cfg;
 }
 
