@@ -120,7 +120,7 @@ ModeResult run_mode(bool qos_on) {
                              hep::Buffer::copy_of(value)});
         }
         batches.push_back(std::move(items));
-        yokan::proto::PutPackedReq req{"bench", kBatch, true,
+        yokan::proto::PutPackedReq req{"bench", kBatch, true, /*epoch=*/0,
                                        yokan::proto::pack_items(batches.back())};
         chains.push_back(serial::to_chain(req));
     }

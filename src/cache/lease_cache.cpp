@@ -47,11 +47,11 @@ LeaseCache::Lookup LeaseCache::lookup(std::string_view key) {
     const auto age = std::chrono::duration_cast<std::chrono::milliseconds>(now - e.filled_at);
     if (age.count() >= static_cast<std::int64_t>(opts_.lease_ms)) {
         ++counters_.lease_expiries;
-        return {LookupState::kExpired, e.value, e.seq};
+        return {LookupState::kExpired, e.value, e.seq, e.vseq, e.vepoch};
     }
     ++counters_.hits;
     lru_.splice(lru_.begin(), lru_, it->second);  // touch
-    return {LookupState::kHit, e.value, e.seq};
+    return {LookupState::kHit, e.value, e.seq, e.vseq, e.vepoch};
 }
 
 LeaseCache::Ticket LeaseCache::ticket(std::string db_id, std::string target) {
@@ -65,7 +65,7 @@ LeaseCache::Ticket LeaseCache::ticket(std::string db_id, std::string target) {
 }
 
 void LeaseCache::fill(std::string key, hep::BufferView value, std::uint64_t seq,
-                      const Ticket& t) {
+                      const Ticket& t, std::uint64_t vseq, std::uint32_t vepoch) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) unlink_locked(it->second);
@@ -73,6 +73,8 @@ void LeaseCache::fill(std::string key, hep::BufferView value, std::uint64_t seq,
     e.key = std::move(key);
     e.value = std::move(value);
     e.seq = seq;
+    e.vseq = vseq;
+    e.vepoch = vepoch;
     e.db_epoch = t.db_epoch;
     e.target_epoch = t.target_epoch;
     e.db_id = t.db_id;
@@ -85,12 +87,23 @@ void LeaseCache::fill(std::string key, hep::BufferView value, std::uint64_t seq,
     evict_locked();
 }
 
-bool LeaseCache::renew(std::string_view key, std::uint64_t seq) {
+bool LeaseCache::renew(std::string_view key, std::uint64_t seq, const Ticket& t) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(std::string(key));
     if (it == index_.end()) return false;
     Entry& e = *it->second;
     if (e.seq != seq) return false;
+    // The ticket was captured before the seq probe. If either epoch moved
+    // since — a mutation, or a failover promotion demoting the target this
+    // entry was filled from — the probe's answer may have come from a stale
+    // primary; refuse and let the caller refetch from the current one.
+    const auto db_ep = db_epochs_.find(t.db_id);
+    const auto tg_ep = target_epochs_.find(t.target);
+    if ((db_ep == db_epochs_.end() ? 0 : db_ep->second) != t.db_epoch ||
+        (tg_ep == target_epochs_.end() ? 0 : tg_ep->second) != t.target_epoch) {
+        return false;
+    }
+    if (e.db_epoch != t.db_epoch || e.target_epoch != t.target_epoch) return false;
     e.filled_at = std::chrono::steady_clock::now();
     lru_.splice(lru_.begin(), lru_, it->second);
     ++counters_.renewals;

@@ -78,6 +78,8 @@ class LeaseCache {
         LookupState state = LookupState::kMiss;
         hep::BufferView value;  // valid for kHit and kExpired
         std::uint64_t seq = 0;  // owner mutation seq observed at fill
+        std::uint64_t vseq = 0;    // the value's own MVCC stamp: snapshot
+        std::uint32_t vepoch = 0;  // readers check it against their pin
     };
 
     /// Epochs captured before a fill's read is issued (see file comment).
@@ -97,12 +99,18 @@ class LeaseCache {
     /// Capture the current epochs of (db_id, target) for a fill in flight.
     Ticket ticket(std::string db_id, std::string target);
 
-    /// Insert (or replace) an entry carrying the ticket's epochs.
-    void fill(std::string key, hep::BufferView value, std::uint64_t seq, const Ticket& t);
+    /// Insert (or replace) an entry carrying the ticket's epochs. vseq/vepoch
+    /// are the value's own MVCC stamp (0,0 = unknown: pinned lookups bypass).
+    void fill(std::string key, hep::BufferView value, std::uint64_t seq, const Ticket& t,
+              std::uint64_t vseq = 0, std::uint32_t vepoch = 0);
 
     /// Refresh an expired entry's lease after the owner's seq was confirmed
-    /// unchanged. Returns false if the entry is gone or its seq moved.
-    bool renew(std::string_view key, std::uint64_t seq);
+    /// unchanged. `t` must have been captured BEFORE the seq probe: a
+    /// failover promotion (or any mutation) between the probe and this call
+    /// bumps an epoch past the ticket's and the renewal is refused — a
+    /// demoted primary cannot keep its stale leases alive. Returns false if
+    /// the entry is gone, its seq moved, or the ticket's epochs are stale.
+    bool renew(std::string_view key, std::uint64_t seq, const Ticket& t);
 
     void erase(std::string_view key);
 
@@ -149,6 +157,8 @@ class LeaseCache {
         std::string key;
         hep::BufferView value;
         std::uint64_t seq = 0;
+        std::uint64_t vseq = 0;    // value's MVCC stamp (0 = unknown)
+        std::uint32_t vepoch = 0;
         std::uint64_t db_epoch = 0;
         std::uint64_t target_epoch = 0;
         std::string db_id;

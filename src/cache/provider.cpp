@@ -50,11 +50,15 @@ Result<proto::GetResp> Provider::handle_get(const proto::GetReq& req) {
     const qos::QosTag fill_tag{std::string(kCacheTenant), qos::kClassBatch};
     if (found.state == LeaseCache::LookupState::kExpired) {
         // Lease ran out: one cheap seq probe renews the lease when the owner
-        // has not mutated since the fill — no value transfer.
+        // has not mutated since the fill — no value transfer. The ticket is
+        // captured BEFORE the probe: if a failover promotion lands in
+        // between, the answer may have come from the demoted primary and the
+        // epoch-checked renew refuses it.
+        auto renew_ticket = table_->ticket(db_id, "");
         auto seq = engine_.forward<yokan::proto::CountReq, yokan::proto::SeqResp>(
             req.owner_server, "yokan_seq", req.owner_provider, {req.db},
             std::chrono::milliseconds{0}, fill_tag);
-        if (seq.ok() && seq->seq == found.seq && table_->renew(qual, found.seq)) {
+        if (seq.ok() && seq->seq == found.seq && table_->renew(qual, found.seq, renew_ticket)) {
             table_->hit_latency().observe(ms_since(t0));
             return proto::GetResp{found.value, found.seq, /*hit=*/true};
         }
@@ -67,7 +71,7 @@ Result<proto::GetResp> Provider::handle_get(const proto::GetReq& req) {
         req.owner_server, "yokan_get_vs", req.owner_provider, {req.db, req.key},
         std::chrono::milliseconds{0}, fill_tag);
     if (!got.ok()) return got.status();  // NotFound is not cached (no negative entries)
-    table_->fill(qual, got->value, got->seq, ticket);
+    table_->fill(qual, got->value, got->seq, ticket, got->vseq, got->vepoch);
     table_->miss_latency().observe(ms_since(t0));
     return proto::GetResp{got->value, got->seq, /*hit=*/false};
 }

@@ -32,6 +32,21 @@ DataSet DataStore::root() const {
     return DataSet(impl_, "", Uuid());
 }
 
+Result<std::uint32_t> DataStore::begin_ingest() const {
+    if (!impl_) return Status::InvalidArgument("DataStore is not connected");
+    return impl_->begin_ingest();
+}
+
+Status DataStore::publish(std::uint32_t epoch) const {
+    if (!impl_) return Status::InvalidArgument("DataStore is not connected");
+    return impl_->publish(epoch);
+}
+
+Result<Snapshot> DataStore::snapshot() const {
+    if (!impl_) return Status::InvalidArgument("DataStore is not connected");
+    return impl_->snapshot();
+}
+
 DataSet DataStore::createDataSet(std::string_view path) const {
     const std::string normalized = normalize_path(path);
     DataSet current = root();

@@ -64,6 +64,24 @@ class DataStore {
     Result<QueryResult> query(const DataSet& dataset, const query::proto::QuerySpec& spec,
                               const query::QueryOptions& options, std::size_t offset = 0,
                               std::size_t stride = 1) const;
+    /// Snapshot-pinned pushdown: every cursor reads through `snap`'s pin for
+    /// its database, so the selection is bit-identical to one run on a
+    /// quiesced copy even while ingest continues.
+    Result<QueryResult> query(const DataSet& dataset, const query::proto::QuerySpec& spec,
+                              const Snapshot& snap, std::size_t offset = 0,
+                              std::size_t stride = 1) const;
+
+    // ---- MVCC: ingest epochs, publish, snapshots (see DESIGN.md) ----------
+    /// Start an ingest session: allocate a fresh epoch; WriteBatches created
+    /// from now on tag their writes with it, invisible to every reader until
+    /// publish().
+    Result<std::uint32_t> begin_ingest() const;
+    /// Commit `epoch` atomically across all databases (events, products,
+    /// columnar chunks): after publish returns OK the epoch is visible
+    /// everywhere — before, nowhere.
+    Status publish(std::uint32_t epoch) const;
+    /// Capture a consistent read position across every database.
+    Result<Snapshot> snapshot() const;
 
     /// Shared connection internals (used by the ParallelEventProcessor, the
     /// DataLoader and the benches).

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <optional>
 
 #include "replica/bootstrap.hpp"
 #include "symbio/buffers.hpp"
+#include "yokan/backend.hpp"
 
 namespace hep::hepnos {
 
@@ -177,6 +179,10 @@ Result<std::shared_ptr<DataStoreImpl>> DataStoreImpl::connect(rpc::Fabric& netwo
             return out;
         });
     }
+    // Publishes interrupted between the registry commit point and the marker
+    // broadcast leave some databases without the marker; every connection
+    // repairs that idempotently (a re-put of an existing marker is a no-op).
+    impl->repair_markers();
     return impl;
 }
 
@@ -208,8 +214,14 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 Result<hep::BufferView> DataStoreImpl::read_product(std::string_view container_key,
-                                                    const std::string& key) {
+                                                    const std::string& key,
+                                                    const yokan::proto::ReadPin* pin) {
     const yokan::DatabaseHandle& db = locate(Role::kProducts, container_key);
+    if (pin != nullptr && pin->pinned()) {
+        // Pinned reads bypass the cache: it holds latest values, and a
+        // snapshot must not observe them. The owner filters by the pin.
+        return db.with_snapshot(*pin).get_view(key);
+    }
     if (!cache_ || cache_->bypass()) return db.get_view(key);
 
     const auto start = std::chrono::steady_clock::now();
@@ -221,8 +233,13 @@ Result<hep::BufferView> DataStoreImpl::read_product(std::string_view container_k
     if (found.state == cache::LeaseCache::LookupState::kExpired) {
         // The lease ran out but the value may well still be current: confirm
         // the owner's mutation seq and renew instead of refetching the bytes.
+        // The ticket is captured BEFORE the probe — if a failover promotion
+        // (or any local invalidation) lands between probe and renew, the
+        // epochs moved and the renew is refused instead of resurrecting a
+        // lease against the demoted primary's stale seq.
+        const auto renew_ticket = cache_->ticket(cache_db_id(db), cache_fill_target(db));
         auto seq = db.mutation_seq();
-        if (seq.ok() && *seq == found.seq && cache_->renew(key, *seq)) {
+        if (seq.ok() && *seq == found.seq && cache_->renew(key, *seq, renew_ticket)) {
             cache_->hit_latency().observe(ms_since(start));
             return std::move(found.value);
         }
@@ -252,11 +269,16 @@ Result<hep::BufferView> DataStoreImpl::read_product(std::string_view container_k
 }
 
 Result<std::vector<std::optional<hep::BufferView>>> DataStoreImpl::load_products_bulk(
-    std::size_t db_index, const std::vector<std::string>& keys) {
+    std::size_t db_index, const std::vector<std::string>& keys,
+    const yokan::proto::ReadPin* pin) {
     // Prefetch traffic self-classifies as batch so it never starves
     // interactive readers (paper §II-D).
     const auto db =
         dbs_[static_cast<std::size_t>(Role::kProducts)][db_index].with_class(qos::kClassBatch);
+    if (pin != nullptr && pin->pinned()) {
+        // Snapshot-pinned bulk loads never touch the (latest-value) cache.
+        return db.with_snapshot(*pin).get_multi_views(keys);
+    }
     if (!cache_ || cache_->bypass() || keys.empty()) return db.get_multi_views(keys);
 
     std::vector<std::optional<hep::BufferView>> out(keys.size());
@@ -301,6 +323,110 @@ void DataStoreImpl::invalidate_products(const yokan::DatabaseHandle& handle,
     keys.reserve(items.size());
     for (const auto& item : items) keys.push_back(item.key);
     tier_->invalidate(handle.server(), handle.provider(), handle.name(), keys);
+}
+
+// ---- MVCC: ingest epochs, publish, snapshots --------------------------------
+
+Result<std::vector<std::uint32_t>> DataStoreImpl::published_epochs() const {
+    constexpr std::size_t kPage = 256;
+    std::vector<std::uint32_t> epochs;
+    std::string after;
+    while (true) {
+        // The marker prefix starts with the internal-key byte, so the scan
+        // explicitly reaches into the internal range and sees the markers.
+        auto page = registry().list_keys(after, yokan::kPublishMarkerPrefix, kPage);
+        if (!page.ok()) return page.status();
+        if (page->empty()) break;
+        for (const auto& key : *page) {
+            if (std::uint32_t e = yokan::parse_publish_marker(key); e != 0) {
+                epochs.push_back(e);
+            }
+        }
+        after = page->back();
+        if (page->size() < kPage) break;
+    }
+    std::sort(epochs.begin(), epochs.end());
+    return epochs;
+}
+
+Result<std::uint32_t> DataStoreImpl::begin_ingest() {
+    // Epoch allocation is a read-modify-write on the registry counter. Two
+    // clients racing here could draw the same epoch — ingest sessions are
+    // expected to be coordinated (one loader per run), like HEPnOS's own
+    // DataLoader; the markers themselves stay correct either way.
+    const auto& reg = registry();
+    std::uint32_t next = 1;
+    auto cur = reg.get(std::string(yokan::kEpochCounterKey));
+    if (cur.ok()) {
+        next = static_cast<std::uint32_t>(std::strtoul(cur->c_str(), nullptr, 10)) + 1;
+    } else if (cur.status().code() != StatusCode::kNotFound) {
+        return cur.status();
+    }
+    if (Status st = reg.put(std::string(yokan::kEpochCounterKey), std::to_string(next));
+        !st.ok()) {
+        return st;
+    }
+    active_epoch_.store(next, std::memory_order_relaxed);
+    return next;
+}
+
+Status DataStoreImpl::publish(std::uint32_t epoch) {
+    if (epoch == 0) return Status::InvalidArgument("epoch 0 is always published");
+    const std::string marker = yokan::publish_marker_key(epoch);
+    // Commit point: ONE marker put on the registry (replicated and WAL-logged
+    // like any write). Once it lands the epoch IS published — snapshots take
+    // their filter from the registry, so how far the broadcast below gets
+    // never splits visibility.
+    if (Status st = registry().put(marker, ""); !st.ok()) return st;
+    std::uint32_t expected = epoch;
+    active_epoch_.compare_exchange_strong(expected, 0, std::memory_order_relaxed);
+    // Broadcast so unpinned ("latest") readers of every database see the
+    // epoch without a registry hop. Failures here are healed by the next
+    // connect()'s repair_markers(); publish() is idempotent, retry freely.
+    Status first;
+    for (auto& role_dbs : dbs_) {
+        for (auto& db : role_dbs) {
+            Status st = db.put(marker, "");
+            if (!st.ok() && first.ok()) first = st;
+        }
+    }
+    return first;
+}
+
+Result<Snapshot> DataStoreImpl::snapshot() {
+    // Order matters: the published set is captured BEFORE any seq probe. An
+    // epoch published after the capture is excluded by the filter no matter
+    // what the probes see; one published before it had all its writes landed
+    // (publish follows the batch flush), so the later probes cover them.
+    auto epochs = published_epochs();
+    if (!epochs.ok()) return epochs.status();
+    Snapshot snap;
+    for (std::size_t r = 0; r < kNumRoles; ++r) {
+        snap.pins[r].reserve(dbs_[r].size());
+        for (auto& db : dbs_[r]) {
+            auto seq = db.mutation_seq();
+            if (!seq.ok()) return seq.status();
+            yokan::proto::ReadPin pin;
+            // SeqSource floors at 1 so even a never-written database probes
+            // to a valid pin (seq 0 would mean "latest"); the max() only
+            // guards against a pre-floor server.
+            pin.seq = std::max<std::uint64_t>(*seq, 1);
+            pin.extras = *epochs;
+            snap.pins[r].push_back(std::move(pin));
+        }
+    }
+    return snap;
+}
+
+void DataStoreImpl::repair_markers() {
+    auto epochs = published_epochs();
+    if (!epochs.ok() || epochs->empty()) return;
+    for (std::uint32_t e : *epochs) {
+        const std::string marker = yokan::publish_marker_key(e);
+        for (auto& role_dbs : dbs_) {
+            for (auto& db : role_dbs) (void)db.put(marker, "");
+        }
+    }
 }
 
 }  // namespace hep::hepnos

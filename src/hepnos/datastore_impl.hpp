@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -36,6 +37,22 @@ inline constexpr std::size_t kNumRoles = 5;
 
 std::string_view to_string(Role role) noexcept;
 Result<Role> parse_role(std::string_view name) noexcept;
+
+/// A consistent client-side read position: one MVCC pin per database of each
+/// role, all sharing the publish-epoch filter captured at the epoch registry.
+/// Plain value — cheap to copy, never expires, nothing is locked server-side.
+/// Reads through it observe exactly the published epochs and per-db sequence
+/// positions of the capture moment, regardless of concurrent ingest.
+struct Snapshot {
+    std::array<std::vector<yokan::proto::ReadPin>, kNumRoles> pins;
+
+    [[nodiscard]] const yokan::proto::ReadPin& pin(Role role, std::size_t db_index) const {
+        return pins[static_cast<std::size_t>(role)][db_index];
+    }
+    [[nodiscard]] bool valid() const noexcept {
+        return !pins[static_cast<std::size_t>(Role::kProducts)].empty();
+    }
+};
 
 class DataStoreImpl {
   public:
@@ -158,15 +175,45 @@ class DataStoreImpl {
     /// full product key; `container_key` only drives placement. Honors the
     /// cache's bypass mode (straight to the owner) and lease revalidation
     /// (one mutation_seq probe instead of a refetch when the value is
-    /// unchanged). NotFound passes through un-cached.
-    Result<hep::BufferView> read_product(std::string_view container_key, const std::string& key);
+    /// unchanged). NotFound passes through un-cached. A non-null pinned `pin`
+    /// bypasses the cache entirely (it holds latest values) and resolves the
+    /// read at that snapshot on the owner.
+    Result<hep::BufferView> read_product(std::string_view container_key, const std::string& key,
+                                         const yokan::proto::ReadPin* pin = nullptr);
 
     /// Bulk read-through for the prefetch paths (Prefetcher / parallel event
     /// processor): serve what the local cache can, fetch the rest with one
     /// batch-class get_multi on products database `db_index`, and fill the
-    /// cache with the result. Result order matches `keys`.
+    /// cache with the result. Result order matches `keys`. A pinned `pin`
+    /// skips the cache and resolves the whole batch at that snapshot.
     Result<std::vector<std::optional<hep::BufferView>>> load_products_bulk(
-        std::size_t db_index, const std::vector<std::string>& keys);
+        std::size_t db_index, const std::vector<std::string>& keys,
+        const yokan::proto::ReadPin* pin = nullptr);
+
+    // ---- MVCC: ingest epochs, publish, snapshots (see DESIGN.md) ------------
+    /// The epoch WriteBatches created from now on tag their writes with
+    /// (0 = publish-on-write, the default).
+    [[nodiscard]] std::uint32_t active_epoch() const noexcept {
+        return active_epoch_.load(std::memory_order_relaxed);
+    }
+
+    /// Allocate a fresh ingest epoch from the registry database's counter and
+    /// make it the connection's active epoch: writes batched under it stay
+    /// invisible to every reader until publish(). Returns the epoch.
+    Result<std::uint32_t> begin_ingest();
+
+    /// Commit `epoch` atomically across every database: ONE marker put on the
+    /// epoch registry is the commit point (replicated like any write), then
+    /// the marker is broadcast to all event/product/... databases so their
+    /// latest-readers see it without consulting the registry. A crash between
+    /// the two leaves the registry authoritative — connect() re-broadcasts
+    /// markers on every connection, so the epoch is never half-published.
+    Status publish(std::uint32_t epoch);
+
+    /// Capture a consistent read position: the registry's published-epoch set
+    /// FIRST, then every database's current sequence. Any epoch published
+    /// before the capture is fully visible; everything later is invisible.
+    Result<Snapshot> snapshot();
 
     /// A mutation landed on the logical database behind `handle`: bump the
     /// local cache's db epoch synchronously (same-client read-after-write is
@@ -182,7 +229,19 @@ class DataStoreImpl {
   private:
     DataStoreImpl() = default;
 
+    /// The epoch registry: the first datasets database — one deterministic
+    /// choice every client derives identically from the connection document.
+    [[nodiscard]] const yokan::DatabaseHandle& registry() const {
+        return dbs_[static_cast<std::size_t>(Role::kDatasets)][0];
+    }
+    /// Published epochs recorded on the registry (sorted ascending).
+    Result<std::vector<std::uint32_t>> published_epochs() const;
+    /// Best-effort re-broadcast of every registry marker to every database —
+    /// heals publishes interrupted between commit point and broadcast.
+    void repair_markers();
+
     std::unique_ptr<margo::Engine> engine_;
+    std::atomic<std::uint32_t> active_epoch_{0};
     std::array<std::vector<yokan::DatabaseHandle>, kNumRoles> dbs_;
     std::array<std::vector<bool>, kNumRoles> active_;
     std::array<HashRing, kNumRoles> rings_;

@@ -7,7 +7,13 @@ void Prefetcher::visit_container(const Uuid& dataset, std::string_view parent_ke
     auto& impl = *datastore_.impl();
     // The prefetcher reads ahead of the analysis loop: demote its scans and
     // bulk loads to batch class so they never starve interactive requests.
-    const auto events_db = impl.locate(Role::kEvents, parent_key).with_class(qos::kClassBatch);
+    auto events_db = impl.locate(Role::kEvents, parent_key).with_class(qos::kClassBatch);
+    if (snap_) {
+        // Pinned iteration: the event-key pages resolve at the snapshot too,
+        // so an event ingested after the capture is neither listed nor read.
+        events_db = events_db.with_snapshot(
+            snap_->pin(Role::kEvents, impl.locate_index(Role::kEvents, parent_key)));
+    }
 
     std::string after(parent_key);
     while (true) {
@@ -29,7 +35,9 @@ void Prefetcher::visit_container(const Uuid& dataset, std::string_view parent_ke
             for (auto& [db, keys] : by_db) {
                 // Batch-class bulk load through the client lease cache: hot
                 // products are served locally, only the rest hit the wire.
-                auto values = impl.load_products_bulk(db, keys);
+                // (Pinned loads skip the cache — it holds latest values.)
+                auto values = impl.load_products_bulk(
+                    db, keys, snap_ ? &snap_->pin(Role::kProducts, db) : nullptr);
                 if (!values.ok()) throw Exception(values.status());
                 for (std::size_t i = 0; i < keys.size(); ++i) {
                     if ((*values)[i].has_value()) {

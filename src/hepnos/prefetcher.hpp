@@ -16,6 +16,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,11 @@ class Prefetcher {
         labels_.emplace_back(std::string(label), std::string(product_type_name<T>()));
     }
 
+    /// Pin every read (event-key pages and bulk product loads) to `snap`:
+    /// the iteration then observes exactly the snapshot's state, bit-for-bit,
+    /// no matter how much ingest runs concurrently.
+    void pin(Snapshot snap) { snap_ = std::move(snap); }
+
     using Visitor = std::function<void(const Event&, const ProductCache&)>;
 
     /// Visit every event of the subrun in ascending order.
@@ -59,6 +65,7 @@ class Prefetcher {
 
     DataStore datastore_;
     std::size_t page_size_;
+    std::optional<Snapshot> snap_;
     std::vector<std::pair<std::string, std::string>> labels_;  // (label, type)
     mutable std::uint64_t visited_ = 0;
     mutable std::uint64_t prefetched_ = 0;

@@ -25,6 +25,28 @@ Result<QueryResult> run_query(const DataStore& datastore, const DataSet& dataset
     return QueryResult(impl, dataset.uuid(), std::move(*entries), stats);
 }
 
+Result<QueryResult> run_query(const DataStore& datastore, const DataSet& dataset,
+                              const query::proto::QuerySpec& spec, const Snapshot& snap,
+                              std::size_t offset, std::size_t stride,
+                              const query::QueryOptions& options) {
+    if (!datastore.valid()) return Status::InvalidArgument("datastore is not connected");
+    const auto& impl = datastore.impl();
+    if (!impl->query_enabled()) {
+        return Status::Unimplemented(
+            "this service was not deployed with query pushdown (enable the Bedrock "
+            "\"query\" section)");
+    }
+    if (!snap.valid()) return Status::InvalidArgument("snapshot was not captured");
+    query::QueryEngine engine(impl->engine(), impl->databases(Role::kProducts));
+    query::ClientStats stats;
+    query::QueryOptions opts = options;
+    opts.columnar = opts.columnar || impl->columnar_enabled();
+    const auto& pins = snap.pins[static_cast<std::size_t>(Role::kProducts)];
+    auto entries = engine.run(spec, dataset.uuid().bytes(), offset, stride, stats, opts, &pins);
+    if (!entries.ok()) return entries.status();
+    return QueryResult(impl, dataset.uuid(), std::move(*entries), stats);
+}
+
 Result<QueryResult> DataStore::query(const DataSet& dataset, const query::proto::QuerySpec& spec,
                                      std::size_t offset, std::size_t stride) const {
     return run_query(*this, dataset, spec, offset, stride);
@@ -34,6 +56,12 @@ Result<QueryResult> DataStore::query(const DataSet& dataset, const query::proto:
                                      const query::QueryOptions& options, std::size_t offset,
                                      std::size_t stride) const {
     return run_query(*this, dataset, spec, offset, stride, options);
+}
+
+Result<QueryResult> DataStore::query(const DataSet& dataset, const query::proto::QuerySpec& spec,
+                                     const Snapshot& snap, std::size_t offset,
+                                     std::size_t stride) const {
+    return run_query(*this, dataset, spec, snap, offset, stride);
 }
 
 }  // namespace hep::hepnos

@@ -66,4 +66,12 @@ Result<QueryResult> run_query(const DataStore& datastore, const DataSet& dataset
                               std::size_t stride = 1,
                               const query::QueryOptions& options = {});
 
+/// Snapshot-pinned variant: each database's cursor reads through `snap`'s pin
+/// for that database — the selection observes exactly the snapshot's state,
+/// bit-identical to the same query on a quiesced copy.
+Result<QueryResult> run_query(const DataStore& datastore, const DataSet& dataset,
+                              const query::proto::QuerySpec& spec, const Snapshot& snap,
+                              std::size_t offset = 0, std::size_t stride = 1,
+                              const query::QueryOptions& options = {});
+
 }  // namespace hep::hepnos

@@ -9,6 +9,7 @@ namespace hep::hepnos {
 WriteBatch::WriteBatch(std::shared_ptr<DataStoreImpl> impl, std::size_t flush_threshold)
     : impl_(std::move(impl)), flush_threshold_(flush_threshold) {
     if (!impl_) throw Exception("WriteBatch needs a connected DataStore");
+    epoch_ = impl_->active_epoch();
     if (impl_->columnar_enabled()) {
         writer_ = std::make_unique<columnar::ColumnWriter>(
             impl_->columnar_options(), columnar::SchemaRegistry::with_builtins(),
@@ -73,7 +74,7 @@ void WriteBatch::flush() {
 }
 
 void WriteBatch::ship(const yokan::DatabaseHandle& handle, std::vector<yokan::BatchItem> items) {
-    auto stored = handle.put_multi(items, /*overwrite=*/true);
+    auto stored = handle.put_multi(items, /*overwrite=*/true, epoch_);
     throw_if_error(stored.status());
     // Flush is the moment batched writes become visible: invalidate cached
     // copies synchronously so a read issued after flush() returns never sees
@@ -105,7 +106,7 @@ void AsyncWriteBatch::ship(const yokan::DatabaseHandle& handle,
     auto pending = std::make_unique<Pending>();
     pending->items = std::move(items);
     yokan::proto::PutPackedReq req{handle.name(), pending->items.size(), /*overwrite=*/true,
-                                   yokan::proto::pack_items(pending->items)};
+                                   epoch_, yokan::proto::pack_items(pending->items)};
     // Batched ingestion is bulk-class traffic: under load the server's
     // admission control may slow or shed it in favor of interactive reads.
     pending->eventual = impl_->engine().endpoint().call_async_chain(
@@ -131,7 +132,7 @@ void AsyncWriteBatch::wait() {
             // transport failed — or the server shed it. Fall back to the
             // synchronous path, which fails over across replicas and waits
             // out retry-after hints, so the batch still lands.
-            st = pending->handle.put_multi(pending->items, /*overwrite=*/true).status();
+            st = pending->handle.put_multi(pending->items, /*overwrite=*/true, epoch_).status();
         }
         if (!st.ok() && first_error.ok()) first_error = st;
     }

@@ -44,6 +44,10 @@ class WriteBatch {
     [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
     [[nodiscard]] std::uint64_t total_flushed() const noexcept { return total_flushed_; }
     [[nodiscard]] std::uint64_t flush_rpcs() const noexcept { return flush_rpcs_; }
+    /// Ingest epoch every write of this batch is tagged with — captured from
+    /// the connection's active epoch at construction. 0 = publish-on-write;
+    /// anything else stays invisible everywhere until DataStore::publish().
+    [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
 
   protected:
     struct TargetKey {
@@ -64,6 +68,7 @@ class WriteBatch {
 
     std::shared_ptr<DataStoreImpl> impl_;
     std::size_t flush_threshold_;
+    std::uint32_t epoch_ = 0;
     std::map<TargetKey, std::pair<yokan::DatabaseHandle, std::vector<yokan::BatchItem>>> groups_;
     std::size_t pending_ = 0;
     std::uint64_t total_flushed_ = 0;

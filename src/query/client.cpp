@@ -45,6 +45,11 @@ Status QueryClient::run(const proto::QuerySpec& spec, std::string_view prefix,
     std::string resume;  // resume_key of the last page safely received
     std::uint32_t reopens = 0;
     bool columnar = options.columnar;
+    // The snapshot this selection reads through. Starts as the caller's pin
+    // (possibly empty = "server pins at open"); after the first open it is
+    // the server's effective pin, and every re-open sends it back so cursor
+    // loss never upgrades the scan to a later version.
+    yokan::proto::ReadPin pin = options.pin;
 
     while (true) {
         std::string server, db;
@@ -59,6 +64,7 @@ Status QueryClient::run(const proto::QuerySpec& spec, std::string_view prefix,
         open.page_entries = options.page_entries;
         open.scan_chunk = options.scan_chunk;
         open.columnar = columnar ? 1 : 0;
+        open.pin = pin;
 
         auto opened =
             engine_->forward<OpenReq, OpenResp>(server, "query_open", provider, open, deadline(),
@@ -85,6 +91,7 @@ Status QueryClient::run(const proto::QuerySpec& spec, std::string_view prefix,
             return opened.status();
         }
         std::uint64_t cursor = opened->cursor;
+        pin = opened->pin;
 
         bool reopen = false;
         while (!reopen) {
@@ -130,12 +137,19 @@ Status QueryClient::run(const proto::QuerySpec& spec, std::string_view prefix,
 Result<std::vector<proto::Entry>> QueryEngine::run(const proto::QuerySpec& spec,
                                                    std::string_view prefix, std::size_t offset,
                                                    std::size_t stride, ClientStats& stats,
-                                                   const QueryOptions& options) const {
+                                                   const QueryOptions& options,
+                                                   const std::vector<yokan::proto::ReadPin>*
+                                                       pins) const {
     if (stride == 0) return Status::InvalidArgument("stride must be > 0");
+    if (pins != nullptr && pins->size() != dbs_.size()) {
+        return Status::InvalidArgument("need one pin per product database");
+    }
     std::vector<proto::Entry> out;
     for (std::size_t i = offset; i < dbs_.size(); i += stride) {
         QueryClient client(*engine_, dbs_[i]);
-        Status st = client.run(spec, prefix, out, stats, options);
+        QueryOptions opts = options;
+        if (pins != nullptr) opts.pin = (*pins)[i];
+        Status st = client.run(spec, prefix, out, stats, opts);
         if (!st.ok()) return st;
     }
     return out;

@@ -68,6 +68,11 @@ struct QueryOptions {
     /// and the client transparently retries in blob mode — results are
     /// identical either way, chunks are an acceleration copy.
     bool columnar = false;
+    /// MVCC pin the whole selection reads through. Empty (seq 0) lets the
+    /// server pin at first open; either way the client carries the effective
+    /// pin (from OpenResp) into every re-open, so a resumed cursor continues
+    /// at the SAME snapshot instead of silently upgrading to latest.
+    yokan::proto::ReadPin pin;
 };
 
 /// Drives one pushdown cursor against one database handle.
@@ -106,11 +111,15 @@ class QueryEngine {
 
     /// Query databases [offset, offset+stride, ...] — one MPI-style rank's
     /// share when (offset, stride) = (rank, num_ranks); (0, 1) = all of them.
-    /// Accepted entries are concatenated in database order.
+    /// Accepted entries are concatenated in database order. `pins`, when
+    /// non-null, carries one MVCC pin PER DATABASE (seqs are database-local,
+    /// so one shared pin cannot fan out); it overrides options.pin.
     Result<std::vector<proto::Entry>> run(const proto::QuerySpec& spec,
                                           std::string_view prefix, std::size_t offset,
                                           std::size_t stride, ClientStats& stats,
-                                          const QueryOptions& options = {}) const;
+                                          const QueryOptions& options = {},
+                                          const std::vector<yokan::proto::ReadPin>* pins =
+                                              nullptr) const;
 
   private:
     margo::Engine* engine_;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "query/filter.hpp"
+#include "yokan/protocol.hpp"
 
 namespace hep::query::proto {
 
@@ -69,18 +70,28 @@ struct OpenReq {
     /// clients, like every resume key.
     std::uint8_t columnar = 0;
 
+    /// MVCC pin the cursor reads through. Empty (seq 0) asks the server to
+    /// self-pin at open time; the effective pin comes back in OpenResp so a
+    /// client that loses the cursor re-opens AT THE SAME SNAPSHOT — a resumed
+    /// selection never observes ingest that happened after the first open.
+    yokan::proto::ReadPin pin;
+
     template <typename A>
     void serialize(A& ar, unsigned /*version*/) {
-        ar & db & prefix & resume_after & spec & page_entries & scan_chunk & columnar;
+        ar & db & prefix & resume_after & spec & page_entries & scan_chunk & columnar & pin;
     }
 };
 
 struct OpenResp {
     std::uint64_t cursor = 0;
+    /// The pin this cursor is actually reading through (the request's, or the
+    /// server's self-pin when the request left it empty). Clients carry it
+    /// into re-opens after cursor loss.
+    yokan::proto::ReadPin pin;
 
     template <typename A>
     void serialize(A& ar, unsigned /*version*/) {
-        ar & cursor;
+        ar & cursor & pin;
     }
 };
 

@@ -60,6 +60,7 @@ struct QueryProvider::Cursor {
     std::string suffix;           // "<label>#<type>" of the scanned product
     std::string selected_suffix;  // suffix of the write-back product (if any)
     std::string prefix;           // dataset UUID bytes scoping the scan
+    yokan::ReadView view;         // pinned snapshot every read resolves through
     std::string pos;              // resume strictly after this key
     std::uint64_t page_entries = 512;
     std::uint64_t scan_chunk = 2048;
@@ -125,6 +126,13 @@ Result<OpenResp> QueryProvider::handle_open(const OpenReq& req) {
         stats_.queries_rejected.fetch_add(1, std::memory_order_relaxed);
         return Status::NotFound("no database named '" + req.db + "'");
     }
+    if (req.pin.seq > db->seq()) {
+        // Same contract as yokan's RPC handlers: a pin from the future is a
+        // malformed request, not a crash (the fuzz tests lean on this).
+        stats_.queries_rejected.fetch_add(1, std::memory_order_relaxed);
+        return Status::InvalidArgument("snapshot seq " + std::to_string(req.pin.seq) +
+                                       " is ahead of database '" + req.db + "'");
+    }
     const ProductEvaluator* evaluator = evaluators_.find(req.spec.evaluator);
     if (evaluator == nullptr) {
         stats_.queries_rejected.fetch_add(1, std::memory_order_relaxed);
@@ -152,6 +160,11 @@ Result<OpenResp> QueryProvider::handle_open(const OpenReq& req) {
     cursor->spec = req.spec;
     cursor->suffix = hepnos::product_key("", req.spec.label, req.spec.type);
     cursor->prefix = req.prefix;
+    // Pin the snapshot every page resolves through. An empty request pin
+    // means "pin now" — the whole selection then observes one consistent
+    // version even while ingest continues, and a re-open after cursor loss
+    // carries this pin back so the resumed scan stays at the SAME snapshot.
+    cursor->view = req.pin.pinned() ? req.pin.view() : db->snapshot_at(0);
     cursor->pos = req.resume_after;
     cursor->page_entries =
         std::min<std::uint64_t>(std::max<std::uint64_t>(req.page_entries, 1),
@@ -229,7 +242,9 @@ Result<OpenResp> QueryProvider::handle_open(const OpenReq& req) {
         stats_.cursors_evicted.fetch_add(1, std::memory_order_relaxed);
     }
     cursors_.emplace(cursor->id, cursor);
-    return OpenResp{cursor->id};
+    return OpenResp{cursor->id,
+                    yokan::proto::ReadPin{cursor->view.seq, cursor->view.epochs.floor,
+                                          cursor->view.epochs.extras}};
 }
 
 std::shared_ptr<QueryProvider::Cursor> QueryProvider::find_cursor(std::uint64_t id) {
@@ -351,8 +366,8 @@ Result<Page> QueryProvider::produce_page(Cursor& c) {
     std::vector<yokan::KeyValue> writebacks;
 
     while (page.entries.size() < c.page_entries && !c.done) {
-        auto chunk = c.db->scan_chunk(
-            c.pos, c.prefix, c.scan_chunk, /*with_values=*/true,
+        auto chunk = c.db->scan_chunk_at(
+            c.pos, c.prefix, c.scan_chunk, /*with_values=*/true, c.view,
             [&](std::string_view key, std::string_view value) {
                 stats_.keys_examined.fetch_add(1, std::memory_order_relaxed);
                 if (key.size() != kEventKeyBytes + c.suffix.size() ||
@@ -420,8 +435,8 @@ Result<Page> QueryProvider::produce_page_columnar(Cursor& c) {
             // evaluate the chunks only after the scan returns — gets from
             // inside the callback would deadlock on the backend lock.
             std::vector<std::string> metas;
-            auto chunk = c.db->scan_chunk(
-                c.chunk_pos, c.meta_prefix, kMetaScanKeys, /*with_values=*/false,
+            auto chunk = c.db->scan_chunk_at(
+                c.chunk_pos, c.meta_prefix, kMetaScanKeys, /*with_values=*/false, c.view,
                 [&](std::string_view key, std::string_view) {
                     stats_.keys_examined.fetch_add(1, std::memory_order_relaxed);
                     std::string_view uuid;
@@ -457,8 +472,8 @@ Result<Page> QueryProvider::produce_page_columnar(Cursor& c) {
             // all this degenerates to exactly the blob pushdown scan.
             const bool inline_values = c.covered.empty();
             std::vector<std::string> uncovered;
-            auto chunk = c.db->scan_chunk(
-                c.pos, c.prefix, c.scan_chunk, /*with_values=*/inline_values,
+            auto chunk = c.db->scan_chunk_at(
+                c.pos, c.prefix, c.scan_chunk, /*with_values=*/inline_values, c.view,
                 [&](std::string_view key, std::string_view value) {
                     stats_.keys_examined.fetch_add(1, std::memory_order_relaxed);
                     if (key.size() != kEventKeyBytes + c.suffix.size() ||
@@ -475,7 +490,7 @@ Result<Page> QueryProvider::produce_page_columnar(Cursor& c) {
                 });
             if (!chunk.ok()) return chunk.status();
             for (const auto& key : uncovered) {
-                auto value = c.db->get(key);
+                auto value = c.db->get_at(key, c.view);
                 if (!value.ok()) {
                     if (value.status().code() == StatusCode::kNotFound) continue;
                     return value.status();
@@ -505,7 +520,7 @@ Status QueryProvider::process_chunk(Cursor& c, const std::string& meta_key, Page
     std::uint64_t chunk_id = 0;
     if (!columnar::parse_meta_key(meta_key, c.suffix, uuid, chunk_id)) return Status::OK();
 
-    auto meta_value = c.db->get(meta_key);
+    auto meta_value = c.db->get_at(meta_key, c.view);
     if (!meta_value.ok()) {
         // Deleted between scan and fetch: its events simply stay uncovered.
         if (meta_value.status().code() == StatusCode::kNotFound) return Status::OK();
@@ -550,7 +565,7 @@ Status QueryProvider::process_chunk(Cursor& c, const std::string& meta_key, Page
         if (f >= members.size()) return false;
         if (cols[f] != nullptr) return true;
         const auto& m = members[f];
-        auto value = c.db->get(columnar::chunk_key(uuid, c.suffix, m.name, chunk_id));
+        auto value = c.db->get_at(columnar::chunk_key(uuid, c.suffix, m.name, chunk_id), c.view);
         if (!value.ok()) return false;
         page.bytes_scanned += value->size();
         columnar::ColumnBlock block;
@@ -608,7 +623,7 @@ Status QueryProvider::process_chunk(Cursor& c, const std::string& meta_key, Page
         for (std::size_t i = 0; i < n; ++i) {
             if (!fresh[i]) continue;
             std::string key = ckeys[i] + c.suffix;
-            auto value = c.db->get(key);
+            auto value = c.db->get_at(key, c.view);
             if (!value.ok()) {
                 if (value.status().code() == StatusCode::kNotFound) continue;
                 return value.status();
@@ -659,8 +674,8 @@ Status QueryProvider::rebuild_coverage(Cursor& c, std::string_view upto) {
     while (!done) {
         std::vector<std::string> metas;
         bool past_upto = false;
-        auto chunk = c.db->scan_chunk(
-            pos, c.meta_prefix, kMetaScanKeys, /*with_values=*/false,
+        auto chunk = c.db->scan_chunk_at(
+            pos, c.meta_prefix, kMetaScanKeys, /*with_values=*/false, c.view,
             [&](std::string_view key, std::string_view) {
                 if (!upto.empty() && key > upto) {
                     past_upto = true;
@@ -678,7 +693,7 @@ Status QueryProvider::rebuild_coverage(Cursor& c, std::string_view upto) {
             std::string_view uuid;
             std::uint64_t chunk_id = 0;
             columnar::parse_meta_key(meta_key, c.suffix, uuid, chunk_id);
-            auto value = c.db->get(meta_key);
+            auto value = c.db->get_at(meta_key, c.view);
             if (!value.ok()) {
                 if (value.status().code() == StatusCode::kNotFound) continue;
                 return value.status();

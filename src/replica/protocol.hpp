@@ -55,6 +55,10 @@ struct Record {
     std::uint64_t seq = 0;
     std::uint8_t op = 0;     // replica::Op
     std::uint8_t flags = 0;  // kFlag*
+    /// Ingest epoch of the mutation (0 = immediately visible). Replayed into
+    /// the backend via put_stamped so a backup's visibility matches the
+    /// primary's — an unpublished epoch stays invisible after failover.
+    std::uint32_t epoch = 0;
     std::string key;
     /// Refcounted: a write-batch flush shares the SAME packed bytes between
     /// the local log record and every peer ship — copying a Record (log →
@@ -66,7 +70,7 @@ struct Record {
 
     template <typename A>
     void serialize(A& ar, unsigned) {
-        ar & seq & op & flags & key & value;
+        ar & seq & op & flags & epoch & key & value;
     }
 };
 

@@ -51,15 +51,17 @@ ReplicaSet::ReplicaSet(margo::Engine& engine, Target self, std::vector<Target> p
 
 // ---- local mutation path ---------------------------------------------------
 
-Status ReplicaSet::put(std::string_view key, hep::Buffer value, bool overwrite) {
+Status ReplicaSet::put(std::string_view key, hep::Buffer value, bool overwrite,
+                       std::uint32_t epoch) {
     Record rec;
     {
         abt::LockGuard guard(mu_);
-        Status st = db_->put_view(key, value.view(), overwrite);
+        Status st = db_->put_stamped(key, value.view(), overwrite, epoch);
         if (!st.ok()) return st;
         rec.seq = next_seq_++;
         rec.op = static_cast<std::uint8_t>(Op::kPut);
         rec.flags = overwrite ? kFlagOverwrite : 0;
+        rec.epoch = epoch;
         rec.key = std::string(key);
         rec.value = std::move(value);
         append_to_log(rec);
@@ -90,7 +92,8 @@ Status ReplicaSet::erase(std::string_view key) {
 }
 
 Result<std::pair<std::uint64_t, std::uint64_t>> ReplicaSet::put_packed(hep::Buffer packed,
-                                                                       bool overwrite) {
+                                                                       bool overwrite,
+                                                                       std::uint32_t epoch) {
     std::uint64_t stored = 0, already = 0;
     Record rec;
     {
@@ -101,7 +104,7 @@ Result<std::pair<std::uint64_t, std::uint64_t>> ReplicaSet::put_packed(hep::Buff
         entries.append(packed.view());
         bool well_formed = yokan::proto::unpack_entries_chain(
             entries, [&](std::string_view k, hep::BufferView v) {
-                Status st = db_->put_view(k, std::move(v), overwrite);
+                Status st = db_->put_stamped(k, std::move(v), overwrite, epoch);
                 if (st.ok()) ++stored;
                 else if (st.code() == StatusCode::kAlreadyExists) ++already;
             });
@@ -109,6 +112,7 @@ Result<std::pair<std::uint64_t, std::uint64_t>> ReplicaSet::put_packed(hep::Buff
         rec.seq = next_seq_++;
         rec.op = static_cast<std::uint8_t>(Op::kPutBatch);
         rec.flags = overwrite ? kFlagOverwrite : 0;
+        rec.epoch = epoch;
         rec.value = std::move(packed);  // the whole flush replicates as ONE record
         append_to_log(rec);
         persist_meta_locked();
@@ -148,8 +152,10 @@ Status ReplicaSet::apply_record(const Record& rec) {
     switch (static_cast<Op>(rec.op)) {
         case Op::kPut: {
             // The backend shares the record's buffer (view anchored in it)
-            // rather than copying the value out.
-            Status st = db_->put_view(rec.key, rec.value.view(), overwrite);
+            // rather than copying the value out. put_stamped draws a fresh
+            // local seq and carries the origin's epoch, so a backup's
+            // visibility state matches the primary's.
+            Status st = db_->put_stamped(rec.key, rec.value.view(), overwrite, rec.epoch);
             // Replay is idempotent: a create-mode put that already landed is ok.
             if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
             return Status::OK();
@@ -165,7 +171,7 @@ Status ReplicaSet::apply_record(const Record& rec) {
             entries.append(rec.value.view());
             bool well_formed = yokan::proto::unpack_entries_chain(
                 entries, [&](std::string_view k, hep::BufferView v) {
-                    Status st = db_->put_view(k, std::move(v), overwrite);
+                    Status st = db_->put_stamped(k, std::move(v), overwrite, rec.epoch);
                     if (!st.ok() && st.code() != StatusCode::kAlreadyExists && bad.ok()) bad = st;
                 });
             if (!well_formed) return Status::InvalidArgument("malformed replicated batch");
@@ -234,6 +240,10 @@ Result<ApplyResp> ReplicaSet::handle_apply(const ApplyReq& req) {
 
 Status ReplicaSet::handle_snapshot(const SnapshotReq& req) {
     abt::LockGuard guard(mu_);
+    // put() routes through put_stamped(epoch=0) in both backends, so reseeded
+    // entries get fresh local stamps and publish markers are observed. A full
+    // reseed cannot reconstruct unpublished-epoch tags (documented limitation;
+    // log-based repair, the failover path, preserves them).
     bool well_formed =
         yokan::proto::unpack_entries(req.packed, [&](std::string_view k, std::string_view v) {
             (void)db_->put(k, v, true);
@@ -487,13 +497,6 @@ void ReplicaSet::load_meta() {
 ReplicaStats ReplicaSet::stats() const {
     abt::LockGuard guard(mu_);
     return stats_;
-}
-
-std::uint64_t ReplicaSet::version_seq() const {
-    abt::LockGuard guard(mu_);
-    std::uint64_t version = next_seq_ - 1;
-    for (const auto& [origin, applied] : last_applied_) version += applied;
-    return version;
 }
 
 json::Value ReplicaSet::stats_json() const {

@@ -60,11 +60,15 @@ class ReplicaSet {
 
     // ---- mutation path (provider routes client writes here) ---------------
     /// The value buffer is shared between the local store, the log record and
-    /// every peer ship — no copy is made on the replication path.
-    Status put(std::string_view key, hep::Buffer value, bool overwrite);
+    /// every peer ship — no copy is made on the replication path. `epoch`
+    /// tags the mutation with an ingest epoch (0 = immediately visible) and
+    /// rides the replication record.
+    Status put(std::string_view key, hep::Buffer value, bool overwrite,
+               std::uint32_t epoch = 0);
     /// Compatibility shim: copies `value` into owned storage first.
-    Status put(std::string_view key, std::string_view value, bool overwrite) {
-        return put(key, hep::Buffer::copy_of(value), overwrite);
+    Status put(std::string_view key, std::string_view value, bool overwrite,
+               std::uint32_t epoch = 0) {
+        return put(key, hep::Buffer::copy_of(value), overwrite, epoch);
     }
     Status erase(std::string_view key);
     /// One write-batch flush: `packed` is the wire format of the yokan bulk
@@ -72,11 +76,13 @@ class ReplicaSet {
     /// copied: the log record and every peer ship reference the same
     /// immutable bytes the flush arrived with. Returns (stored, already).
     Result<std::pair<std::uint64_t, std::uint64_t>> put_packed(hep::Buffer packed,
-                                                               bool overwrite);
+                                                               bool overwrite,
+                                                               std::uint32_t epoch = 0);
     /// Compatibility shim: copies `packed` into owned storage first.
     Result<std::pair<std::uint64_t, std::uint64_t>> put_packed(const std::string& packed,
-                                                               bool overwrite) {
-        return put_packed(hep::Buffer::copy_of(packed), overwrite);
+                                                               bool overwrite,
+                                                               std::uint32_t epoch = 0) {
+        return put_packed(hep::Buffer::copy_of(packed), overwrite, epoch);
     }
     Result<std::uint64_t> erase_multi(const std::vector<std::string>& keys);
 
@@ -92,11 +98,11 @@ class ReplicaSet {
     [[nodiscard]] ReplicaStats stats() const;
     [[nodiscard]] json::Value stats_json() const;
 
-    /// Monotonic version of this member's materialized state: own mutations
-    /// plus every record replayed from peers. Any committed change (local or
-    /// replicated) advances it, so the read-cache tier compares two samples
-    /// to decide whether a cached value may still be served ("yokan_seq").
-    [[nodiscard]] std::uint64_t version_seq() const;
+    /// Monotonic version of this member's materialized state. Since the MVCC
+    /// refactor this is just the backend's SeqSource: every mutation — local
+    /// or replayed from a peer — lands via put_stamped/erase and advances the
+    /// same per-db counter ("yokan_seq" reads it through Provider::mutation_seq).
+    [[nodiscard]] std::uint64_t version_seq() const { return db_->seq(); }
 
   private:
     struct Peer {

@@ -1,9 +1,167 @@
 #include "yokan/backend.hpp"
 
+#include "common/endian.hpp"
 #include "yokan/lsm/lsm_db.hpp"
 #include "yokan/map_backend.hpp"
 
 namespace hep::yokan {
+
+std::string publish_marker_key(std::uint32_t epoch) {
+    std::string key(kPublishMarkerPrefix);
+    append_be32(key, epoch);
+    return key;
+}
+
+std::uint32_t parse_publish_marker(std::string_view key) {
+    if (key.size() != kPublishMarkerPrefix.size() + 4) return 0;
+    if (key.substr(0, kPublishMarkerPrefix.size()) != kPublishMarkerPrefix) return 0;
+    return decode_be32(key.data() + kPublishMarkerPrefix.size());
+}
+
+ReadView Database::snapshot_at(std::uint64_t seq) const {
+    ReadView view;
+    view.seq = seq == 0 ? seq_.current() : seq;
+    // A snapshot at seq 0 of an empty database would be unpinned; pin at 1 so
+    // it stays empty forever, as a snapshot must.
+    if (view.seq == 0) view.seq = 1;
+    view.epochs = published();
+    return view;
+}
+
+void Database::observe_marker(std::uint32_t epoch) {
+    if (epoch == 0) return;
+    std::lock_guard<std::mutex> lock(pub_mu_);
+    if (epoch <= pub_floor_) return;
+    auto it = std::lower_bound(pub_extra_.begin(), pub_extra_.end(), epoch);
+    if (it != pub_extra_.end() && *it == epoch) return;
+    pub_extra_.insert(it, epoch);
+    while (!pub_extra_.empty() && pub_extra_.front() == pub_floor_ + 1) {
+        ++pub_floor_;
+        pub_extra_.erase(pub_extra_.begin());
+    }
+}
+
+bool Database::epoch_visible(std::uint32_t epoch) const {
+    if (epoch == 0) return true;
+    std::lock_guard<std::mutex> lock(pub_mu_);
+    if (epoch <= pub_floor_) return true;
+    return std::binary_search(pub_extra_.begin(), pub_extra_.end(), epoch);
+}
+
+EpochFilter Database::published() const {
+    std::lock_guard<std::mutex> lock(pub_mu_);
+    return EpochFilter{pub_floor_, pub_extra_};
+}
+
+bool Database::visible(const Stamp& stamp, const ReadView& view) const {
+    if (view.pinned()) {
+        if (stamp.seq > view.seq) return false;
+        return stamp.epoch == 0 || view.epochs.visible(stamp.epoch);
+    }
+    return stamp.epoch == 0 || epoch_visible(stamp.epoch);
+}
+
+Result<hep::BufferView> Database::get_view_at(std::string_view key, const ReadView& view) {
+    auto r = get_stamped(key);
+    if (!r.ok()) return r.status();
+    if (!visible(r->second, view)) return Status::NotFound("key not visible at this snapshot");
+    return std::move(r->first);
+}
+
+Result<std::string> Database::get_at(std::string_view key, const ReadView& view) {
+    auto r = get_view_at(key, view);
+    if (!r.ok()) return r.status();
+    return std::string(r->sv());
+}
+
+Result<bool> Database::exists_at(std::string_view key, const ReadView& view) {
+    auto r = get_stamped(key);
+    if (!r.ok()) {
+        if (r.status().code() == StatusCode::kNotFound) return false;
+        return r.status();
+    }
+    return visible(r->second, view);
+}
+
+Result<std::uint64_t> Database::length_at(std::string_view key, const ReadView& view) {
+    auto r = get_view_at(key, view);
+    if (!r.ok()) return r.status();
+    return static_cast<std::uint64_t>(r->size());
+}
+
+Status Database::scan_at(std::string_view after, std::string_view prefix, bool with_values,
+                         const ReadView& view, const ScanFn& fn) {
+    // Internal (marker/counter) keys are hidden unless the caller's prefix
+    // explicitly reaches into the internal range.
+    const bool hide_internal = prefix.empty() || prefix.front() != kInternalKeyPrefix;
+    return scan_stamped(after, prefix, with_values,
+                        [&](std::string_view key, std::string_view value, const Stamp& stamp) {
+                            if (hide_internal && !key.empty() &&
+                                key.front() == kInternalKeyPrefix) {
+                                return true;
+                            }
+                            if (!visible(stamp, view)) return true;
+                            return fn(key, value);
+                        });
+}
+
+Result<Database::ScanChunk> Database::scan_chunk_at(std::string_view after,
+                                                    std::string_view prefix,
+                                                    std::uint64_t max_keys, bool with_values,
+                                                    const ReadView& view, const ScanFn& fn) {
+    // Invisible keys still count against max_keys and advance last_key —
+    // resume must make progress even across a large unpublished range.
+    ScanChunk out;
+    bool limited = false;
+    bool callee_stopped = false;
+    const bool hide_internal = prefix.empty() || prefix.front() != kInternalKeyPrefix;
+    Status st = scan_stamped(
+        after, prefix, with_values,
+        [&](std::string_view key, std::string_view value, const Stamp& stamp) {
+            if (out.examined >= max_keys) {
+                limited = true;
+                return false;  // not examined; resume revisits it
+            }
+            ++out.examined;
+            out.last_key.assign(key);
+            if (hide_internal && !key.empty() && key.front() == kInternalKeyPrefix) return true;
+            if (!visible(stamp, view)) return true;
+            if (!fn(key, value)) {
+                callee_stopped = true;
+                return false;
+            }
+            return true;
+        });
+    if (!st.ok()) return st;
+    out.exhausted = !limited && !callee_stopped;
+    return out;
+}
+
+Result<std::vector<std::string>> Database::list_keys_at(std::string_view after,
+                                                        std::string_view prefix, std::size_t max,
+                                                        const ReadView& view) {
+    std::vector<std::string> keys;
+    Status st = scan_at(after, prefix, /*with_values=*/false, view,
+                        [&](std::string_view key, std::string_view) {
+                            keys.emplace_back(key);
+                            return keys.size() < max;
+                        });
+    if (!st.ok()) return st;
+    return keys;
+}
+
+Result<std::vector<KeyValue>> Database::list_keyvals_at(std::string_view after,
+                                                        std::string_view prefix, std::size_t max,
+                                                        const ReadView& view) {
+    std::vector<KeyValue> out;
+    Status st = scan_at(after, prefix, /*with_values=*/true, view,
+                        [&](std::string_view key, std::string_view value) {
+                            out.push_back(KeyValue{std::string(key), std::string(value)});
+                            return out.size() < max;
+                        });
+    if (!st.ok()) return st;
+    return out;
+}
 
 Result<std::vector<std::string>> Database::list_keys(std::string_view after,
                                                      std::string_view prefix, std::size_t max) {

@@ -11,11 +11,15 @@
 // crafting depends on (§II-C).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "abt/pool.hpp"
@@ -56,6 +60,83 @@ struct BackendStats {
     std::uint64_t scans = 0;
     std::uint64_t erases = 0;
 };
+
+/// Per-value MVCC metadata: the database-local sequence number the write
+/// committed at, plus the ingest epoch it belongs to. Epoch 0 means "published
+/// on write" — the default for every non-batched mutation.
+struct Stamp {
+    std::uint64_t seq = 0;
+    std::uint32_t epoch = 0;
+};
+
+/// One monotonic mutation counter per database — the single sequence
+/// authority. The lease-cache probe, the replica version watermark, the lsm
+/// write sequence and MVCC stamps all draw from it (they used to be three
+/// independent counters that could not be compared).
+class SeqSource {
+  public:
+    /// The counter starts at 1 (not 0) so "current" of a never-written
+    /// database is a valid *pin*: ReadPin/ReadView reserve seq 0 for "read
+    /// latest", and the first write stamps at 2 > 1 — a snapshot taken of an
+    /// empty database correctly excludes every later write.
+    std::uint64_t next() noexcept {
+        return counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+    [[nodiscard]] std::uint64_t current() const noexcept {
+        return counter_.load(std::memory_order_relaxed);
+    }
+    /// Raise the counter to at least `seq` (recovery replay, reseeds).
+    void advance_to(std::uint64_t seq) noexcept {
+        std::uint64_t cur = counter_.load(std::memory_order_relaxed);
+        while (cur < seq &&
+               !counter_.compare_exchange_weak(cur, seq, std::memory_order_relaxed)) {
+        }
+    }
+
+  private:
+    std::atomic<std::uint64_t> counter_{1};
+};
+
+/// The set of published ingest epochs a read may observe: every epoch
+/// <= floor plus the sorted extras above it. Epoch 0 is always visible.
+struct EpochFilter {
+    std::uint32_t floor = 0;
+    std::vector<std::uint32_t> extras;
+
+    [[nodiscard]] bool visible(std::uint32_t epoch) const {
+        if (epoch <= floor) return true;
+        return std::binary_search(extras.begin(), extras.end(), epoch);
+    }
+    template <typename A>
+    void serialize(A& ar, unsigned /*version*/) {
+        ar & floor & extras;
+    }
+};
+
+/// A pinned read position. Values stamped after `seq`, or belonging to an
+/// epoch outside the filter, are invisible. seq == 0 means "latest": no
+/// sequence bound, epochs resolved against the database's own published set
+/// at read time.
+struct ReadView {
+    std::uint64_t seq = 0;
+    EpochFilter epochs;
+    [[nodiscard]] bool pinned() const noexcept { return seq != 0; }
+};
+
+/// Internal keys live under this prefix. Visibility-filtered scans hide them
+/// unless the caller's prefix explicitly reaches into the internal range;
+/// the raw scan() stays unfiltered (replica state streaming must see them).
+inline constexpr char kInternalKeyPrefix = '\x01';
+/// Publish marker: kPublishMarkerPrefix + BE32(epoch), value ignored. Written
+/// through the ordinary (replicated, WAL-logged) put path, so publish records
+/// inherit replication, recovery and failover repair for free.
+inline constexpr std::string_view kPublishMarkerPrefix = "\x01\xff" "HEPNOS.pub" "\xff";
+/// Epoch allocation counter (decimal string), lives on the registry database.
+inline constexpr std::string_view kEpochCounterKey = "\x01\xff" "HEPNOS.epoch-counter";
+
+std::string publish_marker_key(std::uint32_t epoch);
+/// Epoch of a well-formed publish marker key; 0 for anything else.
+std::uint32_t parse_publish_marker(std::string_view key);
 
 class Database {
   public:
@@ -128,6 +209,76 @@ class Database {
 
     [[nodiscard]] virtual std::string_view type() const noexcept = 0;
     [[nodiscard]] virtual BackendStats stats() const = 0;
+
+    // ---- MVCC: stamps, snapshots, published epochs ------------------------
+
+    /// Store with an explicit ingest epoch; the backend stamps the value with
+    /// the next database sequence number. Epoch 0 = visible immediately.
+    virtual Status put_stamped(std::string_view key, hep::BufferView value, bool overwrite,
+                               std::uint32_t epoch) {
+        (void)epoch;
+        return put_view(key, std::move(value), overwrite);
+    }
+
+    /// Newest version of the key together with its stamp. No visibility
+    /// filtering — that is get_view_at()'s job.
+    virtual Result<std::pair<hep::BufferView, Stamp>> get_stamped(std::string_view key) {
+        Result<hep::BufferView> r = get_view(key);
+        if (!r.ok()) return r.status();
+        return std::make_pair(std::move(r.value()), Stamp{});
+    }
+
+    using StampedScanFn =
+        std::function<bool(std::string_view key, std::string_view value, const Stamp& stamp)>;
+    /// scan() with each key's stamp; same ordering and resume contract.
+    virtual Status scan_stamped(std::string_view after, std::string_view prefix,
+                                bool with_values, const StampedScanFn& fn) {
+        return scan(after, prefix, with_values,
+                    [&](std::string_view key, std::string_view value) {
+                        return fn(key, value, Stamp{});
+                    });
+    }
+
+    /// This database's sequence authority.
+    [[nodiscard]] SeqSource& seq_source() noexcept { return seq_; }
+    [[nodiscard]] std::uint64_t seq() const noexcept { return seq_.current(); }
+
+    /// Pin a snapshot at `seq` (0 = "now"). The returned view is a plain
+    /// value: cheap to copy, never expires — reads through it are filtered,
+    /// nothing is locked or retained.
+    [[nodiscard]] ReadView snapshot_at(std::uint64_t seq) const;
+
+    /// Published-epoch bookkeeping. Backends call observe_marker() when a
+    /// publish-marker put commits (including replicated and replayed ones).
+    void observe_marker(std::uint32_t epoch);
+    [[nodiscard]] bool epoch_visible(std::uint32_t epoch) const;
+    [[nodiscard]] EpochFilter published() const;
+
+    /// Stamp visibility under a view. "Latest" consults the local published
+    /// set; a pinned view only its own filter (captured at the epoch
+    /// registry, so backend-local marker lag cannot unpublish a pinned epoch).
+    [[nodiscard]] bool visible(const Stamp& stamp, const ReadView& view) const;
+
+    // ---- visibility-filtered reads (what the RPC handlers serve from) -----
+    Result<hep::BufferView> get_view_at(std::string_view key, const ReadView& view);
+    Result<std::string> get_at(std::string_view key, const ReadView& view);
+    Result<bool> exists_at(std::string_view key, const ReadView& view);
+    Result<std::uint64_t> length_at(std::string_view key, const ReadView& view);
+    Status scan_at(std::string_view after, std::string_view prefix, bool with_values,
+                   const ReadView& view, const ScanFn& fn);
+    Result<ScanChunk> scan_chunk_at(std::string_view after, std::string_view prefix,
+                                    std::uint64_t max_keys, bool with_values,
+                                    const ReadView& view, const ScanFn& fn);
+    Result<std::vector<std::string>> list_keys_at(std::string_view after, std::string_view prefix,
+                                                  std::size_t max, const ReadView& view);
+    Result<std::vector<KeyValue>> list_keyvals_at(std::string_view after, std::string_view prefix,
+                                                  std::size_t max, const ReadView& view);
+
+  private:
+    SeqSource seq_;
+    mutable std::mutex pub_mu_;
+    std::uint32_t pub_floor_ = 0;
+    std::vector<std::uint32_t> pub_extra_;  // sorted, all > pub_floor_
 };
 
 /// Backend factory. `config` is the database's JSON description, e.g.

@@ -4,23 +4,25 @@ namespace hep::yokan {
 
 using namespace proto;
 
-Status DatabaseHandle::put(std::string_view key, std::string_view value, bool overwrite) const {
+Status DatabaseHandle::put(std::string_view key, std::string_view value, bool overwrite,
+                           std::uint32_t epoch) const {
     auto r = with_failover<Ack>(false, [&](const std::string& server, rpc::ProviderId provider,
                                            const std::string& db) -> Result<Ack> {
         return engine_->forward<PutReq, Ack>(
             server, "yokan_put", provider,
-            PutReq{db, std::string(key), std::string(value), overwrite}, deadline(),
+            PutReq{db, std::string(key), std::string(value), overwrite, epoch}, deadline(),
             point_tag());
     });
     return r.status();
 }
 
-Status DatabaseHandle::put(std::string_view key, hep::Buffer value, bool overwrite) const {
+Status DatabaseHandle::put(std::string_view key, hep::Buffer value, bool overwrite,
+                           std::uint32_t epoch) const {
     auto r = with_failover<Ack>(false, [&](const std::string& server, rpc::ProviderId provider,
                                            const std::string& db) -> Result<Ack> {
         return engine_->forward<PutViewReq, Ack>(
             server, "yokan_put_owned", provider,
-            PutViewReq{db, std::string(key), value, overwrite}, deadline(), point_tag());
+            PutViewReq{db, std::string(key), value, overwrite, epoch}, deadline(), point_tag());
     });
     return r.status();
 }
@@ -36,7 +38,7 @@ Result<hep::BufferView> DatabaseHandle::get_view(std::string_view key) const {
     auto r = with_failover<GetResp>(true, [&](const std::string& server, rpc::ProviderId provider,
                                               const std::string& db) -> Result<GetResp> {
         return engine_->forward<KeyReq, GetResp>(server, "yokan_get", provider,
-                                                 KeyReq{db, std::string(key)}, deadline(),
+                                                 KeyReq{db, std::string(key), pin_}, deadline(),
                                                  point_tag());
     });
     if (!r.ok()) return r.status();
@@ -48,7 +50,7 @@ Result<proto::GetSeqResp> DatabaseHandle::get_view_vs(std::string_view key) cons
         true, [&](const std::string& server, rpc::ProviderId provider,
                   const std::string& db) -> Result<GetSeqResp> {
             return engine_->forward<KeyReq, GetSeqResp>(server, "yokan_get_vs", provider,
-                                                        KeyReq{db, std::string(key)}, deadline(),
+                                                        KeyReq{db, std::string(key), pin_}, deadline(),
                                                         point_tag());
         });
 }
@@ -69,7 +71,7 @@ Result<bool> DatabaseHandle::exists(std::string_view key) const {
         true, [&](const std::string& server, rpc::ProviderId provider,
                   const std::string& db) -> Result<ExistsResp> {
             return engine_->forward<KeyReq, ExistsResp>(server, "yokan_exists", provider,
-                                                        KeyReq{db, std::string(key)}, deadline(),
+                                                        KeyReq{db, std::string(key), pin_}, deadline(),
                                                         point_tag());
         });
     if (!r.ok()) return r.status();
@@ -81,7 +83,7 @@ Result<std::uint64_t> DatabaseHandle::length(std::string_view key) const {
         true, [&](const std::string& server, rpc::ProviderId provider,
                   const std::string& db) -> Result<LengthResp> {
             return engine_->forward<KeyReq, LengthResp>(server, "yokan_length", provider,
-                                                        KeyReq{db, std::string(key)}, deadline(),
+                                                        KeyReq{db, std::string(key), pin_}, deadline(),
                                                         point_tag());
         });
     if (!r.ok()) return r.status();
@@ -93,7 +95,7 @@ Status DatabaseHandle::erase(std::string_view key) const {
                                            const std::string& db) -> Result<Ack> {
         return engine_->forward<KeyReq, Ack>(server, "yokan_erase", provider,
                                              KeyReq{db, std::string(key)}, deadline(),
-                                             point_tag());
+                                             point_tag());  // erase ignores the pin
     });
     return r.status();
 }
@@ -104,7 +106,7 @@ Result<std::vector<std::string>> DatabaseHandle::list_keys(std::string_view afte
     auto r = with_failover<ListKeysResp>(
         true, [&](const std::string& server, rpc::ProviderId provider,
                   const std::string& db) -> Result<ListKeysResp> {
-            ListReq req{db, std::string(after), std::string(prefix), max, false};
+            ListReq req{db, std::string(after), std::string(prefix), max, false, pin_};
             return engine_->forward<ListReq, ListKeysResp>(server, "yokan_list_keys", provider,
                                                            req, deadline(), scan_tag());
         });
@@ -118,7 +120,7 @@ Result<std::vector<KeyValue>> DatabaseHandle::list_keyvals(std::string_view afte
     auto r = with_failover<ListKeyValsResp>(
         true, [&](const std::string& server, rpc::ProviderId provider,
                   const std::string& db) -> Result<ListKeyValsResp> {
-            ListReq req{db, std::string(after), std::string(prefix), max, true};
+            ListReq req{db, std::string(after), std::string(prefix), max, true, pin_};
             return engine_->forward<ListReq, ListKeyValsResp>(server, "yokan_list_keyvals",
                                                               provider, req, deadline(),
                                                               scan_tag());
@@ -133,7 +135,7 @@ Result<proto::ScanResp> DatabaseHandle::scan_page(std::string_view after,
     return with_failover<ScanResp>(
         true, [&](const std::string& server, rpc::ProviderId provider,
                   const std::string& db) -> Result<ScanResp> {
-            ListReq req{db, std::string(after), std::string(prefix), max, with_values};
+            ListReq req{db, std::string(after), std::string(prefix), max, with_values, pin_};
             return engine_->forward<ListReq, ScanResp>(server, "yokan_scan", provider, req,
                                                        deadline(), scan_tag());
         });
@@ -163,7 +165,7 @@ Result<std::uint64_t> DatabaseHandle::erase_multi(const std::vector<std::string>
 }
 
 Result<std::uint64_t> DatabaseHandle::put_multi(const std::vector<KeyValue>& items,
-                                                bool overwrite) const {
+                                                bool overwrite, std::uint32_t epoch) const {
     std::string packed;
     std::size_t total = 0;
     for (const auto& kv : items) total += kv.key.size() + kv.value.size() + 8;
@@ -174,7 +176,7 @@ Result<std::uint64_t> DatabaseHandle::put_multi(const std::vector<KeyValue>& ite
     auto r = with_failover<PutMultiResp>(
         false, [&](const std::string& server, rpc::ProviderId provider,
                    const std::string& db) -> Result<PutMultiResp> {
-            PutMultiReq req{db, bulk, items.size(), packed.size(), overwrite};
+            PutMultiReq req{db, bulk, items.size(), packed.size(), overwrite, epoch};
             auto raw = engine_->endpoint().call(server, "yokan_put_multi", provider,
                                                 serial::to_string(req), deadline(),
                                                 bulk_tag());
@@ -193,14 +195,15 @@ Result<std::uint64_t> DatabaseHandle::put_multi(const std::vector<KeyValue>& ite
 }
 
 Result<std::uint64_t> DatabaseHandle::put_multi(const std::vector<BatchItem>& items,
-                                                bool overwrite) const {
+                                                bool overwrite, std::uint32_t epoch) const {
     hep::BufferChain entries = pack_items(items);
     auto r = with_failover<PutMultiResp>(
         false, [&](const std::string& server, rpc::ProviderId provider,
                    const std::string& db) -> Result<PutMultiResp> {
             return engine_->forward<PutPackedReq, PutMultiResp>(
                 server, "yokan_put_packed", provider,
-                PutPackedReq{db, items.size(), overwrite, entries}, deadline(), bulk_tag());
+                PutPackedReq{db, items.size(), overwrite, epoch, entries}, deadline(),
+                bulk_tag());
         });
     if (!r.ok()) return r.status();
     return r->stored;
@@ -214,7 +217,7 @@ Result<std::vector<std::optional<std::string>>> DatabaseHandle::get_multi(
         auto r = with_failover<GetMultiResp>(
             true, [&](const std::string& server, rpc::ProviderId provider,
                       const std::string& db) -> Result<GetMultiResp> {
-                GetMultiReq req{db, keys, bulk};
+                GetMultiReq req{db, keys, bulk, pin_};
                 auto raw = engine_->endpoint().call(server, "yokan_get_multi", provider,
                                                     serial::to_string(req), deadline(),
                                                     bulk_tag());
@@ -264,7 +267,7 @@ Result<std::vector<std::optional<hep::BufferView>>> DatabaseHandle::get_multi_vi
             true, [&](const std::string& server, rpc::ProviderId provider,
                       const std::string& db) -> Result<GetMultiResp> {
                 return engine_->forward<GetMultiReq, GetMultiResp>(
-                    server, "yokan_get_multi", provider, GetMultiReq{db, keys, bulk},
+                    server, "yokan_get_multi", provider, GetMultiReq{db, keys, bulk, pin_},
                     deadline(), bulk_tag());
             });
         engine_->endpoint().unexpose(bulk);

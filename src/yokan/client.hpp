@@ -71,11 +71,25 @@ class DatabaseHandle {
         return h;
     }
 
-    /// Legacy contiguous put (copies `value` into the request).
-    Status put(std::string_view key, std::string_view value, bool overwrite = true) const;
+    /// A copy of this handle whose every read carries the MVCC pin: the
+    /// server resolves get/list/scan/get_multi against snapshot_at(pin.seq)
+    /// with pin's epoch filter instead of "latest". Writes are unaffected.
+    [[nodiscard]] DatabaseHandle with_snapshot(proto::ReadPin pin) const {
+        DatabaseHandle h = *this;
+        h.pin_ = std::move(pin);
+        return h;
+    }
+    [[nodiscard]] const proto::ReadPin& snapshot() const noexcept { return pin_; }
+
+    /// Legacy contiguous put (copies `value` into the request). `epoch`
+    /// tags the write with an ingest epoch invisible to snapshot readers
+    /// until published (0 = immediately visible).
+    Status put(std::string_view key, std::string_view value, bool overwrite = true,
+               std::uint32_t epoch = 0) const;
     /// Zero-copy put: the Buffer rides the request by reference
     /// ("yokan_put_owned"); the server parks the received bytes directly.
-    Status put(std::string_view key, hep::Buffer value, bool overwrite = true) const;
+    Status put(std::string_view key, hep::Buffer value, bool overwrite = true,
+               std::uint32_t epoch = 0) const;
     Result<std::string> get(std::string_view key) const;
     /// Zero-copy get: the value comes back as a view anchored to the response
     /// frame (one receive buffer, no per-value copy).
@@ -105,13 +119,14 @@ class DatabaseHandle {
     /// Legacy batched store: one RPC + one bulk read on the server side.
     /// Returns the number of newly stored pairs.
     Result<std::uint64_t> put_multi(const std::vector<KeyValue>& items,
-                                    bool overwrite = true) const;
+                                    bool overwrite = true, std::uint32_t epoch = 0) const;
 
     /// Zero-copy batched store ("yokan_put_packed"): headers go into one
     /// metadata buffer, the item values ride the RPC payload as referenced
-    /// views — no packing copy, no bulk round-trip.
+    /// views — no packing copy, no bulk round-trip. Every entry in the batch
+    /// is tagged with `epoch`.
     Result<std::uint64_t> put_multi(const std::vector<BatchItem>& items,
-                                    bool overwrite = true) const;
+                                    bool overwrite = true, std::uint32_t epoch = 0) const;
 
     /// Batched erase; returns how many keys existed and were removed.
     Result<std::uint64_t> erase_multi(const std::vector<std::string>& keys) const;
@@ -259,6 +274,7 @@ class DatabaseHandle {
     std::shared_ptr<replica::FailoverState> failover_;
     std::shared_ptr<qos::ClientQos> qos_;
     std::uint8_t class_override_ = qos::kClassUnset;
+    proto::ReadPin pin_;  // seq 0 = read latest
 };
 
 }  // namespace hep::yokan

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <limits>
 
@@ -15,6 +16,32 @@ namespace {
 constexpr const char* kManifestName = "MANIFEST.json";
 constexpr const char* kLegacyWalName = "wal.log";
 constexpr std::size_t kNoLevel = std::numeric_limits<std::size_t>::max();
+
+/// MVCC stamp prefix on SSTable values (format-2 tables): seq u64 + epoch
+/// u32, little-endian. Tombstones carry no stamp (their seq only matters for
+/// manifest last_seq accounting, done at flush time).
+constexpr std::size_t kStampBytes = 12;
+
+std::string wrap_stamped(const Stamp& stamp, std::string_view value) {
+    std::string out;
+    out.reserve(kStampBytes + value.size());
+    out.append(reinterpret_cast<const char*>(&stamp.seq), 8);
+    out.append(reinterpret_cast<const char*>(&stamp.epoch), 4);
+    out.append(value);
+    return out;
+}
+
+/// Strips the stamp prefix off `value` in place and returns it; pre-format-2
+/// tables (has_meta false) read as stamp (0, 0).
+Stamp unwrap_stamp(std::string_view& value, bool has_meta) {
+    Stamp stamp;
+    if (has_meta && value.size() >= kStampBytes) {
+        std::memcpy(&stamp.seq, value.data(), 8);
+        std::memcpy(&stamp.epoch, value.data() + 8, 4);
+        value.remove_prefix(kStampBytes);
+    }
+    return stamp;
+}
 }  // namespace
 
 std::uint64_t LsmDb::Version::level_bytes(std::size_t li) const {
@@ -69,6 +96,16 @@ Result<std::unique_ptr<LsmDb>> LsmDb::open(LsmOptions options) {
     if (!st.ok()) return st;
     st = db->recover_wal();
     if (!st.ok()) return st;
+    // Rebuild the published-epoch set from the durable publish markers
+    // (tables and replayed WAL records alike).
+    st = db->scan(std::string_view{}, kPublishMarkerPrefix, /*with_values=*/false,
+                  [&](std::string_view key, std::string_view) {
+                      if (const std::uint32_t epoch = parse_publish_marker(key)) {
+                          db->observe_marker(epoch);
+                      }
+                      return true;
+                  });
+    if (!st.ok()) return st;
     db->start_worker();
     return db;
 }
@@ -80,6 +117,11 @@ Status LsmDb::load_manifest() {
     if (!doc.ok()) return Status::Corruption("manifest unreadable: " + doc.status().message());
     const json::Value& v = *doc;
     next_file_number_.store(static_cast<std::uint64_t>(v["next_file"].as_int(1)));
+    // Format 2: the seq ceiling of flushed data. WAL replay re-stamps every
+    // unflushed record deterministically from here.
+    const auto last_seq = static_cast<std::uint64_t>(v["last_seq"].as_int(0));
+    last_flushed_seq_.store(last_seq, std::memory_order_relaxed);
+    seq_source().advance_to(last_seq);
     auto nv = std::make_shared<Version>();
     nv->levels.resize(options_.max_levels);
     const json::Value& levels = v["levels"];
@@ -93,6 +135,7 @@ Status LsmDb::load_manifest() {
             meta.max_key = t["max"].as_string();
             meta.entries = static_cast<std::uint64_t>(t["entries"].as_int());
             meta.bytes = static_cast<std::uint64_t>(t["bytes"].as_int());
+            meta.has_meta = t["meta"].as_bool(false);
             auto reader = open_table(meta);
             if (!reader.ok()) return reader.status();
             nv->levels[li].push_back({std::move(meta), std::move(reader.value())});
@@ -106,7 +149,9 @@ Status LsmDb::load_manifest() {
 Status LsmDb::save_manifest() {
     auto v = snapshot_version();
     json::Value doc = json::Value::make_object();
+    doc["format"] = 2;
     doc["next_file"] = next_file_number_.load();
+    doc["last_seq"] = last_flushed_seq_.load(std::memory_order_relaxed);
     json::Value levels = json::Value::make_array();
     for (const auto& level : v->levels) {
         json::Value arr = json::Value::make_array();
@@ -117,6 +162,7 @@ Status LsmDb::save_manifest() {
             entry["max"] = t.meta.max_key;
             entry["entries"] = t.meta.entries;
             entry["bytes"] = t.meta.bytes;
+            entry["meta"] = t.meta.has_meta;
             arr.push_back(std::move(entry));
         }
         levels.push_back(std::move(arr));
@@ -147,15 +193,25 @@ Status LsmDb::recover_wal() {
     // Replay the legacy single log (pre-segmentation layout) first, then
     // every wal.NNNNNN.log segment in sequence order: last writer wins, and
     // segments are strictly newer than any legacy log.
+    // Every replayed record draws the next seq — replay order equals original
+    // append order, so the re-derived stamps match the pre-crash ones.
     auto apply = [&](Wal::RecordType type, std::string_view key, std::string_view value) {
-        if (type == Wal::RecordType::kPut) {
+        const std::uint64_t seq = seq_source().next();
+        if (type == Wal::RecordType::kDelete) {
             active_->entries.insert_or_assign(std::string(key),
-                                              hep::BufferView(hep::Buffer::copy_of(value)));
-            active_->bytes += key.size() + value.size() + 32;
-        } else {
-            active_->entries.insert_or_assign(std::string(key), std::nullopt);
+                                              Rec{std::nullopt, Stamp{seq, 0}});
             active_->bytes += key.size() + 32;
+            return;
         }
+        std::uint32_t epoch = 0;
+        if (type == Wal::RecordType::kPutEpoch) {
+            std::memcpy(&epoch, value.data(), 4);
+            value.remove_prefix(4);
+        }
+        active_->entries.insert_or_assign(
+            std::string(key),
+            Rec{hep::BufferView(hep::Buffer::copy_of(value)), Stamp{seq, epoch}});
+        active_->bytes += key.size() + value.size() + 32;
     };
 
     std::uint64_t total = 0;
@@ -320,20 +376,25 @@ Status LsmDb::flush_oldest_imm() {
     std::shared_ptr<const MemTable> victim = v->imm.back();
 
     std::optional<TableHandle> handle;
+    std::uint64_t max_seq = last_flushed_seq_.load(std::memory_order_relaxed);
     if (!victim->entries.empty()) {
         const std::uint64_t fn = next_file_number_.fetch_add(1);
         SstWriter writer(table_path(fn), fn, options_.block_bytes, victim->entries.size());
-        for (const auto& [key, value] : victim->entries) {
-            Status st =
-                value.has_value() ? writer.add(key, value->sv()) : writer.add(key, {}, true);
+        for (const auto& [key, rec] : victim->entries) {
+            max_seq = std::max(max_seq, rec.stamp.seq);
+            Status st = rec.value.has_value()
+                            ? writer.add(key, wrap_stamped(rec.stamp, rec.value->sv()))
+                            : writer.add(key, {}, true);
             if (!st.ok()) return st;
         }
         auto meta = writer.finish();
         if (!meta.ok()) return meta.status();
+        meta->has_meta = true;
         auto reader = open_table(*meta);
         if (!reader.ok()) return reader.status();
         handle.emplace(TableHandle{std::move(meta.value()), std::move(reader.value())});
     }
+    last_flushed_seq_.store(max_seq, std::memory_order_relaxed);
 
     {
         std::lock_guard vl(version_mutex_);
@@ -364,6 +425,7 @@ namespace {
 struct MergeSource {
     SstReader::Iterator it;
     std::size_t prio;
+    bool has_meta;  // source values carry the stamp prefix
 };
 
 bool ranges_overlap(const TableMeta& a, std::string_view min_key, std::string_view max_key) {
@@ -413,17 +475,20 @@ Status LsmDb::compact_level(std::size_t level) {
     std::uint64_t input_entries = 0;
     if (level == 0) {
         for (auto rit = src_idx.rbegin(); rit != src_idx.rend(); ++rit) {
-            sources.push_back({levels[0][*rit].reader->make_iterator(), sources.size()});
+            sources.push_back({levels[0][*rit].reader->make_iterator(), sources.size(),
+                               levels[0][*rit].meta.has_meta});
             input_entries += levels[0][*rit].meta.entries;
         }
     } else {
         for (std::size_t i : src_idx) {
-            sources.push_back({levels[level][i].reader->make_iterator(), sources.size()});
+            sources.push_back({levels[level][i].reader->make_iterator(), sources.size(),
+                               levels[level][i].meta.has_meta});
             input_entries += levels[level][i].meta.entries;
         }
     }
     for (std::size_t i : dst_idx) {
-        sources.push_back({levels[target][i].reader->make_iterator(), sources.size()});
+        sources.push_back({levels[target][i].reader->make_iterator(), sources.size(),
+                           levels[target][i].meta.has_meta});
         input_entries += levels[target][i].meta.entries;
     }
     for (auto& s : sources) {
@@ -445,6 +510,7 @@ Status LsmDb::compact_level(std::size_t level) {
         if (!writer) return Status::OK();
         auto meta = writer->finish();
         if (!meta.ok()) return meta.status();
+        meta->has_meta = true;  // outputs are always stamp-prefixed
         // Drop empty output tables.
         if (meta->entries > 0) outputs.push_back(std::move(meta.value()));
         else fs::remove(table_path(meta->file_number));
@@ -464,8 +530,11 @@ Status LsmDb::compact_level(std::size_t level) {
         }
         if (!best) break;
         const std::string key(best->it.key());
-        const std::string value(best->it.value());
+        std::string value(best->it.value());
         const bool tombstone = best->it.is_tombstone();
+        // Legacy (pre-stamp) sources get a zero stamp prepended so every
+        // output value uses the format-2 layout.
+        if (!tombstone && !best->has_meta) value.insert(0, kStampBytes, '\0');
         // Advance every source positioned at this key.
         for (auto& s : sources) {
             while (s.it.valid() && s.it.key() == key) {
@@ -537,11 +606,22 @@ Status LsmDb::put(std::string_view key, std::string_view value, bool overwrite) 
 }
 
 Status LsmDb::put_view(std::string_view key, hep::BufferView value, bool overwrite) {
+    return put_stamped(key, std::move(value), overwrite, 0);
+}
+
+Status LsmDb::put_stamped(std::string_view key, hep::BufferView value, bool overwrite,
+                          std::uint32_t epoch) {
     {
         std::lock_guard g(stats_mutex_);
         ++stats_.puts;
     }
-    return write_impl(key, value.to_owned(), overwrite, /*is_erase=*/false);
+    Status st = write_impl(key, value.to_owned(), overwrite, /*is_erase=*/false, epoch);
+    if (st.ok()) {
+        if (const std::uint32_t published = parse_publish_marker(key)) {
+            observe_marker(published);
+        }
+    }
+    return st;
 }
 
 Status LsmDb::erase(std::string_view key) {
@@ -551,7 +631,7 @@ Status LsmDb::erase(std::string_view key) {
     }
     // Tombstones grow the memtable too: erase goes through the same seal /
     // backpressure path as put so delete-heavy workloads still flush.
-    return write_impl(key, std::nullopt, /*overwrite=*/true, /*is_erase=*/true);
+    return write_impl(key, std::nullopt, /*overwrite=*/true, /*is_erase=*/true, 0);
 }
 
 bool LsmDb::key_present(std::string_view key) const {
@@ -559,15 +639,15 @@ bool LsmDb::key_present(std::string_view key) const {
     {
         std::shared_lock ml(mem_mutex_);
         auto it = active_->entries.find(key);
-        if (it != active_->entries.end()) return it->second.has_value();
+        if (it != active_->entries.end()) return it->second.value.has_value();
         ver = snapshot_version();
     }
     for (const auto& m : ver->imm) {
         auto it = m->entries.find(key);
-        if (it != m->entries.end()) return it->second.has_value();
+        if (it != m->entries.end()) return it->second.value.has_value();
     }
     auto found = table_lookup(*ver, key);
-    return found.ok() && found->has_value();
+    return found.ok() && found->value.has_value();
 }
 
 void LsmDb::maybe_stall() {
@@ -603,7 +683,7 @@ void LsmDb::maybe_stall() {
 }
 
 Status LsmDb::write_impl(std::string_view key, std::optional<hep::BufferView> value,
-                         bool overwrite, bool is_erase) {
+                         bool overwrite, bool is_erase, std::uint32_t epoch) {
     Status bg = background_error();
     if (!bg.ok()) return bg;
     if (options_.background_compaction) maybe_stall();
@@ -619,13 +699,19 @@ Status LsmDb::write_impl(std::string_view key, std::optional<hep::BufferView> va
             if (is_erase && !present) return Status::NotFound(std::string(key));
             if (!is_erase && present) return Status::AlreadyExists(std::string(key));
         }
-        Status st = is_erase ? wal_.append_delete(key) : wal_.append_put(key, value->sv());
+        Status st = is_erase ? wal_.append_delete(key)
+                    : epoch == 0
+                        ? wal_.append_put(key, value->sv())
+                        : wal_.append_put_epoch(key, value->sv(), epoch);
         if (!st.ok()) return st;
         my_seq = append_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+        // MVCC seq drawn under write_mutex_: memtable stamp order equals WAL
+        // append order, which is what recovery's re-stamping relies on.
+        const Stamp stamp{seq_source().next(), is_erase ? 0 : epoch};
         {
             std::unique_lock ml(mem_mutex_);
             active_->bytes += key.size() + (value ? value->size() : 0) + 32;
-            active_->entries.insert_or_assign(std::string(key), std::move(value));
+            active_->entries.insert_or_assign(std::string(key), Rec{std::move(value), stamp});
             if (active_->bytes >= options_.memtable_bytes) {
                 st = seal_active_locked();
                 if (!st.ok()) return st;
@@ -755,15 +841,26 @@ Status LsmDb::flush() {
 
 // ------------------------------------------------------------------- reads
 
-Result<std::optional<std::string>> LsmDb::table_lookup(const Version& v,
-                                                       std::string_view key) const {
+Result<LsmDb::TableHit> LsmDb::table_lookup(const Version& v, std::string_view key) const {
+    auto make_hit = [](std::optional<std::string> raw, bool has_meta) {
+        TableHit hit;
+        if (raw.has_value()) {
+            if (has_meta && raw->size() >= kStampBytes) {
+                std::memcpy(&hit.stamp.seq, raw->data(), 8);
+                std::memcpy(&hit.stamp.epoch, raw->data() + 8, 4);
+                raw->erase(0, kStampBytes);
+            }
+            hit.value = std::move(raw);
+        }
+        return hit;
+    };
     // L0: newest to oldest (later files shadow earlier ones).
     const auto& l0 = v.levels[0];
     for (std::size_t i = l0.size(); i-- > 0;) {
         const TableMeta& t = l0[i].meta;
         if (key < std::string_view(t.min_key) || std::string_view(t.max_key) < key) continue;
         auto r = l0[i].reader->get(key);
-        if (r.ok()) return r;  // value or tombstone
+        if (r.ok()) return make_hit(std::move(r.value()), t.has_meta);  // value or tombstone
         if (r.status().code() != StatusCode::kNotFound) return r.status();
     }
     // Deeper levels: at most one candidate file per level.
@@ -779,7 +876,7 @@ Result<std::optional<std::string>> LsmDb::table_lookup(const Version& v,
         if (lo == lvl.size()) continue;
         if (key < std::string_view(lvl[lo].meta.min_key)) continue;
         auto r = lvl[lo].reader->get(key);
-        if (r.ok()) return r;
+        if (r.ok()) return make_hit(std::move(r.value()), lvl[lo].meta.has_meta);
         if (r.status().code() != StatusCode::kNotFound) return r.status();
     }
     return Status::NotFound(std::string(key));
@@ -801,24 +898,24 @@ Result<std::string> LsmDb::get(std::string_view key) {
         std::shared_lock ml(mem_mutex_);
         auto it = active_->entries.find(key);
         if (it != active_->entries.end()) {
-            if (!it->second.has_value()) return Status::NotFound(std::string(key));
-            hep::count_buffer_copy(it->second->size());
-            return std::string(it->second->sv());
+            if (!it->second.value.has_value()) return Status::NotFound(std::string(key));
+            hep::count_buffer_copy(it->second.value->size());
+            return std::string(it->second.value->sv());
         }
         ver = snapshot_version();
     }
     for (const auto& m : ver->imm) {
         auto it = m->entries.find(key);
         if (it != m->entries.end()) {
-            if (!it->second.has_value()) return Status::NotFound(std::string(key));
-            hep::count_buffer_copy(it->second->size());
-            return std::string(it->second->sv());
+            if (!it->second.value.has_value()) return Status::NotFound(std::string(key));
+            hep::count_buffer_copy(it->second.value->size());
+            return std::string(it->second.value->sv());
         }
     }
     auto found = table_lookup(*ver, key);
     if (!found.ok()) return found.status();
-    if (!found->has_value()) return Status::NotFound(std::string(key));
-    return std::move(**found);
+    if (!found->value.has_value()) return Status::NotFound(std::string(key));
+    return std::move(*found->value);
 }
 
 Result<hep::BufferView> LsmDb::get_view(std::string_view key) {
@@ -834,23 +931,55 @@ Result<hep::BufferView> LsmDb::get_view(std::string_view key) {
         std::shared_lock ml(mem_mutex_);
         auto it = active_->entries.find(key);
         if (it != active_->entries.end()) {
-            if (!it->second.has_value()) return Status::NotFound(std::string(key));
-            return *it->second;  // refcount bump only
+            if (!it->second.value.has_value()) return Status::NotFound(std::string(key));
+            return *it->second.value;  // refcount bump only
         }
         ver = snapshot_version();
     }
     for (const auto& m : ver->imm) {
         auto it = m->entries.find(key);
         if (it != m->entries.end()) {
-            if (!it->second.has_value()) return Status::NotFound(std::string(key));
-            return *it->second;
+            if (!it->second.value.has_value()) return Status::NotFound(std::string(key));
+            return *it->second.value;
         }
     }
     auto found = table_lookup(*ver, key);
     if (!found.ok()) return found.status();
-    if (!found->has_value()) return Status::NotFound(std::string(key));
+    if (!found->value.has_value()) return Status::NotFound(std::string(key));
     // Table values materialize from disk/cache as a fresh string; adopt it.
-    return hep::BufferView(hep::Buffer::adopt(std::move(**found)));
+    return hep::BufferView(hep::Buffer::adopt(std::move(*found->value)));
+}
+
+Result<std::pair<hep::BufferView, Stamp>> LsmDb::get_stamped(std::string_view key) {
+    {
+        std::lock_guard g(stats_mutex_);
+        ++stats_.gets;
+        if (compaction_running_.load(std::memory_order_relaxed)) {
+            ++lsm_stats_.reads_during_compaction;
+        }
+    }
+    std::shared_ptr<const Version> ver;
+    {
+        std::shared_lock ml(mem_mutex_);
+        auto it = active_->entries.find(key);
+        if (it != active_->entries.end()) {
+            if (!it->second.value.has_value()) return Status::NotFound(std::string(key));
+            return std::make_pair(*it->second.value, it->second.stamp);
+        }
+        ver = snapshot_version();
+    }
+    for (const auto& m : ver->imm) {
+        auto it = m->entries.find(key);
+        if (it != m->entries.end()) {
+            if (!it->second.value.has_value()) return Status::NotFound(std::string(key));
+            return std::make_pair(*it->second.value, it->second.stamp);
+        }
+    }
+    auto found = table_lookup(*ver, key);
+    if (!found.ok()) return found.status();
+    if (!found->value.has_value()) return Status::NotFound(std::string(key));
+    return std::make_pair(hep::BufferView(hep::Buffer::adopt(std::move(*found->value))),
+                          found->stamp);
 }
 
 Result<bool> LsmDb::exists(std::string_view key) {
@@ -869,6 +998,14 @@ Result<std::uint64_t> LsmDb::length(std::string_view key) {
 
 Status LsmDb::scan(std::string_view after, std::string_view prefix, bool with_values,
                    const ScanFn& fn) {
+    return scan_stamped(after, prefix, with_values,
+                        [&fn](std::string_view key, std::string_view value, const Stamp&) {
+                            return fn(key, value);
+                        });
+}
+
+Status LsmDb::scan_stamped(std::string_view after, std::string_view prefix, bool with_values,
+                           const StampedScanFn& fn) {
     (void)with_values;  // values come along for free in this implementation
     {
         std::lock_guard g(stats_mutex_);
@@ -897,6 +1034,7 @@ Status LsmDb::scan(std::string_view after, std::string_view prefix, bool with_va
     // are skipped — the documented resume-after contract).
     std::string mem_key;
     std::optional<hep::BufferView> mem_val;
+    Stamp mem_stamp;
     bool mem_valid = false;
     auto mem_load = [&](bool initial) {
         std::shared_lock ml(mem_mutex_);
@@ -910,7 +1048,8 @@ Status LsmDb::scan(std::string_view after, std::string_view prefix, bool with_va
         }
         mem_valid = true;
         mem_key = it->first;
-        mem_val = it->second;  // refcount bump: bytes stay valid off-lock
+        mem_val = it->second.value;  // refcount bump: bytes stay valid off-lock
+        mem_stamp = it->second.stamp;
     };
     mem_load(/*initial=*/true);
 
@@ -927,16 +1066,23 @@ Status LsmDb::scan(std::string_view after, std::string_view prefix, bool with_va
     }
 
     // Table iterators, ordered newest-first so the lowest source index always
-    // holds the most recent version of a key.
-    std::vector<SstReader::Iterator> its;
+    // holds the most recent version of a key. Each remembers whether its table
+    // carries MVCC stamp prefixes so values can be unwrapped on the fly.
+    struct TableCursor {
+        SstReader::Iterator it;
+        bool has_meta;
+    };
+    std::vector<TableCursor> its;
     for (std::size_t i = ver->levels[0].size(); i-- > 0;) {
-        its.push_back(ver->levels[0][i].reader->make_iterator());
+        its.push_back({ver->levels[0][i].reader->make_iterator(), ver->levels[0][i].meta.has_meta});
     }
     for (std::size_t li = 1; li < ver->levels.size(); ++li) {
-        for (const auto& t : ver->levels[li]) its.push_back(t.reader->make_iterator());
+        for (const auto& t : ver->levels[li]) {
+            its.push_back({t.reader->make_iterator(), t.meta.has_meta});
+        }
     }
-    for (auto& it : its) {
-        Status st = start_at_prefix ? it.seek_geq(prefix) : it.seek_after(after);
+    for (auto& c : its) {
+        Status st = start_at_prefix ? c.it.seek_geq(prefix) : c.it.seek_after(after);
         if (!st.ok()) return st;
     }
 
@@ -959,9 +1105,9 @@ Status LsmDb::scan(std::string_view after, std::string_view prefix, bool with_va
                 have_best = true;
             }
         }
-        for (const auto& it : its) {
-            if (it.valid() && (!have_best || it.key() < best)) {
-                best = it.key();
+        for (const auto& c : its) {
+            if (c.it.valid() && (!have_best || c.it.key() < best)) {
+                best = c.it.key();
                 have_best = true;
             }
         }
@@ -975,7 +1121,7 @@ Status LsmDb::scan(std::string_view after, std::string_view prefix, bool with_va
         bool keep_going = true;
         if (mem_valid && mem_key == key) {
             if (mem_val.has_value() && prefix_matches(key)) {
-                keep_going = fn(key, mem_val->sv());
+                keep_going = fn(key, mem_val->sv(), mem_stamp);
             }
             handled = true;
             mem_load(/*initial=*/false);
@@ -983,23 +1129,25 @@ Status LsmDb::scan(std::string_view after, std::string_view prefix, bool with_va
         for (auto& c : imms) {
             if (c.it != c.mt->entries.end() && c.it->first == key) {
                 if (!handled) {
-                    if (c.it->second.has_value() && prefix_matches(key)) {
-                        keep_going = fn(key, c.it->second->sv());
+                    if (c.it->second.value.has_value() && prefix_matches(key)) {
+                        keep_going = fn(key, c.it->second.value->sv(), c.it->second.stamp);
                     }
                     handled = true;
                 }
                 ++c.it;
             }
         }
-        for (auto& it : its) {
-            if (it.valid() && it.key() == key) {
+        for (auto& c : its) {
+            if (c.it.valid() && c.it.key() == key) {
                 if (!handled) {
-                    if (!it.is_tombstone() && prefix_matches(key)) {
-                        keep_going = fn(key, it.value());
+                    if (!c.it.is_tombstone() && prefix_matches(key)) {
+                        std::string_view tv = c.it.value();
+                        const Stamp ts = unwrap_stamp(tv, c.has_meta);
+                        keep_going = fn(key, tv, ts);
                     }
                     handled = true;
                 }
-                Status st = it.next();
+                Status st = c.it.next();
                 if (!st.ok()) return st;
             }
         }

@@ -91,13 +91,18 @@ class LsmDb final : public Database {
 
     Status put(std::string_view key, std::string_view value, bool overwrite) override;
     Status put_view(std::string_view key, hep::BufferView value, bool overwrite) override;
+    Status put_stamped(std::string_view key, hep::BufferView value, bool overwrite,
+                       std::uint32_t epoch) override;
     Result<std::string> get(std::string_view key) override;
     Result<hep::BufferView> get_view(std::string_view key) override;
+    Result<std::pair<hep::BufferView, Stamp>> get_stamped(std::string_view key) override;
     Result<bool> exists(std::string_view key) override;
     Result<std::uint64_t> length(std::string_view key) override;
     Status erase(std::string_view key) override;
     Status scan(std::string_view after, std::string_view prefix, bool with_values,
                 const ScanFn& fn) override;
+    Status scan_stamped(std::string_view after, std::string_view prefix, bool with_values,
+                        const StampedScanFn& fn) override;
     std::uint64_t size() const override;
     Status flush() override;  // seal + drain every memtable and compaction
     std::string_view type() const noexcept override { return "lsm"; }
@@ -108,11 +113,18 @@ class LsmDb final : public Database {
     [[nodiscard]] json::Value stats_json() const;
 
   private:
+    /// One memtable record: the value (nullopt = tombstone) plus its MVCC
+    /// stamp. Stamps are assigned under write_mutex_, so memtable order and
+    /// WAL order agree and recovery can re-derive them deterministically.
+    struct Rec {
+        std::optional<hep::BufferView> value;
+        Stamp stamp;
+    };
     /// A memtable: mutable while active, frozen once sealed. `wal_segments`
     /// lists the log files holding its records; they are deleted after the
     /// memtable reaches an SSTable.
     struct MemTable {
-        std::map<std::string, std::optional<hep::BufferView>, std::less<>> entries;
+        std::map<std::string, Rec, std::less<>> entries;
         std::size_t bytes = 0;
         std::vector<std::string> wal_segments;
     };
@@ -140,7 +152,7 @@ class LsmDb final : public Database {
 
     // ---- write path
     Status write_impl(std::string_view key, std::optional<hep::BufferView> value,
-                      bool overwrite, bool is_erase);
+                      bool overwrite, bool is_erase, std::uint32_t epoch);
     /// Requires write_mutex_ and mem_mutex_ (exclusive). Rotates the WAL and
     /// publishes a Version with the active memtable on the immutable queue.
     Status seal_active_locked();
@@ -161,8 +173,13 @@ class LsmDb final : public Database {
     void set_background_error(const Status& st);
     [[nodiscard]] Status background_error() const;
 
-    Result<std::optional<std::string>> table_lookup(const Version& v,
-                                                    std::string_view key) const;
+    /// Stored bytes of `key`'s newest table version, already unwrapped:
+    /// nullopt value = tombstone. Stamp is (0,0) for pre-format-2 tables.
+    struct TableHit {
+        std::optional<std::string> value;
+        Stamp stamp;
+    };
+    Result<TableHit> table_lookup(const Version& v, std::string_view key) const;
     Result<std::shared_ptr<SstReader>> open_table(const TableMeta& meta) const;
     [[nodiscard]] std::string table_path(std::uint64_t file_number) const;
     [[nodiscard]] std::string wal_segment_path(std::uint64_t seq) const;
@@ -191,6 +208,11 @@ class LsmDb final : public Database {
     mutable std::mutex version_mutex_;
     std::shared_ptr<const Version> current_;
     std::atomic<std::uint64_t> next_file_number_{1};
+    /// Highest MVCC seq reaching an SSTable. Flushed data is always a
+    /// contiguous seq prefix (memtables seal and flush in order), so the
+    /// manifest's last_seq plus a deterministic WAL replay re-derives every
+    /// unflushed stamp after a crash.
+    std::atomic<std::uint64_t> last_flushed_seq_{0};
 
     // Worker coordination. coord_mutex_ is ULT-aware: a stalled writer or a
     // waiting worker suspends its ULT instead of blocking the xstream.

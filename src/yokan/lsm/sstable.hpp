@@ -37,6 +37,9 @@ struct TableMeta {
     std::string max_key;
     std::uint64_t entries = 0;
     std::uint64_t bytes = 0;
+    /// Values carry a 12-byte (seq u64, epoch u32) MVCC stamp prefix. Tables
+    /// written before the stamp format (manifest format 1) read as (0, 0).
+    bool has_meta = false;
 };
 
 /// Simple shared LRU cache of decoded data blocks, keyed by (file, block#).

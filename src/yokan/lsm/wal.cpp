@@ -49,6 +49,15 @@ Status Wal::append_put(std::string_view key, std::string_view value) {
     return append(RecordType::kPut, key, value);
 }
 
+Status Wal::append_put_epoch(std::string_view key, std::string_view value,
+                             std::uint32_t epoch) {
+    std::string tagged;
+    tagged.reserve(4 + value.size());
+    tagged.append(reinterpret_cast<const char*>(&epoch), 4);
+    tagged.append(value);
+    return append(RecordType::kPutEpoch, key, tagged);
+}
+
 Status Wal::append_delete(std::string_view key) {
     return append(RecordType::kDelete, key, {});
 }
@@ -91,7 +100,11 @@ Result<std::uint64_t> Wal::replay(const std::string& path, const ReplayFn& fn) {
         if (5 + klen > len) break;
         std::string_view key = body.substr(5, klen);
         std::string_view value = body.substr(5 + klen);
-        if (type != RecordType::kPut && type != RecordType::kDelete) break;
+        if (type != RecordType::kPut && type != RecordType::kDelete &&
+            type != RecordType::kPutEpoch) {
+            break;
+        }
+        if (type == RecordType::kPutEpoch && value.size() < 4) break;
         fn(type, key, value);
         ++applied;
         pos += 8 + len;

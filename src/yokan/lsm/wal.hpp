@@ -2,8 +2,9 @@
 // applied to the memtable, so a crash loses nothing that was acknowledged.
 //
 // Record framing:  [crc32 u32][len u32][type u8][klen u32][key][value]
-// type: 1 = put, 2 = delete (value empty). Replay stops at the first corrupt
-// or truncated record (standard torn-write handling).
+// type: 1 = put, 2 = delete (value empty), 3 = epoch-tagged put whose value
+// is [epoch u32][payload]. Replay stops at the first corrupt or truncated
+// record (standard torn-write handling).
 #pragma once
 
 #include <cstdint>
@@ -18,7 +19,7 @@ namespace hep::yokan::lsm {
 
 class Wal {
   public:
-    enum class RecordType : std::uint8_t { kPut = 1, kDelete = 2 };
+    enum class RecordType : std::uint8_t { kPut = 1, kDelete = 2, kPutEpoch = 3 };
 
     Wal() = default;
     ~Wal();
@@ -29,6 +30,8 @@ class Wal {
     Status open(const std::string& path);
 
     Status append_put(std::string_view key, std::string_view value);
+    /// Epoch-tagged put: the record value is [epoch u32][value].
+    Status append_put_epoch(std::string_view key, std::string_view value, std::uint32_t epoch);
     Status append_delete(std::string_view key);
 
     /// Flush userspace buffers (fsync is out of scope for the simulator).

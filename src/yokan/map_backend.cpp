@@ -11,16 +11,25 @@ Status MapBackend::put(std::string_view key, std::string_view value, bool overwr
 }
 
 Status MapBackend::put_view(std::string_view key, hep::BufferView value, bool overwrite) {
+    return put_stamped(key, std::move(value), overwrite, 0);
+}
+
+Status MapBackend::put_stamped(std::string_view key, hep::BufferView value, bool overwrite,
+                               std::uint32_t epoch) {
     hep::BufferView owned = value.to_owned();
-    std::unique_lock lock(mutex_);
-    ++stats_.puts;
-    auto it = map_.find(key);
-    if (it != map_.end()) {
-        if (!overwrite) return Status::AlreadyExists(std::string(key));
-        it->second = std::move(owned);
-        return Status::OK();
+    {
+        std::unique_lock lock(mutex_);
+        ++stats_.puts;
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            if (!overwrite) return Status::AlreadyExists(std::string(key));
+            it->second = Slot{std::move(owned), Stamp{seq_source().next(), epoch}};
+        } else {
+            map_.emplace(std::string(key), Slot{std::move(owned), Stamp{seq_source().next(), epoch}});
+        }
     }
-    map_.emplace(std::string(key), std::move(owned));
+    // Publish markers flip the local published set the moment they commit.
+    if (const std::uint32_t published = parse_publish_marker(key)) observe_marker(published);
     return Status::OK();
 }
 
@@ -29,8 +38,8 @@ Result<std::string> MapBackend::get(std::string_view key) {
     ++stats_.gets;
     auto it = map_.find(key);
     if (it == map_.end()) return Status::NotFound(std::string(key));
-    hep::count_buffer_copy(it->second.size());
-    return std::string(it->second.sv());
+    hep::count_buffer_copy(it->second.value.size());
+    return std::string(it->second.value.sv());
 }
 
 Result<hep::BufferView> MapBackend::get_view(std::string_view key) {
@@ -38,7 +47,15 @@ Result<hep::BufferView> MapBackend::get_view(std::string_view key) {
     ++stats_.gets;
     auto it = map_.find(key);
     if (it == map_.end()) return Status::NotFound(std::string(key));
-    return it->second;  // refcount bump only
+    return it->second.value;  // refcount bump only
+}
+
+Result<std::pair<hep::BufferView, Stamp>> MapBackend::get_stamped(std::string_view key) {
+    std::shared_lock lock(mutex_);
+    ++stats_.gets;
+    auto it = map_.find(key);
+    if (it == map_.end()) return Status::NotFound(std::string(key));
+    return std::make_pair(it->second.value, it->second.stamp);
 }
 
 Result<bool> MapBackend::exists(std::string_view key) {
@@ -52,7 +69,7 @@ Result<std::uint64_t> MapBackend::length(std::string_view key) {
     ++stats_.gets;
     auto it = map_.find(key);
     if (it == map_.end()) return Status::NotFound(std::string(key));
-    return static_cast<std::uint64_t>(it->second.size());
+    return static_cast<std::uint64_t>(it->second.value.size());
 }
 
 Status MapBackend::erase(std::string_view key) {
@@ -61,11 +78,20 @@ Status MapBackend::erase(std::string_view key) {
     auto it = map_.find(key);
     if (it == map_.end()) return Status::NotFound(std::string(key));
     map_.erase(it);
+    seq_source().next();  // erases are mutations too: lease probes must see them
     return Status::OK();
 }
 
 Status MapBackend::scan(std::string_view after, std::string_view prefix, bool with_values,
                         const ScanFn& fn) {
+    return scan_stamped(after, prefix, with_values,
+                        [&](std::string_view key, std::string_view value, const Stamp&) {
+                            return fn(key, value);
+                        });
+}
+
+Status MapBackend::scan_stamped(std::string_view after, std::string_view prefix,
+                                bool with_values, const StampedScanFn& fn) {
     std::shared_lock lock(mutex_);
     ++stats_.scans;
     // Start strictly after `after`, but never before `prefix`.
@@ -75,7 +101,10 @@ Status MapBackend::scan(std::string_view after, std::string_view prefix, bool wi
         if (!prefix.empty()) {
             if (key.size() < prefix.size() || key.compare(0, prefix.size(), prefix) != 0) break;
         }
-        if (!fn(key, with_values ? it->second.sv() : std::string_view{})) break;
+        if (!fn(key, with_values ? it->second.value.sv() : std::string_view{},
+                it->second.stamp)) {
+            break;
+        }
     }
     return Status::OK();
 }

@@ -5,6 +5,11 @@
 // back by bumping a refcount. Since buffers are immutable after publish, an
 // overwrite simply swaps the view — readers holding the old view keep valid
 // bytes.
+//
+// Every slot carries its MVCC Stamp (commit seq + ingest epoch); only the
+// newest version of a key is retained, so a snapshot read of an overwritten
+// or erased key is conservatively NotFound (exact for HEPnOS's write-once
+// product/event keys, which is what snapshot readers scan).
 #pragma once
 
 #include <map>
@@ -20,21 +25,31 @@ class MapBackend final : public Database {
 
     Status put(std::string_view key, std::string_view value, bool overwrite) override;
     Status put_view(std::string_view key, hep::BufferView value, bool overwrite) override;
+    Status put_stamped(std::string_view key, hep::BufferView value, bool overwrite,
+                       std::uint32_t epoch) override;
     Result<std::string> get(std::string_view key) override;
     Result<hep::BufferView> get_view(std::string_view key) override;
+    Result<std::pair<hep::BufferView, Stamp>> get_stamped(std::string_view key) override;
     Result<bool> exists(std::string_view key) override;
     Result<std::uint64_t> length(std::string_view key) override;
     Status erase(std::string_view key) override;
     Status scan(std::string_view after, std::string_view prefix, bool with_values,
                 const ScanFn& fn) override;
+    Status scan_stamped(std::string_view after, std::string_view prefix, bool with_values,
+                        const StampedScanFn& fn) override;
     std::uint64_t size() const override;
     Status flush() override { return Status::OK(); }
     std::string_view type() const noexcept override { return "map"; }
     BackendStats stats() const override;
 
   private:
+    struct Slot {
+        hep::BufferView value;
+        Stamp stamp;
+    };
+
     mutable std::shared_mutex mutex_;
-    std::map<std::string, hep::BufferView, std::less<>> map_;
+    std::map<std::string, Slot, std::less<>> map_;
     mutable BackendStats stats_;
 };
 

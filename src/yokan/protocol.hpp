@@ -24,6 +24,29 @@ namespace hep::yokan::proto {
 
 inline constexpr std::uint32_t kMissing = 0xFFFFFFFFu;
 
+/// Optional MVCC pin carried by read RPCs. seq == 0 means "read latest"
+/// (the pre-MVCC behaviour); a non-zero seq asks the server to resolve the
+/// read against snapshot_at(seq) with the client-supplied epoch visibility
+/// filter. Shipping the filter explicitly makes pinned reads immune to a
+/// backend whose local published set lags the registry's commit point.
+struct ReadPin {
+    std::uint64_t seq = 0;
+    std::uint32_t floor = 0;                // epochs 1..floor visible
+    std::vector<std::uint32_t> extras;      // sparse visible epochs > floor
+    [[nodiscard]] bool pinned() const noexcept { return seq != 0; }
+    [[nodiscard]] ReadView view() const {
+        ReadView v;
+        v.seq = seq;
+        v.epochs.floor = floor;
+        v.epochs.extras = extras;
+        return v;
+    }
+    template <typename A>
+    void serialize(A& ar, unsigned) {
+        ar & seq & floor & extras;
+    }
+};
+
 /// Legacy single put with a contiguous std::string value. Kept as the
 /// compatibility shim (and the "before" baseline for abl_zerocopy); the
 /// zero-copy path is PutViewReq / "yokan_put_owned".
@@ -32,9 +55,10 @@ struct PutReq {
     std::string key;
     std::string value;
     bool overwrite = true;
+    std::uint32_t epoch = 0;  // 0 = immediately visible; else ingest epoch
     template <typename A>
     void serialize(A& ar, unsigned) {
-        ar & db & key & value & overwrite;
+        ar & db & key & value & overwrite & epoch;
     }
 };
 
@@ -48,9 +72,10 @@ struct PutViewReq {
     std::string key;
     hep::Buffer value;
     bool overwrite = true;
+    std::uint32_t epoch = 0;  // 0 = immediately visible; else ingest epoch
     template <typename A>
     void serialize(A& ar, unsigned) {
-        ar & db & key & value & overwrite;
+        ar & db & key & value & overwrite & epoch;
     }
 };
 
@@ -65,9 +90,10 @@ struct Ack {
 struct KeyReq {
     std::string db;
     std::string key;
+    ReadPin pin;  // optional snapshot pin (seq 0 = latest)
     template <typename A>
     void serialize(A& ar, unsigned) {
-        ar & db & key;
+        ar & db & key & pin;
     }
 };
 
@@ -104,9 +130,10 @@ struct ListReq {
     std::string prefix;  // restrict to keys with this prefix
     std::uint64_t max = 128;
     bool with_values = false;
+    ReadPin pin;  // optional snapshot pin (seq 0 = latest)
     template <typename A>
     void serialize(A& ar, unsigned) {
-        ar & db & after & prefix & max & with_values;
+        ar & db & after & prefix & max & with_values & pin;
     }
 };
 
@@ -168,9 +195,11 @@ struct SeqResp {
 struct GetSeqResp {
     hep::BufferView value;
     std::uint64_t seq = 0;
+    std::uint64_t vseq = 0;    // the VALUE's own MVCC stamp (exact, unlike
+    std::uint32_t vepoch = 0;  // `seq` which is a pre-read lease sample)
     template <typename A>
     void serialize(A& ar, unsigned) {
-        ar & value & seq;
+        ar & value & seq & vseq & vepoch;
     }
 };
 
@@ -192,10 +221,11 @@ struct PutPackedReq {
     std::string db;
     std::uint64_t count = 0;
     bool overwrite = true;
+    std::uint32_t epoch = 0;  // applied to every entry in the batch
     hep::BufferChain entries;  // packed (klen u32, vlen u32, key, value)*
     template <typename A>
     void serialize(A& ar, unsigned) {
-        ar & db & count & overwrite & entries;
+        ar & db & count & overwrite & epoch & entries;
     }
 };
 
@@ -208,9 +238,10 @@ struct PutMultiReq {
     std::uint64_t count = 0;
     std::uint64_t bytes = 0;  // packed size
     bool overwrite = true;
+    std::uint32_t epoch = 0;  // applied to every entry in the batch
     template <typename A>
     void serialize(A& ar, unsigned) {
-        ar & db & bulk & count & bytes & overwrite;
+        ar & db & bulk & count & bytes & overwrite & epoch;
     }
 };
 
@@ -231,9 +262,10 @@ struct GetMultiReq {
     std::string db;
     std::vector<std::string> keys;
     rpc::BulkRef dest;
+    ReadPin pin;  // optional snapshot pin (seq 0 = latest)
     template <typename A>
     void serialize(A& ar, unsigned) {
-        ar & db & keys & dest;
+        ar & db & keys & dest & pin;
     }
 };
 

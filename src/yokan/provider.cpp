@@ -11,6 +11,18 @@ using namespace proto;
 namespace {
 /// Filesystem-safe member tag used to derive per-member lsm paths and the
 /// replica sidecar file name from a Target ("tcp://h:1/3/db" -> "tcp_h_1_3_db").
+/// Reject pins that run ahead of the database: a snapshot can only be taken
+/// at a seq the db has actually reached (fuzzed/malformed pins answer with an
+/// error, never crash or serve garbage).
+Status validate_pin(Database* db, const proto::ReadPin& pin) {
+    if (pin.pinned() && pin.seq > db->seq()) {
+        return Status::InvalidArgument("read_seq " + std::to_string(pin.seq) +
+                                       " is ahead of database seq " +
+                                       std::to_string(db->seq()));
+    }
+    return Status::OK();
+}
+
 std::string path_tag(const replica::Target& t) {
     std::string tag = t.str();
     for (char& c : tag) {
@@ -113,11 +125,11 @@ json::Value Provider::replica_stats() const {
 }
 
 std::uint64_t Provider::mutation_seq(const std::string& name) {
-    if (auto* rs = find_replica_set(name)) return rs->version_seq();
-    if (Database* db = find_database(name)) {
-        const auto stats = db->stats();
-        return stats.puts + stats.erases;
-    }
+    // One seq authority per database: the backend's SeqSource. Replicated
+    // databases advance the same counter (every replicated mutation lands via
+    // put_stamped/erase on the backend), so the replica path needs no special
+    // case any more.
+    if (Database* db = find_database(name)) return db->seq();
     return 0;
 }
 
@@ -189,8 +201,15 @@ void Provider::register_rpcs() {
             auto db = resolve(req.db);
             if (!db.ok()) return db.status();
             Status st;
-            if (auto* rs = find_replica_set(req.db)) st = rs->put(req.key, req.value, req.overwrite);
-            else st = (*db)->put(req.key, req.value, req.overwrite);
+            if (auto* rs = find_replica_set(req.db)) {
+                st = rs->put(req.key, req.value, req.overwrite, req.epoch);
+            } else if (req.epoch == 0) {
+                st = (*db)->put(req.key, req.value, req.overwrite);
+            } else {
+                st = (*db)->put_stamped(req.key,
+                                        hep::BufferView(hep::Buffer::adopt(std::string(req.value))),
+                                        req.overwrite, req.epoch);
+            }
             if (!st.ok()) return st;
             return Ack{};
         },
@@ -205,9 +224,9 @@ void Provider::register_rpcs() {
             if (!db.ok()) return db.status();
             Status st;
             if (auto* rs = find_replica_set(req.db)) {
-                st = rs->put(req.key, req.value, req.overwrite);  // shares the buffer
+                st = rs->put(req.key, req.value, req.overwrite, req.epoch);  // shares the buffer
             } else {
-                st = (*db)->put_view(req.key, req.value.view(), req.overwrite);
+                st = (*db)->put_stamped(req.key, req.value.view(), req.overwrite, req.epoch);
             }
             if (!st.ok()) return st;
             return Ack{};
@@ -219,7 +238,12 @@ void Provider::register_rpcs() {
         [this](const KeyReq& req) -> Result<GetResp> {
             auto db = resolve(req.db);
             if (!db.ok()) return db.status();
-            auto v = (*db)->get_view(req.key);
+            Status pin_ok = validate_pin(*db, req.pin);
+            if (!pin_ok.ok()) return pin_ok;
+            // Unpinned requests still go through the _at path: an unpinned
+            // ReadView filters by the db-local published set, so unpublished
+            // epochs are invisible from every read RPC.
+            auto v = (*db)->get_view_at(req.key, req.pin.view());
             if (!v.ok()) return v.status();
             // The stored view rides the response by reference; the response
             // chain keeps its storage alive until the frame is sent.
@@ -232,7 +256,9 @@ void Provider::register_rpcs() {
         [this](const KeyReq& req) -> Result<ExistsResp> {
             auto db = resolve(req.db);
             if (!db.ok()) return db.status();
-            auto v = (*db)->exists(req.key);
+            Status pin_ok = validate_pin(*db, req.pin);
+            if (!pin_ok.ok()) return pin_ok;
+            auto v = (*db)->exists_at(req.key, req.pin.view());
             if (!v.ok()) return v.status();
             return ExistsResp{*v};
         },
@@ -243,7 +269,9 @@ void Provider::register_rpcs() {
         [this](const KeyReq& req) -> Result<LengthResp> {
             auto db = resolve(req.db);
             if (!db.ok()) return db.status();
-            auto v = (*db)->length(req.key);
+            Status pin_ok = validate_pin(*db, req.pin);
+            if (!pin_ok.ok()) return pin_ok;
+            auto v = (*db)->length_at(req.key, req.pin.view());
             if (!v.ok()) return v.status();
             return LengthResp{*v};
         },
@@ -267,7 +295,9 @@ void Provider::register_rpcs() {
         [this](const ListReq& req) -> Result<ListKeysResp> {
             auto db = resolve(req.db);
             if (!db.ok()) return db.status();
-            auto keys = (*db)->list_keys(req.after, req.prefix, req.max);
+            Status pin_ok = validate_pin(*db, req.pin);
+            if (!pin_ok.ok()) return pin_ok;
+            auto keys = (*db)->list_keys_at(req.after, req.prefix, req.max, req.pin.view());
             if (!keys.ok()) return keys.status();
             return ListKeysResp{std::move(keys.value())};
         },
@@ -278,7 +308,9 @@ void Provider::register_rpcs() {
         [this](const ListReq& req) -> Result<ListKeyValsResp> {
             auto db = resolve(req.db);
             if (!db.ok()) return db.status();
-            auto items = (*db)->list_keyvals(req.after, req.prefix, req.max);
+            Status pin_ok = validate_pin(*db, req.pin);
+            if (!pin_ok.ok()) return pin_ok;
+            auto items = (*db)->list_keyvals_at(req.after, req.prefix, req.max, req.pin.view());
             if (!items.ok()) return items.status();
             return ListKeyValsResp{std::move(items.value())};
         },
@@ -289,9 +321,11 @@ void Provider::register_rpcs() {
         [this](const ListReq& req) -> Result<ScanResp> {
             auto db = resolve(req.db);
             if (!db.ok()) return db.status();
+            Status pin_ok = validate_pin(*db, req.pin);
+            if (!pin_ok.ok()) return pin_ok;
             ScanResp resp;
-            auto chunk = (*db)->scan_chunk(
-                req.after, req.prefix, req.max, req.with_values,
+            auto chunk = (*db)->scan_chunk_at(
+                req.after, req.prefix, req.max, req.with_values, req.pin.view(),
                 [&](std::string_view key, std::string_view value) {
                     resp.items.push_back(KeyValue{std::string(key), std::string(value)});
                     return true;
@@ -320,10 +354,17 @@ void Provider::register_rpcs() {
         [this](const KeyReq& req) -> Result<GetSeqResp> {
             auto db = resolve(req.db);
             if (!db.ok()) return db.status();
+            Status pin_ok = validate_pin(*db, req.pin);
+            if (!pin_ok.ok()) return pin_ok;
             const std::uint64_t seq = mutation_seq(req.db);
-            auto v = (*db)->get_view(req.key);
+            auto v = (*db)->get_stamped(req.key);
             if (!v.ok()) return v.status();
-            return GetSeqResp{std::move(v.value()), seq};
+            if (!(*db)->visible(v->second, req.pin.view())) {
+                return Status::NotFound("key not visible at this snapshot");
+            }
+            // `seq` is the pre-read lease sample; vseq/vepoch are the value's
+            // exact stamp so pinned caches can compare against their pin.
+            return GetSeqResp{std::move(v->first), seq, v->second.seq, v->second.epoch};
         },
         pool_);
 
@@ -369,7 +410,7 @@ void Provider::register_rpcs() {
                 // The replication log needs one contiguous record; adopt the
                 // flattened bytes so log + peer ships share them from here on.
                 auto counts = rs->put_packed(hep::Buffer::adopt(req.entries.flatten()),
-                                             req.overwrite);
+                                             req.overwrite, req.epoch);
                 if (!counts.ok()) return counts.status();
                 resp.stored = counts->first;
                 resp.already_existed = counts->second;
@@ -377,7 +418,7 @@ void Provider::register_rpcs() {
             }
             bool well_formed =
                 unpack_entries_chain(req.entries, [&](std::string_view k, hep::BufferView v) {
-                    Status put_st = (*db)->put_view(k, v, req.overwrite);
+                    Status put_st = (*db)->put_stamped(k, v, req.overwrite, req.epoch);
                     if (put_st.ok()) ++resp.stored;
                     else if (put_st.code() == StatusCode::kAlreadyExists) ++resp.already_existed;
                 });
@@ -404,17 +445,25 @@ void Provider::register_rpcs() {
             if (!st.ok()) return st;
             PutMultiResp resp;
             if (auto* rs = find_replica_set(req.db)) {
-                auto counts = rs->put_packed(hep::Buffer::adopt(std::move(packed)), req.overwrite);
+                auto counts = rs->put_packed(hep::Buffer::adopt(std::move(packed)), req.overwrite,
+                                             req.epoch);
                 if (!counts.ok()) return counts.status();
                 resp.stored = counts->first;
                 resp.already_existed = counts->second;
                 return serial::to_string(resp);
             }
-            bool well_formed = unpack_entries(packed, [&](std::string_view k, std::string_view v) {
-                Status put_st = (*db)->put(k, v, req.overwrite);
-                if (put_st.ok()) ++resp.stored;
-                else if (put_st.code() == StatusCode::kAlreadyExists) ++resp.already_existed;
-            });
+            // Adopt the packed bytes so epoch-tagged entries can be parked as
+            // owned views without a per-value copy.
+            hep::Buffer packed_buf = hep::Buffer::adopt(std::move(packed));
+            const char* base = packed_buf.view().sv().data();
+            bool well_formed = unpack_entries(
+                packed_buf.view().sv(), [&](std::string_view k, std::string_view v) {
+                    Status put_st = (*db)->put_stamped(
+                        k, packed_buf.view(static_cast<std::size_t>(v.data() - base), v.size()),
+                        req.overwrite, req.epoch);
+                    if (put_st.ok()) ++resp.stored;
+                    else if (put_st.code() == StatusCode::kAlreadyExists) ++resp.already_existed;
+                });
             if (!well_formed) return Status::InvalidArgument("malformed packed batch");
             return serial::to_string(resp);
         },
@@ -433,15 +482,18 @@ void Provider::register_rpcs() {
             }
             auto db = resolve(req.db);
             if (!db.ok()) return db.status();
+            Status pin_ok = validate_pin(*db, req.pin);
+            if (!pin_ok.ok()) return pin_ok;
             GetMultiResp resp;
             resp.seq = mutation_seq(req.db);
             resp.sizes.reserve(req.keys.size());
+            const ReadView view = req.pin.view();
             // Gather the stored values as views — no server-side packing copy;
             // the fabric writes them into the client's region as one gathered
             // transfer.
             hep::BufferChain values;
             for (const auto& key : req.keys) {
-                auto v = (*db)->get_view(key);
+                auto v = (*db)->get_view_at(key, view);
                 if (!v.ok()) {
                     resp.sizes.push_back(kMissing);
                     continue;

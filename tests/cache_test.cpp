@@ -105,13 +105,39 @@ TEST(LeaseCacheTest, LeaseExpiryDemandsRevalidationAndRenewWorks) {
     EXPECT_EQ(std::string(expired.value.sv()), "v");
 
     // Owner seq unchanged: the lease renews without refetching the value.
-    EXPECT_TRUE(c.renew("k", 7));
+    // The ticket is captured before the seq probe, like read_product does.
+    EXPECT_TRUE(c.renew("k", 7, c.ticket("db", "t")));
     EXPECT_EQ(c.lookup("k").state, cache::LeaseCache::LookupState::kHit);
     EXPECT_EQ(c.counters().renewals, 1u);
 
     // Owner seq moved: renew refuses, the caller must refetch.
     std::this_thread::sleep_for(std::chrono::milliseconds(30));
-    EXPECT_FALSE(c.renew("k", 8));
+    EXPECT_FALSE(c.renew("k", 8, c.ticket("db", "t")));
+}
+
+TEST(LeaseCacheTest, RenewRefusedAfterPromotionInvalidatesTarget) {
+    cache::CacheOptions opts;
+    opts.lease_ms = 20;
+    cache::LeaseCache c(opts);
+    c.fill("k", view_of("v"), 7, c.ticket("db", "primary-0"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_EQ(c.lookup("k").state, cache::LeaseCache::LookupState::kExpired);
+
+    // The demoted-primary race: the ticket (and the seq probe it brackets)
+    // targeted the old primary, then a failover promotion invalidated that
+    // target. Renewing against the stale seq must be refused even though the
+    // probe "confirmed" it — the promoted replica may hold newer data.
+    auto stale = c.ticket("db", "primary-0");
+    c.bump_target("primary-0");
+    EXPECT_FALSE(c.renew("k", 7, stale));
+
+    // And a ticket captured before any local invalidation of the entry's
+    // epochs is also refused once the db epoch moves.
+    c.fill("k2", view_of("v2"), 3, c.ticket("db", "primary-1"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    auto t = c.ticket("db", "primary-1");
+    c.bump_db("db");
+    EXPECT_FALSE(c.renew("k2", 3, t));
 }
 
 TEST(LeaseCacheTest, OptionsFromJsonAndBypass) {

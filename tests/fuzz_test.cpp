@@ -541,6 +541,178 @@ TEST(CacheFuzzTest, MalformedCacheRpcsNeverKillTheProvider) {
     EXPECT_EQ(std::string(hit->value.sv()), "v");
 }
 
+// ------------------------------------------------- mvcc pins & publish keys
+
+class MvccFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MvccFuzzTest, HostileReadPinsAreRejectedNotFatal) {
+    // Property: a read_seq pin the database has never reached, random epoch
+    // filters, and raw garbage on the pinned read RPCs all come back as error
+    // Statuses (InvalidArgument for ahead-of-db pins) — never a crash, and
+    // the provider keeps serving pinned and latest reads afterwards.
+    Rng rng(GetParam());
+    rpc::Network net;
+    margo::Engine server(net, "mserver", margo::EngineConfig{2});
+    margo::Engine client(net, "mclient");
+    auto cfg = json::parse(R"({"databases": [{"name": "products", "type": "map"}]})");
+    ASSERT_TRUE(cfg.ok());
+    auto provider = yokan::Provider::create(server, 1, *cfg);
+    ASSERT_TRUE(provider.ok()) << provider.status().to_string();
+    auto* db = (*provider)->find_database("products");
+    ASSERT_NE(db, nullptr);
+    for (int i = 0; i < 16; ++i) {
+        ASSERT_TRUE(db->put("key" + std::to_string(i), "v" + std::to_string(i)).ok());
+    }
+    const std::uint64_t head = db->seq();
+
+    for (int iter = 0; iter < 300; ++iter) {
+        yokan::proto::ReadPin pin;
+        pin.seq = rng.next_u64() >> (iter % 2 ? 0 : 60);  // huge and small pins
+        pin.floor = static_cast<std::uint32_t>(rng.next_u64());
+        const int extras = static_cast<int>(rng.uniform(0, 4));
+        for (int e = 0; e < extras; ++e) {
+            pin.extras.push_back(static_cast<std::uint32_t>(rng.next_u64()));  // unsorted
+        }
+        auto got = client.forward<yokan::proto::KeyReq, yokan::proto::GetResp>(
+            "mserver", "yokan_get", 1, {"products", "key0", pin});
+        auto listed = client.forward<yokan::proto::ListReq, yokan::proto::ListKeysResp>(
+            "mserver", "yokan_list_keys", 1, {"products", "", "", 64, false, pin});
+        if (pin.seq > head) {
+            EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+            EXPECT_EQ(listed.status().code(), StatusCode::kInvalidArgument);
+        } else {
+            // A reachable pin (or 0 = latest) serves; the value, if visible,
+            // is the stored one — a hostile epoch filter can hide but never
+            // corrupt.
+            if (got.ok()) EXPECT_EQ(std::string(got->value.sv()), "v0");
+            ASSERT_TRUE(listed.ok()) << listed.status().to_string();
+            EXPECT_LE(listed->keys.size(), 16u);
+        }
+    }
+
+    // Raw garbage at the pinned read RPCs: framing or validation errors only.
+    const char* rpcs[] = {"yokan_get", "yokan_list_keys", "yokan_get_multi", "yokan_seq"};
+    for (int iter = 0; iter < 400; ++iter) {
+        const std::string payload = random_bytes(rng, 192);
+        auto raw = client.endpoint().call("mserver", rpcs[iter % 4], 1, payload,
+                                          std::chrono::milliseconds{0});
+        if (!raw.ok()) EXPECT_FALSE(raw.status().to_string().empty());
+    }
+
+    // The provider survived: latest and pinned-at-head reads still work.
+    auto latest = client.forward<yokan::proto::KeyReq, yokan::proto::GetResp>(
+        "mserver", "yokan_get", 1, {"products", "key3", {}});
+    ASSERT_TRUE(latest.ok()) << latest.status().to_string();
+    EXPECT_EQ(std::string(latest->value.sv()), "v3");
+    yokan::proto::ReadPin at_head;
+    at_head.seq = head;
+    auto pinned = client.forward<yokan::proto::KeyReq, yokan::proto::GetResp>(
+        "mserver", "yokan_get", 1, {"products", "key3", at_head});
+    ASSERT_TRUE(pinned.ok()) << pinned.status().to_string();
+    EXPECT_EQ(std::string(pinned->value.sv()), "v3");
+}
+
+TEST_P(MvccFuzzTest, MalformedPublishRecordsAreInertNotFatal) {
+    // Publish markers ride the ordinary put path, so hostile clients can
+    // write arbitrary internal-prefixed keys. Property: malformed marker
+    // keys are stored as plain (internal, scan-hidden) keys without ever
+    // publishing an epoch, random put epochs stage cleanly, and a
+    // well-formed marker still publishes exactly its own epoch.
+    Rng rng(GetParam());
+    rpc::Network net;
+    margo::Engine server(net, "pserver", margo::EngineConfig{2});
+    margo::Engine client(net, "pclient");
+    auto cfg = json::parse(R"({"databases": [{"name": "products", "type": "map"}]})");
+    ASSERT_TRUE(cfg.ok());
+    auto provider = yokan::Provider::create(server, 1, *cfg);
+    ASSERT_TRUE(provider.ok()) << provider.status().to_string();
+    auto* db = (*provider)->find_database("products");
+
+    auto put = [&](yokan::proto::PutReq req) {
+        return client
+            .forward<yokan::proto::PutReq, yokan::proto::Ack>("pserver", "yokan_put", 1, req)
+            .status();
+    };
+
+    // Stage a value under epoch 9: the fuzz below must never publish it.
+    ASSERT_TRUE(put({"products", "staged", "s", true, 9}).ok());
+
+    for (int iter = 0; iter < 300; ++iter) {
+        // Marker-shaped keys with wrong-length or garbage suffixes (a real
+        // epoch suffix is exactly 4 bytes and nonzero).
+        std::string key(yokan::kPublishMarkerPrefix);
+        const std::size_t len = rng.uniform(0, 8);
+        if (len == 4 && iter % 2) {
+            key += std::string(4, '\0');  // epoch 0: reserved, not publishable
+        } else {
+            key += random_bytes(rng, len);
+        }
+        if (yokan::parse_publish_marker(key) != 0) continue;  // rare: valid
+        auto ack = put({"products", key, "", true, 0});
+        ASSERT_TRUE(ack.ok()) << ack.to_string();
+
+        // Random-epoch puts stage without ever becoming visible.
+        const auto epoch = static_cast<std::uint32_t>(rng.next_u64() | 1);
+        ASSERT_TRUE(put({"products", "fuzz-staged", "x", true, epoch}).ok());
+    }
+
+    // Nothing got published, nothing internal leaks from filtered reads.
+    EXPECT_FALSE(db->epoch_visible(9));
+    auto get = client.forward<yokan::proto::KeyReq, yokan::proto::GetResp>(
+        "pserver", "yokan_get", 1, {"products", "staged", {}});
+    EXPECT_EQ(get.status().code(), StatusCode::kNotFound);
+    auto listed = client.forward<yokan::proto::ListReq, yokan::proto::ListKeysResp>(
+        "pserver", "yokan_list_keys", 1, {"products", "", "", 1024, false, {}});
+    ASSERT_TRUE(listed.ok());
+    EXPECT_TRUE(listed->keys.empty());  // every stored key is internal or staged
+
+    // A genuine marker still publishes its epoch — and only it.
+    ASSERT_TRUE(put({"products", yokan::publish_marker_key(9), "", true, 0}).ok());
+    EXPECT_TRUE(db->epoch_visible(9));
+    get = client.forward<yokan::proto::KeyReq, yokan::proto::GetResp>(
+        "pserver", "yokan_get", 1, {"products", "staged", {}});
+    ASSERT_TRUE(get.ok()) << get.status().to_string();
+    EXPECT_EQ(std::string(get->value.sv()), "s");
+}
+
+TEST(MvccFuzzTest2, QueryOpenWithHostilePinIsRejectedNotFatal) {
+    rpc::Network net;
+    margo::Engine server(net, "qpserver", margo::EngineConfig{2});
+    margo::Engine client(net, "qpclient");
+    auto cfg = json::parse(R"({"databases": [{"name": "products", "type": "map"}]})");
+    ASSERT_TRUE(cfg.ok());
+    auto provider = yokan::Provider::create(server, 1, *cfg);
+    ASSERT_TRUE(provider.ok()) << provider.status().to_string();
+    query::QueryProvider qp(server, 1, **provider);
+
+    Rng rng(909);
+    for (int iter = 0; iter < 100; ++iter) {
+        query::proto::OpenReq open;
+        open.db = "products";
+        open.spec = query::nova_selection_spec({}, "std::vector<hep::nova::Slice>");
+        open.pin.seq = 1000 + (rng.next_u64() >> 1);  // far ahead of the empty db
+        open.pin.floor = static_cast<std::uint32_t>(rng.next_u64());
+        auto resp = client.forward<query::proto::OpenReq, query::proto::OpenResp>(
+            "qpserver", "query_open", 1, open);
+        EXPECT_EQ(resp.status().code(), StatusCode::kInvalidArgument);
+    }
+
+    // The provider survived: an unpinned open self-pins and drains cleanly.
+    query::proto::OpenReq open;
+    open.db = "products";
+    open.spec = query::nova_selection_spec({}, "std::vector<hep::nova::Slice>");
+    auto opened = client.forward<query::proto::OpenReq, query::proto::OpenResp>(
+        "qpserver", "query_open", 1, open);
+    ASSERT_TRUE(opened.ok()) << opened.status().to_string();
+    EXPECT_GE(opened->pin.seq, 1u);  // self-pinned, never "latest"
+    auto page = client.forward<query::proto::NextReq, query::proto::Page>(
+        "qpserver", "query_next", 1, {"products", opened->cursor});
+    ASSERT_TRUE(page.ok()) << page.status().to_string();
+    EXPECT_TRUE(page->done);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MvccFuzzTest, ::testing::Values(13, 131, 1313));
+
 // ---------------------------------------------------------- qos wire stamps
 
 class QosFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
