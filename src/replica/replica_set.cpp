@@ -4,6 +4,7 @@
 #include <chrono>
 #include <fstream>
 
+#include "common/logging.hpp"
 #include "qos/context.hpp"
 #include "yokan/protocol.hpp"
 
@@ -47,6 +48,13 @@ ReplicaSet::ReplicaSet(margo::Engine& engine, Target self, std::vector<Target> p
         peer_states_.push_back(std::move(state));
     }
     load_meta();
+}
+
+ReplicaSet::~ReplicaSet() {
+    // Final sidecar rewrite with the clean marker: the next boot can trust
+    // that the store kept everything this member ever acknowledged.
+    abt::LockGuard guard(mu_);
+    persist_meta_locked(/*clean=*/true);
 }
 
 // ---- local mutation path ---------------------------------------------------
@@ -207,6 +215,11 @@ Result<ApplyResp> ReplicaSet::handle_apply(const ApplyReq& req) {
             // and its database is missing everything it ever authored. Push
             // our full materialized copy back. The origin fixes its counter
             // itself when it sees our last_applied ahead of its own stream.
+            //
+            // first_seq == 0 is the explicit reseed request: the origin came
+            // back from an UNCLEAN sidecar, so its recovered counter may be
+            // fine while its store silently lost an acked WAL tail — it asks
+            // for the full pushback instead of trusting local state.
             push_state_to_origin(req.origin);
         }
         return resp;
@@ -440,12 +453,26 @@ void ReplicaSet::push_state_to_origin(const std::string& origin) {
 
 void ReplicaSet::probe_peers() {
     std::uint64_t next;
+    bool reseed = false;
     {
         abt::LockGuard guard(mu_);
         next = next_seq_;
+        reseed = recovering_;
+        recovering_ = false;  // one reseed round per unclean boot
+        if (reseed) ++stats_.reseed_requests;
+    }
+    if (reseed) {
+        // The sidecar survived but lacked the clean-shutdown marker: the
+        // store may have lost an acked WAL tail that the sequence counter
+        // (persisted with headroom, never regressing) cannot reveal. Send
+        // the first_seq = 0 sentinel so every peer treats us as regressed
+        // and streams its full copy back; the snapshots are idempotent
+        // overwrite-puts, so a loss-free recovery just re-applies itself.
+        HEP_LOG_WARN("replica %s/%s: unclean restart, requesting reseed from %zu peer(s)",
+                     self_.db.c_str(), self_.str().c_str(), peer_states_.size());
     }
     static const std::vector<Record> kNone;
-    for (auto& peer : peer_states_) ship_to_peer(*peer, next, kNone);
+    for (auto& peer : peer_states_) ship_to_peer(*peer, reseed ? 0 : next, kNone);
 }
 
 // ---- log + persistence -----------------------------------------------------
@@ -455,15 +482,17 @@ void ReplicaSet::append_to_log(Record rec) {
     while (log_.size() > log_capacity_) log_.pop_front();
 }
 
-void ReplicaSet::persist_meta_locked() {
+void ReplicaSet::persist_meta_locked(bool clean) {
     if (meta_path_.empty()) return;
     const std::uint64_t ceiling = ceil_to_headroom(next_seq_);
     // Rewrite when the sequence counter crosses its persisted ceiling, or the
     // replay watermarks have advanced enough to be worth saving. A stale-low
-    // watermark on recovery only costs idempotent replay.
-    if (ceiling == persisted_seq_ && applies_since_persist_ < kSeqHeadroom) return;
+    // watermark on recovery only costs idempotent replay. The destructor's
+    // clean-marker rewrite always goes through.
+    if (!clean && ceiling == persisted_seq_ && applies_since_persist_ < kSeqHeadroom) return;
     json::Value meta = json::Value::make_object();
     meta["next_seq"] = json::Value(ceiling);
+    meta["clean"] = json::Value(clean);
     json::Value applied = json::Value::make_object();
     for (const auto& [origin, seq] : last_applied_) applied[origin] = json::Value(seq);
     meta["last_applied"] = applied;
@@ -483,6 +512,10 @@ void ReplicaSet::load_meta() {
     const std::uint64_t saved = static_cast<std::uint64_t>(meta["next_seq"].as_int());
     if (saved > next_seq_) next_seq_ = saved;
     persisted_seq_ = saved;
+    // No clean-shutdown marker (crash, kill -9, pre-marker sidecar): the
+    // store cannot prove it kept every acked write, so ask for a reseed on
+    // the first probe pass.
+    recovering_ = !meta["clean"].as_bool(false);
     const json::Value& applied = meta["last_applied"];
     if (applied.is_object()) {
         json::Value mutable_applied = applied;
@@ -490,6 +523,13 @@ void ReplicaSet::load_meta() {
             last_applied_[origin] = static_cast<std::uint64_t>(seq.as_int());
         }
     }
+    // Mount-dirty: re-stamp the sidecar unclean right away, so the marker is
+    // only ever trusted when the destructor really ran last. Without this, a
+    // set torn down and recreated mid-operation (a re-wire after a failover
+    // promotion) would leave a `clean: true` file on disk while later applies
+    // still sit in an unsynced WAL tail.
+    applies_since_persist_ += kSeqHeadroom;  // force the rewrite
+    persist_meta_locked();
 }
 
 // ---- stats -----------------------------------------------------------------
@@ -522,6 +562,7 @@ json::Value ReplicaSet::stats_json() const {
     v["snapshots_sent"] = json::Value(s.snapshots_sent);
     v["snapshot_chunks_received"] = json::Value(s.snapshot_chunks_received);
     v["reseeds_sent"] = json::Value(s.reseeds_sent);
+    v["reseed_requests"] = json::Value(s.reseed_requests);
     // Replication lag: how far the slowest peer's acked watermark trails us.
     v["max_lag"] = json::Value(peer_states_.empty() ? 0 : seq - min_acked);
     json::Value peers = json::Value::make_array();

@@ -18,6 +18,16 @@
 // sequence counter (rounded up, so a recovered member never reuses sequence
 // numbers) and the per-origin applied watermarks (a stale-low watermark only
 // causes idempotent replay: puts overwrite, erases tolerate NotFound).
+//
+// The sidecar also carries a clean-shutdown marker: every in-operation
+// rewrite stamps `clean: false` and the destructor's final rewrite stamps
+// `clean: true`. A member that boots from an unclean sidecar cannot prove its
+// store kept every acknowledged write (a kill -9 can eat the WAL's buffered
+// tail while the sidecar — already in the page cache — survives, so the
+// sequence counter alone never regresses), so its first probe pass sends the
+// reseed sentinel (heartbeat with first_seq = 0) and every peer streams its
+// full materialized copy back — restoring both the member's lost authored
+// tail and its lost replica copies in one idempotent snapshot per peer.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +56,7 @@ struct ReplicaStats {
     std::uint64_t snapshots_sent = 0;
     std::uint64_t snapshot_chunks_received = 0;
     std::uint64_t reseeds_sent = 0;  // full-state pushbacks to a regressed origin
+    std::uint64_t reseed_requests = 0;  // recovery probes sent after an unclean boot
 };
 
 class ReplicaSet {
@@ -54,6 +65,8 @@ class ReplicaSet {
     /// sidecar persistence file ("" = in-memory only, the map-backend case).
     ReplicaSet(margo::Engine& engine, Target self, std::vector<Target> peers,
                yokan::Database* db, std::uint64_t log_capacity, std::string meta_path);
+    /// Stamps the sidecar's clean-shutdown marker (kill -9 never gets here).
+    ~ReplicaSet();
 
     [[nodiscard]] const Target& self() const noexcept { return self_; }
     [[nodiscard]] const std::vector<Target>& peers() const noexcept { return peers_; }
@@ -128,7 +141,7 @@ class ReplicaSet {
     void push_state_to_origin(const std::string& origin);
 
     void append_to_log(Record rec);
-    void persist_meta_locked();
+    void persist_meta_locked(bool clean = false);
     void load_meta();
 
     margo::Engine& engine_;
@@ -142,6 +155,7 @@ class ReplicaSet {
     std::uint64_t next_seq_ = 1;
     std::uint64_t persisted_seq_ = 0;        // next_seq_ ceiling already on disk
     std::uint64_t applies_since_persist_ = 0;  // replayed records since last write
+    bool recovering_ = false;  // booted from an unclean sidecar; reseed on first probe
     std::deque<Record> log_;           // own-origin records, seqs contiguous
     std::uint64_t log_capacity_;
     std::map<std::string, std::uint64_t> last_applied_;  // origin str -> seq

@@ -243,6 +243,26 @@ Result<std::unique_ptr<Database>> create_database(const json::Value& config,
         if (config.contains("block_cache_bytes")) {
             opts.block_cache_bytes =
                 static_cast<std::size_t>(config["block_cache_bytes"].as_int());
+            // Unless overridden, the compressed tier follows the decoded one.
+            opts.compressed_cache_bytes = opts.block_cache_bytes;
+        }
+        if (config.contains("compressed_cache_bytes")) {
+            opts.compressed_cache_bytes =
+                static_cast<std::size_t>(config["compressed_cache_bytes"].as_int());
+        }
+        if (config.contains("memtable")) {
+            opts.memtable = config["memtable"].as_string();
+        }
+        if (config.contains("block_compression")) {
+            opts.block_compression = config["block_compression"].as_string();
+        }
+        if (config.contains("arena_block_bytes")) {
+            opts.arena_block_bytes =
+                static_cast<std::size_t>(config["arena_block_bytes"].as_int());
+        }
+        if (config.contains("skiplist_max_height")) {
+            opts.skiplist_max_height =
+                static_cast<std::size_t>(config["skiplist_max_height"].as_int());
         }
         if (config.contains("target_file_bytes")) {
             opts.target_file_bytes =

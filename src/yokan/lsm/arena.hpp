@@ -1,0 +1,72 @@
+// Bump-pointer arena backing one memtable's skiplist nodes, keys and value
+// payload records. All allocations share a handful of large blocks, so an
+// insert never touches the general-purpose heap, and sealing a memtable hands
+// the whole arena (and thus every node a reader may still be traversing) to
+// the flush ULT in O(1). Blocks are freed only when the owning memtable's
+// last reference drops — after the flush completed AND every reader released
+// its pin — which is what makes lock-free reads of the active memtable safe.
+//
+// Allocation is single-writer: LsmDb serializes inserts under write_mutex_,
+// so the arena needs no internal synchronization. Readers never allocate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hep::yokan::lsm {
+
+class Arena {
+  public:
+    explicit Arena(std::size_t block_bytes = 256 * 1024)
+        : block_bytes_(block_bytes < 1024 ? 1024 : block_bytes) {}
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    /// Aligned allocation; bytes live until the arena is destroyed.
+    char* allocate(std::size_t n, std::size_t align = alignof(std::max_align_t)) {
+        const std::size_t pad = padding_for(align);
+        if (pad + n > remaining_) {
+            refill(n + align);
+            return allocate(n, align);
+        }
+        ptr_ += pad;
+        remaining_ -= pad;
+        char* out = ptr_;
+        ptr_ += n;
+        remaining_ -= n;
+        return out;
+    }
+
+    /// Total bytes reserved from the heap (the memtable memory footprint).
+    [[nodiscard]] std::size_t allocated_bytes() const noexcept { return allocated_; }
+    [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
+
+  private:
+    [[nodiscard]] std::size_t padding_for(std::size_t align) const noexcept {
+        const auto addr = reinterpret_cast<std::uintptr_t>(ptr_);
+        const std::size_t misalign = addr & (align - 1);
+        return misalign == 0 ? 0 : align - misalign;
+    }
+
+    void refill(std::size_t at_least) {
+        // Oversized requests get a dedicated block; the partially-used current
+        // block (if any) keeps serving small allocations next time around —
+        // we only switch when the new block is the regular size.
+        const std::size_t size = at_least > block_bytes_ ? at_least : block_bytes_;
+        blocks_.push_back(std::make_unique<char[]>(size));
+        allocated_ += size;
+        ptr_ = blocks_.back().get();
+        remaining_ = size;
+    }
+
+    std::size_t block_bytes_;
+    std::size_t allocated_ = 0;
+    char* ptr_ = nullptr;
+    std::size_t remaining_ = 0;
+    std::vector<std::unique_ptr<char[]>> blocks_;
+};
+
+}  // namespace hep::yokan::lsm

@@ -1,0 +1,114 @@
+// SSTable block envelope codec and the two-tier block cache.
+//
+// Every v2 data block is stored as an envelope:
+//
+//   [codec u8][pad u8][raw_len u32 LE][payload...]
+//
+// The payload is the raw block either verbatim (codec = kRaw, pad = 0) or
+// compressed with one of the common/compression.hpp codecs over the block
+// bytes zero-padded to a multiple of 8 and treated as u64 elements — width 8
+// is the only width where kDelta/kVarint can beat raw on byte streams, and
+// `pad` (0..7) records how much padding to strip after decode. encode_block
+// keeps whichever is smaller, so a block never grows by more than the 6-byte
+// header. The per-block crc32 stored in the table index covers the whole
+// envelope, so corruption is caught before any decode runs.
+//
+// The BlockCache holds two independently byte-bounded LRU tiers:
+//   kDecoded     raw (decompressed) blocks — cheapest to serve;
+//   kCompressed  on-disk envelopes — denser, one decode away from useful.
+// A read probes decoded, then compressed (decode + promote), then disk
+// (insert into both). Entries are charged at their actual byte size.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.hpp"
+
+namespace hep::yokan::lsm {
+
+inline constexpr std::size_t kBlockEnvelopeHeader = 6;
+
+/// Envelope for `raw`; compresses when `try_compress` and compression wins.
+[[nodiscard]] std::string encode_block(std::string_view raw, bool try_compress);
+
+/// Decode an envelope back to the raw block bytes.
+Status decode_block(std::string_view stored, std::string& raw_out);
+
+/// True when the envelope's payload is compressed (needs a real decode).
+[[nodiscard]] bool block_is_compressed(std::string_view stored) noexcept;
+
+struct BlockCacheStats {
+    std::uint64_t decoded_hits = 0;
+    std::uint64_t compressed_hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t decompressions = 0;
+    std::uint64_t disk_reads = 0;
+    std::uint64_t disk_bytes_read = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t decoded_used_bytes = 0;     // snapshot
+    std::uint64_t compressed_used_bytes = 0;  // snapshot
+};
+
+/// Two-tier shared LRU cache keyed by (file_number, block index).
+class BlockCache {
+  public:
+    enum Tier : int { kDecoded = 0, kCompressed = 1 };
+
+    BlockCache(std::size_t decoded_capacity_bytes, std::size_t compressed_capacity_bytes);
+    /// Single-budget convenience: same byte bound for both tiers.
+    explicit BlockCache(std::size_t capacity_bytes)
+        : BlockCache(capacity_bytes, capacity_bytes) {}
+
+    std::shared_ptr<const std::string> lookup(Tier tier, std::uint64_t file_number,
+                                              std::uint64_t block);
+    void insert(Tier tier, std::uint64_t file_number, std::uint64_t block,
+                std::shared_ptr<const std::string> data);
+
+    /// Reader-side accounting (the cache is where all counters live so every
+    /// SstReader sharing it aggregates into one symbio source).
+    void note_miss() noexcept { misses_.fetch_add(1, std::memory_order_relaxed); }
+    void note_disk_read(std::size_t bytes) noexcept {
+        disk_reads_.fetch_add(1, std::memory_order_relaxed);
+        disk_bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    }
+    void note_decompression() noexcept {
+        decompressions_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Legacy aggregate view (hits across both tiers).
+    [[nodiscard]] std::uint64_t hits() const noexcept;
+    [[nodiscard]] std::uint64_t misses() const noexcept {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] BlockCacheStats stats() const;
+
+  private:
+    struct Entry {
+        std::uint64_t key;
+        std::shared_ptr<const std::string> data;
+    };
+    struct Shard {
+        mutable std::mutex mutex;
+        std::size_t capacity = 0;
+        std::size_t used = 0;
+        std::list<Entry> lru;  // front = most recent
+        std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+        std::uint64_t hits = 0;
+    };
+
+    Shard tiers_[2];
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> decompressions_{0};
+    std::atomic<std::uint64_t> disk_reads_{0};
+    std::atomic<std::uint64_t> disk_bytes_read_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace hep::yokan::lsm

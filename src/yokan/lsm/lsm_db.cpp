@@ -5,6 +5,7 @@
 #include <cstring>
 #include <filesystem>
 #include <limits>
+#include <set>
 
 #include "common/logging.hpp"
 
@@ -13,7 +14,6 @@ namespace fs = std::filesystem;
 namespace hep::yokan::lsm {
 
 namespace {
-constexpr const char* kManifestName = "MANIFEST.json";
 constexpr const char* kLegacyWalName = "wal.log";
 constexpr std::size_t kNoLevel = std::numeric_limits<std::size_t>::max();
 
@@ -51,8 +51,9 @@ std::uint64_t LsmDb::Version::level_bytes(std::size_t li) const {
 }
 
 LsmDb::LsmDb(LsmOptions options) : options_(std::move(options)) {
-    cache_ = std::make_shared<BlockCache>(options_.block_cache_bytes);
-    active_ = std::make_shared<MemTable>();
+    cache_ = std::make_shared<BlockCache>(options_.block_cache_bytes,
+                                          options_.compressed_cache_bytes);
+    active_.store(make_memtable(), std::memory_order_relaxed);
     auto v = std::make_shared<Version>();
     v->levels.resize(options_.max_levels);
     current_ = std::move(v);
@@ -76,6 +77,21 @@ LsmDb::~LsmDb() {
     (void)wal_.sync();
 }
 
+std::shared_ptr<LsmDb::MemTable> LsmDb::make_memtable() const {
+    auto mt = std::make_shared<MemTable>();
+    mt->rep = make_memtable_rep(options_.memtable, options_.arena_block_bytes,
+                                static_cast<int>(options_.skiplist_max_height));
+    return mt;
+}
+
+hep::BufferView LsmDb::anchor_entry(const std::shared_ptr<const MemTable>& mem,
+                                    std::string_view bytes) {
+    // Aliasing shared_ptr: the view's owner handle keeps the whole memtable
+    // (and its arena, where `bytes` lives) alive for as long as the view does.
+    return hep::BufferView(bytes.data(), bytes.size(),
+                           std::shared_ptr<std::string>(mem, &mem->anchor_tag));
+}
+
 std::string LsmDb::table_path(std::uint64_t file_number) const {
     return options_.path + "/" + std::to_string(file_number) + ".sst";
 }
@@ -94,6 +110,8 @@ Result<std::unique_ptr<LsmDb>> LsmDb::open(LsmOptions options) {
     auto db = std::unique_ptr<LsmDb>(new LsmDb(std::move(options)));
     Status st = db->load_manifest();
     if (!st.ok()) return st;
+    st = db->remove_orphan_tables();
+    if (!st.ok()) return st;
     st = db->recover_wal();
     if (!st.ok()) return st;
     // Rebuild the published-epoch set from the durable publish markers
@@ -111,34 +129,24 @@ Result<std::unique_ptr<LsmDb>> LsmDb::open(LsmOptions options) {
 }
 
 Status LsmDb::load_manifest() {
-    const std::string path = options_.path + "/" + kManifestName;
-    if (!fs::exists(path)) return Status::OK();  // fresh database
-    auto doc = json::parse_file(path);
-    if (!doc.ok()) return Status::Corruption("manifest unreadable: " + doc.status().message());
-    const json::Value& v = *doc;
-    next_file_number_.store(static_cast<std::uint64_t>(v["next_file"].as_int(1)));
-    // Format 2: the seq ceiling of flushed data. WAL replay re-stamps every
-    // unflushed record deterministically from here.
-    const auto last_seq = static_cast<std::uint64_t>(v["last_seq"].as_int(0));
-    last_flushed_seq_.store(last_seq, std::memory_order_relaxed);
-    seq_source().advance_to(last_seq);
+    versions_ = std::make_unique<VersionSet>(options_.path, options_.max_levels,
+                                             options_.crash_hook);
+    Status st = versions_->recover();
+    if (!st.ok()) return st;
+    const ManifestState& ms = versions_->state();
+    next_file_number_.store(std::max<std::uint64_t>(1, ms.next_file_number));
+    // The seq ceiling of flushed data. WAL replay re-stamps every unflushed
+    // record deterministically from here.
+    last_flushed_seq_.store(ms.last_seq, std::memory_order_relaxed);
+    seq_source().advance_to(ms.last_seq);
+
     auto nv = std::make_shared<Version>();
     nv->levels.resize(options_.max_levels);
-    const json::Value& levels = v["levels"];
-    for (std::size_t li = 0; li < levels.size() && li < nv->levels.size(); ++li) {
-        const json::Value& level = levels.at(li);
-        for (std::size_t ti = 0; ti < level.size(); ++ti) {
-            const json::Value& t = level.at(ti);
-            TableMeta meta;
-            meta.file_number = static_cast<std::uint64_t>(t["file"].as_int());
-            meta.min_key = t["min"].as_string();
-            meta.max_key = t["max"].as_string();
-            meta.entries = static_cast<std::uint64_t>(t["entries"].as_int());
-            meta.bytes = static_cast<std::uint64_t>(t["bytes"].as_int());
-            meta.has_meta = t["meta"].as_bool(false);
+    for (std::size_t li = 0; li < ms.levels.size() && li < nv->levels.size(); ++li) {
+        for (const TableMeta& meta : ms.levels[li]) {
             auto reader = open_table(meta);
             if (!reader.ok()) return reader.status();
-            nv->levels[li].push_back({std::move(meta), std::move(reader.value())});
+            nv->levels[li].push_back({meta, std::move(reader.value())});
         }
     }
     std::lock_guard vl(version_mutex_);
@@ -146,42 +154,28 @@ Status LsmDb::load_manifest() {
     return Status::OK();
 }
 
-Status LsmDb::save_manifest() {
-    auto v = snapshot_version();
-    json::Value doc = json::Value::make_object();
-    doc["format"] = 2;
-    doc["next_file"] = next_file_number_.load();
-    doc["last_seq"] = last_flushed_seq_.load(std::memory_order_relaxed);
-    json::Value levels = json::Value::make_array();
-    for (const auto& level : v->levels) {
-        json::Value arr = json::Value::make_array();
-        for (const auto& t : level) {
-            json::Value entry = json::Value::make_object();
-            entry["file"] = t.meta.file_number;
-            entry["min"] = t.meta.min_key;
-            entry["max"] = t.meta.max_key;
-            entry["entries"] = t.meta.entries;
-            entry["bytes"] = t.meta.bytes;
-            entry["meta"] = t.meta.has_meta;
-            arr.push_back(std::move(entry));
-        }
-        levels.push_back(std::move(arr));
-    }
-    doc["levels"] = std::move(levels);
-
-    const std::string tmp = options_.path + "/MANIFEST.tmp";
-    const std::string final_path = options_.path + "/" + kManifestName;
-    {
-        std::FILE* f = std::fopen(tmp.c_str(), "wb");
-        if (!f) return Status::IOError("cannot write manifest tmp");
-        const std::string text = doc.dump(2);
-        const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-        std::fclose(f);
-        if (!ok) return Status::IOError("short manifest write");
+Status LsmDb::remove_orphan_tables() {
+    // SSTables on disk but absent from the manifest are leftovers of a flush
+    // or compaction that crashed before its edit committed; the WAL (resp.
+    // the input tables) still holds their data, so they are garbage.
+    std::set<std::uint64_t> live;
+    for (const auto& level : versions_->state().levels) {
+        for (const TableMeta& meta : level) live.insert(meta.file_number);
     }
     std::error_code ec;
-    fs::rename(tmp, final_path, ec);
-    if (ec) return Status::IOError("manifest rename failed: " + ec.message());
+    for (const auto& e : fs::directory_iterator(options_.path, ec)) {
+        const std::string name = e.path().filename().string();
+        if (name.size() <= 4 || name.compare(name.size() - 4, 4, ".sst") != 0) continue;
+        const std::string digits = name.substr(0, name.size() - 4);
+        if (digits.empty() || digits.find_first_not_of("0123456789") != std::string::npos) {
+            continue;
+        }
+        const std::uint64_t fn = std::strtoull(digits.c_str(), nullptr, 10);
+        if (live.count(fn)) continue;
+        HEP_LOG_INFO("lsm %s: removing orphan table %s", options_.path.c_str(), name.c_str());
+        std::error_code rec;
+        fs::remove(e.path(), rec);
+    }
     return Status::OK();
 }
 
@@ -192,15 +186,16 @@ Status LsmDb::open_wal_segment() {
 Status LsmDb::recover_wal() {
     // Replay the legacy single log (pre-segmentation layout) first, then
     // every wal.NNNNNN.log segment in sequence order: last writer wins, and
-    // segments are strictly newer than any legacy log.
-    // Every replayed record draws the next seq — replay order equals original
-    // append order, so the re-derived stamps match the pre-crash ones.
+    // segments are strictly newer than any legacy log. Segments below the
+    // manifest's wal_floor are already in an SSTable — they are skipped (and
+    // unlinked), so no record is ever double-replayed and the re-derived
+    // stamps match the pre-crash ones exactly.
+    auto mem = active_.load(std::memory_order_relaxed);
     auto apply = [&](Wal::RecordType type, std::string_view key, std::string_view value) {
         const std::uint64_t seq = seq_source().next();
         if (type == Wal::RecordType::kDelete) {
-            active_->entries.insert_or_assign(std::string(key),
-                                              Rec{std::nullopt, Stamp{seq, 0}});
-            active_->bytes += key.size() + 32;
+            mem->rep->insert(key, {}, Stamp{seq, 0}, /*tombstone=*/true);
+            mem->bytes.fetch_add(key.size() + 32, std::memory_order_relaxed);
             return;
         }
         std::uint32_t epoch = 0;
@@ -208,19 +203,23 @@ Status LsmDb::recover_wal() {
             std::memcpy(&epoch, value.data(), 4);
             value.remove_prefix(4);
         }
-        active_->entries.insert_or_assign(
-            std::string(key),
-            Rec{hep::BufferView(hep::Buffer::copy_of(value)), Stamp{seq, epoch}});
-        active_->bytes += key.size() + value.size() + 32;
+        mem->rep->insert(key, value, Stamp{seq, epoch}, /*tombstone=*/false);
+        mem->bytes.fetch_add(key.size() + value.size() + 32, std::memory_order_relaxed);
     };
 
+    const std::uint64_t floor = versions_->state().wal_floor;
     std::uint64_t total = 0;
     const std::string legacy = options_.path + "/" + kLegacyWalName;
     if (fs::exists(legacy)) {
-        auto replayed = Wal::replay(legacy, apply);
-        if (!replayed.ok()) return replayed.status();
-        total += *replayed;
-        active_->wal_segments.push_back(legacy);
+        if (floor == 0) {  // the legacy log is segment 0
+            auto replayed = Wal::replay(legacy, apply);
+            if (!replayed.ok()) return replayed.status();
+            total += *replayed;
+            mem->wal_segments.push_back(legacy);
+        } else {
+            std::error_code ec;
+            fs::remove(legacy, ec);
+        }
     }
 
     std::vector<std::pair<std::uint64_t, std::string>> segments;
@@ -239,11 +238,17 @@ Status LsmDb::recover_wal() {
     }
     std::sort(segments.begin(), segments.end());
     for (const auto& [seq, path] : segments) {
+        wal_seq_ = std::max(wal_seq_, seq);
+        if (seq < floor) {  // flushed before the crash; retirement unfinished
+            std::error_code rec;
+            fs::remove(path, rec);
+            continue;
+        }
         auto replayed = Wal::replay(path, apply);
         if (!replayed.ok()) return replayed.status();
         total += *replayed;
-        active_->wal_segments.push_back(path);
-        wal_seq_ = std::max(wal_seq_, seq);
+        mem->wal_segments.push_back(path);
+        mem->max_wal_segment = std::max(mem->max_wal_segment, seq);
     }
     if (total > 0) {
         HEP_LOG_INFO("lsm %s: replayed %llu WAL records", options_.path.c_str(),
@@ -256,11 +261,10 @@ Status LsmDb::recover_wal() {
 
     // If replay overfilled the memtable, flush inline before serving traffic
     // (the worker is not running yet).
-    if (active_->bytes >= options_.memtable_bytes) {
+    if (mem->bytes.load(std::memory_order_relaxed) >= options_.memtable_bytes) {
         {
             std::lock_guard wl(write_mutex_);
-            std::unique_lock ml(mem_mutex_);
-            st = seal_active_locked();
+            st = seal_active();
             if (!st.ok()) return st;
         }
         st = drain_work(/*background=*/false);
@@ -324,9 +328,11 @@ void LsmDb::worker_loop() {
 void LsmDb::set_background_error(const Status& st) {
     std::lock_guard g(err_mutex_);
     if (bg_error_.ok()) bg_error_ = st;
+    bg_error_set_.store(true, std::memory_order_release);
 }
 
 Status LsmDb::background_error() const {
+    if (!bg_error_set_.load(std::memory_order_acquire)) return Status::OK();
     std::lock_guard g(err_mutex_);
     return bg_error_;
 }
@@ -377,14 +383,16 @@ Status LsmDb::flush_oldest_imm() {
 
     std::optional<TableHandle> handle;
     std::uint64_t max_seq = last_flushed_seq_.load(std::memory_order_relaxed);
-    if (!victim->entries.empty()) {
+    if (victim->rep->count() > 0) {
         const std::uint64_t fn = next_file_number_.fetch_add(1);
-        SstWriter writer(table_path(fn), fn, options_.block_bytes, victim->entries.size());
-        for (const auto& [key, rec] : victim->entries) {
-            max_seq = std::max(max_seq, rec.stamp.seq);
-            Status st = rec.value.has_value()
-                            ? writer.add(key, wrap_stamped(rec.stamp, rec.value->sv()))
-                            : writer.add(key, {}, true);
+        SstWriter writer(table_path(fn), fn, options_.block_bytes, victim->rep->count(),
+                         compress_blocks());
+        auto cur = victim->rep->cursor();
+        for (cur->seek_first(); cur->valid(); cur->next()) {
+            const MemEntry e = cur->entry();
+            max_seq = std::max(max_seq, e.stamp.seq);
+            Status st = e.tombstone ? writer.add(cur->key(), {}, true)
+                                    : writer.add(cur->key(), wrap_stamped(e.stamp, e.value));
             if (!st.ok()) return st;
         }
         auto meta = writer.finish();
@@ -395,6 +403,19 @@ Status LsmDb::flush_oldest_imm() {
         handle.emplace(TableHandle{std::move(meta.value()), std::move(reader.value())});
     }
     last_flushed_seq_.store(max_seq, std::memory_order_relaxed);
+    hook("flush:table_written");
+
+    // One durable manifest edit makes the flush atomic: the table enters the
+    // level set, last_seq rises, and the memtable's WAL segments retire (any
+    // segment below wal_floor is never replayed again).
+    VersionEdit edit;
+    edit.next_file_number = next_file_number_.load();
+    edit.last_seq = max_seq;
+    edit.wal_floor = victim->max_wal_segment + 1;
+    if (handle) edit.added.emplace_back(0u, handle->meta);
+    Status st = versions_->log_and_apply(edit);
+    if (!st.ok()) return st;
+    hook("flush:manifest_logged");
 
     {
         std::lock_guard vl(version_mutex_);
@@ -408,13 +429,12 @@ Status LsmDb::flush_oldest_imm() {
         ++lsm_stats_.flushes;
         if (handle) ++lsm_stats_.sst_files_written;
     }
-    Status st = save_manifest();
-    if (!st.ok()) return st;
     // The memtable is on disk; its log segments are no longer needed.
     for (const auto& seg : victim->wal_segments) {
         std::error_code ec;
         fs::remove(seg, ec);
     }
+    hook("flush:wal_retired");
     return Status::OK();
 }
 
@@ -503,7 +523,7 @@ Status LsmDb::compact_level(std::size_t level) {
     auto open_writer = [&]() {
         const std::uint64_t fn = next_file_number_.fetch_add(1);
         writer.emplace(table_path(fn), fn, options_.block_bytes,
-                       std::max<std::size_t>(16, input_entries));
+                       std::max<std::size_t>(16, input_entries), compress_blocks());
         out_bytes_estimate = 0;
     };
     auto close_writer = [&]() -> Status {
@@ -554,21 +574,28 @@ Status LsmDb::compact_level(std::size_t level) {
     }
     Status st = close_writer();
     if (!st.ok()) return st;
+    hook("compact:tables_written");
 
     // Remove inputs from the working copy; their files are only unlinked
     // after the new version (without them) is published, so readers pinning
     // an old version keep valid open handles (POSIX unlink semantics).
+    VersionEdit edit;
+    edit.next_file_number = next_file_number_.load();
     std::vector<std::string> doomed;
-    auto remove_tables = [&](std::vector<TableHandle>& lvl, const std::vector<std::size_t>& idx) {
+    auto remove_tables = [&](std::size_t li, std::vector<TableHandle>& lvl,
+                             const std::vector<std::size_t>& idx) {
         for (auto rit = idx.rbegin(); rit != idx.rend(); ++rit) {
             doomed.push_back(table_path(lvl[*rit].meta.file_number));
+            edit.deleted.emplace_back(static_cast<std::uint32_t>(li),
+                                      lvl[*rit].meta.file_number);
             lvl.erase(lvl.begin() + static_cast<std::ptrdiff_t>(*rit));
         }
     };
-    remove_tables(levels[level], src_idx);
-    remove_tables(levels[target], dst_idx);
+    remove_tables(level, levels[level], src_idx);
+    remove_tables(target, levels[target], dst_idx);
 
     for (auto& meta : outputs) {
+        edit.added.emplace_back(static_cast<std::uint32_t>(target), meta);
         auto reader = open_table(meta);
         if (!reader.ok()) return reader.status();
         // Insert sorted by min_key (levels >= 1 are non-overlapping).
@@ -577,6 +604,12 @@ Status LsmDb::compact_level(std::size_t level) {
             [](const TableHandle& a, const TableMeta& b) { return a.meta.min_key < b.min_key; });
         levels[target].insert(pos, {std::move(meta), std::move(reader.value())});
     }
+
+    // The edit commits the whole compaction atomically: recovery sees either
+    // the inputs or the outputs, never both.
+    st = versions_->log_and_apply(edit);
+    if (!st.ok()) return st;
+    hook("compact:manifest_logged");
 
     {
         std::lock_guard vl(version_mutex_);
@@ -588,8 +621,6 @@ Status LsmDb::compact_level(std::size_t level) {
         std::lock_guard g(stats_mutex_);
         lsm_stats_.sst_files_written += outputs.size();
     }
-    st = save_manifest();
-    if (!st.ok()) return st;
     for (const auto& p : doomed) {
         std::error_code ec;
         fs::remove(p, ec);
@@ -600,9 +631,9 @@ Status LsmDb::compact_level(std::size_t level) {
 // ------------------------------------------------------------------ writes
 
 Status LsmDb::put(std::string_view key, std::string_view value, bool overwrite) {
-    // Legacy contiguous path: the memtable must own the bytes, so this copy is
-    // the point (and is counted by copy_of).
-    return put_view(key, hep::BufferView(hep::Buffer::copy_of(value)), overwrite);
+    // The memtable rep copies the bytes into its arena; a non-owning view is
+    // enough (write_impl consumes it synchronously).
+    return put_stamped(key, hep::BufferView(value), overwrite, 0);
 }
 
 Status LsmDb::put_view(std::string_view key, hep::BufferView value, bool overwrite) {
@@ -615,7 +646,7 @@ Status LsmDb::put_stamped(std::string_view key, hep::BufferView value, bool over
         std::lock_guard g(stats_mutex_);
         ++stats_.puts;
     }
-    Status st = write_impl(key, value.to_owned(), overwrite, /*is_erase=*/false, epoch);
+    Status st = write_impl(key, std::move(value), overwrite, /*is_erase=*/false, epoch);
     if (st.ok()) {
         if (const std::uint32_t published = parse_publish_marker(key)) {
             observe_marker(published);
@@ -635,16 +666,13 @@ Status LsmDb::erase(std::string_view key) {
 }
 
 bool LsmDb::key_present(std::string_view key) const {
-    std::shared_ptr<const Version> ver;
-    {
-        std::shared_lock ml(mem_mutex_);
-        auto it = active_->entries.find(key);
-        if (it != active_->entries.end()) return it->second.value.has_value();
-        ver = snapshot_version();
-    }
+    // Lock-free probe; see the ordering note in seal_active().
+    auto mem = active_.load(std::memory_order_acquire);
+    MemEntry e;
+    if (mem->rep->get(key, e)) return !e.tombstone;
+    auto ver = snapshot_version();
     for (const auto& m : ver->imm) {
-        auto it = m->entries.find(key);
-        if (it != m->entries.end()) return it->second.value.has_value();
+        if (m->rep->get(key, e)) return !e.tombstone;
     }
     auto found = table_lookup(*ver, key);
     return found.ok() && found->value.has_value();
@@ -708,15 +736,14 @@ Status LsmDb::write_impl(std::string_view key, std::optional<hep::BufferView> va
         // MVCC seq drawn under write_mutex_: memtable stamp order equals WAL
         // append order, which is what recovery's re-stamping relies on.
         const Stamp stamp{seq_source().next(), is_erase ? 0 : epoch};
-        {
-            std::unique_lock ml(mem_mutex_);
-            active_->bytes += key.size() + (value ? value->size() : 0) + 32;
-            active_->entries.insert_or_assign(std::string(key), Rec{std::move(value), stamp});
-            if (active_->bytes >= options_.memtable_bytes) {
-                st = seal_active_locked();
-                if (!st.ok()) return st;
-                sealed = true;
-            }
+        auto mem = active_.load(std::memory_order_relaxed);  // writer-owned
+        mem->bytes.fetch_add(key.size() + (value ? value->size() : 0) + 32,
+                             std::memory_order_relaxed);
+        mem->rep->insert(key, value ? value->sv() : std::string_view{}, stamp, is_erase);
+        if (mem->bytes.load(std::memory_order_relaxed) >= options_.memtable_bytes) {
+            st = seal_active();
+            if (!st.ok()) return st;
+            sealed = true;
         }
         if (options_.wal_sync_every_put && !options_.group_commit && !sealed) {
             st = wal_.sync();
@@ -740,11 +767,13 @@ Status LsmDb::write_impl(std::string_view key, std::optional<hep::BufferView> va
     return Status::OK();
 }
 
-Status LsmDb::seal_active_locked() {
+Status LsmDb::seal_active() {
+    auto mem = active_.load(std::memory_order_relaxed);  // writer-owned
     // Rotate the WAL: closing the segment flushes the sealed memtable's
     // records, so this doubles as a group commit for everything appended.
     wal_.close();
-    active_->wal_segments.push_back(wal_segment_path(wal_seq_));
+    mem->wal_segments.push_back(wal_segment_path(wal_seq_));
+    mem->max_wal_segment = std::max(mem->max_wal_segment, wal_seq_);
     {
         std::lock_guard sl(sync_mutex_);
         const std::uint64_t appended = append_seq_.load(std::memory_order_relaxed);
@@ -754,13 +783,17 @@ Status LsmDb::seal_active_locked() {
     Status st = open_wal_segment();
     if (!st.ok()) return st;
 
+    // Ordering contract with the lock-free read path: the Version carrying
+    // this memtable on its imm queue is published BEFORE the active pointer
+    // swaps, so a reader that misses in the new (empty) active always finds
+    // the sealed one in the version it snapshots afterwards.
     {
         std::lock_guard vl(version_mutex_);
         auto nv = std::make_shared<Version>(*current_);
-        nv->imm.insert(nv->imm.begin(), active_);  // newest first
+        nv->imm.insert(nv->imm.begin(), mem);  // newest first
         current_ = std::move(nv);
     }
-    active_ = std::make_shared<MemTable>();
+    active_.store(make_memtable(), std::memory_order_release);
     return Status::OK();
 }
 
@@ -815,9 +848,9 @@ Status LsmDb::flush() {
     if (!bg.ok()) return bg;
     {
         std::lock_guard wl(write_mutex_);
-        std::unique_lock ml(mem_mutex_);
-        if (!active_->entries.empty()) {
-            Status st = seal_active_locked();
+        auto mem = active_.load(std::memory_order_relaxed);
+        if (mem->rep->count() > 0) {
+            Status st = seal_active();
             if (!st.ok()) return st;
         }
     }
@@ -890,26 +923,22 @@ Result<std::string> LsmDb::get(std::string_view key) {
             ++lsm_stats_.reads_during_compaction;
         }
     }
-    std::shared_ptr<const Version> ver;
-    {
-        // Active memtable first, and the version captured under the same
-        // shared lock: a concurrent seal cannot move a key out from between
-        // the two probes.
-        std::shared_lock ml(mem_mutex_);
-        auto it = active_->entries.find(key);
-        if (it != active_->entries.end()) {
-            if (!it->second.value.has_value()) return Status::NotFound(std::string(key));
-            hep::count_buffer_copy(it->second.value->size());
-            return std::string(it->second.value->sv());
-        }
-        ver = snapshot_version();
+    // Lock-free active probe: the skiplist tolerates concurrent inserts, and
+    // seal ordering guarantees any memtable this load misses is reachable
+    // through the version snapshot taken next.
+    auto mem = active_.load(std::memory_order_acquire);
+    MemEntry e;
+    if (mem->rep->get(key, e)) {
+        if (e.tombstone) return Status::NotFound(std::string(key));
+        hep::count_buffer_copy(e.value.size());
+        return std::string(e.value);
     }
+    auto ver = snapshot_version();
     for (const auto& m : ver->imm) {
-        auto it = m->entries.find(key);
-        if (it != m->entries.end()) {
-            if (!it->second.value.has_value()) return Status::NotFound(std::string(key));
-            hep::count_buffer_copy(it->second.value->size());
-            return std::string(it->second.value->sv());
+        if (m->rep->get(key, e)) {
+            if (e.tombstone) return Status::NotFound(std::string(key));
+            hep::count_buffer_copy(e.value.size());
+            return std::string(e.value);
         }
     }
     auto found = table_lookup(*ver, key);
@@ -926,21 +955,17 @@ Result<hep::BufferView> LsmDb::get_view(std::string_view key) {
             ++lsm_stats_.reads_during_compaction;
         }
     }
-    std::shared_ptr<const Version> ver;
-    {
-        std::shared_lock ml(mem_mutex_);
-        auto it = active_->entries.find(key);
-        if (it != active_->entries.end()) {
-            if (!it->second.value.has_value()) return Status::NotFound(std::string(key));
-            return *it->second.value;  // refcount bump only
-        }
-        ver = snapshot_version();
+    auto mem = active_.load(std::memory_order_acquire);
+    MemEntry e;
+    if (mem->rep->get(key, e)) {
+        if (e.tombstone) return Status::NotFound(std::string(key));
+        return anchor_entry(mem, e.value);  // zero-copy: pins the memtable
     }
+    auto ver = snapshot_version();
     for (const auto& m : ver->imm) {
-        auto it = m->entries.find(key);
-        if (it != m->entries.end()) {
-            if (!it->second.value.has_value()) return Status::NotFound(std::string(key));
-            return *it->second.value;
+        if (m->rep->get(key, e)) {
+            if (e.tombstone) return Status::NotFound(std::string(key));
+            return anchor_entry(m, e.value);
         }
     }
     auto found = table_lookup(*ver, key);
@@ -958,21 +983,17 @@ Result<std::pair<hep::BufferView, Stamp>> LsmDb::get_stamped(std::string_view ke
             ++lsm_stats_.reads_during_compaction;
         }
     }
-    std::shared_ptr<const Version> ver;
-    {
-        std::shared_lock ml(mem_mutex_);
-        auto it = active_->entries.find(key);
-        if (it != active_->entries.end()) {
-            if (!it->second.value.has_value()) return Status::NotFound(std::string(key));
-            return std::make_pair(*it->second.value, it->second.stamp);
-        }
-        ver = snapshot_version();
+    auto mem = active_.load(std::memory_order_acquire);
+    MemEntry e;
+    if (mem->rep->get(key, e)) {
+        if (e.tombstone) return Status::NotFound(std::string(key));
+        return std::make_pair(anchor_entry(mem, e.value), e.stamp);
     }
+    auto ver = snapshot_version();
     for (const auto& m : ver->imm) {
-        auto it = m->entries.find(key);
-        if (it != m->entries.end()) {
-            if (!it->second.value.has_value()) return Status::NotFound(std::string(key));
-            return std::make_pair(*it->second.value, it->second.stamp);
+        if (m->rep->get(key, e)) {
+            if (e.tombstone) return Status::NotFound(std::string(key));
+            return std::make_pair(anchor_entry(m, e.value), e.stamp);
         }
     }
     auto found = table_lookup(*ver, key);
@@ -1015,54 +1036,31 @@ Status LsmDb::scan_stamped(std::string_view after, std::string_view prefix, bool
         }
     }
 
-    // Pin the active memtable and a version snapshot together: a seal that
-    // races this capture either already moved the memtable onto the imm list
-    // we see, or happens after and leaves `mem` frozen — no key can fall
-    // between the two.
-    std::shared_ptr<const MemTable> mem;
-    std::shared_ptr<const Version> ver;
-    {
-        std::shared_lock ml(mem_mutex_);
-        mem = active_;
-        ver = snapshot_version();
-    }
+    // Pin the active memtable, then a version snapshot. A racing seal either
+    // happens after both loads (the pinned memtable stays reachable and keeps
+    // absorbing inserts — the documented resume-after contract), or lands the
+    // pinned memtable on the imm queue we merge anyway; duplicate sources
+    // carry identical entries and the per-key dedup below collapses them.
+    std::shared_ptr<const MemTable> mem = active_.load(std::memory_order_acquire);
+    std::shared_ptr<const Version> ver = snapshot_version();
 
     const bool start_at_prefix = !prefix.empty() && after < prefix;
 
-    // Cursor over `mem`: it may still be the live memtable, so each step
-    // re-probes under a brief shared lock (keys inserted behind the cursor
-    // are skipped — the documented resume-after contract).
-    std::string mem_key;
-    std::optional<hep::BufferView> mem_val;
-    Stamp mem_stamp;
-    bool mem_valid = false;
-    auto mem_load = [&](bool initial) {
-        std::shared_lock ml(mem_mutex_);
-        auto it = initial ? (start_at_prefix ? mem->entries.lower_bound(prefix)
-                                             : mem->entries.upper_bound(after))
-                          : mem->entries.upper_bound(mem_key);
-        if (it == mem->entries.end()) {
-            mem_valid = false;
-            mem_val.reset();
-            return;
-        }
-        mem_valid = true;
-        mem_key = it->first;
-        mem_val = it->second.value;  // refcount bump: bytes stay valid off-lock
-        mem_stamp = it->second.stamp;
-    };
-    mem_load(/*initial=*/true);
+    // Cursor over the (possibly still live) active memtable. Rep cursors are
+    // safe against concurrent inserts: keys inserted behind the cursor are
+    // skipped, keys ahead may appear.
+    auto mcur = mem->rep->cursor();
+    if (start_at_prefix) mcur->seek_geq(prefix);
+    else mcur->seek_gt(after);
 
-    // Sealed memtables are frozen — plain iterators, newest first.
-    struct ImmCursor {
-        const MemTable* mt;
-        decltype(MemTable::entries)::const_iterator it;
-    };
-    std::vector<ImmCursor> imms;
+    // Sealed memtables are frozen — plain cursors, newest first.
+    std::vector<std::unique_ptr<MemTableRep::Cursor>> imms;
     imms.reserve(ver->imm.size());
     for (const auto& m : ver->imm) {
-        auto it = start_at_prefix ? m->entries.lower_bound(prefix) : m->entries.upper_bound(after);
-        imms.push_back({m.get(), it});
+        auto c = m->rep->cursor();
+        if (start_at_prefix) c->seek_geq(prefix);
+        else c->seek_gt(after);
+        imms.push_back(std::move(c));
     }
 
     // Table iterators, ordered newest-first so the lowest source index always
@@ -1095,13 +1093,13 @@ Status LsmDb::scan_stamped(std::string_view after, std::string_view prefix, bool
         // Smallest key across the active cursor, imm cursors and tables.
         std::string_view best;
         bool have_best = false;
-        if (mem_valid) {
-            best = mem_key;
+        if (mcur->valid()) {
+            best = mcur->key();
             have_best = true;
         }
         for (const auto& c : imms) {
-            if (c.it != c.mt->entries.end() && (!have_best || c.it->first < best)) {
-                best = c.it->first;
+            if (c->valid() && (!have_best || c->key() < best)) {
+                best = c->key();
                 have_best = true;
             }
         }
@@ -1119,22 +1117,24 @@ Status LsmDb::scan_stamped(std::string_view after, std::string_view prefix, bool
         const std::string key(best);
         bool handled = false;
         bool keep_going = true;
-        if (mem_valid && mem_key == key) {
-            if (mem_val.has_value() && prefix_matches(key)) {
-                keep_going = fn(key, mem_val->sv(), mem_stamp);
+        if (mcur->valid() && mcur->key() == key) {
+            const MemEntry me = mcur->entry();
+            if (!me.tombstone && prefix_matches(key)) {
+                keep_going = fn(key, me.value, me.stamp);
             }
             handled = true;
-            mem_load(/*initial=*/false);
+            mcur->next();
         }
         for (auto& c : imms) {
-            if (c.it != c.mt->entries.end() && c.it->first == key) {
+            if (c->valid() && c->key() == key) {
                 if (!handled) {
-                    if (c.it->second.value.has_value() && prefix_matches(key)) {
-                        keep_going = fn(key, c.it->second.value->sv(), c.it->second.stamp);
+                    const MemEntry me = c->entry();
+                    if (!me.tombstone && prefix_matches(key)) {
+                        keep_going = fn(key, me.value, me.stamp);
                     }
                     handled = true;
                 }
-                ++c.it;
+                c->next();
             }
         }
         for (auto& c : its) {
@@ -1180,12 +1180,18 @@ LsmStats LsmDb::lsm_stats() const {
         std::lock_guard g(stats_mutex_);
         out = lsm_stats_;
     }
-    out.cache_hits = cache_->hits();
-    out.cache_misses = cache_->misses();
+    const BlockCacheStats cs = cache_->stats();
+    out.cache_hits = cs.decoded_hits + cs.compressed_hits;
+    out.cache_misses = cs.misses;
+    out.cache_compressed_hits = cs.compressed_hits;
+    out.cache_decompressions = cs.decompressions;
+    out.cache_disk_reads = cs.disk_reads;
+    out.cache_disk_bytes_read = cs.disk_bytes_read;
+    out.cache_evictions = cs.evictions;
     auto v = snapshot_version();
     out.immutable_queue_depth = v->imm.size();
     std::uint64_t backlog = 0;
-    for (const auto& m : v->imm) backlog += m->bytes;
+    for (const auto& m : v->imm) backlog += m->bytes.load(std::memory_order_relaxed);
     if (!v->levels.empty()) backlog += v->level_bytes(0);
     out.compaction_backlog_bytes = backlog;
     out.files_per_level.clear();
@@ -1208,6 +1214,11 @@ json::Value LsmDb::stats_json() const {
     doc["sst_files_written"] = s.sst_files_written;
     doc["cache_hits"] = s.cache_hits;
     doc["cache_misses"] = s.cache_misses;
+    doc["cache_compressed_hits"] = s.cache_compressed_hits;
+    doc["cache_decompressions"] = s.cache_decompressions;
+    doc["cache_disk_reads"] = s.cache_disk_reads;
+    doc["cache_disk_bytes_read"] = s.cache_disk_bytes_read;
+    doc["cache_evictions"] = s.cache_evictions;
     doc["write_stalls"] = s.write_stalls;
     doc["write_stall_micros"] = s.write_stall_micros;
     doc["write_slowdowns"] = s.write_slowdowns;
@@ -1223,6 +1234,13 @@ json::Value LsmDb::stats_json() const {
     json::Value fpl = json::Value::make_array();
     for (std::size_t n : s.files_per_level) fpl.push_back(static_cast<std::uint64_t>(n));
     doc["files_per_level"] = std::move(fpl);
+    // Knob echo (satellite: per-db tuning must be observable via symbio).
+    doc["memtable"] = options_.memtable;
+    doc["block_compression"] = options_.block_compression;
+    doc["block_cache_bytes"] = static_cast<std::uint64_t>(options_.block_cache_bytes);
+    doc["compressed_cache_bytes"] = static_cast<std::uint64_t>(options_.compressed_cache_bytes);
+    doc["arena_block_bytes"] = static_cast<std::uint64_t>(options_.arena_block_bytes);
+    doc["skiplist_max_height"] = static_cast<std::uint64_t>(options_.skiplist_max_height);
     return doc;
 }
 

@@ -12,29 +12,37 @@
 // inline. `background_compaction=false` restores the legacy inline mode for
 // ablation.
 //
-// Read path: versioned. Every flush/compaction publishes a new immutable
-// `Version` (refs to sealed memtables + per-level table lists) under a brief
-// mutex; gets and scans grab a shared_ptr snapshot and never contend with
-// compaction — there is no db-wide exclusive lock anywhere on the read path.
-// The active memtable is probed under a short shared lock per operation.
+// Read path: versioned and LOCK-FREE against writers. The active memtable is
+// a concurrent skiplist (memtable.hpp) published through an atomic
+// shared_ptr: gets and scans probe it without taking any lock. Every
+// flush/compaction publishes a new immutable `Version` (refs to sealed
+// memtables + per-level table lists) under a brief mutex; readers grab a
+// shared_ptr snapshot and never contend with compaction. Seal ordering makes
+// the two probes consistent: the Version carrying the outgoing memtable on
+// its imm queue is published BEFORE the active pointer is swapped, so a
+// reader that misses in the new active always finds the old one in the
+// version it snapshots afterwards.
 //
 // Durability: the WAL is segmented; each sealed memtable owns the segments
-// holding its records, deleted only after its SSTable is on disk. Under
+// holding its records, retired through the manifest's wal_floor once its
+// SSTable is durable (version_set.hpp) — recovery never replays a flushed
+// segment, which keeps re-derived MVCC stamps exact. Under
 // `wal_sync_every_put`, concurrent writers group-commit: one leader flushes
 // the log for every append batched so far while followers wait on an
 // abt::Eventual.
 #pragma once
 
 #include <atomic>
-#include <map>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 
 #include "abt/abt.hpp"
 #include "yokan/backend.hpp"
+#include "yokan/lsm/memtable.hpp"
 #include "yokan/lsm/sstable.hpp"
+#include "yokan/lsm/version_set.hpp"
 #include "yokan/lsm/wal.hpp"
 
 namespace hep::yokan::lsm {
@@ -47,9 +55,19 @@ struct LsmOptions {
     std::size_t level_base_bytes = 8 * 1024 * 1024; // L1 budget; 10x per level
     std::size_t level_multiplier = 10;
     std::size_t max_levels = 5;
-    std::size_t block_cache_bytes = 8 * 1024 * 1024;
+    std::size_t block_cache_bytes = 8 * 1024 * 1024;      // decoded-block tier
+    std::size_t compressed_cache_bytes = 8 * 1024 * 1024; // compressed tier
     std::size_t target_file_bytes = 2 * 1024 * 1024;  // compaction output split
     bool wal_sync_every_put = false;                  // fflush per put
+
+    // Memtable representation (memtable.hpp): "skiplist" (lock-free reads,
+    // arena-allocated) or "map" (legacy, for ablation).
+    std::string memtable = "skiplist";
+    std::size_t arena_block_bytes = 256 * 1024;
+    std::size_t skiplist_max_height = 12;
+    /// SSTable block compression: "auto" (per-block compress_auto with raw
+    /// fallback) or "none".
+    std::string block_compression = "auto";
 
     // Concurrency model (see file header).
     bool background_compaction = true;   // false = legacy inline flush/compact
@@ -60,6 +78,11 @@ struct LsmOptions {
     /// Worker pool for the compaction ULT; typically shared across all of a
     /// provider's databases. When null the db spins up its own pool+xstream.
     std::shared_ptr<abt::Pool> compaction_pool;
+
+    /// Torture-test hook: invoked with a label at every durability boundary
+    /// (manifest saves, SST writes, WAL retirement). Production leaves it
+    /// unset.
+    std::function<void(std::string_view)> crash_hook;
 };
 
 /// Extra observability for tests, symbio and the ablation benches.
@@ -69,8 +92,13 @@ struct LsmStats {
     std::uint64_t compactions_background = 0;
     std::uint64_t compactions_inline = 0;
     std::uint64_t sst_files_written = 0;
-    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_hits = 0;            // decoded + compressed tier hits
     std::uint64_t cache_misses = 0;
+    std::uint64_t cache_compressed_hits = 0; // served by the compressed tier
+    std::uint64_t cache_decompressions = 0;
+    std::uint64_t cache_disk_reads = 0;
+    std::uint64_t cache_disk_bytes_read = 0;
+    std::uint64_t cache_evictions = 0;
     std::uint64_t write_stalls = 0;        // hard stops at the stop trigger
     std::uint64_t write_stall_micros = 0;  // time writers spent blocked
     std::uint64_t write_slowdowns = 0;     // soft yields at the slowdown trigger
@@ -113,20 +141,18 @@ class LsmDb final : public Database {
     [[nodiscard]] json::Value stats_json() const;
 
   private:
-    /// One memtable record: the value (nullopt = tombstone) plus its MVCC
-    /// stamp. Stamps are assigned under write_mutex_, so memtable order and
-    /// WAL order agree and recovery can re-derive them deterministically.
-    struct Rec {
-        std::optional<hep::BufferView> value;
-        Stamp stamp;
-    };
-    /// A memtable: mutable while active, frozen once sealed. `wal_segments`
-    /// lists the log files holding its records; they are deleted after the
-    /// memtable reaches an SSTable.
+    /// A memtable: mutable while active (single writer, lock-free readers —
+    /// see memtable.hpp), frozen once sealed. `wal_segments` lists the log
+    /// files holding its records; they are retired through the manifest
+    /// wal_floor after the memtable reaches an SSTable. `anchor_tag` exists
+    /// so BufferViews escaping a read can alias the memtable's shared_ptr
+    /// and keep the arena alive.
     struct MemTable {
-        std::map<std::string, Rec, std::less<>> entries;
-        std::size_t bytes = 0;
+        std::unique_ptr<MemTableRep> rep;
+        std::atomic<std::size_t> bytes{0};
         std::vector<std::string> wal_segments;
+        std::uint64_t max_wal_segment = 0;
+        mutable std::string anchor_tag;
     };
     struct TableHandle {
         TableMeta meta;
@@ -143,19 +169,24 @@ class LsmDb final : public Database {
 
     explicit LsmDb(LsmOptions options);
 
+    [[nodiscard]] std::shared_ptr<MemTable> make_memtable() const;
     Status load_manifest();
-    Status save_manifest();
     Status recover_wal();
+    Status remove_orphan_tables();
     Status open_wal_segment();
 
     [[nodiscard]] std::shared_ptr<const Version> snapshot_version() const;
+    /// View over memtable bytes, anchored to the memtable that owns them.
+    static hep::BufferView anchor_entry(const std::shared_ptr<const MemTable>& mem,
+                                        std::string_view bytes);
 
     // ---- write path
     Status write_impl(std::string_view key, std::optional<hep::BufferView> value,
                       bool overwrite, bool is_erase, std::uint32_t epoch);
-    /// Requires write_mutex_ and mem_mutex_ (exclusive). Rotates the WAL and
-    /// publishes a Version with the active memtable on the immutable queue.
-    Status seal_active_locked();
+    /// Requires write_mutex_. Rotates the WAL, publishes a Version with the
+    /// active memtable on the immutable queue, THEN swaps the active pointer
+    /// (ordering contract of the lock-free read path).
+    Status seal_active();
     Status group_sync(std::uint64_t my_seq);
     [[nodiscard]] bool key_present(std::string_view key) const;
     void maybe_stall();
@@ -172,6 +203,9 @@ class LsmDb final : public Database {
     [[nodiscard]] std::size_t compaction_candidate(const Version& v) const;
     void set_background_error(const Status& st);
     [[nodiscard]] Status background_error() const;
+    void hook(std::string_view label) const {
+        if (options_.crash_hook) options_.crash_hook(label);
+    }
 
     /// Stored bytes of `key`'s newest table version, already unwrapped:
     /// nullopt value = tombstone. Stamp is (0,0) for pre-format-2 tables.
@@ -183,16 +217,18 @@ class LsmDb final : public Database {
     Result<std::shared_ptr<SstReader>> open_table(const TableMeta& meta) const;
     [[nodiscard]] std::string table_path(std::uint64_t file_number) const;
     [[nodiscard]] std::string wal_segment_path(std::uint64_t seq) const;
+    [[nodiscard]] bool compress_blocks() const noexcept {
+        return options_.block_compression != "none";
+    }
 
     LsmOptions options_;
 
     // Write path. write_mutex_ serializes WAL append + memtable insert (so
-    // recovery replays in apply order); mem_mutex_ guards the active memtable
-    // against concurrent readers — both are held only for the O(log n)
-    // insert, never across a flush, compaction or fsync.
+    // recovery replays in apply order); it is held only for the O(log n)
+    // insert, never across a flush, compaction or fsync. Readers never take
+    // it — they load active_ with acquire and probe the skiplist lock-free.
     std::mutex write_mutex_;
-    mutable std::shared_mutex mem_mutex_;
-    std::shared_ptr<MemTable> active_;
+    std::atomic<std::shared_ptr<MemTable>> active_;
     Wal wal_;
     std::uint64_t wal_seq_ = 0;                 // current segment number
     std::atomic<std::uint64_t> append_seq_{0};  // WAL records ever appended
@@ -214,6 +250,10 @@ class LsmDb final : public Database {
     /// unflushed stamp after a crash.
     std::atomic<std::uint64_t> last_flushed_seq_{0};
 
+    /// Durable manifest (A/B edit logs + CURRENT). Structural mutations are
+    /// serialized by work_serial_, so log_and_apply needs no extra lock.
+    std::unique_ptr<VersionSet> versions_;
+
     // Worker coordination. coord_mutex_ is ULT-aware: a stalled writer or a
     // waiting worker suspends its ULT instead of blocking the xstream.
     abt::Mutex coord_mutex_;
@@ -230,6 +270,10 @@ class LsmDb final : public Database {
 
     mutable std::mutex err_mutex_;
     Status bg_error_;
+    // Fast-path flag so the per-put health check is one relaxed load instead
+    // of a mutex acquire + Status copy (background errors are terminal, so a
+    // reader that races the flag just sees the error one put later).
+    std::atomic<bool> bg_error_set_{false};
 
     std::shared_ptr<BlockCache> cache_;
     mutable std::mutex stats_mutex_;

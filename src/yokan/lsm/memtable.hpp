@@ -1,0 +1,223 @@
+// Memtable representations for the LSM write path.
+//
+// LsmDb talks to the active memtable through MemTableRep so the legacy
+// std::map representation and the concurrent skiplist can be swapped with the
+// `memtable` knob (and ablated against each other in bench/abl_lsm):
+//
+//   * "skiplist" (default): lock-free reads — get/cursor probes never take a
+//     lock; inserts are serialized by the caller (LsmDb's write_mutex_).
+//     Nodes, keys and values live in the rep's Arena.
+//   * "map": the legacy std::map behind an internal shared_mutex. Value bytes
+//     still live in an Arena so a MemEntry copied out under the lock stays
+//     valid after the lock is released (overwrites allocate fresh bytes, they
+//     never free old ones).
+//
+// Lifetime rule either way: the string_views inside MemEntry (and cursor
+// keys for the skiplist rep) point into the rep's arena and are valid for as
+// long as the rep object is alive — LsmDb anchors escaping views to the
+// owning memtable's shared_ptr.
+#pragma once
+
+#include "yokan/backend.hpp"
+#include "yokan/lsm/arena.hpp"
+#include "yokan/lsm/skiplist.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+namespace hep::yokan::lsm {
+
+/// One record copied out of a memtable. `value` is empty for tombstones.
+struct MemEntry {
+    std::string_view value;
+    Stamp stamp;
+    bool tombstone = false;
+};
+
+class MemTableRep {
+  public:
+    /// Ordered cursor over the rep. A positioned cursor stays valid off-lock:
+    /// key()/entry() keep returning the same record until the next seek/next.
+    class Cursor {
+      public:
+        virtual ~Cursor() = default;
+        virtual void seek_first() = 0;
+        virtual void seek_geq(std::string_view key) = 0;
+        virtual void seek_gt(std::string_view key) = 0;
+        [[nodiscard]] virtual bool valid() const = 0;
+        [[nodiscard]] virtual std::string_view key() const = 0;
+        [[nodiscard]] virtual MemEntry entry() const = 0;
+        virtual void next() = 0;
+    };
+
+    virtual ~MemTableRep() = default;
+    /// Writer-only (callers serialize); copies key+value into the rep.
+    virtual void insert(std::string_view key, std::string_view value, Stamp stamp,
+                        bool tombstone) = 0;
+    [[nodiscard]] virtual bool get(std::string_view key, MemEntry& out) const = 0;
+    [[nodiscard]] virtual std::size_t count() const = 0;
+    [[nodiscard]] virtual std::unique_ptr<Cursor> cursor() const = 0;
+    [[nodiscard]] virtual std::string_view kind() const noexcept = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Skiplist rep: lock-free readers, arena-backed everything.
+
+class SkipListMemTableRep final : public MemTableRep {
+  public:
+    explicit SkipListMemTableRep(std::size_t arena_block_bytes, int max_height)
+        : arena_(arena_block_bytes), list_(arena_, max_height) {}
+
+    void insert(std::string_view key, std::string_view value, Stamp stamp,
+                bool tombstone) override {
+        list_.insert(key, value, stamp, tombstone);
+    }
+
+    bool get(std::string_view key, MemEntry& out) const override {
+        const SkipList::Payload* p = list_.find(key);
+        if (p == nullptr) return false;
+        out = MemEntry{p->sv(), p->stamp, p->tombstone};
+        return true;
+    }
+
+    std::size_t count() const override { return list_.count(); }
+    std::string_view kind() const noexcept override { return "skiplist"; }
+    [[nodiscard]] std::size_t arena_bytes() const noexcept { return arena_.allocated_bytes(); }
+
+    class SkipCursor final : public Cursor {
+      public:
+        explicit SkipCursor(const SkipList& list) : list_(list) {}
+        void seek_first() override { node_ = list_.first(); }
+        void seek_geq(std::string_view key) override { node_ = list_.seek_geq(key); }
+        void seek_gt(std::string_view key) override { node_ = list_.seek_gt(key); }
+        bool valid() const override { return node_ != nullptr; }
+        std::string_view key() const override { return node_->key(); }
+        MemEntry entry() const override {
+            const auto* p = node_->payload.load(std::memory_order_acquire);
+            return MemEntry{p->sv(), p->stamp, p->tombstone};
+        }
+        void next() override { node_ = SkipList::next_of(node_); }
+
+      private:
+        const SkipList& list_;
+        SkipList::Node* node_ = nullptr;
+    };
+
+    std::unique_ptr<Cursor> cursor() const override {
+        return std::make_unique<SkipCursor>(list_);
+    }
+
+  private:
+    Arena arena_;
+    SkipList list_;
+};
+
+// ---------------------------------------------------------------------------
+// Map rep: the legacy representation, kept for ablation and as the
+// compatibility fallback. Structure is guarded by an internal shared_mutex;
+// value bytes live in an arena so copied-out entries survive the unlock.
+
+class MapMemTableRep final : public MemTableRep {
+    struct Slot {
+        const char* data = nullptr;
+        std::uint32_t len = 0;
+        Stamp stamp;
+        bool tombstone = false;
+    };
+
+    static MemEntry to_entry(const Slot& s) {
+        return MemEntry{std::string_view{s.data, s.len}, s.stamp, s.tombstone};
+    }
+
+  public:
+    explicit MapMemTableRep(std::size_t arena_block_bytes) : arena_(arena_block_bytes) {}
+
+    void insert(std::string_view key, std::string_view value, Stamp stamp,
+                bool tombstone) override {
+        char* bytes = nullptr;
+        if (!value.empty()) {
+            bytes = arena_.allocate(value.size(), 1);
+            std::memcpy(bytes, value.data(), value.size());
+        }
+        std::unique_lock lock(mutex_);
+        auto it = entries_.find(key);
+        if (it == entries_.end()) it = entries_.emplace(std::string(key), Slot{}).first;
+        it->second = Slot{bytes, static_cast<std::uint32_t>(value.size()), stamp, tombstone};
+    }
+
+    bool get(std::string_view key, MemEntry& out) const override {
+        std::shared_lock lock(mutex_);
+        auto it = entries_.find(key);
+        if (it == entries_.end()) return false;
+        out = to_entry(it->second);
+        return true;
+    }
+
+    std::size_t count() const override {
+        std::shared_lock lock(mutex_);
+        return entries_.size();
+    }
+    std::string_view kind() const noexcept override { return "map"; }
+
+    /// Re-probing cursor: holds its own key copy and re-finds its position
+    /// under a short shared lock per movement, exactly like the pre-rep
+    /// scan_stamped() cursor did.
+    class MapCursor final : public Cursor {
+      public:
+        explicit MapCursor(const MapMemTableRep& rep) : rep_(rep) {}
+        void seek_first() override {
+            std::shared_lock lock(rep_.mutex_);
+            load(rep_.entries_.begin());
+        }
+        void seek_geq(std::string_view key) override {
+            std::shared_lock lock(rep_.mutex_);
+            load(rep_.entries_.lower_bound(key));
+        }
+        void seek_gt(std::string_view key) override {
+            std::shared_lock lock(rep_.mutex_);
+            load(rep_.entries_.upper_bound(key));
+        }
+        bool valid() const override { return valid_; }
+        std::string_view key() const override { return key_; }
+        MemEntry entry() const override { return entry_; }
+        void next() override {
+            std::shared_lock lock(rep_.mutex_);
+            load(rep_.entries_.upper_bound(key_));
+        }
+
+      private:
+        void load(std::map<std::string, Slot, std::less<>>::const_iterator it) {
+            valid_ = it != rep_.entries_.end();
+            if (!valid_) return;
+            key_ = it->first;
+            entry_ = to_entry(it->second);
+        }
+
+        const MapMemTableRep& rep_;
+        bool valid_ = false;
+        std::string key_;
+        MemEntry entry_{};
+    };
+
+    std::unique_ptr<Cursor> cursor() const override { return std::make_unique<MapCursor>(*this); }
+
+  private:
+    Arena arena_;
+    mutable std::shared_mutex mutex_;
+    std::map<std::string, Slot, std::less<>> entries_;
+};
+
+/// Factory keyed by the `memtable` knob ("skiplist" | "map"); unknown values
+/// fall back to the skiplist.
+inline std::unique_ptr<MemTableRep> make_memtable_rep(std::string_view kind,
+                                                      std::size_t arena_block_bytes,
+                                                      int skiplist_max_height) {
+    if (kind == "map") return std::make_unique<MapMemTableRep>(arena_block_bytes);
+    return std::make_unique<SkipListMemTableRep>(arena_block_bytes, skiplist_max_height);
+}
+
+}  // namespace hep::yokan::lsm

@@ -1,0 +1,259 @@
+// Concurrent-read skiplist used as the LSM active memtable representation.
+//
+// Concurrency contract (matches LsmDb's write path):
+//   * exactly ONE logical writer at a time — inserts are serialized by the
+//     db-level write_mutex_, so the skiplist never races writer-vs-writer;
+//   * ANY number of concurrent readers with NO lock — readers traverse next
+//     pointers with acquire loads while the writer publishes with release
+//     stores (and a CAS so a future multi-writer caller stays correct);
+//   * nodes, keys, values and payload records all live in the memtable's
+//     Arena and are trivially destructible, so teardown is freeing the arena
+//     blocks — no per-node walk, no destructor ordering hazards.
+//
+// Overwrites never mutate a published payload: a fresh Payload is arena-
+// allocated and swapped in with a release store, the displaced one stays
+// reachable through `older` (readers that loaded it mid-probe keep a valid
+// record until the arena dies at seal+flush retirement).
+#pragma once
+
+#include "yokan/backend.hpp"
+#include "yokan/lsm/arena.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace hep::yokan::lsm {
+
+class SkipList {
+  public:
+    static constexpr int kDefaultMaxHeight = 12;
+    static constexpr int kHardMaxHeight    = 30;
+
+    struct Payload {
+        const char* data;
+        std::uint32_t len;
+        bool tombstone;
+        Stamp stamp;
+        Payload* older;
+
+        [[nodiscard]] std::string_view sv() const noexcept { return {data, len}; }
+    };
+
+    struct Node {
+        const char* key_data;
+        std::uint32_t key_len;
+        std::int32_t height;
+        std::atomic<Payload*> payload;
+
+        [[nodiscard]] std::string_view key() const noexcept { return {key_data, key_len}; }
+        [[nodiscard]] std::atomic<Node*>* nexts() noexcept {
+            return reinterpret_cast<std::atomic<Node*>*>(this + 1);
+        }
+        [[nodiscard]] std::atomic<Node*>& next(int level) noexcept { return nexts()[level]; }
+    };
+
+    explicit SkipList(Arena& arena, int max_height = kDefaultMaxHeight)
+        : arena_(arena),
+          max_height_(max_height < 1 ? 1 : (max_height > kHardMaxHeight ? kHardMaxHeight : max_height)) {
+        head_ = alloc_node(std::string_view{}, max_height_);
+        for (int i = 0; i < max_height_; ++i) head_->next(i).store(nullptr, std::memory_order_relaxed);
+    }
+
+    SkipList(const SkipList&) = delete;
+    SkipList& operator=(const SkipList&) = delete;
+
+    /// Writer-only. Copies key/value into the arena; overwrites swap the
+    /// payload pointer, leaving the node (and the old payload) in place.
+    ///
+    /// A splice (finger) cache remembers the exact per-level predecessors of
+    /// the last insert. HEP ingest arrives in acquisition order, so the next
+    /// key usually sorts at or just past the previous one: re-stamping the
+    /// same key is an O(1) payload swap, and an ascending key resumes the
+    /// search from the cached fingers instead of the head — O(1) amortized
+    /// for ordered streams. The cache is valid because this list is
+    /// insert-only and has a single writer; readers never touch it.
+    void insert(std::string_view key, std::string_view value, Stamp stamp, bool tombstone) {
+        Node* prev[kHardMaxHeight];
+        auto* payload = make_payload(value, stamp, tombstone);
+        if (last_node_ != nullptr) {
+            const int c = key.compare(last_node_->key());
+            if (c == 0) {  // re-stamp of the key we just wrote
+                payload->older = last_node_->payload.load(std::memory_order_relaxed);
+                last_node_->payload.store(payload, std::memory_order_release);
+                return;
+            }
+            if (c > 0) {
+                // Every splice_[i] sorts before last_node_ <= key, so it is a
+                // valid place to resume the level-i walk. Carry x down like a
+                // normal search (so a far-away key stays O(log n)) and jump
+                // to the finger whenever it is further right (so a nearby
+                // ascending key is O(1)).
+                const int top = height_.load(std::memory_order_relaxed) - 1;
+                Node* x = splice_[top];
+                for (int level = top;; --level) {
+                    if (splice_[level]->key() > x->key()) x = splice_[level];
+                    for (;;) {
+                        Node* nxt = x->next(level).load(std::memory_order_relaxed);
+                        if (nxt != nullptr && nxt->key() < key) {
+                            x = nxt;
+                        } else {
+                            break;
+                        }
+                    }
+                    prev[level] = x;
+                    if (level == 0) break;
+                }
+                for (int i = top + 1; i < max_height_; ++i) prev[i] = splice_[i];
+                finish_insert(key, payload, prev,
+                              prev[0]->next(0).load(std::memory_order_relaxed));
+                return;
+            }
+        }
+        Node* found = find_geq(key, prev);
+        finish_insert(key, payload, prev, found);
+    }
+
+    /// Lock-free point lookup; returns the current payload or nullptr.
+    [[nodiscard]] const Payload* find(std::string_view key) const {
+        Node* n = const_cast<SkipList*>(this)->find_geq(key, nullptr);
+        if (n == nullptr || n->key() != key) return nullptr;
+        return n->payload.load(std::memory_order_acquire);
+    }
+
+    /// First node with node->key() >= key (nullptr past the end). Lock-free.
+    [[nodiscard]] Node* seek_geq(std::string_view key) const {
+        return const_cast<SkipList*>(this)->find_geq(key, nullptr);
+    }
+
+    /// First node with node->key() > key (nullptr past the end). Lock-free.
+    [[nodiscard]] Node* seek_gt(std::string_view key) const {
+        Node* n = seek_geq(key);
+        if (n != nullptr && n->key() == key) n = n->next(0).load(std::memory_order_acquire);
+        return n;
+    }
+
+    [[nodiscard]] Node* first() const { return head_->next(0).load(std::memory_order_acquire); }
+    [[nodiscard]] static Node* next_of(Node* n) { return n->next(0).load(std::memory_order_acquire); }
+
+    [[nodiscard]] std::size_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+    [[nodiscard]] Arena& arena() noexcept { return arena_; }
+
+  private:
+    Node* alloc_node(std::string_view key, int height) {
+        const std::size_t node_bytes = sizeof(Node) + sizeof(std::atomic<Node*>) * std::size_t(height);
+        char* raw = arena_.allocate(node_bytes + key.size(), alignof(Node));
+        auto* node = reinterpret_cast<Node*>(raw);
+        char* key_dst = raw + node_bytes;
+        if (!key.empty()) std::memcpy(key_dst, key.data(), key.size());
+        node->key_data = key_dst;
+        node->key_len = static_cast<std::uint32_t>(key.size());
+        node->height = height;
+        node->payload.store(nullptr, std::memory_order_relaxed);
+        for (int i = 0; i < height; ++i) node->next(i).store(nullptr, std::memory_order_relaxed);
+        return node;
+    }
+
+    Payload* make_payload(std::string_view value, Stamp stamp, bool tombstone) {
+        char* raw = arena_.allocate(sizeof(Payload) + value.size(), alignof(Payload));
+        auto* p = reinterpret_cast<Payload*>(raw);
+        char* dst = raw + sizeof(Payload);
+        if (!value.empty()) std::memcpy(dst, value.data(), value.size());
+        p->data = dst;
+        p->len = static_cast<std::uint32_t>(value.size());
+        p->tombstone = tombstone;
+        p->stamp = stamp;
+        p->older = nullptr;
+        return p;
+    }
+
+    /// Shared insert tail: `prev` holds the per-level predecessors of `key`,
+    /// `found` is prev[0]'s successor. Links a new node (or swaps the payload
+    /// of an existing one) and refreshes the splice cache.
+    void finish_insert(std::string_view key, Payload* payload, Node** prev, Node* found) {
+        if (found != nullptr && found->key() == key) {
+            payload->older = found->payload.load(std::memory_order_relaxed);
+            found->payload.store(payload, std::memory_order_release);
+            for (int i = 0; i < max_height_; ++i) splice_[i] = prev[i];
+            last_node_ = found;
+            return;
+        }
+        const int h = random_height();
+        if (h > height_.load(std::memory_order_relaxed)) {
+            for (int i = height_.load(std::memory_order_relaxed); i < h; ++i) prev[i] = head_;
+            // Single writer: a plain store is enough; readers that still see
+            // the old height simply skip the new upper levels.
+            height_.store(h, std::memory_order_relaxed);
+        }
+        Node* node = alloc_node(key, h);
+        node->payload.store(payload, std::memory_order_relaxed);
+        for (int i = 0; i < h; ++i) {
+            // Publish bottom-up so a reader that finds the node at level i can
+            // always descend through fully-linked lower levels.
+            Node* expected = prev[i]->next(i).load(std::memory_order_relaxed);
+            node->next(i).store(expected, std::memory_order_relaxed);
+            while (!prev[i]->next(i).compare_exchange_weak(
+                       expected, node, std::memory_order_release, std::memory_order_relaxed)) {
+                node->next(i).store(expected, std::memory_order_relaxed);
+            }
+        }
+        count_.fetch_add(1, std::memory_order_relaxed);
+        for (int i = 0; i < max_height_; ++i) splice_[i] = i < h ? node : prev[i];
+        last_node_ = node;
+    }
+
+    /// Core search: returns the first node >= key at level 0; if prev != null
+    /// fills prev[0..max_height_) with the rightmost node < key per level.
+    Node* find_geq(std::string_view key, Node** prev) {
+        Node* x = head_;
+        int level = height_.load(std::memory_order_acquire) - 1;
+        Node* out = nullptr;
+        for (;; --level) {
+            for (;;) {
+                Node* nxt = x->next(level).load(std::memory_order_acquire);
+                if (nxt != nullptr && nxt->key() < key) {
+                    x = nxt;
+                } else {
+                    if (level == 0) out = nxt;
+                    break;
+                }
+            }
+            if (prev != nullptr) prev[level] = x;
+            if (level == 0) break;
+        }
+        if (prev != nullptr) {
+            for (int i = height_.load(std::memory_order_relaxed); i < max_height_; ++i) prev[i] = head_;
+        }
+        return out;
+    }
+
+    int random_height() {
+        // xorshift64*; 1/4 branching factor like leveldb.
+        std::uint64_t x = rnd_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        rnd_ = x;
+        x *= 0x2545F4914F6CDD1DULL;
+        int h = 1;
+        while (h < max_height_ && (x & 3) == 0) {
+            ++h;
+            x >>= 2;
+        }
+        return h;
+    }
+
+    Arena& arena_;
+    const int max_height_;
+    Node* head_;
+    std::atomic<int> height_{1};
+    std::atomic<std::size_t> count_{0};
+    std::uint64_t rnd_ = 0x9E3779B97F4A7C15ULL;
+    // Writer-only splice cache: exact per-level predecessors of last_node_.
+    // Never read by the lock-free reader paths.
+    Node* splice_[kHardMaxHeight] = {};
+    Node* last_node_ = nullptr;
+};
+
+}  // namespace hep::yokan::lsm

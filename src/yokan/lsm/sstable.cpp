@@ -4,7 +4,6 @@
 #include <cstring>
 
 #include "common/crc32.hpp"
-#include "common/hash.hpp"
 
 namespace hep::yokan::lsm {
 
@@ -27,49 +26,16 @@ std::uint64_t read_u64(const char* p) {
     return v;
 }
 
-std::uint64_t cache_key(std::uint64_t file_number, std::uint64_t block) {
-    return hep::mix64(file_number * 0x1000003 + block);
-}
-
 }  // namespace
-
-// -------------------------------------------------------------- BlockCache
-
-std::shared_ptr<const std::string> BlockCache::lookup(std::uint64_t file_number,
-                                                      std::uint64_t block) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = index_.find(cache_key(file_number, block));
-    if (it == index_.end()) {
-        ++misses_;
-        return nullptr;
-    }
-    ++hits_;
-    // Move to front.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->data;
-}
-
-void BlockCache::insert(std::uint64_t file_number, std::uint64_t block,
-                        std::shared_ptr<const std::string> data) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const std::uint64_t key = cache_key(file_number, block);
-    if (index_.count(key)) return;
-    used_ += data->size();
-    lru_.push_front(Entry{key, std::move(data)});
-    index_[key] = lru_.begin();
-    while (used_ > capacity_ && !lru_.empty()) {
-        auto& victim = lru_.back();
-        used_ -= victim.data->size();
-        index_.erase(victim.key);
-        lru_.pop_back();
-    }
-}
 
 // --------------------------------------------------------------- SstWriter
 
 SstWriter::SstWriter(std::string path, std::uint64_t file_number, std::size_t block_bytes,
-                     std::size_t expected_keys)
-    : path_(std::move(path)), block_bytes_(block_bytes), bloom_(expected_keys) {
+                     std::size_t expected_keys, bool compress_blocks)
+    : path_(std::move(path)),
+      block_bytes_(block_bytes),
+      compress_blocks_(compress_blocks),
+      bloom_(expected_keys) {
     meta_.file_number = file_number;
 }
 
@@ -81,12 +47,17 @@ Status SstWriter::add(std::string_view key, std::string_view value, bool tombsto
     last_key_.assign(key);
     have_last_ = true;
 
+    if (block_entries_ % kRestartInterval == 0) {
+        restarts_.push_back(static_cast<std::uint32_t>(current_block_.size()));
+    }
     append_u32(current_block_, static_cast<std::uint32_t>(key.size()));
     append_u32(current_block_, tombstone ? kTombstoneLen
                                          : static_cast<std::uint32_t>(value.size()));
     current_block_.append(key);
     if (!tombstone) current_block_.append(value);
     bloom_.insert(key);
+    block_keys_.emplace_back(key);
+    ++block_entries_;
     ++meta_.entries;
     if (current_block_.size() >= block_bytes_) cut_block();
     return Status::OK();
@@ -94,10 +65,17 @@ Status SstWriter::add(std::string_view key, std::string_view value, bool tombsto
 
 void SstWriter::cut_block() {
     if (current_block_.empty()) return;
-    index_.push_back(
-        {last_key_, file_contents_.size(), current_block_.size(), crc32(current_block_)});
-    file_contents_.append(current_block_);
+    BloomFilter block_bloom(block_keys_.size());
+    for (const auto& k : block_keys_) block_bloom.insert(k);
+    const std::string stored = encode_block(current_block_, compress_blocks_);
+    index_.push_back({last_key_, file_contents_.size(), stored.size(), crc32(stored),
+                      static_cast<std::uint32_t>(current_block_.size()), block_bloom.encode(),
+                      std::move(restarts_)});
+    file_contents_.append(stored);
     current_block_.clear();
+    block_entries_ = 0;
+    block_keys_.clear();
+    restarts_.clear();
 }
 
 Result<TableMeta> SstWriter::finish() {
@@ -112,6 +90,11 @@ Result<TableMeta> SstWriter::finish() {
         append_u64(index_bytes, e.offset);
         append_u64(index_bytes, e.size);
         append_u32(index_bytes, e.crc);
+        append_u32(index_bytes, e.raw_len);
+        append_u32(index_bytes, static_cast<std::uint32_t>(e.bloom_bytes.size()));
+        index_bytes.append(e.bloom_bytes);
+        append_u32(index_bytes, static_cast<std::uint32_t>(e.restarts.size()));
+        for (std::uint32_t r : e.restarts) append_u32(index_bytes, r);
     }
     const std::string bloom_bytes = bloom_.encode();
 
@@ -124,7 +107,8 @@ Result<TableMeta> SstWriter::finish() {
     append_u64(file_contents_, bloom_off);
     append_u64(file_contents_, bloom_bytes.size());
     append_u64(file_contents_, meta_.entries);
-    append_u64(file_contents_, kSstMagic);
+    append_u64(file_contents_, compress_blocks_ ? 1 : 0);  // flags
+    append_u64(file_contents_, kSstMagic2);
 
     std::FILE* f = std::fopen(path_.c_str(), "wb");
     if (!f) return Status::IOError("cannot create sstable " + path_);
@@ -153,20 +137,47 @@ Result<std::shared_ptr<SstReader>> SstReader::open(const std::string& path,
     reader->file_ = std::fopen(path.c_str(), "rb");
     if (!reader->file_) return Status::IOError("cannot open sstable " + path);
 
-    // Footer.
-    if (std::fseek(reader->file_, -48, SEEK_END) != 0) {
+    // The trailing magic word picks the footer layout: 56 bytes for v2,
+    // 48 for v1 (pre-envelope tables, kept readable for upgrades).
+    if (std::fseek(reader->file_, -8, SEEK_END) != 0) {
         return Status::Corruption("sstable too small: " + path);
     }
-    char footer[48];
-    if (std::fread(footer, 1, 48, reader->file_) != 48) {
-        return Status::Corruption("cannot read sstable footer: " + path);
+    char magic_buf[8];
+    if (std::fread(magic_buf, 1, 8, reader->file_) != 8) {
+        return Status::Corruption("cannot read sstable magic: " + path);
     }
-    const std::uint64_t index_off = read_u64(footer);
-    const std::uint64_t index_size = read_u64(footer + 8);
-    const std::uint64_t bloom_off = read_u64(footer + 16);
-    const std::uint64_t bloom_size = read_u64(footer + 24);
-    reader->entry_count_ = read_u64(footer + 32);
-    if (read_u64(footer + 40) != kSstMagic) {
+    const std::uint64_t magic = read_u64(magic_buf);
+    std::uint64_t index_off = 0, index_size = 0, bloom_off = 0, bloom_size = 0;
+    if (magic == kSstMagic2) {
+        reader->version_ = 2;
+        if (std::fseek(reader->file_, -56, SEEK_END) != 0) {
+            return Status::Corruption("sstable too small: " + path);
+        }
+        char footer[56];
+        if (std::fread(footer, 1, 56, reader->file_) != 56) {
+            return Status::Corruption("cannot read sstable footer: " + path);
+        }
+        index_off = read_u64(footer);
+        index_size = read_u64(footer + 8);
+        bloom_off = read_u64(footer + 16);
+        bloom_size = read_u64(footer + 24);
+        reader->entry_count_ = read_u64(footer + 32);
+        // footer + 40 holds the flags word (bit 0: compression requested).
+    } else if (magic == kSstMagic) {
+        reader->version_ = 1;
+        if (std::fseek(reader->file_, -48, SEEK_END) != 0) {
+            return Status::Corruption("sstable too small: " + path);
+        }
+        char footer[48];
+        if (std::fread(footer, 1, 48, reader->file_) != 48) {
+            return Status::Corruption("cannot read sstable footer: " + path);
+        }
+        index_off = read_u64(footer);
+        index_size = read_u64(footer + 8);
+        bloom_off = read_u64(footer + 16);
+        bloom_size = read_u64(footer + 24);
+        reader->entry_count_ = read_u64(footer + 32);
+    } else {
         return Status::Corruption("bad sstable magic: " + path);
     }
 
@@ -185,7 +196,8 @@ Result<std::shared_ptr<SstReader>> SstReader::open(const std::string& path,
         if (pos + 4 > index_bytes.size()) return Status::Corruption("index entry truncated");
         const std::uint32_t klen = read_u32(index_bytes.data() + pos);
         pos += 4;
-        if (pos + klen + 20 > index_bytes.size()) {
+        const std::size_t fixed = reader->version_ == 2 ? 24 : 20;
+        if (pos + klen + fixed > index_bytes.size()) {
             return Status::Corruption("index entry truncated");
         }
         IndexEntry e;
@@ -195,6 +207,34 @@ Result<std::shared_ptr<SstReader>> SstReader::open(const std::string& path,
         e.size = read_u64(index_bytes.data() + pos + 8);
         e.crc = read_u32(index_bytes.data() + pos + 16);
         pos += 20;
+        if (reader->version_ == 2) {
+            e.raw_len = read_u32(index_bytes.data() + pos);
+            pos += 4;
+            if (pos + 4 > index_bytes.size()) return Status::Corruption("index entry truncated");
+            const std::uint32_t bloom_len = read_u32(index_bytes.data() + pos);
+            pos += 4;
+            if (pos + bloom_len + 4 > index_bytes.size()) {
+                return Status::Corruption("index entry truncated");
+            }
+            if (bloom_len > 0) {
+                e.bloom = BloomFilter::decode({index_bytes.data() + pos, bloom_len});
+                e.has_bloom = true;
+            }
+            pos += bloom_len;
+            const std::uint32_t n_restarts = read_u32(index_bytes.data() + pos);
+            pos += 4;
+            if (pos + std::size_t(n_restarts) * 4 > index_bytes.size()) {
+                return Status::Corruption("index entry truncated");
+            }
+            e.restarts.reserve(n_restarts);
+            for (std::uint32_t r = 0; r < n_restarts; ++r) {
+                e.restarts.push_back(read_u32(index_bytes.data() + pos));
+                pos += 4;
+            }
+        } else {
+            // v1 blocks are stored raw: decoded size == stored size.
+            e.raw_len = static_cast<std::uint32_t>(e.size);
+        }
         reader->index_.push_back(std::move(e));
     }
 
@@ -221,33 +261,81 @@ std::size_t SstReader::find_block(std::string_view key) const {
 
 Result<std::shared_ptr<const std::string>> SstReader::read_block(std::size_t idx) {
     if (idx >= index_.size()) return Status::OutOfRange("block index");
+    const IndexEntry& e = index_[idx];
     if (cache_) {
-        if (auto blk = cache_->lookup(file_number_, idx)) return blk;
+        if (auto blk = cache_->lookup(BlockCache::kDecoded, file_number_, idx)) return blk;
     }
-    auto blk = std::make_shared<std::string>(index_[idx].size, '\0');
-    {
-        std::lock_guard<std::mutex> lock(file_mutex_);
-        if (std::fseek(file_, static_cast<long>(index_[idx].offset), SEEK_SET) != 0 ||
-            std::fread(blk->data(), 1, blk->size(), file_) != blk->size()) {
-            return Status::IOError("cannot read block from " + path_);
+
+    std::shared_ptr<const std::string> stored;
+    if (cache_ && version_ == 2) {
+        stored = cache_->lookup(BlockCache::kCompressed, file_number_, idx);
+    }
+    if (!stored) {
+        if (cache_) cache_->note_miss();
+        auto fresh = std::make_shared<std::string>(e.size, '\0');
+        {
+            std::lock_guard<std::mutex> lock(file_mutex_);
+            if (std::fseek(file_, static_cast<long>(e.offset), SEEK_SET) != 0 ||
+                std::fread(fresh->data(), 1, fresh->size(), file_) != fresh->size()) {
+                return Status::IOError("cannot read block from " + path_);
+            }
         }
+        if (crc32(*fresh) != e.crc) {
+            return Status::Corruption("sstable block checksum mismatch in " + path_);
+        }
+        if (cache_) {
+            cache_->note_disk_read(fresh->size());
+            if (version_ == 2) {
+                cache_->insert(BlockCache::kCompressed, file_number_, idx, fresh);
+            }
+        }
+        stored = std::move(fresh);
     }
-    if (crc32(*blk) != index_[idx].crc) {
-        return Status::Corruption("sstable block checksum mismatch in " + path_);
+
+    std::shared_ptr<const std::string> decoded;
+    if (version_ == 2) {
+        if (block_is_compressed(*stored) && cache_) cache_->note_decompression();
+        auto raw = std::make_shared<std::string>();
+        Status st = decode_block(*stored, *raw);
+        if (!st.ok()) {
+            return Status::Corruption(st.message() + " in " + path_);
+        }
+        decoded = std::move(raw);
+    } else {
+        decoded = std::move(stored);  // v1: the stored bytes ARE the block
     }
-    std::shared_ptr<const std::string> out = blk;
-    if (cache_) cache_->insert(file_number_, idx, out);
-    return out;
+    if (cache_) cache_->insert(BlockCache::kDecoded, file_number_, idx, decoded);
+    return decoded;
 }
 
 Result<std::optional<std::string>> SstReader::get(std::string_view key) {
     if (!bloom_.may_contain(key)) return Status::NotFound("bloom miss");
     const std::size_t blk_idx = find_block(key);
     if (blk_idx >= index_.size()) return Status::NotFound("beyond last block");
+    const IndexEntry& e = index_[blk_idx];
+    // Per-block filter: a miss here skips the block fetch (and any decode).
+    if (e.has_bloom && !e.bloom.may_contain(key)) return Status::NotFound("block bloom miss");
     auto blk = read_block(blk_idx);
     if (!blk.ok()) return blk.status();
     const std::string& data = **blk;
+
+    // Restart-array binary search: largest restart whose key <= target, so
+    // the linear scan below touches at most kRestartInterval records.
     std::size_t pos = 0;
+    if (e.restarts.size() > 1) {
+        std::size_t lo = 0, hi = e.restarts.size();
+        while (lo + 1 < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            const std::size_t off = e.restarts[mid];
+            if (off + 8 > data.size()) break;
+            const std::uint32_t klen = read_u32(data.data() + off);
+            if (off + 8 + klen > data.size()) break;
+            if (std::string_view(data.data() + off + 8, klen) <= key) lo = mid;
+            else hi = mid;
+        }
+        pos = e.restarts[lo];
+    }
+
     while (pos + 8 <= data.size()) {
         const std::uint32_t klen = read_u32(data.data() + pos);
         const std::uint32_t vlen = read_u32(data.data() + pos + 4);

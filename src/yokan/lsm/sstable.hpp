@@ -1,34 +1,50 @@
 // Immutable sorted-string tables for rockslite.
 //
-// Layout:
-//   [data block]* [index] [bloom] [footer]
-//   data block: sequence of (klen u32, vlen u32, key, value); vlen of
-//               0xFFFFFFFF marks a tombstone. Blocks are cut at ~block_bytes.
-//   index:      count u64, then per block (last_klen u32, last_key,
-//               offset u64, size u64, crc32 u32)
-//   bloom:      serialized BloomFilter over every key in the table
-//   footer:     index_off u64, index_size u64, bloom_off u64, bloom_size u64,
-//               entry_count u64, magic u64
+// Format v2 (written by this code):
+//   [block envelope]* [index] [bloom] [footer]
+//   block envelope: [codec u8][pad u8][raw_len u32][payload] (see block.hpp);
+//                   the raw block is a sequence of (klen u32, vlen u32, key,
+//                   value) records, vlen 0xFFFFFFFF marking a tombstone,
+//                   cut at ~block_bytes of raw data.
+//   index:          count u64, then per block:
+//                     last_klen u32, last_key,
+//                     offset u64, size u64 (stored envelope bytes),
+//                     crc32 u32 (over the envelope), raw_len u32,
+//                     bloom_len u32, bloom bytes (per-block filter),
+//                     restart_count u32, restart offsets (u32 each, every
+//                     16th record, offsets into the raw block)
+//   bloom:          whole-table BloomFilter over every key
+//   footer (56 B):  index_off u64, index_size u64, bloom_off u64,
+//                   bloom_size u64, entry_count u64, flags u64, magic2 u64
+//
+// Point-get path: table bloom -> block binary search -> per-block bloom
+// (skips the decode entirely on a miss) -> one envelope fetched via the
+// two-tier BlockCache -> restart-array binary search -> short linear scan.
+// At most ONE block is ever decompressed per get.
+//
+// Format v1 (48-byte footer, kSstMagic, no envelopes / per-block metadata)
+// stays fully readable for upgrades; v1 blocks bypass the compressed tier.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.hpp"
+#include "yokan/lsm/block.hpp"
 #include "yokan/lsm/bloom.hpp"
 
 namespace hep::yokan::lsm {
 
-inline constexpr std::uint64_t kSstMagic = 0x524F434B534C5445ULL;  // "ROCKSLTE"
+inline constexpr std::uint64_t kSstMagic = 0x524F434B534C5445ULL;   // "ROCKSLTE" (v1)
+inline constexpr std::uint64_t kSstMagic2 = 0x524F434B534C5432ULL;  // "ROCKSLT2" (v2)
 inline constexpr std::uint32_t kTombstoneLen = 0xFFFFFFFFu;
+inline constexpr std::size_t kRestartInterval = 16;
 
 /// Metadata tracked per table in the manifest.
 struct TableMeta {
@@ -42,36 +58,11 @@ struct TableMeta {
     bool has_meta = false;
 };
 
-/// Simple shared LRU cache of decoded data blocks, keyed by (file, block#).
-class BlockCache {
-  public:
-    explicit BlockCache(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
-
-    std::shared_ptr<const std::string> lookup(std::uint64_t file_number, std::uint64_t block);
-    void insert(std::uint64_t file_number, std::uint64_t block,
-                std::shared_ptr<const std::string> data);
-
-    [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
-    [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
-
-  private:
-    struct Entry {
-        std::uint64_t key;
-        std::shared_ptr<const std::string> data;
-    };
-    std::mutex mutex_;
-    std::size_t capacity_;
-    std::size_t used_ = 0;
-    std::list<Entry> lru_;  // front = most recent
-    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
-    std::uint64_t hits_ = 0, misses_ = 0;
-};
-
 /// Streaming writer; add() must be called in strictly increasing key order.
 class SstWriter {
   public:
     SstWriter(std::string path, std::uint64_t file_number, std::size_t block_bytes,
-              std::size_t expected_keys);
+              std::size_t expected_keys, bool compress_blocks = false);
 
     Status add(std::string_view key, std::string_view value, bool tombstone = false);
 
@@ -84,22 +75,30 @@ class SstWriter {
     std::string path_;
     TableMeta meta_;
     std::size_t block_bytes_;
+    bool compress_blocks_;
     BloomFilter bloom_;
     std::string current_block_;
+    std::size_t block_entries_ = 0;
+    std::vector<std::string> block_keys_;
+    std::vector<std::uint32_t> restarts_;
     std::string file_contents_;
     struct IndexEntry {
         std::string last_key;
         std::uint64_t offset;
         std::uint64_t size;
         std::uint32_t crc;
+        std::uint32_t raw_len;
+        std::string bloom_bytes;
+        std::vector<std::uint32_t> restarts;
     };
     std::vector<IndexEntry> index_;
     std::string last_key_;
     bool have_last_ = false;
 };
 
-/// Reader with point lookups and ordered iteration. Index and bloom are
-/// memory-resident; data blocks go through the shared BlockCache.
+/// Reader with point lookups and ordered iteration. Index, per-block blooms
+/// and restart arrays are memory-resident; data blocks go through the shared
+/// two-tier BlockCache (block.hpp).
 class SstReader {
   public:
     static Result<std::shared_ptr<SstReader>> open(const std::string& path,
@@ -114,6 +113,7 @@ class SstReader {
     [[nodiscard]] std::uint64_t entries() const noexcept { return entry_count_; }
     [[nodiscard]] std::uint64_t file_number() const noexcept { return file_number_; }
     [[nodiscard]] const std::string& path() const noexcept { return path_; }
+    [[nodiscard]] int format_version() const noexcept { return version_; }
 
     /// Forward iterator over (key, value, tombstone) triples.
     class Iterator {
@@ -152,7 +152,7 @@ class SstReader {
 
     std::shared_ptr<SstReader> shared_from_this_() { return self_.lock(); }
 
-    /// Read data block `idx` (through the cache).
+    /// Raw (decoded) data block `idx`, through the two-tier cache.
     Result<std::shared_ptr<const std::string>> read_block(std::size_t idx);
 
     /// Index of the first block whose last_key >= key, or npos.
@@ -160,14 +160,19 @@ class SstReader {
 
     std::string path_;
     std::uint64_t file_number_ = 0;
+    int version_ = 2;
     std::FILE* file_ = nullptr;
     std::mutex file_mutex_;
     std::shared_ptr<BlockCache> cache_;
     struct IndexEntry {
         std::string last_key;
         std::uint64_t offset;
-        std::uint64_t size;
-        std::uint32_t crc;
+        std::uint64_t size;     // stored bytes on disk (envelope for v2)
+        std::uint32_t crc;      // over the stored bytes
+        std::uint32_t raw_len;  // decoded block bytes
+        bool has_bloom = false;
+        BloomFilter bloom{0};
+        std::vector<std::uint32_t> restarts;
     };
     std::vector<IndexEntry> index_;
     BloomFilter bloom_{0};

@@ -25,41 +25,45 @@ void Wal::close() {
     }
 }
 
-Status Wal::append(RecordType type, std::string_view key, std::string_view value) {
+Status Wal::append(RecordType type, std::string_view key, std::string_view epoch_prefix,
+                   std::string_view value) {
     if (!file_) return Status::IOError("WAL not open");
-    std::string body;
-    body.reserve(1 + 4 + key.size() + value.size());
-    body.push_back(static_cast<char>(type));
+    // Build the whole frame in a reused scratch buffer and hand it to stdio
+    // as ONE fwrite: no per-record allocation, one stdio lock round-trip.
+    frame_.clear();
+    frame_.reserve(8 + 1 + 4 + key.size() + epoch_prefix.size() + value.size());
+    frame_.append(8, '\0');  // crc + len patched below
+    frame_.push_back(static_cast<char>(type));
     const std::uint32_t klen = static_cast<std::uint32_t>(key.size());
-    body.append(reinterpret_cast<const char*>(&klen), 4);
-    body.append(key);
-    body.append(value);
+    frame_.append(reinterpret_cast<const char*>(&klen), 4);
+    frame_.append(key);
+    frame_.append(epoch_prefix);
+    frame_.append(value);
 
+    const std::string_view body(frame_.data() + 8, frame_.size() - 8);
     const std::uint32_t crc = crc32(body);
     const std::uint32_t len = static_cast<std::uint32_t>(body.size());
-    if (std::fwrite(&crc, 4, 1, file_) != 1 || std::fwrite(&len, 4, 1, file_) != 1 ||
-        std::fwrite(body.data(), 1, body.size(), file_) != body.size()) {
+    std::memcpy(frame_.data(), &crc, 4);
+    std::memcpy(frame_.data() + 4, &len, 4);
+    if (std::fwrite(frame_.data(), 1, frame_.size(), file_) != frame_.size()) {
         return Status::IOError("WAL append failed on " + path_);
     }
-    bytes_written_ += 8 + body.size();
+    bytes_written_ += frame_.size();
     return Status::OK();
 }
 
 Status Wal::append_put(std::string_view key, std::string_view value) {
-    return append(RecordType::kPut, key, value);
+    return append(RecordType::kPut, key, {}, value);
 }
 
 Status Wal::append_put_epoch(std::string_view key, std::string_view value,
                              std::uint32_t epoch) {
-    std::string tagged;
-    tagged.reserve(4 + value.size());
-    tagged.append(reinterpret_cast<const char*>(&epoch), 4);
-    tagged.append(value);
-    return append(RecordType::kPutEpoch, key, tagged);
+    const std::string_view prefix(reinterpret_cast<const char*>(&epoch), 4);
+    return append(RecordType::kPutEpoch, key, prefix, value);
 }
 
 Status Wal::append_delete(std::string_view key) {
-    return append(RecordType::kDelete, key, {});
+    return append(RecordType::kDelete, key, {}, {});
 }
 
 Status Wal::sync() {

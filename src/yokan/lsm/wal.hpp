@@ -52,10 +52,15 @@ class Wal {
     static Result<std::uint64_t> replay(const std::string& path, const ReplayFn& fn);
 
   private:
-    Status append(RecordType type, std::string_view key, std::string_view value);
+    /// `value` is written as epoch_prefix + value; an empty prefix means the
+    /// record value is just `value`. Splitting the two pieces keeps the
+    /// epoch-tagged path from building a temporary concatenation per put.
+    Status append(RecordType type, std::string_view key, std::string_view epoch_prefix,
+                  std::string_view value);
 
     std::FILE* file_ = nullptr;
     std::string path_;
+    std::string frame_;  // reused [crc][len][body] scratch; grows to max record
     std::uint64_t bytes_written_ = 0;
 };
 

@@ -66,6 +66,8 @@ json::Value Provider::merged_db_config(const json::Value& db_cfg) const {
         "l0_slowdown_trigger",   "l0_stop_trigger",    "wal_sync_every_put",
         "memtable_bytes",        "block_bytes",        "l0_compaction_trigger",
         "level_base_bytes",      "block_cache_bytes",  "target_file_bytes",
+        "memtable",              "block_compression",  "compressed_cache_bytes",
+        "arena_block_bytes",     "skiplist_max_height",
     };
     json::Value merged = db_cfg;
     for (const char* knob : kKnobs) {

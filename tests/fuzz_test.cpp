@@ -18,6 +18,9 @@
 #include "query/protocol.hpp"
 #include "query/provider.hpp"
 #include "serial/archive.hpp"
+#include "yokan/lsm/block.hpp"
+#include "yokan/lsm/memtable.hpp"
+#include "yokan/lsm/version_set.hpp"
 #include "yokan/lsm/wal.hpp"
 #include "yokan/protocol.hpp"
 #include "yokan/provider.hpp"
@@ -269,6 +272,92 @@ TEST(WalFuzzTest, RandomCorruptionNeverAppliesGarbageTypes) {
         ASSERT_TRUE(n.ok());
         EXPECT_LE(*n, 20u);
         fs::remove(path);
+    }
+    fs::remove_all(dir);
+}
+
+// ------------------------------------------------------------ LSM internals
+
+TEST(LsmInternalsFuzzTest, SkiplistMatchesMapUnderInterleavedOpsAndSeeks) {
+    Rng rng(20260809);
+    for (int round = 0; round < 10; ++round) {
+        yokan::lsm::SkipListMemTableRep rep(4096, 12);
+        std::map<std::string, std::string> ref;
+        for (int i = 0; i < 500; ++i) {
+            const std::string key = "k" + std::to_string(rng.uniform(0, 80));
+            if (rng.uniform(0, 9) < 7) {
+                const std::string val = "v" + std::to_string(rng.next_u64() & 0xFFFF);
+                rep.insert(key, val, yokan::Stamp{static_cast<std::uint64_t>(i + 2), 0}, false);
+                ref[key] = val;
+            } else {
+                const std::string probe = "k" + std::to_string(rng.uniform(0, 99));
+                auto cur = rep.cursor();
+                cur->seek_geq(probe);
+                auto it = ref.lower_bound(probe);
+                // Only compare over keys the reference has too (erases are not
+                // modeled — the memtable keeps tombstones).
+                if (it == ref.end()) {
+                    EXPECT_FALSE(cur->valid());
+                } else {
+                    ASSERT_TRUE(cur->valid());
+                    EXPECT_EQ(cur->key(), it->first);
+                    EXPECT_EQ(cur->entry().value, it->second);
+                }
+            }
+        }
+        auto cur = rep.cursor();
+        auto it = ref.begin();
+        for (cur->seek_first(); cur->valid(); cur->next(), ++it) {
+            ASSERT_NE(it, ref.end());
+            EXPECT_EQ(cur->key(), it->first);
+        }
+        EXPECT_EQ(it, ref.end());
+    }
+}
+
+TEST(LsmInternalsFuzzTest, DecodeBlockNeverCrashesOnHostileEnvelopes) {
+    Rng rng(4242);
+    std::string out;
+    for (int i = 0; i < 2000; ++i) {
+        std::string bytes(rng.uniform(0, 200), '\0');
+        for (auto& c : bytes) c = static_cast<char>(rng.next_u64() & 0xFF);
+        (void)yokan::lsm::decode_block(bytes, out);  // any Status, no crash
+    }
+    // Single-byte corruption of a valid envelope either round-trips (the
+    // flipped byte was payload of a raw envelope) or errors — never crashes.
+    const std::string good = yokan::lsm::encode_block(std::string(128, '\0'), true);
+    for (int i = 0; i < 500; ++i) {
+        std::string bad = good;
+        bad[rng.uniform(0, bad.size() - 1)] ^= static_cast<char>(1 + (rng.next_u64() & 0xFF));
+        (void)yokan::lsm::decode_block(bad, out);
+    }
+}
+
+TEST(LsmInternalsFuzzTest, VersionSetRecoverNeverCrashesOnGarbageManifests) {
+    const auto dir = fs::temp_directory_path() / "vset_fuzz";
+    Rng rng(777);
+    for (int round = 0; round < 40; ++round) {
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+        {
+            std::ofstream cur(dir / "CURRENT", std::ios::binary);
+            switch (rng.uniform(0, 3)) {
+                case 0: cur << "A\n"; break;
+                case 1: cur << "B\n"; break;
+                case 2: cur << "Z\n"; break;
+                default: cur << std::string(rng.uniform(0, 16), 'x'); break;
+            }
+        }
+        {
+            std::ofstream log(dir / "MANIFEST-A.log", std::ios::binary);
+            std::string bytes(rng.uniform(0, 256), '\0');
+            for (auto& c : bytes) c = static_cast<char>(rng.next_u64() & 0xFF);
+            log << bytes;
+        }
+        yokan::lsm::VersionSet vs(dir.string(), 5);
+        (void)vs.recover();  // OK (torn tail) or a clean error — never a crash
+        const auto& st = vs.state();
+        EXPECT_GE(st.levels.size(), 0u);
     }
     fs::remove_all(dir);
 }

@@ -4,6 +4,8 @@
 // gap repair after a heal, and the replication metrics surfaced via symbio.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
 
 #include "hepnos/hepnos.hpp"
@@ -319,6 +321,93 @@ TEST(ReplicaFactorOneTest, BehaviorUnchangedWithoutReplication) {
     EXPECT_THROW((void)ds.createRun(1), Exception);
     service.network.set_partitioned("hepnos-server-0", false);
     service.network.set_partitioned("hepnos-server-1", false);
+}
+
+// ----------------------------------------------------- unclean-restart reseed
+
+// A kill -9 can eat an lsm database's buffered WAL tail while the replica
+// sidecar — already flushed to the page cache — survives with its (never
+// regressing, headroom-ceiled) sequence counter intact. The counter alone can
+// therefore never reveal the loss; the clean-shutdown marker must. This test
+// forges that aftermath: tear a server down cleanly, strip the markers, and
+// boot it again — the member must ask its peers for a full reseed. A clean
+// restart, by contrast, must stay quiet.
+TEST(ReplicaUncleanRestartTest, UncleanSidecarRequestsAFullReseed) {
+    namespace fs = std::filesystem;
+    test_util::TestServiceOptions opts{2, 1, "lsm"};
+    opts.base_dir = "replica_unclean_scratch";
+    opts.replication_factor = 2;
+    fs::remove_all(opts.base_dir);
+    fs::create_directories(opts.base_dir);
+    test_util::TestService service(opts);
+    auto store = DataStore::connect(service.network, service.connection);
+
+    DataSet ds = store.createDataSet("ur");
+    auto sr = ds.createRun(1).createSubRun(1);
+    for (std::uint64_t e = 0; e < 50; ++e) sr.createEvent(e).store("n", e);
+    auto count = [&store] {
+        std::uint64_t n = 0;
+        for (const auto& run : store["ur"]) {
+            for (const auto& subrun : run) {
+                for (const auto& ev : subrun) {
+                    (void)ev;
+                    ++n;
+                }
+            }
+        }
+        return n;
+    };
+    ASSERT_EQ(count(), 50u);
+
+    auto sum_stat = [&service](std::size_t server, const char* field) {
+        std::uint64_t total = 0;
+        auto stats = service.servers[server]->find_provider(1)->replica_stats();
+        for (std::size_t i = 0; i < stats.size(); ++i) {
+            total += static_cast<std::uint64_t>(stats.at(i)[field].as_int());
+        }
+        return total;
+    };
+
+    // Clean teardown: every server-1 sidecar must now carry the marker.
+    service.servers[1].reset();
+    std::size_t tampered = 0;
+    for (const auto& entry : fs::directory_iterator(opts.base_dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.find(".replica.json") == std::string::npos) continue;
+        if (name.find("hepnos-server-1") == std::string::npos) continue;
+        auto meta = json::parse_file(entry.path().string());
+        ASSERT_TRUE(meta.ok()) << name;
+        EXPECT_TRUE((*meta)["clean"].as_bool(false)) << name;
+        json::Value forged = meta.value();
+        forged["clean"] = json::Value(false);
+        std::ofstream(entry.path(), std::ios::trunc) << forged.dump();
+        ++tampered;
+    }
+    ASSERT_GT(tampered, 0u);
+
+    auto boot = [&service, &opts] {
+        auto cfg = test_util::make_server_config(opts, 1);
+        auto svc = bedrock::ServiceProcess::create(service.network, cfg, opts.base_dir);
+        ASSERT_TRUE(svc.ok()) << svc.status().to_string();
+        service.servers[1] = std::move(svc.value());
+    };
+    boot();
+
+    // Re-wiring probes the group: the unclean member asks for a reseed and
+    // the peer streams its full copy back. Nothing is lost from the client's
+    // point of view.
+    auto heal_client = DataStore::connect(service.network, service.connection);
+    (void)heal_client;
+    EXPECT_EQ(count(), 50u);
+    EXPECT_GT(sum_stat(1, "reseed_requests"), 0u);
+    EXPECT_GT(sum_stat(0, "reseeds_sent"), 0u);
+
+    // Clean restart: the marker is trusted, no reseed round.
+    service.restart_server(1, opts);
+    auto quiet_client = DataStore::connect(service.network, service.connection);
+    (void)quiet_client;
+    EXPECT_EQ(sum_stat(1, "reseed_requests"), 0u);
+    EXPECT_EQ(count(), 50u);
 }
 
 }  // namespace
