@@ -1,6 +1,8 @@
 #include "autotune/tuner.hpp"
 
 #include <cassert>
+#include <chrono>
+#include <fstream>
 
 namespace hep::autotune {
 
@@ -17,8 +19,31 @@ std::string memo_key(const Assignment& a) {
 }
 }  // namespace
 
+json::Value assignment_json(const Assignment& a) {
+    json::Value v = json::Value::make_object();
+    for (const auto& [name, value] : a) v[name] = value;
+    return v;
+}
+
+json::Value Sample::to_json() const {
+    json::Value v = json::Value::make_object();
+    v["assignment"] = assignment_json(assignment);
+    v["objective"] = objective;
+    v["wall_s"] = wall_s;
+    v["slo_pass"] = slo_pass;
+    if (!meta.is_null()) v["meta"] = meta;
+    return v;
+}
+
 Tuner::Tuner(std::vector<Param> params, std::function<double(const Assignment&)> objective,
              std::uint64_t seed)
+    : Tuner(std::move(params),
+            RichObjective([fn = std::move(objective)](const Assignment& a, Sample&) {
+                return fn(a);
+            }),
+            seed) {}
+
+Tuner::Tuner(std::vector<Param> params, RichObjective objective, std::uint64_t seed)
     : params_(std::move(params)), objective_(std::move(objective)), rng_(seed) {
     assert(!params_.empty());
     for ([[maybe_unused]] const auto& p : params_) {
@@ -30,9 +55,15 @@ double Tuner::evaluate(const Assignment& a) {
     const std::string key = memo_key(a);
     auto it = memo_.find(key);
     if (it != memo_.end()) return it->second;
-    const double value = objective_(a);
+    Sample sample;
+    sample.assignment = a;
+    const auto start = std::chrono::steady_clock::now();
+    const double value = objective_(a, sample);
+    sample.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    sample.objective = value;
     memo_.emplace(key, value);
-    history_.push_back(Sample{a, value});
+    history_.push_back(std::move(sample));
     return value;
 }
 
@@ -42,6 +73,34 @@ Assignment Tuner::random_assignment() {
         a[p.name] = p.values[rng_.uniform(0, p.values.size() - 1)];
     }
     return a;
+}
+
+json::Value Tuner::trace_json() const {
+    json::Value v = json::Value::make_object();
+    v["evaluations"] = static_cast<std::uint64_t>(history_.size());
+    double best = 0;
+    std::size_t best_idx = 0;
+    json::Value trace = json::Value::make_array();
+    for (std::size_t i = 0; i < history_.size(); ++i) {
+        if (i == 0 || history_[i].objective > best) {
+            best = history_[i].objective;
+            best_idx = i;
+        }
+        trace.push_back(history_[i].to_json());
+    }
+    v["trace"] = std::move(trace);
+    if (!history_.empty()) {
+        v["best"] = history_[best_idx].to_json();
+        v["best_index"] = static_cast<std::uint64_t>(best_idx);
+    }
+    return v;
+}
+
+bool Tuner::dump_trace(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << trace_json().dump(2) << '\n';
+    return static_cast<bool>(out);
 }
 
 Sample Tuner::run(std::size_t random_samples, std::size_t sweeps) {
@@ -78,7 +137,10 @@ Sample Tuner::run(std::size_t random_samples, std::size_t sweeps) {
         }
         if (!improved) break;
     }
-    return Sample{best, best_value};
+    Sample result;
+    result.assignment = best;
+    result.objective = best_value;
+    return result;
 }
 
 }  // namespace hep::autotune

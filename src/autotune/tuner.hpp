@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/rng.hpp"
 
 namespace hep::autotune {
@@ -34,6 +35,13 @@ using Assignment = std::map<std::string, std::int64_t>;
 struct Sample {
     Assignment assignment;
     double objective = 0;
+    // Per-evaluation metadata (filled by the tuner / a rich objective; the
+    // simple double-valued objective leaves the defaults).
+    double wall_s = 0;      // wall time the evaluation took
+    bool slo_pass = true;   // false when the assignment violated an SLO gate
+    json::Value meta;       // objective-specific detail (e.g. a RunReport)
+
+    [[nodiscard]] json::Value to_json() const;
 };
 
 class Tuner {
@@ -42,6 +50,13 @@ class Tuner {
     /// repeated visits are free.
     Tuner(std::vector<Param> params, std::function<double(const Assignment&)> objective,
           std::uint64_t seed = 4242);
+
+    /// Rich objective: fills the Sample it is handed (slo_pass, meta; the
+    /// tuner sets wall_s and the returned value itself) and returns the
+    /// value to maximize. Used by live harness closures that have more to
+    /// report than one number.
+    using RichObjective = std::function<double(const Assignment&, Sample&)>;
+    Tuner(std::vector<Param> params, RichObjective objective, std::uint64_t seed = 4242);
 
     /// Run `random_samples` random probes, then up to `sweeps` rounds of
     /// coordinate descent (each round tries every value of every parameter
@@ -52,15 +67,26 @@ class Tuner {
     [[nodiscard]] const std::vector<Sample>& history() const noexcept { return history_; }
     [[nodiscard]] std::size_t evaluations() const noexcept { return history_.size(); }
 
+    /// The search trace as JSON: every evaluation in order with its
+    /// assignment, objective, wall time and SLO bit — enough to plot a
+    /// trajectory or audit why the incumbent won.
+    [[nodiscard]] json::Value trace_json() const;
+    /// Write trace_json() to `path` (pretty-printed). Returns false on I/O
+    /// failure.
+    bool dump_trace(const std::string& path) const;
+
   private:
     double evaluate(const Assignment& a);
     Assignment random_assignment();
 
     std::vector<Param> params_;
-    std::function<double(const Assignment&)> objective_;
+    RichObjective objective_;
     Rng rng_;
     std::map<std::string, double> memo_;  // key: serialized assignment
     std::vector<Sample> history_;
 };
+
+/// JSON form of an assignment ({param: value, ...}).
+[[nodiscard]] json::Value assignment_json(const Assignment& a);
 
 }  // namespace hep::autotune

@@ -1,0 +1,790 @@
+#include "loadgen/harness.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <system_error>
+#include <thread>
+
+#include "hepnos/hepnos.hpp"
+#include "margo/engine.hpp"
+#include "nova/selection.hpp"
+#include "nova/types.hpp"
+#include "query/evaluator.hpp"
+#include "symbio/provider.hpp"
+
+namespace hep::loadgen {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using hepnos::DataSet;
+using hepnos::DataStore;
+using hepnos::Event;
+using hepnos::EventNumber;
+using hepnos::SubRun;
+using hepnos::WriteBatch;
+
+constexpr const char* kHotDataset = "loadgen/hot";
+constexpr const char* kSelDataset = "loadgen/sel";
+constexpr const char* kIngestDataset = "loadgen/ingest";
+constexpr rpc::ProviderId kMonitoringId = 99;
+constexpr std::uint64_t kIngestRunBase = 1000;  // run number = base + class index
+
+/// Deterministic payload: `words` pseudo-random words from one seed.
+std::vector<std::uint64_t> payload_words(std::uint64_t seed, std::size_t words) {
+    std::vector<std::uint64_t> v(words);
+    std::uint64_t h = seed | 1;
+    for (auto& w : v) {
+        h ^= h << 13;
+        h ^= h >> 7;
+        h ^= h << 17;
+        w = h;
+    }
+    return v;
+}
+
+std::uint64_t hot_key_seed(std::uint64_t spec_seed, std::uint64_t key) {
+    return mix64(spec_seed ^ mix64(key + 0x517cc1b727220a95ULL));
+}
+
+/// Payload of event `e` of one ingest op — reconstructible from the spec
+/// seed and the arrival alone, which is what makes readback verification
+/// possible without any bookkeeping on the write path.
+std::vector<std::uint64_t> ingest_payload(std::uint64_t spec_seed, const Arrival& a,
+                                          std::size_t event, std::size_t words) {
+    return payload_words(mix64(op_seed(spec_seed, a) ^ (event + 1)), words);
+}
+
+nova::Slice make_slice(std::uint32_t index, bool passing) {
+    nova::Slice s;
+    s.index = index;
+    s.nhits = passing ? 60 : 5;
+    s.cal_e = passing ? 2.0f : 0.1f;
+    s.epi0_score = passing ? 0.95f : 0.10f;
+    s.muon_score = 0.05f;
+    s.cosmic_score = 0.05f;
+    s.contained = passing ? 1 : 0;
+    return s;
+}
+
+query::proto::QuerySpec selection_spec() {
+    return query::nova_selection_spec(
+        nova::SelectionCuts{},
+        std::string(hepnos::product_type_name<std::vector<nova::Slice>>()));
+}
+
+json::Value class_qos_doc(const std::string& tenant, std::uint8_t qos_class) {
+    json::Value doc = json::Value::make_object();
+    doc["tenant"] = tenant;
+    const std::string name(qos::class_name(qos_class));
+    doc["point_class"] = name;
+    doc["scan_class"] = name;
+    doc["bulk_class"] = name;
+    return doc;
+}
+
+// ---- scraper ------------------------------------------------------------
+
+/// The raw counters one stats_all blob yields.
+struct ScrapeCounters {
+    std::uint64_t qos_admitted = 0;
+    std::uint64_t qos_shed = 0;
+    std::uint64_t qos_slowdowns = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t lsm_write_stalls = 0;
+    std::uint64_t lsm_write_stall_micros = 0;
+    std::uint64_t replica_records_shipped = 0;
+    std::uint64_t replica_reseed_requests = 0;
+
+    [[nodiscard]] std::uint64_t sum() const noexcept {
+        return qos_admitted + qos_shed + qos_slowdowns + cache_hits + cache_misses +
+               lsm_write_stalls + lsm_write_stall_micros + replica_records_shipped +
+               replica_reseed_requests;
+    }
+    ScrapeCounters& operator+=(const ScrapeCounters& o) noexcept {
+        qos_admitted += o.qos_admitted;
+        qos_shed += o.qos_shed;
+        qos_slowdowns += o.qos_slowdowns;
+        cache_hits += o.cache_hits;
+        cache_misses += o.cache_misses;
+        lsm_write_stalls += o.lsm_write_stalls;
+        lsm_write_stall_micros += o.lsm_write_stall_micros;
+        replica_records_shipped += o.replica_records_shipped;
+        replica_reseed_requests += o.replica_reseed_requests;
+        return *this;
+    }
+};
+
+ScrapeCounters extract_counters(json::Value stats) {
+    ScrapeCounters c;
+    json::Value sources = stats["sources"];  // copy: object() is non-const
+    if (!sources.is_object()) return c;
+    for (const auto& [name, v] : sources.object()) {
+        if (name.rfind("qos/", 0) == 0) {
+            c.qos_admitted += static_cast<std::uint64_t>(v["admitted"].as_int(0));
+            c.qos_shed += static_cast<std::uint64_t>(v["shed"].as_int(0));
+            c.qos_slowdowns += static_cast<std::uint64_t>(v["slowdowns"].as_int(0));
+        } else if (name.rfind("cache/", 0) == 0) {
+            c.cache_hits += static_cast<std::uint64_t>(v["hits"].as_int(0));
+            c.cache_misses += static_cast<std::uint64_t>(v["misses"].as_int(0));
+        } else if (name.rfind("lsm/", 0) == 0) {
+            c.lsm_write_stalls += static_cast<std::uint64_t>(v["write_stalls"].as_int(0));
+            c.lsm_write_stall_micros +=
+                static_cast<std::uint64_t>(v["write_stall_micros"].as_int(0));
+        } else if (name.rfind("replica/", 0) == 0) {
+            for (std::size_t i = 0; i < v.size(); ++i) {
+                const json::Value& r = v.at(i);
+                c.replica_records_shipped +=
+                    static_cast<std::uint64_t>(r["records_shipped"].as_int(0));
+                c.replica_reseed_requests +=
+                    static_cast<std::uint64_t>(r["reseed_requests"].as_int(0));
+            }
+        }
+    }
+    return c;
+}
+
+/// Per-server monotone fold: counters reset when a failover restarts the
+/// process, so commit the last-seen values whenever the running sum
+/// regresses and totals stay monotone.
+struct ServerFold {
+    ScrapeCounters committed;
+    ScrapeCounters last;
+
+    void fold(const ScrapeCounters& cur) {
+        if (cur.sum() < last.sum()) committed += last;
+        last = cur;
+    }
+    [[nodiscard]] ScrapeCounters total() const {
+        ScrapeCounters t = committed;
+        t += last;
+        return t;
+    }
+};
+
+}  // namespace
+
+// ---- Knobs --------------------------------------------------------------
+
+json::Value Knobs::to_json() const {
+    json::Value v = json::Value::make_object();
+    json::Value weights = json::Value::make_array();
+    for (auto w : qos_weights) weights.push_back(w);
+    v["qos_weights"] = std::move(weights);
+    v["slowdown_inflight"] = slowdown_inflight;
+    v["shed_inflight"] = shed_inflight;
+    v["cache_capacity_kb"] = cache_capacity_kb;
+    v["lsm_memtable_kb"] = lsm_memtable_kb;
+    v["replication"] = static_cast<std::uint64_t>(replication);
+    return v;
+}
+
+void Knobs::apply(const autotune::Assignment& a) {
+    for (const auto& [name, value] : a) {
+        const auto u = static_cast<std::uint64_t>(std::max<std::int64_t>(0, value));
+        if (name == "qos_interactive_weight") {
+            if (qos_weights.size() < 2) qos_weights.resize(2, 1);
+            qos_weights[1] = std::max<std::uint64_t>(1, u);
+        } else if (name == "slowdown_inflight") {
+            slowdown_inflight = std::max<std::uint64_t>(1, u);
+        } else if (name == "shed_inflight") {
+            shed_inflight = std::max<std::uint64_t>(1, u);
+        } else if (name == "cache_capacity_kb") {
+            cache_capacity_kb = u;
+        } else if (name == "lsm_memtable_kb") {
+            lsm_memtable_kb = std::max<std::uint64_t>(16, u);
+        } else if (name == "replication") {
+            replication = static_cast<std::size_t>(std::max<std::uint64_t>(1, u));
+        }
+        // Unknown names are deliberately ignored.
+    }
+}
+
+std::vector<autotune::Param> Knobs::default_param_space(const WorkloadSpec& spec) {
+    std::vector<autotune::Param> params = {
+        {"qos_interactive_weight", {4, 16, 64}},
+        {"slowdown_inflight", {16, 64, 256}},
+        {"shed_inflight", {64, 256, 1024}},
+        {"cache_capacity_kb", {0, 4096, 65536}},
+        {"replication", {1, 2}},
+    };
+    if (spec.backend == "lsm") params.push_back({"lsm_memtable_kb", {64, 256, 1024}});
+    return params;
+}
+
+// ---- Cluster ------------------------------------------------------------
+
+json::Value make_server_config(const WorkloadSpec& spec, const Knobs& knobs,
+                               std::size_t server_index) {
+    json::Value cfg = json::Value::make_object();
+    cfg["address"] = "loadgen-server-" + std::to_string(server_index);
+    cfg["margo"]["rpc_xstreams"] = spec.rpc_xstreams;
+
+    json::Value providers = json::Value::make_array();
+    json::Value yp = json::Value::make_object();
+    yp["type"] = "yokan";
+    yp["provider_id"] = 1;
+    json::Value dbs = json::Value::make_array();
+    auto add_db = [&](const std::string& role, std::size_t index) {
+        json::Value db = json::Value::make_object();
+        const std::string name =
+            role + "-" + std::to_string(server_index) + "-" + std::to_string(index);
+        db["name"] = name;
+        db["role"] = role;
+        db["type"] = spec.backend;
+        if (spec.backend == "lsm") {
+            db["path"] = "s" + std::to_string(server_index) + "/" + name;
+            db["memtable_bytes"] = knobs.lsm_memtable_kb * 1024;
+        }
+        dbs.push_back(std::move(db));
+    };
+    add_db("datasets", 0);
+    for (std::size_t i = 0; i < spec.dbs_per_role; ++i) add_db("runs", i);
+    for (std::size_t i = 0; i < spec.dbs_per_role; ++i) add_db("subruns", i);
+    for (std::size_t i = 0; i < spec.dbs_per_role; ++i) add_db("events", i);
+    for (std::size_t i = 0; i < spec.dbs_per_role; ++i) add_db("products", i);
+    yp["config"]["databases"] = std::move(dbs);
+    providers.push_back(std::move(yp));
+    if (knobs.cache_capacity_kb > 0) {
+        json::Value cp = json::Value::make_object();
+        cp["type"] = "cache";
+        cp["provider_id"] = 90;
+        providers.push_back(std::move(cp));
+    }
+    cfg["providers"] = std::move(providers);
+
+    if (knobs.replication > 1) {
+        cfg["replication"]["factor"] = static_cast<std::uint64_t>(knobs.replication);
+        cfg["replication"]["read_from_replicas"] = false;
+    }
+    cfg["monitoring"]["provider_id"] = static_cast<std::int64_t>(kMonitoringId);
+    cfg["query"]["enabled"] = true;
+
+    json::Value qos = json::Value::make_object();
+    qos["enabled"] = true;
+    json::Value weights = json::Value::make_array();
+    for (auto w : knobs.qos_weights) weights.push_back(w);
+    qos["weights"] = std::move(weights);
+    qos["slowdown_inflight"] = knobs.slowdown_inflight;
+    qos["shed_inflight"] = knobs.shed_inflight;
+    cfg["qos"] = std::move(qos);
+
+    if (knobs.cache_capacity_kb > 0) {
+        json::Value cache = json::Value::make_object();
+        cache["enabled"] = true;
+        cache["capacity_bytes"] = knobs.cache_capacity_kb * 1024;
+        cache["lease_ms"] = 60000;
+        cfg["cache"] = std::move(cache);
+    }
+    return cfg;
+}
+
+Result<std::unique_ptr<Cluster>> Cluster::create(const WorkloadSpec& spec, const Knobs& knobs,
+                                                 std::string base_dir) {
+    auto cluster = std::unique_ptr<Cluster>(new Cluster());
+    cluster->spec_ = spec;
+    cluster->knobs_ = knobs;
+    cluster->base_dir_ = std::move(base_dir);
+    std::vector<json::Value> descriptors;
+    for (std::size_t s = 0; s < spec.servers; ++s) {
+        auto cfg = make_server_config(spec, knobs, s);
+        auto svc = bedrock::ServiceProcess::create(cluster->net_, cfg, cluster->base_dir_);
+        if (!svc.ok()) return svc.status();
+        descriptors.push_back((*svc)->descriptor());
+        cluster->servers_.push_back(std::move(svc.value()));
+        cluster->addresses_.push_back(cfg["address"].as_string());
+    }
+    cluster->connection_ = bedrock::merge_descriptors(descriptors);
+    return cluster;
+}
+
+Status Cluster::restart_server(std::size_t index) {
+    if (index >= servers_.size()) return Status::InvalidArgument("no such server");
+    servers_[index].reset();
+    auto cfg = make_server_config(spec_, knobs_, index);
+    auto svc = bedrock::ServiceProcess::create(net_, cfg, base_dir_);
+    if (!svc.ok()) return svc.status();
+    servers_[index] = std::move(svc.value());
+    ++restarts_;
+    return Status::OK();
+}
+
+// ---- report -------------------------------------------------------------
+
+json::Value ScrapeSummary::to_json() const {
+    json::Value v = json::Value::make_object();
+    v["scrapes_ok"] = scrapes_ok;
+    v["scrapes_failed"] = scrapes_failed;
+    v["qos_admitted"] = qos_admitted;
+    v["qos_shed"] = qos_shed;
+    v["qos_slowdowns"] = qos_slowdowns;
+    v["cache_hits"] = cache_hits;
+    v["cache_misses"] = cache_misses;
+    v["cache_hit_rate"] = cache_hit_rate();
+    v["lsm_write_stalls"] = lsm_write_stalls;
+    v["lsm_write_stall_micros"] = lsm_write_stall_micros;
+    v["replica_records_shipped"] = replica_records_shipped;
+    v["replica_reseed_requests"] = replica_reseed_requests;
+    return v;
+}
+
+json::Value RunReport::to_json() const {
+    json::Value v = json::Value::make_object();
+    v["spec"] = spec;
+    v["knobs"] = knobs;
+    v["wall_s"] = wall_s;
+    v["offered_ops_s"] = offered_ops_s;
+    v["achieved_ops_s"] = achieved_ops_s;
+    v["objective"] = objective;
+    v["slo_pass"] = slo_pass;
+    v["issued"] = issued;
+    v["max_backlog"] = max_backlog;
+    v["acked_writes"] = acked_writes;
+    v["verified_writes"] = verified_writes;
+    v["lost_writes"] = lost_writes;
+    v["failovers"] = failovers;
+    v["query_mismatches"] = query_mismatches;
+    v["scrape"] = scrape.to_json();
+    json::Value verds = json::Value::make_array();
+    for (const auto& verdict : verdicts) verds.push_back(verdict.to_json());
+    v["verdicts"] = std::move(verds);
+    v["classes"] = classes;
+    return v;
+}
+
+// ---- Harness ------------------------------------------------------------
+
+Harness::Harness(WorkloadSpec spec, Knobs knobs, std::string base_dir)
+    : spec_(std::move(spec)), knobs_(std::move(knobs)), base_dir_(std::move(base_dir)) {}
+
+namespace {
+
+/// Per-class live state the executors close over.
+struct ClassRuntime {
+    std::vector<DataStore> stores;              // round-robined by client index
+    std::vector<std::vector<Event>> hot_events; // [store][key], cached-read only
+    std::vector<DataSet> sel_ds;                // [store], query/pinned only
+    std::vector<hepnos::Snapshot> snaps;        // [store], pinned only
+    std::vector<SubRun> ingest_srs;             // [client], ingest only
+    std::unique_ptr<ZipfSampler> zipf;
+};
+
+Result<RunReport> run_impl(const WorkloadSpec& spec, const Knobs& knobs, Cluster& cluster) {
+    RunReport report;
+    report.spec = spec.to_json();
+    report.knobs = knobs.to_json();
+    report.offered_ops_s = spec.offered_ops_s();
+
+    // ---- populate -------------------------------------------------------
+    json::Value setup_conn = cluster.connection();
+    setup_conn["qos"] = class_qos_doc("setup", qos::kClassInteractive);
+    auto writer = DataStore::connect(cluster.network(), setup_conn);
+
+    std::size_t hot_words = 256;
+    for (const auto& cls : spec.classes) {
+        if (cls.op == OpKind::kCachedRead) {
+            hot_words = cls.value_words;
+            break;
+        }
+    }
+    {
+        auto hot_sr = writer.createDataSet(kHotDataset).createRun(1).createSubRun(0);
+        WriteBatch batch(writer.impl());
+        for (std::uint64_t k = 0; k < spec.hot_keys; ++k) {
+            hot_sr.createEvent(static_cast<EventNumber>(k), &batch)
+                .store("h", payload_words(hot_key_seed(spec.seed, k), hot_words), &batch);
+        }
+        batch.flush();
+    }
+    auto sel_dataset = writer.createDataSet(kSelDataset);
+    {
+        auto sel_sr = sel_dataset.createRun(1).createSubRun(0);
+        WriteBatch batch(writer.impl());
+        for (std::uint64_t e = 0; e < spec.query_events; ++e) {
+            sel_sr.createEvent(static_cast<EventNumber>(e), &batch)
+                .store(nova::kSliceLabel,
+                       std::vector<nova::Slice>{
+                           make_slice(static_cast<std::uint32_t>(e), e % 2 == 0)},
+                       &batch);
+        }
+        batch.flush();
+    }
+    auto ingest_dataset = writer.createDataSet(kIngestDataset);
+    for (std::size_t c = 0; c < spec.classes.size(); ++c) {
+        const auto& cls = spec.classes[c];
+        if (cls.op != OpKind::kIngest) continue;
+        auto run = ingest_dataset.createRun(kIngestRunBase + c);
+        WriteBatch batch(writer.impl());
+        for (std::size_t i = 0; i < cls.clients; ++i) {
+            run.createSubRun(i, &batch);
+        }
+        batch.flush();
+    }
+
+    // Reference pushdown selection: the populate above is the only writer to
+    // the selection dataset, so live queries should keep returning exactly
+    // this entry count and pinned scans exactly the snapshot's.
+    const auto sel_spec = selection_spec();
+    auto reference = hepnos::run_query(writer, sel_dataset, sel_spec);
+    if (!reference.ok()) return reference.status();
+    const std::uint64_t expected_entries = reference->entries().size();
+
+    // ---- per-class connections and executors ----------------------------
+    std::vector<ClassRuntime> runtime(spec.classes.size());
+    std::atomic<std::uint64_t> query_mismatches{0};
+    std::vector<OpExecutor> executors;
+    for (std::size_t c = 0; c < spec.classes.size(); ++c) {
+        const ClassSpec& cls = spec.classes[c];
+        ClassRuntime& rt = runtime[c];
+        const std::size_t nconn = std::max<std::size_t>(1, std::min(spec.connections,
+                                                                    cls.clients));
+        json::Value conn = cluster.connection();
+        conn["qos"] = class_qos_doc(cls.tenant, cls.qos_class);
+        for (std::size_t k = 0; k < nconn; ++k) {
+            rt.stores.push_back(DataStore::connect(cluster.network(), conn));
+        }
+        switch (cls.op) {
+            case OpKind::kCachedRead: {
+                rt.zipf = std::make_unique<ZipfSampler>(spec.hot_keys, spec.zipf_exponent);
+                for (auto& store : rt.stores) {
+                    auto sr = store[kHotDataset].run(1).subrun(0);
+                    std::vector<Event> events;
+                    events.reserve(spec.hot_keys);
+                    for (std::uint64_t k = 0; k < spec.hot_keys; ++k) {
+                        events.push_back(sr.event(static_cast<EventNumber>(k)));
+                    }
+                    rt.hot_events.push_back(std::move(events));
+                }
+                break;
+            }
+            case OpKind::kQuery:
+            case OpKind::kPinnedScan: {
+                for (auto& store : rt.stores) {
+                    rt.sel_ds.push_back(store[kSelDataset]);
+                    if (cls.op == OpKind::kPinnedScan) {
+                        auto snap = store.snapshot();
+                        if (!snap.ok()) return snap.status();
+                        rt.snaps.push_back(std::move(snap.value()));
+                    }
+                }
+                break;
+            }
+            case OpKind::kIngest: {
+                for (std::size_t i = 0; i < cls.clients; ++i) {
+                    auto& store = rt.stores[i % nconn];
+                    rt.ingest_srs.push_back(
+                        store[kIngestDataset].run(kIngestRunBase + c).subrun(i));
+                }
+                break;
+            }
+        }
+
+        // The executor itself: pure function of the arrival plus the
+        // per-class runtime above; all randomness comes from op_seed().
+        executors.push_back([&spec, &cls, &rt, &query_mismatches, &sel_spec, expected_entries,
+                             hot_words, nconn](const Arrival& a) -> OpOutcome {
+            OpOutcome out;
+            try {
+                switch (cls.op) {
+                    case OpKind::kCachedRead: {
+                        Rng rng(op_seed(spec.seed, a));
+                        const std::size_t key = rt.zipf->sample(rng);
+                        const Event& ev = rt.hot_events[a.client_idx % nconn][key];
+                        std::vector<std::uint64_t> value;
+                        if (!ev.load("h", value) || value.size() != hot_words) {
+                            out.status = Status::NotFound("hot product missing");
+                            return out;
+                        }
+                        out.items = 1;
+                        return out;
+                    }
+                    case OpKind::kQuery: {
+                        const auto& store = rt.stores[a.client_idx % nconn];
+                        auto res = hepnos::run_query(store, rt.sel_ds[a.client_idx % nconn],
+                                                     sel_spec);
+                        if (!res.ok()) {
+                            out.status = res.status();
+                            return out;
+                        }
+                        out.items = res->entries().size();
+                        if (out.items != expected_entries) {
+                            query_mismatches.fetch_add(1, std::memory_order_relaxed);
+                        }
+                        return out;
+                    }
+                    case OpKind::kPinnedScan: {
+                        const std::size_t k = a.client_idx % nconn;
+                        auto res = hepnos::run_query(rt.stores[k], rt.sel_ds[k], sel_spec,
+                                                     rt.snaps[k]);
+                        if (!res.ok()) {
+                            out.status = res.status();
+                            return out;
+                        }
+                        out.items = res->entries().size();
+                        if (out.items != expected_entries) {
+                            // A pinned scan differing from its snapshot is an
+                            // MVCC anomaly, not load jitter: count as error.
+                            out.status = Status::Internal("pinned scan anomaly");
+                        }
+                        return out;
+                    }
+                    case OpKind::kIngest: {
+                        const auto& store = rt.stores[a.client_idx % nconn];
+                        const SubRun& sr = rt.ingest_srs[a.client_idx];
+                        WriteBatch batch(store.impl(), cls.batch_events * 2 + 2);
+                        const std::uint64_t base =
+                            std::uint64_t{a.seq} * cls.batch_events;
+                        for (std::size_t e = 0; e < cls.batch_events; ++e) {
+                            sr.createEvent(static_cast<EventNumber>(base + e), &batch)
+                                .store("w",
+                                       ingest_payload(spec.seed, a, e, cls.value_words),
+                                       &batch);
+                        }
+                        batch.flush();  // throws on failure => no ack
+                        out.items = cls.batch_events;
+                        out.acked_write = true;
+                        return out;
+                    }
+                }
+            } catch (const std::exception& ex) {
+                out.status = Status::Internal(ex.what());
+            }
+            return out;
+        });
+    }
+
+    // ---- failure injector + scraper -------------------------------------
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> failovers{0};
+    const auto t0 = Clock::now();
+
+    std::vector<FailureEvent> failures = spec.failures;
+    std::sort(failures.begin(), failures.end(),
+              [](const FailureEvent& a, const FailureEvent& b) { return a.at_s < b.at_s; });
+    std::thread injector([&] {
+        for (const auto& f : failures) {
+            const auto when =
+                t0 + std::chrono::microseconds(static_cast<std::int64_t>(f.at_s * 1e6));
+            while (Clock::now() < when) {
+                if (stop.load(std::memory_order_relaxed)) return;
+                std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            }
+            if (cluster.restart_server(f.server).ok()) {
+                failovers.fetch_add(1, std::memory_order_relaxed);
+                // Heal pass: a fresh connection re-wires every replication
+                // group, which makes the peers notice the rejoined member's
+                // regressed watermarks and reseed it. Without this, a later
+                // failover of the OTHER server could take down the last
+                // surviving copy of cold groups (nothing else probes them).
+                try {
+                    json::Value heal = cluster.connection();
+                    heal["qos"] = class_qos_doc("heal", qos::kClassInteractive);
+                    auto healer = DataStore::connect(cluster.network(), heal);
+                    (void)healer;
+                } catch (const std::exception&) {
+                    // Heal is best-effort; the verifier's own connect retries.
+                }
+            }
+        }
+    });
+
+    std::thread scraper([&] {
+        try {
+            margo::Engine engine(cluster.network(), "loadgen-scraper");
+            const auto& addresses = cluster.server_addresses();
+            std::vector<ServerFold> folds(addresses.size());
+            bool final_round = false;
+            while (true) {
+                for (std::size_t s = 0; s < addresses.size(); ++s) {
+                    auto blob = symbio::fetch_all(engine, addresses[s], kMonitoringId);
+                    if (blob.ok()) {
+                        folds[s].fold(extract_counters(std::move(*blob)));
+                        ++report.scrape.scrapes_ok;
+                    } else {
+                        ++report.scrape.scrapes_failed;
+                    }
+                }
+                if (final_round) break;
+                const auto wake =
+                    Clock::now() + std::chrono::milliseconds(spec.scrape_interval_ms);
+                while (Clock::now() < wake && !stop.load(std::memory_order_relaxed)) {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+                }
+                final_round = stop.load(std::memory_order_relaxed);
+            }
+            ScrapeCounters total;
+            for (const auto& f : folds) total += f.total();
+            report.scrape.qos_admitted = total.qos_admitted;
+            report.scrape.qos_shed = total.qos_shed;
+            report.scrape.qos_slowdowns = total.qos_slowdowns;
+            report.scrape.cache_hits = total.cache_hits;
+            report.scrape.cache_misses = total.cache_misses;
+            report.scrape.lsm_write_stalls = total.lsm_write_stalls;
+            report.scrape.lsm_write_stall_micros = total.lsm_write_stall_micros;
+            report.scrape.replica_records_shipped = total.replica_records_shipped;
+            report.scrape.replica_reseed_requests = total.replica_reseed_requests;
+        } catch (const std::exception&) {
+            ++report.scrape.scrapes_failed;
+        }
+    });
+
+    // ---- drive ----------------------------------------------------------
+    const auto schedule = build_schedule(spec);
+    OpenLoopRunner runner(spec);
+    RunStats stats = runner.run(schedule, executors);
+
+    stop.store(true, std::memory_order_relaxed);
+    injector.join();
+    scraper.join();
+
+    // ---- verify every acked write ---------------------------------------
+    json::Value verify_conn = cluster.connection();
+    verify_conn["qos"] = class_qos_doc("verify", qos::kClassInteractive);
+    verify_conn["cache"] = json::Value::make_object();
+    verify_conn["cache"]["enabled"] = false;  // bypass: read the real store
+    auto verifier = DataStore::connect(cluster.network(), verify_conn);
+
+    std::uint64_t acked = 0, verified = 0;
+    std::vector<std::pair<Arrival, std::size_t>> unverified;
+    for (std::size_t c = 0; c < spec.classes.size(); ++c) {
+        const ClassSpec& cls = spec.classes[c];
+        if (cls.op != OpKind::kIngest) continue;
+        std::vector<SubRun> srs;
+        // Resolution walks the datasets/runs/subruns directories, whose
+        // primaries may still be reseeding after a late failover. NotFound is
+        // a valid directory answer (no failover retry fires), so retry here
+        // until the entries reappear.
+        for (int attempt = 0;; ++attempt) {
+            try {
+                auto run = verifier[kIngestDataset].run(kIngestRunBase + c);
+                for (std::size_t i = 0; i < cls.clients; ++i) srs.push_back(run.subrun(i));
+                break;
+            } catch (const std::exception& ex) {
+                srs.clear();
+                if (attempt >= 20) {
+                    return Status::Internal(std::string("verify resolution failed: ") +
+                                            ex.what());
+                }
+                std::this_thread::sleep_for(std::chrono::milliseconds(250));
+            }
+        }
+        for (const Arrival& a : stats.classes[c].acked_writes) {
+            const std::uint64_t base = std::uint64_t{a.seq} * cls.batch_events;
+            for (std::size_t e = 0; e < cls.batch_events; ++e) {
+                ++acked;
+                bool ok = false;
+                try {
+                    std::vector<std::uint64_t> got;
+                    ok = srs[a.client_idx].event(static_cast<EventNumber>(base + e))
+                             .load("w", got) &&
+                         got == ingest_payload(spec.seed, a, e, cls.value_words);
+                } catch (const std::exception&) {
+                    ok = false;
+                }
+                if (ok) {
+                    ++verified;
+                } else {
+                    unverified.emplace_back(a, e);
+                }
+            }
+        }
+    }
+    // A failover near the end of the run may still be reseeding the restarted
+    // replica; grant bounded grace rounds, stopping as soon as everything has
+    // been verified (only losing runs pay the full wait).
+    for (int round = 0; !unverified.empty() && round < 10; ++round) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(500));
+        std::vector<std::pair<Arrival, std::size_t>> still;
+        for (const auto& [a, e] : unverified) {
+            const ClassSpec& cls = spec.classes[a.class_idx];
+            const std::uint64_t base = std::uint64_t{a.seq} * cls.batch_events;
+            bool ok = false;
+            try {
+                std::vector<std::uint64_t> got;
+                ok = verifier[kIngestDataset]
+                         .run(kIngestRunBase + a.class_idx)
+                         .subrun(a.client_idx)
+                         .event(static_cast<EventNumber>(base + e))
+                         .load("w", got) &&
+                     got == ingest_payload(spec.seed, a, e, cls.value_words);
+            } catch (const std::exception&) {
+                ok = false;
+            }
+            if (ok) {
+                ++verified;
+            } else {
+                still.emplace_back(a, e);
+            }
+        }
+        unverified.swap(still);
+    }
+    const std::uint64_t lost = acked - verified;
+
+    // ---- report ---------------------------------------------------------
+    report.verdicts = evaluate_slos(spec, stats);
+    report.slo_pass = all_pass(report.verdicts);
+    report.objective = slo_penalized_throughput(spec, stats, report.verdicts, lost);
+    report.wall_s = stats.wall_s;
+    report.achieved_ops_s = stats.achieved_ops_s();
+    report.issued = stats.issued;
+    report.max_backlog = stats.max_backlog;
+    report.acked_writes = acked;
+    report.verified_writes = verified;
+    report.lost_writes = lost;
+    report.failovers = failovers.load();
+    report.query_mismatches = query_mismatches.load();
+    report.classes = json::Value::make_array();
+    for (std::size_t c = 0; c < stats.classes.size(); ++c) {
+        json::Value entry = stats.classes[c].to_json();
+        entry["name"] = spec.classes[c].name;
+        report.classes.push_back(std::move(entry));
+    }
+    return report;
+}
+
+}  // namespace
+
+Result<RunReport> Harness::run() {
+    auto cluster = Cluster::create(spec_, knobs_, base_dir_);
+    if (!cluster.ok()) return cluster.status();
+    try {
+        return run_impl(spec_, knobs_, **cluster);
+    } catch (const std::exception& ex) {
+        return Status::Internal(std::string("harness run failed: ") + ex.what());
+    }
+}
+
+autotune::Tuner::RichObjective make_autotune_objective(WorkloadSpec spec, Knobs base,
+                                                       std::string base_dir) {
+    auto evals = std::make_shared<std::size_t>(0);
+    return [spec = std::move(spec), base = std::move(base), base_dir = std::move(base_dir),
+            evals](const autotune::Assignment& a, autotune::Sample& sample) -> double {
+        Knobs knobs = base;
+        knobs.apply(a);
+        // Own base_dir per evaluation so lsm backends never see a
+        // predecessor's files — including leftovers from earlier invocations.
+        const std::string dir = base_dir + "/tune-" + std::to_string((*evals)++);
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+        Harness harness(spec, knobs, dir);
+        auto report = harness.run();
+        if (!report.ok()) {
+            sample.slo_pass = false;
+            sample.meta = json::Value::make_object();
+            sample.meta["error"] = report.status().to_string();
+            return 0.0;
+        }
+        sample.slo_pass = report->slo_pass && report->lost_writes == 0;
+        sample.meta = report->to_json();
+        // The full per-class histograms make tuner traces enormous; keep the
+        // headline numbers and verdicts.
+        sample.meta.object().erase("classes");
+        sample.meta.object().erase("spec");
+        return report->objective;
+    };
+}
+
+}  // namespace hep::loadgen

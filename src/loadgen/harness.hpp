@@ -1,0 +1,179 @@
+// Saturation harness (src/loadgen): drive a LIVE in-process HEPnOS cluster
+// with thousands of simulated open-loop clients and close the loop into the
+// autotuner.
+//
+// The harness owns the full experiment lifecycle for one knob assignment:
+//
+//   boot      — N bedrock server processes on a private fabric, configured
+//               from WorkloadSpec (servers, backend, rpc xstreams) plus a
+//               Knobs struct (qos weights/shedding, client cache capacity,
+//               lsm triggers, replication fanout);
+//   populate  — hot products for the cached-read class, a selection dataset
+//               for pushdown queries and pinned scans, per-client ingest
+//               containers; a reference query fixes the expected entry count;
+//   drive     — the deterministic schedule (src/loadgen/schedule) through the
+//               coordinated-omission-safe OpenLoopRunner, with a failure
+//               injector restarting servers mid-run and a symbio scraper
+//               folding server-side counters (qos sheds, cache hit rate, lsm
+//               stalls, replica reseeds) into the run report;
+//   verify    — every acked write is read back through a cache-bypassing
+//               connection and compared word for word; lost acked writes
+//               zero the objective;
+//   report    — RunReport: achieved vs offered throughput, per-class SLO
+//               verdicts, scrape summary, and the SLO-penalized throughput
+//               objective the autotuner maximizes.
+//
+// make_autotune_objective() packages all of that as an autotune::Tuner rich
+// objective: each tuner evaluation boots a fresh cluster with the
+// assignment's knobs, runs the same spec (same seed => identical request
+// schedule), and reports the objective plus the full RunReport as sample
+// metadata — live autotuning over a real service, not the DES model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autotune/tuner.hpp"
+#include "bedrock/service.hpp"
+#include "common/json.hpp"
+#include "common/status.hpp"
+#include "loadgen/runner.hpp"
+#include "loadgen/schedule.hpp"
+#include "loadgen/spec.hpp"
+#include "rpc/network.hpp"
+
+namespace hep::loadgen {
+
+/// Live bedrock knobs the harness (and the autotuner through it) can turn.
+struct Knobs {
+    std::vector<std::uint64_t> qos_weights{32, 16, 4, 1};  // control..bulk
+    std::uint64_t slowdown_inflight = 64;
+    std::uint64_t shed_inflight = 256;
+    std::uint64_t cache_capacity_kb = 0;  // 0 = lease cache off (client + tier)
+    std::uint64_t lsm_memtable_kb = 64;   // lsm backend only
+    std::size_t replication = 2;          // 1 = replication off
+
+    [[nodiscard]] json::Value to_json() const;
+
+    /// Overwrite the fields named in `a`; names match default_param_space().
+    /// Unknown names are ignored so one assignment can carry extra params.
+    void apply(const autotune::Assignment& a);
+
+    /// The default live search space: weight skew, shed/slowdown thresholds,
+    /// cache capacity (including 0 = off), replication fanout; lsm memtable
+    /// size joins in when the spec uses the lsm backend.
+    [[nodiscard]] static std::vector<autotune::Param> default_param_space(
+        const WorkloadSpec& spec);
+};
+
+/// Bedrock JSON for one server of the harness cluster.
+[[nodiscard]] json::Value make_server_config(const WorkloadSpec& spec, const Knobs& knobs,
+                                             std::size_t server_index);
+
+/// An in-process cluster of bedrock server processes on a private fabric,
+/// restartable one server at a time (the failover injection primitive).
+class Cluster {
+  public:
+    static Result<std::unique_ptr<Cluster>> create(const WorkloadSpec& spec, const Knobs& knobs,
+                                                   std::string base_dir);
+
+    /// Crash-restart server `index`: tear the process down (map backends
+    /// lose all state; lsm backends recover from disk) and boot a fresh one
+    /// with the same config on the same address. With replication >= 2 the
+    /// fresh replica reseeds from its peers.
+    Status restart_server(std::size_t index);
+
+    [[nodiscard]] const json::Value& connection() const noexcept { return connection_; }
+    [[nodiscard]] rpc::Network& network() noexcept { return net_; }
+    [[nodiscard]] const std::vector<std::string>& server_addresses() const noexcept {
+        return addresses_;
+    }
+    [[nodiscard]] std::size_t restarts() const noexcept { return restarts_; }
+
+  private:
+    Cluster() = default;
+
+    WorkloadSpec spec_;
+    Knobs knobs_;
+    std::string base_dir_;
+    rpc::Network net_;
+    std::vector<std::unique_ptr<bedrock::ServiceProcess>> servers_;
+    std::vector<std::string> addresses_;
+    json::Value connection_;
+    std::size_t restarts_ = 0;
+};
+
+/// Server-side counters folded across scrapes. Counters are cumulative per
+/// process; a restart (failover injection) resets them, so the scraper
+/// commits the last-seen values whenever a counter regresses and the totals
+/// stay monotone across failovers.
+struct ScrapeSummary {
+    std::uint64_t scrapes_ok = 0;
+    std::uint64_t scrapes_failed = 0;
+    std::uint64_t qos_admitted = 0;
+    std::uint64_t qos_shed = 0;
+    std::uint64_t qos_slowdowns = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t lsm_write_stalls = 0;
+    std::uint64_t lsm_write_stall_micros = 0;
+    std::uint64_t replica_records_shipped = 0;
+    std::uint64_t replica_reseed_requests = 0;
+
+    [[nodiscard]] double cache_hit_rate() const noexcept {
+        const auto n = cache_hits + cache_misses;
+        return n ? static_cast<double>(cache_hits) / static_cast<double>(n) : 0.0;
+    }
+    [[nodiscard]] json::Value to_json() const;
+};
+
+/// Everything one harness run produced.
+struct RunReport {
+    json::Value spec;   // WorkloadSpec::to_json()
+    json::Value knobs;  // Knobs::to_json()
+    double wall_s = 0;
+    double offered_ops_s = 0;
+    double achieved_ops_s = 0;
+    double objective = 0;  // slo_penalized_throughput
+    bool slo_pass = false;
+    std::uint64_t issued = 0;
+    std::uint64_t max_backlog = 0;
+    std::uint64_t acked_writes = 0;
+    std::uint64_t verified_writes = 0;
+    std::uint64_t lost_writes = 0;
+    std::uint64_t failovers = 0;
+    std::uint64_t query_mismatches = 0;  // live queries vs reference count
+    ScrapeSummary scrape;
+    std::vector<SloVerdict> verdicts;
+    json::Value classes;  // per-class ClassStats::to_json()
+
+    [[nodiscard]] json::Value to_json() const;
+};
+
+/// One spec + one knob assignment -> one run report.
+class Harness {
+  public:
+    explicit Harness(WorkloadSpec spec, Knobs knobs = {}, std::string base_dir = ".");
+
+    /// Boot, populate, drive, verify, report. Blocks until the run is done.
+    Result<RunReport> run();
+
+  private:
+    WorkloadSpec spec_;
+    Knobs knobs_;
+    std::string base_dir_;
+};
+
+/// Rich autotune objective over live clusters: evaluating an assignment
+/// applies it on top of `base`, runs `spec` through a fresh Harness and
+/// returns the SLO-penalized throughput; the full RunReport lands in the
+/// sample's metadata. Evaluation failures score 0 (an assignment that cannot
+/// even boot must never win).
+[[nodiscard]] autotune::Tuner::RichObjective make_autotune_objective(WorkloadSpec spec,
+                                                                     Knobs base,
+                                                                     std::string base_dir);
+
+}  // namespace hep::loadgen

@@ -1,0 +1,114 @@
+// HDR-style latency histogram for the saturation harness (src/loadgen).
+//
+// Log-linear bucketing (HdrHistogram's layout): each power-of-two segment is
+// split into 2^kSubBits linear sub-buckets, bounding the relative recording
+// error to 1/2^kSubBits (~3% with 5 sub-bits) across the whole range — unlike
+// symbio::Histogram's pure log2 buckets, whose p99 upper bound can be 2x off.
+// That precision matters here because SLO gates compare measured p99/p999
+// against millisecond bounds and must trip exactly when the bound is crossed.
+//
+// Recording is plain (non-atomic): every harness worker owns its own
+// ClassStats and histograms are merge()d after the run, so the hot path is a
+// single array increment with no sharing.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/json.hpp"
+
+namespace hep::loadgen {
+
+/// Values are recorded in integer microseconds; the range covers [0, ~2^38us]
+/// (~76 hours), far beyond any latency this harness can observe.
+class HdrHistogram {
+  public:
+    static constexpr unsigned kSubBits = 5;                 // 32 sub-buckets/segment
+    static constexpr unsigned kSub = 1u << kSubBits;
+    static constexpr unsigned kSegments = 34;               // values up to 2^(33+5)us
+    static constexpr std::size_t kBuckets = (kSegments + 1) * kSub;
+
+    void record(std::uint64_t value_us) noexcept {
+        buckets_[index_of(value_us)]++;
+        ++count_;
+        sum_ += value_us;
+        max_ = std::max(max_, value_us);
+        min_ = std::min(min_, value_us);
+    }
+
+    void merge(const HdrHistogram& other) noexcept {
+        for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+        count_ += other.count_;
+        sum_ += other.sum_;
+        max_ = std::max(max_, other.max_);
+        min_ = std::min(min_, other.min_);
+    }
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+    [[nodiscard]] std::uint64_t max() const noexcept { return count_ ? max_ : 0; }
+    [[nodiscard]] std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+    [[nodiscard]] double mean() const noexcept {
+        return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+    }
+
+    /// Value at quantile q in [0, 1]: the upper edge of the bucket holding the
+    /// q-th sample. With 32 sub-buckets per octave this over-reports by at
+    /// most ~3%, never under-reports — the safe direction for an SLO gate.
+    [[nodiscard]] std::uint64_t quantile_us(double q) const noexcept {
+        if (count_ == 0) return 0;
+        q = std::clamp(q, 0.0, 1.0);
+        auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+        if (target >= count_) target = count_ - 1;
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            seen += buckets_[i];
+            if (seen > target) return upper_edge(i);
+        }
+        return max_;
+    }
+
+    [[nodiscard]] double quantile_ms(double q) const noexcept {
+        return static_cast<double>(quantile_us(q)) / 1000.0;
+    }
+
+    [[nodiscard]] json::Value to_json() const {
+        json::Value v = json::Value::make_object();
+        v["count"] = count_;
+        v["min_us"] = min();
+        v["max_us"] = max();
+        v["mean_us"] = mean();
+        v["p50_ms"] = quantile_ms(0.50);
+        v["p90_ms"] = quantile_ms(0.90);
+        v["p99_ms"] = quantile_ms(0.99);
+        v["p999_ms"] = quantile_ms(0.999);
+        return v;
+    }
+
+  private:
+    static std::size_t index_of(std::uint64_t v) noexcept {
+        if (v < kSub) return static_cast<std::size_t>(v);  // segment 0: exact
+        const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+        const unsigned segment = std::min(msb - kSubBits + 1, kSegments);
+        const unsigned shift = segment - 1;
+        const auto sub = static_cast<std::size_t>((v >> shift) - kSub);
+        return static_cast<std::size_t>(segment) * kSub + std::min<std::size_t>(sub, kSub - 1);
+    }
+
+    static std::uint64_t upper_edge(std::size_t index) noexcept {
+        const auto segment = static_cast<std::uint64_t>(index / kSub);
+        const auto sub = static_cast<std::uint64_t>(index % kSub);
+        if (segment == 0) return sub;  // exact in [0, kSub)
+        const unsigned shift = static_cast<unsigned>(segment) - 1;
+        return ((kSub + sub + 1) << shift) - 1;
+    }
+
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+    std::uint64_t min_ = ~0ull;
+};
+
+}  // namespace hep::loadgen

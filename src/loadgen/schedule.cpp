@@ -1,0 +1,39 @@
+#include "loadgen/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hep::loadgen {
+
+std::vector<Arrival> build_schedule(const WorkloadSpec& spec) {
+    std::vector<Arrival> schedule;
+    const auto horizon_us = static_cast<std::uint64_t>(spec.duration_s * 1e6);
+    for (std::uint32_t c = 0; c < spec.classes.size(); ++c) {
+        const ClassSpec& cls = spec.classes[c];
+        const double rate = cls.rate_hz * spec.rate_scale;
+        if (rate <= 0) continue;
+        for (std::uint32_t i = 0; i < cls.clients; ++i) {
+            Rng rng(client_seed(spec.seed, c, i));
+            double t_us = 0;
+            std::uint32_t seq = 0;
+            while (true) {
+                // Poisson arrivals: exponential think-time gaps. 1 - u > 0
+                // because next_double() < 1.
+                const double gap_s = -std::log(1.0 - rng.next_double()) / rate;
+                t_us += gap_s * 1e6;
+                const auto intended = static_cast<std::uint64_t>(t_us);
+                if (intended >= horizon_us) break;
+                schedule.push_back(Arrival{intended, c, i, seq++});
+            }
+        }
+    }
+    std::sort(schedule.begin(), schedule.end(), [](const Arrival& a, const Arrival& b) {
+        if (a.intended_us != b.intended_us) return a.intended_us < b.intended_us;
+        if (a.class_idx != b.class_idx) return a.class_idx < b.class_idx;
+        if (a.client_idx != b.client_idx) return a.client_idx < b.client_idx;
+        return a.seq < b.seq;
+    });
+    return schedule;
+}
+
+}  // namespace hep::loadgen

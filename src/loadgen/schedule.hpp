@@ -1,0 +1,54 @@
+// Deterministic open-loop request schedule (src/loadgen).
+//
+// The schedule is the full list of intended send times for every simulated
+// client, generated up front from WorkloadSpec::seed alone: client (c, i) of
+// class c draws its Poisson interarrival gaps from an Rng seeded with
+// mix64(seed, class, client), so two runs of the same spec produce the same
+// arrivals in the same order — the request stream is reproducible even
+// though server timing is not. Per-op randomness (zipf key picks, payload
+// variation) likewise derives from mix64(seed, class, client, seq), never
+// from a shared mutable RNG, so concurrency cannot perturb the workload.
+//
+// The scheduler is coordinated-omission-safe by construction: arrivals carry
+// their *intended* time, and the runner measures latency from that time, not
+// from whenever a worker actually got to issue the request. A stalled server
+// therefore inflates the tail of every arrival scheduled during the stall —
+// exactly what a real open-loop client population would experience.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "loadgen/spec.hpp"
+
+namespace hep::loadgen {
+
+struct Arrival {
+    std::uint64_t intended_us = 0;  // offset from run start
+    std::uint32_t class_idx = 0;
+    std::uint32_t client_idx = 0;   // within the class
+    std::uint32_t seq = 0;          // per-client op sequence number
+
+    bool operator==(const Arrival&) const = default;
+};
+
+/// Seed for everything client (class_idx, client_idx) does; stable across
+/// runs of the same spec.
+[[nodiscard]] inline std::uint64_t client_seed(std::uint64_t spec_seed, std::uint32_t class_idx,
+                                               std::uint32_t client_idx) noexcept {
+    return mix64(spec_seed ^ mix64((std::uint64_t{class_idx} << 32) | client_idx));
+}
+
+/// Seed for one specific op of a client (zipf draws, payload contents).
+[[nodiscard]] inline std::uint64_t op_seed(std::uint64_t spec_seed, const Arrival& a) noexcept {
+    return mix64(client_seed(spec_seed, a.class_idx, a.client_idx) ^
+                 mix64(std::uint64_t{a.seq} + 0x9e3779b97f4a7c15ULL));
+}
+
+/// Generate the merged schedule for `spec`, sorted by intended time (ties
+/// broken by class/client/seq so the order is total and deterministic).
+[[nodiscard]] std::vector<Arrival> build_schedule(const WorkloadSpec& spec);
+
+}  // namespace hep::loadgen

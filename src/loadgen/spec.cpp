@@ -1,0 +1,227 @@
+#include "loadgen/spec.hpp"
+
+#include <algorithm>
+
+namespace hep::loadgen {
+
+const char* to_string(OpKind kind) noexcept {
+    switch (kind) {
+        case OpKind::kIngest: return "ingest";
+        case OpKind::kQuery: return "query";
+        case OpKind::kCachedRead: return "cached_read";
+        case OpKind::kPinnedScan: return "pinned_scan";
+    }
+    return "unknown";
+}
+
+Result<OpKind> parse_op_kind(const std::string& name) {
+    if (name == "ingest") return OpKind::kIngest;
+    if (name == "query") return OpKind::kQuery;
+    if (name == "cached_read") return OpKind::kCachedRead;
+    if (name == "pinned_scan") return OpKind::kPinnedScan;
+    return Status::InvalidArgument("unknown op kind \"" + name + '"');
+}
+
+json::Value SloBound::to_json() const {
+    json::Value v = json::Value::make_object();
+    v["p50_ms"] = p50_ms;
+    v["p99_ms"] = p99_ms;
+    v["p999_ms"] = p999_ms;
+    v["max_error_rate"] = max_error_rate;
+    return v;
+}
+
+SloBound SloBound::from_json(const json::Value& v) {
+    SloBound b;
+    b.p50_ms = v["p50_ms"].as_double(0);
+    b.p99_ms = v["p99_ms"].as_double(0);
+    b.p999_ms = v["p999_ms"].as_double(0);
+    b.max_error_rate = v["max_error_rate"].as_double(1.0);
+    return b;
+}
+
+json::Value ClassSpec::to_json() const {
+    json::Value v = json::Value::make_object();
+    v["name"] = name;
+    v["tenant"] = tenant;
+    v["class"] = std::string(qos::class_name(qos_class));
+    v["op"] = std::string(to_string(op));
+    v["clients"] = clients;
+    v["rate_hz"] = rate_hz;
+    v["batch_events"] = batch_events;
+    v["value_words"] = value_words;
+    v["slo"] = slo.to_json();
+    return v;
+}
+
+Result<ClassSpec> ClassSpec::from_json(const json::Value& v) {
+    ClassSpec c;
+    c.name = v["name"].as_string();
+    if (c.name.empty()) return Status::InvalidArgument("class needs a name");
+    if (v["tenant"].is_string()) c.tenant = v["tenant"].as_string();
+    if (v["class"].is_string()) {
+        auto cls = qos::parse_class(v["class"].as_string());
+        if (!cls) return Status::InvalidArgument("bad qos class for " + c.name);
+        c.qos_class = *cls;
+    }
+    auto op = parse_op_kind(v["op"].as_string());
+    if (!op.ok()) return op.status();
+    c.op = *op;
+    c.clients = static_cast<std::size_t>(std::max<std::int64_t>(0, v["clients"].as_int(1)));
+    c.rate_hz = v["rate_hz"].as_double(1.0);
+    if (c.rate_hz <= 0) return Status::InvalidArgument("rate_hz must be > 0 for " + c.name);
+    c.batch_events =
+        static_cast<std::size_t>(std::max<std::int64_t>(1, v["batch_events"].as_int(8)));
+    c.value_words =
+        static_cast<std::size_t>(std::max<std::int64_t>(1, v["value_words"].as_int(256)));
+    c.slo = SloBound::from_json(v["slo"]);
+    return c;
+}
+
+json::Value FailureEvent::to_json() const {
+    json::Value v = json::Value::make_object();
+    v["at_s"] = at_s;
+    v["server"] = server;
+    return v;
+}
+
+FailureEvent FailureEvent::from_json(const json::Value& v) {
+    FailureEvent e;
+    e.at_s = v["at_s"].as_double(0);
+    e.server = static_cast<std::size_t>(std::max<std::int64_t>(0, v["server"].as_int(0)));
+    return e;
+}
+
+std::size_t WorkloadSpec::total_clients() const noexcept {
+    std::size_t n = 0;
+    for (const auto& c : classes) n += c.clients;
+    return n;
+}
+
+double WorkloadSpec::offered_ops_s() const noexcept {
+    double rate = 0;
+    for (const auto& c : classes) rate += static_cast<double>(c.clients) * c.rate_hz;
+    return rate * rate_scale;
+}
+
+json::Value WorkloadSpec::to_json() const {
+    json::Value v = json::Value::make_object();
+    v["seed"] = seed;
+    v["duration_s"] = duration_s;
+    v["rate_scale"] = rate_scale;
+    v["workers"] = workers;
+    v["worker_xstreams"] = worker_xstreams;
+    v["connections"] = connections;
+    v["servers"] = servers;
+    v["dbs_per_role"] = dbs_per_role;
+    v["rpc_xstreams"] = rpc_xstreams;
+    v["backend"] = backend;
+    v["hot_keys"] = hot_keys;
+    v["zipf_exponent"] = zipf_exponent;
+    v["query_events"] = query_events;
+    v["scrape_interval_ms"] = scrape_interval_ms;
+    json::Value cls = json::Value::make_array();
+    for (const auto& c : classes) cls.push_back(c.to_json());
+    v["classes"] = std::move(cls);
+    json::Value fails = json::Value::make_array();
+    for (const auto& f : failures) fails.push_back(f.to_json());
+    v["failures"] = std::move(fails);
+    return v;
+}
+
+Result<WorkloadSpec> WorkloadSpec::from_json(const json::Value& v) {
+    WorkloadSpec s;
+    s.seed = static_cast<std::uint64_t>(v["seed"].as_int(20260809));
+    s.duration_s = v["duration_s"].as_double(2.0);
+    if (s.duration_s <= 0) return Status::InvalidArgument("duration_s must be > 0");
+    s.rate_scale = v["rate_scale"].as_double(1.0);
+    if (s.rate_scale <= 0) return Status::InvalidArgument("rate_scale must be > 0");
+    auto positive = [](const json::Value& field, std::size_t fallback) {
+        return static_cast<std::size_t>(
+            std::max<std::int64_t>(1, field.as_int(static_cast<std::int64_t>(fallback))));
+    };
+    s.workers = positive(v["workers"], 64);
+    s.worker_xstreams = positive(v["worker_xstreams"], 2);
+    s.connections = positive(v["connections"], 2);
+    s.servers = positive(v["servers"], 2);
+    s.dbs_per_role = positive(v["dbs_per_role"], 2);
+    s.rpc_xstreams = positive(v["rpc_xstreams"], 2);
+    if (v["backend"].is_string()) s.backend = v["backend"].as_string();
+    if (s.backend != "map" && s.backend != "lsm") {
+        return Status::InvalidArgument("backend must be \"map\" or \"lsm\"");
+    }
+    s.hot_keys = positive(v["hot_keys"], 256);
+    s.zipf_exponent = v["zipf_exponent"].as_double(1.1);
+    s.query_events = positive(v["query_events"], 96);
+    s.scrape_interval_ms = positive(v["scrape_interval_ms"], 250);
+    for (std::size_t i = 0; i < v["classes"].size(); ++i) {
+        auto c = ClassSpec::from_json(v["classes"].at(i));
+        if (!c.ok()) return c.status();
+        s.classes.push_back(std::move(*c));
+    }
+    if (s.classes.empty()) return Status::InvalidArgument("spec needs at least one class");
+    for (std::size_t i = 0; i < v["failures"].size(); ++i) {
+        s.failures.push_back(FailureEvent::from_json(v["failures"].at(i)));
+    }
+    for (const auto& f : s.failures) {
+        if (f.server >= s.servers) {
+            return Status::InvalidArgument("failure event targets a server out of range");
+        }
+    }
+    return s;
+}
+
+WorkloadSpec WorkloadSpec::saturation_default(std::size_t clients, double duration_s) {
+    WorkloadSpec s;
+    s.duration_s = duration_s;
+    // Mix ratio: half the population does interactive cached reads (the
+    // analysis hot loop), the rest splits across ingest, pushdown queries
+    // and pinned scans — the paper's concurrent write/read/selection story.
+    const std::size_t reads = std::max<std::size_t>(1, clients / 2);
+    const std::size_t ingest = std::max<std::size_t>(1, clients / 4);
+    const std::size_t query = std::max<std::size_t>(1, clients / 8);
+    const std::size_t pinned = std::max<std::size_t>(1, clients - reads - ingest - query);
+
+    ClassSpec hot;
+    hot.name = "cached_read";
+    hot.tenant = "analysis";
+    hot.qos_class = qos::kClassInteractive;
+    hot.op = OpKind::kCachedRead;
+    hot.clients = reads;
+    hot.rate_hz = 4.0;
+    hot.slo = {.p50_ms = 20, .p99_ms = 250, .p999_ms = 0, .max_error_rate = 0.01};
+
+    ClassSpec load;
+    load.name = "ingest";
+    load.tenant = "loader";
+    load.qos_class = qos::kClassBulk;
+    load.op = OpKind::kIngest;
+    load.clients = ingest;
+    load.rate_hz = 1.0;
+    load.batch_events = 4;
+    load.value_words = 128;
+    load.slo = {.p50_ms = 0, .p99_ms = 2000, .p999_ms = 0, .max_error_rate = 0.01};
+
+    ClassSpec sel;
+    sel.name = "query";
+    sel.tenant = "analysis";
+    sel.qos_class = qos::kClassBatch;
+    sel.op = OpKind::kQuery;
+    sel.clients = query;
+    sel.rate_hz = 0.5;
+    sel.slo = {.p50_ms = 0, .p99_ms = 1500, .p999_ms = 0, .max_error_rate = 0.05};
+
+    ClassSpec pin;
+    pin.name = "pinned_scan";
+    pin.tenant = "analysis";
+    pin.qos_class = qos::kClassBatch;
+    pin.op = OpKind::kPinnedScan;
+    pin.clients = pinned;
+    pin.rate_hz = 0.5;
+    pin.slo = {.p50_ms = 0, .p99_ms = 1500, .p999_ms = 0, .max_error_rate = 0.05};
+
+    s.classes = {hot, load, sel, pin};
+    return s;
+}
+
+}  // namespace hep::loadgen

@@ -1,0 +1,121 @@
+// Declarative workload specification for the saturation harness.
+//
+// A WorkloadSpec describes one sustained open-loop run against a live
+// cluster: how many simulated clients exist, what traffic class each group
+// belongs to ({tenant, qos class}), which operation they issue (ingest write
+// batches, pushdown queries, cached hot-product reads, MVCC-pinned scans),
+// each class's arrival rate and latency SLOs, and the failover events to
+// inject mid-run. Everything that shapes the request schedule derives from
+// the single top-level `seed`, so two runs of the same spec issue an
+// identical schedule (deterministic modulo server timing).
+//
+// Specs round-trip through JSON (`from_json`/`to_json`) so runs are storable
+// and replayable; `saturation_default()` is the mixed-profile the bench and
+// the autotune closure drive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/status.hpp"
+#include "qos/context.hpp"
+
+namespace hep::loadgen {
+
+/// What a simulated client of a class does per arrival.
+enum class OpKind : std::uint8_t {
+    kIngest = 0,      // WriteBatch of `batch_events` events + products, flushed
+    kQuery = 1,       // server-side pushdown selection over the query dataset
+    kCachedRead = 2,  // zipf-sampled hot-product load (lease-cache read path)
+    kPinnedScan = 3,  // MVCC snapshot-pinned pushdown selection
+};
+
+[[nodiscard]] const char* to_string(OpKind kind) noexcept;
+[[nodiscard]] Result<OpKind> parse_op_kind(const std::string& name);
+
+/// Per-class latency/error SLOs. A bound of 0 means "not enforced". Latency
+/// gates apply to the coordinated-omission-safe (intended-send-time)
+/// distribution.
+struct SloBound {
+    double p50_ms = 0;
+    double p99_ms = 0;
+    double p999_ms = 0;
+    double max_error_rate = 1.0;  // fraction of ops allowed to fail
+
+    [[nodiscard]] json::Value to_json() const;
+    static SloBound from_json(const json::Value& v);
+};
+
+/// One group of identical simulated clients.
+struct ClassSpec {
+    std::string name;                            // report key, e.g. "ingest"
+    std::string tenant = "loadgen";              // qos tenant stamped on RPCs
+    std::uint8_t qos_class = qos::kClassBatch;   // qos::PriorityClass
+    OpKind op = OpKind::kCachedRead;
+    std::size_t clients = 1;       // simulated open-loop clients in this class
+    double rate_hz = 1.0;          // mean arrivals per client per second
+    std::size_t batch_events = 8;  // ingest: events per write batch
+    std::size_t value_words = 256; // ingest/hot payload, 8-byte words
+    SloBound slo;
+
+    [[nodiscard]] json::Value to_json() const;
+    static Result<ClassSpec> from_json(const json::Value& v);
+};
+
+/// Kill-and-restart of one server at a point in the run. With replication
+/// armed the cluster must ride through it without losing an acked write.
+struct FailureEvent {
+    double at_s = 0;
+    std::size_t server = 0;
+
+    [[nodiscard]] json::Value to_json() const;
+    static FailureEvent from_json(const json::Value& v);
+};
+
+struct WorkloadSpec {
+    // Determinism: every arrival time, think-time draw and zipf key pick
+    // derives from this one seed (see schedule.hpp).
+    std::uint64_t seed = 20260809;
+
+    double duration_s = 2.0;   // open-loop window the schedule covers
+    double rate_scale = 1.0;   // multiplies every class's rate (knee ramps)
+
+    // Client multiplexing: simulated clients share `workers` issuing ULTs on
+    // `worker_xstreams` dedicated xstreams, `connections` DataStore
+    // connections per class.
+    std::size_t workers = 64;
+    std::size_t worker_xstreams = 2;
+    std::size_t connections = 2;
+
+    // Cluster shape (used when the harness boots its own in-process cluster).
+    std::size_t servers = 2;
+    std::size_t dbs_per_role = 2;
+    std::size_t rpc_xstreams = 2;
+    std::string backend = "map";  // "map" | "lsm"
+
+    // Prepopulated read-side datasets.
+    std::size_t hot_keys = 256;        // cached-read population
+    double zipf_exponent = 1.1;        // cached-read skew
+    std::size_t query_events = 96;     // selection dataset size
+    std::size_t scrape_interval_ms = 250;  // symbio stats_all poll period
+
+    std::vector<ClassSpec> classes;
+    std::vector<FailureEvent> failures;
+
+    [[nodiscard]] std::size_t total_clients() const noexcept;
+    /// Offered load in arrivals/s across all classes (rate_scale applied).
+    [[nodiscard]] double offered_ops_s() const noexcept;
+
+    [[nodiscard]] json::Value to_json() const;
+    static Result<WorkloadSpec> from_json(const json::Value& v);
+
+    /// The mixed saturation profile: ingest (bulk) + pushdown queries (batch)
+    /// + zipfian cached reads (interactive) + pinned scans (batch), with
+    /// per-class p99 SLOs. `clients` scales the population across classes
+    /// keeping the mix ratio; `duration_s` the window.
+    static WorkloadSpec saturation_default(std::size_t clients, double duration_s);
+};
+
+}  // namespace hep::loadgen

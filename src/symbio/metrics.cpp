@@ -92,6 +92,21 @@ json::Value MetricsRegistry::snapshot() const {
     return out;
 }
 
+json::Value MetricsRegistry::source_snapshot(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sources_.find(name);
+    if (it == sources_.end()) return json::Value();  // null: no such source
+    return it->second();
+}
+
+std::vector<std::string> MetricsRegistry::source_names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(sources_.size());
+    for (const auto& [name, fn] : sources_) names.push_back(name);
+    return names;
+}
+
 ScopedTimer::ScopedTimer(Histogram& hist)
     : hist_(hist),
       start_(std::chrono::duration<double>(

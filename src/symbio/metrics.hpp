@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/json.hpp"
 
@@ -92,6 +93,14 @@ class MetricsRegistry {
     /// Full snapshot: {counters: {...}, gauges: {...}, histograms: {...},
     /// sources: {...}}.
     [[nodiscard]] json::Value snapshot() const;
+
+    /// Snapshot of a single registered source ({} + NotFound status encoded
+    /// as a null value if no such source). Lets pollers that only care about
+    /// one subsystem skip the cost of evaluating every source closure.
+    [[nodiscard]] json::Value source_snapshot(const std::string& name) const;
+
+    /// Names of every registered source, sorted.
+    [[nodiscard]] std::vector<std::string> source_names() const;
 
   private:
     mutable std::mutex mutex_;

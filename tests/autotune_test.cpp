@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 
 #include "autotune/tuner.hpp"
 
@@ -84,6 +85,45 @@ TEST(TunerTest, HistoryRecordsEveryDistinctEvaluation) {
     EXPECT_TRUE(found);
     // Maximum of x on [0,100] is 100 and coordinate descent scans all values.
     EXPECT_EQ(best.assignment.at("x"), 100);
+}
+
+TEST(TunerTest, RichObjectiveFillsSampleMetadata) {
+    Tuner tuner({{"x", range(0, 4)}}, Tuner::RichObjective([](const Assignment& a, Sample& s) {
+                    s.slo_pass = a.at("x") % 2 == 0;
+                    s.meta = hep::json::Value::make_object();
+                    s.meta["x_seen"] = a.at("x");
+                    return static_cast<double>(a.at("x"));
+                }));
+    auto best = tuner.run(3, 2);
+    EXPECT_EQ(best.assignment.at("x"), 4);
+    for (const auto& s : tuner.history()) {
+        EXPECT_EQ(s.slo_pass, s.assignment.at("x") % 2 == 0);
+        EXPECT_EQ(s.meta["x_seen"].as_int(), s.assignment.at("x"));
+        EXPECT_GE(s.wall_s, 0.0);
+    }
+}
+
+TEST(TunerTest, TraceJsonRecordsTrajectory) {
+    Tuner tuner({{"x", range(0, 10)}},
+                [](const Assignment& a) { return static_cast<double>(a.at("x")); });
+    tuner.run(4, 2);
+    const auto trace = tuner.trace_json();
+    EXPECT_EQ(trace["evaluations"].as_int(),
+              static_cast<std::int64_t>(tuner.evaluations()));
+    EXPECT_EQ(trace["trace"].size(), tuner.evaluations());
+    // The recorded best matches the winner of the run.
+    EXPECT_EQ(trace["best"]["assignment"]["x"].as_int(), 10);
+    EXPECT_DOUBLE_EQ(trace["best"]["objective"].as_double(), 10.0);
+    // Samples carry wall time and the SLO bit (simple objectives keep the
+    // pass default).
+    EXPECT_TRUE(trace["trace"].at(0)["slo_pass"].as_bool(false));
+
+    const std::string path = "autotune_trace_test.json";
+    ASSERT_TRUE(tuner.dump_trace(path));
+    auto reparsed = hep::json::parse_file(path);
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ((*reparsed)["trace"].size(), tuner.evaluations());
+    std::remove(path.c_str());
 }
 
 }  // namespace

@@ -124,6 +124,47 @@ TEST(SymbioServiceTest, RemoteFetchReflectsDatabaseActivity) {
     EXPECT_EQ(events["backend"].as_string(), "map");
 }
 
+TEST(SymbioServiceTest, StatsAllAndPerSourceFetch) {
+    rpc::Network net;
+    auto cfg = json::parse(R"({
+      "address": "mon-all-server",
+      "monitoring": { "provider_id": 99 },
+      "providers": [{ "type": "yokan", "provider_id": 1, "config": { "databases": [
+          { "name": "events", "type": "map", "role": "events" },
+          { "name": "products", "type": "map", "role": "products" } ] } }]
+    })");
+    ASSERT_TRUE(cfg.ok());
+    auto svc = bedrock::ServiceProcess::create(net, *cfg);
+    ASSERT_TRUE(svc.ok()) << svc.status().to_string();
+
+    margo::Engine client(net, "mon-all-client");
+    yokan::DatabaseHandle db(client, "mon-all-server", 1, "events");
+    ASSERT_TRUE(db.put("k", "v").ok());
+
+    // stats_all: one blob merging every source, stamped with the server.
+    auto all = symbio::fetch_all(client, "mon-all-server", 99);
+    ASSERT_TRUE(all.ok()) << all.status().to_string();
+    EXPECT_EQ((*all)["server"].as_string(), "mon-all-server");
+    EXPECT_GE((*all)["sources_n"].as_int(), 2);
+    EXPECT_EQ((*all)["sources"]["db/events"]["puts"].as_int(), 1);
+    EXPECT_EQ((*all)["sources"]["db/products"]["puts"].as_int(), 0);
+
+    // Per-source fetch still works and matches the merged blob.
+    auto one = symbio::fetch_source(client, "mon-all-server", 99, "db/events");
+    ASSERT_TRUE(one.ok()) << one.status().to_string();
+    EXPECT_EQ((*one)["puts"].as_int(), 1);
+    EXPECT_EQ((*one)["backend"].as_string(), "map");
+
+    // Unknown sources and requests are errors, not empty blobs.
+    EXPECT_FALSE(symbio::fetch_source(client, "mon-all-server", 99, "db/nope").ok());
+
+    // The legacy empty-payload fetch is unchanged.
+    auto legacy = symbio::fetch(client, "mon-all-server", 99);
+    ASSERT_TRUE(legacy.ok());
+    EXPECT_FALSE((*legacy).contains("server"));
+    EXPECT_EQ((*legacy)["sources"]["db/events"]["puts"].as_int(), 1);
+}
+
 TEST(SymbioServiceTest, MonitoringAbsentWhenNotConfigured) {
     rpc::Network net;
     auto cfg = json::parse(R"({"address": "plain", "providers": []})");

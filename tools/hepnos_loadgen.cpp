@@ -1,0 +1,90 @@
+// hepnos_loadgen — drive the saturation harness from a workload spec file.
+//
+//   hepnos_loadgen [spec.json] [--out report.json] [--clients N]
+//                  [--duration S] [--print-spec]
+//
+// Boots a fresh in-process cluster and replays the spec's seeded open-loop
+// schedule against it (src/loadgen): per-{tenant, class} CO-safe latency
+// histograms, SLO gates, failover injection, and a symbio scrape of the
+// server-side counters folded into one run report. Without a spec file the
+// built-in saturation_default mix is used, parameterized by --clients and
+// --duration. The full report is printed (and optionally written) as JSON.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "loadgen/harness.hpp"
+
+int main(int argc, char** argv) {
+    using namespace hep;
+    using namespace hep::loadgen;
+
+    std::string spec_path;
+    std::string out_path;
+    std::size_t clients = 256;
+    double duration_s = 2.0;
+    bool print_spec = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+            clients = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+            duration_s = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--print-spec") == 0) {
+            print_spec = true;
+        } else if (argv[i][0] != '-' && spec_path.empty()) {
+            spec_path = argv[i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [spec.json] [--out report.json] [--clients N] "
+                         "[--duration S] [--print-spec]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    WorkloadSpec spec = WorkloadSpec::saturation_default(clients, duration_s);
+    if (!spec_path.empty()) {
+        auto doc = json::parse_file(spec_path);
+        if (!doc.ok()) {
+            std::fprintf(stderr, "cannot read %s: %s\n", spec_path.c_str(),
+                         doc.status().to_string().c_str());
+            return 1;
+        }
+        auto parsed = WorkloadSpec::from_json(*doc);
+        if (!parsed.ok()) {
+            std::fprintf(stderr, "bad spec %s: %s\n", spec_path.c_str(),
+                         parsed.status().to_string().c_str());
+            return 1;
+        }
+        spec = std::move(parsed.value());
+    }
+    if (print_spec) {
+        std::printf("%s\n", spec.to_json().dump(2).c_str());
+        return 0;
+    }
+
+    Knobs knobs;
+    knobs.replication = spec.servers > 1 ? 2 : 1;
+    Harness harness(spec, knobs, ".");
+    auto report = harness.run();
+    if (!report.ok()) {
+        std::fprintf(stderr, "run failed: %s\n", report.status().to_string().c_str());
+        return 1;
+    }
+    const json::Value doc = report->to_json();
+    std::printf("%s\n", doc.dump(2).c_str());
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        out << doc.dump(2) << '\n';
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+    if (report->lost_writes != 0) {
+        std::fprintf(stderr, "FAIL: %llu lost acked writes\n",
+                     static_cast<unsigned long long>(report->lost_writes));
+        return 1;
+    }
+    return report->slo_pass ? 0 : 3;
+}
